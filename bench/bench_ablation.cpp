@@ -1,0 +1,76 @@
+// Ablation bench for the design choices called out in DESIGN.md §6.
+//
+// Variants of Peach* evaluated on libmodbus and lib60870:
+//   full          — the shipped configuration
+//   no-fixup      — File Fixup disabled: spliced seeds keep broken
+//                   size/CRC fields (the paper's motivation for §IV-D)
+//   no-similar    — donor lookup restricted to the exact rule tier
+//   donors-always — donor_use_pct = 100 (no fresh exploration at donated
+//                   positions; measures the exploration/exploitation blend)
+//   crack-all     — crack every seed, not only valuable ones (corpus
+//                   pollution + per-exec crack cost)
+// plus the Peach baseline for reference.
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+struct Variant {
+  const char* name;
+  icsfuzz::fuzz::Strategy strategy;
+  void (*tweak)(icsfuzz::fuzz::FuzzerConfig&);
+};
+
+void tweak_none(icsfuzz::fuzz::FuzzerConfig&) {}
+void tweak_no_fixup(icsfuzz::fuzz::FuzzerConfig& config) {
+  config.semantic.apply_file_fixup = false;
+}
+void tweak_no_similar(icsfuzz::fuzz::FuzzerConfig& config) {
+  config.semantic.similar_tier_pct = 0;
+}
+void tweak_donors_always(icsfuzz::fuzz::FuzzerConfig& config) {
+  config.semantic.donor_use_pct = 100;
+}
+void tweak_crack_all(icsfuzz::fuzz::FuzzerConfig& config) {
+  config.crack_all_seeds = true;
+}
+
+constexpr Variant kVariants[] = {
+    {"byte-mutation", icsfuzz::fuzz::Strategy::ByteMutation, tweak_none},
+    {"peach-baseline", icsfuzz::fuzz::Strategy::Peach, tweak_none},
+    {"peachstar-full", icsfuzz::fuzz::Strategy::PeachStar, tweak_none},
+    {"no-fixup", icsfuzz::fuzz::Strategy::PeachStar, tweak_no_fixup},
+    {"no-similar-tier", icsfuzz::fuzz::Strategy::PeachStar, tweak_no_similar},
+    {"donors-always", icsfuzz::fuzz::Strategy::PeachStar, tweak_donors_always},
+    {"crack-all-seeds", icsfuzz::fuzz::Strategy::PeachStar, tweak_crack_all},
+};
+
+}  // namespace
+
+int main() {
+  using namespace icsfuzz;
+  fuzz::CampaignConfig config = bench::default_campaign_config();
+  // Ablations need fewer repetitions to show their ordering.
+  config.repetitions = std::max<std::size_t>(3, config.repetitions / 2);
+
+  for (const char* project : {"libmodbus", "lib60870"}) {
+    std::printf("Ablation on %s (%zu reps x %llu executions)\n", project,
+                config.repetitions,
+                static_cast<unsigned long long>(config.iterations));
+    std::printf("%-18s %12s %12s %14s\n", "variant", "paths", "edges",
+                "unique crashes");
+    for (const Variant& variant : kVariants) {
+      fuzz::CampaignConfig variant_config = config;
+      variant.tweak(variant_config.fuzzer);
+      const fuzz::ArmResult arm =
+          fuzz::run_arm(variant.strategy, bench::target_factory(project),
+                        pits::pit_for_project(project), variant_config);
+      std::printf("%-18s %12.1f %12.1f %14zu\n", variant.name,
+                  arm.mean_final_paths, arm.mean_final_edges,
+                  arm.pooled_crashes.unique_memory_faults());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Every Figure-4 bench runs the same A/B campaign (Peach vs Peach*) on one
+// protocol target and prints (a) the mean paths-over-executions series of
+// both arms — the data behind the paper's plot panel — and (b) the derived
+// summary row (final paths, speedup, increase).
+//
+// Budgets scale with two environment variables so CI can run the benches
+// quickly while full reproductions use paper-scale settings:
+//   ICSFUZZ_BENCH_ITERS  executions per repetition   (default 40000)
+//   ICSFUZZ_BENCH_REPS   repetitions per arm         (default 10)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "fuzzer/campaign.hpp"
+#include "pits/pits.hpp"
+#include "protocols/dnp3/dnp3_server.hpp"
+#include "protocols/iccp/iccp_server.hpp"
+#include "protocols/iec104/iec104_server.hpp"
+#include "protocols/iec61850/mms_server.hpp"
+#include "protocols/lib60870/cs101_server.hpp"
+#include "protocols/modbus/modbus_server.hpp"
+
+namespace icsfuzz::bench {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+inline fuzz::CampaignConfig default_campaign_config() {
+  fuzz::CampaignConfig config;
+  config.iterations = env_u64("ICSFUZZ_BENCH_ITERS", 40000);
+  config.repetitions = static_cast<std::size_t>(env_u64("ICSFUZZ_BENCH_REPS", 10));
+  config.stats_interval =
+      config.iterations / 40 == 0 ? 1 : config.iterations / 40;
+  return config;
+}
+
+/// Target factory for a paper project name.
+inline fuzz::TargetFactory target_factory(const std::string& project) {
+  if (project == "libmodbus") {
+    return [] { return std::make_unique<proto::ModbusServer>(); };
+  }
+  if (project == "IEC104") {
+    return [] { return std::make_unique<proto::Iec104Server>(); };
+  }
+  if (project == "libiec61850") {
+    return [] { return std::make_unique<proto::MmsServer>(); };
+  }
+  if (project == "lib60870") {
+    return [] { return std::make_unique<proto::Cs101Server>(); };
+  }
+  if (project == "libiec_iccp_mod") {
+    return [] { return std::make_unique<proto::IccpServer>(); };
+  }
+  if (project == "opendnp3") {
+    return [] { return std::make_unique<proto::Dnp3Server>(); };
+  }
+  return {};
+}
+
+/// Runs the A/B campaign for one project with default budgets.
+inline fuzz::CampaignResult run_project_campaign(const std::string& project) {
+  const fuzz::CampaignConfig config = default_campaign_config();
+  return fuzz::run_campaign(project, target_factory(project),
+                            pits::pit_for_project(project), config);
+}
+
+/// Prints one Figure-4 panel: the mean series of both arms plus summary.
+inline void print_fig4_panel(const char* panel,
+                             const fuzz::CampaignResult& result) {
+  std::printf("Figure 4(%s): average paths covered on %s (%zu repetitions, "
+              "%llu executions per run)\n",
+              panel, result.project.c_str(),
+              result.peach.repetition_series.size(),
+              static_cast<unsigned long long>(
+                  result.peach.mean_series.empty()
+                      ? 0
+                      : result.peach.mean_series.back().executions));
+  std::printf("%12s %14s %14s\n", "executions", "Peach", "Peach*");
+  const auto& a = result.peach.mean_series;
+  const auto& b = result.peach_star.mean_series;
+  const std::size_t rows = std::max(a.size(), b.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    const unsigned long long execs = static_cast<unsigned long long>(
+        i < a.size() ? a[i].executions : b[i].executions);
+    std::printf("%12llu %14zu %14zu\n", execs, i < a.size() ? a[i].paths : 0,
+                i < b.size() ? b[i].paths : 0);
+  }
+  std::printf("summary: Peach %.1f paths, Peach* %.1f paths, "
+              "speedup %.2fx, increase %+.2f%%\n\n",
+              result.peach.mean_final_paths,
+              result.peach_star.mean_final_paths, result.speedup(),
+              result.path_increase_pct());
+}
+
+}  // namespace icsfuzz::bench

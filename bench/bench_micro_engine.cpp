@@ -1,0 +1,105 @@
+// Microbenchmarks (google-benchmark) for the engine primitives: model
+// instantiation, packet parsing (the cracker's PARSE), file cracking,
+// semantic-aware generation, constraint fixup, and a full fuzzing
+// execution per protocol target.
+#include <benchmark/benchmark.h>
+
+#include "fuzzer/cracker.hpp"
+#include "fuzzer/executor.hpp"
+#include "fuzzer/instantiator.hpp"
+#include "fuzzer/semantic_gen.hpp"
+#include "pits/pits.hpp"
+#include "protocols/iec61850/mms_server.hpp"
+#include "protocols/modbus/modbus_server.hpp"
+
+namespace {
+
+using namespace icsfuzz;
+
+void BM_InstantiateModbus(benchmark::State& state) {
+  const model::DataModelSet models = pits::modbus_pit();
+  fuzz::ModelInstantiator instantiator;
+  Rng rng(1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const model::DataModel& model = models.models()[i++ % models.size()];
+    benchmark::DoNotOptimize(instantiator.generate(model, rng));
+  }
+}
+BENCHMARK(BM_InstantiateModbus);
+
+void BM_ParseModbusPacket(benchmark::State& state) {
+  const model::DataModelSet models = pits::modbus_pit();
+  const Bytes packet = model::default_instance(models.at(0)).serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::parse_packet(models.at(0), packet));
+  }
+}
+BENCHMARK(BM_ParseModbusPacket);
+
+void BM_CrackAgainstAllModels(benchmark::State& state) {
+  const model::DataModelSet models = pits::modbus_pit();
+  const Bytes packet = model::default_instance(models.at(0)).serialize();
+  fuzz::FileCracker cracker;
+  fuzz::PuzzleCorpus corpus;
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cracker.crack(models, packet, corpus, rng));
+  }
+}
+BENCHMARK(BM_CrackAgainstAllModels);
+
+void BM_SemanticGenerate(benchmark::State& state) {
+  const model::DataModelSet models = pits::modbus_pit();
+  fuzz::FileCracker cracker;
+  fuzz::PuzzleCorpus corpus;
+  Rng rng(3);
+  // Populate the corpus with a handful of cracked defaults.
+  for (const model::DataModel& model : models.models()) {
+    const Bytes packet = model::default_instance(model).serialize();
+    cracker.crack(models, packet, corpus, rng);
+  }
+  fuzz::SemanticGenerator generator({}, {});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const model::DataModel& model = models.models()[i++ % models.size()];
+    benchmark::DoNotOptimize(generator.generate(model, corpus, rng));
+  }
+}
+BENCHMARK(BM_SemanticGenerate);
+
+void BM_ApplyConstraints(benchmark::State& state) {
+  const model::DataModelSet models = pits::dnp3_pit();  // CRC-heavy
+  model::InsTree tree = model::default_instance(models.at(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::apply_constraints(tree));
+  }
+}
+BENCHMARK(BM_ApplyConstraints);
+
+void BM_ExecuteModbus(benchmark::State& state) {
+  proto::ModbusServer server;
+  fuzz::Executor executor;
+  const model::DataModelSet models = pits::modbus_pit();
+  const Bytes packet = model::default_instance(models.at(0)).serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.run(server, packet));
+  }
+}
+BENCHMARK(BM_ExecuteModbus);
+
+void BM_ExecuteMms(benchmark::State& state) {
+  proto::MmsServer server;
+  fuzz::Executor executor;
+  const model::DataModelSet models = pits::mms_pit();
+  const Bytes packet = model::default_instance(
+      *models.find("MmsReadStVal")).serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.run(server, packet));
+  }
+}
+BENCHMARK(BM_ExecuteMms);
+
+}  // namespace
+
+BENCHMARK_MAIN();

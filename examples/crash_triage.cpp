@@ -1,0 +1,73 @@
+// Crash triage: run Peach* against the two buggiest targets of the paper's
+// Table I (lib60870 and libiec_iccp_mod), then triage every unique
+// vulnerability — fault type, crash site, diagnostic, reproducer hexdump,
+// and the data-model decomposition of the reproducer obtained by cracking
+// it back through the pit.
+//
+//   $ ./build/examples/crash_triage [iterations]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "fuzzer/fuzzer.hpp"
+#include "model/instantiation.hpp"
+#include "pits/pits.hpp"
+#include "protocols/iccp/iccp_server.hpp"
+#include "protocols/lib60870/cs101_server.hpp"
+#include "util/hexdump.hpp"
+
+namespace {
+
+void triage_project(icsfuzz::ProtocolTarget& target,
+                    const icsfuzz::model::DataModelSet& models,
+                    std::uint64_t iterations) {
+  using namespace icsfuzz;
+  std::printf("=== %.*s ===\n", static_cast<int>(target.name().size()),
+              target.name().data());
+
+  fuzz::FuzzerConfig config;
+  config.strategy = fuzz::Strategy::PeachStar;
+  config.rng_seed = 7;
+  fuzz::Fuzzer fuzzer(target, models, config);
+  fuzzer.run(iterations);
+
+  std::printf("paths: %zu, unique crashes: %zu\n\n", fuzzer.path_count(),
+              fuzzer.crashes().unique_count());
+
+  for (const fuzz::CrashRecord* crash : fuzzer.crashes().records()) {
+    std::printf("--- %s (site %08x), %llu hits, first at execution %llu\n",
+                san::to_string(crash->kind).c_str(), crash->site,
+                static_cast<unsigned long long>(crash->hits),
+                static_cast<unsigned long long>(crash->first_execution));
+    std::printf("    %s\n", crash->detail.c_str());
+    std::printf("reproducer (%zu bytes):\n%s", crash->reproducer.size(),
+                hexdump(crash->reproducer).c_str());
+
+    // Crack the reproducer back through the pit so the analyst sees which
+    // packet type it instantiates and the offending field values.
+    for (const model::DataModel& data_model : models.models()) {
+      auto tree = model::parse_packet(data_model, crash->reproducer);
+      if (tree) {
+        std::printf("parses as data model '%s':\n%s",
+                    data_model.name().c_str(),
+                    model::dump_tree(*tree).c_str());
+        break;
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t iterations =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 30000;
+
+  icsfuzz::proto::Cs101Server cs101;
+  triage_project(cs101, icsfuzz::pits::cs101_pit(), iterations);
+
+  icsfuzz::proto::IccpServer iccp;
+  triage_project(iccp, icsfuzz::pits::iccp_pit(), iterations);
+  return 0;
+}

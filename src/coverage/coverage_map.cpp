@@ -1,0 +1,140 @@
+#include "coverage/coverage_map.hpp"
+
+#include <cstring>
+
+namespace icsfuzz::cov {
+namespace {
+
+// Lookup table mapping a raw count to its AFL bucket bitmask.
+constexpr std::array<std::uint8_t, 256> make_bucket_table() {
+  std::array<std::uint8_t, 256> table{};
+  table[0] = 0;
+  table[1] = 1;
+  table[2] = 2;
+  table[3] = 4;
+  for (int i = 4; i <= 7; ++i) table[static_cast<std::size_t>(i)] = 8;
+  for (int i = 8; i <= 15; ++i) table[static_cast<std::size_t>(i)] = 16;
+  for (int i = 16; i <= 31; ++i) table[static_cast<std::size_t>(i)] = 32;
+  for (int i = 32; i <= 127; ++i) table[static_cast<std::size_t>(i)] = 64;
+  for (int i = 128; i <= 255; ++i) table[static_cast<std::size_t>(i)] = 128;
+  return table;
+}
+
+const std::array<std::uint8_t, 256> kBucketTable = make_bucket_table();
+
+}  // namespace
+
+std::uint8_t classify_count(std::uint8_t raw) { return kBucketTable[raw]; }
+
+CoverageMap::CoverageMap()
+    : trace_(std::make_unique<std::uint8_t[]>(kMapSize)),
+      virgin_(std::make_unique<std::uint8_t[]>(kMapSize)) {
+  std::memset(trace_.get(), 0, kMapSize);
+  std::memset(virgin_.get(), 0, kMapSize);
+}
+
+void CoverageMap::begin_execution() {
+  std::memset(trace_.get(), 0, kMapSize);
+  begin_trace(trace_.get());
+}
+
+namespace {
+
+// The maps are sparse (a few hundred live cells out of 64 Ki), so every
+// whole-map pass skips zero 64-bit words — the same trick AFL uses.
+constexpr std::size_t kWords = kMapSize / sizeof(std::uint64_t);
+
+const std::uint64_t* as_words(const std::uint8_t* bytes) {
+  return reinterpret_cast<const std::uint64_t*>(bytes);
+}
+
+std::uint64_t* as_words(std::uint8_t* bytes) {
+  return reinterpret_cast<std::uint64_t*>(bytes);
+}
+
+}  // anonymous namespace
+
+void CoverageMap::end_execution() {
+  end_trace();
+  std::uint64_t* words = as_words(trace_.get());
+  for (std::size_t w = 0; w < kWords; ++w) {
+    if (words[w] == 0) continue;
+    std::uint8_t* cell = trace_.get() + w * 8;
+    for (std::size_t b = 0; b < 8; ++b) cell[b] = kBucketTable[cell[b]];
+  }
+}
+
+bool CoverageMap::has_new_bits() const {
+  const std::uint64_t* trace_words = as_words(trace_.get());
+  const std::uint64_t* virgin_words = as_words(virgin_.get());
+  for (std::size_t w = 0; w < kWords; ++w) {
+    if ((trace_words[w] & ~virgin_words[w]) != 0) return true;
+  }
+  return false;
+}
+
+bool CoverageMap::accumulate() {
+  const std::uint64_t* trace_words = as_words(trace_.get());
+  std::uint64_t* virgin_words = as_words(virgin_.get());
+  bool added = false;
+  for (std::size_t w = 0; w < kWords; ++w) {
+    const std::uint64_t fresh = trace_words[w] & ~virgin_words[w];
+    if (fresh != 0) {
+      virgin_words[w] |= fresh;
+      added = true;
+    }
+  }
+  return added;
+}
+
+std::size_t CoverageMap::edges_covered() const {
+  const std::uint64_t* words = as_words(virgin_.get());
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < kWords; ++w) {
+    if (words[w] == 0) continue;
+    const std::uint8_t* cell = virgin_.get() + w * 8;
+    for (std::size_t b = 0; b < 8; ++b) count += cell[b] != 0;
+  }
+  return count;
+}
+
+std::size_t CoverageMap::trace_edge_count() const {
+  const std::uint64_t* words = as_words(trace_.get());
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < kWords; ++w) {
+    if (words[w] == 0) continue;
+    const std::uint8_t* cell = trace_.get() + w * 8;
+    for (std::size_t b = 0; b < 8; ++b) count += cell[b] != 0;
+  }
+  return count;
+}
+
+std::uint64_t CoverageMap::trace_hash() const {
+  // Commutative accumulation (sum + xor of per-cell mixes) so the hash is
+  // independent of iteration order while remaining sensitive to both edge
+  // identity and hit bucket.
+  std::uint64_t sum = 0;
+  std::uint64_t mix = 0;
+  const std::uint64_t* words = as_words(trace_.get());
+  for (std::size_t w = 0; w < kWords; ++w) {
+    if (words[w] == 0) continue;
+    for (std::size_t b = 0; b < 8; ++b) {
+      const std::size_t i = w * 8 + b;
+      if (trace_[i] == 0) continue;
+      std::uint64_t v = (static_cast<std::uint64_t>(i) << 8) | trace_[i];
+      v *= 0x9E3779B97F4A7C15ULL;
+      v ^= v >> 29;
+      v *= 0xBF58476D1CE4E5B9ULL;
+      v ^= v >> 32;
+      sum += v;
+      mix ^= v;
+    }
+  }
+  return sum ^ (mix * 0x94D049BB133111EBULL);
+}
+
+void CoverageMap::reset_accumulated() {
+  std::memset(virgin_.get(), 0, kMapSize);
+}
+
+}  // namespace icsfuzz::cov

@@ -1,0 +1,61 @@
+// Edge-coverage bookkeeping: the per-execution trace map plus the
+// accumulated "virgin" map that decides whether a seed is valuable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coverage/instrument.hpp"
+
+namespace icsfuzz::cov {
+
+/// Classifies raw edge-hit counts into AFL's 8 buckets so that loop-count
+/// changes (1 vs 2 vs 3..) register as new behaviour without making every
+/// count unique.
+std::uint8_t classify_count(std::uint8_t raw);
+
+/// One execution's trace plus campaign-lifetime accumulation.
+class CoverageMap {
+ public:
+  CoverageMap();
+
+  /// Zeroes the trace buffer and arms thread-local tracing into it.
+  void begin_execution();
+
+  /// Disarms tracing and classifies the raw counts in place.
+  void end_execution();
+
+  /// True when the classified trace contains a bucketed edge never seen in
+  /// the accumulated map. Does NOT update the accumulated map.
+  [[nodiscard]] bool has_new_bits() const;
+
+  /// Merges the classified trace into the accumulated map. Returns true if
+  /// anything new was added (same condition as has_new_bits()).
+  bool accumulate();
+
+  /// Number of distinct edges (cells ever nonzero) accumulated so far.
+  [[nodiscard]] std::size_t edges_covered() const;
+
+  /// Number of distinct edges in the current trace.
+  [[nodiscard]] std::size_t trace_edge_count() const;
+
+  /// Order-insensitive 64-bit hash of the classified (edge, bucket) set of
+  /// the current trace; identical executions hash identically.
+  [[nodiscard]] std::uint64_t trace_hash() const;
+
+  /// Raw access for tests and serialization.
+  [[nodiscard]] const std::uint8_t* trace() const { return trace_.get(); }
+  [[nodiscard]] const std::uint8_t* accumulated() const { return virgin_.get(); }
+
+  /// Forgets all accumulated coverage (fresh campaign).
+  void reset_accumulated();
+
+ private:
+  // Heap-allocated to keep CoverageMap cheaply movable and stack-friendly.
+  std::unique_ptr<std::uint8_t[]> trace_;
+  std::unique_ptr<std::uint8_t[]> virgin_;  // accumulated classified bits
+};
+
+}  // namespace icsfuzz::cov

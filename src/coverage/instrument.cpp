@@ -1,0 +1,20 @@
+#include "coverage/instrument.hpp"
+
+namespace icsfuzz::cov {
+
+thread_local std::uint8_t* tls_shared_mem = nullptr;
+thread_local std::uint32_t tls_prev_location = 0;
+thread_local std::uint64_t tls_event_count = 0;
+
+void begin_trace(std::uint8_t* map) {
+  tls_shared_mem = map;
+  tls_prev_location = 0;
+  tls_event_count = 0;
+}
+
+void end_trace() {
+  tls_shared_mem = nullptr;
+  tls_prev_location = 0;
+}
+
+}  // namespace icsfuzz::cov

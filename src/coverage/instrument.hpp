@@ -1,0 +1,74 @@
+// Lightweight edge-coverage instrumentation.
+//
+// The paper's Peach*-clang wraps clang with an LLVM pass that injects, at
+// every branch point of the protocol program:
+//
+//     cur_location = <COMPILE_TIME_RANDOM>;
+//     shared_mem[cur_location ^ prev_location]++;
+//     prev_location = cur_location >> 1;
+//
+// This repository reproduces the identical runtime semantics, but the
+// injection vehicle is a macro (`ICSFUZZ_COV_BLOCK()`) placed in the basic
+// blocks of the re-implemented protocol stacks. The "compile-time random"
+// block id is an FNV-1a hash of file/line/counter, which has the same
+// statistical properties as the pass's random constant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace icsfuzz::cov {
+
+/// Size of the shared edge map; same 64 KiB default as AFL / the paper.
+inline constexpr std::size_t kMapSize = 1 << 16;
+
+/// The "shared memory" edge-hit array for the currently executing target.
+/// Owned by the active CoverageMap (coverage_map.hpp); null when no
+/// execution is being traced, in which case hits are dropped.
+extern thread_local std::uint8_t* tls_shared_mem;
+
+/// prev_location from the paper's instrumentation snippet.
+extern thread_local std::uint32_t tls_prev_location;
+
+/// Total instrumentation events in the current execution; the executor uses
+/// this as a deterministic "time" budget for hang detection.
+extern thread_local std::uint64_t tls_event_count;
+
+/// Records a transition into the basic block identified by `block_id`.
+inline void hit(std::uint32_t block_id) {
+  ++tls_event_count;
+  if (tls_shared_mem == nullptr) return;
+  const std::uint32_t cur_location = block_id & (kMapSize - 1);
+  std::uint8_t& cell = tls_shared_mem[cur_location ^ tls_prev_location];
+  // Saturating increment: a wrapped counter would make a 256-iteration loop
+  // look identical to a straight-line block.
+  if (cell != 0xFF) ++cell;
+  tls_prev_location = cur_location >> 1;
+}
+
+/// Arms tracing for this thread: hits go to `map` (kMapSize bytes).
+void begin_trace(std::uint8_t* map);
+
+/// Disarms tracing and resets prev_location / the event counter.
+void end_trace();
+
+/// Compile-time FNV-1a over file/line/counter — the macro's block id.
+constexpr std::uint32_t fnv1a(const char* text, std::uint32_t seed) {
+  std::uint32_t hash = 2166136261U ^ seed;
+  for (const char* p = text; *p != '\0'; ++p) {
+    hash ^= static_cast<std::uint8_t>(*p);
+    hash *= 16777619U;
+  }
+  return hash;
+}
+
+}  // namespace icsfuzz::cov
+
+/// Marks one basic block of target code. Each textual occurrence gets a
+/// distinct compile-time id, mirroring the paper's <COMPILE_TIME_RANDOM>.
+#define ICSFUZZ_COV_BLOCK()                                                  \
+  ::icsfuzz::cov::hit(::icsfuzz::cov::fnv1a(                                 \
+      __FILE__, static_cast<std::uint32_t>(__LINE__ * 977u + __COUNTER__)))
+
+/// Marks a block with an explicit stable id (used by tests).
+#define ICSFUZZ_COV_BLOCK_ID(id) ::icsfuzz::cov::hit((id))

@@ -1,0 +1,9 @@
+#include "coverage/path_tracker.hpp"
+
+namespace icsfuzz::cov {
+
+bool PathTracker::record(std::uint64_t trace_hash) {
+  return paths_.insert(trace_hash).second;
+}
+
+}  // namespace icsfuzz::cov

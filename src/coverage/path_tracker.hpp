@@ -1,0 +1,30 @@
+// Path-coverage accounting: the paper's primary metric ("number of paths
+// covered") counts distinct whole-execution traces, identified here by the
+// order-insensitive hash of the classified edge set.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace icsfuzz::cov {
+
+class PathTracker {
+ public:
+  /// Registers one execution's trace hash; returns true if this path is new.
+  bool record(std::uint64_t trace_hash);
+
+  /// Distinct paths observed so far.
+  [[nodiscard]] std::size_t path_count() const { return paths_.size(); }
+
+  /// True when `trace_hash` has been seen.
+  [[nodiscard]] bool contains(std::uint64_t trace_hash) const {
+    return paths_.contains(trace_hash);
+  }
+
+  void clear() { paths_.clear(); }
+
+ private:
+  std::unordered_set<std::uint64_t> paths_;
+};
+
+}  // namespace icsfuzz::cov

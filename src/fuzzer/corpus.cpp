@@ -1,0 +1,64 @@
+#include "fuzzer/corpus.hpp"
+
+namespace icsfuzz::fuzz {
+namespace {
+
+std::uint64_t bytes_hash(const Bytes& data) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (std::uint8_t byte : data) {
+    hash ^= byte;
+    hash *= 1099511628211ULL;
+  }
+  return hash ^ data.size();
+}
+
+}  // namespace
+
+bool PuzzleCorpus::add_to(std::unordered_map<std::uint64_t, Bucket>& tier,
+                          std::uint64_t key, const Bytes& puzzle, Rng& rng) {
+  Bucket& bucket = tier[key];
+  const std::uint64_t hash = bytes_hash(puzzle);
+  if (!bucket.hashes.insert(hash).second) return false;  // duplicate
+  if (bucket.entries.size() < config_.per_rule_cap) {
+    bucket.entries.push_back(puzzle);
+    return true;
+  }
+  // Random replacement keeps the bucket fresh without unbounded growth.
+  const std::size_t victim = rng.index(bucket.entries.size());
+  bucket.hashes.erase(bytes_hash(bucket.entries[victim]));
+  bucket.entries[victim] = puzzle;
+  return true;
+}
+
+bool PuzzleCorpus::add(const model::Chunk& rule, Bytes puzzle, Rng& rng) {
+  const bool exact_added = add_to(exact_, rule.rule_key(), puzzle, rng);
+  const bool shape_added = add_to(shape_, rule.shape_key(), puzzle, rng);
+  return exact_added || shape_added;
+}
+
+const std::vector<Bytes>* PuzzleCorpus::exact_candidates(
+    const model::Chunk& rule) const {
+  auto it = exact_.find(rule.rule_key());
+  if (it == exact_.end() || it->second.entries.empty()) return nullptr;
+  return &it->second.entries;
+}
+
+const std::vector<Bytes>* PuzzleCorpus::similar_candidates(
+    const model::Chunk& rule) const {
+  auto it = shape_.find(rule.shape_key());
+  if (it == shape_.end() || it->second.entries.empty()) return nullptr;
+  return &it->second.entries;
+}
+
+std::size_t PuzzleCorpus::size() const {
+  std::size_t total = 0;
+  for (const auto& [key, bucket] : exact_) total += bucket.entries.size();
+  return total;
+}
+
+void PuzzleCorpus::clear() {
+  exact_.clear();
+  shape_.clear();
+}
+
+}  // namespace icsfuzz::fuzz

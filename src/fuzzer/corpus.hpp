@@ -1,0 +1,69 @@
+// PuzzleCorpus — the store of cracked packet pieces (paper §IV-C/D).
+//
+// Each puzzle is the serialized bytes of one sub-tree of a valuable seed's
+// instantiation tree, keyed by the construction rule of the chunk it
+// instantiates. Lookup happens in two tiers:
+//   * exact rule key  (kind + shape + semantic tag) — "same rule";
+//   * shape key       (kind + shape only)           — "similar rule".
+// Per-rule entry counts are capped; once full, new entries replace random
+// incumbents so the corpus keeps drifting toward recent discoveries without
+// unbounded growth.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "model/chunk.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace icsfuzz::fuzz {
+
+struct CorpusConfig {
+  /// Maximum stored puzzles per rule key (and per shape key).
+  std::size_t per_rule_cap = 32;
+};
+
+class PuzzleCorpus {
+ public:
+  explicit PuzzleCorpus(CorpusConfig config = {}) : config_(config) {}
+
+  /// Inserts one puzzle for `rule`. Deduplicates identical bytes within a
+  /// rule. Returns true when the corpus changed.
+  bool add(const model::Chunk& rule, Bytes puzzle, Rng& rng);
+
+  /// Exact-tier candidates for `rule` (empty when none).
+  [[nodiscard]] const std::vector<Bytes>* exact_candidates(
+      const model::Chunk& rule) const;
+
+  /// Similar-tier candidates for `rule` (empty when none).
+  [[nodiscard]] const std::vector<Bytes>* similar_candidates(
+      const model::Chunk& rule) const;
+
+  [[nodiscard]] bool empty() const { return exact_.empty(); }
+
+  /// Total stored puzzles across all exact-tier rules.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Number of distinct exact rules with at least one puzzle.
+  [[nodiscard]] std::size_t rule_count() const { return exact_.size(); }
+
+  void clear();
+
+ private:
+  struct Bucket {
+    std::vector<Bytes> entries;
+    std::unordered_set<std::uint64_t> hashes;  // dedup within the bucket
+  };
+
+  bool add_to(std::unordered_map<std::uint64_t, Bucket>& tier,
+              std::uint64_t key, const Bytes& puzzle, Rng& rng);
+
+  CorpusConfig config_;
+  std::unordered_map<std::uint64_t, Bucket> exact_;
+  std::unordered_map<std::uint64_t, Bucket> shape_;
+};
+
+}  // namespace icsfuzz::fuzz

@@ -1,0 +1,43 @@
+#include "fuzzer/cracker.hpp"
+
+namespace icsfuzz::fuzz {
+
+void FileCracker::collect(const model::InsNode& node, PuzzleCorpus& corpus,
+                          Rng& rng, CrackStats& stats) const {
+  if (node.rule == nullptr) return;
+  ++stats.puzzles_seen;
+  // DFS(TreeNode): the puzzle of a leaf is its content; the puzzle of an
+  // internal node is the ordered concatenation of its children's puzzles —
+  // which is exactly this sub-tree's serialization.
+  Bytes puzzle = node.serialize();
+  if (!puzzle.empty() && corpus.add(*node.rule, std::move(puzzle), rng)) {
+    ++stats.puzzles_added;
+  }
+  for (const model::InsNode& child : node.children) {
+    collect(child, corpus, rng, stats);
+  }
+}
+
+CrackStats FileCracker::crack_one(const model::DataModel& model, ByteSpan seed,
+                                  PuzzleCorpus& corpus, Rng& rng) const {
+  CrackStats stats;
+  auto tree = model::parse_packet(model, seed, options_);
+  if (!tree) return stats;  // LEGAL(InsTree) failed
+  stats.models_parsed = 1;
+  collect(tree->root, corpus, rng, stats);
+  return stats;
+}
+
+CrackStats FileCracker::crack(const model::DataModelSet& models, ByteSpan seed,
+                              PuzzleCorpus& corpus, Rng& rng) const {
+  CrackStats total;
+  for (const model::DataModel& model : models.models()) {
+    CrackStats one = crack_one(model, seed, corpus, rng);
+    total.models_parsed += one.models_parsed;
+    total.puzzles_added += one.puzzles_added;
+    total.puzzles_seen += one.puzzles_seen;
+  }
+  return total;
+}
+
+}  // namespace icsfuzz::fuzz

@@ -1,0 +1,45 @@
+// File Cracker — Algorithm 2 of the paper.
+//
+// Given a valuable seed, try to PARSE it against every data model of the
+// format specification; for each legal parse, walk the instantiation tree
+// by DFS and register every sub-tree's serialized bytes as a puzzle in the
+// corpus (leaves contribute their content, internal nodes the in-order
+// concatenation of their children — Definition 2).
+#pragma once
+
+#include "fuzzer/corpus.hpp"
+#include "model/data_model.hpp"
+#include "model/instantiation.hpp"
+#include "util/rng.hpp"
+
+namespace icsfuzz::fuzz {
+
+struct CrackStats {
+  std::size_t models_parsed = 0;   // models whose PARSE was legal
+  std::size_t puzzles_added = 0;   // new corpus entries
+  std::size_t puzzles_seen = 0;    // total sub-trees visited
+};
+
+class FileCracker {
+ public:
+  /// `options` controls the LEGAL test (full consumption + verified
+  /// relations/fixups by default, as generated packets satisfy them).
+  explicit FileCracker(model::ParseOptions options = {}) : options_(options) {}
+
+  /// Cracks `seed` against every model in `models`, adding puzzles to
+  /// `corpus`. Returns per-crack statistics.
+  CrackStats crack(const model::DataModelSet& models, ByteSpan seed,
+                   PuzzleCorpus& corpus, Rng& rng) const;
+
+  /// Cracks against a single model (exposed for tests and the examples).
+  CrackStats crack_one(const model::DataModel& model, ByteSpan seed,
+                       PuzzleCorpus& corpus, Rng& rng) const;
+
+ private:
+  void collect(const model::InsNode& node, PuzzleCorpus& corpus, Rng& rng,
+               CrackStats& stats) const;
+
+  model::ParseOptions options_;
+};
+
+}  // namespace icsfuzz::fuzz

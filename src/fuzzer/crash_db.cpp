@@ -1,0 +1,49 @@
+#include "fuzzer/crash_db.hpp"
+
+#include <algorithm>
+
+namespace icsfuzz::fuzz {
+
+bool CrashDb::record(const san::FaultReport& fault, ByteSpan packet,
+                     std::uint64_t execution_index) {
+  const auto key = std::make_pair(static_cast<std::uint8_t>(fault.kind),
+                                  fault.site);
+  auto [it, inserted] = records_.try_emplace(key);
+  CrashRecord& record = it->second;
+  ++record.hits;
+  if (inserted) {
+    record.kind = fault.kind;
+    record.site = fault.site;
+    record.detail = fault.detail;
+    record.reproducer.assign(packet.begin(), packet.end());
+    record.first_execution = execution_index;
+  }
+  return inserted;
+}
+
+std::size_t CrashDb::unique_memory_faults() const {
+  std::size_t count = 0;
+  for (const auto& [key, record] : records_) {
+    if (record.kind != san::FaultKind::Hang) ++count;
+  }
+  return count;
+}
+
+std::vector<const CrashRecord*> CrashDb::records() const {
+  std::vector<const CrashRecord*> out;
+  out.reserve(records_.size());
+  for (const auto& [key, record] : records_) out.push_back(&record);
+  std::sort(out.begin(), out.end(),
+            [](const CrashRecord* a, const CrashRecord* b) {
+              return a->first_execution < b->first_execution;
+            });
+  return out;
+}
+
+std::map<san::FaultKind, std::size_t> CrashDb::by_kind() const {
+  std::map<san::FaultKind, std::size_t> out;
+  for (const auto& [key, record] : records_) ++out[record.kind];
+  return out;
+}
+
+}  // namespace icsfuzz::fuzz

@@ -1,0 +1,52 @@
+// CrashDb — the C7 set of the paper's Algorithm 1 plus unique-bug
+// accounting: faults are deduplicated by (kind, site), mirroring how the
+// paper counts "unique bugs" from ASan crash sites (Table I).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sanitizer/fault.hpp"
+#include "util/bytes.hpp"
+
+namespace icsfuzz::fuzz {
+
+/// One deduplicated vulnerability.
+struct CrashRecord {
+  san::FaultKind kind = san::FaultKind::Segv;
+  std::uint32_t site = 0;
+  std::string detail;        // first-seen diagnostic
+  Bytes reproducer;          // first packet that triggered it
+  std::uint64_t hits = 0;    // total triggering executions
+  std::uint64_t first_execution = 0;  // execution index of discovery
+};
+
+class CrashDb {
+ public:
+  /// Records a fault raised by `packet` at execution `execution_index`.
+  /// Returns true when this (kind, site) pair is new — a previously
+  /// unknown vulnerability in the paper's terms.
+  bool record(const san::FaultReport& fault, ByteSpan packet,
+              std::uint64_t execution_index);
+
+  [[nodiscard]] std::size_t unique_count() const { return records_.size(); }
+
+  /// Unique crashes excluding hangs (Table I counts memory-safety bugs).
+  [[nodiscard]] std::size_t unique_memory_faults() const;
+
+  /// All records in discovery order.
+  [[nodiscard]] std::vector<const CrashRecord*> records() const;
+
+  /// Per-kind tally (for the Table I "Number" column).
+  [[nodiscard]] std::map<san::FaultKind, std::size_t> by_kind() const;
+
+  void clear() { records_.clear(); }
+
+ private:
+  // Keyed by (kind, site); std::map keeps report ordering stable.
+  std::map<std::pair<std::uint8_t, std::uint32_t>, CrashRecord> records_;
+};
+
+}  // namespace icsfuzz::fuzz

@@ -1,0 +1,39 @@
+#include "fuzzer/executor.hpp"
+
+namespace icsfuzz::fuzz {
+
+ExecResult Executor::run(ProtocolTarget& target, ByteSpan packet) {
+  ExecResult result;
+  ++executions_;
+
+  target.reset();
+  san::FaultSink::arm();
+  map_.begin_execution();
+
+  result.response = target.process(packet);
+
+  map_.end_execution();
+  result.events = cov::tls_event_count;
+  result.faults = san::FaultSink::disarm();
+
+  if (result.faults.empty() && result.events > config_.hang_event_budget) {
+    result.faults.push_back(san::FaultReport{
+        san::FaultKind::Hang, san::site_id("executor-hang-budget"),
+        "execution exceeded " + std::to_string(config_.hang_event_budget) +
+            " instrumentation events"});
+  }
+
+  result.trace_hash = map_.trace_hash();
+  result.trace_edges = map_.trace_edge_count();
+  result.new_coverage = map_.accumulate();
+  result.new_path = paths_.record(result.trace_hash);
+  return result;
+}
+
+void Executor::reset_campaign() {
+  map_.reset_accumulated();
+  paths_.clear();
+  executions_ = 0;
+}
+
+}  // namespace icsfuzz::fuzz

@@ -1,0 +1,68 @@
+// Executor — runs one generated packet against the instrumented target and
+// reports the observables the paper's feedback loop consumes: edge
+// coverage novelty ("valuable seed" detection, §IV-B), the execution path
+// hash (the path-coverage metric of §V), and soft-sanitizer faults
+// (crash/hang detection).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coverage/coverage_map.hpp"
+#include "coverage/path_tracker.hpp"
+#include "protocols/protocol_target.hpp"
+#include "sanitizer/fault.hpp"
+
+namespace icsfuzz::fuzz {
+
+struct ExecResult {
+  /// The trace contained a bucketed edge never seen before in this
+  /// campaign — the seed is "valuable" in the paper's sense.
+  bool new_coverage = false;
+  /// The whole-trace hash was never seen before — a new path.
+  bool new_path = false;
+  std::uint64_t trace_hash = 0;
+  std::size_t trace_edges = 0;
+  /// Instrumentation events consumed (deterministic time proxy).
+  std::uint64_t events = 0;
+  /// Faults raised during the execution (at most one real fault, possibly
+  /// followed by a synthetic Hang entry).
+  std::vector<san::FaultReport> faults;
+  /// Response bytes the target produced (diagnostics; empty on fault).
+  Bytes response;
+
+  [[nodiscard]] bool crashed() const { return !faults.empty(); }
+};
+
+struct ExecutorConfig {
+  /// Executions whose instrumentation-event count exceeds this budget are
+  /// flagged as hangs (the deterministic analogue of Peach's timeout).
+  std::uint64_t hang_event_budget = 200000;
+};
+
+class Executor {
+ public:
+  explicit Executor(ExecutorConfig config = {}) : config_(config) {}
+
+  /// Resets the target, arms coverage + sanitizer, runs one packet and
+  /// classifies the outcome. Updates the campaign's accumulated coverage
+  /// and path set.
+  ExecResult run(ProtocolTarget& target, ByteSpan packet);
+
+  [[nodiscard]] const cov::CoverageMap& coverage() const { return map_; }
+  [[nodiscard]] const cov::PathTracker& paths() const { return paths_; }
+  [[nodiscard]] std::size_t path_count() const { return paths_.path_count(); }
+  [[nodiscard]] std::size_t edge_count() const { return map_.edges_covered(); }
+  [[nodiscard]] std::uint64_t executions() const { return executions_; }
+
+  /// Forgets all campaign-lifetime state (fresh run).
+  void reset_campaign();
+
+ private:
+  ExecutorConfig config_;
+  cov::CoverageMap map_;
+  cov::PathTracker paths_;
+  std::uint64_t executions_ = 0;
+};
+
+}  // namespace icsfuzz::fuzz

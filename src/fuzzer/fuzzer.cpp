@@ -1,0 +1,158 @@
+#include "fuzzer/fuzzer.hpp"
+
+namespace icsfuzz::fuzz {
+
+std::string to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::Peach: return "Peach";
+    case Strategy::PeachStar: return "Peach*";
+    case Strategy::ByteMutation: return "ByteMutation";
+  }
+  return "?";
+}
+
+Fuzzer::Fuzzer(ProtocolTarget& target, const model::DataModelSet& models,
+               FuzzerConfig config)
+    : target_(target),
+      models_(models),
+      config_(config),
+      rng_(config.rng_seed),
+      executor_(config.executor),
+      instantiator_(config.mutators),
+      semantic_(config.semantic, config.mutators),
+      corpus_(config.corpus),
+      stats_(config.stats_interval) {}
+
+const model::DataModel& Fuzzer::choose_model() {
+  return models_.models()[rng_.index(models_.size())];
+}
+
+bool Fuzzer::seen_before(const Bytes& packet) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (std::uint8_t byte : packet) {
+    hash ^= byte;
+    hash *= 1099511628211ULL;
+  }
+  // Bound the memory of very long campaigns; losing dedup beyond this
+  // point only costs a few repeated executions.
+  if (executed_.size() > (1U << 21)) executed_.clear();
+  return !executed_.insert(hash).second;
+}
+
+Bytes Fuzzer::next_packet(const model::DataModel*& used_model) {
+  used_model = nullptr;
+  // A few regeneration attempts skip packets already executed — the
+  // "meaningless repetitions" the paper's design sets out to rule out.
+  constexpr int kDedupAttempts = 4;
+  if (config_.strategy == Strategy::PeachStar) {
+    // Drain the combinatorial batch scheduled by the last crack first.
+    while (!pending_batch_.empty()) {
+      Bytes packet = std::move(pending_batch_.front());
+      pending_batch_.pop_front();
+      if (!seen_before(packet)) return packet;
+    }
+    for (int attempt = 0;; ++attempt) {
+      const model::DataModel& model = choose_model();
+      used_model = &model;
+      const bool semantic =
+          !corpus_.empty() && rng_.chance(config_.steady_semantic_pct, 100);
+      Bytes packet = semantic ? semantic_.generate(model, corpus_, rng_)
+                              : instantiator_.generate(model, rng_);
+      if (attempt >= kDedupAttempts || !seen_before(packet)) return packet;
+    }
+  }
+  if (config_.strategy == Strategy::ByteMutation) {
+    // AFL-style: pick a pool seed and stack 1..8 byte-level mutations.
+    if (mutation_pool_.empty()) {
+      for (const model::DataModel& model : models_.models()) {
+        mutation_pool_.push_back(model::default_instance(model).serialize());
+      }
+    }
+    for (int attempt = 0;; ++attempt) {
+      Bytes packet = rng_.pick(mutation_pool_);
+      const std::uint64_t stack = rng_.between(1, 8);
+      for (std::uint64_t i = 0; i < stack; ++i) {
+        packet = instantiator_.mutators().mutate_bytes(packet, rng_);
+      }
+      if (attempt >= kDedupAttempts || !seen_before(packet)) return packet;
+    }
+  }
+  // Baseline Peach: inherent generation only.
+  for (int attempt = 0;; ++attempt) {
+    const model::DataModel& model = choose_model();
+    used_model = &model;
+    Bytes packet = instantiator_.generate(model, rng_);
+    if (attempt >= kDedupAttempts || !seen_before(packet)) return packet;
+  }
+}
+
+ExecResult Fuzzer::step() {
+  const model::DataModel* used_model = nullptr;
+  const Bytes packet = next_packet(used_model);
+  ExecResult result = executor_.run(target_, packet);
+
+  for (const san::FaultReport& fault : result.faults) {
+    crash_db_.record(fault, packet, executor_.executions());
+  }
+
+  if (config_.strategy == Strategy::ByteMutation && result.new_coverage) {
+    // AFL-style queue growth: interesting inputs become future seeds.
+    constexpr std::size_t kPoolCap = 2048;
+    if (mutation_pool_.size() >= kPoolCap) {
+      mutation_pool_[rng_.index(mutation_pool_.size())] = packet;
+    } else {
+      mutation_pool_.push_back(packet);
+    }
+  }
+
+  const bool crack_now =
+      config_.strategy == Strategy::PeachStar &&
+      (result.new_coverage || config_.crack_all_seeds);
+  if (crack_now) {
+    // Valuable seed: retain it, crack it into puzzles, and schedule the
+    // combinatorial batch against the *other* data models so the donated
+    // pieces transfer across packet types.
+    if (result.new_coverage) {
+      if (retained_.size() >= config_.max_retained_seeds) {
+        retained_.erase(retained_.begin());
+      }
+      retained_.push_back(RetainedSeed{
+          packet, used_model != nullptr ? used_model->name() : std::string{},
+          executor_.executions()});
+    }
+
+    const CrackStats crack_stats =
+        cracker_.crack(models_, packet, corpus_, rng_);
+
+    // Schedule the combinatorial batch only when the crack contributed new
+    // puzzles: a crack that changed nothing would replay known material.
+    if (result.new_coverage && crack_stats.puzzles_added > 0) {
+      const model::DataModel& donor_target = choose_model();
+      std::vector<Bytes> batch =
+          semantic_.generate_batch(donor_target, corpus_, rng_);
+      for (Bytes& seed : batch) pending_batch_.push_back(std::move(seed));
+    }
+  }
+
+  stats_.tick(executor_.executions(), executor_.path_count(),
+              executor_.edge_count(), crash_db_.unique_count(),
+              corpus_.size());
+  return result;
+}
+
+void Fuzzer::run(std::uint64_t iterations,
+                 const std::function<void(const ExecResult&)>& on_exec) {
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    ExecResult result = step();
+    if (on_exec) on_exec(result);
+  }
+  finish();
+}
+
+void Fuzzer::finish() {
+  stats_.finalize(executor_.executions(), executor_.path_count(),
+                  executor_.edge_count(), crash_db_.unique_count(),
+                  corpus_.size());
+}
+
+}  // namespace icsfuzz::fuzz

@@ -1,0 +1,132 @@
+// Fuzzer — the engines under evaluation.
+//
+//   * Strategy::Peach        — the baseline generation-based loop of the
+//     paper's Algorithm 1: choose a data model, instantiate it through the
+//     per-type mutators, run the target, record crashes. No feedback use.
+//   * Strategy::PeachStar    — the paper's contribution (Figure 3): the
+//     same loop augmented with (1) coverage-based valuable-seed
+//     identification, (2) the File Cracker feeding the puzzle corpus, and
+//     (3) semantic-aware generation with File Fixup, including the
+//     post-crack combinatorial batch of Algorithm 3.
+//   * Strategy::ByteMutation — an AFL-style coverage-guided byte mutator
+//     (the paper's related-work foil and its future-work direction of
+//     porting the approach to mutation-based fuzzers): seeds are the
+//     models' default instances, new-coverage packets join the pool, and
+//     generation is stacked byte-level mutation with no format knowledge.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+#include "fuzzer/corpus.hpp"
+#include "fuzzer/cracker.hpp"
+#include "fuzzer/crash_db.hpp"
+#include "fuzzer/executor.hpp"
+#include "fuzzer/instantiator.hpp"
+#include "fuzzer/semantic_gen.hpp"
+#include "fuzzer/stats.hpp"
+#include "model/data_model.hpp"
+
+namespace icsfuzz::fuzz {
+
+enum class Strategy : std::uint8_t { Peach, PeachStar, ByteMutation };
+
+std::string to_string(Strategy strategy);
+
+struct FuzzerConfig {
+  Strategy strategy = Strategy::PeachStar;
+  std::uint64_t rng_seed = 1;
+  /// Checkpoint interval for the stats series.
+  std::uint64_t stats_interval = 500;
+  mutation::MutatorConfig mutators;
+  SemanticGenConfig semantic;
+  CorpusConfig corpus;
+  ExecutorConfig executor;
+  /// Retained valuable seeds cap (oldest evicted first).
+  std::size_t max_retained_seeds = 512;
+  /// Ablation knob: crack every generated seed instead of only valuable
+  /// ones (pollutes the corpus and pays the crack cost per execution; the
+  /// default is the paper's coverage-gated design).
+  bool crack_all_seeds = false;
+  /// Percentage of steady-state generations that use the semantic-aware
+  /// strategy once the corpus is non-empty. The paper employs the semantic
+  /// strategy "in the following iteration" after a valuable seed (the
+  /// batch) and keeps the inherent strategy otherwise; a small steady-state
+  /// share re-applies learned chunks between discoveries without throttling
+  /// value exploration.
+  unsigned steady_semantic_pct = 25;
+};
+
+/// One retained valuable seed.
+struct RetainedSeed {
+  Bytes bytes;
+  std::string model_name;
+  std::uint64_t execution = 0;
+};
+
+class Fuzzer {
+ public:
+  /// `target` and `models` must outlive the fuzzer.
+  Fuzzer(ProtocolTarget& target, const model::DataModelSet& models,
+         FuzzerConfig config = {});
+
+  /// Runs `iterations` executions. `on_exec` (optional) observes every
+  /// execution (used by tests and live reporting).
+  void run(std::uint64_t iterations,
+           const std::function<void(const ExecResult&)>& on_exec = {});
+
+  /// Runs a single fuzzing iteration; returns the execution's result.
+  ExecResult step();
+
+  // -- Observers. --
+  [[nodiscard]] const Executor& executor() const { return executor_; }
+  [[nodiscard]] const CrashDb& crashes() const { return crash_db_; }
+  [[nodiscard]] const PuzzleCorpus& corpus() const { return corpus_; }
+  [[nodiscard]] const StatsSeries& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<RetainedSeed>& retained_seeds() const {
+    return retained_;
+  }
+  [[nodiscard]] std::size_t path_count() const {
+    return executor_.path_count();
+  }
+  [[nodiscard]] const FuzzerConfig& config() const { return config_; }
+
+  /// Finalizes the stats series (records a last checkpoint).
+  void finish();
+
+ private:
+  /// CHOOSE(SM): uniformly random model selection.
+  const model::DataModel& choose_model();
+
+  /// Produces the next packet according to the active strategy.
+  Bytes next_packet(const model::DataModel*& used_model);
+
+  /// Returns true when `packet` was executed before in this campaign
+  /// (and records it otherwise).
+  bool seen_before(const Bytes& packet);
+
+  ProtocolTarget& target_;
+  const model::DataModelSet& models_;
+  FuzzerConfig config_;
+  Rng rng_;
+  /// Hashes of executed packets — rules out the "meaningless repetitions
+  /// of path exploration" the paper's corpus design targets (§I).
+  std::unordered_set<std::uint64_t> executed_;
+
+  Executor executor_;
+  ModelInstantiator instantiator_;
+  SemanticGenerator semantic_;
+  FileCracker cracker_;
+  PuzzleCorpus corpus_;
+  CrashDb crash_db_;
+  StatsSeries stats_;
+
+  std::vector<RetainedSeed> retained_;
+  /// Seeds scheduled by the post-crack combinatorial batch.
+  std::deque<Bytes> pending_batch_;
+  /// ByteMutation strategy's seed pool (AFL-style queue).
+  std::vector<Bytes> mutation_pool_;
+};
+
+}  // namespace icsfuzz::fuzz

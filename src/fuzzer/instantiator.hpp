@@ -1,0 +1,53 @@
+// ModelInstantiator — Peach's inherent generation strategy (Algorithm 1 of
+// the paper): walk the data model tree, generate every leaf through the
+// per-type Mutators, pick Choice alternatives at random, then re-establish
+// relations and fixups. Used verbatim by the baseline engine and as the
+// no-donor fallback of the semantic-aware strategy.
+#pragma once
+
+#include "model/data_model.hpp"
+#include "model/instantiation.hpp"
+#include "mutation/mutator.hpp"
+#include "util/rng.hpp"
+
+namespace icsfuzz::fuzz {
+
+class ModelInstantiator {
+ public:
+  explicit ModelInstantiator(mutation::MutatorConfig config = {})
+      : config_(config), mutators_(config) {}
+
+  /// Generates one instantiation tree from `model` (constraints applied).
+  /// Per MutatorConfig::sequential_mode_pct, either Peach's sequential
+  /// profile (defaults + 1-2 aggressively mutated fields) or independent
+  /// regeneration of every field.
+  model::InsTree instantiate(const model::DataModel& model, Rng& rng) const;
+
+  /// Convenience: instantiate and serialize.
+  Bytes generate(const model::DataModel& model, Rng& rng) const;
+
+  [[nodiscard]] const mutation::MutatorSuite& mutators() const {
+    return mutators_;
+  }
+
+  /// Collects the *free* leaves of an instantiation tree (non-token, no
+  /// relation/fixup): the fields sequential mutation may perturb. Exposed
+  /// for the semantic generator and tests.
+  static std::vector<model::InsNode*> free_leaves(model::InsNode& root);
+
+  /// Builds the all-defaults tree (random Choice alternatives, constraints
+  /// NOT yet applied) — the base of both sequential profiles.
+  model::InsNode instantiate_defaults(const model::DataModel& model,
+                                      Rng& rng) const {
+    return build_defaults(model.root(), rng);
+  }
+
+ private:
+  model::InsNode build(const model::Chunk& chunk, Rng& rng) const;
+  model::InsNode build_defaults(const model::Chunk& chunk, Rng& rng) const;
+
+  mutation::MutatorConfig config_;
+  mutation::MutatorSuite mutators_;
+};
+
+}  // namespace icsfuzz::fuzz

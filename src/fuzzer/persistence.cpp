@@ -1,0 +1,152 @@
+#include "fuzzer/persistence.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "util/hexdump.hpp"
+
+namespace icsfuzz::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool write_file(const fs::path& path, ByteSpan data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(out);
+}
+
+bool write_text(const fs::path& path, const std::string& text) {
+  return write_file(path,
+                    ByteSpan(reinterpret_cast<const std::uint8_t*>(text.data()),
+                             text.size()));
+}
+
+std::optional<Bytes> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  return data;
+}
+
+std::string kind_slug(san::FaultKind kind) {
+  switch (kind) {
+    case san::FaultKind::Segv: return "segv";
+    case san::FaultKind::HeapBufferOverflow: return "heap-overflow";
+    case san::FaultKind::HeapUseAfterFree: return "heap-uaf";
+    case san::FaultKind::Hang: return "hang";
+  }
+  return "unknown";
+}
+
+std::string site_hex(std::uint32_t site) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof buffer, "%08x", site);
+  return buffer;
+}
+
+}  // namespace
+
+std::string render_summary(const Fuzzer& fuzzer) {
+  std::string out;
+  out += "strategy        : " + to_string(fuzzer.config().strategy) + "\n";
+  out += "executions      : " + std::to_string(fuzzer.executor().executions()) + "\n";
+  out += "paths covered   : " + std::to_string(fuzzer.path_count()) + "\n";
+  out += "edges covered   : " + std::to_string(fuzzer.executor().edge_count()) + "\n";
+  out += "valuable seeds  : " + std::to_string(fuzzer.retained_seeds().size()) + "\n";
+  out += "puzzle corpus   : " + std::to_string(fuzzer.corpus().size()) +
+         " puzzles / " + std::to_string(fuzzer.corpus().rule_count()) +
+         " rules\n";
+  out += "unique crashes  : " + std::to_string(fuzzer.crashes().unique_count()) + "\n";
+  for (const CrashRecord* crash : fuzzer.crashes().records()) {
+    out += "  [" + san::to_string(crash->kind) + "] site " +
+           site_hex(crash->site) + " first at execution " +
+           std::to_string(crash->first_execution) + " (" +
+           std::to_string(crash->hits) + " hits)\n    " + crash->detail + "\n";
+  }
+  return out;
+}
+
+std::optional<std::string> save_session(const Fuzzer& fuzzer,
+                                        const std::string& directory) {
+  std::error_code error;
+  const fs::path root(directory);
+  fs::create_directories(root / "crashes", error);
+  fs::create_directories(root / "seeds", error);
+  if (error) return "cannot create session directory: " + error.message();
+
+  for (const CrashRecord* crash : fuzzer.crashes().records()) {
+    const std::string stem = kind_slug(crash->kind) + "-" + site_hex(crash->site);
+    if (!write_file(root / "crashes" / (stem + ".bin"), crash->reproducer)) {
+      return "cannot write crash reproducer " + stem;
+    }
+    std::string meta;
+    meta += "kind  : " + san::to_string(crash->kind) + "\n";
+    meta += "site  : " + site_hex(crash->site) + "\n";
+    meta += "detail: " + crash->detail + "\n";
+    meta += "first : execution " + std::to_string(crash->first_execution) + "\n";
+    meta += "hits  : " + std::to_string(crash->hits) + "\n";
+    meta += "bytes : " + std::to_string(crash->reproducer.size()) + "\n\n";
+    meta += hexdump(crash->reproducer);
+    if (!write_text(root / "crashes" / (stem + ".txt"), meta)) {
+      return "cannot write crash metadata " + stem;
+    }
+  }
+
+  std::size_t index = 0;
+  for (const RetainedSeed& seed : fuzzer.retained_seeds()) {
+    char name[32];
+    std::snprintf(name, sizeof name, "seed-%05zu.bin", index++);
+    if (!write_file(root / "seeds" / name, seed.bytes)) {
+      return std::string("cannot write ") + name;
+    }
+  }
+
+  if (!write_text(root / "stats.csv", fuzzer.stats().to_csv())) {
+    return "cannot write stats.csv";
+  }
+  if (!write_text(root / "summary.txt", render_summary(fuzzer))) {
+    return "cannot write summary.txt";
+  }
+  return std::nullopt;
+}
+
+std::vector<LoadedCrash> load_crashes(const std::string& directory) {
+  std::vector<LoadedCrash> out;
+  std::error_code error;
+  const fs::path dir = fs::path(directory) / "crashes";
+  if (!fs::is_directory(dir, error)) return out;
+  for (const auto& entry : fs::directory_iterator(dir, error)) {
+    if (entry.path().extension() != ".bin") continue;
+    if (auto data = read_file(entry.path())) {
+      out.push_back({entry.path().stem().string(), std::move(*data)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LoadedCrash& a, const LoadedCrash& b) {
+              return a.file_stem < b.file_stem;
+            });
+  return out;
+}
+
+std::vector<Bytes> load_seeds(const std::string& directory) {
+  std::vector<Bytes> out;
+  std::error_code error;
+  const fs::path dir = fs::path(directory) / "seeds";
+  if (!fs::is_directory(dir, error)) return out;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(dir, error)) {
+    if (entry.path().extension() == ".bin") paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& path : paths) {
+    if (auto data = read_file(path)) out.push_back(std::move(*data));
+  }
+  return out;
+}
+
+}  // namespace icsfuzz::fuzz

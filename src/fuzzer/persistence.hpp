@@ -1,0 +1,44 @@
+// Persistence — writes a fuzzing session's artefacts to a directory the
+// way released fuzzers do: one reproducer file per unique crash, one file
+// per retained valuable seed, and machine-readable CSV summaries. A saved
+// session can be reloaded to replay crashes (triage) or to warm-start a
+// future campaign's corpus via the cracker.
+//
+// Layout under the session root:
+//   crashes/<kind>-<site>.bin     raw reproducer packet
+//   crashes/<kind>-<site>.txt     fault detail + metadata
+//   seeds/seed-<index>.bin        retained valuable seeds
+//   stats.csv                     the campaign's checkpoint series
+//   summary.txt                   human-readable wrap-up
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzzer/fuzzer.hpp"
+
+namespace icsfuzz::fuzz {
+
+/// Writes all artefacts of `fuzzer` under `directory` (created if absent).
+/// Returns an error message on I/O failure, nullopt on success.
+std::optional<std::string> save_session(const Fuzzer& fuzzer,
+                                        const std::string& directory);
+
+/// A reloaded crash artefact.
+struct LoadedCrash {
+  std::string file_stem;  // "<kind>-<site>"
+  Bytes reproducer;
+};
+
+/// Loads every crash reproducer saved under `directory`.
+std::vector<LoadedCrash> load_crashes(const std::string& directory);
+
+/// Loads every retained seed saved under `directory`.
+std::vector<Bytes> load_seeds(const std::string& directory);
+
+/// Renders a human-readable campaign summary (used by summary.txt and the
+/// examples).
+std::string render_summary(const Fuzzer& fuzzer);
+
+}  // namespace icsfuzz::fuzz

@@ -1,0 +1,265 @@
+#include "fuzzer/semantic_gen.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+namespace icsfuzz::fuzz {
+namespace {
+
+/// Donation happens at *leaf* granularity: the paper's linear model ML
+/// (Figure 2a) is the flat sequence of chunk construction rules, and a
+/// donated leaf splices into freshly generated siblings. Composite puzzles
+/// stay in the corpus (Definition 2) but are not replayed wholesale —
+/// replaying whole packets would collapse exploration into repetition.
+bool donor_eligible(const model::Chunk& chunk) {
+  if (!chunk.is_leaf()) return false;
+  if (chunk.kind() == model::ChunkKind::Number) {
+    const bool derived = chunk.number_spec().is_token ||
+                         chunk.relation().active() || chunk.fixup().active();
+    return !derived;
+  }
+  return true;  // free String / Blob
+}
+
+model::InsNode leaf_node(const model::Chunk& chunk, Bytes content) {
+  model::InsNode node;
+  node.rule = &chunk;
+  node.content = std::move(content);
+  return node;
+}
+
+/// Pinned leaf assignments used by the batch construction.
+using Assignment = std::unordered_map<const model::Chunk*, const Bytes*>;
+
+}  // namespace
+
+unsigned SemanticGenerator::roll_donor_intensity(Rng& rng) const {
+  switch (rng.below(3)) {
+    case 0: return config_.donor_use_pct;       // heavy: pass learned gates
+    case 1: return config_.donor_use_pct / 2;   // medium blend
+    default: return config_.explore_pct;        // light: explore values
+  }
+}
+
+model::InsNode SemanticGenerator::build_with_donors(const model::Chunk& chunk,
+                                                    const PuzzleCorpus& corpus,
+                                                    Rng& rng,
+                                                    unsigned donor_pct) const {
+  if (donor_eligible(chunk) && rng.chance(donor_pct, 100)) {
+    const std::vector<Bytes>* pool = corpus.exact_candidates(chunk);
+    if (pool == nullptr && rng.chance(config_.similar_tier_pct, 100)) {
+      pool = corpus.similar_candidates(chunk);
+    }
+    if (pool != nullptr) {
+      Bytes donation = rng.pick(*pool);
+      // "Mutation on existing chunks": occasionally perturb the donated
+      // bytes so learned values seed neighbourhood exploration.
+      if (rng.chance(config_.mutate_donor_pct, 100)) {
+        const std::size_t original_size = donation.size();
+        donation = instantiator_.mutators().mutate_bytes(donation, rng);
+        const bool fixed_width =
+            chunk.fixed_width().has_value();
+        if (fixed_width) donation.resize(original_size, 0);
+      }
+      return leaf_node(chunk, std::move(donation));
+    }
+  }
+
+  model::InsNode node;
+  node.rule = &chunk;
+  switch (chunk.kind()) {
+    case model::ChunkKind::Number:
+    case model::ChunkKind::String:
+    case model::ChunkKind::Blob:
+      node.content = instantiator_.mutators().generate_leaf(chunk, rng);
+      break;
+    case model::ChunkKind::Block:
+      for (const model::Chunk& child : chunk.children()) {
+        node.children.push_back(build_with_donors(child, corpus, rng, donor_pct));
+      }
+      break;
+    case model::ChunkKind::Choice: {
+      const std::size_t pick = rng.index(chunk.children().size());
+      node.choice_index = pick;
+      node.children.push_back(
+          build_with_donors(chunk.children()[pick], corpus, rng, donor_pct));
+      break;
+    }
+  }
+  return node;
+}
+
+Bytes SemanticGenerator::generate(const model::DataModel& model,
+                                  const PuzzleCorpus& corpus, Rng& rng) const {
+  model::InsTree tree;
+  tree.model = &model;
+  if (rng.chance(60, 100)) {
+    // Donor-recombination profile: the structural counterpart of Peach's
+    // sequential mutation. Every free field takes either a donated puzzle
+    // or its default, then 0-2 fields go aberrant. This is what reaches
+    // multi-field non-default combinations — each learned separately from
+    // different valuable seeds — that single-field mutation cannot.
+    tree.root = instantiator_.instantiate_defaults(model, rng);
+    std::vector<model::InsNode*> leaves =
+        ModelInstantiator::free_leaves(tree.root);
+    const unsigned donor_pct = roll_donor_intensity(rng);
+    for (model::InsNode* leaf : leaves) {
+      if (!rng.chance(donor_pct, 100)) continue;
+      const std::vector<Bytes>* pool = corpus.exact_candidates(*leaf->rule);
+      if (pool == nullptr && rng.chance(config_.similar_tier_pct, 100)) {
+        pool = corpus.similar_candidates(*leaf->rule);
+      }
+      if (pool != nullptr) leaf->content = rng.pick(*pool);
+    }
+    if (!leaves.empty() && rng.chance(2, 3)) {
+      const std::size_t perturbations =
+          rng.chance(1, 3) && leaves.size() > 1 ? 2 : 1;
+      for (std::size_t i = 0; i < perturbations; ++i) {
+        model::InsNode* leaf = rng.pick(leaves);
+        if (rng.chance(config_.mutate_donor_pct, 100) &&
+            !leaf->content.empty()) {
+          const std::size_t original_size = leaf->content.size();
+          leaf->content =
+              instantiator_.mutators().mutate_bytes(leaf->content, rng);
+          if (leaf->rule->fixed_width().has_value()) {
+            leaf->content.resize(original_size, 0);
+          }
+        } else {
+          leaf->content = instantiator_.mutators().generate_leaf(*leaf->rule, rng);
+        }
+      }
+    }
+  } else {
+    tree.root =
+        build_with_donors(model.root(), corpus, rng, roll_donor_intensity(rng));
+  }
+  if (config_.apply_file_fixup) {
+    model::apply_constraints(tree);  // File Fixup
+  }
+  return tree.serialize();
+}
+
+namespace {
+
+/// Tree builder honouring pinned leaf assignments; unpinned content comes
+/// from the donor-aware recursive generator.
+model::InsNode build_pinned(const SemanticGenerator& gen,
+                            const model::Chunk& chunk,
+                            const PuzzleCorpus& corpus, Rng& rng,
+                            const Assignment& pinned);
+
+model::InsNode build_pinned_children(const SemanticGenerator& gen,
+                                     const model::Chunk& chunk,
+                                     const PuzzleCorpus& corpus, Rng& rng,
+                                     const Assignment& pinned) {
+  model::InsNode node;
+  node.rule = &chunk;
+  if (chunk.kind() == model::ChunkKind::Choice) {
+    // Prefer an alternative that contains a pinned leaf; random otherwise.
+    std::size_t pick = rng.index(chunk.children().size());
+    for (std::size_t i = 0; i < chunk.children().size(); ++i) {
+      for (const auto& [leaf, bytes] : pinned) {
+        if (chunk.children()[i].find(leaf->name()) != nullptr) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    node.choice_index = pick;
+    node.children.push_back(
+        build_pinned(gen, chunk.children()[pick], corpus, rng, pinned));
+    return node;
+  }
+  for (const model::Chunk& child : chunk.children()) {
+    node.children.push_back(build_pinned(gen, child, corpus, rng, pinned));
+  }
+  return node;
+}
+
+model::InsNode build_pinned(const SemanticGenerator& gen,
+                            const model::Chunk& chunk,
+                            const PuzzleCorpus& corpus, Rng& rng,
+                            const Assignment& pinned) {
+  if (auto it = pinned.find(&chunk); it != pinned.end()) {
+    return leaf_node(chunk, *it->second);
+  }
+  if (chunk.is_leaf()) {
+    return gen.build_leaf_or_donor(chunk, corpus, rng);
+  }
+  return build_pinned_children(gen, chunk, corpus, rng, pinned);
+}
+
+}  // namespace
+
+model::InsNode SemanticGenerator::build_leaf_or_donor(
+    const model::Chunk& chunk, const PuzzleCorpus& corpus, Rng& rng) const {
+  return build_with_donors(chunk, corpus, rng, config_.donor_use_pct / 2);
+}
+
+std::vector<Bytes> SemanticGenerator::generate_batch(
+    const model::DataModel& model, const PuzzleCorpus& corpus,
+    Rng& rng) const {
+  std::vector<Bytes> out;
+
+  // The linear model: every donor-eligible leaf that actually has exact-tier
+  // candidates becomes an enumeration position (GETDONOR non-empty); all
+  // other chunks fall back to the inherent rule (Algorithm 3 lines 14-15).
+  struct Position {
+    const model::Chunk* leaf = nullptr;
+    const std::vector<Bytes>* candidates = nullptr;
+  };
+  std::vector<Position> positions;
+  for (const model::Chunk* leaf : model.leaves()) {
+    if (!donor_eligible(*leaf)) continue;
+    if (const std::vector<Bytes>* candidates = corpus.exact_candidates(*leaf)) {
+      positions.push_back({leaf, candidates});
+    }
+  }
+  if (positions.empty()) return out;
+
+  // Bound the product: shuffle, keep a handful of positions, and sample at
+  // most candidates_per_position donors per position.
+  rng.shuffle(positions);
+  constexpr std::size_t kMaxPositions = 3;
+  if (positions.size() > kMaxPositions) positions.resize(kMaxPositions);
+
+  std::vector<std::vector<const Bytes*>> choices(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    std::vector<std::size_t> order(positions[i].candidates->size());
+    for (std::size_t j = 0; j < order.size(); ++j) order[j] = j;
+    rng.shuffle(order);
+    const std::size_t take =
+        std::min(order.size(), config_.candidates_per_position);
+    for (std::size_t j = 0; j < take; ++j) {
+      choices[i].push_back(&(*positions[i].candidates)[order[j]]);
+    }
+  }
+
+  // Recursive construct: depth-first product over the selected positions.
+  Assignment pinned;
+  std::vector<std::size_t> cursor(positions.size(), 0);
+  const std::function<void(std::size_t)> construct = [&](std::size_t pos) {
+    if (out.size() >= config_.max_batch) return;
+    if (pos == positions.size()) {
+      model::InsTree tree;
+      tree.model = &model;
+      tree.root = build_pinned(*this, model.root(), corpus, rng, pinned);
+      if (config_.apply_file_fixup) {
+        model::apply_constraints(tree);  // File Fixup
+      }
+      out.push_back(tree.serialize());
+      return;
+    }
+    for (const Bytes* candidate : choices[pos]) {
+      pinned[positions[pos].leaf] = candidate;
+      construct(pos + 1);
+      if (out.size() >= config_.max_batch) break;
+    }
+    pinned.erase(positions[pos].leaf);
+  };
+  construct(0);
+  return out;
+}
+
+}  // namespace icsfuzz::fuzz

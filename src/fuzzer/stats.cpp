@@ -1,0 +1,73 @@
+#include "fuzzer/stats.hpp"
+
+#include <algorithm>
+
+namespace icsfuzz::fuzz {
+
+void StatsSeries::tick(std::uint64_t executions, std::size_t paths,
+                       std::size_t edges, std::size_t unique_crashes,
+                       std::size_t corpus_size) {
+  if (interval_ == 0 || executions % interval_ != 0) return;
+  points_.push_back({executions, paths, edges, unique_crashes, corpus_size});
+}
+
+void StatsSeries::finalize(std::uint64_t executions, std::size_t paths,
+                           std::size_t edges, std::size_t unique_crashes,
+                           std::size_t corpus_size) {
+  if (!points_.empty() && points_.back().executions == executions) return;
+  points_.push_back({executions, paths, edges, unique_crashes, corpus_size});
+}
+
+std::size_t StatsSeries::final_paths() const {
+  return points_.empty() ? 0 : points_.back().paths;
+}
+
+std::uint64_t StatsSeries::executions_to_reach(std::size_t paths) const {
+  for (const Checkpoint& point : points_) {
+    if (point.paths >= paths) return point.executions;
+  }
+  return 0;
+}
+
+std::string StatsSeries::to_csv() const {
+  std::string out = "executions,paths,edges,unique_crashes,corpus\n";
+  for (const Checkpoint& point : points_) {
+    out += std::to_string(point.executions) + "," +
+           std::to_string(point.paths) + "," + std::to_string(point.edges) +
+           "," + std::to_string(point.unique_crashes) + "," +
+           std::to_string(point.corpus_size) + "\n";
+  }
+  return out;
+}
+
+std::vector<Checkpoint> average_series(
+    const std::vector<std::vector<Checkpoint>>& repetitions) {
+  std::vector<Checkpoint> out;
+  if (repetitions.empty()) return out;
+  std::size_t longest = 0;
+  for (const auto& series : repetitions) {
+    longest = std::max(longest, series.size());
+  }
+  for (std::size_t i = 0; i < longest; ++i) {
+    Checkpoint avg;
+    std::size_t contributors = 0;
+    for (const auto& series : repetitions) {
+      if (i >= series.size()) continue;
+      avg.executions = series[i].executions;  // shared interval
+      avg.paths += series[i].paths;
+      avg.edges += series[i].edges;
+      avg.unique_crashes += series[i].unique_crashes;
+      avg.corpus_size += series[i].corpus_size;
+      ++contributors;
+    }
+    if (contributors == 0) break;
+    avg.paths /= contributors;
+    avg.edges /= contributors;
+    avg.unique_crashes /= contributors;
+    avg.corpus_size /= contributors;
+    out.push_back(avg);
+  }
+  return out;
+}
+
+}  // namespace icsfuzz::fuzz

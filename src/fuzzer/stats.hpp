@@ -1,0 +1,56 @@
+// Campaign statistics: the paths-over-executions series behind Figure 4
+// and the scalar summaries behind the paper's headline numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace icsfuzz::fuzz {
+
+struct Checkpoint {
+  std::uint64_t executions = 0;
+  std::size_t paths = 0;
+  std::size_t edges = 0;
+  std::size_t unique_crashes = 0;
+  std::size_t corpus_size = 0;
+};
+
+/// Records checkpoints at a fixed execution interval.
+class StatsSeries {
+ public:
+  explicit StatsSeries(std::uint64_t interval = 500) : interval_(interval) {}
+
+  /// Called once per execution; records a checkpoint when due.
+  void tick(std::uint64_t executions, std::size_t paths, std::size_t edges,
+            std::size_t unique_crashes, std::size_t corpus_size);
+
+  /// Forces a final checkpoint (campaign end).
+  void finalize(std::uint64_t executions, std::size_t paths, std::size_t edges,
+                std::size_t unique_crashes, std::size_t corpus_size);
+
+  [[nodiscard]] const std::vector<Checkpoint>& checkpoints() const {
+    return points_;
+  }
+  [[nodiscard]] std::uint64_t interval() const { return interval_; }
+
+  /// Paths at the latest checkpoint (0 when empty).
+  [[nodiscard]] std::size_t final_paths() const;
+
+  /// First execution count at which `paths` was reached, or 0 when never.
+  [[nodiscard]] std::uint64_t executions_to_reach(std::size_t paths) const;
+
+  /// Renders "executions,paths,edges,crashes,corpus" CSV lines.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::uint64_t interval_;
+  std::vector<Checkpoint> points_;
+};
+
+/// Averages several repetitions' series at common checkpoints (series must
+/// share the interval; shorter series stop contributing past their end).
+std::vector<Checkpoint> average_series(
+    const std::vector<std::vector<Checkpoint>>& repetitions);
+
+}  // namespace icsfuzz::fuzz

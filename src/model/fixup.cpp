@@ -1,0 +1,69 @@
+#include "model/fixup.hpp"
+
+#include "util/checksum.hpp"
+#include "util/strings.hpp"
+
+namespace icsfuzz::model {
+
+std::uint64_t fixup_value(FixupKind kind, ByteSpan data) {
+  switch (kind) {
+    case FixupKind::None: return 0;
+    case FixupKind::Crc32: return crc32(data);
+    case FixupKind::Crc16Modbus: return crc16_modbus(data);
+    case FixupKind::CrcDnp3: return crc16_dnp3(data);
+    case FixupKind::Lrc8: return lrc8(data);
+    case FixupKind::Sum8: return sum8(data);
+    case FixupKind::Fletcher16: return fletcher16(data);
+  }
+  return 0;
+}
+
+std::size_t fixup_width(FixupKind kind) {
+  switch (kind) {
+    case FixupKind::None: return 0;
+    case FixupKind::Crc32: return 4;
+    case FixupKind::Crc16Modbus: return 2;
+    case FixupKind::CrcDnp3: return 2;
+    case FixupKind::Lrc8: return 1;
+    case FixupKind::Sum8: return 1;
+    case FixupKind::Fletcher16: return 2;
+  }
+  return 0;
+}
+
+FixupKind fixup_kind_from_string(const std::string& text) {
+  const std::string lowered = to_lower(text);
+  if (lowered == "crc32fixup" || lowered == "crc32") return FixupKind::Crc32;
+  if (lowered == "crc16modbusfixup" || lowered == "crc16modbus" ||
+      lowered == "crc16") {
+    return FixupKind::Crc16Modbus;
+  }
+  if (lowered == "crcdnp3fixup" || lowered == "crcdnp3" || lowered == "dnp3crc") {
+    return FixupKind::CrcDnp3;
+  }
+  if (lowered == "lrcfixup" || lowered == "lrc" || lowered == "lrc8") {
+    return FixupKind::Lrc8;
+  }
+  if (lowered == "sumfixup" || lowered == "sum8" || lowered == "sum") {
+    return FixupKind::Sum8;
+  }
+  if (lowered == "fletcher16fixup" || lowered == "fletcher16") {
+    return FixupKind::Fletcher16;
+  }
+  return FixupKind::None;
+}
+
+std::string to_string(FixupKind kind) {
+  switch (kind) {
+    case FixupKind::None: return "none";
+    case FixupKind::Crc32: return "Crc32Fixup";
+    case FixupKind::Crc16Modbus: return "Crc16ModbusFixup";
+    case FixupKind::CrcDnp3: return "CrcDnp3Fixup";
+    case FixupKind::Lrc8: return "LrcFixup";
+    case FixupKind::Sum8: return "SumFixup";
+    case FixupKind::Fletcher16: return "Fletcher16Fixup";
+  }
+  return "none";
+}
+
+}  // namespace icsfuzz::model

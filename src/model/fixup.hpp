@@ -1,0 +1,45 @@
+// Fixups — Peach's post-generation integrity mechanism (the `Fixup
+// Crc32Fixup` edge in the paper's Figure 1). A Number chunk with a fixup has
+// its content overwritten, after all free fields are instantiated, with a
+// checksum computed over the serialized bytes of a referenced chunk.
+//
+// The File Fixup module of Peach* (paper §IV-D) reuses exactly this
+// machinery to repair packets assembled from cracked puzzle pieces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace icsfuzz::model {
+
+enum class FixupKind : std::uint8_t {
+  None,
+  Crc32,         // the paper's Crc32Fixup
+  Crc16Modbus,   // Modbus RTU trailer
+  CrcDnp3,       // DNP3 per-block CRC
+  Lrc8,          // Modbus ASCII
+  Sum8,          // simple additive checksum
+  Fletcher16,    // synthetic example protocol
+};
+
+struct Fixup {
+  FixupKind kind = FixupKind::None;
+  /// Name of the chunk whose serialized bytes feed the checksum.
+  std::string ref;
+
+  [[nodiscard]] bool active() const { return kind != FixupKind::None; }
+};
+
+/// Computes the checksum value of `data` under `kind`.
+std::uint64_t fixup_value(FixupKind kind, ByteSpan data);
+
+/// Natural encoded width in bytes of each fixup kind (CRC32 -> 4, ...).
+std::size_t fixup_width(FixupKind kind);
+
+/// Parses Pit XML fixup class names ("Crc32Fixup", "Crc16ModbusFixup", ...).
+FixupKind fixup_kind_from_string(const std::string& text);
+std::string to_string(FixupKind kind);
+
+}  // namespace icsfuzz::model

@@ -1,0 +1,443 @@
+#include "model/instantiation.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "util/hexdump.hpp"
+
+namespace icsfuzz::model {
+namespace {
+
+// Resolved variable-length information gathered while parsing: maps a chunk
+// name to the *byte length* its relation source dictates.
+using LengthEnv = std::unordered_map<std::string, std::size_t>;
+
+/// Inverts relation_value: given the parsed field value, how many wire bytes
+/// does the target occupy?
+std::optional<std::size_t> target_bytes_from_value(const Relation& relation,
+                                                   std::uint64_t value) {
+  const std::int64_t unbiased = static_cast<std::int64_t>(value) - relation.bias;
+  if (unbiased < 0) return std::nullopt;
+  switch (relation.kind) {
+    case RelationKind::None:
+      return std::nullopt;
+    case RelationKind::SizeOf:
+      return static_cast<std::size_t>(unbiased);
+    case RelationKind::CountOf: {
+      const std::uint32_t unit = relation.unit == 0 ? 1 : relation.unit;
+      return static_cast<std::size_t>(unbiased) * unit;
+    }
+  }
+  return std::nullopt;
+}
+
+class Parser {
+ public:
+  Parser(const DataModel& model, ByteSpan packet, const ParseOptions& options)
+      : model_(model), packet_(packet), options_(options) {}
+
+  std::optional<InsTree> run() {
+    std::size_t pos = 0;
+    auto root = parse_node(model_.root(), packet_, pos);
+    if (!root) return std::nullopt;
+    if (options_.require_full_consumption && pos != packet_.size()) {
+      return std::nullopt;
+    }
+    InsTree tree;
+    tree.model = &model_;
+    tree.root = std::move(*root);
+    if (options_.verify_relations && !verify_relations(tree)) return std::nullopt;
+    if (options_.verify_fixups && !verify_fixups(tree)) return std::nullopt;
+    return tree;
+  }
+
+ private:
+  // Parses `chunk` from data[pos..); on success advances pos.
+  std::optional<InsNode> parse_node(const Chunk& chunk, ByteSpan data,
+                                    std::size_t& pos) {
+    switch (chunk.kind()) {
+      case ChunkKind::Number: return parse_number(chunk, data, pos);
+      case ChunkKind::String: return parse_string(chunk, data, pos);
+      case ChunkKind::Blob: return parse_blob(chunk, data, pos);
+      case ChunkKind::Block: return parse_block(chunk, data, pos);
+      case ChunkKind::Choice: return parse_choice(chunk, data, pos);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<InsNode> parse_number(const Chunk& chunk, ByteSpan data,
+                                      std::size_t& pos) {
+    const NumberSpec& spec = chunk.number_spec();
+    if (pos + spec.width > data.size()) return std::nullopt;
+    const ByteSpan raw = data.subspan(pos, spec.width);
+    const std::uint64_t value = decode_uint(raw, spec.endian);
+    if (spec.is_token && value != spec.default_value) return std::nullopt;
+    pos += spec.width;
+    if (chunk.relation().active()) {
+      if (auto bytes = target_bytes_from_value(chunk.relation(), value)) {
+        env_[chunk.relation().target] = *bytes;
+      } else {
+        return std::nullopt;  // relation value underflows its bias
+      }
+    }
+    InsNode node;
+    node.rule = &chunk;
+    node.content.assign(raw.begin(), raw.end());
+    return node;
+  }
+
+  std::optional<InsNode> parse_string(const Chunk& chunk, ByteSpan data,
+                                      std::size_t& pos) {
+    const StringSpec& spec = chunk.string_spec();
+    std::size_t length = 0;
+    if (auto env_length = lookup_env(chunk.name())) {
+      length = *env_length;
+    } else if (spec.length) {
+      length = *spec.length;
+    } else if (spec.null_terminated) {
+      // Scan for the terminator within the current scope.
+      std::size_t scan = pos;
+      while (scan < data.size() && data[scan] != 0) ++scan;
+      if (scan >= data.size()) return std::nullopt;
+      length = scan - pos;
+    } else {
+      length = data.size() - pos;  // rest of scope
+    }
+    const std::size_t terminator = spec.null_terminated ? 1 : 0;
+    if (pos + length + terminator > data.size()) return std::nullopt;
+    InsNode node;
+    node.rule = &chunk;
+    node.content.assign(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                        data.begin() + static_cast<std::ptrdiff_t>(pos + length + terminator));
+    if (spec.null_terminated && node.content.back() != 0) return std::nullopt;
+    pos += length + terminator;
+    return node;
+  }
+
+  std::optional<InsNode> parse_blob(const Chunk& chunk, ByteSpan data,
+                                    std::size_t& pos) {
+    const BlobSpec& spec = chunk.blob_spec();
+    std::size_t length = 0;
+    if (auto env_length = lookup_env(chunk.name())) {
+      length = *env_length;
+    } else if (spec.length) {
+      length = *spec.length;
+    } else {
+      length = data.size() - pos;  // rest of scope
+    }
+    if (pos + length > data.size()) return std::nullopt;
+    InsNode node;
+    node.rule = &chunk;
+    node.content.assign(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                        data.begin() + static_cast<std::ptrdiff_t>(pos + length));
+    pos += length;
+    return node;
+  }
+
+  std::optional<InsNode> parse_block(const Chunk& chunk, ByteSpan data,
+                                     std::size_t& pos) {
+    // A block whose length is dictated by a relation parses its children
+    // inside the carved sub-span and must consume it exactly.
+    ByteSpan scope = data;
+    std::size_t scope_pos = pos;
+    bool carved = false;
+    if (auto env_length = lookup_env(chunk.name())) {
+      if (pos + *env_length > data.size()) return std::nullopt;
+      scope = data.subspan(0, pos + *env_length);
+      carved = true;
+    }
+    InsNode node;
+    node.rule = &chunk;
+    for (const Chunk& child : chunk.children()) {
+      auto parsed = parse_node(child, scope, scope_pos);
+      if (!parsed) return std::nullopt;
+      node.children.push_back(std::move(*parsed));
+    }
+    if (carved && scope_pos != scope.size()) return std::nullopt;
+    pos = scope_pos;
+    return node;
+  }
+
+  std::optional<InsNode> parse_choice(const Chunk& chunk, ByteSpan data,
+                                      std::size_t& pos) {
+    for (std::size_t i = 0; i < chunk.children().size(); ++i) {
+      // Alternatives may write to the length environment before failing, so
+      // each attempt works on a scratch copy.
+      LengthEnv saved = env_;
+      std::size_t attempt_pos = pos;
+      auto parsed = parse_node(chunk.children()[i], data, attempt_pos);
+      if (parsed) {
+        InsNode node;
+        node.rule = &chunk;
+        node.choice_index = i;
+        node.children.push_back(std::move(*parsed));
+        pos = attempt_pos;
+        return node;
+      }
+      env_ = std::move(saved);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::size_t> lookup_env(const std::string& name) const {
+    auto it = env_.find(name);
+    if (it == env_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool verify_relations(const InsTree& tree) const {
+    bool ok = true;
+    visit(tree.root, [&](const InsNode& node) {
+      if (!ok || node.rule == nullptr || !node.rule->relation().active()) return;
+      const InsNode* target = tree.root.find(node.rule->relation().target);
+      if (target == nullptr) {
+        ok = false;
+        return;
+      }
+      const std::uint64_t expected =
+          relation_value(node.rule->relation(), target->serialized_size());
+      const std::uint64_t actual =
+          decode_uint(node.content, node.rule->number_spec().endian);
+      if (expected != actual) ok = false;
+    });
+    return ok;
+  }
+
+  bool verify_fixups(const InsTree& tree) const {
+    bool ok = true;
+    visit(tree.root, [&](const InsNode& node) {
+      if (!ok || node.rule == nullptr || !node.rule->fixup().active()) return;
+      const InsNode* ref = tree.root.find(node.rule->fixup().ref);
+      if (ref == nullptr) {
+        ok = false;
+        return;
+      }
+      const NumberSpec& spec = node.rule->number_spec();
+      const std::uint64_t mask =
+          spec.width >= 8 ? ~0ULL : ((1ULL << (spec.width * 8)) - 1);
+      const std::uint64_t expected =
+          fixup_value(node.rule->fixup().kind, ref->serialize()) & mask;
+      const std::uint64_t actual = decode_uint(node.content, spec.endian);
+      if (expected != actual) ok = false;
+    });
+    return ok;
+  }
+
+  static void visit(const InsNode& node,
+                    const std::function<void(const InsNode&)>& fn) {
+    fn(node);
+    for (const InsNode& child : node.children) visit(child, fn);
+  }
+
+  const DataModel& model_;
+  ByteSpan packet_;
+  ParseOptions options_;
+  LengthEnv env_;
+};
+
+void serialize_into(const InsNode& node, Bytes& out) {
+  if (node.rule != nullptr && node.rule->is_leaf()) {
+    append(out, node.content);
+    return;
+  }
+  if (node.opaque) {
+    append(out, node.content);
+    return;
+  }
+  for (const InsNode& child : node.children) serialize_into(child, out);
+}
+
+InsNode build_default(const Chunk& chunk) {
+  InsNode node;
+  node.rule = &chunk;
+  switch (chunk.kind()) {
+    case ChunkKind::Number: {
+      const NumberSpec& spec = chunk.number_spec();
+      node.content = encode_uint(spec.default_value, spec.width, spec.endian);
+      break;
+    }
+    case ChunkKind::String: {
+      const StringSpec& spec = chunk.string_spec();
+      std::string text = spec.default_value;
+      if (spec.length) text.resize(*spec.length, ' ');
+      node.content = to_bytes(text);
+      if (spec.null_terminated) node.content.push_back(0);
+      break;
+    }
+    case ChunkKind::Blob: {
+      const BlobSpec& spec = chunk.blob_spec();
+      node.content = spec.default_value;
+      if (spec.length) node.content.resize(*spec.length, 0);
+      break;
+    }
+    case ChunkKind::Block:
+      for (const Chunk& child : chunk.children()) {
+        node.children.push_back(build_default(child));
+      }
+      break;
+    case ChunkKind::Choice:
+      node.choice_index = 0;
+      node.children.push_back(build_default(chunk.children().front()));
+      break;
+  }
+  return node;
+}
+
+void dump_node(const InsNode& node, std::size_t depth, std::string& out) {
+  out.append(depth * 2, ' ');
+  if (node.rule != nullptr) {
+    out += node.rule->name();
+    out += " <";
+    out += to_string(node.rule->kind());
+    out += ">";
+  } else {
+    out += "?";
+  }
+  if (node.opaque) out += " (opaque donor)";
+  const Bytes bytes = node.serialize();
+  out += " [" + std::to_string(bytes.size()) + "B]";
+  if (node.rule != nullptr && (node.rule->is_leaf() || node.opaque)) {
+    const std::size_t preview = std::min<std::size_t>(bytes.size(), 16);
+    out += " ";
+    out += to_hex(ByteSpan(bytes.data(), preview));
+    if (bytes.size() > preview) out += "..";
+  }
+  out += "\n";
+  for (const InsNode& child : node.children) dump_node(child, depth + 1, out);
+}
+
+}  // namespace
+
+Bytes InsNode::serialize() const {
+  Bytes out;
+  out.reserve(serialized_size());
+  serialize_into(*this, out);
+  return out;
+}
+
+std::size_t InsNode::serialized_size() const {
+  if ((rule != nullptr && rule->is_leaf()) || opaque) return content.size();
+  std::size_t total = 0;
+  for (const InsNode& child : children) total += child.serialized_size();
+  return total;
+}
+
+InsNode* InsNode::find(const std::string& name) {
+  if (rule != nullptr && rule->name() == name) return this;
+  for (InsNode& child : children) {
+    if (InsNode* found = child.find(name)) return found;
+  }
+  return nullptr;
+}
+
+const InsNode* InsNode::find(const std::string& name) const {
+  if (rule != nullptr && rule->name() == name) return this;
+  for (const InsNode& child : children) {
+    if (const InsNode* found = child.find(name)) return found;
+  }
+  return nullptr;
+}
+
+std::size_t InsNode::node_count() const {
+  std::size_t count = 1;
+  for (const InsNode& child : children) count += child.node_count();
+  return count;
+}
+
+std::optional<InsTree> parse_packet(const DataModel& model, ByteSpan packet,
+                                    const ParseOptions& options) {
+  Parser parser(model, packet, options);
+  return parser.run();
+}
+
+std::size_t apply_constraints(InsTree& tree) {
+  if (tree.model == nullptr) return 0;
+  std::size_t rewritten = 0;
+
+  // Pass 1: relations. Relation fields are fixed-width numbers, so writing
+  // them never changes any measured size.
+  std::function<void(InsNode&)> fix_relations = [&](InsNode& node) {
+    if (node.opaque) return;  // donor bytes are immutable
+    if (node.rule != nullptr && node.rule->relation().active() &&
+        node.rule->kind() == ChunkKind::Number) {
+      const InsNode* target = tree.root.find(node.rule->relation().target);
+      if (target != nullptr) {
+        const NumberSpec& spec = node.rule->number_spec();
+        const std::uint64_t value =
+            relation_value(node.rule->relation(), target->serialized_size());
+        Bytes encoded = encode_uint(value, spec.width, spec.endian);
+        if (encoded != node.content) {
+          node.content = std::move(encoded);
+          ++rewritten;
+        }
+      }
+    }
+    for (InsNode& child : node.children) fix_relations(child);
+  };
+  fix_relations(tree.root);
+
+  // Pass 2: fixups, innermost reference first so that an outer checksum
+  // covers the final bytes of any inner one.
+  struct FixupSite {
+    InsNode* node = nullptr;
+    std::size_t ref_depth = 0;
+  };
+  std::vector<FixupSite> sites;
+  std::function<std::size_t(const InsNode&, const std::string&, std::size_t)>
+      depth_of = [&](const InsNode& node, const std::string& name,
+                     std::size_t depth) -> std::size_t {
+    if (node.rule != nullptr && node.rule->name() == name) return depth;
+    for (const InsNode& child : node.children) {
+      const std::size_t found = depth_of(child, name, depth + 1);
+      if (found != 0) return found;
+    }
+    return 0;
+  };
+  std::function<void(InsNode&)> collect = [&](InsNode& node) {
+    if (node.opaque) return;
+    if (node.rule != nullptr && node.rule->fixup().active() &&
+        node.rule->kind() == ChunkKind::Number) {
+      sites.push_back(
+          {&node, depth_of(tree.root, node.rule->fixup().ref, 1)});
+    }
+    for (InsNode& child : node.children) collect(child);
+  };
+  collect(tree.root);
+  std::stable_sort(sites.begin(), sites.end(),
+                   [](const FixupSite& a, const FixupSite& b) {
+                     return a.ref_depth > b.ref_depth;
+                   });
+  for (FixupSite& site : sites) {
+    const InsNode* ref = tree.root.find(site.node->rule->fixup().ref);
+    if (ref == nullptr) continue;
+    const NumberSpec& spec = site.node->rule->number_spec();
+    const std::uint64_t value =
+        fixup_value(site.node->rule->fixup().kind, ref->serialize());
+    Bytes encoded = encode_uint(value, spec.width, spec.endian);
+    if (encoded != site.node->content) {
+      site.node->content = std::move(encoded);
+      ++rewritten;
+    }
+  }
+  return rewritten;
+}
+
+InsTree default_instance(const DataModel& model) {
+  InsTree tree;
+  tree.model = &model;
+  tree.root = build_default(model.root());
+  apply_constraints(tree);
+  return tree;
+}
+
+std::string dump_tree(const InsTree& tree) {
+  std::string out;
+  if (tree.model != nullptr) {
+    out += "model " + tree.model->name() + "\n";
+  }
+  dump_node(tree.root, 0, out);
+  return out;
+}
+
+}  // namespace icsfuzz::model

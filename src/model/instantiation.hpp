@@ -1,0 +1,98 @@
+// Instantiation Tree — Definition 1 in the paper: the same shape as the
+// data model tree, but with each construction-rule node replaced by a
+// realistic data chunk.
+//
+// Two producers build InsTrees:
+//   * the generators (baseline mutator-driven and Peach*'s semantic-aware
+//     strategy) build them top-down, then serialize;
+//   * the parser (`parse_packet`) builds them bottom-up from wire bytes —
+//     this is PARSE(M, Iv) in the paper's Algorithm 2, the entry point of
+//     the File Cracker.
+//
+// `apply_constraints` implements the File Fixup module (§IV-D): it rewrites
+// relation-carrying numbers (size-of / count-of) from measured child sizes
+// and then recomputes checksum fixups, innermost first.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/data_model.hpp"
+#include "util/bytes.hpp"
+
+namespace icsfuzz::model {
+
+/// One node of an instantiation tree.
+///
+/// Leaf nodes hold `content` (their wire bytes). Composite nodes normally
+/// hold children; a composite may instead be *opaque* — carrying pre-built
+/// bytes donated from the puzzle corpus — in which case its internal
+/// structure is not materialised (the donor was already a legal fragment).
+struct InsNode {
+  const Chunk* rule = nullptr;     // borrowed from the DataModel (must outlive)
+  Bytes content;                   // leaf bytes, or opaque composite bytes
+  bool opaque = false;             // composite with donor-provided content
+  std::vector<InsNode> children;   // composite structure when !opaque
+
+  /// For a parsed Choice node: index of the alternative that matched.
+  std::optional<std::size_t> choice_index;
+
+  [[nodiscard]] bool is_composite() const {
+    return rule != nullptr && !rule->is_leaf();
+  }
+
+  /// Serialized wire bytes of this subtree (a "puzzle" per Definition 2).
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Serialized byte length without materialising the bytes.
+  [[nodiscard]] std::size_t serialized_size() const;
+
+  /// DFS lookup by rule name within this subtree.
+  [[nodiscard]] InsNode* find(const std::string& name);
+  [[nodiscard]] const InsNode* find(const std::string& name) const;
+
+  /// Node count (tests/diagnostics).
+  [[nodiscard]] std::size_t node_count() const;
+};
+
+/// A complete instantiation of one data model.
+struct InsTree {
+  const DataModel* model = nullptr;  // borrowed; must outlive the tree
+  InsNode root;
+
+  [[nodiscard]] Bytes serialize() const { return root.serialize(); }
+};
+
+/// Options controlling `parse_packet`.
+struct ParseOptions {
+  /// Require every byte of the packet to be consumed (the LEGAL test).
+  bool require_full_consumption = true;
+  /// Verify checksum fixups against recomputed values.
+  bool verify_fixups = true;
+  /// Verify size-of / count-of fields against measured sizes.
+  bool verify_relations = true;
+};
+
+/// PARSE(M, Iv): parses `packet` against `model`. Returns nullopt when the
+/// packet is not legal under the model (token mismatch, truncation, length
+/// inconsistency, failed checksum, trailing garbage).
+std::optional<InsTree> parse_packet(const DataModel& model, ByteSpan packet,
+                                    const ParseOptions& options = {});
+
+/// File Fixup: recomputes relation fields and checksum fixups in `tree` so
+/// the serialized packet satisfies its integrity constraints. Opaque donor
+/// composites are treated as immutable byte ranges. Returns the number of
+/// fields rewritten.
+std::size_t apply_constraints(InsTree& tree);
+
+/// Builds the default instantiation of a model: every leaf takes its
+/// default value, choices take their first alternative, then constraints
+/// are applied. The cheapest way to get one valid packet from a model.
+InsTree default_instance(const DataModel& model);
+
+/// Renders a one-line-per-node dump of the tree (tests, crash triage).
+std::string dump_tree(const InsTree& tree);
+
+}  // namespace icsfuzz::model

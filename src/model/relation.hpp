@@ -1,0 +1,37 @@
+// Relations — Peach's mechanism for integrity constraints between fields
+// (the `Relation sizeof` edge in the paper's Figure 1 data model).
+//
+// A Number chunk carrying a relation does not hold free data: its value is
+// derived from another chunk's serialized form. SizeOf yields the byte
+// length of the target; CountOf yields the number of `unit` — byte elements
+// (e.g. Modbus "Quantity of Registers" counts 2-byte units of the payload).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace icsfuzz::model {
+
+enum class RelationKind : std::uint8_t { None, SizeOf, CountOf };
+
+struct Relation {
+  RelationKind kind = RelationKind::None;
+  /// Name of the chunk whose serialized bytes are measured.
+  std::string target;
+  /// Element width for CountOf (value = target_bytes / unit). Must be >= 1.
+  std::uint32_t unit = 1;
+  /// Constant added to the derived value (some framings count header bytes:
+  /// e.g. Modbus MBAP length = unit id + PDU, DNP3 length counts addresses).
+  std::int64_t bias = 0;
+
+  [[nodiscard]] bool active() const { return kind != RelationKind::None; }
+};
+
+/// Derives the relation value from the measured byte length of the target.
+std::uint64_t relation_value(const Relation& relation, std::size_t target_bytes);
+
+/// Parses "sizeof"/"countof" (Pit XML attribute values).
+RelationKind relation_kind_from_string(const std::string& text);
+std::string to_string(RelationKind kind);
+
+}  // namespace icsfuzz::model

@@ -1,0 +1,216 @@
+// lib60870 (CS101/CS104 ASDU layer) pit.
+//
+// Shared semantic tags: cs-typeid, cs-vsq, cs-cot, cs-ca, cs-ioa, cs-sco,
+// cs-time, cs-asdu (opaque ASDU blob).
+//
+// The RawAsdu model matters most here: its variable-length ASDU blob is the
+// only way to produce the *truncated* ASDUs (fewer than 3 octets) that
+// trigger the paper's CS101_ASDU_getCOT bug — typed models always emit a
+// complete 6-octet header.
+
+#include "pits/pits.hpp"
+
+namespace icsfuzz::pits {
+namespace {
+
+using model::BlobSpec;
+using model::Chunk;
+using model::DataModel;
+using model::NumberSpec;
+using model::Relation;
+using model::RelationKind;
+using Endian = icsfuzz::Endian;
+
+Chunk startdt_frame(const std::string& prefix) {
+  return Chunk::block(
+      prefix + ".StartDt",
+      {Chunk::token(prefix + ".StartDt.Start", 1, Endian::Big, 0x68),
+       Chunk::token(prefix + ".StartDt.Length", 1, Endian::Big, 4),
+       Chunk::token(prefix + ".StartDt.Control", 4, Endian::Big, 0x07000000)});
+}
+
+Chunk i_frame(const std::string& prefix, std::vector<Chunk> asdu_fields) {
+  std::vector<Chunk> body;
+  NumberSpec seq;
+  seq.width = 4;
+  seq.endian = Endian::Little;
+  seq.default_value = 0;
+  body.push_back(Chunk::number(prefix + ".Control", seq).with_tag("cs-seq"));
+  body.push_back(Chunk::block(prefix + ".Asdu", std::move(asdu_fields)));
+
+  std::vector<Chunk> frame;
+  frame.push_back(Chunk::token(prefix + ".Start", 1, Endian::Big, 0x68));
+  frame.push_back(
+      Chunk::number(prefix + ".Length", NumberSpec{.width = 1})
+          .with_relation(Relation{RelationKind::SizeOf, prefix + ".Body", 1, 0}));
+  frame.push_back(Chunk::block(prefix + ".Body", std::move(body)));
+  return Chunk::block(prefix, std::move(frame));
+}
+
+void push_asdu_header(std::vector<Chunk>& fields, const std::string& prefix,
+                      std::uint8_t type_id) {
+  NumberSpec type;
+  type.width = 1;
+  type.default_value = type_id;
+  type.legal_values = {1, 11, 45, 58, 100, 102};
+  fields.push_back(Chunk::number(prefix + ".TypeId", type).with_tag("cs-typeid"));
+  NumberSpec vsq;
+  vsq.width = 1;
+  vsq.default_value = 1;
+  vsq.legal_values = {1, 2, 3, 0x81, 0x83, 0x8A};
+  fields.push_back(Chunk::number(prefix + ".Vsq", vsq).with_tag("cs-vsq"));
+  NumberSpec cot;
+  cot.width = 1;
+  cot.default_value = 6;
+  cot.legal_values = {3, 6, 7, 20};
+  fields.push_back(Chunk::number(prefix + ".Cot", cot).with_tag("cs-cot"));
+  fields.push_back(Chunk::token(prefix + ".Originator", 1, Endian::Big, 0));
+  NumberSpec ca;
+  ca.width = 2;
+  ca.endian = Endian::Little;
+  ca.default_value = 3;
+  ca.legal_values = {3, 0xFFFF};
+  fields.push_back(Chunk::number(prefix + ".Ca", ca).with_tag("cs-ca"));
+}
+
+Chunk ioa_field(const std::string& name, std::uint32_t default_value) {
+  NumberSpec spec;
+  spec.width = 3;
+  spec.endian = Endian::Little;
+  spec.default_value = default_value;
+  spec.min_value = 0;
+  spec.max_value = 0x2100;
+  return Chunk::number(name, spec).with_tag("cs-ioa");
+}
+
+}  // namespace
+
+model::DataModelSet cs101_pit() {
+  model::DataModelSet set;
+
+  // Interrogation session.
+  {
+    std::vector<Chunk> asdu;
+    push_asdu_header(asdu, "CsInterro.I.Asdu", 100);
+    asdu.push_back(ioa_field("CsInterro.I.Asdu.Ioa", 0));
+    NumberSpec qoi;
+    qoi.width = 1;
+    qoi.default_value = 20;
+    qoi.legal_values = {20, 21, 22, 29, 36};
+    asdu.push_back(Chunk::number("CsInterro.I.Asdu.Qoi", qoi).with_tag("cs-qoi"));
+    std::vector<Chunk> session;
+    session.push_back(startdt_frame("CsInterro"));
+    session.push_back(i_frame("CsInterro.I", std::move(asdu)));
+    DataModel model("CsInterrogation",
+                    Chunk::block("CsInterrogation.root", std::move(session)));
+    model.set_opcode(100);
+    set.add(std::move(model));
+  }
+
+  // Single command session (C_SC_NA_1): select then execute, matching IOA.
+  {
+    auto command_asdu = [](const std::string& prefix, std::uint8_t sco_default) {
+      std::vector<Chunk> asdu;
+      push_asdu_header(asdu, prefix, 45);
+      asdu.push_back(ioa_field(prefix + ".Ioa", 0x2000));
+      NumberSpec sco;
+      sco.width = 1;
+      sco.default_value = sco_default;
+      sco.legal_values = {0x00, 0x01, 0x80, 0x81};
+      asdu.push_back(Chunk::number(prefix + ".Sco", sco).with_tag("cs-sco"));
+      return asdu;
+    };
+    std::vector<Chunk> session;
+    session.push_back(startdt_frame("CsCmd"));
+    session.push_back(
+        i_frame("CsCmd.Select", command_asdu("CsCmd.Select.Asdu", 0x81)));
+    session.push_back(
+        i_frame("CsCmd.Execute", command_asdu("CsCmd.Execute.Asdu", 0x01)));
+    DataModel model("CsSingleCommand",
+                    Chunk::block("CsSingleCommand.root", std::move(session)));
+    model.set_opcode(45);
+    set.add(std::move(model));
+  }
+
+  // Time-tagged single command session (C_SC_TA_1 — the time-OOB site).
+  {
+    std::vector<Chunk> asdu;
+    push_asdu_header(asdu, "CsCmdT.I.Asdu", 58);
+    asdu.push_back(ioa_field("CsCmdT.I.Asdu.Ioa", 0x2000));
+    NumberSpec sco;
+    sco.width = 1;
+    sco.default_value = 0x01;
+    sco.legal_values = {0x00, 0x01, 0x80, 0x81};
+    asdu.push_back(Chunk::number("CsCmdT.I.Asdu.Sco", sco).with_tag("cs-sco"));
+    BlobSpec time;
+    time.default_value = {0x00, 0x00, 0x1E, 0x0A, 0x0C, 0x06, 0x18};
+    time.max_generated = 7;  // variable: can truncate below the 7 octets
+    asdu.push_back(Chunk::blob("CsCmdT.I.Asdu.Time", time).with_tag("cs-time"));
+    std::vector<Chunk> session;
+    session.push_back(startdt_frame("CsCmdT"));
+    session.push_back(i_frame("CsCmdT.I", std::move(asdu)));
+    DataModel model("CsTimedCommand",
+                    Chunk::block("CsTimedCommand.root", std::move(session)));
+    model.set_opcode(58);
+    set.add(std::move(model));
+  }
+
+  // Sequence-of-measurands session (M_ME_NB_1, SQ-capable — the seq-OOB
+  // site). Elements blob is variable so the VSQ count can disagree with it.
+  {
+    std::vector<Chunk> asdu;
+    push_asdu_header(asdu, "CsMeas.I.Asdu", 11);
+    asdu.push_back(ioa_field("CsMeas.I.Asdu.Ioa", 0x100));
+    BlobSpec elements;
+    elements.default_value = {0x10, 0x00, 0x00, 0x20, 0x00, 0x00};
+    elements.max_generated = 24;
+    elements.unit = 3;
+    asdu.push_back(
+        Chunk::blob("CsMeas.I.Asdu.Elements", elements).with_tag("cs-elems"));
+    std::vector<Chunk> session;
+    session.push_back(startdt_frame("CsMeas"));
+    session.push_back(i_frame("CsMeas.I", std::move(asdu)));
+    DataModel model("CsMeasurands",
+                    Chunk::block("CsMeasurands.root", std::move(session)));
+    model.set_opcode(11);
+    set.add(std::move(model));
+  }
+
+  // Read-command session (C_RD_NA_1): IOA banks drive distinct replies.
+  {
+    std::vector<Chunk> asdu;
+    push_asdu_header(asdu, "CsRead.I.Asdu", 102);
+    NumberSpec ioa;
+    ioa.width = 3;
+    ioa.endian = Endian::Little;
+    ioa.default_value = 0x0100;
+    ioa.min_value = 0;
+    ioa.max_value = 0x0300;
+    asdu.push_back(Chunk::number("CsRead.I.Asdu.Ioa", ioa).with_tag("cs-ioa"));
+    std::vector<Chunk> session;
+    session.push_back(startdt_frame("CsRead"));
+    session.push_back(i_frame("CsRead.I", std::move(asdu)));
+    DataModel model("CsReadCommand",
+                    Chunk::block("CsReadCommand.root", std::move(session)));
+    model.set_opcode(102);
+    set.add(std::move(model));
+  }
+
+  // Coarse raw session: opaque variable-length ASDU — reaches the
+  // truncated-header shapes (including the 2-octet ASDU of Listing 2).
+  {
+    BlobSpec asdu;
+    asdu.default_value = {100, 1, 6, 0, 3, 0, 0, 0, 0, 20};
+    asdu.max_generated = 20;
+    std::vector<Chunk> session;
+    session.push_back(startdt_frame("RawCs"));
+    session.push_back(
+        i_frame("RawCs.I", {Chunk::blob("RawCs.I.Asdu.Blob", asdu)
+                                .with_tag("cs-asdu")}));
+    set.add(DataModel("RawCs101", Chunk::block("RawCs101.root", std::move(session))));
+  }
+
+  return set;
+}
+
+}  // namespace icsfuzz::pits

@@ -1,0 +1,213 @@
+// opendnp3 pit — DNP3 link frames with header and block CRC fixups.
+//
+// Shared semantic tags: dnp-dest / dnp-src (link addresses), dnp-appctl,
+// dnp-func, dnp-group / dnp-var / dnp-qual (object header), dnp-range,
+// dnp-crob (control block payload).
+//
+// The pit keeps the application fragment within one 16-byte link block so
+// a single data-CRC fixup covers it; the server itself accepts multi-block
+// frames (the coarse model exercises longer shapes via its blob).
+
+#include "pits/pits.hpp"
+
+namespace icsfuzz::pits {
+namespace {
+
+using model::BlobSpec;
+using model::Chunk;
+using model::DataModel;
+using model::Fixup;
+using model::FixupKind;
+using model::NumberSpec;
+using model::Relation;
+using model::RelationKind;
+using Endian = icsfuzz::Endian;
+
+/// Wraps an application fragment (transport octet + app bytes) in a full
+/// link frame: header with CRC fixup, then the payload with its block CRC.
+DataModel link_frame(const std::string& name, std::vector<Chunk> app_fields,
+                     std::uint64_t opcode) {
+  std::vector<Chunk> payload;
+  // Transport header: FIR|FIN, sequence 0.
+  payload.push_back(Chunk::token(name + ".Transport", 1, Endian::Big, 0xC0));
+  for (Chunk& field : app_fields) payload.push_back(std::move(field));
+
+  NumberSpec dest;
+  dest.width = 2;
+  dest.endian = Endian::Little;
+  dest.default_value = 10;
+  dest.legal_values = {10, 0xFFFF};
+  NumberSpec src;
+  src.width = 2;
+  src.endian = Endian::Little;
+  src.default_value = 1;
+  NumberSpec control;
+  control.width = 1;
+  control.default_value = 0xC4;  // DIR|PRM, unconfirmed user data
+  control.legal_values = {0xC4, 0xC3, 0xC9, 0x44};
+
+  std::vector<Chunk> header;
+  header.push_back(Chunk::token(name + ".Start0", 1, Endian::Big, 0x05));
+  header.push_back(Chunk::token(name + ".Start1", 1, Endian::Big, 0x64));
+  header.push_back(
+      Chunk::number(name + ".Length", NumberSpec{.width = 1})
+          .with_relation(
+              Relation{RelationKind::SizeOf, name + ".Payload", 1, 5}));
+  header.push_back(
+      Chunk::number(name + ".Control", control).with_tag("dnp-linkctl"));
+  header.push_back(Chunk::number(name + ".Dest", dest).with_tag("dnp-dest"));
+  header.push_back(Chunk::number(name + ".Src", src).with_tag("dnp-src"));
+
+  std::vector<Chunk> fields;
+  fields.push_back(Chunk::block(name + ".Header", std::move(header)));
+  fields.push_back(
+      Chunk::number(name + ".HeaderCrc",
+                    NumberSpec{.width = 2, .endian = Endian::Little})
+          .with_fixup(Fixup{FixupKind::CrcDnp3, name + ".Header"}));
+  fields.push_back(Chunk::block(name + ".Payload", std::move(payload)));
+  fields.push_back(
+      Chunk::number(name + ".BlockCrc",
+                    NumberSpec{.width = 2, .endian = Endian::Little})
+          .with_fixup(Fixup{FixupKind::CrcDnp3, name + ".Payload"}));
+
+  DataModel model(name, Chunk::block(name + ".root", std::move(fields)));
+  model.set_opcode(opcode);
+  return model;
+}
+
+Chunk app_control(const std::string& name) {
+  NumberSpec spec;
+  spec.width = 1;
+  spec.default_value = 0xC0;  // FIR|FIN, sequence 0
+  spec.legal_values = {0xC0, 0xC1, 0xC2};
+  return Chunk::number(name, spec).with_tag("dnp-appctl");
+}
+
+Chunk range_field(const std::string& name, std::uint8_t default_value) {
+  NumberSpec spec;
+  spec.width = 1;
+  spec.default_value = default_value;
+  spec.min_value = 0;
+  spec.max_value = 32;
+  return Chunk::number(name, spec).with_tag("dnp-range");
+}
+
+}  // namespace
+
+model::DataModelSet dnp3_pit() {
+  model::DataModelSet set;
+
+  // READ g1v1 (binary inputs) with 1-byte start/stop qualifier.
+  set.add(link_frame(
+      "DnpReadBinary",
+      {app_control("DnpReadBinary.AppCtl"),
+       Chunk::token("DnpReadBinary.Func", 1, Endian::Big, 0x01),
+       Chunk::token("DnpReadBinary.Group", 1, Endian::Big, 0x01),
+       Chunk::number("DnpReadBinary.Variation",
+                     NumberSpec{.width = 1, .default_value = 1,
+                                .legal_values = {0, 1, 2}})
+           .with_tag("dnp-var"),
+       Chunk::token("DnpReadBinary.Qualifier", 1, Endian::Big, 0x00),
+       range_field("DnpReadBinary.StartIdx", 0),
+       range_field("DnpReadBinary.StopIdx", 7)},
+      0x0101));
+
+  // READ g30v1 (analog inputs) with 2-byte start/stop qualifier.
+  {
+    NumberSpec range16;
+    range16.width = 2;
+    range16.endian = Endian::Little;
+    range16.default_value = 0;
+    range16.min_value = 0;
+    range16.max_value = 32;
+    NumberSpec stop16 = range16;
+    stop16.default_value = 7;
+    set.add(link_frame(
+        "DnpReadAnalog",
+        {app_control("DnpReadAnalog.AppCtl"),
+         Chunk::token("DnpReadAnalog.Func", 1, Endian::Big, 0x01),
+         Chunk::token("DnpReadAnalog.Group", 1, Endian::Big, 0x1E),
+         Chunk::number("DnpReadAnalog.Variation",
+                       NumberSpec{.width = 1, .default_value = 1,
+                                  .legal_values = {1, 3}})
+             .with_tag("dnp-var"),
+         Chunk::token("DnpReadAnalog.Qualifier", 1, Endian::Big, 0x01),
+         Chunk::number("DnpReadAnalog.StartIdx", range16).with_tag("dnp-range16"),
+         Chunk::number("DnpReadAnalog.StopIdx", stop16).with_tag("dnp-range16")},
+        0x011E));
+  }
+
+  // READ "all objects" (qualifier 0x06) — class-style poll.
+  set.add(link_frame(
+      "DnpReadAll",
+      {app_control("DnpReadAll.AppCtl"),
+       Chunk::token("DnpReadAll.Func", 1, Endian::Big, 0x01),
+       Chunk::number("DnpReadAll.Group",
+                     NumberSpec{.width = 1, .default_value = 1,
+                                .legal_values = {1, 30}})
+           .with_tag("dnp-group"),
+       Chunk::number("DnpReadAll.Variation",
+                     NumberSpec{.width = 1, .default_value = 1,
+                                .legal_values = {1, 3}})
+           .with_tag("dnp-var"),
+       Chunk::token("DnpReadAll.Qualifier", 1, Endian::Big, 0x06)},
+      0x0106));
+
+  // DIRECT_OPERATE CROB (g12v1, qualifier 0x17, single index).
+  auto crob_fields = [](const std::string& prefix, std::uint8_t function) {
+    NumberSpec op;
+    op.width = 1;
+    op.default_value = 0x01;  // latch on
+    op.legal_values = {0x01, 0x03, 0x04, 0x41};
+    std::vector<Chunk> fields;
+    fields.push_back(app_control(prefix + ".AppCtl"));
+    fields.push_back(Chunk::token(prefix + ".Func", 1, Endian::Big, function));
+    fields.push_back(Chunk::token(prefix + ".Group", 1, Endian::Big, 0x0C));
+    fields.push_back(Chunk::token(prefix + ".Variation", 1, Endian::Big, 0x01));
+    fields.push_back(Chunk::token(prefix + ".Qualifier", 1, Endian::Big, 0x17));
+    fields.push_back(Chunk::token(prefix + ".Count", 1, Endian::Big, 0x01));
+    fields.push_back(range_field(prefix + ".Index", 3));
+    fields.push_back(Chunk::number(prefix + ".OpCode", op).with_tag("dnp-crobop"));
+    fields.push_back(Chunk::token(prefix + ".OpCount", 1, Endian::Big, 0x01));
+    fields.push_back(Chunk::number(prefix + ".OnTime",
+                                   NumberSpec{.width = 4,
+                                              .endian = Endian::Little,
+                                              .default_value = 100})
+                         .with_tag("dnp-time"));
+    fields.push_back(Chunk::number(prefix + ".OffTime",
+                                   NumberSpec{.width = 4,
+                                              .endian = Endian::Little,
+                                              .default_value = 100})
+                         .with_tag("dnp-time"));
+    fields.push_back(Chunk::token(prefix + ".Status", 1, Endian::Big, 0x00));
+    return fields;
+  };
+  set.add(link_frame("DnpDirectOperate", crob_fields("DnpDirectOperate", 0x05),
+                     0x0C05));
+  set.add(link_frame("DnpSelect", crob_fields("DnpSelect", 0x03), 0x0C03));
+  set.add(link_frame("DnpOperate", crob_fields("DnpOperate", 0x04), 0x0C04));
+
+  // COLD_RESTART / DELAY_MEASURE (no object headers).
+  set.add(link_frame("DnpColdRestart",
+                     {app_control("DnpColdRestart.AppCtl"),
+                      Chunk::token("DnpColdRestart.Func", 1, Endian::Big, 0x0D)},
+                     0x0D));
+  set.add(link_frame(
+      "DnpDelayMeasure",
+      {app_control("DnpDelayMeasure.AppCtl"),
+       Chunk::token("DnpDelayMeasure.Func", 1, Endian::Big, 0x17)},
+      0x17));
+
+  // Coarse model: valid link header/CRCs around an opaque fragment.
+  {
+    BlobSpec fragment;
+    fragment.default_value = {0xC0, 0x01, 0x3C, 0x02, 0x06};
+    fragment.max_generated = 13;  // keep within one CRC block (15 - transport)
+    set.add(link_frame("RawDnp3",
+                       {Chunk::blob("RawDnp3.Fragment", fragment)}, 0));
+  }
+
+  return set;
+}
+
+}  // namespace icsfuzz::pits

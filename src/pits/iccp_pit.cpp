@@ -1,0 +1,248 @@
+// libiec_iccp_mod (TASE.2/MMS) pit.
+//
+// Every confirmed-service model is a session: a TPKT(initiate-Request)
+// establishing the association, then a TPKT(confirmed-Request) carrying the
+// service. Shared semantic tags: iccp-detail (negotiated local detail),
+// iccp-invoke (invoke id), iccp-item (item index), iccp-declen (declared
+// value length), iccp-valblob (value octets).
+//
+// BER lengths are modelled as SizeOf relations so the File Fixup module
+// keeps spliced TLVs well-formed.
+
+#include "pits/pits.hpp"
+
+namespace icsfuzz::pits {
+namespace {
+
+using model::BlobSpec;
+using model::Chunk;
+using model::DataModel;
+using model::NumberSpec;
+using model::Relation;
+using model::RelationKind;
+using Endian = icsfuzz::Endian;
+
+/// TPKT envelope around `pdu_fields`: version 3, reserved 0, total length.
+Chunk tpkt(const std::string& prefix, std::vector<Chunk> pdu_fields) {
+  std::vector<Chunk> frame;
+  frame.push_back(Chunk::token(prefix + ".Version", 1, Endian::Big, 0x03));
+  frame.push_back(Chunk::token(prefix + ".Reserved", 1, Endian::Big, 0x00));
+  frame.push_back(
+      Chunk::number(prefix + ".Length", NumberSpec{.width = 2})
+          .with_relation(
+              Relation{RelationKind::SizeOf, prefix + ".Pdu", 1, 4}));
+  frame.push_back(Chunk::block(prefix + ".Pdu", std::move(pdu_fields)));
+  return Chunk::block(prefix, std::move(frame));
+}
+
+/// One-octet-length BER TLV wrapping a block of fields.
+std::vector<Chunk> tlv(const std::string& prefix, std::uint8_t tag,
+                       std::vector<Chunk> inner) {
+  std::vector<Chunk> fields;
+  fields.push_back(Chunk::token(prefix + ".Tag", 1, Endian::Big, tag));
+  fields.push_back(
+      Chunk::number(prefix + ".Len", NumberSpec{.width = 1})
+          .with_relation(Relation{RelationKind::SizeOf, prefix + ".Val", 1, 0}));
+  fields.push_back(Chunk::block(prefix + ".Val", std::move(inner)));
+  return fields;
+}
+
+Chunk tlv_block(const std::string& prefix, std::uint8_t tag,
+                std::vector<Chunk> inner) {
+  return Chunk::block(prefix, tlv(prefix, tag, std::move(inner)));
+}
+
+/// initiate-Request TPKT: local detail, max outstanding, version.
+Chunk initiate_frame(const std::string& prefix) {
+  NumberSpec detail;
+  detail.width = 4;
+  detail.default_value = 8000;
+  detail.min_value = 500;
+  detail.max_value = 70000;
+  NumberSpec version;
+  version.width = 1;
+  version.default_value = 1;
+  version.legal_values = {1, 2};
+  std::vector<Chunk> params;
+  params.push_back(tlv_block(prefix + ".Detail", 0x80,
+                             {Chunk::number(prefix + ".Detail.Value", detail)
+                                  .with_tag("iccp-detail")}));
+  params.push_back(tlv_block(
+      prefix + ".MaxServ", 0x81,
+      {Chunk::number(prefix + ".MaxServ.Value", NumberSpec{.width = 1,
+                                                           .default_value = 5})
+           .with_tag("iccp-maxserv")}));
+  params.push_back(tlv_block(prefix + ".Ver", 0x82,
+                             {Chunk::number(prefix + ".Ver.Value", version)
+                                  .with_tag("iccp-version")}));
+  return tpkt(prefix,
+              tlv(prefix + ".Init", 0xA8,
+                  {Chunk::block(prefix + ".Init.Params", std::move(params))}));
+}
+
+Chunk invoke_field(const std::string& prefix) {
+  NumberSpec invoke;
+  invoke.width = 4;
+  invoke.default_value = 1;
+  return tlv_block(prefix, 0x02,
+                   {Chunk::number(prefix + ".Value", invoke)
+                        .with_tag("iccp-invoke")});
+}
+
+Chunk item_index_field(const std::string& prefix) {
+  NumberSpec item;
+  item.width = 1;
+  item.default_value = 3;
+  item.legal_values = {0, 1, 2, 3, 4, 5};
+  return tlv_block(prefix, 0x80,
+                   {Chunk::number(prefix + ".Value", item)
+                        .with_tag("iccp-item")});
+}
+
+/// Confirmed-request session: initiate + confirmed(service TLV).
+DataModel service_session(const std::string& name, std::uint8_t service_tag,
+                          std::vector<Chunk> service_fields,
+                          std::uint64_t opcode) {
+  std::vector<Chunk> request_inner;
+  request_inner.push_back(invoke_field(name + ".Req.Invoke"));
+  request_inner.push_back(
+      tlv_block(name + ".Req.Svc", service_tag, std::move(service_fields)));
+
+  std::vector<Chunk> session;
+  session.push_back(initiate_frame(name + ".Assoc"));
+  session.push_back(tpkt(name + ".Req", tlv(name + ".Req.Conf", 0xA0,
+                                            std::move(request_inner))));
+  DataModel model(name, Chunk::block(name + ".root", std::move(session)));
+  model.set_opcode(opcode);
+  return model;
+}
+
+}  // namespace
+
+model::DataModelSet iccp_pit() {
+  model::DataModelSet set;
+
+  // Association alone (negotiation space).
+  {
+    std::vector<Chunk> session;
+    session.push_back(initiate_frame("Assoc"));
+    set.add(DataModel("IccpAssociate",
+                      Chunk::block("IccpAssociate.root", std::move(session))));
+  }
+
+  // Read — plain and structured (the nest-OOB site is the component read).
+  set.add(service_session("IccpRead", 0xA4,
+                          {item_index_field("IccpRead.Item")}, 0xA4));
+  {
+    NumberSpec component;
+    component.width = 1;
+    component.default_value = 0;
+    component.legal_values = {0, 1};
+    set.add(service_session(
+        "IccpReadComponent", 0xA4,
+        {item_index_field("IccpReadComponent.Item"),
+         tlv_block("IccpReadComponent.Comp", 0x81,
+                   {Chunk::number("IccpReadComponent.Comp.Value", component)
+                        .with_tag("iccp-comp")})},
+        0xA5));
+  }
+
+  // Write (the heap-overflow site): declared length vs value blob.
+  {
+    NumberSpec declared;
+    declared.width = 1;
+    declared.default_value = 4;
+    BlobSpec value;
+    value.default_value = {0xDE, 0xAD, 0xBE, 0xEF};
+    value.max_generated = 24;
+    set.add(service_session(
+        "IccpWrite", 0xA5,
+        {item_index_field("IccpWrite.Item"),
+         tlv_block("IccpWrite.DecLen", 0x81,
+                   {Chunk::number("IccpWrite.DecLen.Value", declared)
+                        .with_tag("iccp-declen")}),
+         tlv_block("IccpWrite.Value", 0x82,
+                   {Chunk::blob("IccpWrite.Value.Blob", value)
+                        .with_tag("iccp-valblob")})},
+        0xA6));
+  }
+
+  // GetNameList — plain and continuation (the name-OOB site).
+  set.add(service_session(
+      "IccpNameList", 0xA1,
+      {tlv_block("IccpNameList.Class", 0x80,
+                 {Chunk::number("IccpNameList.Class.Value",
+                                NumberSpec{.width = 1, .default_value = 0})
+                      .with_tag("iccp-class")})},
+      0xA1));
+  {
+    NumberSpec after;
+    after.width = 1;
+    after.default_value = 2;
+    after.legal_values = {0, 1, 2, 3, 4};
+    set.add(service_session(
+        "IccpNameListContinue", 0xA1,
+        {tlv_block("IccpNameListContinue.Class", 0x80,
+                   {Chunk::number("IccpNameListContinue.Class.Value",
+                                  NumberSpec{.width = 1, .default_value = 0})
+                        .with_tag("iccp-class")}),
+         tlv_block("IccpNameListContinue.After", 0x81,
+                   {Chunk::number("IccpNameListContinue.After.Value", after)
+                        .with_tag("iccp-after")})},
+        0xA2));
+  }
+
+  // InformationReport (unconfirmed; the report-OOB site): count, offsets,
+  // data. Offsets and data are free blobs so their interplay explores the
+  // indexing logic.
+  {
+    NumberSpec count;
+    count.width = 1;
+    count.default_value = 2;
+    BlobSpec offsets;
+    offsets.default_value = {0x00, 0x01};
+    offsets.max_generated = 8;
+    BlobSpec data;
+    data.default_value = {0xAA, 0xBB, 0xCC, 0xDD};
+    data.max_generated = 16;
+    std::vector<Chunk> report_inner;
+    report_inner.push_back(
+        tlv_block("IccpReport.Count", 0x80,
+                  {Chunk::number("IccpReport.Count.Value", count)
+                       .with_tag("iccp-count")}));
+    report_inner.push_back(
+        tlv_block("IccpReport.Offsets", 0x81,
+                  {Chunk::blob("IccpReport.Offsets.Blob", offsets)
+                       .with_tag("iccp-offsets")}));
+    report_inner.push_back(tlv_block("IccpReport.Data", 0x82,
+                                     {Chunk::blob("IccpReport.Data.Blob", data)
+                                          .with_tag("iccp-datablob")}));
+    std::vector<Chunk> session;
+    session.push_back(initiate_frame("IccpReport.Assoc"));
+    session.push_back(
+        tpkt("IccpReport.Rpt",
+             tlv("IccpReport.Rpt.Info", 0xA3,
+                 {Chunk::block("IccpReport.Rpt.Body", std::move(report_inner))})));
+    DataModel model("IccpReport",
+                    Chunk::block("IccpReport.root", std::move(session)));
+    model.set_opcode(0xA3);
+    set.add(std::move(model));
+  }
+
+  // Coarse raw session: association + opaque PDU blob.
+  {
+    BlobSpec pdu;
+    pdu.default_value = {0xA0, 0x03, 0x02, 0x01, 0x01};
+    pdu.max_generated = 40;
+    std::vector<Chunk> session;
+    session.push_back(initiate_frame("RawIccp.Assoc"));
+    session.push_back(
+        tpkt("RawIccp.Frame", {Chunk::blob("RawIccp.Frame.Blob", pdu)}));
+    set.add(
+        DataModel("RawIccp", Chunk::block("RawIccp.root", std::move(session))));
+  }
+
+  return set;
+}
+
+}  // namespace icsfuzz::pits

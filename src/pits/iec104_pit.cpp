@@ -1,0 +1,295 @@
+// IEC 60870-5-104 pit — data models for the IEC104 target.
+//
+// Shared semantic tags: i104-seq (sequence octets), i104-cot, i104-ca
+// (common address), i104-ioa (information object address), i104-qoi,
+// i104-sco (single command qualifier), i104-time (CP56Time2a).
+//
+// Stateful note: I-frames are only processed after STARTDT, so every
+// command model is a *session*: a STARTDT-act U frame followed by one or
+// two I frames with the correct send-sequence numbers.
+
+#include "pits/pits.hpp"
+
+namespace icsfuzz::pits {
+namespace {
+
+using model::BlobSpec;
+using model::Chunk;
+using model::DataModel;
+using model::NumberSpec;
+using model::Relation;
+using model::RelationKind;
+using Endian = icsfuzz::Endian;
+
+/// STARTDT-act U frame (constant six bytes, all tokens).
+Chunk startdt_frame(const std::string& prefix) {
+  return Chunk::block(prefix + ".StartDt",
+                      {Chunk::token(prefix + ".StartDt.Start", 1, Endian::Big, 0x68),
+                       Chunk::token(prefix + ".StartDt.Length", 1, Endian::Big, 4),
+                       Chunk::token(prefix + ".StartDt.Control", 4, Endian::Big,
+                                    0x07000000)});
+}
+
+/// I-frame wrapper: 0x68, length relation, send/recv sequence numbers and
+/// an ASDU block assembled from `asdu_fields`.
+Chunk i_frame(const std::string& prefix, std::uint16_t send_seq,
+              std::vector<Chunk> asdu_fields) {
+  NumberSpec send;
+  send.width = 2;
+  send.endian = Endian::Little;
+  send.default_value = static_cast<std::uint64_t>(send_seq) << 1;
+  NumberSpec recv;
+  recv.width = 2;
+  recv.endian = Endian::Little;
+  recv.default_value = 0;
+
+  std::vector<Chunk> body;
+  body.push_back(
+      Chunk::number(prefix + ".SendSeq", send).with_tag("i104-seq"));
+  body.push_back(
+      Chunk::number(prefix + ".RecvSeq", recv).with_tag("i104-seq"));
+  body.push_back(Chunk::block(prefix + ".Asdu", std::move(asdu_fields)));
+
+  std::vector<Chunk> frame;
+  frame.push_back(Chunk::token(prefix + ".Start", 1, Endian::Big, 0x68));
+  frame.push_back(
+      Chunk::number(prefix + ".Length", NumberSpec{.width = 1})
+          .with_relation(Relation{RelationKind::SizeOf, prefix + ".Body", 1, 0}));
+  frame.push_back(Chunk::block(prefix + ".Body", std::move(body)));
+  return Chunk::block(prefix, std::move(frame));
+}
+
+/// Common six-octet ASDU header: type, VSQ, COT, originator, CA.
+void push_asdu_header(std::vector<Chunk>& fields, const std::string& prefix,
+                      std::uint8_t type_id, std::uint8_t default_cot) {
+  fields.push_back(Chunk::token(prefix + ".TypeId", 1, Endian::Big, type_id));
+  NumberSpec vsq;
+  vsq.width = 1;
+  vsq.default_value = 1;
+  fields.push_back(Chunk::number(prefix + ".Vsq", vsq).with_tag("i104-vsq"));
+  NumberSpec cot;
+  cot.width = 1;
+  cot.default_value = default_cot;
+  cot.legal_values = {5, 6, 7, 8, 20, 44, 45};
+  fields.push_back(Chunk::number(prefix + ".Cot", cot).with_tag("i104-cot"));
+  fields.push_back(Chunk::token(prefix + ".Originator", 1, Endian::Big, 0));
+  NumberSpec ca;
+  ca.width = 2;
+  ca.endian = Endian::Little;
+  ca.default_value = 0x0001;
+  ca.legal_values = {0x0001, 0xFFFF};
+  fields.push_back(Chunk::number(prefix + ".Ca", ca).with_tag("i104-ca"));
+}
+
+Chunk ioa_field(const std::string& name, std::uint32_t default_value) {
+  NumberSpec spec;
+  spec.width = 3;
+  spec.endian = Endian::Little;
+  spec.default_value = default_value;
+  spec.min_value = 0;
+  spec.max_value = 0x2000;
+  return Chunk::number(name, spec).with_tag("i104-ioa");
+}
+
+}  // namespace
+
+model::DataModelSet iec104_pit() {
+  model::DataModelSet set;
+
+  // Pure U-frame handshake model (STARTDT / TESTFR / STOPDT).
+  {
+    NumberSpec control;
+    control.width = 1;
+    control.default_value = 0x07;
+    control.legal_values = {0x07, 0x0B, 0x13, 0x23, 0x43, 0x83};
+    std::vector<Chunk> fields;
+    fields.push_back(Chunk::token("UFrame.Start", 1, Endian::Big, 0x68));
+    fields.push_back(Chunk::token("UFrame.Length", 1, Endian::Big, 4));
+    fields.push_back(
+        Chunk::number("UFrame.Control", control).with_tag("i104-ucontrol"));
+    fields.push_back(Chunk::token("UFrame.Pad", 3, Endian::Big, 0));
+    set.add(DataModel("UFrame", Chunk::block("UFrame.root", std::move(fields))));
+  }
+
+  // Interrogation session: STARTDT + C_IC_NA_1.
+  {
+    std::vector<Chunk> asdu;
+    push_asdu_header(asdu, "Interro.I.Asdu", 100, 6);
+    asdu.push_back(ioa_field("Interro.I.Asdu.Ioa", 0));
+    NumberSpec qoi;
+    qoi.width = 1;
+    qoi.default_value = 20;
+    qoi.legal_values = {20, 21, 22, 36};
+    asdu.push_back(Chunk::number("Interro.I.Asdu.Qoi", qoi).with_tag("i104-qoi"));
+    std::vector<Chunk> session;
+    session.push_back(startdt_frame("Interro"));
+    session.push_back(i_frame("Interro.I", 0, std::move(asdu)));
+    DataModel model("Interrogation",
+                    Chunk::block("Interrogation.root", std::move(session)));
+    model.set_opcode(100);
+    set.add(std::move(model));
+  }
+
+  // Select-then-execute single-command session: STARTDT + two C_SC_NA_1.
+  {
+    auto command_asdu = [](const std::string& prefix, std::uint8_t sco_default) {
+      std::vector<Chunk> asdu;
+      push_asdu_header(asdu, prefix, 45, 6);
+      asdu.push_back(ioa_field(prefix + ".Ioa", 0x1000));
+      NumberSpec sco;
+      sco.width = 1;
+      sco.default_value = sco_default;
+      sco.legal_values = {0x00, 0x01, 0x80, 0x81};
+      asdu.push_back(Chunk::number(prefix + ".Sco", sco).with_tag("i104-sco"));
+      return asdu;
+    };
+    std::vector<Chunk> session;
+    session.push_back(startdt_frame("SingleCmd"));
+    session.push_back(
+        i_frame("SingleCmd.Select", 0, command_asdu("SingleCmd.Select.Asdu", 0x81)));
+    session.push_back(
+        i_frame("SingleCmd.Execute", 1, command_asdu("SingleCmd.Execute.Asdu", 0x01)));
+    DataModel model("SingleCommand",
+                    Chunk::block("SingleCommand.root", std::move(session)));
+    model.set_opcode(45);
+    set.add(std::move(model));
+  }
+
+  // Clock-sync session: STARTDT + C_CS_NA_1 with CP56Time2a payload.
+  {
+    std::vector<Chunk> asdu;
+    push_asdu_header(asdu, "ClockSync.I.Asdu", 103, 6);
+    asdu.push_back(ioa_field("ClockSync.I.Asdu.Ioa", 0));
+    BlobSpec time;
+    time.length = 7;
+    time.default_value = {0x00, 0x00, 0x1E, 0x0A, 0x0C, 0x06, 0x18};
+    asdu.push_back(
+        Chunk::blob("ClockSync.I.Asdu.Time", time).with_tag("i104-time"));
+    std::vector<Chunk> session;
+    session.push_back(startdt_frame("ClockSync"));
+    session.push_back(i_frame("ClockSync.I", 0, std::move(asdu)));
+    DataModel model("ClockSync",
+                    Chunk::block("ClockSync.root", std::move(session)));
+    model.set_opcode(103);
+    set.add(std::move(model));
+  }
+
+  // Double-command session (C_DC_NA_1): DCS values and select gating.
+  {
+    std::vector<Chunk> asdu;
+    push_asdu_header(asdu, "DoubleCmd.I.Asdu", 46, 6);
+    NumberSpec ioa;
+    ioa.width = 3;
+    ioa.endian = Endian::Little;
+    ioa.default_value = 0x1800;
+    ioa.min_value = 0;
+    ioa.max_value = 0x2000;
+    asdu.push_back(
+        Chunk::number("DoubleCmd.I.Asdu.Ioa", ioa).with_tag("i104-ioa"));
+    NumberSpec dco;
+    dco.width = 1;
+    dco.default_value = 0x01;
+    dco.legal_values = {0x01, 0x02, 0x81, 0x82};
+    asdu.push_back(Chunk::number("DoubleCmd.I.Asdu.Dco", dco).with_tag("i104-dco"));
+    std::vector<Chunk> session;
+    session.push_back(startdt_frame("DoubleCmd"));
+    session.push_back(i_frame("DoubleCmd.I", 0, std::move(asdu)));
+    DataModel model("DoubleCommand",
+                    Chunk::block("DoubleCommand.root", std::move(session)));
+    model.set_opcode(46);
+    set.add(std::move(model));
+  }
+
+  // Setpoint session (C_SE_NB_1): select then execute with scaled value.
+  {
+    auto setpoint_asdu = [](const std::string& prefix, std::uint8_t qos_default) {
+      std::vector<Chunk> asdu;
+      push_asdu_header(asdu, prefix, 49, 6);
+      NumberSpec ioa;
+      ioa.width = 3;
+      ioa.endian = Endian::Little;
+      ioa.default_value = 0x1900;
+      ioa.min_value = 0;
+      ioa.max_value = 0x2000;
+      asdu.push_back(Chunk::number(prefix + ".Ioa", ioa).with_tag("i104-ioa"));
+      NumberSpec value;
+      value.width = 2;
+      value.endian = Endian::Little;
+      value.default_value = 0x0400;
+      asdu.push_back(
+          Chunk::number(prefix + ".Value", value).with_tag("i104-setval"));
+      NumberSpec qos;
+      qos.width = 1;
+      qos.default_value = qos_default;
+      qos.legal_values = {0x00, 0x01, 0x80, 0x81};
+      asdu.push_back(Chunk::number(prefix + ".Qos", qos).with_tag("i104-qos"));
+      return asdu;
+    };
+    std::vector<Chunk> session;
+    session.push_back(startdt_frame("Setpoint"));
+    session.push_back(i_frame("Setpoint.Select", 0,
+                              setpoint_asdu("Setpoint.Select.Asdu", 0x80)));
+    session.push_back(i_frame("Setpoint.Execute", 1,
+                              setpoint_asdu("Setpoint.Execute.Asdu", 0x00)));
+    DataModel model("SetpointCommand",
+                    Chunk::block("SetpointCommand.root", std::move(session)));
+    model.set_opcode(49);
+    set.add(std::move(model));
+  }
+
+  // Counter-interrogation session (C_CI_NA_1).
+  {
+    std::vector<Chunk> asdu;
+    push_asdu_header(asdu, "CounterInterro.I.Asdu", 101, 6);
+    asdu.push_back(ioa_field("CounterInterro.I.Asdu.Ioa", 0));
+    NumberSpec qcc;
+    qcc.width = 1;
+    qcc.default_value = 0x05;
+    qcc.legal_values = {0x01, 0x05, 0x45, 0xC5};
+    asdu.push_back(
+        Chunk::number("CounterInterro.I.Asdu.Qcc", qcc).with_tag("i104-qcc"));
+    std::vector<Chunk> session;
+    session.push_back(startdt_frame("CounterInterro"));
+    session.push_back(i_frame("CounterInterro.I", 0, std::move(asdu)));
+    DataModel model("CounterInterrogation",
+                    Chunk::block("CounterInterrogation.root", std::move(session)));
+    model.set_opcode(101);
+    set.add(std::move(model));
+  }
+
+  // Read-command session (C_RD_NA_1): IOA banks drive distinct replies.
+  {
+    std::vector<Chunk> asdu;
+    push_asdu_header(asdu, "ReadCmd.I.Asdu", 102, 5);
+    NumberSpec ioa;
+    ioa.width = 3;
+    ioa.endian = Endian::Little;
+    ioa.default_value = 0x0100;
+    ioa.min_value = 0;
+    ioa.max_value = 0x0300;
+    asdu.push_back(Chunk::number("ReadCmd.I.Asdu.Ioa", ioa).with_tag("i104-ioa"));
+    std::vector<Chunk> session;
+    session.push_back(startdt_frame("ReadCmd"));
+    session.push_back(i_frame("ReadCmd.I", 0, std::move(asdu)));
+    DataModel model("ReadCommand",
+                    Chunk::block("ReadCommand.root", std::move(session)));
+    model.set_opcode(102);
+    set.add(std::move(model));
+  }
+
+  // Coarse raw session: STARTDT + one I frame with an opaque ASDU blob.
+  {
+    BlobSpec asdu;
+    asdu.default_value = {100, 1, 6, 0, 1, 0, 0, 0, 0, 20};
+    asdu.max_generated = 32;
+    std::vector<Chunk> session;
+    session.push_back(startdt_frame("Raw104"));
+    session.push_back(i_frame("Raw104.I", 0,
+                              {Chunk::blob("Raw104.I.Asdu.Blob", asdu)}));
+    set.add(DataModel("Raw104", Chunk::block("Raw104.root", std::move(session))));
+  }
+
+  return set;
+}
+
+}  // namespace icsfuzz::pits

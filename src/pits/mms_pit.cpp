@@ -1,0 +1,279 @@
+// libiec61850 (MMS) pit.
+//
+// Every service model is a session: TPKT(initiate-Request) followed by
+// TPKT(confirmed-Request). Shared semantic tags: mms-pdusize, mms-invoke,
+// mms-ref (object reference strings), mms-class, mms-domain,
+// mms-writeval. Object references are String chunks whose defaults point
+// into the served IED directory; string mutation explores neighbouring
+// names while donor reuse transfers *resolvable* references between the
+// Read / Write / GetVariableAccessAttributes models — the paper's
+// cross-packet-type chunk similarity in its purest form.
+
+#include "pits/pits.hpp"
+
+namespace icsfuzz::pits {
+namespace {
+
+using model::BlobSpec;
+using model::Chunk;
+using model::DataModel;
+using model::NumberSpec;
+using model::Relation;
+using model::RelationKind;
+using model::StringSpec;
+using Endian = icsfuzz::Endian;
+
+Chunk tpkt(const std::string& prefix, std::vector<Chunk> pdu_fields) {
+  std::vector<Chunk> frame;
+  frame.push_back(Chunk::token(prefix + ".Version", 1, Endian::Big, 0x03));
+  frame.push_back(Chunk::token(prefix + ".Reserved", 1, Endian::Big, 0x00));
+  frame.push_back(
+      Chunk::number(prefix + ".Length", NumberSpec{.width = 2})
+          .with_relation(
+              Relation{RelationKind::SizeOf, prefix + ".Pdu", 1, 4}));
+  frame.push_back(Chunk::block(prefix + ".Pdu", std::move(pdu_fields)));
+  return Chunk::block(prefix, std::move(frame));
+}
+
+std::vector<Chunk> tlv(const std::string& prefix, std::uint8_t tag,
+                       std::vector<Chunk> inner) {
+  std::vector<Chunk> fields;
+  fields.push_back(Chunk::token(prefix + ".Tag", 1, Endian::Big, tag));
+  fields.push_back(
+      Chunk::number(prefix + ".Len", NumberSpec{.width = 1})
+          .with_relation(Relation{RelationKind::SizeOf, prefix + ".Val", 1, 0}));
+  fields.push_back(Chunk::block(prefix + ".Val", std::move(inner)));
+  return fields;
+}
+
+Chunk tlv_block(const std::string& prefix, std::uint8_t tag,
+                std::vector<Chunk> inner) {
+  return Chunk::block(prefix, tlv(prefix, tag, std::move(inner)));
+}
+
+/// initiate-Request: PDU size, version 1, parameter CBB, services bitmap.
+Chunk initiate_frame(const std::string& prefix) {
+  NumberSpec pdu_size;
+  pdu_size.width = 4;
+  pdu_size.default_value = 32000;
+  pdu_size.min_value = 512;
+  pdu_size.max_value = 70000;
+  BlobSpec services;
+  services.length = 8;
+  services.default_value = {0xEE, 0x1C, 0x00, 0x00, 0x04, 0x08, 0x00, 0x79};
+  std::vector<Chunk> params;
+  params.push_back(tlv_block(prefix + ".PduSize", 0x80,
+                             {Chunk::number(prefix + ".PduSize.Value", pdu_size)
+                                  .with_tag("mms-pdusize")}));
+  params.push_back(
+      tlv_block(prefix + ".Ver", 0x81,
+                {Chunk::number(prefix + ".Ver.Value",
+                               NumberSpec{.width = 1, .default_value = 1})
+                     .with_tag("mms-version")}));
+  params.push_back(
+      tlv_block(prefix + ".Cbb", 0x82,
+                {Chunk::number(prefix + ".Cbb.Value",
+                               NumberSpec{.width = 2, .default_value = 0xF100})
+                     .with_tag("mms-cbb")}));
+  params.push_back(tlv_block(prefix + ".Svcs", 0x83,
+                             {Chunk::blob(prefix + ".Svcs.Value", services)
+                                  .with_tag("mms-services")}));
+  return tpkt(prefix,
+              tlv(prefix + ".Init", 0xA8,
+                  {Chunk::block(prefix + ".Init.Params", std::move(params))}));
+}
+
+Chunk invoke_field(const std::string& prefix) {
+  return tlv_block(prefix, 0x02,
+                   {Chunk::number(prefix + ".Value",
+                                  NumberSpec{.width = 4, .default_value = 1})
+                        .with_tag("mms-invoke")});
+}
+
+Chunk reference_field(const std::string& prefix, std::string default_ref) {
+  StringSpec ref;
+  ref.default_value = std::move(default_ref);
+  ref.max_generated = 48;
+  return tlv_block(prefix, 0x1A,
+                   {Chunk::string(prefix + ".Text", ref).with_tag("mms-ref")});
+}
+
+DataModel service_session(const std::string& name, std::uint8_t service_tag,
+                          std::vector<Chunk> service_fields,
+                          std::uint64_t opcode) {
+  std::vector<Chunk> request_inner;
+  request_inner.push_back(invoke_field(name + ".Req.Invoke"));
+  request_inner.push_back(
+      tlv_block(name + ".Req.Svc", service_tag, std::move(service_fields)));
+  std::vector<Chunk> session;
+  session.push_back(initiate_frame(name + ".Assoc"));
+  session.push_back(tpkt(name + ".Req", tlv(name + ".Req.Conf", 0xA0,
+                                            std::move(request_inner))));
+  DataModel model(name, Chunk::block(name + ".root", std::move(session)));
+  model.set_opcode(opcode);
+  return model;
+}
+
+}  // namespace
+
+model::DataModelSet mms_pit() {
+  model::DataModelSet set;
+
+  // Association alone.
+  {
+    std::vector<Chunk> session;
+    session.push_back(initiate_frame("MmsAssoc"));
+    set.add(DataModel("MmsAssociate",
+                      Chunk::block("MmsAssociate.root", std::move(session))));
+  }
+
+  // Status / Identify (atomic services).
+  set.add(service_session(
+      "MmsStatus", 0x80,
+      {Chunk::number("MmsStatus.Derived",
+                     NumberSpec{.width = 1, .default_value = 0})
+           .with_tag("mms-statusarg")},
+      0x80));
+  set.add(service_session(
+      "MmsIdentify", 0x82,
+      {Chunk::number("MmsIdentify.Pad",
+                     NumberSpec{.width = 1, .default_value = 0})
+           .with_tag("mms-pad")},
+      0x82));
+
+  // GetNameList: LD directory and per-domain variables with continuation.
+  set.add(service_session(
+      "MmsNameListDevices", 0xA1,
+      {tlv_block("MmsNameListDevices.Class", 0x80,
+                 {Chunk::number("MmsNameListDevices.Class.Value",
+                                NumberSpec{.width = 1,
+                                           .default_value = 9,
+                                           .legal_values = {0, 9}})
+                      .with_tag("mms-class")})},
+      0xA1));
+  {
+    StringSpec domain;
+    domain.default_value = "simpleIOGenericIO";
+    domain.max_generated = 24;
+    StringSpec after;
+    after.default_value = "LLN0$Mod";
+    after.max_generated = 24;
+    set.add(service_session(
+        "MmsNameListVariables", 0xA1,
+        {tlv_block("MmsNameListVariables.Class", 0x80,
+                   {Chunk::number("MmsNameListVariables.Class.Value",
+                                  NumberSpec{.width = 1,
+                                             .default_value = 9,
+                                             .legal_values = {0, 9}})
+                        .with_tag("mms-class")}),
+         tlv_block("MmsNameListVariables.Domain", 0x81,
+                   {Chunk::string("MmsNameListVariables.Domain.Text", domain)
+                        .with_tag("mms-domain")}),
+         tlv_block("MmsNameListVariables.After", 0x82,
+                   {Chunk::string("MmsNameListVariables.After.Text", after)
+                        .with_tag("mms-after")})},
+        0xA2));
+  }
+
+  // Read: one and two item variants with references into both devices.
+  set.add(service_session(
+      "MmsReadStVal", 0xA4,
+      {reference_field("MmsReadStVal.Item",
+                       "simpleIOGenericIO/GGIO1$ST$Ind1$stVal")},
+      0xA4));
+  set.add(service_session(
+      "MmsReadMag", 0xA4,
+      {reference_field("MmsReadMag.Item",
+                       "simpleIOGenericIO/MMXU1$MX$TotW$mag"),
+       reference_field("MmsReadMag.Item2",
+                       "simpleIOControl/XCBR1$ST$Pos$stVal")},
+      0xA5));
+
+  // Write: boolean control value and config value.
+  {
+    std::vector<Chunk> fields;
+    fields.push_back(reference_field(
+        "MmsWriteCtl.Item", "simpleIOGenericIO/GGIO1$CO$SPCSO1$ctlVal"));
+    fields.push_back(
+        tlv_block("MmsWriteCtl.Value", 0x83,
+                  {Chunk::number("MmsWriteCtl.Value.Bool",
+                                 NumberSpec{.width = 1,
+                                            .default_value = 1,
+                                            .legal_values = {0, 1}})
+                       .with_tag("mms-writeval")}));
+    set.add(service_session("MmsWriteCtl", 0xA5, std::move(fields), 0xA6));
+  }
+  {
+    std::vector<Chunk> fields;
+    fields.push_back(reference_field("MmsWriteCfg.Item",
+                                     "simpleIOGenericIO/MMXU1$CF$TotW$db"));
+    fields.push_back(
+        tlv_block("MmsWriteCfg.Value", 0x86,
+                  {Chunk::number("MmsWriteCfg.Value.Uint",
+                                 NumberSpec{.width = 4, .default_value = 250})
+                       .with_tag("mms-writeval")}));
+    set.add(service_session("MmsWriteCfg", 0xA5, std::move(fields), 0xA7));
+  }
+
+  // GetVariableAccessAttributes.
+  set.add(service_session(
+      "MmsVarAttributes", 0xA6,
+      {reference_field("MmsVarAttributes.Item",
+                       "simpleIOControl/XCBR1$CO$Pos$ctlVal")},
+      0xA8));
+
+  // InformationReport: RptID + inclusion bitstring + values.
+  {
+    StringSpec rpt_id;
+    rpt_id.default_value = "urcbA";
+    rpt_id.max_generated = 16;
+    BlobSpec inclusion;
+    inclusion.default_value = {0x00, 0xC0};  // 2 points included
+    inclusion.max_generated = 4;
+    std::vector<Chunk> report_inner;
+    report_inner.push_back(
+        tlv_block("MmsReport.RptId", 0x1A,
+                  {Chunk::string("MmsReport.RptId.Text", rpt_id)
+                       .with_tag("mms-rptid")}));
+    report_inner.push_back(
+        tlv_block("MmsReport.Inclusion", 0x84,
+                  {Chunk::blob("MmsReport.Inclusion.Bits", inclusion)
+                       .with_tag("mms-inclusion")}));
+    report_inner.push_back(
+        tlv_block("MmsReport.V1", 0x83,
+                  {Chunk::number("MmsReport.V1.Value",
+                                 NumberSpec{.width = 1, .default_value = 1})
+                       .with_tag("mms-writeval")}));
+    report_inner.push_back(
+        tlv_block("MmsReport.V2", 0x86,
+                  {Chunk::number("MmsReport.V2.Value",
+                                 NumberSpec{.width = 4, .default_value = 7})
+                       .with_tag("mms-writeval")}));
+    std::vector<Chunk> session;
+    session.push_back(initiate_frame("MmsReport.Assoc"));
+    session.push_back(
+        tpkt("MmsReport.Rpt",
+             tlv("MmsReport.Rpt.Info", 0xA3,
+                 {Chunk::block("MmsReport.Rpt.Body", std::move(report_inner))})));
+    DataModel model("MmsReport",
+                    Chunk::block("MmsReport.root", std::move(session)));
+    model.set_opcode(0xA3);
+    set.add(std::move(model));
+  }
+
+  // Coarse raw session.
+  {
+    BlobSpec pdu;
+    pdu.default_value = {0xA0, 0x05, 0x02, 0x01, 0x01, 0x80, 0x00};
+    pdu.max_generated = 48;
+    std::vector<Chunk> session;
+    session.push_back(initiate_frame("RawMms.Assoc"));
+    session.push_back(
+        tpkt("RawMms.Frame", {Chunk::blob("RawMms.Frame.Blob", pdu)}));
+    set.add(DataModel("RawMms", Chunk::block("RawMms.root", std::move(session))));
+  }
+
+  return set;
+}
+
+}  // namespace icsfuzz::pits

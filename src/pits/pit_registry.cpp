@@ -1,0 +1,23 @@
+#include "pits/pits.hpp"
+
+namespace icsfuzz::pits {
+
+model::DataModelSet pit_for_project(std::string_view project) {
+  if (project == "libmodbus") return modbus_pit();
+  if (project == "IEC104") return iec104_pit();
+  if (project == "libiec61850") return mms_pit();
+  if (project == "lib60870") return cs101_pit();
+  if (project == "libiec_iccp_mod") return iccp_pit();
+  if (project == "opendnp3") return dnp3_pit();
+  return {};
+}
+
+const std::vector<std::string>& all_project_names() {
+  static const std::vector<std::string> kNames = {
+      "libmodbus",       "IEC104",   "libiec61850",
+      "lib60870",        "libiec_iccp_mod", "opendnp3",
+  };
+  return kNames;
+}
+
+}  // namespace icsfuzz::pits

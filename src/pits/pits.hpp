@@ -1,0 +1,49 @@
+// Built-in format specifications (pits) for the six evaluated protocol
+// stacks — the typed-builder equivalent of the Peach Pit XML files the
+// paper's experiments use ("we used the existing pit file of Peach",
+// §V-A).
+//
+// Design conventions shared by all pits:
+//   * One data model per packet type / function code, plus session models
+//     that chain the handshake frames stateful stacks require, plus one
+//     deliberately coarse "raw" model ("the input model does not have to be
+//     elaborate", §V-A) whose variable-length blob reaches the malformed
+//     corners — truncated ASDUs and the like — where the Table I bugs live.
+//   * Chunks representing the same protocol concept carry the same semantic
+//     `tag` across models (e.g. every Modbus register address is tagged
+//     "mb-addr"); this is the cross-packet-type rule similarity that the
+//     puzzle corpus keys on.
+//   * Integrity constraints are expressed with Relations (size-of/count-of)
+//     and Fixups (CRCs), so the File Fixup module can repair spliced seeds.
+#pragma once
+
+#include "model/data_model.hpp"
+
+namespace icsfuzz::pits {
+
+/// Modbus/TCP: 11 models — one per function code plus session + raw.
+model::DataModelSet modbus_pit();
+
+/// IEC 60870-5-104: U/S/I frame models with handshake sessions.
+model::DataModelSet iec104_pit();
+
+/// lib60870 CS101/CS104 ASDU layer: typed command models + raw-ASDU model.
+model::DataModelSet cs101_pit();
+
+/// libiec_iccp_mod (TASE.2/MMS): association + confirmed-service models.
+model::DataModelSet iccp_pit();
+
+/// opendnp3: link-framed application requests with DNP3 CRC fixups.
+model::DataModelSet dnp3_pit();
+
+/// libiec61850 (MMS): association + confirmed-service + report models.
+model::DataModelSet mms_pit();
+
+/// Looks a pit up by its project name ("libmodbus", "IEC104", ...).
+/// Returns an empty set for unknown names.
+model::DataModelSet pit_for_project(std::string_view project);
+
+/// All six project names in the paper's order.
+const std::vector<std::string>& all_project_names();
+
+}  // namespace icsfuzz::pits

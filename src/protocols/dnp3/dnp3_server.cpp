@@ -1,0 +1,429 @@
+#include "protocols/dnp3/dnp3_server.hpp"
+
+#include "coverage/instrument.hpp"
+#include "util/checksum.hpp"
+
+namespace icsfuzz::proto {
+namespace {
+
+// Link-layer constants.
+constexpr std::uint8_t kStart0 = 0x05;
+constexpr std::uint8_t kStart1 = 0x64;
+
+// Application function codes.
+constexpr std::uint8_t kFuncRead = 0x01;
+constexpr std::uint8_t kFuncWrite = 0x02;
+constexpr std::uint8_t kFuncSelect = 0x03;
+constexpr std::uint8_t kFuncOperate = 0x04;
+constexpr std::uint8_t kFuncDirectOperate = 0x05;
+constexpr std::uint8_t kFuncColdRestart = 0x0D;
+constexpr std::uint8_t kFuncDelayMeasure = 0x17;
+constexpr std::uint8_t kFuncResponse = 0x81;
+
+// IIN bits (first octet in the high byte of our u16).
+constexpr std::uint16_t kIinDeviceRestart = 0x8000;
+constexpr std::uint16_t kIinFuncNotSupported = 0x0001;
+constexpr std::uint16_t kIinObjectUnknown = 0x0002;
+constexpr std::uint16_t kIinParamError = 0x0004;
+
+}  // namespace
+
+Dnp3Server::Dnp3Server() { reset(); }
+
+void Dnp3Server::reset() {
+  binary_.fill(false);
+  for (std::size_t i = 0; i < kNumAnalog; ++i) {
+    analog_[i] = static_cast<std::uint32_t>(100 * i);
+  }
+  for (std::size_t i = 0; i < kNumBinary; i += 2) binary_[i] = true;
+  select_armed_ = false;
+  select_index_ = 0;
+  operate_count_ = 0;
+  expected_transport_seq_ = 0;
+}
+
+std::optional<Dnp3Server::LinkFrame> Dnp3Server::parse_link(ByteSpan packet) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(packet);
+  const std::uint8_t start0 = reader.read_u8();
+  const std::uint8_t start1 = reader.read_u8();
+  const std::uint8_t length = reader.read_u8();
+  const std::uint8_t control = reader.read_u8();
+  const std::uint16_t destination = reader.read_u16(Endian::Little);
+  const std::uint16_t source = reader.read_u16(Endian::Little);
+  const std::uint16_t header_crc = reader.read_u16(Endian::Little);
+  if (!reader.ok() || start0 != kStart0 || start1 != kStart1) {
+    ICSFUZZ_COV_BLOCK();
+    return std::nullopt;
+  }
+  // Header CRC covers the first 8 octets.
+  if (crc16_dnp3(packet.subspan(0, 8)) != header_crc) {
+    ICSFUZZ_COV_BLOCK();
+    return std::nullopt;  // header CRC failure
+  }
+  if (length < 5) {
+    ICSFUZZ_COV_BLOCK();
+    return std::nullopt;  // length counts control+dest+src at minimum
+  }
+  LinkFrame frame;
+  frame.control = control;
+  frame.destination = destination;
+  frame.source = source;
+
+  // User data: `length - 5` payload octets in 16-byte blocks, each with CRC.
+  std::size_t remaining_payload = static_cast<std::size_t>(length) - 5;
+  while (remaining_payload > 0) {
+    ICSFUZZ_COV_BLOCK();
+    const std::size_t block = remaining_payload < 16 ? remaining_payload : 16;
+    const std::size_t block_start = reader.position();
+    Bytes data = reader.read_bytes(block);
+    const std::uint16_t block_crc = reader.read_u16(Endian::Little);
+    if (!reader.ok()) {
+      ICSFUZZ_COV_BLOCK();
+      return std::nullopt;  // truncated block
+    }
+    if (crc16_dnp3(packet.subspan(block_start, block)) != block_crc) {
+      ICSFUZZ_COV_BLOCK();
+      return std::nullopt;  // data CRC failure
+    }
+    append(frame.user_data, data);
+    remaining_payload -= block;
+  }
+  if (!reader.at_end()) {
+    ICSFUZZ_COV_BLOCK();
+    return std::nullopt;  // trailing bytes after the last block
+  }
+  ICSFUZZ_COV_BLOCK();
+  return frame;
+}
+
+Bytes Dnp3Server::process(ByteSpan packet) {
+  ICSFUZZ_COV_BLOCK();
+  // Stream framing: a link frame with user-data length L occupies
+  // 10 + L' + 2*ceil(L'/16) octets on the wire, where L' = L - 5.
+  Bytes responses;
+  std::size_t offset = 0;
+  for (std::size_t frames = 0; frames < kMaxFramesPerStream; ++frames) {
+    if (packet.size() - offset < 10) break;
+    const std::uint8_t declared = packet[offset + 2];
+    if (declared < 5) break;
+    const std::size_t user = static_cast<std::size_t>(declared) - 5;
+    const std::size_t frame_size = 10 + user + 2 * ((user + 15) / 16);
+    if (packet.size() - offset < frame_size) break;
+    ICSFUZZ_COV_BLOCK();
+    Bytes response = process_frame(packet.subspan(offset, frame_size));
+    append(responses, response);
+    offset += frame_size;
+  }
+  return responses;
+}
+
+Bytes Dnp3Server::process_frame(ByteSpan packet) {
+  ICSFUZZ_COV_BLOCK();
+  auto frame = parse_link(packet);
+  if (!frame) return {};
+  if (frame->destination != kLocalAddress && frame->destination != 0xFFFF) {
+    ICSFUZZ_COV_BLOCK();
+    return {};  // not addressed to this outstation
+  }
+  const std::uint8_t function = frame->control & 0x0F;
+  const bool primary = (frame->control & 0x80) != 0;
+  if (!primary) {
+    ICSFUZZ_COV_BLOCK();
+    return {};  // secondary-station frames carry no requests
+  }
+  switch (function) {
+    case 0x04:  // unconfirmed user data
+      ICSFUZZ_COV_BLOCK();
+      return handle_transport(frame->user_data);
+    case 0x03:  // confirmed user data — acknowledge then process
+      ICSFUZZ_COV_BLOCK();
+      return handle_transport(frame->user_data);
+    case 0x09:  // request link status
+      ICSFUZZ_COV_BLOCK();
+      return frame_link({});
+    default:
+      ICSFUZZ_COV_BLOCK();
+      return {};
+  }
+}
+
+Bytes Dnp3Server::handle_transport(ByteSpan segment) {
+  ICSFUZZ_COV_BLOCK();
+  if (segment.empty()) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  const std::uint8_t transport = segment[0];
+  const bool fin = (transport & 0x80) != 0;
+  const bool fir = (transport & 0x40) != 0;
+  if (!fir || !fin) {
+    ICSFUZZ_COV_BLOCK();  // multi-fragment messages are not reassembled
+    return {};
+  }
+  expected_transport_seq_ =
+      static_cast<std::uint8_t>((transport & 0x3F) + 1) & 0x3F;
+  ICSFUZZ_COV_BLOCK();
+  return handle_application(segment.subspan(1));
+}
+
+Bytes Dnp3Server::handle_application(ByteSpan fragment) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(fragment);
+  const std::uint8_t app_control = reader.read_u8();
+  const std::uint8_t function = reader.read_u8();
+  if (!reader.ok()) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  std::uint16_t iin = 0;
+  ByteWriter response_objects;
+
+  switch (function) {
+    case kFuncRead:
+    case kFuncWrite:
+    case kFuncSelect:
+    case kFuncOperate:
+    case kFuncDirectOperate: {
+      ICSFUZZ_COV_BLOCK();
+      ByteSpan remaining = fragment.subspan(2);
+      if (remaining.empty()) {
+        ICSFUZZ_COV_BLOCK();
+        iin |= kIinParamError;  // request with no object headers
+        break;
+      }
+      std::size_t headers = 0;
+      while (!remaining.empty()) {
+        ICSFUZZ_COV_BLOCK();
+        if (!handle_object_header(remaining, function, response_objects, iin)) {
+          ICSFUZZ_COV_BLOCK();
+          iin |= kIinObjectUnknown;
+          break;
+        }
+        if (++headers > 8) {
+          ICSFUZZ_COV_BLOCK();
+          iin |= kIinParamError;  // header flood
+          break;
+        }
+      }
+      break;
+    }
+    case kFuncColdRestart:
+      ICSFUZZ_COV_BLOCK();
+      iin |= kIinDeviceRestart;
+      // Time-delay object g52v1, 0 ms.
+      response_objects.write_bytes(Bytes{0x34, 0x01, 0x07, 0x01, 0x00, 0x00});
+      break;
+    case kFuncDelayMeasure:
+      ICSFUZZ_COV_BLOCK();
+      response_objects.write_bytes(Bytes{0x34, 0x02, 0x07, 0x01, 0x00, 0x00});
+      break;
+    default:
+      ICSFUZZ_COV_BLOCK();
+      iin |= kIinFuncNotSupported;
+      break;
+  }
+  return build_response(app_control, kFuncResponse, iin,
+                        response_objects.bytes());
+}
+
+bool Dnp3Server::handle_object_header(ByteSpan& remaining,
+                                      std::uint8_t function,
+                                      ByteWriter& response,
+                                      std::uint16_t& iin) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(remaining);
+  const std::uint8_t group = reader.read_u8();
+  const std::uint8_t variation = reader.read_u8();
+  const std::uint8_t qualifier = reader.read_u8();
+  if (!reader.ok()) return false;
+
+  std::uint32_t start = 0;
+  std::uint32_t stop = 0;
+  switch (qualifier) {
+    case 0x00:  // 1-byte start/stop
+      ICSFUZZ_COV_BLOCK();
+      start = reader.read_u8();
+      stop = reader.read_u8();
+      break;
+    case 0x01:  // 2-byte start/stop
+      ICSFUZZ_COV_BLOCK();
+      start = reader.read_u16(Endian::Little);
+      stop = reader.read_u16(Endian::Little);
+      break;
+    case 0x06:  // all objects
+      ICSFUZZ_COV_BLOCK();
+      start = 0;
+      stop = group == 30 ? kNumAnalog - 1 : kNumBinary - 1;
+      break;
+    case 0x17: {  // 1-byte count + index prefix
+      ICSFUZZ_COV_BLOCK();
+      const std::uint8_t count = reader.read_u8();
+      if (!reader.ok() || count != 1) return false;  // single op only
+      start = stop = reader.read_u8();
+      break;
+    }
+    default:
+      ICSFUZZ_COV_BLOCK();
+      return false;
+  }
+  if (!reader.ok() || stop < start) return false;
+
+  switch (group) {
+    case 1: {  // binary inputs
+      ICSFUZZ_COV_BLOCK();
+      if (function != kFuncRead || variation > 2) return false;
+      if (stop >= kNumBinary) return false;
+      // g1v1 packed response header.
+      response.write_u8(0x01);
+      response.write_u8(0x01);
+      response.write_u8(0x00);
+      response.write_u8(static_cast<std::uint8_t>(start));
+      response.write_u8(static_cast<std::uint8_t>(stop));
+      std::uint8_t packed = 0;
+      int bit = 0;
+      for (std::uint32_t i = start; i <= stop; ++i) {
+        ICSFUZZ_COV_BLOCK();
+        if (binary_[i]) packed |= static_cast<std::uint8_t>(1 << bit);
+        if (++bit == 8) {
+          response.write_u8(packed);
+          packed = 0;
+          bit = 0;
+        }
+      }
+      if (bit != 0) response.write_u8(packed);
+      break;
+    }
+    case 30: {  // analog inputs
+      ICSFUZZ_COV_BLOCK();
+      if (function != kFuncRead || (variation != 1 && variation != 3)) {
+        return false;
+      }
+      if (stop >= kNumAnalog) return false;
+      response.write_u8(0x1E);
+      response.write_u8(0x01);
+      response.write_u8(0x01);
+      response.write_u16(static_cast<std::uint16_t>(start), Endian::Little);
+      response.write_u16(static_cast<std::uint16_t>(stop), Endian::Little);
+      for (std::uint32_t i = start; i <= stop; ++i) {
+        ICSFUZZ_COV_BLOCK();
+        response.write_u8(0x01);  // online flag
+        response.write_u32(analog_[i], Endian::Little);
+      }
+      break;
+    }
+    case 12: {  // CROB — control relay output block
+      ICSFUZZ_COV_BLOCK();
+      if (variation != 1 || qualifier != 0x17) return false;
+      const std::uint8_t control_code = reader.read_u8();
+      const std::uint8_t count = reader.read_u8();
+      const std::uint32_t on_time = reader.read_u32(Endian::Little);
+      const std::uint32_t off_time = reader.read_u32(Endian::Little);
+      const std::uint8_t status = reader.read_u8();
+      (void)count;
+      (void)on_time;
+      (void)off_time;
+      (void)status;
+      if (!reader.ok()) return false;
+      if (start >= kNumBinary) return false;
+      const std::uint8_t op_type = control_code & 0x0F;
+      if (op_type != 0x01 && op_type != 0x03 && op_type != 0x04) {
+        ICSFUZZ_COV_BLOCK();  // unsupported operation type
+        iin |= kIinParamError;
+        break;
+      }
+      if (function == kFuncSelect) {
+        ICSFUZZ_COV_BLOCK();  // arm
+        select_armed_ = true;
+        select_index_ = static_cast<std::uint8_t>(start);
+      } else if (function == kFuncOperate) {
+        if (!select_armed_ || select_index_ != start) {
+          ICSFUZZ_COV_BLOCK();  // operate without matching select
+          iin |= kIinParamError;
+          break;
+        }
+        ICSFUZZ_COV_BLOCK();  // select-before-operate success: deepest path
+        select_armed_ = false;
+        binary_[start] = op_type != 0x04;
+        ++operate_count_;
+      } else if (function == kFuncDirectOperate) {
+        ICSFUZZ_COV_BLOCK();
+        binary_[start] = op_type != 0x04;
+        ++operate_count_;
+      } else {
+        ICSFUZZ_COV_BLOCK();  // READ/WRITE of CROB is invalid
+        return false;
+      }
+      // Echo the CROB with status success.
+      response.write_u8(0x0C);
+      response.write_u8(0x01);
+      response.write_u8(0x17);
+      response.write_u8(0x01);
+      response.write_u8(static_cast<std::uint8_t>(start));
+      response.write_u8(control_code);
+      response.write_u8(1);
+      response.write_u32(0, Endian::Little);
+      response.write_u32(0, Endian::Little);
+      response.write_u8(0x00);
+      break;
+    }
+    case 80: {  // internal indications (write to clear restart bit)
+      ICSFUZZ_COV_BLOCK();
+      if (function != kFuncWrite || variation != 1) return false;
+      const std::uint8_t packed = reader.read_u8();
+      if (!reader.ok()) return false;
+      (void)packed;
+      break;
+    }
+    default:
+      ICSFUZZ_COV_BLOCK();
+      return false;
+  }
+  remaining = remaining.subspan(reader.position());
+  return true;
+}
+
+Bytes Dnp3Server::build_response(std::uint8_t app_control,
+                                 std::uint8_t function, std::uint16_t iin,
+                                 ByteSpan payload) {
+  ICSFUZZ_COV_BLOCK();
+  ByteWriter app;
+  app.write_u8(static_cast<std::uint8_t>(0xC0 | (app_control & 0x0F)));
+  app.write_u8(function);
+  app.write_u8(static_cast<std::uint8_t>(iin >> 8));
+  app.write_u8(static_cast<std::uint8_t>(iin & 0xFF));
+  app.write_bytes(payload);
+
+  // Transport header: FIR|FIN, sequence 0.
+  Bytes user_data;
+  user_data.push_back(0xC0);
+  append(user_data, app.bytes());
+  return frame_link(user_data);
+}
+
+Bytes Dnp3Server::frame_link(ByteSpan user_data) {
+  ICSFUZZ_COV_BLOCK();
+  ByteWriter link;
+  link.write_u8(kStart0);
+  link.write_u8(kStart1);
+  link.write_u8(static_cast<std::uint8_t>(5 + user_data.size()));
+  link.write_u8(0x44);  // DIR=0, PRM=1, unconfirmed user data
+  link.write_u16(0xFFFF, Endian::Little);  // destination: whoever asked
+  link.write_u16(kLocalAddress, Endian::Little);
+  const std::uint16_t header_crc = crc16_dnp3(
+      ByteSpan(link.bytes().data(), 8));
+  link.write_u16(header_crc, Endian::Little);
+  // Payload blocks.
+  std::size_t offset = 0;
+  while (offset < user_data.size()) {
+    const std::size_t block =
+        user_data.size() - offset < 16 ? user_data.size() - offset : 16;
+    const ByteSpan slice = user_data.subspan(offset, block);
+    link.write_bytes(slice);
+    link.write_u16(crc16_dnp3(slice), Endian::Little);
+    offset += block;
+  }
+  return link.take();
+}
+
+}  // namespace icsfuzz::proto

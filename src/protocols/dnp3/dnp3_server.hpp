@@ -1,0 +1,72 @@
+// DNP3 outstation — re-implementation of the packet-processing layer of
+// opendnp3 (the paper's "opendnp3" evaluation subject; hundreds of paths).
+//
+// Implements the full inbound pipeline:
+//   * link layer: 0x05 0x64 start, length, control, destination, source,
+//     header CRC, then user data in <=16-byte blocks each trailed by a
+//     DNP3 CRC;
+//   * transport layer: FIR/FIN/sequence single-fragment reassembly;
+//   * application layer: request header (app control, function code) and
+//     object headers (group, variation, qualifier, ranges) for the READ /
+//     WRITE / SELECT / OPERATE / DIRECT_OPERATE / COLD_RESTART /
+//     DELAY_MEASURE function codes over static point databases.
+//
+// No vulnerabilities are injected: Table I lists none for opendnp3.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "protocols/protocol_target.hpp"
+
+namespace icsfuzz::proto {
+
+class Dnp3Server final : public ProtocolTarget {
+ public:
+  Dnp3Server();
+
+  [[nodiscard]] std::string_view name() const override { return "opendnp3"; }
+  void reset() override;
+
+  /// Consumes a stream of DNP3 link frames (up to kMaxFramesPerStream) and
+  /// returns the concatenated responses.
+  Bytes process(ByteSpan packet) override;
+
+  static constexpr std::size_t kMaxFramesPerStream = 8;
+
+  // -- Introspection for tests. --
+  static constexpr std::uint16_t kLocalAddress = 10;
+  static constexpr std::size_t kNumBinary = 16;
+  static constexpr std::size_t kNumAnalog = 16;
+
+  [[nodiscard]] bool selected() const { return select_armed_; }
+  [[nodiscard]] std::uint32_t operates() const { return operate_count_; }
+
+ private:
+  struct LinkFrame {
+    std::uint8_t control = 0;
+    std::uint16_t destination = 0;
+    std::uint16_t source = 0;
+    Bytes user_data;
+  };
+
+  Bytes process_frame(ByteSpan frame);
+  std::optional<LinkFrame> parse_link(ByteSpan packet);
+  Bytes handle_transport(ByteSpan segment);
+  Bytes handle_application(ByteSpan fragment);
+  bool handle_object_header(ByteSpan& remaining, std::uint8_t function,
+                            ByteWriter& response, std::uint16_t& iin);
+  Bytes build_response(std::uint8_t app_control, std::uint8_t function,
+                       std::uint16_t iin, ByteSpan payload);
+  Bytes frame_link(ByteSpan user_data);
+
+  std::array<bool, kNumBinary> binary_{};
+  std::array<std::uint32_t, kNumAnalog> analog_{};
+  bool select_armed_ = false;
+  std::uint8_t select_index_ = 0;
+  std::uint32_t operate_count_ = 0;
+  std::uint8_t expected_transport_seq_ = 0;
+};
+
+}  // namespace icsfuzz::proto

@@ -1,0 +1,455 @@
+#include "protocols/iccp/iccp_server.hpp"
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+#include "coverage/instrument.hpp"
+#include "sanitizer/guard.hpp"
+
+namespace icsfuzz::proto {
+namespace {
+
+// MMS PDU tags (context-specific, constructed).
+constexpr std::uint8_t kConfirmedRequest = 0xA0;
+constexpr std::uint8_t kConfirmedResponse = 0xA1;
+constexpr std::uint8_t kInitiateRequest = 0xA8;
+constexpr std::uint8_t kInitiateResponse = 0xA9;
+constexpr std::uint8_t kConcludeRequest = 0x8B;
+constexpr std::uint8_t kInformationReport = 0xA3;
+
+// Confirmed service tags within a request.
+constexpr std::uint8_t kServiceRead = 0xA4;
+constexpr std::uint8_t kServiceWrite = 0xA5;
+constexpr std::uint8_t kServiceNameList = 0xA1;
+
+// Static TASE.2 value table.
+struct IccpPoint {
+  std::string_view name;
+  std::uint32_t value;
+};
+constexpr std::array<IccpPoint, 6> kPoints = {{
+    {"Transfer_Set_Name", 0x01},
+    {"Transfer_Set_Time_Limit", 0x3C},
+    {"DSConditions_Requested", 0x04},
+    {"Data_Value_A", 0x1234},
+    {"Data_Value_B", 0x5678},
+    {"Bilateral_Table_ID", 0x0001},
+}};
+
+/// Minimal BER TLV reader: definite short/long lengths up to 2 octets.
+struct Tlv {
+  std::uint8_t tag = 0;
+  ByteSpan value;
+};
+
+std::optional<Tlv> read_tlv(ByteReader& reader, ByteSpan scope) {
+  const std::size_t tag_pos = reader.position();
+  const std::uint8_t tag = reader.read_u8();
+  std::uint8_t first_len = reader.read_u8();
+  if (!reader.ok()) return std::nullopt;
+  std::size_t length = 0;
+  if ((first_len & 0x80) == 0) {
+    length = first_len;
+  } else {
+    const std::size_t octets = first_len & 0x7F;
+    if (octets == 0 || octets > 2) return std::nullopt;  // no indefinite form
+    length = static_cast<std::size_t>(reader.read_uint(octets, Endian::Big));
+    if (!reader.ok()) return std::nullopt;
+  }
+  if (reader.remaining() < length) return std::nullopt;
+  const std::size_t value_pos = reader.position();
+  reader.skip(length);
+  (void)tag_pos;
+  return Tlv{tag, scope.subspan(value_pos, length)};
+}
+
+void write_tlv(ByteWriter& writer, std::uint8_t tag, ByteSpan value) {
+  writer.write_u8(tag);
+  if (value.size() < 0x80) {
+    writer.write_u8(static_cast<std::uint8_t>(value.size()));
+  } else {
+    writer.write_u8(0x82);
+    writer.write_u16(static_cast<std::uint16_t>(value.size()), Endian::Big);
+  }
+  writer.write_bytes(value);
+}
+
+}  // namespace
+
+IccpServer::IccpServer() { reset(); }
+
+void IccpServer::reset() {
+  associated_ = false;
+  writes_accepted_ = 0;
+}
+
+Bytes IccpServer::process(ByteSpan packet) {
+  ICSFUZZ_COV_BLOCK();
+  // Stream framing: each TPKT envelope declares its own total length in
+  // octets 2-3.
+  Bytes responses;
+  std::size_t offset = 0;
+  for (std::size_t frames = 0; frames < kMaxFramesPerStream; ++frames) {
+    if (packet.size() - offset < 4) break;
+    const std::size_t frame_size = static_cast<std::size_t>(
+        (packet[offset + 2] << 8) | packet[offset + 3]);
+    if (frame_size < 4 || packet.size() - offset < frame_size) break;
+    ICSFUZZ_COV_BLOCK();
+    Bytes response = process_frame(packet.subspan(offset, frame_size));
+    append(responses, response);
+    if (san::FaultSink::tripped()) break;  // the server process just died
+    offset += frame_size;
+  }
+  return responses;
+}
+
+Bytes IccpServer::process_frame(ByteSpan packet) {
+  ICSFUZZ_COV_BLOCK();
+  // --- TPKT-like envelope -------------------------------------------------
+  ByteReader reader(packet);
+  const std::uint8_t version = reader.read_u8();
+  const std::uint8_t reserved = reader.read_u8();
+  const std::uint16_t length = reader.read_u16(Endian::Big);
+  if (!reader.ok() || version != 0x03 || reserved != 0x00) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  if (length != packet.size()) {
+    ICSFUZZ_COV_BLOCK();
+    return {};  // envelope length mismatch
+  }
+  ICSFUZZ_COV_BLOCK();
+  return handle_pdu(packet.subspan(4));
+}
+
+Bytes IccpServer::handle_pdu(ByteSpan pdu) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(pdu);
+  auto tlv = read_tlv(reader, pdu);
+  if (!tlv || !reader.at_end()) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  switch (tlv->tag) {
+    case kInitiateRequest:
+      ICSFUZZ_COV_BLOCK();
+      return handle_initiate(tlv->value);
+    case kConcludeRequest:
+      ICSFUZZ_COV_BLOCK();
+      associated_ = false;
+      return Bytes{0x8C, 0x00};  // conclude response
+    case kConfirmedRequest:
+      ICSFUZZ_COV_BLOCK();
+      if (!associated_) {
+        ICSFUZZ_COV_BLOCK();
+        return {};  // service request before association
+      }
+      return handle_confirmed_request(tlv->value);
+    case kInformationReport:
+      ICSFUZZ_COV_BLOCK();
+      if (!associated_) {
+        ICSFUZZ_COV_BLOCK();
+        return {};
+      }
+      return handle_information_report(tlv->value);
+    default:
+      ICSFUZZ_COV_BLOCK();
+      return {};
+  }
+}
+
+Bytes IccpServer::handle_initiate(ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  // initiate-Request: local-detail (0x80 len4), max-serv-outstanding
+  // (0x81 len1), version (0x82 len1).
+  ByteReader reader(body);
+  std::uint32_t local_detail = 0;
+  std::uint8_t version = 0;
+  bool saw_detail = false;
+  while (!reader.at_end()) {
+    auto tlv = read_tlv(reader, body);
+    if (!tlv) {
+      ICSFUZZ_COV_BLOCK();
+      return {};
+    }
+    switch (tlv->tag) {
+      case 0x80:
+        ICSFUZZ_COV_BLOCK();
+        if (tlv->value.size() != 4) return {};
+        local_detail = static_cast<std::uint32_t>(
+            decode_uint(tlv->value, Endian::Big));
+        saw_detail = true;
+        break;
+      case 0x81:
+        ICSFUZZ_COV_BLOCK();
+        if (tlv->value.size() != 1) return {};
+        break;
+      case 0x82:
+        ICSFUZZ_COV_BLOCK();
+        if (tlv->value.size() != 1) return {};
+        version = tlv->value[0];
+        break;
+      default:
+        ICSFUZZ_COV_BLOCK();
+        return {};  // unknown initiate parameter
+    }
+  }
+  if (!saw_detail || local_detail < 1000 || local_detail > 65000) {
+    ICSFUZZ_COV_BLOCK();
+    return {};  // negotiation failure
+  }
+  if (version != 1 && version != 2) {
+    ICSFUZZ_COV_BLOCK();
+    return {};  // unsupported TASE.2 version
+  }
+  ICSFUZZ_COV_BLOCK();  // association established
+  associated_ = true;
+  ByteWriter payload;
+  payload.write_u8(0x80);
+  payload.write_u8(4);
+  payload.write_u32(local_detail, Endian::Big);
+  ByteWriter out;
+  write_tlv(out, kInitiateResponse, payload.bytes());
+  return out.take();
+}
+
+Bytes IccpServer::handle_confirmed_request(ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  // confirmed-Request: invoke id (0x02 INTEGER), then one service TLV.
+  ByteReader reader(body);
+  auto invoke = read_tlv(reader, body);
+  if (!invoke || invoke->tag != 0x02 || invoke->value.empty() ||
+      invoke->value.size() > 4) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  const std::uint32_t invoke_id =
+      static_cast<std::uint32_t>(decode_uint(invoke->value, Endian::Big));
+  auto service = read_tlv(reader, body);
+  if (!service || !reader.at_end()) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  switch (service->tag) {
+    case kServiceRead:
+      ICSFUZZ_COV_BLOCK();
+      return handle_read(invoke_id, service->value);
+    case kServiceWrite:
+      ICSFUZZ_COV_BLOCK();
+      return handle_write(invoke_id, service->value);
+    case kServiceNameList:
+      ICSFUZZ_COV_BLOCK();
+      return handle_name_list(invoke_id, service->value);
+    default:
+      ICSFUZZ_COV_BLOCK();
+      return error_response(invoke_id, 0x01);  // service not supported
+  }
+}
+
+Bytes IccpServer::handle_read(std::uint32_t invoke_id, ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  // Read: item index (0x80 len1) + optional component index (0x81 len1) for
+  // structured points.
+  ByteReader reader(body);
+  auto item = read_tlv(reader, body);
+  if (!item || item->tag != 0x80 || item->value.size() != 1) {
+    ICSFUZZ_COV_BLOCK();
+    return error_response(invoke_id, 0x02);
+  }
+  const std::uint8_t item_index = item->value[0];
+  if (item_index >= kPoints.size()) {
+    ICSFUZZ_COV_BLOCK();
+    return error_response(invoke_id, 0x03);  // object non-existent
+  }
+  std::uint32_t value = kPoints[item_index].value;
+
+  if (!reader.at_end()) {
+    auto component = read_tlv(reader, body);
+    if (!component || component->tag != 0x81 ||
+        component->value.size() != 1 || !reader.at_end()) {
+      ICSFUZZ_COV_BLOCK();
+      return error_response(invoke_id, 0x02);
+    }
+    ICSFUZZ_COV_BLOCK();  // structured (alternate-access) read
+    // BUG(iccp-nest-oob): the component table of every structured point has
+    // exactly 2 entries (value, quality), but the component index from the
+    // wire is used unchecked.
+    static constexpr std::array<std::uint8_t, 2> kComponents = {0x10, 0x20};
+    san::GuardedSpan components(
+        ByteSpan(kComponents.data(), kComponents.size()),
+        san::site_id("iccp-nest-oob"), "structure component table");
+    const std::uint8_t selector = components.at(component->value[0]);
+    if (san::FaultSink::tripped()) return {};  // process died here
+    value = (value >> (selector & 0x1F)) & 0xFFFF;
+  }
+
+  ICSFUZZ_COV_BLOCK();
+  ByteWriter payload;
+  payload.write_u8(0x89);  // unsigned data
+  payload.write_u8(4);
+  payload.write_u32(value, Endian::Big);
+  return confirmed_response(invoke_id, kServiceRead, payload.bytes());
+}
+
+Bytes IccpServer::handle_write(std::uint32_t invoke_id, ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  // Write: item index (0x80 len1), declared value length (0x81 len1),
+  // value octets (0x82 len N).
+  ByteReader reader(body);
+  auto item = read_tlv(reader, body);
+  auto declared = read_tlv(reader, body);
+  auto value = read_tlv(reader, body);
+  if (!item || item->tag != 0x80 || item->value.size() != 1 || !declared ||
+      declared->tag != 0x81 || declared->value.size() != 1 || !value ||
+      value->tag != 0x82 || !reader.at_end()) {
+    ICSFUZZ_COV_BLOCK();
+    return error_response(invoke_id, 0x02);
+  }
+  const std::uint8_t item_index = item->value[0];
+  if (item_index >= kPoints.size()) {
+    ICSFUZZ_COV_BLOCK();
+    return error_response(invoke_id, 0x03);
+  }
+  if (item_index < 3) {
+    ICSFUZZ_COV_BLOCK();
+    return error_response(invoke_id, 0x04);  // read-only transfer-set point
+  }
+  ICSFUZZ_COV_BLOCK();  // writable point
+  const std::uint8_t declared_length = declared->value[0];
+  // BUG(iccp-write-heapbo): the staging buffer is a fixed 16-byte heap
+  // allocation, but the copy loop trusts the *declared* length field rather
+  // than the buffer capacity; declared lengths above 16 (with a matching
+  // value payload) write past the allocation.
+  san::GuardedAlloc staging(16, san::site_id("iccp-write-heapbo"),
+                            "write value staging buffer");
+  const std::size_t copy_length =
+      declared_length <= value->value.size() ? declared_length
+                                             : value->value.size();
+  for (std::size_t i = 0; i < copy_length; ++i) {
+    ICSFUZZ_COV_BLOCK();
+    staging.write(i, value->value[i]);
+    if (san::FaultSink::tripped()) return {};  // process died here
+  }
+  ++writes_accepted_;
+  ByteWriter payload;
+  payload.write_u8(0x80);
+  payload.write_u8(1);
+  payload.write_u8(0x00);  // success
+  return confirmed_response(invoke_id, kServiceWrite, payload.bytes());
+}
+
+Bytes IccpServer::handle_name_list(std::uint32_t invoke_id, ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  // GetNameList: object class (0x80 len1), optional continue-after index
+  // (0x81 len1).
+  ByteReader reader(body);
+  auto object_class = read_tlv(reader, body);
+  if (!object_class || object_class->tag != 0x80 ||
+      object_class->value.size() != 1) {
+    ICSFUZZ_COV_BLOCK();
+    return error_response(invoke_id, 0x02);
+  }
+  if (object_class->value[0] != 0) {  // 0 = named variables
+    ICSFUZZ_COV_BLOCK();
+    return error_response(invoke_id, 0x05);  // class not supported
+  }
+  std::size_t start = 0;
+  if (!reader.at_end()) {
+    auto continue_after = read_tlv(reader, body);
+    if (!continue_after || continue_after->tag != 0x81 ||
+        continue_after->value.size() != 1 || !reader.at_end()) {
+      ICSFUZZ_COV_BLOCK();
+      return error_response(invoke_id, 0x02);
+    }
+    ICSFUZZ_COV_BLOCK();  // continuation request
+    // BUG(iccp-name-oob): "continue after entry N" resumes at N+1 without
+    // checking N against the table size; the first name fetch of the
+    // continuation then reads out of bounds.
+    static constexpr std::array<std::uint8_t, kPoints.size()> kNameLengths = {
+        17, 23, 22, 12, 12, 18};
+    san::GuardedSpan lengths(ByteSpan(kNameLengths.data(), kNameLengths.size()),
+                             san::site_id("iccp-name-oob"),
+                             "name-list length table");
+    start = static_cast<std::size_t>(continue_after->value[0]) + 1;
+    (void)lengths.at(start);  // prefetches the resume entry — unchecked
+    if (san::FaultSink::tripped()) return {};  // process died here
+    if (start >= kPoints.size()) return {};
+  }
+  ICSFUZZ_COV_BLOCK();
+  ByteWriter names;
+  for (std::size_t i = start; i < kPoints.size(); ++i) {
+    ICSFUZZ_COV_BLOCK();
+    const std::string_view name = kPoints[i].name;
+    names.write_u8(0x1A);  // VisibleString
+    names.write_u8(static_cast<std::uint8_t>(name.size()));
+    names.write_string(name);
+  }
+  return confirmed_response(invoke_id, kServiceNameList, names.bytes());
+}
+
+Bytes IccpServer::handle_information_report(ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  // InformationReport: entry count (0x80 len1), offsets blob (0x81 len N —
+  // one byte per entry), data blob (0x82 len M).
+  ByteReader reader(body);
+  auto count_tlv = read_tlv(reader, body);
+  auto offsets_tlv = read_tlv(reader, body);
+  auto data_tlv = read_tlv(reader, body);
+  if (!count_tlv || count_tlv->tag != 0x80 || count_tlv->value.size() != 1 ||
+      !offsets_tlv || offsets_tlv->tag != 0x81 || !data_tlv ||
+      data_tlv->tag != 0x82 || !reader.at_end()) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  const std::uint8_t count = count_tlv->value[0];
+  if (count == 0 || count > offsets_tlv->value.size()) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  ICSFUZZ_COV_BLOCK();
+  // BUG(iccp-report-oob): each entry's offset into the data blob comes
+  // straight from the wire; the dereference does not check it against the
+  // blob length.
+  san::GuardedSpan data(data_tlv->value, san::site_id("iccp-report-oob"),
+                        "information-report data blob");
+  std::uint8_t acc = 0;
+  for (std::uint8_t i = 0; i < count; ++i) {
+    ICSFUZZ_COV_BLOCK();
+    const std::uint8_t offset = offsets_tlv->value[i];
+    acc = static_cast<std::uint8_t>(acc ^ data.at(offset));
+    if (san::FaultSink::tripped()) return {};  // process died here
+  }
+  // Unconfirmed service: no response, but track the digest for liveness.
+  (void)acc;
+  return {};
+}
+
+Bytes IccpServer::confirmed_response(std::uint32_t invoke_id,
+                                     std::uint8_t service_tag,
+                                     ByteSpan payload) const {
+  ByteWriter inner;
+  inner.write_u8(0x02);
+  inner.write_u8(4);
+  inner.write_u32(invoke_id, Endian::Big);
+  write_tlv(inner, service_tag, payload);
+  ByteWriter out;
+  write_tlv(out, kConfirmedResponse, inner.bytes());
+  return out.take();
+}
+
+Bytes IccpServer::error_response(std::uint32_t invoke_id,
+                                 std::uint8_t error_code) const {
+  ByteWriter inner;
+  inner.write_u8(0x02);
+  inner.write_u8(4);
+  inner.write_u32(invoke_id, Endian::Big);
+  inner.write_u8(0x85);
+  inner.write_u8(1);
+  inner.write_u8(error_code);
+  ByteWriter out;
+  write_tlv(out, 0xA2, inner.bytes());  // confirmed-error PDU
+  return out.take();
+}
+
+}  // namespace icsfuzz::proto

@@ -1,0 +1,68 @@
+// ICCP / TASE.2 server — re-implementation of the packet-processing layer of
+// libiec_iccp_mod (the paper's "libiccp" evaluation subject).
+//
+// The wire format is a simplified MMS-over-TPKT: a 4-byte TPKT-like header
+// (version, reserved, big-endian length), then a BER-TLV MMS PDU. Supported
+// services mirror what the ICCP profile exercises: association (initiate),
+// conclude, and confirmed requests for Read / Write / GetNameList on a
+// static table of TASE.2 data values.
+//
+// Injected vulnerabilities (Table I, libiec_iccp_mod row — 3 SEGV, 1 heap
+// buffer overflow):
+//   * "iccp-name-oob"    (SEGV) — GetNameList continuation trusts the
+//     "continue after" index and reads the name table out of bounds.
+//   * "iccp-nest-oob"    (SEGV) — structured Read dereferences a component
+//     index without checking the structure arity.
+//   * "iccp-report-oob"  (SEGV) — InformationReport parsing walks entry
+//     offsets supplied in the packet without bounds checks.
+//   * "iccp-write-heapbo" (heap buffer overflow) — Write copies the value
+//     payload into a fixed 16-byte staging buffer using the declared,
+//     unvalidated length.
+#pragma once
+
+#include <cstdint>
+
+#include "protocols/protocol_target.hpp"
+
+namespace icsfuzz::proto {
+
+class IccpServer final : public ProtocolTarget {
+ public:
+  IccpServer();
+
+  [[nodiscard]] std::string_view name() const override {
+    return "libiec_iccp_mod";
+  }
+  void reset() override;
+
+  /// Consumes a stream of TPKT-framed MMS PDUs (up to kMaxFramesPerStream)
+  /// and returns the concatenated responses.
+  Bytes process(ByteSpan packet) override;
+
+  static constexpr std::size_t kMaxFramesPerStream = 8;
+
+  // -- Introspection for tests. --
+  [[nodiscard]] bool associated() const { return associated_; }
+  [[nodiscard]] std::uint32_t writes_accepted() const {
+    return writes_accepted_;
+  }
+
+ private:
+  Bytes process_frame(ByteSpan frame);
+  Bytes handle_pdu(ByteSpan pdu);
+  Bytes handle_initiate(ByteSpan body);
+  Bytes handle_confirmed_request(ByteSpan body);
+  Bytes handle_read(std::uint32_t invoke_id, ByteSpan body);
+  Bytes handle_write(std::uint32_t invoke_id, ByteSpan body);
+  Bytes handle_name_list(std::uint32_t invoke_id, ByteSpan body);
+  Bytes handle_information_report(ByteSpan body);
+
+  Bytes confirmed_response(std::uint32_t invoke_id, std::uint8_t service_tag,
+                           ByteSpan payload) const;
+  Bytes error_response(std::uint32_t invoke_id, std::uint8_t error_code) const;
+
+  bool associated_ = false;
+  std::uint32_t writes_accepted_ = 0;
+};
+
+}  // namespace icsfuzz::proto

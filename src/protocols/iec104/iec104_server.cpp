@@ -1,0 +1,523 @@
+#include "protocols/iec104/iec104_server.hpp"
+
+#include "coverage/instrument.hpp"
+
+namespace icsfuzz::proto {
+namespace {
+
+// APCI constants.
+constexpr std::uint8_t kStartByte = 0x68;
+
+// U-frame control functions (first control octet).
+constexpr std::uint8_t kStartDtAct = 0x07;
+constexpr std::uint8_t kStartDtCon = 0x0B;
+constexpr std::uint8_t kStopDtAct = 0x13;
+constexpr std::uint8_t kStopDtCon = 0x23;
+constexpr std::uint8_t kTestFrAct = 0x43;
+constexpr std::uint8_t kTestFrCon = 0x83;
+
+// ASDU type identifications.
+constexpr std::uint8_t kMSpNa1 = 1;    // single-point information
+constexpr std::uint8_t kMMeNb1 = 11;   // measured value, scaled
+constexpr std::uint8_t kCScNa1 = 45;   // single command
+constexpr std::uint8_t kCDcNa1 = 46;   // double command
+constexpr std::uint8_t kCSeNb1 = 49;   // set-point command, scaled value
+constexpr std::uint8_t kCIcNa1 = 100;  // interrogation command
+constexpr std::uint8_t kCCiNa1 = 101;  // counter interrogation command
+constexpr std::uint8_t kCRdNa1 = 102;  // read command
+constexpr std::uint8_t kCCsNa1 = 103;  // clock synchronisation
+
+// Causes of transmission.
+constexpr std::uint8_t kCotActivation = 6;
+constexpr std::uint8_t kCotActivationCon = 7;
+constexpr std::uint8_t kCotUnknownType = 44;
+constexpr std::uint8_t kCotUnknownCot = 45;
+
+constexpr std::uint16_t kCommonAddress = 0x0001;
+
+}  // namespace
+
+Iec104Server::Iec104Server() { reset(); }
+
+void Iec104Server::reset() {
+  started_ = false;
+  send_seq_ = 0;
+  recv_seq_ = 0;
+  selected_ = false;
+  selected_ioa_ = 0;
+  setpoint_selected_ = false;
+}
+
+Bytes Iec104Server::build_u(std::uint8_t control) const {
+  return Bytes{kStartByte, 0x04, control, 0x00, 0x00, 0x00};
+}
+
+Bytes Iec104Server::build_i(ByteSpan asdu) {
+  ByteWriter writer;
+  writer.write_u8(kStartByte);
+  writer.write_u8(static_cast<std::uint8_t>(4 + asdu.size()));
+  writer.write_u16(static_cast<std::uint16_t>(send_seq_ << 1), Endian::Little);
+  writer.write_u16(static_cast<std::uint16_t>(recv_seq_ << 1), Endian::Little);
+  writer.write_bytes(asdu);
+  send_seq_ = static_cast<std::uint16_t>((send_seq_ + 1) & 0x7FFF);
+  return writer.take();
+}
+
+Bytes Iec104Server::process(ByteSpan packet) {
+  ICSFUZZ_COV_BLOCK();
+  // TCP stream framing: each APCI frame occupies 2 + length bytes.
+  Bytes responses;
+  std::size_t offset = 0;
+  for (std::size_t frames = 0; frames < kMaxFramesPerStream; ++frames) {
+    if (packet.size() - offset < 2) break;
+    const std::size_t frame_size = 2 + packet[offset + 1];
+    if (packet.size() - offset < frame_size) break;
+    ICSFUZZ_COV_BLOCK();
+    Bytes response = process_frame(packet.subspan(offset, frame_size));
+    append(responses, response);
+    offset += frame_size;
+  }
+  return responses;
+}
+
+Bytes Iec104Server::process_frame(ByteSpan packet) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(packet);
+  const std::uint8_t start = reader.read_u8();
+  const std::uint8_t length = reader.read_u8();
+  if (!reader.ok() || start != kStartByte) {
+    ICSFUZZ_COV_BLOCK();
+    return {};  // not an APCI frame
+  }
+  if (length < 4 || length > 253) {
+    ICSFUZZ_COV_BLOCK();
+    return {};  // APDU length out of spec
+  }
+  if (reader.remaining() != length) {
+    ICSFUZZ_COV_BLOCK();
+    return {};  // framing mismatch
+  }
+  const Bytes control = reader.read_bytes(4);
+  const Bytes asdu = reader.read_rest();
+
+  if ((control[0] & 0x03) == 0x03) {
+    ICSFUZZ_COV_BLOCK();  // U format
+    if (!asdu.empty()) {
+      ICSFUZZ_COV_BLOCK();
+      return {};  // U frames carry no ASDU
+    }
+    return handle_u_frame(control[0]);
+  }
+  if ((control[0] & 0x03) == 0x01) {
+    ICSFUZZ_COV_BLOCK();  // S format
+    if (!asdu.empty()) {
+      ICSFUZZ_COV_BLOCK();
+      return {};
+    }
+    return handle_s_frame(control);
+  }
+  ICSFUZZ_COV_BLOCK();  // I format (LSB of first control octet is 0)
+  return handle_i_frame(control, asdu);
+}
+
+Bytes Iec104Server::handle_u_frame(std::uint8_t control) {
+  ICSFUZZ_COV_BLOCK();
+  switch (control) {
+    case kStartDtAct:
+      ICSFUZZ_COV_BLOCK();
+      started_ = true;
+      return build_u(kStartDtCon);
+    case kStopDtAct:
+      ICSFUZZ_COV_BLOCK();
+      started_ = false;
+      return build_u(kStopDtCon);
+    case kTestFrAct:
+      ICSFUZZ_COV_BLOCK();
+      return build_u(kTestFrCon);
+    case kStartDtCon:
+    case kStopDtCon:
+    case kTestFrCon:
+      ICSFUZZ_COV_BLOCK();  // confirmations from peer: accepted silently
+      return {};
+    default:
+      ICSFUZZ_COV_BLOCK();  // undefined U function
+      return {};
+  }
+}
+
+Bytes Iec104Server::handle_s_frame(ByteSpan control) {
+  ICSFUZZ_COV_BLOCK();
+  const std::uint16_t ack =
+      static_cast<std::uint16_t>((control[2] | (control[3] << 8)) >> 1);
+  if (ack > send_seq_) {
+    ICSFUZZ_COV_BLOCK();  // acknowledging frames never sent
+    return {};
+  }
+  ICSFUZZ_COV_BLOCK();
+  return {};
+}
+
+Bytes Iec104Server::handle_i_frame(ByteSpan control, ByteSpan asdu) {
+  ICSFUZZ_COV_BLOCK();
+  if (!started_) {
+    ICSFUZZ_COV_BLOCK();  // data transfer not started: drop (per spec)
+    return {};
+  }
+  const std::uint16_t their_send =
+      static_cast<std::uint16_t>((control[0] | (control[1] << 8)) >> 1);
+  if (their_send != recv_seq_) {
+    ICSFUZZ_COV_BLOCK();  // N(S) sequence error — the stack closes the link
+    started_ = false;
+    return {};
+  }
+  const std::uint16_t their_recv =
+      static_cast<std::uint16_t>((control[2] | (control[3] << 8)) >> 1);
+  if (their_recv > send_seq_) {
+    ICSFUZZ_COV_BLOCK();  // N(R) acknowledges unsent frames — link closed
+    started_ = false;
+    return {};
+  }
+  recv_seq_ = static_cast<std::uint16_t>((recv_seq_ + 1) & 0x7FFF);
+  return handle_asdu(asdu);
+}
+
+Bytes Iec104Server::handle_asdu(ByteSpan asdu) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(asdu);
+  const std::uint8_t type_id = reader.read_u8();
+  const std::uint8_t vsq = reader.read_u8();
+  const std::uint8_t cot = reader.read_u8();
+  const std::uint8_t originator = reader.read_u8();
+  const std::uint16_t ca = reader.read_u16(Endian::Little);
+  (void)originator;
+  if (!reader.ok()) {
+    ICSFUZZ_COV_BLOCK();
+    return {};  // ASDU header truncated
+  }
+  if (ca != kCommonAddress && ca != 0xFFFF) {
+    ICSFUZZ_COV_BLOCK();
+    return {};  // not our station
+  }
+  const std::uint8_t count = vsq & 0x7F;
+  if (count == 0) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+
+  ByteWriter response;
+  switch (type_id) {
+    case kCIcNa1: {
+      ICSFUZZ_COV_BLOCK();  // station interrogation
+      const std::uint32_t ioa =
+          static_cast<std::uint32_t>(reader.read_uint(3, Endian::Little));
+      const std::uint8_t qoi = reader.read_u8();
+      if (!reader.ok() || ioa != 0) {
+        ICSFUZZ_COV_BLOCK();
+        return {};
+      }
+      if ((cot & 0x3F) != kCotActivation) {
+        ICSFUZZ_COV_BLOCK();
+        response.write_bytes(
+            Bytes{type_id, 1, kCotUnknownCot, 0,
+                  static_cast<std::uint8_t>(ca & 0xFF),
+                  static_cast<std::uint8_t>(ca >> 8), 0, 0, 0, qoi});
+        return build_i(response.bytes());
+      }
+      if (qoi == 20) {
+        ICSFUZZ_COV_BLOCK();  // global interrogation: report a point
+        response.write_bytes(
+            Bytes{kMSpNa1, 1, 20, 0, static_cast<std::uint8_t>(ca & 0xFF),
+                  static_cast<std::uint8_t>(ca >> 8), 0x01, 0x00, 0x00, 0x01});
+      } else if (qoi >= 21 && qoi <= 28) {
+        ICSFUZZ_COV_BLOCK();  // station group 1-8 interrogation
+        response.write_bytes(
+            Bytes{kMSpNa1, 1, qoi, 0, static_cast<std::uint8_t>(ca & 0xFF),
+                  static_cast<std::uint8_t>(ca >> 8), 0x02, 0x00, 0x00, 0x00});
+      } else if (qoi >= 29 && qoi <= 36) {
+        ICSFUZZ_COV_BLOCK();  // measurand group interrogation: scaled reply
+        response.write_bytes(
+            Bytes{kMMeNb1, 1, qoi, 0, static_cast<std::uint8_t>(ca & 0xFF),
+                  static_cast<std::uint8_t>(ca >> 8), 0x10, 0x00, 0x00, 0x34,
+                  0x12, 0x00});
+      } else {
+        ICSFUZZ_COV_BLOCK();  // undefined qualifier
+        return {};
+      }
+      response.write_bytes(Bytes{type_id, 1, kCotActivationCon, 0,
+                                 static_cast<std::uint8_t>(ca & 0xFF),
+                                 static_cast<std::uint8_t>(ca >> 8), 0, 0, 0,
+                                 qoi});
+      return build_i(response.bytes());
+    }
+    case kCScNa1: {
+      ICSFUZZ_COV_BLOCK();  // single command
+      const std::uint32_t ioa =
+          static_cast<std::uint32_t>(reader.read_uint(3, Endian::Little));
+      const std::uint8_t sco = reader.read_u8();
+      if (!reader.ok()) {
+        ICSFUZZ_COV_BLOCK();
+        return {};
+      }
+      if (ioa < 0x1000 || ioa > 0x1010) {
+        ICSFUZZ_COV_BLOCK();  // unknown object address
+        return {};
+      }
+      const bool select = (sco & 0x80) != 0;
+      if (select) {
+        ICSFUZZ_COV_BLOCK();  // select phase
+        selected_ = true;
+        selected_ioa_ = ioa;
+      } else if (selected_) {
+        if (selected_ioa_ != ioa) {
+          ICSFUZZ_COV_BLOCK();  // execute targets a different object: abort
+          selected_ = false;
+          return {};
+        }
+        ICSFUZZ_COV_BLOCK();  // execute after select: deepest command path
+        selected_ = false;
+        // Qualifier of command (QU) selects the output-circuit profile;
+        // each defined profile drives a distinct actuation routine.
+        switch ((sco >> 2) & 0x1F) {
+          case 0:
+            ICSFUZZ_COV_BLOCK();  // no additional definition
+            break;
+          case 1:
+            ICSFUZZ_COV_BLOCK();  // short pulse
+            break;
+          case 2:
+            ICSFUZZ_COV_BLOCK();  // long pulse
+            break;
+          case 3:
+            ICSFUZZ_COV_BLOCK();  // persistent output
+            break;
+          default:
+            ICSFUZZ_COV_BLOCK();  // reserved qualifier: refuse execution
+            return {};
+        }
+      } else {
+        ICSFUZZ_COV_BLOCK();  // execute without select
+        return {};
+      }
+      response.write_bytes(Bytes{
+          kCScNa1, 1, kCotActivationCon, 0, static_cast<std::uint8_t>(ca & 0xFF),
+          static_cast<std::uint8_t>(ca >> 8),
+          static_cast<std::uint8_t>(ioa & 0xFF),
+          static_cast<std::uint8_t>((ioa >> 8) & 0xFF),
+          static_cast<std::uint8_t>((ioa >> 16) & 0xFF), sco});
+      return build_i(response.bytes());
+    }
+    case kCCsNa1: {
+      ICSFUZZ_COV_BLOCK();  // clock synchronisation
+      const std::uint32_t ioa =
+          static_cast<std::uint32_t>(reader.read_uint(3, Endian::Little));
+      Bytes time = reader.read_bytes(7);
+      if (!reader.ok() || ioa != 0) {
+        ICSFUZZ_COV_BLOCK();
+        return {};
+      }
+      // Validate CP56Time2a: minutes < 60, hours < 24.
+      if ((time[2] & 0x3F) >= 60 || (time[3] & 0x1F) >= 24) {
+        ICSFUZZ_COV_BLOCK();  // invalid timestamp
+        return {};
+      }
+      ICSFUZZ_COV_BLOCK();
+      response.write_bytes(Bytes{kCCsNa1, 1, kCotActivationCon, 0,
+                                 static_cast<std::uint8_t>(ca & 0xFF),
+                                 static_cast<std::uint8_t>(ca >> 8), 0, 0, 0});
+      response.write_bytes(time);
+      return build_i(response.bytes());
+    }
+    case kCSeNb1: {
+      ICSFUZZ_COV_BLOCK();  // set-point command, scaled value
+      if (ca == 0xFFFF) {
+        ICSFUZZ_COV_BLOCK();  // setpoints must not be broadcast
+        return {};
+      }
+      const std::uint32_t ioa =
+          static_cast<std::uint32_t>(reader.read_uint(3, Endian::Little));
+      const std::uint16_t value = reader.read_u16(Endian::Little);
+      const std::uint8_t qos = reader.read_u8();
+      if (!reader.ok()) {
+        ICSFUZZ_COV_BLOCK();
+        return {};
+      }
+      if (ioa < 0x1900 || ioa > 0x1903) {
+        ICSFUZZ_COV_BLOCK();  // unknown setpoint register
+        return {};
+      }
+      const std::uint8_t ql = qos & 0x7F;
+      if (ql > 3) {
+        ICSFUZZ_COV_BLOCK();  // undefined qualifier-of-set-point
+        return {};
+      }
+      if ((qos & 0x80) != 0) {
+        ICSFUZZ_COV_BLOCK();  // select phase
+        setpoint_selected_ = true;
+      } else if (setpoint_selected_) {
+        ICSFUZZ_COV_BLOCK();  // execute after select
+        setpoint_selected_ = false;
+        if (static_cast<std::int16_t>(value) < 0) {
+          ICSFUZZ_COV_BLOCK();  // negative engineering value path
+        } else if (value > 0x4000) {
+          ICSFUZZ_COV_BLOCK();  // above-range clamp path
+        } else {
+          ICSFUZZ_COV_BLOCK();  // nominal setpoint
+        }
+      } else {
+        ICSFUZZ_COV_BLOCK();  // execute without select
+        return {};
+      }
+      response.write_bytes(Bytes{
+          kCSeNb1, 1, kCotActivationCon, 0,
+          static_cast<std::uint8_t>(ca & 0xFF),
+          static_cast<std::uint8_t>(ca >> 8),
+          static_cast<std::uint8_t>(ioa & 0xFF),
+          static_cast<std::uint8_t>((ioa >> 8) & 0xFF),
+          static_cast<std::uint8_t>((ioa >> 16) & 0xFF),
+          static_cast<std::uint8_t>(value & 0xFF),
+          static_cast<std::uint8_t>(value >> 8), qos});
+      return build_i(response.bytes());
+    }
+    case kCDcNa1: {
+      ICSFUZZ_COV_BLOCK();  // double command (breaker-style control)
+      if (ca == 0xFFFF) {
+        ICSFUZZ_COV_BLOCK();  // controls must not be broadcast
+        return {};
+      }
+      const std::uint32_t ioa =
+          static_cast<std::uint32_t>(reader.read_uint(3, Endian::Little));
+      const std::uint8_t dco = reader.read_u8();
+      if (!reader.ok()) {
+        ICSFUZZ_COV_BLOCK();
+        return {};
+      }
+      const std::uint8_t dcs = dco & 0x03;
+      if (dcs == 0 || dcs == 3) {
+        ICSFUZZ_COV_BLOCK();  // DCS "not permitted" values
+        return {};
+      }
+      if (ioa < 0x1800 || ioa > 0x1804) {
+        ICSFUZZ_COV_BLOCK();  // unknown double point
+        return {};
+      }
+      if (dcs == 2 && (dco & 0x80) == 0) {
+        ICSFUZZ_COV_BLOCK();  // direct CLOSE requires select first: refuse
+        return {};
+      }
+      ICSFUZZ_COV_BLOCK();  // accepted double command
+      response.write_bytes(Bytes{
+          kCDcNa1, 1, kCotActivationCon, 0,
+          static_cast<std::uint8_t>(ca & 0xFF),
+          static_cast<std::uint8_t>(ca >> 8),
+          static_cast<std::uint8_t>(ioa & 0xFF),
+          static_cast<std::uint8_t>((ioa >> 8) & 0xFF),
+          static_cast<std::uint8_t>((ioa >> 16) & 0xFF), dco});
+      return build_i(response.bytes());
+    }
+    case kCCiNa1: {
+      ICSFUZZ_COV_BLOCK();  // counter interrogation
+      const std::uint32_t ioa =
+          static_cast<std::uint32_t>(reader.read_uint(3, Endian::Little));
+      const std::uint8_t qcc = reader.read_u8();
+      if (!reader.ok() || ioa != 0) {
+        ICSFUZZ_COV_BLOCK();
+        return {};
+      }
+      const std::uint8_t rqt = qcc & 0x3F;  // request qualifier
+      const std::uint8_t frz = qcc >> 6;    // freeze/reset qualifier
+      if (rqt == 0 || rqt > 5) {
+        ICSFUZZ_COV_BLOCK();  // undefined counter group
+        return {};
+      }
+      if (frz == 3 && rqt != 5) {
+        ICSFUZZ_COV_BLOCK();  // reset only defined for the general request
+        return {};
+      }
+      switch (frz) {
+        case 0:
+          ICSFUZZ_COV_BLOCK();  // read counters
+          break;
+        case 1:
+          ICSFUZZ_COV_BLOCK();  // freeze without reset
+          break;
+        case 2:
+          ICSFUZZ_COV_BLOCK();  // freeze with reset
+          break;
+        default:
+          ICSFUZZ_COV_BLOCK();  // counter reset
+          break;
+      }
+      ICSFUZZ_COV_BLOCK();
+      response.write_bytes(Bytes{kCCiNa1, 1, kCotActivationCon, 0,
+                                 static_cast<std::uint8_t>(ca & 0xFF),
+                                 static_cast<std::uint8_t>(ca >> 8), 0, 0, 0,
+                                 qcc});
+      return build_i(response.bytes());
+    }
+    case kCRdNa1: {
+      ICSFUZZ_COV_BLOCK();  // read command
+      if (ca == 0xFFFF) {
+        ICSFUZZ_COV_BLOCK();  // reads must not be broadcast
+        return {};
+      }
+      const std::uint32_t ioa =
+          static_cast<std::uint32_t>(reader.read_uint(3, Endian::Little));
+      if (!reader.ok() || !reader.at_end()) {
+        ICSFUZZ_COV_BLOCK();
+        return {};
+      }
+      if (ioa >= 0x0100 && ioa <= 0x0107) {
+        ICSFUZZ_COV_BLOCK();  // single-point bank
+        if ((ioa & 1) != 0) {
+          ICSFUZZ_COV_BLOCK();  // odd points latch inverted state
+        }
+        response.write_bytes(Bytes{
+            kMSpNa1, 1, 5 /* COT: requested */, 0,
+            static_cast<std::uint8_t>(ca & 0xFF),
+            static_cast<std::uint8_t>(ca >> 8),
+            static_cast<std::uint8_t>(ioa & 0xFF),
+            static_cast<std::uint8_t>((ioa >> 8) & 0xFF), 0,
+            static_cast<std::uint8_t>(ioa & 1)});
+      } else if (ioa >= 0x0200 && ioa <= 0x0207) {
+        ICSFUZZ_COV_BLOCK();  // measurand bank
+        switch (ioa & 3) {
+          case 0:
+            ICSFUZZ_COV_BLOCK();  // voltage channel scaling
+            break;
+          case 1:
+            ICSFUZZ_COV_BLOCK();  // current channel scaling
+            break;
+          case 2:
+            ICSFUZZ_COV_BLOCK();  // power channel scaling
+            break;
+          default:
+            ICSFUZZ_COV_BLOCK();  // frequency channel scaling
+            break;
+        }
+        response.write_bytes(Bytes{
+            kMMeNb1, 1, 5, 0, static_cast<std::uint8_t>(ca & 0xFF),
+            static_cast<std::uint8_t>(ca >> 8),
+            static_cast<std::uint8_t>(ioa & 0xFF),
+            static_cast<std::uint8_t>((ioa >> 8) & 0xFF), 0, 0x34, 0x12,
+            0x00});
+      } else {
+        ICSFUZZ_COV_BLOCK();  // unknown object
+        return {};
+      }
+      return build_i(response.bytes());
+    }
+    case kMSpNa1:
+    case kMMeNb1: {
+      ICSFUZZ_COV_BLOCK();  // monitor-direction type sent to a slave
+      response.write_bytes(Bytes{type_id, 1, kCotUnknownType, 0,
+                                 static_cast<std::uint8_t>(ca & 0xFF),
+                                 static_cast<std::uint8_t>(ca >> 8), 0, 0, 0});
+      return build_i(response.bytes());
+    }
+    default:
+      ICSFUZZ_COV_BLOCK();  // unknown type identification
+      return {};
+  }
+}
+
+}  // namespace icsfuzz::proto

@@ -1,0 +1,54 @@
+// IEC 60870-5-104 slave — re-implementation of the packet-processing layer
+// of the paper's "IEC104" evaluation subject (the smallest stack; the paper
+// reports dozens of covered paths for it).
+//
+// Implements the APCI frame dispatcher (U-, S- and I-format frames), the
+// STARTDT/STOPDT/TESTFR handshake state machine, send/receive sequence
+// validation and a small ASDU command dispatcher (C_IC_NA_1 interrogation,
+// C_SC_NA_1 single command, C_CS_NA_1 clock sync, M_* monitor echoes).
+//
+// No vulnerabilities are injected: Table I lists none for IEC104.
+#pragma once
+
+#include <cstdint>
+
+#include "protocols/protocol_target.hpp"
+
+namespace icsfuzz::proto {
+
+class Iec104Server final : public ProtocolTarget {
+ public:
+  Iec104Server();
+
+  [[nodiscard]] std::string_view name() const override { return "IEC104"; }
+  void reset() override;
+
+  /// Consumes a TCP-style stream of APCI frames (up to kMaxFramesPerStream)
+  /// and returns the concatenated responses.
+  Bytes process(ByteSpan packet) override;
+
+  static constexpr std::size_t kMaxFramesPerStream = 8;
+
+  // -- Introspection for tests. --
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] std::uint16_t recv_seq() const { return recv_seq_; }
+
+ private:
+  Bytes process_frame(ByteSpan frame);
+  Bytes handle_u_frame(std::uint8_t control);
+  Bytes handle_s_frame(ByteSpan control);
+  Bytes handle_i_frame(ByteSpan control, ByteSpan asdu);
+  Bytes handle_asdu(ByteSpan asdu);
+
+  Bytes build_u(std::uint8_t control) const;
+  Bytes build_i(ByteSpan asdu);
+
+  bool started_ = false;
+  std::uint16_t send_seq_ = 0;
+  std::uint16_t recv_seq_ = 0;
+  bool selected_ = false;          // select-before-operate latch (C_SC_NA_1)
+  std::uint32_t selected_ioa_ = 0; // object the select armed
+  bool setpoint_selected_ = false; // select latch for C_SE_NB_1
+};
+
+}  // namespace icsfuzz::proto

@@ -1,0 +1,809 @@
+#include "protocols/iec61850/mms_server.hpp"
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "coverage/instrument.hpp"
+
+namespace icsfuzz::proto {
+namespace {
+
+// MMS PDU tags.
+constexpr std::uint8_t kConfirmedRequest = 0xA0;
+constexpr std::uint8_t kConfirmedResponse = 0xA1;
+constexpr std::uint8_t kConfirmedError = 0xA2;
+constexpr std::uint8_t kInformationReport = 0xA3;
+constexpr std::uint8_t kInitiateRequest = 0xA8;
+constexpr std::uint8_t kInitiateResponse = 0xA9;
+constexpr std::uint8_t kConcludeRequest = 0x8B;
+constexpr std::uint8_t kConcludeResponse = 0x8C;
+
+// Confirmed service tags.
+constexpr std::uint8_t kSvcStatus = 0x80;
+constexpr std::uint8_t kSvcGetNameList = 0xA1;
+constexpr std::uint8_t kSvcIdentify = 0x82;
+constexpr std::uint8_t kSvcRead = 0xA4;
+constexpr std::uint8_t kSvcWrite = 0xA5;
+constexpr std::uint8_t kSvcGetVarAttributes = 0xA6;
+
+// ----- Static IED data model ------------------------------------------------
+//
+// Two logical devices; each logical node owns data objects; each object has
+// functional-constraint-qualified attributes. Object references follow the
+// 61850 convention "LD/LN$FC$DO$DA".
+
+struct DataAttribute {
+  std::string_view name;
+  std::string_view fc;     // functional constraint: ST, MX, CF, DC, CO
+  std::uint8_t mms_type;   // 0x83 bool, 0x85 integer, 0x86 unsigned, 0x8A str
+  std::uint32_t value;
+  bool writable;
+};
+
+struct DataObject {
+  std::string_view name;
+  const DataAttribute* attributes;
+  std::size_t attribute_count;
+};
+
+struct LogicalNode {
+  std::string_view name;
+  const DataObject* objects;
+  std::size_t object_count;
+};
+
+struct LogicalDevice {
+  std::string_view name;
+  const LogicalNode* nodes;
+  std::size_t node_count;
+};
+
+constexpr DataAttribute kStValAttrs[] = {
+    {"stVal", "ST", 0x83, 1, false},
+    {"q", "ST", 0x86, 0, false},
+    {"t", "ST", 0x86, 0, false},
+};
+constexpr DataAttribute kMagAttrs[] = {
+    {"mag", "MX", 0x85, 2300, false},
+    {"q", "MX", 0x86, 0, false},
+    {"t", "MX", 0x86, 0, false},
+    {"units", "CF", 0x86, 30, true},
+    {"db", "CF", 0x86, 500, true},
+};
+constexpr DataAttribute kCtlAttrs[] = {
+    {"ctlVal", "CO", 0x83, 0, true},
+    {"origin", "CO", 0x86, 3, true},
+    {"ctlNum", "CO", 0x86, 0, true},
+    {"stVal", "ST", 0x83, 0, false},
+    {"q", "ST", 0x86, 0, false},
+};
+constexpr DataAttribute kNamePltAttrs[] = {
+    {"vendor", "DC", 0x8A, 0, false},
+    {"swRev", "DC", 0x8A, 1, false},
+    {"d", "DC", 0x8A, 2, true},
+};
+constexpr DataAttribute kModAttrs[] = {
+    {"stVal", "ST", 0x85, 1, false},
+    {"ctlModel", "CF", 0x85, 1, true},
+};
+
+constexpr DataObject kLln0Objects[] = {
+    {"Mod", kModAttrs, std::size(kModAttrs)},
+    {"Beh", kStValAttrs, std::size(kStValAttrs)},
+    {"Health", kStValAttrs, std::size(kStValAttrs)},
+    {"NamPlt", kNamePltAttrs, std::size(kNamePltAttrs)},
+};
+constexpr DataObject kMmxuObjects[] = {
+    {"TotW", kMagAttrs, std::size(kMagAttrs)},
+    {"TotVAr", kMagAttrs, std::size(kMagAttrs)},
+    {"Hz", kMagAttrs, std::size(kMagAttrs)},
+    {"PhV", kMagAttrs, std::size(kMagAttrs)},
+};
+constexpr DataObject kGgioObjects[] = {
+    {"SPCSO1", kCtlAttrs, std::size(kCtlAttrs)},
+    {"SPCSO2", kCtlAttrs, std::size(kCtlAttrs)},
+    {"Ind1", kStValAttrs, std::size(kStValAttrs)},
+    {"Ind2", kStValAttrs, std::size(kStValAttrs)},
+};
+constexpr DataObject kXcbrObjects[] = {
+    {"Pos", kCtlAttrs, std::size(kCtlAttrs)},
+    {"BlkOpn", kCtlAttrs, std::size(kCtlAttrs)},
+    {"OpCnt", kStValAttrs, std::size(kStValAttrs)},
+};
+
+constexpr LogicalNode kLd0Nodes[] = {
+    {"LLN0", kLln0Objects, std::size(kLln0Objects)},
+    {"MMXU1", kMmxuObjects, std::size(kMmxuObjects)},
+    {"GGIO1", kGgioObjects, std::size(kGgioObjects)},
+};
+constexpr LogicalNode kLd1Nodes[] = {
+    {"LLN0", kLln0Objects, std::size(kLln0Objects)},
+    {"XCBR1", kXcbrObjects, std::size(kXcbrObjects)},
+    {"GGIO1", kGgioObjects, std::size(kGgioObjects)},
+};
+
+constexpr LogicalDevice kDevices[] = {
+    {"simpleIOGenericIO", kLd0Nodes, std::size(kLd0Nodes)},
+    {"simpleIOControl", kLd1Nodes, std::size(kLd1Nodes)},
+};
+
+// ----- BER helpers ----------------------------------------------------------
+
+struct Tlv {
+  std::uint8_t tag = 0;
+  ByteSpan value;
+};
+
+std::optional<Tlv> read_tlv(ByteReader& reader, ByteSpan scope) {
+  const std::uint8_t tag = reader.read_u8();
+  const std::uint8_t first_len = reader.read_u8();
+  if (!reader.ok()) return std::nullopt;
+  std::size_t length = 0;
+  if ((first_len & 0x80) == 0) {
+    length = first_len;
+  } else {
+    const std::size_t octets = first_len & 0x7F;
+    if (octets == 0 || octets > 2) return std::nullopt;
+    length = static_cast<std::size_t>(reader.read_uint(octets, Endian::Big));
+    if (!reader.ok()) return std::nullopt;
+  }
+  if (reader.remaining() < length) return std::nullopt;
+  const std::size_t value_pos = reader.position();
+  reader.skip(length);
+  return Tlv{tag, scope.subspan(value_pos, length)};
+}
+
+void write_tlv(ByteWriter& writer, std::uint8_t tag, ByteSpan value) {
+  writer.write_u8(tag);
+  if (value.size() < 0x80) {
+    writer.write_u8(static_cast<std::uint8_t>(value.size()));
+  } else {
+    writer.write_u8(0x82);
+    writer.write_u16(static_cast<std::uint16_t>(value.size()), Endian::Big);
+  }
+  writer.write_bytes(value);
+}
+
+void write_visible_string(ByteWriter& writer, std::string_view text) {
+  writer.write_u8(0x1A);
+  writer.write_u8(static_cast<std::uint8_t>(text.size()));
+  writer.write_string(text);
+}
+
+// ----- Object reference resolution -------------------------------------
+
+struct ResolvedAttribute {
+  const LogicalDevice* device = nullptr;
+  const LogicalNode* node = nullptr;
+  const DataObject* object = nullptr;
+  const DataAttribute* attribute = nullptr;
+};
+
+const LogicalDevice* find_device(std::string_view name) {
+  for (const LogicalDevice& device : kDevices) {
+    if (device.name == name) return &device;
+  }
+  return nullptr;
+}
+
+const LogicalNode* find_node(const LogicalDevice& device,
+                             std::string_view name) {
+  for (std::size_t i = 0; i < device.node_count; ++i) {
+    if (device.nodes[i].name == name) return &device.nodes[i];
+  }
+  return nullptr;
+}
+
+const DataObject* find_object(const LogicalNode& node, std::string_view name) {
+  for (std::size_t i = 0; i < node.object_count; ++i) {
+    if (node.objects[i].name == name) return &node.objects[i];
+  }
+  return nullptr;
+}
+
+const DataAttribute* find_attribute(const DataObject& object,
+                                    std::string_view fc,
+                                    std::string_view name) {
+  for (std::size_t i = 0; i < object.attribute_count; ++i) {
+    if (object.attributes[i].name == name && object.attributes[i].fc == fc) {
+      return &object.attributes[i];
+    }
+  }
+  return nullptr;
+}
+
+/// Resolves "LD/LN$FC$DO$DA". Returns nullopt on any missing path element.
+/// Each resolution stage and each functional-constraint view runs its own
+/// dispatch code, as in libiec61850's per-FC access paths.
+std::optional<ResolvedAttribute> resolve_reference(std::string_view ref) {
+  ICSFUZZ_COV_BLOCK();
+  const std::size_t slash = ref.find('/');
+  if (slash == std::string_view::npos) {
+    ICSFUZZ_COV_BLOCK();  // vmd-scope name: unsupported
+    return std::nullopt;
+  }
+  const LogicalDevice* device = find_device(ref.substr(0, slash));
+  if (device == nullptr) {
+    ICSFUZZ_COV_BLOCK();  // unknown logical device
+    return std::nullopt;
+  }
+  if (device == &kDevices[0]) {
+    ICSFUZZ_COV_BLOCK();  // generic-IO device access path
+  } else {
+    ICSFUZZ_COV_BLOCK();  // control device access path
+  }
+  std::string_view rest = ref.substr(slash + 1);
+
+  std::array<std::string_view, 4> parts{};
+  std::size_t part_count = 0;
+  while (part_count < 4) {
+    const std::size_t dollar = rest.find('$');
+    parts[part_count++] = rest.substr(0, dollar);
+    if (dollar == std::string_view::npos) break;
+    rest = rest.substr(dollar + 1);
+  }
+  if (part_count != 4) {
+    ICSFUZZ_COV_BLOCK();  // reference depth mismatch
+    return std::nullopt;
+  }
+
+  const LogicalNode* node = find_node(*device, parts[0]);
+  if (node == nullptr) {
+    ICSFUZZ_COV_BLOCK();  // unknown logical node
+    return std::nullopt;
+  }
+  // Per-node-class access routines (LLN0 / measurement / IO / breaker).
+  if (node->name == "LLN0") {
+    ICSFUZZ_COV_BLOCK();
+  } else if (node->name == "MMXU1") {
+    ICSFUZZ_COV_BLOCK();
+  } else if (node->name == "XCBR1") {
+    ICSFUZZ_COV_BLOCK();
+  } else {
+    ICSFUZZ_COV_BLOCK();  // GGIO
+  }
+  const DataObject* object = find_object(*node, parts[2]);
+  if (object == nullptr) {
+    ICSFUZZ_COV_BLOCK();  // unknown data object
+    return std::nullopt;
+  }
+  // Functional-constraint views select distinct access code.
+  const std::string_view fc = parts[1];
+  if (fc == "ST") {
+    ICSFUZZ_COV_BLOCK();  // status view
+  } else if (fc == "MX") {
+    ICSFUZZ_COV_BLOCK();  // measurand view
+  } else if (fc == "CF") {
+    ICSFUZZ_COV_BLOCK();  // configuration view
+  } else if (fc == "DC") {
+    ICSFUZZ_COV_BLOCK();  // description view
+  } else if (fc == "CO") {
+    ICSFUZZ_COV_BLOCK();  // control view
+  } else {
+    ICSFUZZ_COV_BLOCK();  // undefined functional constraint
+    return std::nullopt;
+  }
+  const DataAttribute* attribute = find_attribute(*object, fc, parts[3]);
+  if (attribute == nullptr) {
+    ICSFUZZ_COV_BLOCK();  // attribute absent under this view
+    return std::nullopt;
+  }
+  ICSFUZZ_COV_BLOCK();  // fully resolved
+  return ResolvedAttribute{device, node, object, attribute};
+}
+
+void write_attribute_value(ByteWriter& writer, const DataAttribute& attribute) {
+  switch (attribute.mms_type) {
+    case 0x83:  // boolean
+      ICSFUZZ_COV_BLOCK();
+      writer.write_u8(0x83);
+      writer.write_u8(1);
+      writer.write_u8(attribute.value != 0 ? 0x01 : 0x00);
+      break;
+    case 0x85:  // integer
+      ICSFUZZ_COV_BLOCK();
+      writer.write_u8(0x85);
+      writer.write_u8(4);
+      writer.write_u32(attribute.value, Endian::Big);
+      break;
+    case 0x86:  // unsigned
+      ICSFUZZ_COV_BLOCK();
+      writer.write_u8(0x86);
+      writer.write_u8(4);
+      writer.write_u32(attribute.value, Endian::Big);
+      break;
+    case 0x8A:  // visible string
+    default:
+      ICSFUZZ_COV_BLOCK();
+      writer.write_u8(0x8A);
+      writer.write_u8(6);
+      writer.write_string("ICSFZ-");
+      break;
+  }
+}
+
+}  // namespace
+
+MmsServer::MmsServer() { reset(); }
+
+void MmsServer::reset() {
+  associated_ = false;
+  negotiated_pdu_size_ = 0;
+  reads_served_ = 0;
+  writes_accepted_ = 0;
+  reports_seen_ = 0;
+}
+
+Bytes MmsServer::process(ByteSpan packet) {
+  ICSFUZZ_COV_BLOCK();
+  // Stream framing: each TPKT envelope declares its own total length in
+  // octets 2-3.
+  Bytes responses;
+  std::size_t offset = 0;
+  for (std::size_t frames = 0; frames < kMaxFramesPerStream; ++frames) {
+    if (packet.size() - offset < 4) break;
+    const std::size_t frame_size = static_cast<std::size_t>(
+        (packet[offset + 2] << 8) | packet[offset + 3]);
+    if (frame_size < 4 || packet.size() - offset < frame_size) break;
+    ICSFUZZ_COV_BLOCK();
+    Bytes response = process_frame(packet.subspan(offset, frame_size));
+    append(responses, response);
+    offset += frame_size;
+  }
+  return responses;
+}
+
+Bytes MmsServer::process_frame(ByteSpan packet) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(packet);
+  const std::uint8_t version = reader.read_u8();
+  const std::uint8_t reserved = reader.read_u8();
+  const std::uint16_t length = reader.read_u16(Endian::Big);
+  if (!reader.ok() || version != 0x03 || reserved != 0x00) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  if (length != packet.size()) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  ICSFUZZ_COV_BLOCK();
+  return handle_pdu(packet.subspan(4));
+}
+
+Bytes MmsServer::handle_pdu(ByteSpan pdu) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(pdu);
+  auto tlv = read_tlv(reader, pdu);
+  if (!tlv || !reader.at_end()) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  switch (tlv->tag) {
+    case kInitiateRequest:
+      ICSFUZZ_COV_BLOCK();
+      return handle_initiate(tlv->value);
+    case kConcludeRequest:
+      ICSFUZZ_COV_BLOCK();
+      if (!associated_) return {};
+      associated_ = false;
+      return Bytes{kConcludeResponse, 0x00};
+    case kConfirmedRequest:
+      ICSFUZZ_COV_BLOCK();
+      if (!associated_) {
+        ICSFUZZ_COV_BLOCK();
+        return {};
+      }
+      return handle_confirmed(tlv->value);
+    case kInformationReport:
+      ICSFUZZ_COV_BLOCK();
+      if (!associated_) return {};
+      return handle_information_report(tlv->value);
+    default:
+      ICSFUZZ_COV_BLOCK();
+      return {};
+  }
+}
+
+Bytes MmsServer::handle_initiate(ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  // initiate-Request: max PDU size (0x80 len2..4), proposed version
+  // (0x81 len1), parameter CBB (0x82 len<=2), services supported
+  // (0x83 len<=11).
+  ByteReader reader(body);
+  std::uint32_t pdu_size = 0;
+  std::uint8_t version = 0;
+  bool saw_services = false;
+  while (!reader.at_end()) {
+    auto tlv = read_tlv(reader, body);
+    if (!tlv) {
+      ICSFUZZ_COV_BLOCK();
+      return {};
+    }
+    switch (tlv->tag) {
+      case 0x80:
+        ICSFUZZ_COV_BLOCK();
+        if (tlv->value.empty() || tlv->value.size() > 4) return {};
+        pdu_size = static_cast<std::uint32_t>(
+            decode_uint(tlv->value, Endian::Big));
+        break;
+      case 0x81:
+        ICSFUZZ_COV_BLOCK();
+        if (tlv->value.size() != 1) return {};
+        version = tlv->value[0];
+        break;
+      case 0x82:
+        ICSFUZZ_COV_BLOCK();
+        if (tlv->value.size() > 2) return {};
+        break;
+      case 0x83:
+        ICSFUZZ_COV_BLOCK();
+        if (tlv->value.size() > 11) return {};
+        saw_services = true;
+        break;
+      default:
+        ICSFUZZ_COV_BLOCK();
+        return {};
+    }
+  }
+  if (pdu_size < 1024 || pdu_size > 65000) {
+    ICSFUZZ_COV_BLOCK();
+    return {};  // unacceptable PDU size
+  }
+  if (version != 1) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  if (!saw_services) {
+    ICSFUZZ_COV_BLOCK();
+    return {};  // services-supported bitmap is mandatory
+  }
+  ICSFUZZ_COV_BLOCK();  // association accepted
+  associated_ = true;
+  negotiated_pdu_size_ = pdu_size < 32000 ? pdu_size : 32000;
+  ByteWriter payload;
+  payload.write_u8(0x80);
+  payload.write_u8(4);
+  payload.write_u32(negotiated_pdu_size_, Endian::Big);
+  payload.write_u8(0x81);
+  payload.write_u8(1);
+  payload.write_u8(1);
+  ByteWriter out;
+  write_tlv(out, kInitiateResponse, payload.bytes());
+  return out.take();
+}
+
+Bytes MmsServer::handle_confirmed(ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(body);
+  auto invoke = read_tlv(reader, body);
+  if (!invoke || invoke->tag != 0x02 || invoke->value.empty() ||
+      invoke->value.size() > 4) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  const std::uint32_t invoke_id =
+      static_cast<std::uint32_t>(decode_uint(invoke->value, Endian::Big));
+  auto service = read_tlv(reader, body);
+  if (!service || !reader.at_end()) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  switch (service->tag) {
+    case kSvcStatus:
+      ICSFUZZ_COV_BLOCK();
+      return service_status(invoke_id);
+    case kSvcGetNameList:
+      ICSFUZZ_COV_BLOCK();
+      return service_name_list(invoke_id, service->value);
+    case kSvcIdentify:
+      ICSFUZZ_COV_BLOCK();
+      return service_identify(invoke_id);
+    case kSvcRead:
+      ICSFUZZ_COV_BLOCK();
+      return service_read(invoke_id, service->value);
+    case kSvcWrite:
+      ICSFUZZ_COV_BLOCK();
+      return service_write(invoke_id, service->value);
+    case kSvcGetVarAttributes:
+      ICSFUZZ_COV_BLOCK();
+      return service_access_attributes(invoke_id, service->value);
+    default:
+      ICSFUZZ_COV_BLOCK();
+      return service_error(invoke_id, 0x01, 0x05);  // service unsupported
+  }
+}
+
+Bytes MmsServer::service_name_list(std::uint32_t invoke_id, ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  // GetNameList: object class (0x80 len1: 0=LD list, 9=vmd scope / LN list
+  // within a domain), optional domain name (0x81), optional continue-after
+  // (0x82 string).
+  ByteReader reader(body);
+  auto klass_tlv = read_tlv(reader, body);
+  if (!klass_tlv || klass_tlv->tag != 0x80 || klass_tlv->value.size() != 1) {
+    ICSFUZZ_COV_BLOCK();
+    return service_error(invoke_id, 0x07, 0x01);
+  }
+  const std::uint8_t klass = klass_tlv->value[0];
+  std::string domain;
+  std::string continue_after;
+  while (!reader.at_end()) {
+    auto tlv = read_tlv(reader, body);
+    if (!tlv) {
+      ICSFUZZ_COV_BLOCK();
+      return service_error(invoke_id, 0x07, 0x01);
+    }
+    if (tlv->tag == 0x81) {
+      ICSFUZZ_COV_BLOCK();
+      domain = to_string(tlv->value);
+    } else if (tlv->tag == 0x82) {
+      ICSFUZZ_COV_BLOCK();
+      continue_after = to_string(tlv->value);
+    } else {
+      ICSFUZZ_COV_BLOCK();
+      return service_error(invoke_id, 0x07, 0x01);
+    }
+  }
+
+  ByteWriter names;
+  bool more_follows = false;
+  if (klass == 9 && domain.empty()) {
+    ICSFUZZ_COV_BLOCK();  // list of logical devices
+    bool emitting = continue_after.empty();
+    for (const LogicalDevice& device : kDevices) {
+      ICSFUZZ_COV_BLOCK();
+      if (!emitting) {
+        emitting = device.name == continue_after;
+        continue;
+      }
+      write_visible_string(names, device.name);
+    }
+  } else if (klass == 9) {
+    ICSFUZZ_COV_BLOCK();  // named variables within one domain
+    const LogicalDevice* device = find_device(domain);
+    if (device == nullptr) {
+      ICSFUZZ_COV_BLOCK();
+      return service_error(invoke_id, 0x07, 0x02);  // domain unknown
+    }
+    bool emitting = continue_after.empty();
+    std::size_t emitted = 0;
+    for (std::size_t n = 0; n < device->node_count; ++n) {
+      const LogicalNode& node = *(device->nodes + n);
+      for (std::size_t o = 0; o < node.object_count; ++o) {
+        ICSFUZZ_COV_BLOCK();
+        std::string entry(node.name);
+        entry += "$";
+        entry += std::string(node.objects[o].name);
+        if (!emitting) {
+          emitting = entry == continue_after;
+          continue;
+        }
+        if (emitted >= 8) {
+          more_follows = true;  // pagination — forces continuation requests
+          break;
+        }
+        write_visible_string(names, entry);
+        ++emitted;
+      }
+      if (more_follows) break;
+    }
+  } else {
+    ICSFUZZ_COV_BLOCK();
+    return service_error(invoke_id, 0x07, 0x03);  // class unsupported
+  }
+
+  ByteWriter payload;
+  write_tlv(payload, 0xA0, names.bytes());
+  payload.write_u8(0x81);
+  payload.write_u8(1);
+  payload.write_u8(more_follows ? 0xFF : 0x00);
+  return confirmed_response(invoke_id, kSvcGetNameList, payload.bytes());
+}
+
+Bytes MmsServer::service_read(std::uint32_t invoke_id, ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  // Read: one or more object references (0x1A visible strings), each
+  // resolved against the IED directory.
+  ByteReader reader(body);
+  ByteWriter results;
+  std::size_t item_count = 0;
+  while (!reader.at_end()) {
+    auto item = read_tlv(reader, body);
+    if (!item || item->tag != 0x1A) {
+      ICSFUZZ_COV_BLOCK();
+      return service_error(invoke_id, 0x07, 0x01);
+    }
+    if (++item_count > 8) {
+      ICSFUZZ_COV_BLOCK();
+      return service_error(invoke_id, 0x07, 0x04);  // too many items
+    }
+    const std::string ref = to_string(item->value);
+    auto resolved = resolve_reference(ref);
+    if (!resolved) {
+      ICSFUZZ_COV_BLOCK();  // per-item failure: access-error component
+      results.write_u8(0x80);
+      results.write_u8(1);
+      results.write_u8(0x0A);  // object-non-existent
+      continue;
+    }
+    ICSFUZZ_COV_BLOCK();  // successful resolve — deep directory walk done
+    ++reads_served_;
+    write_attribute_value(results, *resolved->attribute);
+  }
+  if (item_count == 0) {
+    ICSFUZZ_COV_BLOCK();
+    return service_error(invoke_id, 0x07, 0x01);
+  }
+  ByteWriter payload;
+  write_tlv(payload, 0xA1, results.bytes());
+  return confirmed_response(invoke_id, kSvcRead, payload.bytes());
+}
+
+Bytes MmsServer::service_write(std::uint32_t invoke_id, ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  // Write: object reference (0x1A), then a typed value TLV.
+  ByteReader reader(body);
+  auto item = read_tlv(reader, body);
+  auto value = read_tlv(reader, body);
+  if (!item || item->tag != 0x1A || !value || !reader.at_end()) {
+    ICSFUZZ_COV_BLOCK();
+    return service_error(invoke_id, 0x07, 0x01);
+  }
+  const std::string ref = to_string(item->value);
+  auto resolved = resolve_reference(ref);
+  if (!resolved) {
+    ICSFUZZ_COV_BLOCK();
+    return service_error(invoke_id, 0x0A, 0x02);  // object non-existent
+  }
+  if (!resolved->attribute->writable) {
+    ICSFUZZ_COV_BLOCK();
+    return service_error(invoke_id, 0x0A, 0x03);  // access denied
+  }
+  // Type check: the written TLV must match the attribute's MMS type.
+  if (value->tag != resolved->attribute->mms_type) {
+    ICSFUZZ_COV_BLOCK();
+    return service_error(invoke_id, 0x0A, 0x07);  // type inconsistent
+  }
+  switch (value->tag) {
+    case 0x83:
+      ICSFUZZ_COV_BLOCK();
+      if (value->value.size() != 1) {
+        return service_error(invoke_id, 0x0A, 0x07);
+      }
+      break;
+    case 0x85:
+    case 0x86:
+      ICSFUZZ_COV_BLOCK();
+      if (value->value.empty() || value->value.size() > 4) {
+        return service_error(invoke_id, 0x0A, 0x07);
+      }
+      break;
+    case 0x8A:
+      ICSFUZZ_COV_BLOCK();
+      if (value->value.size() > 64) {
+        return service_error(invoke_id, 0x0A, 0x07);
+      }
+      break;
+    default:
+      ICSFUZZ_COV_BLOCK();
+      return service_error(invoke_id, 0x0A, 0x07);
+  }
+  ICSFUZZ_COV_BLOCK();  // write accepted (static model: value not stored)
+  ++writes_accepted_;
+  ByteWriter payload;
+  payload.write_u8(0x80);
+  payload.write_u8(0);
+  return confirmed_response(invoke_id, kSvcWrite, payload.bytes());
+}
+
+Bytes MmsServer::service_access_attributes(std::uint32_t invoke_id,
+                                           ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(body);
+  auto item = read_tlv(reader, body);
+  if (!item || item->tag != 0x1A || !reader.at_end()) {
+    ICSFUZZ_COV_BLOCK();
+    return service_error(invoke_id, 0x07, 0x01);
+  }
+  auto resolved = resolve_reference(to_string(item->value));
+  if (!resolved) {
+    ICSFUZZ_COV_BLOCK();
+    return service_error(invoke_id, 0x0A, 0x02);
+  }
+  ICSFUZZ_COV_BLOCK();
+  ByteWriter payload;
+  payload.write_u8(0x80);
+  payload.write_u8(1);
+  payload.write_u8(resolved->attribute->writable ? 0x01 : 0x00);
+  payload.write_u8(0x81);
+  payload.write_u8(1);
+  payload.write_u8(resolved->attribute->mms_type);
+  return confirmed_response(invoke_id, kSvcGetVarAttributes, payload.bytes());
+}
+
+Bytes MmsServer::service_identify(std::uint32_t invoke_id) const {
+  ICSFUZZ_COV_BLOCK();
+  ByteWriter payload;
+  write_visible_string(payload, "icsfuzz");
+  write_visible_string(payload, "MMS-IED");
+  write_visible_string(payload, "1.0");
+  return confirmed_response(invoke_id, 0xA2, payload.bytes());
+}
+
+Bytes MmsServer::service_status(std::uint32_t invoke_id) const {
+  ICSFUZZ_COV_BLOCK();
+  ByteWriter payload;
+  payload.write_u8(0x80);
+  payload.write_u8(1);
+  payload.write_u8(0x01);  // vmd logical status: operational
+  return confirmed_response(invoke_id, kSvcStatus, payload.bytes());
+}
+
+Bytes MmsServer::handle_information_report(ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  // InformationReport: RptID string (0x1A), inclusion bitstring (0x84),
+  // then one value TLV per set bit. Parsed and counted, no response.
+  ByteReader reader(body);
+  auto rpt_id = read_tlv(reader, body);
+  auto inclusion = read_tlv(reader, body);
+  if (!rpt_id || rpt_id->tag != 0x1A || !inclusion || inclusion->tag != 0x84 ||
+      inclusion->value.empty()) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  std::size_t expected = 0;
+  for (std::size_t i = 1; i < inclusion->value.size(); ++i) {
+    ICSFUZZ_COV_BLOCK();
+    for (int bit = 0; bit < 8; ++bit) {
+      if ((inclusion->value[i] >> bit) & 1) ++expected;
+    }
+  }
+  std::size_t seen = 0;
+  while (!reader.at_end() && seen < expected) {
+    auto value = read_tlv(reader, body);
+    if (!value) {
+      ICSFUZZ_COV_BLOCK();
+      return {};
+    }
+    ++seen;
+  }
+  if (seen != expected || !reader.at_end()) {
+    ICSFUZZ_COV_BLOCK();
+    return {};  // inclusion bitmap disagrees with value count
+  }
+  ICSFUZZ_COV_BLOCK();
+  ++reports_seen_;
+  return {};
+}
+
+Bytes MmsServer::confirmed_response(std::uint32_t invoke_id,
+                                    std::uint8_t service_tag,
+                                    ByteSpan payload) const {
+  ByteWriter inner;
+  inner.write_u8(0x02);
+  inner.write_u8(4);
+  inner.write_u32(invoke_id, Endian::Big);
+  write_tlv(inner, service_tag, payload);
+  ByteWriter out;
+  write_tlv(out, kConfirmedResponse, inner.bytes());
+  return out.take();
+}
+
+Bytes MmsServer::service_error(std::uint32_t invoke_id, std::uint8_t klass,
+                               std::uint8_t code) const {
+  ByteWriter inner;
+  inner.write_u8(0x02);
+  inner.write_u8(4);
+  inner.write_u32(invoke_id, Endian::Big);
+  inner.write_u8(0x80 | (klass & 0x0F));
+  inner.write_u8(1);
+  inner.write_u8(code);
+  ByteWriter out;
+  write_tlv(out, kConfirmedError, inner.bytes());
+  return out.take();
+}
+
+}  // namespace icsfuzz::proto

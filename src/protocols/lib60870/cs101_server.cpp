@@ -1,0 +1,386 @@
+#include "protocols/lib60870/cs101_server.hpp"
+
+#include "coverage/instrument.hpp"
+#include "sanitizer/guard.hpp"
+
+namespace icsfuzz::proto {
+namespace {
+
+constexpr std::uint8_t kStartByte = 0x68;
+
+// Type identifications.
+constexpr std::uint8_t kMSpNa1 = 1;    // single point
+constexpr std::uint8_t kMMeNb1 = 11;   // measured value, scaled
+constexpr std::uint8_t kCScNa1 = 45;   // single command
+constexpr std::uint8_t kCScTa1 = 58;   // single command with CP56Time2a
+constexpr std::uint8_t kCIcNa1 = 100;  // interrogation
+constexpr std::uint8_t kCRdNa1 = 102;  // read command
+
+// Causes of transmission.
+constexpr std::uint8_t kCotActivation = 6;
+constexpr std::uint8_t kCotActivationCon = 7;
+constexpr std::uint8_t kCotInterrogated = 20;
+
+constexpr std::uint16_t kCommonAddress = 3;
+
+// U-frame controls (subset; the link layer mirrors Iec104Server but the
+// interesting code — and the bugs — live in the ASDU layer).
+constexpr std::uint8_t kStartDtAct = 0x07;
+constexpr std::uint8_t kStartDtCon = 0x0B;
+constexpr std::uint8_t kTestFrAct = 0x43;
+constexpr std::uint8_t kTestFrCon = 0x83;
+
+}  // namespace
+
+Cs101Server::Cs101Server() { reset(); }
+
+void Cs101Server::reset() {
+  started_ = false;
+  recv_seq_ = 0;
+  send_seq_ = 0;
+  commands_executed_ = 0;
+  selected_ = false;
+  selected_ioa_ = 0;
+}
+
+std::uint8_t Cs101Server::asdu_get_cot(ByteSpan asdu) const {
+  // BUG(cs101-getcot-oob): mirrors the paper's Listing 1 —
+  //   return (CS101_CauseOfTransmission)(self->asdu[2] & 0x3f);
+  // The COT octet is fetched without checking that the ASDU actually has
+  // three bytes, so a truncated ASDU reads past the allocation.
+  san::GuardedSpan view(asdu, san::site_id("cs101-getcot-oob"),
+                        "CS101_ASDU_getCOT");
+  return static_cast<std::uint8_t>(view.at(2) & 0x3F);
+}
+
+Bytes Cs101Server::process(ByteSpan packet) {
+  ICSFUZZ_COV_BLOCK();
+  // TCP stream framing: each APCI frame occupies 2 + length bytes.
+  Bytes responses;
+  std::size_t offset = 0;
+  for (std::size_t frames = 0; frames < kMaxFramesPerStream; ++frames) {
+    if (packet.size() - offset < 2) break;
+    const std::size_t frame_size = 2 + packet[offset + 1];
+    if (packet.size() - offset < frame_size) break;
+    ICSFUZZ_COV_BLOCK();
+    Bytes response = process_frame(packet.subspan(offset, frame_size));
+    append(responses, response);
+    if (san::FaultSink::tripped()) break;  // the server process just died
+    offset += frame_size;
+  }
+  return responses;
+}
+
+Bytes Cs101Server::process_frame(ByteSpan packet) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(packet);
+  const std::uint8_t start = reader.read_u8();
+  const std::uint8_t length = reader.read_u8();
+  if (!reader.ok() || start != kStartByte) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  if (length < 4 || reader.remaining() != length) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  const Bytes control = reader.read_bytes(4);
+  const Bytes asdu = reader.read_rest();
+
+  if ((control[0] & 0x03) == 0x03) {
+    ICSFUZZ_COV_BLOCK();  // U frame
+    switch (control[0]) {
+      case kStartDtAct:
+        ICSFUZZ_COV_BLOCK();
+        started_ = true;
+        return Bytes{kStartByte, 4, kStartDtCon, 0, 0, 0};
+      case kTestFrAct:
+        ICSFUZZ_COV_BLOCK();
+        return Bytes{kStartByte, 4, kTestFrCon, 0, 0, 0};
+      default:
+        ICSFUZZ_COV_BLOCK();
+        return {};
+    }
+  }
+  if ((control[0] & 0x03) == 0x01) {
+    ICSFUZZ_COV_BLOCK();  // S frame — sequence ack only
+    return {};
+  }
+  ICSFUZZ_COV_BLOCK();  // I frame
+  if (!started_) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  recv_seq_ = static_cast<std::uint16_t>((recv_seq_ + 1) & 0x7FFF);
+  return handle_asdu(asdu);
+}
+
+Bytes Cs101Server::handle_asdu(ByteSpan asdu) {
+  ICSFUZZ_COV_BLOCK();
+  // Type id and VSQ are checked for presence (lib60870 does verify these
+  // two while constructing the ASDU object)...
+  if (asdu.size() < 2) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  const std::uint8_t type_id = asdu[0];
+  const std::uint8_t vsq = asdu[1];
+  // ...but the COT accessor is the paper's unchecked one: an ASDU holding
+  // exactly two bytes dies here, as in Listing 2's gdb session.
+  const std::uint8_t cot = asdu_get_cot(asdu);
+  if (san::FaultSink::tripped()) return {};  // process died here
+
+  if (asdu.size() < 6) {
+    ICSFUZZ_COV_BLOCK();
+    return {};  // header incomplete (originator / common address missing)
+  }
+  const std::uint16_t ca =
+      static_cast<std::uint16_t>(asdu[4] | (asdu[5] << 8));
+  if (ca != kCommonAddress && ca != 0xFFFF) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  const ByteSpan objects = asdu.subspan(6);
+
+  switch (type_id) {
+    case kCIcNa1:
+      ICSFUZZ_COV_BLOCK();
+      return handle_interrogation(objects, cot, ca);
+    case kCRdNa1:
+      ICSFUZZ_COV_BLOCK();
+      return handle_read_command(objects, ca);
+    case kCScNa1:
+      ICSFUZZ_COV_BLOCK();
+      return handle_single_command(objects, false, ca);
+    case kCScTa1:
+      ICSFUZZ_COV_BLOCK();
+      return handle_single_command(objects, true, ca);
+    case kMMeNb1:
+      ICSFUZZ_COV_BLOCK();
+      return handle_sequence_measurands(objects, vsq, ca);
+    case kMSpNa1:
+      ICSFUZZ_COV_BLOCK();  // monitor-direction type: negative confirm
+      return confirm(type_id, 45, ca, {});
+    default:
+      ICSFUZZ_COV_BLOCK();
+      return confirm(type_id, 44, ca, {});  // unknown type id
+  }
+}
+
+Bytes Cs101Server::handle_interrogation(ByteSpan objects, std::uint8_t cot,
+                                        std::uint16_t ca) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(objects);
+  const std::uint32_t ioa =
+      static_cast<std::uint32_t>(reader.read_uint(3, Endian::Little));
+  const std::uint8_t qoi = reader.read_u8();
+  if (!reader.ok() || !reader.at_end()) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  if (ioa != 0) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  if (cot != kCotActivation) {
+    ICSFUZZ_COV_BLOCK();
+    return confirm(kCIcNa1, 45, ca, Bytes{0, 0, 0, qoi});
+  }
+  if (qoi == 20) {
+    ICSFUZZ_COV_BLOCK();  // global interrogation: full scan
+    ++commands_executed_;
+    return confirm(kMSpNa1, kCotInterrogated, ca,
+                   Bytes{0x01, 0x00, 0x00, 0x01});
+  }
+  if (qoi >= 21 && qoi <= 28) {
+    ICSFUZZ_COV_BLOCK();  // station group scan
+    ++commands_executed_;
+    return confirm(kMSpNa1, qoi, ca, Bytes{0x02, 0x00, 0x00, 0x00});
+  }
+  if (qoi >= 29 && qoi <= 36) {
+    ICSFUZZ_COV_BLOCK();  // measurand group scan
+    ++commands_executed_;
+    return confirm(kMMeNb1, qoi, ca, Bytes{0x10, 0x00, 0x00, 0x34, 0x12, 0x00});
+  }
+  ICSFUZZ_COV_BLOCK();  // undefined qualifier of interrogation
+  return confirm(kCIcNa1, 10, ca, Bytes{0, 0, 0, qoi});
+}
+
+Bytes Cs101Server::handle_read_command(ByteSpan objects, std::uint16_t ca) {
+  ICSFUZZ_COV_BLOCK();
+  if (ca == 0xFFFF) {
+    ICSFUZZ_COV_BLOCK();  // reads must not be broadcast
+    return {};
+  }
+  ByteReader reader(objects);
+  const std::uint32_t ioa =
+      static_cast<std::uint32_t>(reader.read_uint(3, Endian::Little));
+  if (!reader.ok() || !reader.at_end()) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  if (ioa >= 0x0100 && ioa <= 0x0107) {
+    ICSFUZZ_COV_BLOCK();  // single-point bank
+    if ((ioa & 1) != 0) {
+      ICSFUZZ_COV_BLOCK();  // odd points report inverted state
+    }
+    ++commands_executed_;
+    return confirm(kMSpNa1, 5, ca,
+                   Bytes{static_cast<std::uint8_t>(ioa & 0xFF),
+                         static_cast<std::uint8_t>((ioa >> 8) & 0xFF), 0,
+                         static_cast<std::uint8_t>(ioa & 1)});
+  }
+  if (ioa >= 0x0200 && ioa <= 0x0207) {
+    ICSFUZZ_COV_BLOCK();  // measurand bank, per-channel scaling
+    switch (ioa & 3) {
+      case 0: ICSFUZZ_COV_BLOCK(); break;  // voltage channel
+      case 1: ICSFUZZ_COV_BLOCK(); break;  // current channel
+      case 2: ICSFUZZ_COV_BLOCK(); break;  // power channel
+      default: ICSFUZZ_COV_BLOCK(); break; // frequency channel
+    }
+    ++commands_executed_;
+    return confirm(kMMeNb1, 5, ca,
+                   Bytes{static_cast<std::uint8_t>(ioa & 0xFF),
+                         static_cast<std::uint8_t>((ioa >> 8) & 0xFF), 0,
+                         0x34, 0x12, 0x00});
+  }
+  ICSFUZZ_COV_BLOCK();  // unknown object address
+  return {};
+}
+
+Bytes Cs101Server::handle_single_command(ByteSpan objects, bool time_tagged,
+                                         std::uint16_t ca) {
+  ICSFUZZ_COV_BLOCK();
+  // lib60870-style parse: IOA + SCO are present-checked...
+  if (objects.size() < 4) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  const std::uint32_t ioa = static_cast<std::uint32_t>(
+      objects[0] | (objects[1] << 8) | (objects[2] << 16));
+  const std::uint8_t sco = objects[3];
+  if (ioa < 0x2000 || ioa > 0x2008) {
+    ICSFUZZ_COV_BLOCK();  // unknown control point
+    return {};
+  }
+  if (time_tagged) {
+    ICSFUZZ_COV_BLOCK();
+    // BUG(cs101-time-oob): the CP56Time2a tail is read at fixed offsets
+    // 4..10 without verifying the object actually carries 11 bytes.
+    san::GuardedSpan view(objects, san::site_id("cs101-time-oob"),
+                          "C_SC_TA_1 CP56Time2a");
+    std::uint8_t acc = 0;
+    for (std::size_t i = 4; i < 11; ++i) {
+      acc = static_cast<std::uint8_t>(acc ^ view.at(i));
+      if (san::FaultSink::tripped()) return {};  // process died here
+    }
+    if ((view.at(6) & 0x3F) >= 60) {  // minutes field sanity
+      ICSFUZZ_COV_BLOCK();
+      return {};
+    }
+  }
+  const bool select = (sco & 0x80) != 0;
+  if (select) {
+    ICSFUZZ_COV_BLOCK();  // select phase: arm the latch
+    selected_ = true;
+    selected_ioa_ = ioa;
+  } else if (selected_) {
+    if (selected_ioa_ != ioa) {
+      ICSFUZZ_COV_BLOCK();  // execute on a different object: abort select
+      selected_ = false;
+      return {};
+    }
+    ICSFUZZ_COV_BLOCK();  // execute after matching select
+    selected_ = false;
+    // Qualifier-of-command bands select distinct output-circuit routines.
+    switch ((sco >> 2) & 0x1F) {
+      case 0: ICSFUZZ_COV_BLOCK(); break;  // no additional definition
+      case 1: ICSFUZZ_COV_BLOCK(); break;  // short pulse
+      case 2: ICSFUZZ_COV_BLOCK(); break;  // long pulse
+      case 3: ICSFUZZ_COV_BLOCK(); break;  // persistent output
+      default:
+        ICSFUZZ_COV_BLOCK();  // reserved qualifier: refuse
+        return {};
+    }
+  } else {
+    ICSFUZZ_COV_BLOCK();  // execute without select: refused
+    return {};
+  }
+  ICSFUZZ_COV_BLOCK();  // command accepted
+  ++commands_executed_;
+  Bytes payload{objects[0], objects[1], objects[2], sco};
+  return confirm(time_tagged ? kCScTa1 : kCScNa1, kCotActivationCon, ca,
+                 payload);
+}
+
+Bytes Cs101Server::handle_sequence_measurands(ByteSpan objects,
+                                              std::uint8_t vsq,
+                                              std::uint16_t ca) {
+  ICSFUZZ_COV_BLOCK();
+  const bool sequence = (vsq & 0x80) != 0;
+  const std::uint8_t count = vsq & 0x7F;
+  if (count == 0) {
+    ICSFUZZ_COV_BLOCK();
+    return {};
+  }
+  std::int32_t sum = 0;
+  if (sequence) {
+    ICSFUZZ_COV_BLOCK();  // SQ=1: one IOA, then `count` packed elements
+    // BUG(cs101-seq-oob): the element walk trusts the VSQ count; each
+    // scaled value + QDS is 3 bytes, and nothing checks that the payload
+    // actually holds count*3 bytes after the 3-byte IOA.
+    san::GuardedSpan view(objects, san::site_id("cs101-seq-oob"),
+                          "M_ME_NB_1 sequence elements");
+    for (std::uint8_t i = 0; i < count; ++i) {
+      ICSFUZZ_COV_BLOCK();
+      const std::size_t base = 3 + static_cast<std::size_t>(i) * 3;
+      const std::int16_t value = static_cast<std::int16_t>(
+          view.at(base) | (view.at(base + 1) << 8));
+      const std::uint8_t qds = view.at(base + 2);
+      if (san::FaultSink::tripped()) return {};  // process died here
+      if ((qds & 0x80) == 0) sum += value;  // skip invalid-flagged points
+    }
+  } else {
+    ICSFUZZ_COV_BLOCK();  // SQ=0: per-object IOA; bounds-checked variant
+    ByteReader reader(objects);
+    for (std::uint8_t i = 0; i < count; ++i) {
+      ICSFUZZ_COV_BLOCK();
+      reader.skip(3);  // IOA
+      const std::uint16_t raw = reader.read_u16(Endian::Little);
+      const std::uint8_t qds = reader.read_u8();
+      if (!reader.ok()) {
+        ICSFUZZ_COV_BLOCK();
+        return {};  // truncated object list — correctly rejected here
+      }
+      if ((qds & 0x80) == 0) sum += static_cast<std::int16_t>(raw);
+    }
+  }
+  ICSFUZZ_COV_BLOCK();
+  const std::uint16_t folded = static_cast<std::uint16_t>(sum & 0xFFFF);
+  return confirm(kMMeNb1, kCotActivationCon, ca,
+                 Bytes{0, 0, 0, static_cast<std::uint8_t>(folded & 0xFF),
+                       static_cast<std::uint8_t>(folded >> 8), 0});
+}
+
+Bytes Cs101Server::confirm(std::uint8_t type_id, std::uint8_t cot,
+                           std::uint16_t ca, ByteSpan payload) {
+  ICSFUZZ_COV_BLOCK();
+  ByteWriter asdu;
+  asdu.write_u8(type_id);
+  asdu.write_u8(1);
+  asdu.write_u8(cot);
+  asdu.write_u8(0);
+  asdu.write_u16(ca, Endian::Little);
+  asdu.write_bytes(payload);
+
+  ByteWriter frame;
+  frame.write_u8(kStartByte);
+  frame.write_u8(static_cast<std::uint8_t>(4 + asdu.size()));
+  frame.write_u16(static_cast<std::uint16_t>(send_seq_ << 1), Endian::Little);
+  frame.write_u16(static_cast<std::uint16_t>(recv_seq_ << 1), Endian::Little);
+  frame.write_bytes(asdu.bytes());
+  send_seq_ = static_cast<std::uint16_t>((send_seq_ + 1) & 0x7FFF);
+  return frame.take();
+}
+
+}  // namespace icsfuzz::proto

@@ -1,0 +1,69 @@
+// IEC 60870-5-101/104 ASDU layer — re-implementation of the lib60870
+// packet-processing layer (the paper's "lib60870" evaluation subject).
+//
+// Frames arrive in CS104 APCI envelopes (0x68 + length + 4 control octets);
+// the ASDU body follows the CS101 layout used by lib60870's cs101_asdu.c:
+// type id (1), VSQ (1), COT (1), originator (1), common address (2), then
+// information objects (3-byte IOA + type-dependent element, optionally a
+// 7-byte CP56Time2a tag).
+//
+// Injected vulnerabilities (Table I, lib60870 row — 3 SEGV):
+//   * "cs101-getcot-oob"  — CS101_ASDU_getCOT reads asdu[2] without
+//     verifying the ASDU length, exactly the paper's Listing 1 bug: a
+//     truncated ASDU makes it read past the buffer.
+//   * "cs101-seq-oob"     — sequence (SQ=1) element walk trusts the VSQ
+//     count and strides past the end of short payloads.
+//   * "cs101-time-oob"    — time-tagged single command (C_SC_TA_1) reads a
+//     7-byte CP56Time2a timestamp that truncated packets do not carry.
+#pragma once
+
+#include <cstdint>
+
+#include "protocols/protocol_target.hpp"
+
+namespace icsfuzz::proto {
+
+class Cs101Server final : public ProtocolTarget {
+ public:
+  Cs101Server();
+
+  [[nodiscard]] std::string_view name() const override { return "lib60870"; }
+  void reset() override;
+
+  /// Consumes a TCP-style stream of APCI frames (up to kMaxFramesPerStream)
+  /// and returns the concatenated responses.
+  Bytes process(ByteSpan packet) override;
+
+  static constexpr std::size_t kMaxFramesPerStream = 8;
+
+  // -- Introspection for tests. --
+  [[nodiscard]] std::uint32_t commands_executed() const {
+    return commands_executed_;
+  }
+
+ private:
+  Bytes process_frame(ByteSpan frame);
+
+  /// The paper's CS101_ASDU_getCOT: unchecked access to asdu[2].
+  std::uint8_t asdu_get_cot(ByteSpan asdu) const;
+
+  Bytes handle_asdu(ByteSpan asdu);
+  Bytes handle_interrogation(ByteSpan objects, std::uint8_t cot,
+                             std::uint16_t ca);
+  Bytes handle_read_command(ByteSpan objects, std::uint16_t ca);
+  Bytes handle_single_command(ByteSpan objects, bool time_tagged,
+                              std::uint16_t ca);
+  Bytes handle_sequence_measurands(ByteSpan objects, std::uint8_t vsq,
+                                   std::uint16_t ca);
+  Bytes confirm(std::uint8_t type_id, std::uint8_t cot, std::uint16_t ca,
+                ByteSpan payload);
+
+  bool started_ = false;
+  std::uint16_t recv_seq_ = 0;
+  std::uint16_t send_seq_ = 0;
+  std::uint32_t commands_executed_ = 0;
+  bool selected_ = false;           // select-before-operate latch
+  std::uint32_t selected_ioa_ = 0;  // object the select armed
+};
+
+}  // namespace icsfuzz::proto

@@ -1,0 +1,520 @@
+#include "protocols/modbus/modbus_server.hpp"
+
+#include <algorithm>
+
+#include "coverage/instrument.hpp"
+#include "sanitizer/guard.hpp"
+
+namespace icsfuzz::proto {
+namespace {
+
+// Modbus function codes handled by this stack.
+constexpr std::uint8_t kReadCoils = 0x01;
+constexpr std::uint8_t kReadDiscreteInputs = 0x02;
+constexpr std::uint8_t kReadHoldingRegisters = 0x03;
+constexpr std::uint8_t kReadInputRegisters = 0x04;
+constexpr std::uint8_t kWriteSingleCoil = 0x05;
+constexpr std::uint8_t kWriteSingleRegister = 0x06;
+constexpr std::uint8_t kWriteMultipleCoils = 0x0F;
+constexpr std::uint8_t kWriteMultipleRegisters = 0x10;
+constexpr std::uint8_t kMaskWriteRegister = 0x16;
+constexpr std::uint8_t kReadWriteMultiple = 0x17;
+constexpr std::uint8_t kEncapsulatedInterface = 0x2B;
+
+// Exception codes.
+constexpr std::uint8_t kIllegalFunction = 0x01;
+constexpr std::uint8_t kIllegalDataAddress = 0x02;
+constexpr std::uint8_t kIllegalDataValue = 0x03;
+
+// Device identification objects (VendorName, ProductCode, Revision).
+constexpr const char* kDeviceIdObjects[] = {"icsfuzz", "MBSRV-1", "v1.0.0"};
+constexpr std::size_t kDeviceIdObjectCount = 3;
+
+}  // namespace
+
+ModbusServer::ModbusServer() { reset(); }
+
+void ModbusServer::reset() {
+  coils_.fill(false);
+  discrete_.fill(false);
+  holding_.fill(0);
+  input_.fill(0);
+  // A few plant-like preset values so reads return non-trivial data.
+  for (std::size_t i = 0; i < kNumRegisters; ++i) {
+    input_[i] = static_cast<std::uint16_t>(0x0100 + i);
+  }
+  for (std::size_t i = 0; i < kNumCoils; i += 3) discrete_[i] = true;
+  diagnostic_counter_ = 0;
+}
+
+Bytes ModbusServer::process(ByteSpan packet) {
+  ICSFUZZ_COV_BLOCK();
+  // TCP stream framing: each MBAP frame occupies 6 + length bytes; a
+  // partial trailing frame means "wait for more data" and ends the drain.
+  Bytes responses;
+  std::size_t offset = 0;
+  for (std::size_t frames = 0; frames < kMaxFramesPerStream; ++frames) {
+    if (packet.size() - offset < 7) break;  // no complete header left
+    const std::uint16_t declared = static_cast<std::uint16_t>(
+        (packet[offset + 4] << 8) | packet[offset + 5]);
+    const std::size_t frame_size = 6 + static_cast<std::size_t>(declared);
+    if (declared < 1 || packet.size() - offset < frame_size) break;
+    ICSFUZZ_COV_BLOCK();
+    Bytes response = process_frame(packet.subspan(offset, frame_size));
+    append(responses, response);
+    if (san::FaultSink::tripped()) break;  // the server process just died
+    offset += frame_size;
+  }
+  return responses;
+}
+
+Bytes ModbusServer::process_frame(ByteSpan packet) {
+  ICSFUZZ_COV_BLOCK();
+  // --- MBAP header ------------------------------------------------------
+  ByteReader reader(packet);
+  const std::uint16_t transaction = reader.read_u16(Endian::Big);
+  const std::uint16_t protocol = reader.read_u16(Endian::Big);
+  const std::uint16_t length = reader.read_u16(Endian::Big);
+  const std::uint8_t unit = reader.read_u8();
+  if (!reader.ok()) {
+    ICSFUZZ_COV_BLOCK();
+    return {};  // runt frame
+  }
+  if (protocol != 0) {
+    ICSFUZZ_COV_BLOCK();
+    return {};  // not Modbus
+  }
+  if (length < 2 || length > 254) {
+    ICSFUZZ_COV_BLOCK();
+    return {};  // MBAP length out of spec
+  }
+  if (reader.remaining() + 1 != length) {
+    ICSFUZZ_COV_BLOCK();
+    return {};  // declared length disagrees with frame
+  }
+  if (unit != kUnitId && unit != 0x00 && unit != 0xFF) {
+    ICSFUZZ_COV_BLOCK();
+    return {};  // not addressed to us
+  }
+  ICSFUZZ_COV_BLOCK();
+  return handle_pdu(ByteSpan(packet.data() + 7, packet.size() - 7), transaction,
+                    unit);
+}
+
+Bytes ModbusServer::handle_pdu(ByteSpan pdu, std::uint16_t transaction,
+                               std::uint8_t unit) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(pdu);
+  const std::uint8_t function = reader.read_u8();
+  if (!reader.ok()) return {};
+  const ByteSpan body = pdu.subspan(1);
+
+  Bytes pdu_response;
+  switch (function) {
+    case kReadCoils:
+      ICSFUZZ_COV_BLOCK();
+      pdu_response = read_bits(body, false);
+      break;
+    case kReadDiscreteInputs:
+      ICSFUZZ_COV_BLOCK();
+      pdu_response = read_bits(body, true);
+      break;
+    case kReadHoldingRegisters:
+      ICSFUZZ_COV_BLOCK();
+      pdu_response = read_registers(body, false);
+      break;
+    case kReadInputRegisters:
+      ICSFUZZ_COV_BLOCK();
+      pdu_response = read_registers(body, true);
+      break;
+    case kWriteSingleCoil:
+      ICSFUZZ_COV_BLOCK();
+      pdu_response = write_single_coil(body);
+      break;
+    case kWriteSingleRegister:
+      ICSFUZZ_COV_BLOCK();
+      pdu_response = write_single_register(body);
+      break;
+    case kWriteMultipleCoils:
+      ICSFUZZ_COV_BLOCK();
+      pdu_response = write_multiple_coils(body);
+      break;
+    case kWriteMultipleRegisters:
+      ICSFUZZ_COV_BLOCK();
+      pdu_response = write_multiple_registers(body);
+      break;
+    case kMaskWriteRegister:
+      ICSFUZZ_COV_BLOCK();
+      pdu_response = mask_write_register(body);
+      break;
+    case kReadWriteMultiple:
+      ICSFUZZ_COV_BLOCK();
+      pdu_response = read_write_multiple(body);
+      break;
+    case kEncapsulatedInterface:
+      ICSFUZZ_COV_BLOCK();
+      pdu_response = read_device_identification(body);
+      break;
+    default:
+      ICSFUZZ_COV_BLOCK();
+      pdu_response = exception_response(function, kIllegalFunction);
+      break;
+  }
+  if (pdu_response.empty()) return {};
+
+  // --- Response MBAP ----------------------------------------------------
+  ByteWriter writer;
+  writer.write_u16(transaction, Endian::Big);
+  writer.write_u16(0, Endian::Big);
+  writer.write_u16(static_cast<std::uint16_t>(pdu_response.size() + 1),
+                   Endian::Big);
+  writer.write_u8(unit);
+  writer.write_bytes(pdu_response);
+  return writer.take();
+}
+
+Bytes ModbusServer::exception_response(std::uint8_t function,
+                                       std::uint8_t code) {
+  ICSFUZZ_COV_BLOCK();
+  return Bytes{static_cast<std::uint8_t>(function | 0x80), code};
+}
+
+Bytes ModbusServer::read_bits(ByteSpan body, bool discrete) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(body);
+  const std::uint16_t address = reader.read_u16(Endian::Big);
+  const std::uint16_t quantity = reader.read_u16(Endian::Big);
+  const std::uint8_t function = discrete ? kReadDiscreteInputs : kReadCoils;
+  if (!reader.ok() || !reader.at_end()) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(function, kIllegalDataValue);
+  }
+  if (quantity == 0 || quantity > 2000) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(function, kIllegalDataValue);
+  }
+  if (address >= kNumCoils || address + quantity > kNumCoils) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(function, kIllegalDataAddress);
+  }
+  ICSFUZZ_COV_BLOCK();  // valid read path
+  const auto& bank = discrete ? discrete_ : coils_;
+  ByteWriter writer;
+  writer.write_u8(function);
+  writer.write_u8(static_cast<std::uint8_t>((quantity + 7) / 8));
+  std::uint8_t packed = 0;
+  for (std::uint16_t i = 0; i < quantity; ++i) {
+    ICSFUZZ_COV_BLOCK();  // loop body — hit-count buckets grade quantity
+    if (bank[address + i]) packed |= static_cast<std::uint8_t>(1U << (i % 8));
+    if (i % 8 == 7) {
+      writer.write_u8(packed);
+      packed = 0;
+    }
+  }
+  if (quantity % 8 != 0) writer.write_u8(packed);
+  return writer.take();
+}
+
+Bytes ModbusServer::read_registers(ByteSpan body, bool input_bank) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(body);
+  const std::uint16_t address = reader.read_u16(Endian::Big);
+  const std::uint16_t quantity = reader.read_u16(Endian::Big);
+  const std::uint8_t function =
+      input_bank ? kReadInputRegisters : kReadHoldingRegisters;
+  if (!reader.ok() || !reader.at_end()) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(function, kIllegalDataValue);
+  }
+  if (quantity == 0 || quantity > 125) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(function, kIllegalDataValue);
+  }
+  if (address >= kNumRegisters || address + quantity > kNumRegisters) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(function, kIllegalDataAddress);
+  }
+  ICSFUZZ_COV_BLOCK();  // valid read path
+  const auto& bank = input_bank ? input_ : holding_;
+  ByteWriter writer;
+  writer.write_u8(function);
+  writer.write_u8(static_cast<std::uint8_t>(quantity * 2));
+  for (std::uint16_t i = 0; i < quantity; ++i) {
+    ICSFUZZ_COV_BLOCK();
+    writer.write_u16(bank[address + i], Endian::Big);
+  }
+  return writer.take();
+}
+
+Bytes ModbusServer::write_single_coil(ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(body);
+  const std::uint16_t address = reader.read_u16(Endian::Big);
+  const std::uint16_t value = reader.read_u16(Endian::Big);
+  if (!reader.ok() || !reader.at_end()) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kWriteSingleCoil, kIllegalDataValue);
+  }
+  if (value != 0x0000 && value != 0xFF00) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kWriteSingleCoil, kIllegalDataValue);
+  }
+  if (address >= kNumCoils) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kWriteSingleCoil, kIllegalDataAddress);
+  }
+  ICSFUZZ_COV_BLOCK();  // valid write path
+  coils_[address] = value == 0xFF00;
+  ByteWriter writer;
+  writer.write_u8(kWriteSingleCoil);
+  writer.write_u16(address, Endian::Big);
+  writer.write_u16(value, Endian::Big);
+  return writer.take();
+}
+
+Bytes ModbusServer::write_single_register(ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(body);
+  const std::uint16_t address = reader.read_u16(Endian::Big);
+  const std::uint16_t value = reader.read_u16(Endian::Big);
+  if (!reader.ok() || !reader.at_end()) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kWriteSingleRegister, kIllegalDataValue);
+  }
+  if (address >= kNumRegisters) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kWriteSingleRegister, kIllegalDataAddress);
+  }
+  ICSFUZZ_COV_BLOCK();  // valid write path
+  holding_[address] = value;
+  if (value >= 0xFF00) {
+    ICSFUZZ_COV_BLOCK();  // alarm-range write, extra bookkeeping path
+    ++diagnostic_counter_;
+  }
+  ByteWriter writer;
+  writer.write_u8(kWriteSingleRegister);
+  writer.write_u16(address, Endian::Big);
+  writer.write_u16(value, Endian::Big);
+  return writer.take();
+}
+
+Bytes ModbusServer::write_multiple_coils(ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(body);
+  const std::uint16_t address = reader.read_u16(Endian::Big);
+  const std::uint16_t quantity = reader.read_u16(Endian::Big);
+  const std::uint8_t byte_count = reader.read_u8();
+  if (!reader.ok()) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kWriteMultipleCoils, kIllegalDataValue);
+  }
+  if (quantity == 0 || quantity > 0x07B0 ||
+      byte_count != (quantity + 7) / 8 || reader.remaining() != byte_count) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kWriteMultipleCoils, kIllegalDataValue);
+  }
+  if (address >= kNumCoils || address + quantity > kNumCoils) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kWriteMultipleCoils, kIllegalDataAddress);
+  }
+  ICSFUZZ_COV_BLOCK();  // valid write path
+  const Bytes payload = reader.read_rest();
+  for (std::uint16_t i = 0; i < quantity; ++i) {
+    ICSFUZZ_COV_BLOCK();
+    const std::uint8_t byte = payload[i / 8];
+    coils_[address + i] = (byte >> (i % 8)) & 1U;
+  }
+  ByteWriter writer;
+  writer.write_u8(kWriteMultipleCoils);
+  writer.write_u16(address, Endian::Big);
+  writer.write_u16(quantity, Endian::Big);
+  return writer.take();
+}
+
+Bytes ModbusServer::write_multiple_registers(ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(body);
+  const std::uint16_t address = reader.read_u16(Endian::Big);
+  const std::uint16_t quantity = reader.read_u16(Endian::Big);
+  const std::uint8_t byte_count = reader.read_u8();
+  if (!reader.ok()) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kWriteMultipleRegisters, kIllegalDataValue);
+  }
+  if (quantity == 0 || quantity > 123 || byte_count != quantity * 2 ||
+      reader.remaining() != byte_count) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kWriteMultipleRegisters, kIllegalDataValue);
+  }
+  if (address >= kNumRegisters || address + quantity > kNumRegisters) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kWriteMultipleRegisters, kIllegalDataAddress);
+  }
+  ICSFUZZ_COV_BLOCK();  // valid write path
+  for (std::uint16_t i = 0; i < quantity; ++i) {
+    ICSFUZZ_COV_BLOCK();
+    holding_[address + i] = reader.read_u16(Endian::Big);
+  }
+  ByteWriter writer;
+  writer.write_u8(kWriteMultipleRegisters);
+  writer.write_u16(address, Endian::Big);
+  writer.write_u16(quantity, Endian::Big);
+  return writer.take();
+}
+
+Bytes ModbusServer::mask_write_register(ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(body);
+  const std::uint16_t address = reader.read_u16(Endian::Big);
+  const std::uint16_t and_mask = reader.read_u16(Endian::Big);
+  const std::uint16_t or_mask = reader.read_u16(Endian::Big);
+  if (!reader.ok() || !reader.at_end()) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kMaskWriteRegister, kIllegalDataValue);
+  }
+  if (address >= kNumRegisters) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kMaskWriteRegister, kIllegalDataAddress);
+  }
+  ICSFUZZ_COV_BLOCK();  // valid mask-write path
+  holding_[address] = static_cast<std::uint16_t>(
+      (holding_[address] & and_mask) | (or_mask & ~and_mask));
+  ByteWriter writer;
+  writer.write_u8(kMaskWriteRegister);
+  writer.write_u16(address, Endian::Big);
+  writer.write_u16(and_mask, Endian::Big);
+  writer.write_u16(or_mask, Endian::Big);
+  return writer.take();
+}
+
+Bytes ModbusServer::read_write_multiple(ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(body);
+  const std::uint16_t read_address = reader.read_u16(Endian::Big);
+  const std::uint16_t read_quantity = reader.read_u16(Endian::Big);
+  const std::uint16_t write_address = reader.read_u16(Endian::Big);
+  const std::uint16_t write_quantity = reader.read_u16(Endian::Big);
+  const std::uint8_t byte_count = reader.read_u8();
+  if (!reader.ok()) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kReadWriteMultiple, kIllegalDataValue);
+  }
+  if (read_quantity == 0 || read_quantity > 125) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kReadWriteMultiple, kIllegalDataValue);
+  }
+  // BUG(modbus-rwmulti-uaf): the spec requires write_quantity >= 1, but this
+  // check — like the libmodbus bug the paper's campaign surfaced — only
+  // bounds it from above, letting an "empty write set" request through.
+  if (write_quantity > 121 || byte_count != write_quantity * 2 ||
+      reader.remaining() != byte_count) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kReadWriteMultiple, kIllegalDataValue);
+  }
+  if (read_address >= kNumRegisters ||
+      read_address + read_quantity > kNumRegisters) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kReadWriteMultiple, kIllegalDataAddress);
+  }
+  if (write_quantity > 0 && (write_address >= kNumRegisters ||
+                             write_address + write_quantity > kNumRegisters)) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kReadWriteMultiple, kIllegalDataAddress);
+  }
+
+  ICSFUZZ_COV_BLOCK();  // validated 0x17 path
+  // Write phase first, per spec.
+  for (std::uint16_t i = 0; i < write_quantity; ++i) {
+    ICSFUZZ_COV_BLOCK();
+    holding_[write_address + i] = reader.read_u16(Endian::Big);
+  }
+
+  // Response assembled in a tracked scratch allocation.
+  san::GuardedAlloc scratch(2 + static_cast<std::size_t>(read_quantity) * 2,
+                            san::site_id("modbus-rwmulti-uaf"),
+                            "modbus 0x17 response scratch");
+  scratch.write(0, kReadWriteMultiple);
+  scratch.write(1, static_cast<std::uint8_t>(read_quantity * 2));
+  if (write_quantity == 0) {
+    ICSFUZZ_COV_BLOCK();
+    // "Nothing was written, release the staging buffer early" — the freed
+    // buffer is then reused below: heap use-after-free.
+    scratch.free();
+  }
+  for (std::uint16_t i = 0; i < read_quantity; ++i) {
+    ICSFUZZ_COV_BLOCK();
+    const std::uint16_t value = holding_[read_address + i];
+    scratch.write(2 + i * 2, static_cast<std::uint8_t>(value >> 8));
+    scratch.write(2 + i * 2 + 1, static_cast<std::uint8_t>(value & 0xFF));
+    if (san::FaultSink::tripped()) return {};  // process died here
+  }
+  if (san::FaultSink::tripped()) return {};
+  return scratch.storage();
+}
+
+Bytes ModbusServer::read_device_identification(ByteSpan body) {
+  ICSFUZZ_COV_BLOCK();
+  ByteReader reader(body);
+  const std::uint8_t mei_type = reader.read_u8();
+  const std::uint8_t read_dev_id = reader.read_u8();
+  const std::uint8_t object_id = reader.read_u8();
+  if (!reader.ok() || !reader.at_end()) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kEncapsulatedInterface, kIllegalDataValue);
+  }
+  if (mei_type != 0x0E) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kEncapsulatedInterface, kIllegalFunction);
+  }
+  if (read_dev_id == 0 || read_dev_id > 0x04) {
+    ICSFUZZ_COV_BLOCK();
+    return exception_response(kEncapsulatedInterface, kIllegalDataValue);
+  }
+
+  ByteWriter writer;
+  writer.write_u8(kEncapsulatedInterface);
+  writer.write_u8(0x0E);
+  writer.write_u8(read_dev_id);
+  writer.write_u8(0x01);  // conformity level: basic
+
+  if (read_dev_id == 0x04) {
+    ICSFUZZ_COV_BLOCK();  // individual object access
+    // BUG(modbus-devid-oob): object_id is trusted as an index into the
+    // three-entry object-length table — ids above the table raise a wild
+    // read.
+    static constexpr std::array<std::uint8_t, kDeviceIdObjectCount>
+        kObjectLengths = {7, 7, 6};
+    san::GuardedSpan table(ByteSpan(kObjectLengths.data(), kObjectLengths.size()),
+                           san::site_id("modbus-devid-oob"),
+                           "device-id object table");
+    // The index probe itself is the unchecked access.
+    (void)table.at(object_id);
+    if (san::FaultSink::tripped()) return {};  // process died here
+    if (object_id >= kDeviceIdObjectCount) return {};
+    const char* text = kDeviceIdObjects[object_id];
+    writer.write_u8(0x00);  // more follows: no
+    writer.write_u8(object_id);
+    writer.write_u8(1);  // number of objects
+    writer.write_u8(object_id);
+    const std::string_view view(text);
+    writer.write_u8(static_cast<std::uint8_t>(view.size()));
+    writer.write_string(view);
+    return writer.take();
+  }
+
+  ICSFUZZ_COV_BLOCK();  // stream access (basic/regular/extended)
+  const std::size_t first = object_id < kDeviceIdObjectCount ? object_id : 0;
+  writer.write_u8(0x00);
+  writer.write_u8(0x00);
+  writer.write_u8(static_cast<std::uint8_t>(kDeviceIdObjectCount - first));
+  for (std::size_t i = first; i < kDeviceIdObjectCount; ++i) {
+    ICSFUZZ_COV_BLOCK();
+    const std::string_view view(kDeviceIdObjects[i]);
+    writer.write_u8(static_cast<std::uint8_t>(i));
+    writer.write_u8(static_cast<std::uint8_t>(view.size()));
+    writer.write_string(view);
+  }
+  return writer.take();
+}
+
+}  // namespace icsfuzz::proto

@@ -1,0 +1,75 @@
+// Modbus/TCP server — re-implementation of the packet-processing layer of
+// libmodbus (the paper's first evaluation subject).
+//
+// Implements the MBAP + PDU pipeline for the standard data-access function
+// codes (0x01-0x06, 0x0F, 0x10, 0x16, 0x17) plus Read Device Identification
+// (0x2B/0x0E), over in-memory coil/register banks, with standard exception
+// responses (illegal function / address / value).
+//
+// Injected vulnerabilities (Table I, libmodbus row):
+//   * Heap Use after Free — the Read/Write Multiple Registers (0x17) handler
+//     frees its response scratch buffer on the "empty write set" path and
+//     then appends the read payload to it (site "modbus-rwmulti-uaf").
+//   * SEGV — the Read Device Identification handler indexes the device-id
+//     object table with an unvalidated object id when individual access
+//     (ReadDevId 0x04) is requested (site "modbus-devid-oob").
+//
+// Both sites hide behind multiple semantic gates (correct function code,
+// sub-code, in-range addresses) so they sit on deep paths, as the paper's
+// bugs did.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "protocols/protocol_target.hpp"
+
+namespace icsfuzz::proto {
+
+class ModbusServer final : public ProtocolTarget {
+ public:
+  ModbusServer();
+
+  [[nodiscard]] std::string_view name() const override { return "libmodbus"; }
+  void reset() override;
+
+  /// Consumes a TCP-style stream of MBAP frames (up to kMaxFramesPerStream)
+  /// and returns the concatenated responses.
+  Bytes process(ByteSpan packet) override;
+
+  static constexpr std::size_t kMaxFramesPerStream = 8;
+
+  // -- Introspection for tests. --
+  static constexpr std::size_t kNumCoils = 128;
+  static constexpr std::size_t kNumRegisters = 128;
+  static constexpr std::uint8_t kUnitId = 0x11;
+
+  [[nodiscard]] bool coil(std::size_t index) const { return coils_.at(index); }
+  [[nodiscard]] std::uint16_t holding_register(std::size_t index) const {
+    return holding_.at(index);
+  }
+
+ private:
+  Bytes process_frame(ByteSpan frame);
+  Bytes handle_pdu(ByteSpan pdu, std::uint16_t transaction, std::uint8_t unit);
+
+  Bytes read_bits(ByteSpan body, bool discrete);
+  Bytes read_registers(ByteSpan body, bool input_bank);
+  Bytes write_single_coil(ByteSpan body);
+  Bytes write_single_register(ByteSpan body);
+  Bytes write_multiple_coils(ByteSpan body);
+  Bytes write_multiple_registers(ByteSpan body);
+  Bytes mask_write_register(ByteSpan body);
+  Bytes read_write_multiple(ByteSpan body);  // 0x17 — UAF site lives here
+  Bytes read_device_identification(ByteSpan body);  // 0x2B — SEGV site
+
+  static Bytes exception_response(std::uint8_t function, std::uint8_t code);
+
+  std::array<bool, kNumCoils> coils_{};
+  std::array<bool, kNumCoils> discrete_{};
+  std::array<std::uint16_t, kNumRegisters> holding_{};
+  std::array<std::uint16_t, kNumRegisters> input_{};
+  std::uint32_t diagnostic_counter_ = 0;
+};
+
+}  // namespace icsfuzz::proto

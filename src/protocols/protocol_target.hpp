@@ -1,0 +1,35 @@
+// ProtocolTarget — the interface between the fuzzer and a protocol stack
+// under test (the "instrumented program" box in the paper's Figure 3).
+//
+// A target consumes one request packet and produces a response (possibly
+// empty). Instrumentation (ICSFUZZ_COV_BLOCK) and the soft sanitizer are
+// compiled into the implementation; the executor arms both around each
+// `process` call.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace icsfuzz {
+
+class ProtocolTarget {
+ public:
+  virtual ~ProtocolTarget() = default;
+
+  /// Stable project name used in reports (matches the paper's subjects,
+  /// e.g. "libmodbus", "lib60870").
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Restores pristine server state (register banks, session state) so every
+  /// execution is deterministic and independent.
+  virtual void reset() = 0;
+
+  /// Processes one inbound packet; returns the wire response (empty when the
+  /// stack drops the packet). Must not throw: malformed input is the normal
+  /// case under fuzzing.
+  virtual Bytes process(ByteSpan packet) = 0;
+};
+
+}  // namespace icsfuzz

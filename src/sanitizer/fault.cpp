@@ -1,0 +1,49 @@
+#include "sanitizer/fault.hpp"
+
+#include <utility>
+
+namespace icsfuzz::san {
+namespace {
+
+struct SinkState {
+  bool armed = false;
+  std::vector<FaultReport> faults;
+};
+
+thread_local SinkState tls_sink;
+
+}  // namespace
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Segv: return "SEGV";
+    case FaultKind::HeapBufferOverflow: return "Heap Buffer Overflow";
+    case FaultKind::HeapUseAfterFree: return "Heap Use after Free";
+    case FaultKind::Hang: return "Hang";
+  }
+  return "Unknown";
+}
+
+void FaultSink::arm() {
+  tls_sink.armed = true;
+  tls_sink.faults.clear();
+}
+
+std::vector<FaultReport> FaultSink::disarm() {
+  tls_sink.armed = false;
+  return std::exchange(tls_sink.faults, {});
+}
+
+void FaultSink::raise(FaultKind kind, std::uint32_t site, std::string detail) {
+  if (!tls_sink.armed) return;
+  // Keep only the first fault: a real process dies at its first invalid
+  // access, so later "faults" in the same execution would never be observed.
+  if (!tls_sink.faults.empty()) return;
+  tls_sink.faults.push_back(FaultReport{kind, site, std::move(detail)});
+}
+
+bool FaultSink::tripped() { return !tls_sink.faults.empty(); }
+
+bool FaultSink::armed() { return tls_sink.armed; }
+
+}  // namespace icsfuzz::san

@@ -1,0 +1,75 @@
+// Soft-sanitizer fault model.
+//
+// The paper runs its targets under AddressSanitizer and treats the ASan
+// report (SEGV, heap-use-after-free, heap-buffer-overflow) as the crash
+// signal, deduplicated by crash site. Re-raising real signals inside a
+// single-process fuzzing loop would be both slow (fork/exec per exec) and
+// non-portable, so the protocol stacks in this repository perform all
+// packet-derived memory accesses through guarded wrappers (guard.hpp) that
+// detect the same violation classes and report them here as structured
+// `FaultReport`s. The observable surface — fault kind + unique site —
+// matches what the paper's fuzzer consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace icsfuzz::san {
+
+/// Violation classes, mirroring the "Vulnerability Type" column of Table I.
+enum class FaultKind : std::uint8_t {
+  Segv,                 // wild/out-of-bounds read ("SEGV" in the paper)
+  HeapBufferOverflow,   // out-of-bounds write on a tracked allocation
+  HeapUseAfterFree,     // access to a freed tracked allocation
+  Hang,                 // execution exceeded its deterministic event budget
+};
+
+/// Human-readable name ("SEGV", "Heap Buffer Overflow", ...), matching the
+/// paper's Table I wording.
+std::string to_string(FaultKind kind);
+
+/// One detected violation. `site` identifies the program point (the
+/// "crash site" used for dedup); `detail` is the diagnostic message.
+struct FaultReport {
+  FaultKind kind = FaultKind::Segv;
+  std::uint32_t site = 0;
+  std::string detail;
+};
+
+/// Thread-local collector armed by the executor around each packet run.
+///
+/// Target code calls `raise()`; the first fault of an execution is retained
+/// (like a process that dies on its first invalid access) and subsequent
+/// target code can test `tripped()` to unwind early, emulating the abrupt
+/// termination an actual signal would cause.
+class FaultSink {
+ public:
+  /// Arms the sink for a fresh execution.
+  static void arm();
+
+  /// Disarms and returns the faults collected during the execution.
+  static std::vector<FaultReport> disarm();
+
+  /// Records a fault (no-op when the sink is not armed).
+  static void raise(FaultKind kind, std::uint32_t site, std::string detail);
+
+  /// True once any fault has been recorded in the current execution.
+  static bool tripped();
+
+  /// True while an execution is being monitored.
+  static bool armed();
+};
+
+/// Stable fault-site id derived from a string tag (usually the function or
+/// CVE-style bug name). Constexpr so sites are compile-time constants.
+constexpr std::uint32_t site_id(const char* tag) {
+  std::uint32_t hash = 2166136261U;
+  for (const char* p = tag; *p != '\0'; ++p) {
+    hash ^= static_cast<std::uint8_t>(*p);
+    hash *= 16777619U;
+  }
+  return hash;
+}
+
+}  // namespace icsfuzz::san

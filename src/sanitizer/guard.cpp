@@ -1,0 +1,73 @@
+#include "sanitizer/guard.hpp"
+
+#include <string>
+
+namespace icsfuzz::san {
+namespace {
+
+std::string describe_oob(const std::string& label, std::size_t index,
+                         std::size_t size) {
+  return label + ": index " + std::to_string(index) + " out of bounds (size " +
+         std::to_string(size) + ")";
+}
+
+}  // namespace
+
+std::uint8_t GuardedSpan::at(std::size_t index) const {
+  if (index >= data_.size()) {
+    FaultSink::raise(FaultKind::Segv, site_, describe_oob(label_, index, data_.size()));
+    return 0;
+  }
+  return data_[index];
+}
+
+std::uint16_t GuardedSpan::load_u16be(std::size_t index) const {
+  const std::uint16_t high = at(index);
+  const std::uint16_t low = at(index + 1);
+  return static_cast<std::uint16_t>((high << 8) | low);
+}
+
+GuardedAlloc::GuardedAlloc(std::size_t size, std::uint32_t site,
+                           std::string label)
+    : storage_(size, 0), site_(site), label_(std::move(label)) {}
+
+bool GuardedAlloc::fault_if_freed(const char* op) const {
+  if (!freed_) return false;
+  FaultSink::raise(FaultKind::HeapUseAfterFree, site_,
+                   label_ + ": " + op + " after free");
+  return true;
+}
+
+std::uint8_t GuardedAlloc::read(std::size_t index) const {
+  if (fault_if_freed("read")) return 0;
+  if (index >= storage_.size()) {
+    FaultSink::raise(FaultKind::Segv, site_,
+                     describe_oob(label_, index, storage_.size()));
+    return 0;
+  }
+  return storage_[index];
+}
+
+void GuardedAlloc::write(std::size_t index, std::uint8_t value) {
+  if (fault_if_freed("write")) return;
+  if (index >= storage_.size()) {
+    FaultSink::raise(FaultKind::HeapBufferOverflow, site_,
+                     describe_oob(label_, index, storage_.size()));
+    return;
+  }
+  storage_[index] = value;
+}
+
+void GuardedAlloc::write_bytes(std::size_t offset, ByteSpan data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    write(offset + i, data[i]);
+    if (FaultSink::tripped()) return;
+  }
+}
+
+void GuardedAlloc::free() {
+  if (fault_if_freed("free")) return;
+  freed_ = true;
+}
+
+}  // namespace icsfuzz::san

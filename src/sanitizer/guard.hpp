@@ -1,0 +1,79 @@
+// Guarded memory wrappers — the mechanism through which the re-implemented
+// protocol stacks "crash" like their ASan-compiled originals.
+//
+// GuardedSpan models a read view of packet-derived memory: an out-of-bounds
+// index is exactly the bad-address dereference the paper shows in lib60870's
+// CS101_ASDU_getCOT (Listing 1/2) and reports as SEGV.
+//
+// GuardedAlloc models a tracked heap allocation: writes past the end report
+// Heap Buffer Overflow; any access after free() reports Heap Use after Free.
+// Faults flow to the thread-local FaultSink and the wrappers return benign
+// values so the (single-process) fuzzing loop survives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sanitizer/fault.hpp"
+#include "util/bytes.hpp"
+
+namespace icsfuzz::san {
+
+/// Bounds-checked read-only view. Unlike ByteReader (which models *correct*
+/// parsing with explicit truncation handling), GuardedSpan models the
+/// *unchecked* accesses of buggy code: `at()` past the end raises Segv.
+class GuardedSpan {
+ public:
+  GuardedSpan(ByteSpan data, std::uint32_t site, std::string label)
+      : data_(data), site_(site), label_(std::move(label)) {}
+
+  /// Unchecked-style element access; OOB raises Segv and returns 0.
+  std::uint8_t at(std::size_t index) const;
+
+  /// 16-bit big-endian load at `index` (two at() reads).
+  std::uint16_t load_u16be(std::size_t index) const;
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] ByteSpan raw() const { return data_; }
+
+ private:
+  ByteSpan data_;
+  std::uint32_t site_;
+  std::string label_;
+};
+
+/// Tracked heap allocation with ASan-like poisoning semantics.
+class GuardedAlloc {
+ public:
+  GuardedAlloc(std::size_t size, std::uint32_t site, std::string label);
+
+  /// Read; OOB raises Segv, freed raises HeapUseAfterFree. Returns 0 on fault.
+  std::uint8_t read(std::size_t index) const;
+
+  /// Write; OOB raises HeapBufferOverflow, freed raises HeapUseAfterFree.
+  void write(std::size_t index, std::uint8_t value);
+
+  /// Bulk write starting at `offset`; each OOB byte raises (deduped by the
+  /// sink's first-fault rule).
+  void write_bytes(std::size_t offset, ByteSpan data);
+
+  /// Marks the allocation freed; double free raises HeapUseAfterFree.
+  void free();
+
+  [[nodiscard]] bool freed() const { return freed_; }
+  [[nodiscard]] std::size_t size() const { return storage_.size(); }
+
+  /// Valid (in-bounds, not freed) contents for assertions in tests.
+  [[nodiscard]] const Bytes& storage() const { return storage_; }
+
+ private:
+  bool fault_if_freed(const char* op) const;
+
+  Bytes storage_;
+  std::uint32_t site_;
+  std::string label_;
+  bool freed_ = false;
+};
+
+}  // namespace icsfuzz::san

@@ -1,0 +1,87 @@
+#include "util/checksum.hpp"
+
+#include <array>
+
+namespace icsfuzz {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint16_t, 256> make_crc16_table(std::uint16_t poly) {
+  std::array<std::uint16_t, 256> table{};
+  for (std::uint16_t i = 0; i < 256; ++i) {
+    std::uint16_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) ? static_cast<std::uint16_t>(poly ^ (c >> 1))
+                   : static_cast<std::uint16_t>(c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+const std::array<std::uint16_t, 256> kCrc16ModbusTable = make_crc16_table(0xA001);
+const std::array<std::uint16_t, 256> kCrc16Dnp3Table = make_crc16_table(0xA6BC);
+
+}  // namespace
+
+std::uint32_t crc32(ByteSpan data) {
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (std::uint8_t byte : data) {
+    crc = kCrc32Table[(crc ^ byte) & 0xFFU] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+std::uint16_t crc16_modbus(ByteSpan data) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::uint8_t byte : data) {
+    crc = static_cast<std::uint16_t>(kCrc16ModbusTable[(crc ^ byte) & 0xFFU] ^
+                                     (crc >> 8));
+  }
+  return crc;
+}
+
+std::uint16_t crc16_dnp3(ByteSpan data) {
+  std::uint16_t crc = 0x0000;
+  for (std::uint8_t byte : data) {
+    crc = static_cast<std::uint16_t>(kCrc16Dnp3Table[(crc ^ byte) & 0xFFU] ^
+                                     (crc >> 8));
+  }
+  return static_cast<std::uint16_t>(~crc);
+}
+
+std::uint8_t lrc8(ByteSpan data) {
+  std::uint8_t sum = 0;
+  for (std::uint8_t byte : data) sum = static_cast<std::uint8_t>(sum + byte);
+  return static_cast<std::uint8_t>(-sum);
+}
+
+std::uint8_t sum8(ByteSpan data) {
+  std::uint8_t sum = 0;
+  for (std::uint8_t byte : data) sum = static_cast<std::uint8_t>(sum + byte);
+  return sum;
+}
+
+std::uint16_t fletcher16(ByteSpan data) {
+  std::uint16_t a = 0;
+  std::uint16_t b = 0;
+  for (std::uint8_t byte : data) {
+    a = static_cast<std::uint16_t>((a + byte) % 255);
+    b = static_cast<std::uint16_t>((b + a) % 255);
+  }
+  return static_cast<std::uint16_t>((b << 8) | a);
+}
+
+}  // namespace icsfuzz

@@ -1,0 +1,35 @@
+// Checksum / CRC algorithms used by the ICS protocol stacks and by the data
+// model Fixup mechanism (the paper's Crc32Fixup et al.).
+//
+// Each algorithm here corresponds to a wire format in one of the evaluated
+// protocols: CRC-16/Modbus for Modbus RTU framing, the DNP3 block CRC for the
+// DNP3 link layer, LRC for Modbus ASCII, and CRC-32 for the paper's running
+// Crc32Fixup example.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace icsfuzz {
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320), as used by Crc32Fixup.
+std::uint32_t crc32(ByteSpan data);
+
+/// CRC-16/Modbus (poly 0xA001 reflected, init 0xFFFF).
+std::uint16_t crc16_modbus(ByteSpan data);
+
+/// DNP3 CRC (poly 0xA6BC reflected, init 0x0000, final complement).
+std::uint16_t crc16_dnp3(ByteSpan data);
+
+/// Longitudinal redundancy check: two's complement of the byte sum
+/// (Modbus ASCII framing).
+std::uint8_t lrc8(ByteSpan data);
+
+/// Plain modulo-256 byte sum.
+std::uint8_t sum8(ByteSpan data);
+
+/// Fletcher-16 checksum (used by the synthetic example protocol).
+std::uint16_t fletcher16(ByteSpan data);
+
+}  // namespace icsfuzz

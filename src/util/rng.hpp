@@ -1,0 +1,62 @@
+// Deterministic pseudo-random source for the fuzzing engines.
+//
+// xoshiro256** — fast, high-quality, and (critically for reproducible
+// experiments) fully determined by its 64-bit seed. Every stochastic choice
+// in the fuzzers flows through an Rng instance so campaigns can be repeated
+// bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace icsfuzz {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound); returns 0 when bound == 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli draw with probability numerator/denominator.
+  bool chance(std::uint64_t numerator, std::uint64_t denominator);
+
+  /// Uniform byte.
+  std::uint8_t byte();
+
+  /// Uniform double in [0, 1).
+  double unit();
+
+  /// Picks a uniformly random element index for a container of `size`.
+  std::size_t index(std::size_t size) { return static_cast<std::size_t>(below(size)); }
+
+  /// Picks a reference to a random element (container must be non-empty).
+  template <typename Container>
+  auto& pick(Container& items) {
+    return items[index(items.size())];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Random byte string of exactly `length` bytes.
+  std::vector<std::uint8_t> bytes(std::size_t length);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace icsfuzz

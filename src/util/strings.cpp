@@ -1,0 +1,89 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+
+namespace icsfuzz {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<std::uint64_t> parse_uint(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  std::uint64_t base = 10;
+  if (starts_with(text, "0x") || starts_with(text, "0X")) {
+    base = 16;
+    text.remove_prefix(2);
+    if (text.empty()) return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  for (char c : text) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (base == 16 && c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (base == 16 && c >= 'A' && c <= 'F') {
+      digit = static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+    if (digit >= base) return std::nullopt;
+    value = value * base + digit;
+  }
+  return value;
+}
+
+std::optional<bool> parse_bool(std::string_view text) {
+  const std::string lowered = to_lower(trim(text));
+  if (lowered == "true" || lowered == "1") return true;
+  if (lowered == "false" || lowered == "0") return false;
+  return std::nullopt;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace icsfuzz

@@ -1,0 +1,34 @@
+// Small string helpers used by the pit parser and report emitters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace icsfuzz {
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// Case-sensitive prefix/suffix tests.
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Lowercases ASCII.
+std::string to_lower(std::string_view text);
+
+/// Parses a decimal or 0x-prefixed hex unsigned integer.
+std::optional<std::uint64_t> parse_uint(std::string_view text);
+
+/// Parses a boolean: "true"/"false"/"1"/"0" (case-insensitive).
+std::optional<bool> parse_bool(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace icsfuzz

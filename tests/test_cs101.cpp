@@ -1,0 +1,209 @@
+// Behavioural tests for the lib60870 CS101/CS104 stack, including the three
+// injected Table-I SEGV vulnerabilities (getCOT OOB, sequence-element OOB,
+// CP56Time2a OOB).
+#include <gtest/gtest.h>
+
+#include "protocols/lib60870/cs101_server.hpp"
+#include "test_support.hpp"
+
+namespace icsfuzz::proto {
+namespace {
+
+using test::run_armed;
+
+const Bytes kStartDtAct{0x68, 0x04, 0x07, 0x00, 0x00, 0x00};
+
+Bytes i_frame(Bytes asdu) {
+  ByteWriter writer;
+  writer.write_u8(0x68);
+  writer.write_u8(static_cast<std::uint8_t>(4 + asdu.size()));
+  writer.write_u32(0, Endian::Little);  // control octets
+  writer.write_bytes(asdu);
+  return writer.take();
+}
+
+Bytes session(std::initializer_list<Bytes> frames) {
+  Bytes out;
+  for (const Bytes& frame : frames) append(out, frame);
+  return out;
+}
+
+TEST(Cs101, StartDtConfirmed) {
+  Cs101Server server;
+  const auto run = run_armed(server, kStartDtAct);
+  ASSERT_EQ(run.response.size(), 6u);
+  EXPECT_EQ(run.response[2], 0x0B);
+}
+
+TEST(Cs101, IFrameBeforeStartDropped) {
+  Cs101Server server;
+  const Bytes interro{100, 1, 6, 0, 3, 0, 0, 0, 0, 20};
+  EXPECT_TRUE(run_armed(server, i_frame(interro)).response.empty());
+}
+
+TEST(Cs101, InterrogationRespondsWithPointAndConfirm) {
+  Cs101Server server;
+  const Bytes interro{100, 1, 6, 0, 3, 0, 0, 0, 0, 20};
+  const auto run = run_armed(server, session({kStartDtAct, i_frame(interro)}));
+  ASSERT_FALSE(run.crashed());
+  EXPECT_GT(run.response.size(), 6u);
+  EXPECT_EQ(server.commands_executed(), 1u);
+}
+
+TEST(Cs101, WrongCommonAddressDropped) {
+  Cs101Server server;
+  const Bytes interro{100, 1, 6, 0, 9, 0, 0, 0, 0, 20};
+  const auto run = run_armed(server, session({kStartDtAct, i_frame(interro)}));
+  EXPECT_EQ(run.response.size(), 6u);
+}
+
+TEST(Cs101, SingleCommandSelectThenExecute) {
+  Cs101Server server;
+  const Bytes select{45, 1, 6, 0, 3, 0, 0x00, 0x20, 0x00, 0x81};
+  const Bytes execute{45, 1, 6, 0, 3, 0, 0x00, 0x20, 0x00, 0x01};
+  const auto run = run_armed(
+      server, session({kStartDtAct, i_frame(select), i_frame(execute)}));
+  ASSERT_FALSE(run.crashed());
+  EXPECT_GT(run.response.size(), 12u);  // both phases confirmed
+  EXPECT_EQ(server.commands_executed(), 2u);
+}
+
+TEST(Cs101, ExecuteWithoutSelectRefused) {
+  Cs101Server server;
+  const Bytes execute{45, 1, 6, 0, 3, 0, 0x00, 0x20, 0x00, 0x01};
+  const auto run =
+      run_armed(server, session({kStartDtAct, i_frame(execute)}));
+  ASSERT_FALSE(run.crashed());
+  EXPECT_EQ(run.response.size(), 6u);
+}
+
+TEST(Cs101, ExecuteOnDifferentIoaAborts) {
+  Cs101Server server;
+  const Bytes select{45, 1, 6, 0, 3, 0, 0x00, 0x20, 0x00, 0x81};
+  const Bytes execute{45, 1, 6, 0, 3, 0, 0x02, 0x20, 0x00, 0x01};
+  const auto run = run_armed(
+      server, session({kStartDtAct, i_frame(select), i_frame(execute)}));
+  ASSERT_FALSE(run.crashed());
+  EXPECT_EQ(server.commands_executed(), 1u);  // only the select confirmed
+}
+
+TEST(Cs101, SingleCommandUnknownIoaRefused) {
+  Cs101Server server;
+  const Bytes command{45, 1, 6, 0, 3, 0, 0x00, 0x90, 0x00, 0x01};
+  const auto run = run_armed(server, session({kStartDtAct, i_frame(command)}));
+  EXPECT_EQ(run.response.size(), 6u);
+}
+
+TEST(Cs101, NonSequenceMeasurandsParseSafely) {
+  Cs101Server server;
+  // SQ=0, two objects, each IOA(3) + value(2) + QDS(1).
+  const Bytes asdu{11,   2,    6,    0,    3,    0,     // header
+                   0x01, 0x00, 0x00, 0x10, 0x00, 0x00,  // object 1
+                   0x02, 0x00, 0x00, 0x20, 0x00, 0x00};
+  const auto run = run_armed(server, session({kStartDtAct, i_frame(asdu)}));
+  EXPECT_FALSE(run.crashed());
+  EXPECT_GT(run.response.size(), 6u);
+}
+
+TEST(Cs101, NonSequenceTruncatedObjectsRejectedCleanly) {
+  Cs101Server server;
+  const Bytes asdu{11, 3, 6, 0, 3, 0, 0x01, 0x00, 0x00, 0x10, 0x00, 0x00};
+  const auto run = run_armed(server, session({kStartDtAct, i_frame(asdu)}));
+  EXPECT_FALSE(run.crashed());  // the SQ=0 walk is bounds-checked
+  EXPECT_EQ(run.response.size(), 6u);
+}
+
+// ------------------------------------------------- Injected vulnerabilities
+
+TEST(Cs101Bug, GetCotOnTruncatedAsduIsSegv) {
+  // The paper's Listing 1/2: an ASDU holding only type id + VSQ makes
+  // CS101_ASDU_getCOT read past the buffer.
+  Cs101Server server;
+  const Bytes truncated{100, 1};  // 2-byte ASDU, no COT octet
+  const auto run =
+      run_armed(server, session({kStartDtAct, i_frame(truncated)}));
+  ASSERT_TRUE(run.crashed());
+  EXPECT_TRUE(run.crashed_with(san::FaultKind::Segv));
+  EXPECT_NE(run.faults[0].detail.find("CS101_ASDU_getCOT"),
+            std::string::npos);
+}
+
+TEST(Cs101Bug, GetCotWithThreeBytesIsClean) {
+  Cs101Server server;
+  const Bytes minimal{100, 1, 6};  // COT present; header then too short
+  const auto run = run_armed(server, session({kStartDtAct, i_frame(minimal)}));
+  EXPECT_FALSE(run.crashed());
+}
+
+TEST(Cs101Bug, SequenceCountBeyondPayloadIsSegv) {
+  Cs101Server server;
+  // SQ=1, count=10 but only one 3-byte element follows the IOA.
+  const Bytes asdu{11,   0x8A, 6,    0,    3,   0,
+                   0x01, 0x00, 0x00,              // IOA
+                   0x10, 0x00, 0x00};             // single element
+  const auto run = run_armed(server, session({kStartDtAct, i_frame(asdu)}));
+  ASSERT_TRUE(run.crashed());
+  EXPECT_TRUE(run.crashed_with(san::FaultKind::Segv));
+}
+
+TEST(Cs101Bug, SequenceCountMatchingPayloadIsClean) {
+  Cs101Server server;
+  const Bytes asdu{11,   0x82, 6,    0,    3,    0,
+                   0x01, 0x00, 0x00,                          // IOA
+                   0x10, 0x00, 0x00, 0x20, 0x00, 0x00};       // two elements
+  const auto run = run_armed(server, session({kStartDtAct, i_frame(asdu)}));
+  EXPECT_FALSE(run.crashed());
+  EXPECT_GT(run.response.size(), 6u);
+}
+
+TEST(Cs101Bug, TimeTaggedCommandWithoutTimestampIsSegv) {
+  Cs101Server server;
+  // C_SC_TA_1 with valid IOA/SCO but no CP56Time2a tail.
+  const Bytes asdu{58, 1, 6, 0, 3, 0, 0x00, 0x20, 0x00, 0x01};
+  const auto run = run_armed(server, session({kStartDtAct, i_frame(asdu)}));
+  ASSERT_TRUE(run.crashed());
+  EXPECT_TRUE(run.crashed_with(san::FaultKind::Segv));
+}
+
+TEST(Cs101Bug, TimeTaggedCommandWithFullTimestampIsClean) {
+  Cs101Server server;
+  // Select variant (0x81) so the command also passes the operate latch.
+  Bytes asdu{58, 1, 6, 0, 3, 0, 0x00, 0x20, 0x00, 0x81};
+  const Bytes time{0x00, 0x00, 0x1E, 0x0A, 0x0C, 0x06, 0x18};
+  append(asdu, time);
+  const auto run = run_armed(server, session({kStartDtAct, i_frame(asdu)}));
+  EXPECT_FALSE(run.crashed());
+  EXPECT_GT(run.response.size(), 6u);
+}
+
+TEST(Cs101Bug, AllThreeSitesAreDistinct) {
+  Cs101Server server;
+  auto site_of = [&server](Bytes asdu) {
+    const auto run = run_armed(
+        server, session({kStartDtAct, i_frame(std::move(asdu))}));
+    return run.faults.empty() ? 0u : run.faults[0].site;
+  };
+  const std::uint32_t getcot = site_of({100, 1});
+  const std::uint32_t seq = site_of({11, 0x8A, 6, 0, 3, 0, 1, 0, 0});
+  const std::uint32_t time = site_of({58, 1, 6, 0, 3, 0, 0x00, 0x20, 0x00, 1});
+  EXPECT_NE(getcot, 0u);
+  EXPECT_NE(seq, 0u);
+  EXPECT_NE(time, 0u);
+  EXPECT_NE(getcot, seq);
+  EXPECT_NE(getcot, time);
+  EXPECT_NE(seq, time);
+}
+
+TEST(Cs101, FaultEndsStreamProcessing) {
+  Cs101Server server;
+  // Crash frame followed by a valid interrogation: the "process died"
+  // semantics must stop the drain at the fault.
+  const Bytes interro{100, 1, 6, 0, 3, 0, 0, 0, 0, 20};
+  const auto run = run_armed(
+      server, session({kStartDtAct, i_frame(Bytes{100, 1}), i_frame(interro)}));
+  ASSERT_TRUE(run.crashed());
+  EXPECT_EQ(run.response.size(), 6u);  // nothing after the STARTDT con
+}
+
+}  // namespace
+}  // namespace icsfuzz::proto

@@ -1,0 +1,221 @@
+// Behavioural tests for the DNP3 outstation: link-layer CRC framing,
+// transport reassembly rules and the application-layer object handlers.
+// No bugs are injected (Table I lists none for opendnp3).
+#include <gtest/gtest.h>
+
+#include "protocols/dnp3/dnp3_server.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+#include "util/checksum.hpp"
+
+namespace icsfuzz::proto {
+namespace {
+
+using test::run_armed;
+
+/// Frames `user_data` (transport + application octets) as a DNP3 link frame
+/// addressed to the outstation, with correct header and block CRCs.
+Bytes link_frame(Bytes user_data, std::uint16_t dest = Dnp3Server::kLocalAddress,
+                 std::uint8_t control = 0xC4) {
+  ByteWriter writer;
+  writer.write_u8(0x05);
+  writer.write_u8(0x64);
+  writer.write_u8(static_cast<std::uint8_t>(5 + user_data.size()));
+  writer.write_u8(control);
+  writer.write_u16(dest, Endian::Little);
+  writer.write_u16(0x0001, Endian::Little);  // master address
+  writer.write_u16(crc16_dnp3(ByteSpan(writer.bytes().data(), 8)),
+                   Endian::Little);
+  std::size_t offset = 0;
+  while (offset < user_data.size()) {
+    const std::size_t block =
+        user_data.size() - offset < 16 ? user_data.size() - offset : 16;
+    const ByteSpan slice(user_data.data() + offset, block);
+    writer.write_bytes(slice);
+    writer.write_u16(crc16_dnp3(slice), Endian::Little);
+    offset += block;
+  }
+  return writer.take();
+}
+
+/// Transport octet (FIR|FIN seq 0) + app request header + object header.
+Bytes request(std::uint8_t function, Bytes objects) {
+  Bytes out{0xC0, 0xC0, function};
+  append(out, objects);
+  return out;
+}
+
+TEST(Dnp3, BadStartBytesDropped) {
+  Dnp3Server server;
+  Bytes packet = link_frame(request(0x01, {0x01, 0x01, 0x06}));
+  packet[1] = 0x65;
+  EXPECT_TRUE(run_armed(server, packet).response.empty());
+}
+
+TEST(Dnp3, BadHeaderCrcDropped) {
+  Dnp3Server server;
+  Bytes packet = link_frame(request(0x01, {0x01, 0x01, 0x06}));
+  packet[8] ^= 0xFF;
+  EXPECT_TRUE(run_armed(server, packet).response.empty());
+}
+
+TEST(Dnp3, BadBlockCrcDropped) {
+  Dnp3Server server;
+  Bytes packet = link_frame(request(0x01, {0x01, 0x01, 0x06}));
+  packet.back() ^= 0xFF;
+  EXPECT_TRUE(run_armed(server, packet).response.empty());
+}
+
+TEST(Dnp3, WrongDestinationDropped) {
+  Dnp3Server server;
+  const Bytes packet = link_frame(request(0x01, {0x01, 0x01, 0x06}), 0x1234);
+  EXPECT_TRUE(run_armed(server, packet).response.empty());
+}
+
+TEST(Dnp3, BroadcastAccepted) {
+  Dnp3Server server;
+  const Bytes packet = link_frame(request(0x01, {0x01, 0x01, 0x06}), 0xFFFF);
+  EXPECT_FALSE(run_armed(server, packet).response.empty());
+}
+
+TEST(Dnp3, SecondaryFrameIgnored) {
+  Dnp3Server server;
+  const Bytes packet =
+      link_frame(request(0x01, {0x01, 0x01, 0x06}),
+                 Dnp3Server::kLocalAddress, 0x44);  // PRM=0
+  EXPECT_TRUE(run_armed(server, packet).response.empty());
+}
+
+TEST(Dnp3, LinkStatusRequestAnswered) {
+  Dnp3Server server;
+  const Bytes packet = link_frame({}, Dnp3Server::kLocalAddress, 0xC9);
+  const auto run = run_armed(server, packet);
+  ASSERT_GE(run.response.size(), 10u);
+  EXPECT_EQ(run.response[0], 0x05);
+  EXPECT_EQ(run.response[1], 0x64);
+}
+
+TEST(Dnp3, MultiFragmentTransportIgnored) {
+  Dnp3Server server;
+  Bytes user{0x40, 0xC0, 0x01, 0x01, 0x01, 0x06};  // FIR only, no FIN
+  EXPECT_TRUE(run_armed(server, link_frame(user)).response.empty());
+}
+
+TEST(Dnp3, ReadBinaryAllObjects) {
+  Dnp3Server server;
+  const auto run = run_armed(server, link_frame(request(0x01, {0x01, 0x01, 0x06})));
+  ASSERT_FALSE(run.crashed());
+  ASSERT_GT(run.response.size(), 10u);
+  // Response function code 0x81 appears in the application fragment.
+  // Layout: link(10) + transport(1) + app control(1) + function(1).
+  EXPECT_EQ(run.response[12], 0x81);
+}
+
+TEST(Dnp3, ReadBinaryRangeOutOfBoundsFlagsIin) {
+  Dnp3Server server;
+  // 1-byte start/stop with stop beyond the 16-point database.
+  const auto run = run_armed(
+      server, link_frame(request(0x01, {0x01, 0x01, 0x00, 0x00, 0x40})));
+  ASSERT_GT(run.response.size(), 14u);
+  const std::uint8_t iin2 = run.response[14];
+  EXPECT_TRUE(iin2 & 0x02);  // object unknown
+}
+
+TEST(Dnp3, ReadAnalogTwoByteRange) {
+  Dnp3Server server;
+  const auto run = run_armed(
+      server,
+      link_frame(request(0x01, {0x1E, 0x01, 0x01, 0x00, 0x00, 0x03, 0x00})));
+  ASSERT_FALSE(run.crashed());
+  EXPECT_GT(run.response.size(), 20u);  // four 5-byte analog values
+}
+
+TEST(Dnp3, ColdRestartSetsRestartIin) {
+  Dnp3Server server;
+  const auto run = run_armed(server, link_frame({0xC0, 0xC0, 0x0D}));
+  ASSERT_GT(run.response.size(), 14u);
+  EXPECT_TRUE(run.response[13] & 0x80);  // IIN1.7 device restart
+}
+
+TEST(Dnp3, UnsupportedFunctionFlagsIin) {
+  Dnp3Server server;
+  const auto run = run_armed(server, link_frame({0xC0, 0xC0, 0x70}));
+  ASSERT_GT(run.response.size(), 14u);
+  EXPECT_TRUE(run.response[14] & 0x01);  // IIN2.0 function not supported
+}
+
+Bytes crob(std::uint8_t function, std::uint8_t index, std::uint8_t op) {
+  return request(function, {0x0C, 0x01, 0x17, 0x01, index, op, 0x01,
+                            0, 0, 0, 0, 0, 0, 0, 0, 0x00});
+}
+
+TEST(Dnp3, DirectOperateTogglesPoint) {
+  Dnp3Server server;
+  const auto run = run_armed(server, link_frame(crob(0x05, 3, 0x01)));
+  ASSERT_FALSE(run.crashed());
+  EXPECT_EQ(server.operates(), 1u);
+}
+
+TEST(Dnp3, OperateWithoutSelectFlagsParamError) {
+  Dnp3Server server;
+  const auto run = run_armed(server, link_frame(crob(0x04, 3, 0x01)));
+  ASSERT_GT(run.response.size(), 14u);
+  EXPECT_TRUE(run.response[14] & 0x04);  // IIN2.2 parameter error
+  EXPECT_EQ(server.operates(), 0u);
+}
+
+TEST(Dnp3, SelectThenOperateWithinOneStream) {
+  Dnp3Server server;
+  Bytes stream = link_frame(crob(0x03, 3, 0x01));
+  append(stream, link_frame(crob(0x04, 3, 0x01)));
+  const auto run = run_armed(server, stream);
+  ASSERT_FALSE(run.crashed());
+  EXPECT_EQ(server.operates(), 1u);
+}
+
+TEST(Dnp3, SelectOperateIndexMismatchRefused) {
+  Dnp3Server server;
+  Bytes stream = link_frame(crob(0x03, 3, 0x01));
+  append(stream, link_frame(crob(0x04, 5, 0x01)));
+  const auto run = run_armed(server, stream);
+  EXPECT_EQ(server.operates(), 0u);
+  (void)run;
+}
+
+TEST(Dnp3, CrobUnsupportedOpFlagsParamError) {
+  Dnp3Server server;
+  const auto run = run_armed(server, link_frame(crob(0x05, 3, 0x0F)));
+  ASSERT_GT(run.response.size(), 14u);
+  EXPECT_TRUE(run.response[14] & 0x04);
+}
+
+TEST(Dnp3, ResponsesCarryValidCrcs) {
+  Dnp3Server server;
+  const auto run = run_armed(server, link_frame(request(0x01, {0x01, 0x01, 0x06})));
+  ASSERT_GE(run.response.size(), 10u);
+  const std::uint16_t header_crc = static_cast<std::uint16_t>(
+      run.response[8] | (run.response[9] << 8));
+  EXPECT_EQ(crc16_dnp3(ByteSpan(run.response.data(), 8)), header_crc);
+}
+
+// Fuzz-style property: random bytes never fault the outstation.
+class Dnp3NoFaultSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Dnp3NoFaultSweep, RandomBytesNeverFault) {
+  Dnp3Server server;
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    Bytes packet = rng.bytes(rng.below(80));
+    if (packet.size() >= 2 && rng.chance(1, 2)) {
+      packet[0] = 0x05;
+      packet[1] = 0x64;
+    }
+    const auto run = run_armed(server, packet);
+    ASSERT_FALSE(run.crashed()) << "seed " << GetParam() << " iter " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Dnp3NoFaultSweep, ::testing::Values(7, 8, 9));
+
+}  // namespace
+}  // namespace icsfuzz::proto

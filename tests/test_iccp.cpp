@@ -1,0 +1,281 @@
+// Behavioural tests for the ICCP/TASE.2 stack, including the four injected
+// Table-I vulnerabilities (3 SEGV, 1 heap buffer overflow).
+#include <gtest/gtest.h>
+
+#include "protocols/iccp/iccp_server.hpp"
+#include "test_support.hpp"
+
+namespace icsfuzz::proto {
+namespace {
+
+using test::run_armed;
+
+Bytes tpkt(Bytes pdu) {
+  ByteWriter writer;
+  writer.write_u8(0x03);
+  writer.write_u8(0x00);
+  writer.write_u16(static_cast<std::uint16_t>(4 + pdu.size()), Endian::Big);
+  writer.write_bytes(pdu);
+  return writer.take();
+}
+
+Bytes tlv(std::uint8_t tag, Bytes value) {
+  Bytes out{tag, static_cast<std::uint8_t>(value.size())};
+  append(out, value);
+  return out;
+}
+
+/// Valid initiate-Request: local detail 8000, max outstanding 5, version 1.
+Bytes initiate_pdu() {
+  Bytes params;
+  append(params, tlv(0x80, {0x00, 0x00, 0x1F, 0x40}));
+  append(params, tlv(0x81, {0x05}));
+  append(params, tlv(0x82, {0x01}));
+  return tlv(0xA8, params);
+}
+
+Bytes confirmed(std::uint8_t service_tag, Bytes service_body,
+                std::uint32_t invoke_id = 1) {
+  Bytes inner = tlv(0x02, {static_cast<std::uint8_t>(invoke_id >> 24),
+                           static_cast<std::uint8_t>(invoke_id >> 16),
+                           static_cast<std::uint8_t>(invoke_id >> 8),
+                           static_cast<std::uint8_t>(invoke_id)});
+  append(inner, tlv(service_tag, std::move(service_body)));
+  return tlv(0xA0, inner);
+}
+
+Bytes session(std::initializer_list<Bytes> pdus) {
+  Bytes out;
+  for (const Bytes& pdu : pdus) append(out, tpkt(pdu));
+  return out;
+}
+
+TEST(Iccp, BadTpktVersionDropped) {
+  IccpServer server;
+  Bytes packet = tpkt(initiate_pdu());
+  packet[0] = 0x02;
+  EXPECT_TRUE(run_armed(server, packet).response.empty());
+}
+
+TEST(Iccp, TpktLengthMismatchDropped) {
+  IccpServer server;
+  Bytes packet = tpkt(initiate_pdu());
+  packet[3] = static_cast<std::uint8_t>(packet[3] + 1);
+  EXPECT_TRUE(run_armed(server, packet).response.empty());
+}
+
+TEST(Iccp, AssociationNegotiation) {
+  IccpServer server;
+  const auto run = run_armed(server, tpkt(initiate_pdu()));
+  ASSERT_FALSE(run.response.empty());
+  EXPECT_EQ(run.response[0], 0xA9);  // initiate response
+  EXPECT_TRUE(server.associated());
+}
+
+TEST(Iccp, AssociationRejectsBadDetail) {
+  IccpServer server;
+  Bytes params;
+  append(params, tlv(0x80, {0x00, 0x00, 0x00, 0x10}));  // 16 < 1000
+  append(params, tlv(0x81, {0x05}));
+  append(params, tlv(0x82, {0x01}));
+  const auto run = run_armed(server, tpkt(tlv(0xA8, params)));
+  EXPECT_TRUE(run.response.empty());
+  EXPECT_FALSE(server.associated());
+}
+
+TEST(Iccp, AssociationRejectsBadVersion) {
+  IccpServer server;
+  Bytes params;
+  append(params, tlv(0x80, {0x00, 0x00, 0x1F, 0x40}));
+  append(params, tlv(0x81, {0x05}));
+  append(params, tlv(0x82, {0x07}));
+  EXPECT_TRUE(run_armed(server, tpkt(tlv(0xA8, params))).response.empty());
+}
+
+TEST(Iccp, ServiceBeforeAssociationDropped) {
+  IccpServer server;
+  const Bytes read = confirmed(0xA4, tlv(0x80, {0x03}));
+  EXPECT_TRUE(run_armed(server, tpkt(read)).response.empty());
+}
+
+TEST(Iccp, ReadNamedVariable) {
+  IccpServer server;
+  const auto run = run_armed(
+      server, session({initiate_pdu(), confirmed(0xA4, tlv(0x80, {0x03}))}));
+  ASSERT_FALSE(run.crashed());
+  // Initiate response + confirmed response.
+  EXPECT_GT(run.response.size(), 10u);
+}
+
+TEST(Iccp, ReadUnknownItemGivesError) {
+  IccpServer server;
+  const auto run = run_armed(
+      server, session({initiate_pdu(), confirmed(0xA4, tlv(0x80, {0x30}))}));
+  EXPECT_FALSE(run.crashed());
+  // Confirmed-error PDU tag 0xA2 appears in the concatenated output.
+  bool saw_error = false;
+  for (std::size_t i = 0; i + 1 < run.response.size(); ++i) {
+    if (run.response[i] == 0xA2) saw_error = true;
+  }
+  EXPECT_TRUE(saw_error);
+}
+
+TEST(Iccp, WriteToReadOnlyPointRefused) {
+  IccpServer server;
+  Bytes body = tlv(0x80, {0x01});  // transfer-set point: read-only
+  append(body, tlv(0x81, {0x04}));
+  append(body, tlv(0x82, {1, 2, 3, 4}));
+  const auto run =
+      run_armed(server, session({initiate_pdu(), confirmed(0xA5, body)}));
+  EXPECT_FALSE(run.crashed());
+  EXPECT_EQ(server.writes_accepted(), 0u);
+}
+
+TEST(Iccp, WriteWithinCapacityAccepted) {
+  IccpServer server;
+  Bytes body = tlv(0x80, {0x04});
+  append(body, tlv(0x81, {0x04}));
+  append(body, tlv(0x82, {1, 2, 3, 4}));
+  const auto run =
+      run_armed(server, session({initiate_pdu(), confirmed(0xA5, body)}));
+  EXPECT_FALSE(run.crashed());
+  EXPECT_EQ(server.writes_accepted(), 1u);
+}
+
+TEST(Iccp, NameListFromStart) {
+  IccpServer server;
+  const auto run = run_armed(
+      server, session({initiate_pdu(), confirmed(0xA1, tlv(0x80, {0x00}))}));
+  EXPECT_FALSE(run.crashed());
+  // Response carries VisibleString names.
+  bool saw_string = false;
+  for (std::uint8_t byte : run.response) saw_string |= byte == 0x1A;
+  EXPECT_TRUE(saw_string);
+}
+
+TEST(Iccp, ConcludeEndsAssociation) {
+  IccpServer server;
+  const auto run =
+      run_armed(server, session({initiate_pdu(), tlv(0x8B, {})}));
+  EXPECT_FALSE(run.crashed());
+  EXPECT_FALSE(server.associated());
+}
+
+// ------------------------------------------------- Injected vulnerabilities
+
+TEST(IccpBug, NameListContinuationOobIsSegv) {
+  IccpServer server;
+  Bytes body = tlv(0x80, {0x00});
+  append(body, tlv(0x81, {0x09}));  // continue after entry 9 of 6
+  const auto run =
+      run_armed(server, session({initiate_pdu(), confirmed(0xA1, body)}));
+  ASSERT_TRUE(run.crashed());
+  EXPECT_TRUE(run.crashed_with(san::FaultKind::Segv));
+}
+
+TEST(IccpBug, NameListContinuationInRangeIsClean) {
+  IccpServer server;
+  Bytes body = tlv(0x80, {0x00});
+  append(body, tlv(0x81, {0x02}));
+  const auto run =
+      run_armed(server, session({initiate_pdu(), confirmed(0xA1, body)}));
+  EXPECT_FALSE(run.crashed());
+}
+
+TEST(IccpBug, StructuredReadComponentOobIsSegv) {
+  IccpServer server;
+  Bytes body = tlv(0x80, {0x03});
+  append(body, tlv(0x81, {0x05}));  // component 5 of a 2-entry structure
+  const auto run =
+      run_armed(server, session({initiate_pdu(), confirmed(0xA4, body)}));
+  ASSERT_TRUE(run.crashed());
+  EXPECT_TRUE(run.crashed_with(san::FaultKind::Segv));
+}
+
+TEST(IccpBug, StructuredReadValidComponentIsClean) {
+  IccpServer server;
+  Bytes body = tlv(0x80, {0x03});
+  append(body, tlv(0x81, {0x01}));
+  const auto run =
+      run_armed(server, session({initiate_pdu(), confirmed(0xA4, body)}));
+  EXPECT_FALSE(run.crashed());
+}
+
+TEST(IccpBug, WriteDeclaredLengthOverflowsHeap) {
+  IccpServer server;
+  Bytes value(24, 0xEE);
+  Bytes body = tlv(0x80, {0x04});
+  append(body, tlv(0x81, {24}));  // declared 24 > 16-byte staging buffer
+  append(body, tlv(0x82, value));
+  const auto run =
+      run_armed(server, session({initiate_pdu(), confirmed(0xA5, body)}));
+  ASSERT_TRUE(run.crashed());
+  EXPECT_TRUE(run.crashed_with(san::FaultKind::HeapBufferOverflow));
+}
+
+TEST(IccpBug, WriteDeclaredLengthWithinBufferIsClean) {
+  IccpServer server;
+  Bytes body = tlv(0x80, {0x04});
+  append(body, tlv(0x81, {16}));
+  append(body, tlv(0x82, Bytes(16, 0xEE)));
+  const auto run =
+      run_armed(server, session({initiate_pdu(), confirmed(0xA5, body)}));
+  EXPECT_FALSE(run.crashed());
+}
+
+TEST(IccpBug, InformationReportOffsetOobIsSegv) {
+  IccpServer server;
+  Bytes body = tlv(0x80, {0x02});
+  append(body, tlv(0x81, {0x00, 0x09}));  // second offset points past data
+  append(body, tlv(0x82, {0xAA, 0xBB}));
+  const auto run =
+      run_armed(server, session({initiate_pdu(), tlv(0xA3, body)}));
+  ASSERT_TRUE(run.crashed());
+  EXPECT_TRUE(run.crashed_with(san::FaultKind::Segv));
+}
+
+TEST(IccpBug, InformationReportValidOffsetsClean) {
+  IccpServer server;
+  Bytes body = tlv(0x80, {0x02});
+  append(body, tlv(0x81, {0x00, 0x01}));
+  append(body, tlv(0x82, {0xAA, 0xBB}));
+  const auto run =
+      run_armed(server, session({initiate_pdu(), tlv(0xA3, body)}));
+  EXPECT_FALSE(run.crashed());
+}
+
+TEST(IccpBug, FourSitesAreDistinct) {
+  // Table I: 3 SEGV + 1 heap buffer overflow, four distinct sites.
+  IccpServer server;
+  std::set<std::uint32_t> sites;
+  auto collect = [&](Bytes pdu) {
+    const auto run = run_armed(server, session({initiate_pdu(), pdu}));
+    if (!run.faults.empty()) sites.insert(run.faults[0].site);
+  };
+  {
+    Bytes body = tlv(0x80, {0x00});
+    append(body, tlv(0x81, {0x09}));
+    collect(confirmed(0xA1, body));
+  }
+  {
+    Bytes body = tlv(0x80, {0x03});
+    append(body, tlv(0x81, {0x05}));
+    collect(confirmed(0xA4, body));
+  }
+  {
+    Bytes body = tlv(0x80, {0x04});
+    append(body, tlv(0x81, {24}));
+    append(body, tlv(0x82, Bytes(24, 0)));
+    collect(confirmed(0xA5, body));
+  }
+  {
+    Bytes body = tlv(0x80, {0x02});
+    append(body, tlv(0x81, {0x00, 0x09}));
+    append(body, tlv(0x82, {0xAA, 0xBB}));
+    collect(tlv(0xA3, body));
+  }
+  EXPECT_EQ(sites.size(), 4u);
+}
+
+}  // namespace
+}  // namespace icsfuzz::proto

@@ -1,0 +1,246 @@
+// Behavioural tests for the IEC 60870-5-104 stack: APCI state machine,
+// sequence validation and the command handlers. No bugs are injected in
+// this target (Table I lists none), so nothing may ever fault.
+#include <gtest/gtest.h>
+
+#include "protocols/iec104/iec104_server.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace icsfuzz::proto {
+namespace {
+
+using test::run_armed;
+
+const Bytes kStartDtAct{0x68, 0x04, 0x07, 0x00, 0x00, 0x00};
+
+Bytes i_frame(Bytes asdu, std::uint16_t send_seq = 0) {
+  ByteWriter writer;
+  writer.write_u8(0x68);
+  writer.write_u8(static_cast<std::uint8_t>(4 + asdu.size()));
+  writer.write_u16(static_cast<std::uint16_t>(send_seq << 1), Endian::Little);
+  writer.write_u16(0, Endian::Little);
+  writer.write_bytes(asdu);
+  return writer.take();
+}
+
+Bytes interrogation_asdu(std::uint8_t cot = 6, std::uint16_t ca = 1,
+                         std::uint8_t qoi = 20) {
+  return Bytes{100, 1,    cot, 0, static_cast<std::uint8_t>(ca & 0xFF),
+               static_cast<std::uint8_t>(ca >> 8), 0, 0, 0, qoi};
+}
+
+Bytes session(std::initializer_list<Bytes> frames) {
+  Bytes out;
+  for (const Bytes& frame : frames) append(out, frame);
+  return out;
+}
+
+TEST(Iec104, GarbageIsDropped) {
+  Iec104Server server;
+  EXPECT_TRUE(run_armed(server, Bytes{0x01, 0x02, 0x03}).response.empty());
+}
+
+TEST(Iec104, StartDtGetsConfirmation) {
+  Iec104Server server;
+  const auto run = run_armed(server, kStartDtAct);
+  ASSERT_EQ(run.response.size(), 6u);
+  EXPECT_EQ(run.response[2], 0x0B);  // STARTDT con
+}
+
+TEST(Iec104, TestFrGetsConfirmation) {
+  Iec104Server server;
+  const Bytes testfr{0x68, 0x04, 0x43, 0x00, 0x00, 0x00};
+  const auto run = run_armed(server, testfr);
+  ASSERT_EQ(run.response.size(), 6u);
+  EXPECT_EQ(run.response[2], 0x83);  // TESTFR con
+}
+
+TEST(Iec104, UFrameWithAsduDropped) {
+  Iec104Server server;
+  const Bytes bad{0x68, 0x05, 0x07, 0x00, 0x00, 0x00, 0xAA};
+  EXPECT_TRUE(run_armed(server, bad).response.empty());
+}
+
+TEST(Iec104, IFrameBeforeStartDtDropped) {
+  Iec104Server server;
+  const auto run = run_armed(server, i_frame(interrogation_asdu()));
+  EXPECT_TRUE(run.response.empty());
+}
+
+TEST(Iec104, InterrogationAfterStartDt) {
+  Iec104Server server;
+  const auto run =
+      run_armed(server, session({kStartDtAct, i_frame(interrogation_asdu())}));
+  ASSERT_FALSE(run.crashed());
+  // STARTDT con (6) + two I frames (point report + activation con).
+  EXPECT_GT(run.response.size(), 6u);
+}
+
+TEST(Iec104, WrongSendSequenceClosesLink) {
+  Iec104Server server;
+  const auto run = run_armed(
+      server, session({kStartDtAct, i_frame(interrogation_asdu(), 5)}));
+  EXPECT_EQ(run.response.size(), 6u);  // only the STARTDT confirmation
+}
+
+TEST(Iec104, BadRecvAckClosesLink) {
+  Iec104Server server;
+  Bytes frame = i_frame(interrogation_asdu());
+  frame[4] = 0x20;  // N(R) = 16: acknowledges frames never sent
+  const auto run = run_armed(server, session({kStartDtAct, frame}));
+  EXPECT_EQ(run.response.size(), 6u);
+}
+
+TEST(Iec104, WrongCommonAddressDropped) {
+  Iec104Server server;
+  const auto run = run_armed(
+      server,
+      session({kStartDtAct, i_frame(interrogation_asdu(6, 0x0077))}));
+  EXPECT_EQ(run.response.size(), 6u);
+}
+
+TEST(Iec104, BroadcastAddressAccepted) {
+  Iec104Server server;
+  const auto run = run_armed(
+      server,
+      session({kStartDtAct, i_frame(interrogation_asdu(6, 0xFFFF))}));
+  EXPECT_GT(run.response.size(), 6u);
+}
+
+TEST(Iec104, TruncatedAsduHeaderDroppedCleanly) {
+  Iec104Server server;
+  const auto run =
+      run_armed(server, session({kStartDtAct, i_frame(Bytes{100, 1})}));
+  EXPECT_FALSE(run.crashed());  // no injected bug: must never fault
+  EXPECT_EQ(run.response.size(), 6u);
+}
+
+TEST(Iec104, SelectThenExecuteSingleCommand) {
+  Iec104Server server;
+  const Bytes select{45, 1, 6, 0, 1, 0, 0x00, 0x10, 0x00, 0x81};
+  const Bytes execute{45, 1, 6, 0, 1, 0, 0x00, 0x10, 0x00, 0x01};
+  const auto run = run_armed(
+      server,
+      session({kStartDtAct, i_frame(select, 0), i_frame(execute, 1)}));
+  ASSERT_FALSE(run.crashed());
+  // STARTDT con + select con + execute con.
+  EXPECT_GT(run.response.size(), 12u);
+}
+
+TEST(Iec104, ExecuteWithoutSelectRefused) {
+  Iec104Server server;
+  const Bytes execute{45, 1, 6, 0, 1, 0, 0x00, 0x10, 0x00, 0x01};
+  const auto run =
+      run_armed(server, session({kStartDtAct, i_frame(execute, 0)}));
+  EXPECT_EQ(run.response.size(), 6u);
+}
+
+TEST(Iec104, DoubleCommandValidStates) {
+  Iec104Server server;
+  const Bytes open_cmd{46, 1, 6, 0, 1, 0, 0x00, 0x18, 0x00, 0x01};
+  const auto run =
+      run_armed(server, session({kStartDtAct, i_frame(open_cmd, 0)}));
+  EXPECT_GT(run.response.size(), 6u);
+}
+
+TEST(Iec104, DoubleCommandRejectsNotPermittedStates) {
+  Iec104Server server;
+  for (std::uint8_t dcs : {std::uint8_t{0x00}, std::uint8_t{0x03}}) {
+    const Bytes bad{46, 1, 6, 0, 1, 0, 0x00, 0x18, 0x00, dcs};
+    const auto run =
+        run_armed(server, session({kStartDtAct, i_frame(bad, 0)}));
+    EXPECT_EQ(run.response.size(), 6u) << "dcs " << int(dcs);
+  }
+}
+
+TEST(Iec104, DoubleCommandBroadcastRefused) {
+  Iec104Server server;
+  const Bytes cmd{46, 1, 6, 0, 0xFF, 0xFF, 0x00, 0x18, 0x00, 0x01};
+  const auto run = run_armed(server, session({kStartDtAct, i_frame(cmd, 0)}));
+  EXPECT_EQ(run.response.size(), 6u);
+}
+
+TEST(Iec104, CounterInterrogationGroups) {
+  Iec104Server server;
+  const Bytes request{101, 1, 6, 0, 1, 0, 0, 0, 0, 0x05};
+  const auto run =
+      run_armed(server, session({kStartDtAct, i_frame(request, 0)}));
+  EXPECT_GT(run.response.size(), 6u);
+}
+
+TEST(Iec104, ReadCommandBanks) {
+  Iec104Server server;
+  const Bytes read_sp{102, 1, 5, 0, 1, 0, 0x00, 0x01, 0x00};
+  const auto sp = run_armed(server, session({kStartDtAct, i_frame(read_sp, 0)}));
+  EXPECT_GT(sp.response.size(), 6u);
+
+  Iec104Server server2;
+  const Bytes read_me{102, 1, 5, 0, 1, 0, 0x00, 0x02, 0x00};
+  const auto me =
+      run_armed(server2, session({kStartDtAct, i_frame(read_me, 0)}));
+  EXPECT_GT(me.response.size(), 6u);
+
+  Iec104Server server3;
+  const Bytes read_bad{102, 1, 5, 0, 1, 0, 0x42, 0x55, 0x00};
+  const auto bad =
+      run_armed(server3, session({kStartDtAct, i_frame(read_bad, 0)}));
+  EXPECT_EQ(bad.response.size(), 6u);
+}
+
+TEST(Iec104, ClockSyncValidatesTimestamp) {
+  Iec104Server server;
+  Bytes good{103, 1, 6, 0, 1, 0, 0, 0, 0};
+  const Bytes time{0x00, 0x00, 0x1E, 0x0A, 0x0C, 0x06, 0x18};
+  append(good, time);
+  const auto ok = run_armed(server, session({kStartDtAct, i_frame(good, 0)}));
+  EXPECT_GT(ok.response.size(), 6u);
+
+  Iec104Server server2;
+  Bytes bad{103, 1, 6, 0, 1, 0, 0, 0, 0};
+  const Bytes bad_time{0x00, 0x00, 0x3D, 0x0A, 0x0C, 0x06, 0x18};  // min 61
+  append(bad, bad_time);
+  const auto rejected =
+      run_armed(server2, session({kStartDtAct, i_frame(bad, 0)}));
+  EXPECT_EQ(rejected.response.size(), 6u);
+}
+
+TEST(Iec104, MonitorTypeGetsUnknownTypeReply) {
+  Iec104Server server;
+  const Bytes monitor{1, 1, 3, 0, 1, 0, 0x00, 0x00, 0x00, 0x01};
+  const auto run =
+      run_armed(server, session({kStartDtAct, i_frame(monitor, 0)}));
+  EXPECT_GT(run.response.size(), 6u);
+}
+
+TEST(Iec104, ResetRestoresInitialState) {
+  Iec104Server server;
+  run_armed(server, kStartDtAct);
+  server.reset();
+  EXPECT_FALSE(server.started());
+  EXPECT_EQ(server.recv_seq(), 0u);
+}
+
+// Fuzz-style property: the stack never faults on arbitrary input (Table I
+// lists no IEC104 vulnerabilities).
+class Iec104NoFaultSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Iec104NoFaultSweep, RandomBytesNeverFault) {
+  Iec104Server server;
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    Bytes packet = rng.bytes(rng.below(64));
+    if (rng.chance(1, 2) && packet.size() >= 2) {
+      packet[0] = 0x68;  // plausible framing half the time
+      packet[1] = static_cast<std::uint8_t>(packet.size() - 2);
+    }
+    const auto run = run_armed(server, packet);
+    ASSERT_FALSE(run.crashed()) << "seed " << GetParam() << " iter " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Iec104NoFaultSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace icsfuzz::proto

@@ -1,0 +1,266 @@
+// Behavioural tests for the IEC 61850 MMS server: association, directory
+// services, object-reference resolution, typed writes and reports. No bugs
+// are injected (Table I lists none for libiec61850).
+#include <gtest/gtest.h>
+
+#include "protocols/iec61850/mms_server.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace icsfuzz::proto {
+namespace {
+
+using test::run_armed;
+
+Bytes tpkt(Bytes pdu) {
+  ByteWriter writer;
+  writer.write_u8(0x03);
+  writer.write_u8(0x00);
+  writer.write_u16(static_cast<std::uint16_t>(4 + pdu.size()), Endian::Big);
+  writer.write_bytes(pdu);
+  return writer.take();
+}
+
+Bytes tlv(std::uint8_t tag, Bytes value) {
+  Bytes out{tag, static_cast<std::uint8_t>(value.size())};
+  append(out, value);
+  return out;
+}
+
+Bytes initiate_pdu() {
+  Bytes params;
+  append(params, tlv(0x80, {0x00, 0x00, 0x7D, 0x00}));  // PDU size 32000
+  append(params, tlv(0x81, {0x01}));                    // version 1
+  append(params, tlv(0x82, {0xF1, 0x00}));              // parameter CBB
+  append(params, tlv(0x83, Bytes(8, 0xEE)));            // services bitmap
+  return tlv(0xA8, params);
+}
+
+Bytes confirmed(std::uint8_t service_tag, Bytes body,
+                std::uint32_t invoke = 1) {
+  Bytes inner = tlv(0x02, {static_cast<std::uint8_t>(invoke >> 24),
+                           static_cast<std::uint8_t>(invoke >> 16),
+                           static_cast<std::uint8_t>(invoke >> 8),
+                           static_cast<std::uint8_t>(invoke)});
+  append(inner, tlv(service_tag, std::move(body)));
+  return tlv(0xA0, inner);
+}
+
+Bytes visible_string(const std::string& text) {
+  return tlv(0x1A, Bytes(text.begin(), text.end()));
+}
+
+Bytes session(std::initializer_list<Bytes> pdus) {
+  Bytes out;
+  for (const Bytes& pdu : pdus) append(out, tpkt(pdu));
+  return out;
+}
+
+TEST(Mms, AssociationRequiresServicesBitmap) {
+  MmsServer server;
+  Bytes params;
+  append(params, tlv(0x80, {0x00, 0x00, 0x7D, 0x00}));
+  append(params, tlv(0x81, {0x01}));
+  EXPECT_TRUE(run_armed(server, tpkt(tlv(0xA8, params))).response.empty());
+  EXPECT_FALSE(server.associated());
+}
+
+TEST(Mms, AssociationNegotiatesPduSize) {
+  MmsServer server;
+  const auto run = run_armed(server, tpkt(initiate_pdu()));
+  ASSERT_FALSE(run.response.empty());
+  EXPECT_EQ(run.response[0], 0xA9);
+  EXPECT_TRUE(server.associated());
+}
+
+TEST(Mms, AssociationRejectsTinyPduSize) {
+  MmsServer server;
+  Bytes params;
+  append(params, tlv(0x80, {0x00, 0x00, 0x00, 0x40}));  // 64 < 1024
+  append(params, tlv(0x81, {0x01}));
+  append(params, tlv(0x83, Bytes(8, 0)));
+  EXPECT_TRUE(run_armed(server, tpkt(tlv(0xA8, params))).response.empty());
+}
+
+TEST(Mms, StatusService) {
+  MmsServer server;
+  const auto run = run_armed(
+      server, session({initiate_pdu(), confirmed(0x80, {0x00})}));
+  EXPECT_FALSE(run.crashed());
+  EXPECT_GT(run.response.size(), 6u);
+}
+
+TEST(Mms, IdentifyService) {
+  MmsServer server;
+  const auto run = run_armed(
+      server, session({initiate_pdu(), confirmed(0x82, {0x00})}));
+  EXPECT_FALSE(run.crashed());
+  // Vendor string "icsfuzz" appears in the identify response.
+  const std::string text(run.response.begin(), run.response.end());
+  EXPECT_NE(text.find("icsfuzz"), std::string::npos);
+}
+
+TEST(Mms, NameListOfLogicalDevices) {
+  MmsServer server;
+  const auto run = run_armed(
+      server,
+      session({initiate_pdu(), confirmed(0xA1, tlv(0x80, {0x09}))}));
+  EXPECT_FALSE(run.crashed());
+  const std::string text(run.response.begin(), run.response.end());
+  EXPECT_NE(text.find("simpleIOGenericIO"), std::string::npos);
+  EXPECT_NE(text.find("simpleIOControl"), std::string::npos);
+}
+
+TEST(Mms, NameListWithinDomainPaginates) {
+  MmsServer server;
+  Bytes body = tlv(0x80, {0x09});
+  append(body, tlv(0x81, Bytes{'s', 'i', 'm', 'p', 'l', 'e', 'I', 'O', 'G',
+                               'e', 'n', 'e', 'r', 'i', 'c', 'I', 'O'}));
+  const auto run =
+      run_armed(server, session({initiate_pdu(), confirmed(0xA1, body)}));
+  EXPECT_FALSE(run.crashed());
+  const std::string text(run.response.begin(), run.response.end());
+  EXPECT_NE(text.find("LLN0$Mod"), std::string::npos);
+  // more-follows flag set: 0x81 0x01 0xFF appears near the tail.
+  bool more = false;
+  for (std::size_t i = 0; i + 2 < run.response.size(); ++i) {
+    if (run.response[i] == 0x81 && run.response[i + 1] == 1 &&
+        run.response[i + 2] == 0xFF) {
+      more = true;
+    }
+  }
+  EXPECT_TRUE(more);
+}
+
+TEST(Mms, NameListUnknownDomainErrors) {
+  MmsServer server;
+  Bytes body = tlv(0x80, {0x09});
+  append(body, tlv(0x81, Bytes{'n', 'o', 'p', 'e'}));
+  const auto run =
+      run_armed(server, session({initiate_pdu(), confirmed(0xA1, body)}));
+  bool saw_error = false;
+  for (std::uint8_t byte : run.response) saw_error |= byte == 0xA2;
+  EXPECT_TRUE(saw_error);
+}
+
+TEST(Mms, ReadResolvesReference) {
+  MmsServer server;
+  const auto run = run_armed(
+      server,
+      session({initiate_pdu(),
+               confirmed(0xA4, visible_string(
+                                   "simpleIOGenericIO/MMXU1$MX$TotW$mag"))}));
+  EXPECT_FALSE(run.crashed());
+  EXPECT_EQ(server.reads_served(), 1u);
+}
+
+TEST(Mms, ReadUnknownReferenceGivesAccessError) {
+  MmsServer server;
+  const auto run = run_armed(
+      server, session({initiate_pdu(),
+                       confirmed(0xA4, visible_string("bogus/LLN0$ST$x$y"))}));
+  EXPECT_FALSE(run.crashed());
+  EXPECT_EQ(server.reads_served(), 0u);
+}
+
+TEST(Mms, ReadMultipleItems) {
+  MmsServer server;
+  Bytes body = visible_string("simpleIOGenericIO/GGIO1$ST$Ind1$stVal");
+  append(body, visible_string("simpleIOControl/XCBR1$ST$Pos$stVal"));
+  const auto run =
+      run_armed(server, session({initiate_pdu(), confirmed(0xA4, body)}));
+  EXPECT_FALSE(run.crashed());
+  EXPECT_EQ(server.reads_served(), 2u);
+}
+
+TEST(Mms, ReadMalformedReferenceShapes) {
+  MmsServer server;
+  for (const char* ref :
+       {"", "noslash", "ld/", "ld/LN", "simpleIOGenericIO/LLN0$ST$Mod",
+        "simpleIOGenericIO/LLN0$ST$Mod$stVal$extra"}) {
+    const auto run = run_armed(
+        server, session({initiate_pdu(), confirmed(0xA4, visible_string(ref))}));
+    EXPECT_FALSE(run.crashed()) << ref;
+  }
+}
+
+TEST(Mms, WriteBooleanToControlValue) {
+  MmsServer server;
+  Bytes body = visible_string("simpleIOGenericIO/GGIO1$CO$SPCSO1$ctlVal");
+  append(body, tlv(0x83, {0x01}));
+  const auto run =
+      run_armed(server, session({initiate_pdu(), confirmed(0xA5, body)}));
+  EXPECT_FALSE(run.crashed());
+  EXPECT_EQ(server.writes_accepted(), 1u);
+}
+
+TEST(Mms, WriteTypeMismatchRefused) {
+  MmsServer server;
+  Bytes body = visible_string("simpleIOGenericIO/GGIO1$CO$SPCSO1$ctlVal");
+  append(body, tlv(0x86, {0x00, 0x00, 0x00, 0x05}));  // unsigned to a bool
+  const auto run =
+      run_armed(server, session({initiate_pdu(), confirmed(0xA5, body)}));
+  EXPECT_EQ(server.writes_accepted(), 0u);
+}
+
+TEST(Mms, WriteToReadOnlyAttributeRefused) {
+  MmsServer server;
+  Bytes body = visible_string("simpleIOGenericIO/MMXU1$MX$TotW$mag");
+  append(body, tlv(0x85, {0x00, 0x00, 0x00, 0x05}));
+  const auto run =
+      run_armed(server, session({initiate_pdu(), confirmed(0xA5, body)}));
+  EXPECT_EQ(server.writes_accepted(), 0u);
+}
+
+TEST(Mms, AccessAttributesReportsTypeAndWritability) {
+  MmsServer server;
+  const auto run = run_armed(
+      server,
+      session({initiate_pdu(),
+               confirmed(0xA6, visible_string(
+                                   "simpleIOControl/XCBR1$CO$Pos$ctlVal"))}));
+  EXPECT_FALSE(run.crashed());
+  EXPECT_GT(run.response.size(), 6u);
+}
+
+TEST(Mms, InformationReportInclusionMismatchIgnored) {
+  MmsServer server;
+  Bytes body = visible_string("urcbA");
+  append(body, tlv(0x84, {0x00, 0xC0}));  // two points included
+  append(body, tlv(0x83, {0x01}));        // but only one value
+  const auto run =
+      run_armed(server, session({initiate_pdu(), tlv(0xA3, body)}));
+  EXPECT_FALSE(run.crashed());
+}
+
+TEST(Mms, ConcludeClosesAssociation) {
+  MmsServer server;
+  const auto run =
+      run_armed(server, session({initiate_pdu(), tlv(0x8B, {})}));
+  EXPECT_FALSE(run.crashed());
+  EXPECT_FALSE(server.associated());
+}
+
+// Fuzz-style property: random inputs never fault the MMS server.
+class MmsNoFaultSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MmsNoFaultSweep, RandomBytesNeverFault) {
+  MmsServer server;
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    Bytes packet = rng.bytes(rng.below(96));
+    if (packet.size() >= 4 && rng.chance(1, 2)) {
+      packet[0] = 0x03;
+      packet[1] = 0x00;
+      packet[2] = static_cast<std::uint8_t>(packet.size() >> 8);
+      packet[3] = static_cast<std::uint8_t>(packet.size() & 0xFF);
+    }
+    const auto run = run_armed(server, packet);
+    ASSERT_FALSE(run.crashed()) << "seed " << GetParam() << " iter " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MmsNoFaultSweep, ::testing::Values(11, 12, 13));
+
+}  // namespace
+}  // namespace icsfuzz::proto

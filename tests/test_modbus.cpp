@@ -1,0 +1,264 @@
+// Behavioural tests for the Modbus/TCP stack, including the two injected
+// Table-I vulnerabilities (heap UAF in 0x17, SEGV in 0x2B).
+#include <gtest/gtest.h>
+
+#include "protocols/modbus/modbus_server.hpp"
+#include "test_support.hpp"
+
+namespace icsfuzz::proto {
+namespace {
+
+using test::run_armed;
+
+/// Builds an MBAP-framed PDU addressed to the configured unit.
+Bytes frame(Bytes pdu, std::uint8_t unit = ModbusServer::kUnitId,
+            std::uint16_t transaction = 0x0001, std::uint16_t protocol = 0) {
+  ByteWriter writer;
+  writer.write_u16(transaction, Endian::Big);
+  writer.write_u16(protocol, Endian::Big);
+  writer.write_u16(static_cast<std::uint16_t>(pdu.size() + 1), Endian::Big);
+  writer.write_u8(unit);
+  writer.write_bytes(pdu);
+  return writer.take();
+}
+
+TEST(Modbus, RuntFrameIsDropped) {
+  ModbusServer server;
+  EXPECT_TRUE(run_armed(server, Bytes{0x00, 0x01}).response.empty());
+}
+
+TEST(Modbus, WrongProtocolIdDropped) {
+  ModbusServer server;
+  const Bytes packet = frame({0x03, 0x00, 0x00, 0x00, 0x01},
+                             ModbusServer::kUnitId, 1, 0x5555);
+  EXPECT_TRUE(run_armed(server, packet).response.empty());
+}
+
+TEST(Modbus, WrongUnitIdDropped) {
+  ModbusServer server;
+  const Bytes packet = frame({0x03, 0x00, 0x00, 0x00, 0x01}, 0x55);
+  EXPECT_TRUE(run_armed(server, packet).response.empty());
+}
+
+TEST(Modbus, LengthMismatchDropped) {
+  ModbusServer server;
+  Bytes packet = frame({0x03, 0x00, 0x00, 0x00, 0x01});
+  packet[5] = static_cast<std::uint8_t>(packet[5] + 3);  // inflate MBAP length
+  EXPECT_TRUE(run_armed(server, packet).response.empty());
+}
+
+TEST(Modbus, ReadHoldingRegistersHappyPath) {
+  ModbusServer server;
+  const Bytes packet = frame({0x03, 0x00, 0x02, 0x00, 0x03});
+  const auto run = run_armed(server, packet);
+  ASSERT_FALSE(run.crashed());
+  // MBAP(7) + fc + count + 3 registers.
+  ASSERT_EQ(run.response.size(), 7u + 2u + 6u);
+  EXPECT_EQ(run.response[7], 0x03);
+  EXPECT_EQ(run.response[8], 6);  // byte count
+}
+
+TEST(Modbus, ReadEchoesTransactionId) {
+  ModbusServer server;
+  const Bytes packet = frame({0x03, 0x00, 0x00, 0x00, 0x01},
+                             ModbusServer::kUnitId, 0xBEEF);
+  const auto run = run_armed(server, packet);
+  ASSERT_GE(run.response.size(), 2u);
+  EXPECT_EQ(run.response[0], 0xBE);
+  EXPECT_EQ(run.response[1], 0xEF);
+}
+
+TEST(Modbus, ReadBeyondBankIsIllegalAddress) {
+  ModbusServer server;
+  const Bytes packet = frame({0x03, 0x00, 0x7F, 0x00, 0x10});
+  const auto run = run_armed(server, packet);
+  ASSERT_EQ(run.response.size(), 9u);
+  EXPECT_EQ(run.response[7], 0x83);  // exception fc
+  EXPECT_EQ(run.response[8], 0x02);  // illegal data address
+}
+
+TEST(Modbus, ZeroQuantityIsIllegalValue) {
+  ModbusServer server;
+  const Bytes packet = frame({0x03, 0x00, 0x00, 0x00, 0x00});
+  const auto run = run_armed(server, packet);
+  ASSERT_EQ(run.response.size(), 9u);
+  EXPECT_EQ(run.response[8], 0x03);
+}
+
+TEST(Modbus, UnknownFunctionIsIllegalFunction) {
+  ModbusServer server;
+  const Bytes packet = frame({0x55});
+  const auto run = run_armed(server, packet);
+  ASSERT_EQ(run.response.size(), 9u);
+  EXPECT_EQ(run.response[7], 0x55 | 0x80);
+  EXPECT_EQ(run.response[8], 0x01);
+}
+
+TEST(Modbus, WriteSingleCoilUpdatesState) {
+  ModbusServer server;
+  const Bytes packet = frame({0x05, 0x00, 0x07, 0xFF, 0x00});
+  server.reset();
+  san::FaultSink::arm();
+  server.process(ByteSpan(packet.data(), packet.size()));
+  (void)san::FaultSink::disarm();
+  EXPECT_TRUE(server.coil(7));
+}
+
+TEST(Modbus, WriteSingleCoilRejectsBadValue) {
+  ModbusServer server;
+  const Bytes packet = frame({0x05, 0x00, 0x07, 0x12, 0x34});
+  const auto run = run_armed(server, packet);
+  ASSERT_EQ(run.response.size(), 9u);
+  EXPECT_EQ(run.response[8], 0x03);
+}
+
+TEST(Modbus, WriteSingleRegisterEcho) {
+  ModbusServer server;
+  const Bytes packet = frame({0x06, 0x00, 0x04, 0xAB, 0xCD});
+  const auto run = run_armed(server, packet);
+  ASSERT_EQ(run.response.size(), 12u);
+  EXPECT_EQ(Bytes(run.response.begin() + 7, run.response.end()),
+            (Bytes{0x06, 0x00, 0x04, 0xAB, 0xCD}));
+}
+
+TEST(Modbus, WriteMultipleRegistersValidatesByteCount) {
+  ModbusServer server;
+  // quantity 2 but byte count 3: invalid.
+  const Bytes bad = frame({0x10, 0x00, 0x00, 0x00, 0x02, 0x03, 1, 2, 3});
+  const auto run = run_armed(server, bad);
+  ASSERT_EQ(run.response.size(), 9u);
+  EXPECT_EQ(run.response[8], 0x03);
+}
+
+TEST(Modbus, WriteMultipleRegistersStoresValues) {
+  ModbusServer server;
+  const Bytes packet =
+      frame({0x10, 0x00, 0x05, 0x00, 0x02, 0x04, 0x11, 0x22, 0x33, 0x44});
+  server.reset();
+  san::FaultSink::arm();
+  server.process(ByteSpan(packet.data(), packet.size()));
+  (void)san::FaultSink::disarm();
+  EXPECT_EQ(server.holding_register(5), 0x1122);
+  EXPECT_EQ(server.holding_register(6), 0x3344);
+}
+
+TEST(Modbus, MaskWriteAppliesMasks) {
+  ModbusServer server;
+  // Set register 3 to 0xFFFF first, then mask.
+  const Bytes set_reg = frame({0x06, 0x00, 0x03, 0xFF, 0xFF});
+  const Bytes mask = frame({0x16, 0x00, 0x03, 0x0F, 0x0F, 0xF0, 0x00});
+  server.reset();
+  san::FaultSink::arm();
+  server.process(ByteSpan(set_reg.data(), set_reg.size()));
+  (void)san::FaultSink::disarm();
+  san::FaultSink::arm();
+  // Note process() resets nothing itself; reuse the same server instance.
+  server.process(ByteSpan(mask.data(), mask.size()));
+  (void)san::FaultSink::disarm();
+  // (FFFF & 0F0F) | (F000 & ~0F0F) = 0F0F | F000 = FF0F.
+  EXPECT_EQ(server.holding_register(3), 0xFF0F);
+}
+
+TEST(Modbus, StreamProcessesMultipleFrames) {
+  ModbusServer server;
+  Bytes stream = frame({0x03, 0x00, 0x00, 0x00, 0x01});
+  const Bytes second = frame({0x06, 0x00, 0x01, 0x00, 0x10});
+  append(stream, second);
+  const auto run = run_armed(server, stream);
+  // Two responses concatenated: read (MBAP 7 + fc + count + 2 data = 11
+  // bytes) + write echo (MBAP 7 + fc + addr + value = 12 bytes).
+  EXPECT_EQ(run.response.size(), 23u);
+}
+
+TEST(Modbus, StreamStopsAtPartialFrame) {
+  ModbusServer server;
+  Bytes stream = frame({0x03, 0x00, 0x00, 0x00, 0x01});
+  stream.push_back(0x00);  // half a header
+  const auto run = run_armed(server, stream);
+  EXPECT_EQ(run.response.size(), 11u);  // only the complete read answered
+}
+
+// ------------------------------------------------- Injected vulnerabilities
+
+TEST(ModbusBug, ReadWriteMultipleZeroWriteIsUseAfterFree) {
+  ModbusServer server;
+  // fc 0x17: read addr 0 qty 2; write addr 0 qty 0, byte count 0 — slips
+  // past the missing lower-bound check and frees the scratch early.
+  const Bytes packet =
+      frame({0x17, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00});
+  const auto run = run_armed(server, packet);
+  ASSERT_TRUE(run.crashed());
+  EXPECT_TRUE(run.crashed_with(san::FaultKind::HeapUseAfterFree));
+}
+
+TEST(ModbusBug, ReadWriteMultipleWithWritesIsClean) {
+  ModbusServer server;
+  const Bytes packet = frame(
+      {0x17, 0x00, 0x00, 0x00, 0x02, 0x00, 0x08, 0x00, 0x01, 0x02, 0xAA, 0xBB});
+  const auto run = run_armed(server, packet);
+  EXPECT_FALSE(run.crashed());
+  ASSERT_GE(run.response.size(), 9u);
+  EXPECT_EQ(run.response[7], 0x17);
+  EXPECT_EQ(server.holding_register(8), 0xAABB);
+}
+
+TEST(ModbusBug, DeviceIdIndividualAccessOobIsSegv) {
+  ModbusServer server;
+  // MEI 0x0E, ReadDevId 0x04 (individual), object id 9 (table has 3).
+  const Bytes packet = frame({0x2B, 0x0E, 0x04, 0x09});
+  const auto run = run_armed(server, packet);
+  ASSERT_TRUE(run.crashed());
+  EXPECT_TRUE(run.crashed_with(san::FaultKind::Segv));
+}
+
+TEST(ModbusBug, DeviceIdValidObjectIsClean) {
+  ModbusServer server;
+  const Bytes packet = frame({0x2B, 0x0E, 0x04, 0x01});
+  const auto run = run_armed(server, packet);
+  EXPECT_FALSE(run.crashed());
+  EXPECT_FALSE(run.response.empty());
+}
+
+TEST(ModbusBug, DeviceIdStreamAccessIsCleanForAnyObject) {
+  ModbusServer server;
+  for (std::uint8_t object = 0; object < 16; ++object) {
+    const Bytes packet = frame({0x2B, 0x0E, 0x01, object});
+    const auto run = run_armed(server, packet);
+    EXPECT_FALSE(run.crashed()) << "object " << int(object);
+  }
+}
+
+// Property sweep: every in-range read function never faults for any valid
+// address/quantity combination boundary.
+struct ReadCase {
+  std::uint8_t function;
+  std::uint16_t address;
+  std::uint16_t quantity;
+};
+
+class ModbusReadSweep : public ::testing::TestWithParam<ReadCase> {};
+
+TEST_P(ModbusReadSweep, ValidReadsNeverFault) {
+  const ReadCase& param = GetParam();
+  ModbusServer server;
+  const Bytes packet = frame({param.function,
+                              static_cast<std::uint8_t>(param.address >> 8),
+                              static_cast<std::uint8_t>(param.address & 0xFF),
+                              static_cast<std::uint8_t>(param.quantity >> 8),
+                              static_cast<std::uint8_t>(param.quantity & 0xFF)});
+  const auto run = run_armed(server, packet);
+  EXPECT_FALSE(run.crashed());
+  ASSERT_GE(run.response.size(), 8u);
+  EXPECT_EQ(run.response[7], param.function);  // not an exception
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, ModbusReadSweep,
+    ::testing::Values(ReadCase{0x01, 0, 1}, ReadCase{0x01, 0, 128},
+                      ReadCase{0x01, 127, 1}, ReadCase{0x02, 0, 64},
+                      ReadCase{0x03, 0, 1}, ReadCase{0x03, 0, 125},
+                      ReadCase{0x03, 127, 1}, ReadCase{0x04, 64, 64},
+                      ReadCase{0x04, 0, 100}));
+
+}  // namespace
+}  // namespace icsfuzz::proto

@@ -1,0 +1,300 @@
+// Unit tests for src/model: chunk construction rules and their identity
+// keys, relations, fixups, and data-model validation.
+#include <gtest/gtest.h>
+
+#include "model/data_model.hpp"
+
+namespace icsfuzz::model {
+namespace {
+
+NumberSpec u16be(std::uint64_t default_value = 0) {
+  NumberSpec spec;
+  spec.width = 2;
+  spec.endian = Endian::Big;
+  spec.default_value = default_value;
+  return spec;
+}
+
+// ------------------------------------------------------------------- Chunks
+
+TEST(Chunk, FactoriesSetKindAndName) {
+  EXPECT_EQ(Chunk::number("n", u16be()).kind(), ChunkKind::Number);
+  EXPECT_EQ(Chunk::string("s", {}).kind(), ChunkKind::String);
+  EXPECT_EQ(Chunk::blob("b", {}).kind(), ChunkKind::Blob);
+  EXPECT_EQ(Chunk::block("blk", {Chunk::blob("x", {})}).kind(), ChunkKind::Block);
+  EXPECT_EQ(Chunk::choice("ch", {Chunk::blob("y", {})}).kind(), ChunkKind::Choice);
+  EXPECT_EQ(Chunk::number("n", u16be()).name(), "n");
+}
+
+TEST(Chunk, TokenFactorySetsTokenAndLegalValue) {
+  const Chunk token = Chunk::token("t", 2, Endian::Big, 0x1234);
+  EXPECT_TRUE(token.number_spec().is_token);
+  EXPECT_EQ(token.number_spec().default_value, 0x1234u);
+  ASSERT_EQ(token.number_spec().legal_values.size(), 1u);
+}
+
+TEST(Chunk, WidthClampedToValidRange) {
+  NumberSpec zero;
+  zero.width = 0;
+  EXPECT_EQ(Chunk::number("z", zero).number_spec().width, 1u);
+  NumberSpec wide;
+  wide.width = 20;
+  EXPECT_EQ(Chunk::number("w", wide).number_spec().width, 8u);
+}
+
+TEST(Chunk, TagDefaultsToNameAndIsOverridable) {
+  Chunk chunk = Chunk::number("Addr", u16be());
+  EXPECT_EQ(chunk.tag(), "Addr");
+  chunk.with_tag("mb-addr");
+  EXPECT_EQ(chunk.tag(), "mb-addr");
+}
+
+TEST(Chunk, RuleKeySharedAcrossModelsViaTag) {
+  // The paper's cross-packet-type similarity: same shape + same tag.
+  Chunk a = Chunk::number("ReadCoils.Address", u16be());
+  a.with_tag("mb-addr");
+  Chunk b = Chunk::number("WriteSingleCoil.Address", u16be());
+  b.with_tag("mb-addr");
+  EXPECT_EQ(a.rule_key(), b.rule_key());
+}
+
+TEST(Chunk, RuleKeyDiffersByTag) {
+  Chunk a = Chunk::number("x", u16be());
+  a.with_tag("one");
+  Chunk b = Chunk::number("x", u16be());
+  b.with_tag("two");
+  EXPECT_NE(a.rule_key(), b.rule_key());
+}
+
+TEST(Chunk, ShapeKeyIgnoresTagButNotWidth) {
+  Chunk a = Chunk::number("a", u16be());
+  a.with_tag("one");
+  Chunk b = Chunk::number("b", u16be());
+  b.with_tag("two");
+  EXPECT_EQ(a.shape_key(), b.shape_key());
+
+  NumberSpec u8;
+  u8.width = 1;
+  Chunk c = Chunk::number("c", u8);
+  EXPECT_NE(a.shape_key(), c.shape_key());
+}
+
+TEST(Chunk, ShapeKeySensitiveToEndianness) {
+  NumberSpec le = u16be();
+  le.endian = Endian::Little;
+  EXPECT_NE(Chunk::number("a", u16be()).shape_key(),
+            Chunk::number("a", le).shape_key());
+}
+
+TEST(Chunk, RelationChangesRuleKey) {
+  Chunk plain = Chunk::number("len", u16be());
+  Chunk related = Chunk::number("len", u16be());
+  related.with_relation(Relation{RelationKind::SizeOf, "body", 1, 0});
+  EXPECT_NE(plain.rule_key(), related.rule_key());
+}
+
+TEST(Chunk, FixupChangesRuleKey) {
+  Chunk plain = Chunk::number("crc", u16be());
+  Chunk fixed = Chunk::number("crc", u16be());
+  fixed.with_fixup(Fixup{FixupKind::Crc16Modbus, "body"});
+  EXPECT_NE(plain.rule_key(), fixed.rule_key());
+}
+
+TEST(Chunk, FixedWidthComputation) {
+  EXPECT_EQ(Chunk::number("n", u16be()).fixed_width(), 2u);
+  StringSpec fixed_string;
+  fixed_string.length = 5;
+  EXPECT_EQ(Chunk::string("s", fixed_string).fixed_width(), 5u);
+  StringSpec terminated = fixed_string;
+  terminated.null_terminated = true;
+  EXPECT_EQ(Chunk::string("s", terminated).fixed_width(), 6u);
+  EXPECT_FALSE(Chunk::blob("b", {}).fixed_width().has_value());
+  BlobSpec sized;
+  sized.length = 3;
+  EXPECT_EQ(Chunk::blob("b", sized).fixed_width(), 3u);
+}
+
+TEST(Chunk, BlockFixedWidthSumsChildren) {
+  Chunk block = Chunk::block(
+      "blk", {Chunk::number("a", u16be()), Chunk::number("b", u16be())});
+  EXPECT_EQ(block.fixed_width(), 4u);
+  Chunk variable = Chunk::block("blk2", {Chunk::number("a", u16be()),
+                                         Chunk::blob("rest", {})});
+  EXPECT_FALSE(variable.fixed_width().has_value());
+}
+
+TEST(Chunk, FindLocatesNestedChunk) {
+  Chunk tree = Chunk::block(
+      "root", {Chunk::block("inner", {Chunk::number("deep", u16be())})});
+  ASSERT_NE(tree.find("deep"), nullptr);
+  EXPECT_EQ(tree.find("deep")->name(), "deep");
+  EXPECT_EQ(tree.find("absent"), nullptr);
+}
+
+TEST(Chunk, NodeCountCountsSubtree) {
+  Chunk tree = Chunk::block(
+      "root", {Chunk::block("inner", {Chunk::number("deep", u16be())})});
+  EXPECT_EQ(tree.node_count(), 3u);
+}
+
+// ----------------------------------------------------------------- Relations
+
+TEST(Relation, SizeOfValue) {
+  const Relation rel{RelationKind::SizeOf, "t", 1, 0};
+  EXPECT_EQ(relation_value(rel, 10), 10u);
+}
+
+TEST(Relation, SizeOfWithBias) {
+  const Relation rel{RelationKind::SizeOf, "t", 1, 4};
+  EXPECT_EQ(relation_value(rel, 10), 14u);
+}
+
+TEST(Relation, NegativeBiasClampsAtZero) {
+  const Relation rel{RelationKind::SizeOf, "t", 1, -20};
+  EXPECT_EQ(relation_value(rel, 10), 0u);
+}
+
+TEST(Relation, CountOfDividesByUnit) {
+  const Relation rel{RelationKind::CountOf, "t", 2, 0};
+  EXPECT_EQ(relation_value(rel, 10), 5u);
+}
+
+TEST(Relation, CountOfZeroUnitTreatedAsOne) {
+  const Relation rel{RelationKind::CountOf, "t", 0, 0};
+  EXPECT_EQ(relation_value(rel, 3), 3u);
+}
+
+TEST(Relation, KindParsing) {
+  EXPECT_EQ(relation_kind_from_string("sizeof"), RelationKind::SizeOf);
+  EXPECT_EQ(relation_kind_from_string("CountOf"), RelationKind::CountOf);
+  EXPECT_EQ(relation_kind_from_string("bogus"), RelationKind::None);
+  EXPECT_EQ(to_string(RelationKind::SizeOf), "sizeof");
+}
+
+// -------------------------------------------------------------------- Fixups
+
+TEST(Fixup, WidthsMatchAlgorithms) {
+  EXPECT_EQ(fixup_width(FixupKind::Crc32), 4u);
+  EXPECT_EQ(fixup_width(FixupKind::Crc16Modbus), 2u);
+  EXPECT_EQ(fixup_width(FixupKind::CrcDnp3), 2u);
+  EXPECT_EQ(fixup_width(FixupKind::Lrc8), 1u);
+  EXPECT_EQ(fixup_width(FixupKind::Sum8), 1u);
+  EXPECT_EQ(fixup_width(FixupKind::Fletcher16), 2u);
+  EXPECT_EQ(fixup_width(FixupKind::None), 0u);
+}
+
+TEST(Fixup, ClassNameParsing) {
+  EXPECT_EQ(fixup_kind_from_string("Crc32Fixup"), FixupKind::Crc32);
+  EXPECT_EQ(fixup_kind_from_string("crc16modbus"), FixupKind::Crc16Modbus);
+  EXPECT_EQ(fixup_kind_from_string("CrcDnp3Fixup"), FixupKind::CrcDnp3);
+  EXPECT_EQ(fixup_kind_from_string("nope"), FixupKind::None);
+}
+
+TEST(Fixup, ValueMatchesChecksumFunctions) {
+  const Bytes data = to_bytes("123456789");
+  EXPECT_EQ(fixup_value(FixupKind::Crc32, data), 0xCBF43926u);
+  EXPECT_EQ(fixup_value(FixupKind::Crc16Modbus, data), 0x4B37u);
+}
+
+// --------------------------------------------------------------- DataModel
+
+DataModel make_valid_model() {
+  std::vector<Chunk> fields;
+  fields.push_back(Chunk::token("Magic", 2, Endian::Big, 0xABCD));
+  Chunk length = Chunk::number("Length", NumberSpec{.width = 2});
+  length.with_relation(Relation{RelationKind::SizeOf, "Body", 1, 0});
+  fields.push_back(std::move(length));
+  fields.push_back(Chunk::block(
+      "Body", {Chunk::number("A", NumberSpec{.width = 1}),
+               Chunk::blob("Rest", {})}));
+  Chunk crc = Chunk::number("Crc", NumberSpec{.width = 4});
+  crc.with_fixup(Fixup{FixupKind::Crc32, "Body"});
+  fields.push_back(std::move(crc));
+  return DataModel("M", Chunk::block("root", std::move(fields)));
+}
+
+TEST(DataModel, ValidModelPasses) {
+  EXPECT_FALSE(make_valid_model().validate().has_value());
+}
+
+TEST(DataModel, LinearIsTopLevelFieldOrder) {
+  const DataModel model = make_valid_model();
+  const auto linear = model.linear();
+  ASSERT_EQ(linear.size(), 4u);
+  EXPECT_EQ(linear[0]->name(), "Magic");
+  EXPECT_EQ(linear[3]->name(), "Crc");
+}
+
+TEST(DataModel, LeavesAreWireOrder) {
+  const DataModel model = make_valid_model();
+  const auto leaves = model.leaves();
+  ASSERT_EQ(leaves.size(), 5u);
+  EXPECT_EQ(leaves[2]->name(), "A");
+  EXPECT_EQ(leaves[3]->name(), "Rest");
+}
+
+TEST(DataModel, FindAndRelationSource) {
+  const DataModel model = make_valid_model();
+  EXPECT_NE(model.find("Rest"), nullptr);
+  const Chunk* source = model.relation_source_for("Body");
+  ASSERT_NE(source, nullptr);
+  EXPECT_EQ(source->name(), "Length");
+  EXPECT_EQ(model.relation_source_for("Magic"), nullptr);
+}
+
+TEST(DataModel, DuplicateNamesRejected) {
+  DataModel model("dup", Chunk::block("root", {Chunk::blob("x", {}),
+                                               Chunk::blob("x", {})}));
+  const auto error = model.validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("duplicate"), std::string::npos);
+}
+
+TEST(DataModel, DanglingRelationRejected) {
+  Chunk length = Chunk::number("len", NumberSpec{.width = 1});
+  length.with_relation(Relation{RelationKind::SizeOf, "ghost", 1, 0});
+  DataModel model("m", Chunk::block("root", {std::move(length)}));
+  const auto error = model.validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("ghost"), std::string::npos);
+}
+
+TEST(DataModel, DanglingFixupRejected) {
+  Chunk crc = Chunk::number("crc", NumberSpec{.width = 2});
+  crc.with_fixup(Fixup{FixupKind::Crc16Modbus, "ghost"});
+  DataModel model("m", Chunk::block("root", {std::move(crc)}));
+  EXPECT_TRUE(model.validate().has_value());
+}
+
+TEST(DataModel, EmptyCompositeRejected) {
+  DataModel model("m", Chunk::block("root", {Chunk::block("empty", {})}));
+  EXPECT_TRUE(model.validate().has_value());
+}
+
+TEST(DataModel, OpcodeMetadata) {
+  DataModel model = make_valid_model();
+  EXPECT_FALSE(model.opcode().has_value());
+  model.set_opcode(6);
+  EXPECT_EQ(model.opcode(), 6u);
+}
+
+TEST(DataModelSet, FindByNameAndValidate) {
+  DataModelSet set;
+  set.add(make_valid_model());
+  EXPECT_NE(set.find("M"), nullptr);
+  EXPECT_EQ(set.find("absent"), nullptr);
+  EXPECT_FALSE(set.validate().has_value());
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(DataModelSet, ValidateNamesOffendingModel) {
+  DataModelSet set;
+  set.add(DataModel("bad", Chunk::block("root", {Chunk::blob("x", {}),
+                                                 Chunk::blob("x", {})})));
+  const auto error = set.validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("bad"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace icsfuzz::model

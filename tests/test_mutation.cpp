@@ -1,0 +1,200 @@
+// Tests for the Peach-style mutators: mode mix, width discipline, token
+// preservation and the byte-level operators.
+#include <gtest/gtest.h>
+
+#include "mutation/mutator.hpp"
+
+namespace icsfuzz::mutation {
+namespace {
+
+using model::BlobSpec;
+using model::Chunk;
+using model::NumberSpec;
+using model::StringSpec;
+
+TEST(NumberGeneration, RespectsWidthMask) {
+  MutatorSuite suite;
+  Rng rng(1);
+  NumberSpec spec;
+  spec.width = 1;
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LE(suite.generate_number_value(spec, rng), 0xFFu);
+  }
+}
+
+TEST(NumberGeneration, DefaultAppearsWithConfiguredFrequency) {
+  MutatorConfig config;
+  config.default_value_pct = 100;
+  config.legal_value_pct = 0;
+  config.boundary_pct = 0;
+  MutatorSuite suite(config);
+  Rng rng(2);
+  NumberSpec spec;
+  spec.width = 2;
+  spec.default_value = 0x1234;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(suite.generate_number_value(spec, rng), 0x1234u);
+  }
+}
+
+TEST(NumberGeneration, LegalValuesDominateWhenConfigured) {
+  MutatorConfig config;
+  config.default_value_pct = 0;
+  config.legal_value_pct = 100;
+  config.boundary_pct = 0;
+  MutatorSuite suite(config);
+  Rng rng(3);
+  NumberSpec spec;
+  spec.width = 2;
+  spec.legal_values = {5, 6, 7};
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = suite.generate_number_value(spec, rng);
+    EXPECT_TRUE(v == 5 || v == 6 || v == 7) << v;
+  }
+}
+
+TEST(NumberGeneration, RandomModeExploresWidely) {
+  MutatorConfig config;
+  config.default_value_pct = 0;
+  config.legal_value_pct = 0;
+  config.boundary_pct = 0;
+  MutatorSuite suite(config);
+  Rng rng(4);
+  NumberSpec spec;
+  spec.width = 2;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(suite.generate_number_value(spec, rng));
+  EXPECT_GT(seen.size(), 100u);
+}
+
+TEST(LeafGeneration, TokenContentIsAlwaysDefault) {
+  MutatorSuite suite;
+  Rng rng(5);
+  const Chunk token = Chunk::token("t", 2, Endian::Big, 0xBEEF);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(suite.generate_leaf(token, rng), (Bytes{0xBE, 0xEF}));
+  }
+}
+
+TEST(LeafGeneration, NumberWidthAlwaysExact) {
+  MutatorSuite suite;
+  Rng rng(6);
+  NumberSpec spec;
+  spec.width = 4;
+  const Chunk chunk = Chunk::number("n", spec);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(suite.generate_leaf(chunk, rng).size(), 4u);
+  }
+}
+
+TEST(LeafGeneration, FixedStringKeepsLength) {
+  MutatorSuite suite;
+  Rng rng(7);
+  StringSpec spec;
+  spec.length = 6;
+  const Chunk chunk = Chunk::string("s", spec);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(suite.generate_leaf(chunk, rng).size(), 6u);
+  }
+}
+
+TEST(LeafGeneration, NullTerminatedStringEndsWithNul) {
+  MutatorConfig config;
+  config.post_mutate_pct = 0;  // keep the terminator intact
+  MutatorSuite suite(config);
+  Rng rng(8);
+  StringSpec spec;
+  spec.null_terminated = true;
+  spec.max_generated = 8;
+  const Chunk chunk = Chunk::string("s", spec);
+  for (int i = 0; i < 200; ++i) {
+    const Bytes out = suite.generate_leaf(chunk, rng);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out.back(), 0);
+  }
+}
+
+TEST(LeafGeneration, VariableBlobHonoursCapAndUnit) {
+  MutatorConfig config;
+  config.post_mutate_pct = 0;
+  MutatorSuite suite(config);
+  Rng rng(9);
+  BlobSpec spec;
+  spec.max_generated = 12;
+  spec.unit = 3;
+  const Chunk chunk = Chunk::blob("b", spec);
+  for (int i = 0; i < 300; ++i) {
+    const Bytes out = suite.generate_leaf(chunk, rng);
+    EXPECT_LE(out.size(), 12u);
+    EXPECT_EQ(out.size() % 3, 0u);
+  }
+}
+
+TEST(LeafGeneration, FixedBlobKeepsLength) {
+  MutatorSuite suite;
+  Rng rng(10);
+  BlobSpec spec;
+  spec.length = 7;
+  const Chunk chunk = Chunk::blob("b", spec);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(suite.generate_leaf(chunk, rng).size(), 7u);
+  }
+}
+
+TEST(LeafGeneration, CompositeChunksProduceNothing) {
+  MutatorSuite suite;
+  Rng rng(11);
+  const Chunk block = Chunk::block("blk", {Chunk::blob("x", {})});
+  EXPECT_TRUE(suite.generate_leaf(block, rng).empty());
+}
+
+TEST(MutateBytes, ProducesVariants) {
+  MutatorSuite suite;
+  Rng rng(12);
+  const Bytes input{1, 2, 3, 4, 5, 6, 7, 8};
+  int changed = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (suite.mutate_bytes(input, rng) != input) ++changed;
+  }
+  EXPECT_GT(changed, 80);
+}
+
+TEST(MutateBytes, HandlesEmptyInput) {
+  MutatorSuite suite;
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const Bytes out = suite.mutate_bytes(Bytes{}, rng);
+    EXPECT_LE(out.size(), 1u);  // only the insert operator can grow it
+  }
+}
+
+TEST(MutateBytes, SizeStaysBounded) {
+  MutatorSuite suite;
+  Rng rng(14);
+  const Bytes input(16, 0xAA);
+  for (int i = 0; i < 300; ++i) {
+    const Bytes out = suite.mutate_bytes(input, rng);
+    EXPECT_GE(out.size(), 8u);   // remove caps at 8 bytes
+    EXPECT_LE(out.size(), 24u);  // duplicate caps at 8 bytes
+  }
+}
+
+// Property sweep: leaf generation must stay within each width 1..8.
+class NumberWidthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NumberWidthSweep, EncodedWidthMatchesSpec) {
+  MutatorSuite suite;
+  Rng rng(GetParam());
+  NumberSpec spec;
+  spec.width = GetParam();
+  const Chunk chunk = Chunk::number("n", spec);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(suite.generate_leaf(chunk, rng).size(), GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, NumberWidthSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace icsfuzz::mutation

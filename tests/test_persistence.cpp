@@ -1,0 +1,106 @@
+// Tests for session persistence: save/load round-trips of crash
+// reproducers and retained seeds, plus replayability of reloaded crashes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "fuzzer/executor.hpp"
+#include "fuzzer/persistence.hpp"
+#include "pits/pits.hpp"
+#include "protocols/lib60870/cs101_server.hpp"
+#include "protocols/modbus/modbus_server.hpp"
+
+namespace icsfuzz::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SessionDir {
+ public:
+  SessionDir() {
+    path_ = fs::temp_directory_path() /
+            ("icsfuzz-test-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter_++));
+  }
+  ~SessionDir() {
+    std::error_code error;
+    fs::remove_all(path_, error);
+  }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path path_;
+};
+
+Fuzzer fuzz_cs101(std::uint64_t iterations) {
+  static proto::Cs101Server server;  // reset() by every execution
+  static const model::DataModelSet models = pits::cs101_pit();
+  FuzzerConfig config;
+  config.strategy = Strategy::PeachStar;
+  config.rng_seed = 5;
+  Fuzzer fuzzer(server, models, config);
+  fuzzer.run(iterations);
+  return fuzzer;
+}
+
+TEST(Persistence, SaveCreatesLayout) {
+  SessionDir dir;
+  Fuzzer fuzzer = fuzz_cs101(8000);
+  const auto error = save_session(fuzzer, dir.str());
+  ASSERT_FALSE(error.has_value()) << *error;
+  EXPECT_TRUE(fs::exists(fs::path(dir.str()) / "stats.csv"));
+  EXPECT_TRUE(fs::exists(fs::path(dir.str()) / "summary.txt"));
+  EXPECT_TRUE(fs::is_directory(fs::path(dir.str()) / "crashes"));
+  EXPECT_TRUE(fs::is_directory(fs::path(dir.str()) / "seeds"));
+}
+
+TEST(Persistence, SeedsRoundTrip) {
+  SessionDir dir;
+  Fuzzer fuzzer = fuzz_cs101(5000);
+  ASSERT_FALSE(save_session(fuzzer, dir.str()).has_value());
+  const std::vector<Bytes> seeds = load_seeds(dir.str());
+  ASSERT_EQ(seeds.size(), fuzzer.retained_seeds().size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(seeds[i], fuzzer.retained_seeds()[i].bytes) << i;
+  }
+}
+
+TEST(Persistence, CrashesRoundTripAndReplay) {
+  SessionDir dir;
+  Fuzzer fuzzer = fuzz_cs101(25000);
+  ASSERT_GT(fuzzer.crashes().unique_count(), 0u);
+  ASSERT_FALSE(save_session(fuzzer, dir.str()).has_value());
+
+  const std::vector<LoadedCrash> crashes = load_crashes(dir.str());
+  ASSERT_EQ(crashes.size(), fuzzer.crashes().unique_count());
+  for (const LoadedCrash& crash : crashes) {
+    proto::Cs101Server replay_server;
+    Executor executor;
+    const ExecResult result = executor.run(replay_server, crash.reproducer);
+    EXPECT_TRUE(result.crashed()) << crash.file_stem;
+  }
+}
+
+TEST(Persistence, SummaryMentionsKeyNumbers) {
+  Fuzzer fuzzer = fuzz_cs101(3000);
+  const std::string summary = render_summary(fuzzer);
+  EXPECT_NE(summary.find("Peach*"), std::string::npos);
+  EXPECT_NE(summary.find("paths covered"), std::string::npos);
+  EXPECT_NE(summary.find(std::to_string(fuzzer.path_count())),
+            std::string::npos);
+}
+
+TEST(Persistence, LoadFromMissingDirectoryIsEmpty) {
+  EXPECT_TRUE(load_crashes("/nonexistent/session").empty());
+  EXPECT_TRUE(load_seeds("/nonexistent/session").empty());
+}
+
+TEST(Persistence, SaveToUnwritablePathFails) {
+  Fuzzer fuzzer = fuzz_cs101(100);
+  const auto error = save_session(fuzzer, "/proc/definitely/not/writable");
+  EXPECT_TRUE(error.has_value());
+}
+
+}  // namespace
+}  // namespace icsfuzz::fuzz

@@ -1,0 +1,186 @@
+// Unit tests for src/sanitizer: the fault sink's arm/disarm/first-fault
+// semantics and the guarded memory wrappers' ASan-like detections.
+#include <gtest/gtest.h>
+
+#include "sanitizer/fault.hpp"
+#include "sanitizer/guard.hpp"
+
+namespace icsfuzz::san {
+namespace {
+
+TEST(FaultSink, UnarmedRaiseIsDropped) {
+  (void)FaultSink::disarm();  // make sure we are disarmed
+  FaultSink::raise(FaultKind::Segv, 1, "dropped");
+  EXPECT_FALSE(FaultSink::tripped());
+  EXPECT_TRUE(FaultSink::disarm().empty());
+}
+
+TEST(FaultSink, ArmedRaiseIsCollected) {
+  FaultSink::arm();
+  FaultSink::raise(FaultKind::Segv, 7, "boom");
+  EXPECT_TRUE(FaultSink::tripped());
+  const auto faults = FaultSink::disarm();
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].kind, FaultKind::Segv);
+  EXPECT_EQ(faults[0].site, 7u);
+  EXPECT_EQ(faults[0].detail, "boom");
+}
+
+TEST(FaultSink, OnlyFirstFaultSurvives) {
+  FaultSink::arm();
+  FaultSink::raise(FaultKind::Segv, 1, "first");
+  FaultSink::raise(FaultKind::HeapBufferOverflow, 2, "second");
+  const auto faults = FaultSink::disarm();
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].site, 1u);
+}
+
+TEST(FaultSink, RearmClearsPreviousExecution) {
+  FaultSink::arm();
+  FaultSink::raise(FaultKind::Segv, 1, "x");
+  FaultSink::arm();
+  EXPECT_FALSE(FaultSink::tripped());
+  EXPECT_TRUE(FaultSink::disarm().empty());
+}
+
+TEST(FaultKindNames, MatchTableOneWording) {
+  EXPECT_EQ(to_string(FaultKind::Segv), "SEGV");
+  EXPECT_EQ(to_string(FaultKind::HeapUseAfterFree), "Heap Use after Free");
+  EXPECT_EQ(to_string(FaultKind::HeapBufferOverflow), "Heap Buffer Overflow");
+  EXPECT_EQ(to_string(FaultKind::Hang), "Hang");
+}
+
+TEST(SiteId, StableAndDistinct) {
+  constexpr std::uint32_t a = site_id("cs101-getcot-oob");
+  constexpr std::uint32_t b = site_id("cs101-seq-oob");
+  static_assert(a != b);
+  EXPECT_EQ(site_id("cs101-getcot-oob"), a);
+}
+
+// ---------------------------------------------------------------- GuardedSpan
+
+TEST(GuardedSpan, InBoundsReadsAreClean) {
+  const Bytes data{10, 20, 30};
+  FaultSink::arm();
+  GuardedSpan span(data, 1, "test span");
+  EXPECT_EQ(span.at(0), 10);
+  EXPECT_EQ(span.at(2), 30);
+  EXPECT_EQ(span.load_u16be(0), 0x0A14);
+  EXPECT_FALSE(FaultSink::tripped());
+  (void)FaultSink::disarm();
+}
+
+TEST(GuardedSpan, OutOfBoundsRaisesSegv) {
+  const Bytes data{1, 2};
+  FaultSink::arm();
+  GuardedSpan span(data, 99, "oob span");
+  EXPECT_EQ(span.at(2), 0);
+  const auto faults = FaultSink::disarm();
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].kind, FaultKind::Segv);
+  EXPECT_EQ(faults[0].site, 99u);
+  EXPECT_NE(faults[0].detail.find("index 2"), std::string::npos);
+}
+
+TEST(GuardedSpan, EmptySpanAnyAccessFaults) {
+  const Bytes data;
+  FaultSink::arm();
+  GuardedSpan span(data, 5, "empty");
+  (void)span.at(0);
+  EXPECT_TRUE(FaultSink::tripped());
+  (void)FaultSink::disarm();
+}
+
+TEST(GuardedSpan, U16StraddlingEndFaults) {
+  const Bytes data{0xAA};
+  FaultSink::arm();
+  GuardedSpan span(data, 5, "straddle");
+  (void)span.load_u16be(0);  // second byte is out of bounds
+  EXPECT_TRUE(FaultSink::tripped());
+  (void)FaultSink::disarm();
+}
+
+// --------------------------------------------------------------- GuardedAlloc
+
+TEST(GuardedAlloc, ReadWriteWithinBounds) {
+  FaultSink::arm();
+  GuardedAlloc alloc(4, 1, "buf");
+  alloc.write(0, 0xAA);
+  alloc.write(3, 0xBB);
+  EXPECT_EQ(alloc.read(0), 0xAA);
+  EXPECT_EQ(alloc.read(3), 0xBB);
+  EXPECT_FALSE(FaultSink::tripped());
+  (void)FaultSink::disarm();
+}
+
+TEST(GuardedAlloc, WritePastEndIsHeapBufferOverflow) {
+  FaultSink::arm();
+  GuardedAlloc alloc(4, 2, "buf");
+  alloc.write(4, 0xCC);
+  const auto faults = FaultSink::disarm();
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].kind, FaultKind::HeapBufferOverflow);
+}
+
+TEST(GuardedAlloc, ReadPastEndIsSegv) {
+  FaultSink::arm();
+  GuardedAlloc alloc(4, 3, "buf");
+  (void)alloc.read(9);
+  const auto faults = FaultSink::disarm();
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].kind, FaultKind::Segv);
+}
+
+TEST(GuardedAlloc, UseAfterFreeOnRead) {
+  FaultSink::arm();
+  GuardedAlloc alloc(4, 4, "buf");
+  alloc.free();
+  (void)alloc.read(0);
+  const auto faults = FaultSink::disarm();
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].kind, FaultKind::HeapUseAfterFree);
+}
+
+TEST(GuardedAlloc, UseAfterFreeOnWrite) {
+  FaultSink::arm();
+  GuardedAlloc alloc(4, 5, "buf");
+  alloc.free();
+  alloc.write(0, 1);
+  const auto faults = FaultSink::disarm();
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].kind, FaultKind::HeapUseAfterFree);
+}
+
+TEST(GuardedAlloc, DoubleFreeIsUseAfterFree) {
+  FaultSink::arm();
+  GuardedAlloc alloc(4, 6, "buf");
+  alloc.free();
+  alloc.free();
+  const auto faults = FaultSink::disarm();
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].kind, FaultKind::HeapUseAfterFree);
+}
+
+TEST(GuardedAlloc, BulkWriteStopsAtFirstFault) {
+  FaultSink::arm();
+  GuardedAlloc alloc(2, 7, "buf");
+  const Bytes data{1, 2, 3, 4};
+  alloc.write_bytes(0, data);
+  const auto faults = FaultSink::disarm();
+  ASSERT_EQ(faults.size(), 1u);  // first-fault rule
+  EXPECT_EQ(faults[0].kind, FaultKind::HeapBufferOverflow);
+  EXPECT_EQ(alloc.storage()[0], 1);
+  EXPECT_EQ(alloc.storage()[1], 2);
+}
+
+TEST(GuardedAlloc, FreedFlagIsObservable) {
+  FaultSink::arm();
+  GuardedAlloc alloc(1, 8, "buf");
+  EXPECT_FALSE(alloc.freed());
+  alloc.free();
+  EXPECT_TRUE(alloc.freed());
+  (void)FaultSink::disarm();
+}
+
+}  // namespace
+}  // namespace icsfuzz::san

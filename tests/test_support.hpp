@@ -1,0 +1,45 @@
+// Shared helpers for the icsfuzz test suite.
+#pragma once
+
+#include <vector>
+
+#include "coverage/coverage_map.hpp"
+#include "protocols/protocol_target.hpp"
+#include "sanitizer/fault.hpp"
+
+namespace icsfuzz::test {
+
+struct ArmedRun {
+  Bytes response;
+  std::vector<san::FaultReport> faults;
+
+  [[nodiscard]] bool crashed() const { return !faults.empty(); }
+  [[nodiscard]] bool crashed_with(san::FaultKind kind) const {
+    for (const san::FaultReport& fault : faults) {
+      if (fault.kind == kind) return true;
+    }
+    return false;
+  }
+};
+
+/// Runs one packet against a target with the fault sink armed (coverage
+/// not traced), the way the executor would, and returns the observables.
+inline ArmedRun run_armed(ProtocolTarget& target, const Bytes& packet) {
+  target.reset();
+  san::FaultSink::arm();
+  ArmedRun run;
+  run.response = target.process(ByteSpan(packet.data(), packet.size()));
+  run.faults = san::FaultSink::disarm();
+  return run;
+}
+
+/// Runs a packet with no expectation of faults; asserts cleanliness at the
+/// call site via the returned flag.
+inline Bytes run_clean(ProtocolTarget& target, const Bytes& packet,
+                       bool* fault_free = nullptr) {
+  ArmedRun run = run_armed(target, packet);
+  if (fault_free != nullptr) *fault_free = !run.crashed();
+  return run.response;
+}
+
+}  // namespace icsfuzz::test
