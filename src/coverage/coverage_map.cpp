@@ -133,6 +133,28 @@ std::uint64_t CoverageMap::trace_hash() const {
   return sum ^ (mix * 0x94D049BB133111EBULL);
 }
 
+bool CoverageMap::merge(const CoverageMap& other) {
+  return merge_accumulated(other.virgin_.get());
+}
+
+bool CoverageMap::merge_accumulated(const std::uint8_t* bits) {
+  const std::uint64_t* in_words = as_words(bits);
+  std::uint64_t* virgin_words = as_words(virgin_.get());
+  bool added = false;
+  for (std::size_t w = 0; w < kWords; ++w) {
+    const std::uint64_t fresh = in_words[w] & ~virgin_words[w];
+    if (fresh != 0) {
+      virgin_words[w] |= fresh;
+      added = true;
+    }
+  }
+  return added;
+}
+
+std::vector<std::uint8_t> CoverageMap::snapshot_accumulated() const {
+  return std::vector<std::uint8_t>(virgin_.get(), virgin_.get() + kMapSize);
+}
+
 void CoverageMap::reset_accumulated() {
   std::memset(virgin_.get(), 0, kMapSize);
 }

@@ -49,6 +49,21 @@ class CoverageMap {
   [[nodiscard]] const std::uint8_t* trace() const { return trace_.get(); }
   [[nodiscard]] const std::uint8_t* accumulated() const { return virgin_.get(); }
 
+  /// Merges `other`'s accumulated map into this one (bitwise OR of the
+  /// classified bits). Returns true when anything new was added. The
+  /// operation is idempotent and commutative, so parallel workers' maps can
+  /// be folded into a global map in any order.
+  bool merge(const CoverageMap& other);
+
+  /// Merges a raw accumulated-map snapshot (kMapSize bytes, as produced by
+  /// snapshot_accumulated()). Returns true when anything new was added.
+  bool merge_accumulated(const std::uint8_t* bits);
+
+  /// Copies the accumulated map. The in-process seed exchange merges live
+  /// maps directly (merge()); the snapshot form exists for consumers that
+  /// need a detached copy — serialization, cross-process shipping, tests.
+  [[nodiscard]] std::vector<std::uint8_t> snapshot_accumulated() const;
+
   /// Forgets all accumulated coverage (fresh campaign).
   void reset_accumulated();
 

@@ -17,4 +17,6 @@ void end_trace() {
   tls_prev_location = 0;
 }
 
+bool trace_armed() { return tls_shared_mem != nullptr; }
+
 }  // namespace icsfuzz::cov

@@ -47,10 +47,20 @@ inline void hit(std::uint32_t block_id) {
 }
 
 /// Arms tracing for this thread: hits go to `map` (kMapSize bytes).
+///
+/// All arming state is thread_local, so each worker thread of a parallel
+/// campaign traces into its own CoverageMap with no synchronization: arming
+/// on one thread never observes or disturbs another thread's trace. The map
+/// pointer must stay valid until the matching end_trace() on the same
+/// thread, and target code must run on the thread that armed it.
 void begin_trace(std::uint8_t* map);
 
 /// Disarms tracing and resets prev_location / the event counter.
 void end_trace();
+
+/// True while this thread has tracing armed (diagnostics; lets an executor
+/// assert it is not re-entering another execution on the same thread).
+[[nodiscard]] bool trace_armed();
 
 /// Compile-time FNV-1a over file/line/counter — the macro's block id.
 constexpr std::uint32_t fnv1a(const char* text, std::uint32_t seed) {

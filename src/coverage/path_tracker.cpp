@@ -6,4 +6,16 @@ bool PathTracker::record(std::uint64_t trace_hash) {
   return paths_.insert(trace_hash).second;
 }
 
+std::size_t PathTracker::merge(const PathTracker& other) {
+  std::size_t added = 0;
+  for (std::uint64_t hash : other.paths_) {
+    added += paths_.insert(hash).second ? 1 : 0;
+  }
+  return added;
+}
+
+std::vector<std::uint64_t> PathTracker::snapshot() const {
+  return std::vector<std::uint64_t>(paths_.begin(), paths_.end());
+}
+
 }  // namespace icsfuzz::cov

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <unordered_set>
+#include <vector>
 
 namespace icsfuzz::cov {
 
@@ -20,6 +21,15 @@ class PathTracker {
   [[nodiscard]] bool contains(std::uint64_t trace_hash) const {
     return paths_.contains(trace_hash);
   }
+
+  /// Folds `other`'s path set into this one (idempotent, commutative).
+  /// Returns the number of paths that were new to this tracker.
+  std::size_t merge(const PathTracker& other);
+
+  /// Copies the path set (order unspecified). The seed exchange merges live
+  /// trackers directly (merge()); the snapshot form is for detached copies
+  /// — serialization, cross-process shipping, tests.
+  [[nodiscard]] std::vector<std::uint64_t> snapshot() const;
 
   void clear() { paths_.clear(); }
 

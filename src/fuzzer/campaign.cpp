@@ -1,42 +1,89 @@
 #include "fuzzer/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
 
 namespace icsfuzz::fuzz {
+namespace {
 
-ArmResult run_arm(Strategy strategy, const TargetFactory& make_target,
-                  const model::DataModelSet& models,
-                  const CampaignConfig& config) {
+/// Everything one repetition contributes to its arm's aggregate.
+struct RepetitionOutcome {
+  std::vector<Checkpoint> series;
+  double final_paths = 0.0;
+  double final_edges = 0.0;
+  double final_crashes = 0.0;
+  std::vector<CrashRecord> crash_records;
+};
+
+/// One deterministic repetition: fresh target, seed base_seed + rep.
+RepetitionOutcome run_repetition(Strategy strategy, std::size_t rep,
+                                 const TargetFactory& make_target,
+                                 const model::DataModelSet& models,
+                                 const CampaignConfig& config) {
+  auto target = make_target();
+  FuzzerConfig fuzzer_config = config.fuzzer;
+  fuzzer_config.strategy = strategy;
+  fuzzer_config.rng_seed = config.base_seed + rep;
+  fuzzer_config.stats_interval = config.stats_interval;
+  Fuzzer fuzzer(*target, models, fuzzer_config);
+  fuzzer.run(config.iterations);
+
+  RepetitionOutcome outcome;
+  outcome.series = fuzzer.stats().checkpoints();
+  outcome.final_paths = static_cast<double>(fuzzer.path_count());
+  outcome.final_edges = static_cast<double>(fuzzer.executor().edge_count());
+  outcome.final_crashes =
+      static_cast<double>(fuzzer.crashes().unique_count());
+  for (const CrashRecord* record : fuzzer.crashes().records()) {
+    outcome.crash_records.push_back(*record);
+  }
+  return outcome;
+}
+
+/// Folds repetition outcomes (in repetition order) into an ArmResult —
+/// shared by the sequential and the thread-pooled schedulers so both
+/// produce identical aggregates.
+ArmResult assemble_arm(Strategy strategy,
+                       std::vector<RepetitionOutcome> outcomes) {
   ArmResult arm;
   arm.strategy = strategy;
   double sum_paths = 0.0;
   double sum_edges = 0.0;
   double sum_crashes = 0.0;
-  for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
-    auto target = make_target();
-    FuzzerConfig fuzzer_config = config.fuzzer;
-    fuzzer_config.strategy = strategy;
-    fuzzer_config.rng_seed = config.base_seed + rep;
-    fuzzer_config.stats_interval = config.stats_interval;
-    Fuzzer fuzzer(*target, models, fuzzer_config);
-    fuzzer.run(config.iterations);
-
-    arm.repetition_series.push_back(fuzzer.stats().checkpoints());
-    sum_paths += static_cast<double>(fuzzer.path_count());
-    sum_edges += static_cast<double>(fuzzer.executor().edge_count());
-    sum_crashes += static_cast<double>(fuzzer.crashes().unique_count());
-    for (const CrashRecord* record : fuzzer.crashes().records()) {
+  for (RepetitionOutcome& outcome : outcomes) {
+    arm.repetition_series.push_back(std::move(outcome.series));
+    sum_paths += outcome.final_paths;
+    sum_edges += outcome.final_edges;
+    sum_crashes += outcome.final_crashes;
+    for (const CrashRecord& record : outcome.crash_records) {
       arm.pooled_crashes.record(
-          san::FaultReport{record->kind, record->site, record->detail},
-          record->reproducer, record->first_execution);
+          san::FaultReport{record.kind, record.site, record.detail},
+          record.reproducer, record.first_execution);
     }
   }
-  const double reps = static_cast<double>(config.repetitions);
+  const double reps =
+      outcomes.empty() ? 1.0 : static_cast<double>(outcomes.size());
   arm.mean_final_paths = sum_paths / reps;
   arm.mean_final_edges = sum_edges / reps;
   arm.mean_unique_crashes = sum_crashes / reps;
   arm.mean_series = average_series(arm.repetition_series);
   return arm;
+}
+
+}  // namespace
+
+ArmResult run_arm(Strategy strategy, const TargetFactory& make_target,
+                  const model::DataModelSet& models,
+                  const CampaignConfig& config) {
+  std::vector<RepetitionOutcome> outcomes;
+  outcomes.reserve(config.repetitions);
+  for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+    outcomes.push_back(
+        run_repetition(strategy, rep, make_target, models, config));
+  }
+  return assemble_arm(strategy, std::move(outcomes));
 }
 
 CampaignResult run_campaign(
@@ -49,6 +96,64 @@ CampaignResult run_campaign(
   result.peach = run_arm(Strategy::Peach, make_target, models, config);
   if (on_progress) on_progress(Strategy::PeachStar, 0);
   result.peach_star = run_arm(Strategy::PeachStar, make_target, models, config);
+  return result;
+}
+
+CampaignResult run_campaign_parallel(
+    const std::string& project, const TargetFactory& make_target,
+    const model::DataModelSet& models, const CampaignConfig& config,
+    std::size_t workers,
+    const std::function<void(Strategy, std::size_t)>& on_progress) {
+  const Strategy arms[] = {Strategy::Peach, Strategy::PeachStar};
+  const std::size_t job_count = 2 * config.repetitions;
+  if (workers <= 1 || job_count <= 1) {
+    return run_campaign(project, make_target, models, config, on_progress);
+  }
+
+  // Every (arm, repetition) pair is one job; outcome slots are indexed by
+  // job id so the assembly below sees repetition order regardless of which
+  // thread finished when.
+  std::vector<RepetitionOutcome> outcomes(job_count);
+  std::atomic<std::size_t> next_job{0};
+  std::mutex progress_mutex;
+
+  auto pool_body = [&] {
+    for (;;) {
+      const std::size_t job = next_job.fetch_add(1);
+      if (job >= job_count) return;
+      const Strategy strategy = arms[job / config.repetitions];
+      const std::size_t rep = job % config.repetitions;
+      if (on_progress) {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        on_progress(strategy, rep);
+      }
+      outcomes[job] =
+          run_repetition(strategy, rep, make_target, models, config);
+    }
+  };
+
+  {
+    std::vector<std::thread> threads;
+    const std::size_t pool = std::min(workers, job_count);
+    threads.reserve(pool - 1);
+    for (std::size_t t = 1; t < pool; ++t) threads.emplace_back(pool_body);
+    pool_body();
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  CampaignResult result;
+  result.project = project;
+  auto begin = outcomes.begin();
+  result.peach = assemble_arm(
+      Strategy::Peach,
+      std::vector<RepetitionOutcome>(
+          std::make_move_iterator(begin),
+          std::make_move_iterator(begin + config.repetitions)));
+  result.peach_star = assemble_arm(
+      Strategy::PeachStar,
+      std::vector<RepetitionOutcome>(
+          std::make_move_iterator(begin + config.repetitions),
+          std::make_move_iterator(outcomes.end())));
   return result;
 }
 

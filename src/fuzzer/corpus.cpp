@@ -3,14 +3,7 @@
 namespace icsfuzz::fuzz {
 namespace {
 
-std::uint64_t bytes_hash(const Bytes& data) {
-  std::uint64_t hash = 1469598103934665603ULL;
-  for (std::uint8_t byte : data) {
-    hash ^= byte;
-    hash *= 1099511628211ULL;
-  }
-  return hash ^ data.size();
-}
+std::uint64_t bytes_hash(const Bytes& data) { return content_hash(data); }
 
 }  // namespace
 
@@ -19,6 +12,7 @@ bool PuzzleCorpus::add_to(std::unordered_map<std::uint64_t, Bucket>& tier,
   Bucket& bucket = tier[key];
   const std::uint64_t hash = bytes_hash(puzzle);
   if (!bucket.hashes.insert(hash).second) return false;  // duplicate
+  ++revision_;
   if (bucket.entries.size() < config_.per_rule_cap) {
     bucket.entries.push_back(puzzle);
     return true;
@@ -34,6 +28,22 @@ bool PuzzleCorpus::add(const model::Chunk& rule, Bytes puzzle, Rng& rng) {
   const bool exact_added = add_to(exact_, rule.rule_key(), puzzle, rng);
   const bool shape_added = add_to(shape_, rule.shape_key(), puzzle, rng);
   return exact_added || shape_added;
+}
+
+std::size_t PuzzleCorpus::merge_from(const PuzzleCorpus& other, Rng& rng) {
+  if (&other == this) return 0;
+  std::size_t added = 0;
+  for (const auto& [key, bucket] : other.exact_) {
+    for (const Bytes& puzzle : bucket.entries) {
+      added += add_to(exact_, key, puzzle, rng) ? 1 : 0;
+    }
+  }
+  for (const auto& [key, bucket] : other.shape_) {
+    for (const Bytes& puzzle : bucket.entries) {
+      add_to(shape_, key, puzzle, rng);
+    }
+  }
+  return added;
 }
 
 const std::vector<Bytes>* PuzzleCorpus::exact_candidates(
@@ -59,6 +69,7 @@ std::size_t PuzzleCorpus::size() const {
 void PuzzleCorpus::clear() {
   exact_.clear();
   shape_.clear();
+  ++revision_;
 }
 
 }  // namespace icsfuzz::fuzz

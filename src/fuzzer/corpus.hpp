@@ -42,6 +42,14 @@ class PuzzleCorpus {
   [[nodiscard]] const std::vector<Bytes>* similar_candidates(
       const model::Chunk& rule) const;
 
+  /// Folds every puzzle of `other` into this corpus, tier by tier, with the
+  /// usual per-bucket dedup and cap (rng picks replacement victims in full
+  /// buckets). Returns the number of exact-tier puzzles actually added, so
+  /// merging a corpus into itself — or re-merging an unchanged peer —
+  /// returns 0 and draws nothing from `rng`. This is the corpus-sync
+  /// primitive of the parallel campaign.
+  std::size_t merge_from(const PuzzleCorpus& other, Rng& rng);
+
   [[nodiscard]] bool empty() const { return exact_.empty(); }
 
   /// Total stored puzzles across all exact-tier rules.
@@ -49,6 +57,11 @@ class PuzzleCorpus {
 
   /// Number of distinct exact rules with at least one puzzle.
   [[nodiscard]] std::size_t rule_count() const { return exact_.size(); }
+
+  /// Monotonic mutation counter: bumped by every accepted add (including
+  /// replacements) and by clear(). Lets parallel-sync callers skip whole
+  /// corpus re-merges when nothing changed since their last visit.
+  [[nodiscard]] std::uint64_t revision() const { return revision_; }
 
   void clear();
 
@@ -64,6 +77,7 @@ class PuzzleCorpus {
   CorpusConfig config_;
   std::unordered_map<std::uint64_t, Bucket> exact_;
   std::unordered_map<std::uint64_t, Bucket> shape_;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace icsfuzz::fuzz

@@ -1,10 +1,16 @@
 #include "fuzzer/executor.hpp"
 
+#include <cassert>
+
 namespace icsfuzz::fuzz {
 
 ExecResult Executor::run(ProtocolTarget& target, ByteSpan packet) {
   ExecResult result;
   ++executions_;
+
+  // Executions must not nest on a thread: the second begin_execution would
+  // silently steal the first one's thread-local trace arming.
+  assert(!cov::trace_armed());
 
   target.reset();
   san::FaultSink::arm();

@@ -1,5 +1,7 @@
 #include "fuzzer/fuzzer.hpp"
 
+#include <algorithm>
+
 namespace icsfuzz::fuzz {
 
 std::string to_string(Strategy strategy) {
@@ -44,6 +46,14 @@ Bytes Fuzzer::next_packet(const model::DataModel*& used_model) {
   // A few regeneration attempts skip packets already executed — the
   // "meaningless repetitions" the paper's design sets out to rule out.
   constexpr int kDedupAttempts = 4;
+  // Peer seeds synced from the exchange run first (for every strategy):
+  // executing them locally is what transfers the peer's coverage discovery
+  // into this worker's map, corpus and pools.
+  while (!imported_.empty()) {
+    Bytes packet = std::move(imported_.front());
+    imported_.pop_front();
+    if (!seen_before(packet)) return packet;
+  }
   if (config_.strategy == Strategy::PeachStar) {
     // Drain the combinatorial batch scheduled by the last crack first.
     while (!pending_batch_.empty()) {
@@ -119,6 +129,7 @@ ExecResult Fuzzer::step() {
       retained_.push_back(RetainedSeed{
           packet, used_model != nullptr ? used_model->name() : std::string{},
           executor_.executions()});
+      ++total_retained_;
     }
 
     const CrackStats crack_stats =
@@ -153,6 +164,21 @@ void Fuzzer::finish() {
   stats_.finalize(executor_.executions(), executor_.path_count(),
                   executor_.edge_count(), crash_db_.unique_count(),
                   corpus_.size());
+}
+
+void Fuzzer::import_external_seed(Bytes packet) {
+  imported_.push_back(std::move(packet));
+}
+
+std::vector<RetainedSeed> Fuzzer::drain_new_retained() {
+  // `retained_` may have evicted old entries since the last drain, but the
+  // newest seeds are always at the back; the lifetime counters say how many
+  // of them are unexported.
+  const std::uint64_t fresh = total_retained_ - exported_retained_;
+  exported_retained_ = total_retained_;
+  const std::size_t take =
+      std::min(retained_.size(), static_cast<std::size_t>(fresh));
+  return std::vector<RetainedSeed>(retained_.end() - take, retained_.end());
 }
 
 }  // namespace icsfuzz::fuzz

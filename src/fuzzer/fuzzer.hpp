@@ -95,6 +95,32 @@ class Fuzzer {
   /// Finalizes the stats series (records a last checkpoint).
   void finish();
 
+  // -- Parallel-campaign hooks (src/parallel/). --
+  //
+  // These never perturb the fuzzer's own RNG stream: imports queue packets
+  // for execution and exports only read. A worker with no peers therefore
+  // behaves bit-for-bit like a sequential fuzzer, which is what keeps W=1
+  // equal to the sequential engine.
+
+  /// Queues a peer's valuable seed for execution ahead of generation, the
+  /// way AFL instances re-execute synced seeds to update their own maps.
+  /// Locally repeated packets are skipped by the usual dedup.
+  void import_external_seed(Bytes packet);
+
+  /// Seeds queued by import_external_seed and not yet executed.
+  [[nodiscard]] std::size_t imported_pending() const {
+    return imported_.size();
+  }
+
+  /// Returns the valuable seeds retained since the previous call (an
+  /// export cursor over the retained pool; eviction-safe). The parallel
+  /// worker publishes these to the seed exchange after each sync interval.
+  std::vector<RetainedSeed> drain_new_retained();
+
+  /// Mutable corpus access for in-place merges from the seed exchange
+  /// (pair with an import-side RNG, never the generation stream).
+  [[nodiscard]] PuzzleCorpus& mutable_corpus() { return corpus_; }
+
  private:
   /// CHOOSE(SM): uniformly random model selection.
   const model::DataModel& choose_model();
@@ -127,6 +153,13 @@ class Fuzzer {
   std::deque<Bytes> pending_batch_;
   /// ByteMutation strategy's seed pool (AFL-style queue).
   std::vector<Bytes> mutation_pool_;
+
+  /// Peer seeds queued by import_external_seed (drained before generation).
+  std::deque<Bytes> imported_;
+  /// Lifetime count of retained seeds and how many have been exported —
+  /// the eviction-safe cursor behind drain_new_retained().
+  std::uint64_t total_retained_ = 0;
+  std::uint64_t exported_retained_ = 0;
 };
 
 }  // namespace icsfuzz::fuzz

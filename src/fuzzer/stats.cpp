@@ -70,4 +70,26 @@ std::vector<Checkpoint> average_series(
   return out;
 }
 
+std::vector<Checkpoint> sum_series(
+    const std::vector<std::vector<Checkpoint>>& workers) {
+  std::vector<Checkpoint> out;
+  std::size_t longest = 0;
+  for (const auto& series : workers) {
+    longest = std::max(longest, series.size());
+  }
+  for (std::size_t i = 0; i < longest; ++i) {
+    Checkpoint total;
+    for (const auto& series : workers) {
+      if (i >= series.size()) continue;
+      total.executions += series[i].executions;
+      total.paths += series[i].paths;
+      total.edges += series[i].edges;
+      total.unique_crashes += series[i].unique_crashes;
+      total.corpus_size += series[i].corpus_size;
+    }
+    out.push_back(total);
+  }
+  return out;
+}
+
 }  // namespace icsfuzz::fuzz

@@ -53,4 +53,13 @@ class StatsSeries {
 std::vector<Checkpoint> average_series(
     const std::vector<std::vector<Checkpoint>>& repetitions);
 
+/// Sums parallel workers' series at common checkpoint indexes into one
+/// campaign-wide throughput series: executions add up, and so do the
+/// per-worker path/edge/crash/corpus tallies. The summed coverage columns
+/// ignore cross-worker overlap, so they upper-bound the deduplicated global
+/// numbers — those come from the merged CoverageMap / PathTracker at sync
+/// points, not from this series.
+std::vector<Checkpoint> sum_series(
+    const std::vector<std::vector<Checkpoint>>& workers);
+
 }  // namespace icsfuzz::fuzz

@@ -1,0 +1,91 @@
+#include "parallel/parallel_campaign.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace icsfuzz::par {
+
+ParallelCampaign::ParallelCampaign(fuzz::TargetFactory make_target,
+                                   const model::DataModelSet& models,
+                                   ParallelCampaignConfig config)
+    : make_target_(std::move(make_target)), models_(models), config_(config) {
+  if (config_.workers == 0) config_.workers = 1;
+}
+
+ParallelCampaignResult ParallelCampaign::run() {
+  SeedExchangeConfig exchange_config;
+  exchange_config.shards = config_.exchange_shards;
+  exchange_config.rng_seed = config_.base_seed ^ 0xC0FFEEULL;
+  SeedExchange exchange(exchange_config);
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    WorkerConfig worker_config;
+    worker_config.id = w;
+    worker_config.worker_count = config_.workers;
+    worker_config.sync_interval = config_.sync_interval;
+    worker_config.fuzzer = config_.fuzzer;
+    worker_config.fuzzer.rng_seed = worker_seed(config_.base_seed, w);
+    workers.push_back(std::make_unique<Worker>(worker_config, make_target_(),
+                                               models_, exchange));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(config_.workers - 1);
+    for (std::size_t w = 1; w < config_.workers; ++w) {
+      threads.emplace_back(
+          [&, w] { workers[w]->run(config_.iterations_per_worker); });
+    }
+    workers[0]->run(config_.iterations_per_worker);
+    for (std::thread& thread : threads) thread.join();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+
+  ParallelCampaignResult result;
+  result.wall_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  std::vector<std::vector<fuzz::Checkpoint>> all_series;
+  for (const std::unique_ptr<Worker>& worker : workers) {
+    const fuzz::Fuzzer& fuzzer = worker->fuzzer();
+    WorkerReport report;
+    report.id = worker->id();
+    report.executions = fuzzer.executor().executions();
+    report.paths = fuzzer.path_count();
+    report.edges = fuzzer.executor().edge_count();
+    report.unique_crashes = fuzzer.crashes().unique_count();
+    report.corpus_size = fuzzer.corpus().size();
+    report.retained_seeds = fuzzer.retained_seeds().size();
+    report.seeds_published = worker->seeds_published();
+    report.seeds_imported = worker->seeds_imported();
+    report.puzzles_imported = worker->puzzles_imported();
+    report.series = fuzzer.stats().checkpoints();
+    all_series.push_back(report.series);
+
+    result.total_executions += report.executions;
+    for (const fuzz::CrashRecord* record : fuzzer.crashes().records()) {
+      result.pooled_crashes.record(
+          san::FaultReport{record->kind, record->site, record->detail},
+          record->reproducer, record->first_execution);
+    }
+    result.workers.push_back(std::move(report));
+  }
+  result.throughput_series = fuzz::sum_series(all_series);
+
+  if (config_.sync_interval == 0) {
+    // Workers never visited the exchange; fold their final maps here so the
+    // global numbers are meaningful in the no-sync configuration too.
+    for (const std::unique_ptr<Worker>& worker : workers) {
+      exchange.merge_coverage(worker->fuzzer().executor().coverage(),
+                              worker->fuzzer().executor().paths());
+    }
+  }
+  result.global_paths = exchange.global_paths();
+  result.global_edges = exchange.global_edges();
+  result.seeds_published = exchange.published_count();
+  return result;
+}
+
+}  // namespace icsfuzz::par

@@ -1,0 +1,100 @@
+// ParallelCampaign — runs one fuzzing campaign sharded across W worker
+// threads with periodic corpus/coverage synchronization through a
+// SeedExchange (the campaign-parallel architecture AFL-derived fuzzers use
+// to occupy every core; the sequential engine of fuzzer.hpp is the W=1
+// special case and is reproduced bit-for-bit).
+//
+// Topology:
+//
+//     TargetFactory ──► target #0 ─ Fuzzer #0 ─┐        (thread 0)
+//                       target #1 ─ Fuzzer #1 ─┤─ SeedExchange
+//                       ...                    │   ├ sharded seed store
+//                       target #W-1 ─ ... ─────┘   ├ global CoverageMap
+//                                                  └ global PuzzleCorpus
+//
+// Each worker's RNG seed derives deterministically from `base_seed`
+// (worker.hpp), so a parallel campaign is reproducible up to OS thread
+// interleaving of the sync points — and exactly reproducible at W=1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzzer/campaign.hpp"
+#include "parallel/worker.hpp"
+
+namespace icsfuzz::par {
+
+struct ParallelCampaignConfig {
+  /// Worker threads (shards). 1 reproduces the sequential engine.
+  std::size_t workers = 1;
+  /// Executions per worker (total campaign work = workers * iterations).
+  std::uint64_t iterations_per_worker = 20000;
+  /// Base RNG seed; worker w fuzzes with worker_seed(base_seed, w).
+  std::uint64_t base_seed = 1;
+  /// Executions between exchange visits (0 = never sync).
+  std::uint64_t sync_interval = 1024;
+  /// Seed-store shards in the exchange.
+  std::size_t exchange_shards = 8;
+  /// Per-worker fuzzer configuration (rng_seed is overridden per worker).
+  fuzz::FuzzerConfig fuzzer;
+};
+
+/// Final tallies of one worker shard.
+struct WorkerReport {
+  std::size_t id = 0;
+  std::uint64_t executions = 0;
+  std::size_t paths = 0;
+  std::size_t edges = 0;
+  std::size_t unique_crashes = 0;
+  std::size_t corpus_size = 0;
+  std::size_t retained_seeds = 0;
+  std::uint64_t seeds_published = 0;
+  std::uint64_t seeds_imported = 0;
+  std::uint64_t puzzles_imported = 0;
+  std::vector<fuzz::Checkpoint> series;
+};
+
+struct ParallelCampaignResult {
+  std::vector<WorkerReport> workers;
+  /// Deduplicated campaign-wide coverage (merged across workers).
+  std::size_t global_paths = 0;
+  std::size_t global_edges = 0;
+  std::uint64_t total_executions = 0;
+  std::size_t seeds_published = 0;
+  /// Vulnerabilities pooled across workers, deduplicated by (kind, site).
+  fuzz::CrashDb pooled_crashes;
+  /// Campaign-wide throughput series (sum_series over the workers).
+  std::vector<fuzz::Checkpoint> throughput_series;
+  double wall_seconds = 0.0;
+  [[nodiscard]] double execs_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(total_executions) / wall_seconds
+               : 0.0;
+  }
+};
+
+class ParallelCampaign {
+ public:
+  /// `models` must outlive the campaign; `make_target` is invoked once per
+  /// worker (each worker owns a private target instance).
+  ParallelCampaign(fuzz::TargetFactory make_target,
+                   const model::DataModelSet& models,
+                   ParallelCampaignConfig config);
+
+  /// Runs all workers to completion and aggregates the result. Blocking;
+  /// spawns workers-1 threads (worker 0 runs on the calling thread).
+  ParallelCampaignResult run();
+
+  [[nodiscard]] const ParallelCampaignConfig& config() const {
+    return config_;
+  }
+
+ private:
+  fuzz::TargetFactory make_target_;
+  const model::DataModelSet& models_;
+  ParallelCampaignConfig config_;
+};
+
+}  // namespace icsfuzz::par

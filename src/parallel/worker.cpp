@@ -1,0 +1,70 @@
+#include "parallel/worker.hpp"
+
+namespace icsfuzz::par {
+
+Worker::Worker(WorkerConfig config, std::unique_ptr<ProtocolTarget> target,
+               const model::DataModelSet& models, SeedExchange& exchange)
+    : config_(config),
+      target_(std::move(target)),
+      exchange_(exchange),
+      fuzzer_(*target_, models, config.fuzzer),
+      sync_rng_(config.fuzzer.rng_seed ^ 0x5EEDE8C4A06EULL) {}
+
+void Worker::run(std::uint64_t iterations) {
+  const std::uint64_t interval = config_.sync_interval;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    fuzzer_.step();
+    if (interval != 0 && (i + 1) % interval == 0) {
+      // The sync closing the final iteration is publish-only too: anything
+      // imported here could never execute.
+      sync(/*import_phase=*/i + 1 < iterations);
+    }
+  }
+  // Final publish-only sync, unless the last loop iteration just did it.
+  if (interval != 0 && iterations % interval != 0) {
+    sync(/*import_phase=*/false);
+  }
+  fuzzer_.finish();
+}
+
+void Worker::sync(bool import_phase) {
+  ++syncs_;
+
+  // Publish: fresh valuable seeds, the cracked-puzzle corpus, and the
+  // accumulated coverage of this shard. The revision check skips the full
+  // re-merge while the corpus is quiet between discoveries; once hot
+  // buckets saturate their cap, replacement churn (local and global evict
+  // different random victims) can keep revisions moving and force
+  // re-merges — bounded at O(corpus) per sync, the pre-optimization cost.
+  for (fuzz::RetainedSeed& seed : fuzzer_.drain_new_retained()) {
+    if (exchange_.publish(config_.id, std::move(seed.bytes),
+                          std::move(seed.model_name), seed.execution)) {
+      ++published_;
+    }
+  }
+  if (fuzzer_.corpus().revision() != published_corpus_revision_) {
+    published_corpus_revision_ = fuzzer_.corpus().revision();
+    exchange_.publish_puzzles(fuzzer_.corpus());
+  }
+  exchange_.merge_coverage(fuzzer_.executor().coverage(),
+                           fuzzer_.executor().paths());
+
+  // Import: peers' seeds are queued for execution (so their discoveries
+  // enter this worker's map and corpus through the normal feedback loop),
+  // and the global puzzle pool is folded into the local corpus directly.
+  if (!import_phase || config_.worker_count <= 1) return;
+  std::vector<ExchangeSeed> fresh;
+  exchange_.pull(config_.id, cursor_, fresh);
+  for (ExchangeSeed& seed : fresh) {
+    fuzzer_.import_external_seed(std::move(seed.bytes));
+    ++imported_;
+  }
+  const std::uint64_t global_revision = exchange_.puzzle_revision();
+  if (global_revision != imported_global_revision_) {
+    imported_global_revision_ = global_revision;
+    puzzles_imported_ +=
+        exchange_.import_puzzles(fuzzer_.mutable_corpus(), sync_rng_);
+  }
+}
+
+}  // namespace icsfuzz::par

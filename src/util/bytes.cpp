@@ -16,6 +16,15 @@ void append(Bytes& head, ByteSpan tail) {
   head.insert(head.end(), tail.begin(), tail.end());
 }
 
+std::uint64_t content_hash(ByteSpan data) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (std::uint8_t byte : data) {
+    hash ^= byte;
+    hash *= 1099511628211ULL;
+  }
+  return hash ^ data.size();
+}
+
 std::uint8_t ByteReader::read_u8() {
   if (!ok_ || pos_ >= data_.size()) {
     ok_ = false;

@@ -31,6 +31,11 @@ std::string to_string(ByteSpan span);
 /// Concatenates `tail` onto `head` in place.
 void append(Bytes& head, ByteSpan tail);
 
+/// 64-bit FNV-1a content hash (finalized with the length) — the shared
+/// dedup key of the puzzle corpus and the parallel seed exchange. Both
+/// must agree on this function or cross-component dedup drifts.
+std::uint64_t content_hash(ByteSpan data);
+
 /// A non-owning, bounds-checked forward cursor over a byte span.
 ///
 /// All `read_*` calls return a value and clear `ok()` on underrun; once the
