@@ -18,12 +18,7 @@
 
 #include "fuzzer/campaign.hpp"
 #include "pits/pits.hpp"
-#include "protocols/dnp3/dnp3_server.hpp"
-#include "protocols/iccp/iccp_server.hpp"
-#include "protocols/iec104/iec104_server.hpp"
-#include "protocols/iec61850/mms_server.hpp"
-#include "protocols/lib60870/cs101_server.hpp"
-#include "protocols/modbus/modbus_server.hpp"
+#include "protocols/target_registry.hpp"
 
 namespace icsfuzz::bench {
 
@@ -42,27 +37,9 @@ inline fuzz::CampaignConfig default_campaign_config() {
   return config;
 }
 
-/// Target factory for a paper project name.
+/// Target factory for a paper project name (the shared registry).
 inline fuzz::TargetFactory target_factory(const std::string& project) {
-  if (project == "libmodbus") {
-    return [] { return std::make_unique<proto::ModbusServer>(); };
-  }
-  if (project == "IEC104") {
-    return [] { return std::make_unique<proto::Iec104Server>(); };
-  }
-  if (project == "libiec61850") {
-    return [] { return std::make_unique<proto::MmsServer>(); };
-  }
-  if (project == "lib60870") {
-    return [] { return std::make_unique<proto::Cs101Server>(); };
-  }
-  if (project == "libiec_iccp_mod") {
-    return [] { return std::make_unique<proto::IccpServer>(); };
-  }
-  if (project == "opendnp3") {
-    return [] { return std::make_unique<proto::Dnp3Server>(); };
-  }
-  return {};
+  return proto::target_factory(project);
 }
 
 /// Runs the A/B campaign for one project with default budgets.

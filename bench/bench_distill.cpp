@@ -1,0 +1,96 @@
+// Corpus-distillation bench: builds a deliberately redundant valuable-seed
+// corpus (three overlapping Peach* campaigns plus a verbatim duplicate of
+// the pool), distills it with the greedy set-cover cmin, and reports the
+// reduction ratio plus trace-collection / replay throughput as one JSON
+// document for the bench trajectory. The coverage_identical field doubles
+// as a correctness gate: the distilled corpus must replay the bit-identical
+// edge map and path set of the full corpus.
+//
+// Budget knobs:
+//   ICSFUZZ_BENCH_ITERS    executions per corpus-building run (default 12000)
+//   ICSFUZZ_BENCH_WORKERS  replay shards for the sharded phases (default 2)
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "distill/distill.hpp"
+#include "distill/replay.hpp"
+
+int main() {
+  using namespace icsfuzz;
+  using Clock = std::chrono::steady_clock;
+
+  const std::uint64_t iterations =
+      bench::env_u64("ICSFUZZ_BENCH_ITERS", 12000);
+  const std::size_t workers =
+      static_cast<std::size_t>(bench::env_u64("ICSFUZZ_BENCH_WORKERS", 2));
+  const std::string project = "libmodbus";
+  const model::DataModelSet models = pits::pit_for_project(project);
+  const fuzz::TargetFactory factory = bench::target_factory(project);
+
+  // Redundant corpus: three differently-seeded campaigns discover heavily
+  // overlapping coverage; duplicating the pool doubles the redundancy the
+  // way a long campaign's re-discoveries do.
+  std::vector<Bytes> corpus;
+  for (std::uint64_t seed : {1000ULL, 2000ULL, 3000ULL}) {
+    const auto target = factory();
+    fuzz::FuzzerConfig config;
+    config.strategy = fuzz::Strategy::PeachStar;
+    config.rng_seed = seed;
+    fuzz::Fuzzer fuzzer(*target, models, config);
+    fuzzer.run(iterations);
+    for (const fuzz::RetainedSeed& retained : fuzzer.retained_seeds()) {
+      corpus.push_back(retained.bytes);
+    }
+  }
+  const std::size_t unique_pool = corpus.size();
+  corpus.reserve(unique_pool * 2);
+  for (std::size_t i = 0; i < unique_pool; ++i) corpus.push_back(corpus[i]);
+
+  // Phase 1: trace collection (sharded), the replay-heavy half of cmin.
+  const auto trace_start = Clock::now();
+  const std::vector<distill::SeedTrace> traces =
+      distill::collect_traces_sharded(factory, corpus, workers);
+  const double trace_seconds =
+      std::chrono::duration<double>(Clock::now() - trace_start).count();
+
+  // Phase 2: the greedy set cover itself.
+  const auto cmin_start = Clock::now();
+  const distill::CminResult result =
+      distill::cmin_from_traces(traces, corpus, {});
+  const double cmin_seconds =
+      std::chrono::duration<double>(Clock::now() - cmin_start).count();
+
+  // Phase 3: replay verification, full corpus vs distilled corpus.
+  const auto replay_start = Clock::now();
+  const distill::ReplayReport full =
+      distill::replay_corpus_sharded(factory, corpus, workers);
+  const distill::ReplayReport distilled =
+      distill::replay_corpus_sharded(factory, result.seeds, workers);
+  const double replay_seconds =
+      std::chrono::duration<double>(Clock::now() - replay_start).count();
+  const double replay_execs =
+      static_cast<double>(full.executions + distilled.executions);
+
+  std::printf("{\n  \"bench\": \"distill\",\n");
+  std::printf("  \"project\": \"%s\",\n", project.c_str());
+  std::printf("  \"iterations_per_run\": %llu,\n",
+              static_cast<unsigned long long>(iterations));
+  std::printf("  \"workers\": %zu,\n", workers);
+  std::printf("  \"corpus_seeds\": %zu,\n", result.stats.seeds_before);
+  std::printf("  \"kept_seeds\": %zu,\n", result.stats.seeds_after);
+  std::printf("  \"reduction_pct\": %.2f,\n",
+              result.stats.reduction_ratio() * 100.0);
+  std::printf("  \"edge_elements\": %zu,\n", result.stats.edge_elements);
+  std::printf("  \"paths\": %zu,\n", result.stats.paths);
+  std::printf("  \"cmin_seconds\": %.4f,\n", cmin_seconds);
+  std::printf("  \"trace_execs_per_sec\": %.0f,\n",
+              trace_seconds > 0.0
+                  ? static_cast<double>(corpus.size()) / trace_seconds
+                  : 0.0);
+  std::printf("  \"replay_execs_per_sec\": %.0f,\n",
+              replay_seconds > 0.0 ? replay_execs / replay_seconds : 0.0);
+  std::printf("  \"coverage_identical\": %s\n}\n",
+              full.same_coverage(distilled) ? "true" : "false");
+  return full.same_coverage(distilled) ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for CI.
+
+Compares a bench's JSON output against a checked-in baseline:
+
+    check_bench_regression.py bench/baseline.json bench_distill.json
+
+The baseline declares three kinds of expectations:
+  * "rates":        throughput keys (exec/sec); the current value may not
+                    fall more than "regression_pct" percent below baseline.
+  * "min":          hard floors (e.g. reduction_pct) — hardware-independent
+                    quality metrics that must never drop below the floor.
+  * "require_true": boolean keys that must be true (correctness gates such
+                    as coverage_identical).
+
+Exit status: 0 on pass, 1 on regression, 2 on usage/parse errors.
+
+To refresh the baseline after a deliberate perf change, run the bench on a
+quiet machine and halve the measured rates (CI runners vary widely):
+    ./build/bench_distill > current.json   # then edit bench/baseline.json
+"""
+
+import json
+import sys
+
+
+def fail(message: str, code: int = 1) -> int:
+    print(f"FAIL: {message}")
+    return code
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    try:
+        with open(argv[1]) as handle:
+            baseline = json.load(handle)
+        with open(argv[2]) as handle:
+            current = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(f"cannot load inputs: {error}", 2)
+
+    regression_pct = float(baseline.get("regression_pct", 25))
+    allowed = 1.0 - regression_pct / 100.0
+    status = 0
+
+    for key, reference in baseline.get("rates", {}).items():
+        value = current.get(key)
+        if value is None:
+            status = fail(f"missing rate key '{key}' in {argv[2]}")
+            continue
+        floor = float(reference) * allowed
+        verdict = "ok" if float(value) >= floor else "REGRESSION"
+        print(f"{key}: current={value} baseline={reference} "
+              f"floor={floor:.0f} ({regression_pct:.0f}% allowance) {verdict}")
+        if float(value) < floor:
+            status = 1
+
+    for key, floor in baseline.get("min", {}).items():
+        value = current.get(key)
+        if value is None:
+            status = fail(f"missing min key '{key}' in {argv[2]}")
+            continue
+        verdict = "ok" if float(value) >= float(floor) else "REGRESSION"
+        print(f"{key}: current={value} min={floor} {verdict}")
+        if float(value) < float(floor):
+            status = 1
+
+    for key in baseline.get("require_true", []):
+        value = current.get(key)
+        print(f"{key}: {value}")
+        if value is not True:
+            status = fail(f"'{key}' must be true, got {value!r}")
+
+    print("bench-regression gate:", "PASS" if status == 0 else "FAIL")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,172 @@
+#include "distill/replay.hpp"
+
+#include <thread>
+#include <unordered_set>
+
+#include "coverage/instrument.hpp"
+#include "fuzzer/cracker.hpp"
+
+namespace icsfuzz::distill {
+namespace {
+
+/// Order-insensitive fingerprint over a path-hash set (sum + xor of mixed
+/// values, the same construction CoverageMap::trace_hash uses).
+std::uint64_t path_set_fingerprint(const std::vector<std::uint64_t>& paths) {
+  std::uint64_t sum = 0;
+  std::uint64_t mix = 0;
+  for (const std::uint64_t path : paths) {
+    const std::uint64_t v = mix64(path);
+    sum += v;
+    mix ^= v;
+  }
+  return sum ^ (mix * 0x94D049BB133111EBULL);
+}
+
+ReplayReport report_from(const cov::CoverageMap& map,
+                         const cov::PathTracker& paths, std::size_t seeds,
+                         std::uint64_t executions, std::size_t crashes) {
+  ReplayReport report;
+  report.seeds = seeds;
+  report.executions = executions;
+  report.crashes = crashes;
+  report.edges = map.edges_covered();
+  report.paths = paths.path_count();
+  const std::vector<std::uint8_t> snapshot = map.snapshot_accumulated();
+  report.map_fingerprint =
+      content_hash(ByteSpan(snapshot.data(), snapshot.size()));
+  report.path_fingerprint = path_set_fingerprint(paths.snapshot());
+  return report;
+}
+
+}  // namespace
+
+ReplayReport report_from_traces(const std::vector<SeedTrace>& traces) {
+  // Rebuild the accumulated map from the per-seed element sets: OR-ing
+  // each (cell, bucket) bit is exactly what CoverageMap::accumulate does,
+  // so the fingerprints match a live replay bit-for-bit.
+  std::vector<std::uint8_t> virgin(cov::kMapSize, 0);
+  std::unordered_set<std::uint64_t> path_set;
+  ReplayReport report;
+  report.seeds = traces.size();
+  report.executions = traces.size();
+  for (const SeedTrace& trace : traces) {
+    report.crashes += trace.crashed;
+    path_set.insert(trace.trace_hash);
+    for (const std::uint32_t element : trace.elements) {
+      virgin[element >> 3] |=
+          static_cast<std::uint8_t>(1U << (element & 7U));
+    }
+  }
+  for (const std::uint8_t cell : virgin) report.edges += cell != 0;
+  report.paths = path_set.size();
+  report.map_fingerprint = content_hash(ByteSpan(virgin.data(), virgin.size()));
+  report.path_fingerprint = path_set_fingerprint(
+      std::vector<std::uint64_t>(path_set.begin(), path_set.end()));
+  return report;
+}
+
+ReplayReport replay_corpus(ProtocolTarget& target,
+                           const std::vector<Bytes>& seeds,
+                           const fuzz::ExecutorConfig& executor_config) {
+  fuzz::Executor executor(executor_config);
+  std::size_t crashes = 0;
+  for (const Bytes& seed : seeds) {
+    crashes += executor.run(target, seed).crashed();
+  }
+  return report_from(executor.coverage(), executor.paths(), seeds.size(),
+                     executor.executions(), crashes);
+}
+
+ReplayReport replay_corpus_sharded(
+    const fuzz::TargetFactory& make_target, const std::vector<Bytes>& seeds,
+    std::size_t workers, const fuzz::ExecutorConfig& executor_config) {
+  if (workers == 0) workers = 1;
+  workers = std::min(workers, seeds.size());
+  if (workers <= 1) {
+    const auto target = make_target();
+    return replay_corpus(*target, seeds, executor_config);
+  }
+
+  struct Shard {
+    fuzz::Executor executor;
+    std::size_t crashes = 0;
+    explicit Shard(const fuzz::ExecutorConfig& config) : executor(config) {}
+  };
+  std::vector<Shard> shards;
+  shards.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) shards.emplace_back(executor_config);
+
+  const std::size_t block = (seeds.size() + workers - 1) / workers;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t begin = w * block;
+      const std::size_t end = std::min(seeds.size(), begin + block);
+      if (begin >= end) break;
+      threads.emplace_back([&, w, begin, end] {
+        const auto target = make_target();
+        for (std::size_t i = begin; i < end; ++i) {
+          shards[w].crashes += shards[w].executor.run(*target, seeds[i]).crashed();
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  cov::CoverageMap merged_map;
+  cov::PathTracker merged_paths;
+  std::uint64_t executions = 0;
+  std::size_t crashes = 0;
+  for (const Shard& shard : shards) {
+    merged_map.merge(shard.executor.coverage());
+    merged_paths.merge(shard.executor.paths());
+    executions += shard.executor.executions();
+    crashes += shard.crashes;
+  }
+  return report_from(merged_map, merged_paths, seeds.size(), executions,
+                     crashes);
+}
+
+bool verify_deterministic(const fuzz::TargetFactory& make_target,
+                          const std::vector<Bytes>& seeds, std::size_t rounds,
+                          const fuzz::ExecutorConfig& executor_config) {
+  if (rounds < 2) rounds = 2;
+  ReplayReport first;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const auto target = make_target();
+    const ReplayReport report =
+        replay_corpus(*target, seeds, executor_config);
+    if (round == 0) {
+      first = report;
+    } else if (!first.same_coverage(report) ||
+               first.crashes != report.crashes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CrashReplay replay_crash(ProtocolTarget& target, ByteSpan reproducer,
+                         const fuzz::ExecutorConfig& executor_config) {
+  fuzz::Executor executor(executor_config);
+  const fuzz::ExecResult result = executor.run(target, reproducer);
+  CrashReplay replay;
+  replay.reproduced = result.crashed();
+  replay.faults = result.faults;
+  replay.trace_hash = result.trace_hash;
+  return replay;
+}
+
+std::size_t crack_into_corpus(const model::DataModelSet& models,
+                              const std::vector<Bytes>& seeds,
+                              fuzz::PuzzleCorpus& corpus, Rng& rng) {
+  const fuzz::FileCracker cracker;
+  std::size_t added = 0;
+  for (const Bytes& seed : seeds) {
+    added += cracker.crack(models, seed, corpus, rng).puzzles_added;
+  }
+  return added;
+}
+
+}  // namespace icsfuzz::distill

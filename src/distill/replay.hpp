@@ -1,0 +1,88 @@
+// Deterministic replay verification — the proof obligation of corpus
+// distillation.
+//
+// A distilled corpus is only trustworthy if re-running it reproduces the
+// exact coverage it was distilled to preserve. ReplayReport captures a
+// corpus replay's aggregate coverage with two order-insensitive
+// fingerprints (one over the accumulated edge map, one over the path set),
+// so "identical coverage" is a cheap equality test rather than a map diff.
+// The same machinery replays crash_db reproducers for triage: a saved
+// crash must still fault, and on the same (kind, site).
+#pragma once
+
+#include "distill/trace.hpp"
+#include "fuzzer/corpus.hpp"
+#include "sanitizer/fault.hpp"
+
+namespace icsfuzz::distill {
+
+/// Aggregate coverage of one corpus replay.
+struct ReplayReport {
+  std::size_t seeds = 0;
+  std::uint64_t executions = 0;
+  /// Accumulated distinct edges (nonzero cells of the merged map).
+  std::size_t edges = 0;
+  /// Distinct trace hashes.
+  std::size_t paths = 0;
+  /// Executions that raised a sanitizer fault.
+  std::size_t crashes = 0;
+  /// FNV-1a over the accumulated classified map — bit-identical maps, and
+  /// only those, fingerprint equal.
+  std::uint64_t map_fingerprint = 0;
+  /// Commutative mix over the path-hash set (order-insensitive).
+  std::uint64_t path_fingerprint = 0;
+
+  /// True when `other` covers the bit-identical edge map and path set.
+  [[nodiscard]] bool same_coverage(const ReplayReport& other) const {
+    return edges == other.edges && paths == other.paths &&
+           map_fingerprint == other.map_fingerprint &&
+           path_fingerprint == other.path_fingerprint;
+  }
+};
+
+/// Replays `seeds` sequentially against `target`.
+ReplayReport replay_corpus(ProtocolTarget& target,
+                           const std::vector<Bytes>& seeds,
+                           const fuzz::ExecutorConfig& executor_config = {});
+
+/// Derives the corpus report from already-collected traces — bit-identical
+/// to replay_corpus on the same seeds, with no further executions (cmin
+/// callers reuse their trace collection instead of replaying twice).
+ReplayReport report_from_traces(const std::vector<SeedTrace>& traces);
+
+/// Sharded replay: contiguous seed blocks on `workers` threads, merged
+/// through CoverageMap/PathTracker merge (commutative), so the report is
+/// identical to the sequential one.
+ReplayReport replay_corpus_sharded(
+    const fuzz::TargetFactory& make_target, const std::vector<Bytes>& seeds,
+    std::size_t workers, const fuzz::ExecutorConfig& executor_config = {});
+
+/// Replays `seeds` `rounds` times with fresh targets and returns true when
+/// every round produced the identical report — the determinism check a
+/// distilled corpus must pass before it is persisted as ground truth.
+bool verify_deterministic(const fuzz::TargetFactory& make_target,
+                          const std::vector<Bytes>& seeds,
+                          std::size_t rounds = 2,
+                          const fuzz::ExecutorConfig& executor_config = {});
+
+/// One crash reproducer's replay outcome.
+struct CrashReplay {
+  bool reproduced = false;
+  /// Faults raised (empty when the crash no longer reproduces).
+  std::vector<san::FaultReport> faults;
+  std::uint64_t trace_hash = 0;
+};
+
+/// Replays one reproducer from the crash_db / a saved session.
+CrashReplay replay_crash(ProtocolTarget& target, ByteSpan reproducer,
+                         const fuzz::ExecutorConfig& executor_config = {});
+
+/// Warm-start wiring: cracks every seed of a (distilled) corpus into
+/// `corpus` with the File Cracker, returning the number of puzzles added.
+/// This is how a persisted distilled corpus re-seeds a fresh campaign's
+/// puzzle store.
+std::size_t crack_into_corpus(const model::DataModelSet& models,
+                              const std::vector<Bytes>& seeds,
+                              fuzz::PuzzleCorpus& corpus, Rng& rng);
+
+}  // namespace icsfuzz::distill

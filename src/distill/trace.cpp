@@ -1,0 +1,83 @@
+#include "distill/trace.hpp"
+
+#include <bit>
+#include <thread>
+
+#include "coverage/instrument.hpp"
+
+namespace icsfuzz::distill {
+namespace {
+
+SeedTrace trace_one(fuzz::Executor& executor, ProtocolTarget& target,
+                    const Bytes& seed, std::size_t index) {
+  SeedTrace trace;
+  trace.index = index;
+  const fuzz::ExecResult result = executor.run(target, seed);
+  trace.trace_hash = result.trace_hash;
+  trace.crashed = result.crashed();
+
+  // The classified trace of the execution is still in the executor's map;
+  // extract its nonzero cells with the same zero-word skip the coverage
+  // passes use (the map is sparse).
+  const std::uint8_t* cells = executor.coverage().trace();
+  const auto* words = reinterpret_cast<const std::uint64_t*>(cells);
+  trace.elements.reserve(result.trace_edges);
+  for (std::size_t w = 0; w < cov::kMapSize / 8; ++w) {
+    if (words[w] == 0) continue;
+    for (std::size_t b = 0; b < 8; ++b) {
+      const std::size_t cell = w * 8 + b;
+      if (cells[cell] == 0) continue;
+      // classify_count() yields a one-bit bucket mask, so countr_zero is
+      // the bucket index; three bits suffice.
+      trace.elements.push_back(static_cast<std::uint32_t>(
+          (cell << 3) | static_cast<unsigned>(std::countr_zero(cells[cell]))));
+    }
+  }
+  return trace;
+}
+
+}  // namespace
+
+std::vector<SeedTrace> collect_traces(
+    ProtocolTarget& target, const std::vector<Bytes>& seeds,
+    const fuzz::ExecutorConfig& executor_config) {
+  fuzz::Executor executor(executor_config);
+  std::vector<SeedTrace> traces;
+  traces.reserve(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    traces.push_back(trace_one(executor, target, seeds[i], i));
+  }
+  return traces;
+}
+
+std::vector<SeedTrace> collect_traces_sharded(
+    const fuzz::TargetFactory& make_target, const std::vector<Bytes>& seeds,
+    std::size_t workers, const fuzz::ExecutorConfig& executor_config) {
+  if (workers == 0) workers = 1;
+  workers = std::min(workers, seeds.size());
+  if (workers <= 1) {
+    const auto target = make_target();
+    return collect_traces(*target, seeds, executor_config);
+  }
+
+  std::vector<SeedTrace> traces(seeds.size());
+  const std::size_t block = (seeds.size() + workers - 1) / workers;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * block;
+    const std::size_t end = std::min(seeds.size(), begin + block);
+    if (begin >= end) break;
+    threads.emplace_back([&, begin, end] {
+      const auto target = make_target();
+      fuzz::Executor executor(executor_config);
+      for (std::size_t i = begin; i < end; ++i) {
+        traces[i] = trace_one(executor, *target, seeds[i], i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  return traces;
+}
+
+}  // namespace icsfuzz::distill

@@ -1,0 +1,54 @@
+// Per-seed replay tracing — the measurement phase of corpus distillation.
+//
+// Distillation (the cmin/tmin family surveyed in protocol-fuzzing work)
+// needs to know, for every corpus seed, exactly which classified
+// (edge, bucket) elements its execution touches and which whole-trace hash
+// it produces. This header replays seeds through a private Executor (the
+// campaign's own maps are never touched) and extracts that element set
+// from the classified trace buffer.
+//
+// Replays are embarrassingly parallel: collect_traces_sharded() splits the
+// seed list into contiguous blocks, one worker thread per block, each with
+// its own target instance and Executor. Coverage tracing is thread_local
+// (coverage/instrument.hpp), so shards never observe each other, and the
+// output is position-indexed — identical to the sequential collection for
+// the deterministic targets this repository fuzzes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzzer/campaign.hpp"
+#include "fuzzer/executor.hpp"
+
+namespace icsfuzz::distill {
+
+/// One corpus seed's replay observables.
+struct SeedTrace {
+  /// Position in the replayed seed list.
+  std::size_t index = 0;
+  /// Whole-trace hash — the PathTracker identity of the execution.
+  std::uint64_t trace_hash = 0;
+  /// Sorted classified trace elements, encoded (cell << 3) | bucket_index.
+  /// Preserving the union of these across a seed subset preserves the
+  /// campaign's accumulated coverage map bit-for-bit.
+  std::vector<std::uint32_t> elements;
+  /// The replay raised a sanitizer fault (crash reproducer, not a corpus
+  /// seed in the usual sense).
+  bool crashed = false;
+};
+
+/// Replays every seed against `target` through a private Executor and
+/// returns one SeedTrace per seed, in input order.
+std::vector<SeedTrace> collect_traces(
+    ProtocolTarget& target, const std::vector<Bytes>& seeds,
+    const fuzz::ExecutorConfig& executor_config = {});
+
+/// Sharded variant: `workers` threads replay contiguous blocks of the seed
+/// list, each against its own `make_target()` instance. Deterministic —
+/// the result equals collect_traces() regardless of thread interleaving.
+std::vector<SeedTrace> collect_traces_sharded(
+    const fuzz::TargetFactory& make_target, const std::vector<Bytes>& seeds,
+    std::size_t workers, const fuzz::ExecutorConfig& executor_config = {});
+
+}  // namespace icsfuzz::distill

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "distill/distill.hpp"
+
 namespace icsfuzz::fuzz {
 
 std::string to_string(Strategy strategy) {
@@ -148,7 +150,40 @@ ExecResult Fuzzer::step() {
   stats_.tick(executor_.executions(), executor_.path_count(),
               executor_.edge_count(), crash_db_.unique_count(),
               corpus_.size());
+
+  if (config_.distill_interval != 0 && retained_.size() > 1 &&
+      executor_.executions() % config_.distill_interval == 0) {
+    auto_distill();
+  }
   return result;
+}
+
+void Fuzzer::auto_distill() {
+  // Replays go through a private executor: the campaign's accumulated map,
+  // path set and execution counter stay untouched, and cmin draws no
+  // randomness, so the fuzzing trajectory is identical with or without
+  // auto-distillation.
+  std::vector<Bytes> seeds;
+  seeds.reserve(retained_.size());
+  for (const RetainedSeed& seed : retained_) seeds.push_back(seed.bytes);
+
+  distill::CminConfig config;
+  config.executor = config_.executor;
+  const distill::CminResult result = distill::cmin(target_, seeds, config);
+  ++distill_passes_;
+  if (result.kept.size() == retained_.size()) return;
+
+  std::vector<RetainedSeed> kept;
+  kept.reserve(result.kept.size());
+  for (const std::size_t index : result.kept) {
+    kept.push_back(std::move(retained_[index]));
+  }
+  distill_dropped_ += retained_.size() - kept.size();
+  // Order (and therefore the newest-at-the-back property the export cursor
+  // relies on) is preserved: kept indices are ascending. A pruned
+  // not-yet-exported seed may cause one extra re-publish of an older seed;
+  // the exchange's content dedup absorbs it.
+  retained_ = std::move(kept);
 }
 
 void Fuzzer::run(std::uint64_t iterations,

@@ -56,6 +56,12 @@ struct FuzzerConfig {
   /// share re-applies learned chunks between discoveries without throttling
   /// value exploration.
   unsigned steady_semantic_pct = 25;
+  /// Auto-distillation: every `distill_interval` executions the retained
+  /// valuable-seed pool is minimized in place with the greedy set-cover
+  /// cmin of src/distill/ (replays run through a private executor and draw
+  /// no randomness, so enabling this never changes the fuzzing trajectory
+  /// — only the retained pool's size). 0 disables.
+  std::uint64_t distill_interval = 0;
 };
 
 /// One retained valuable seed.
@@ -91,6 +97,14 @@ class Fuzzer {
     return executor_.path_count();
   }
   [[nodiscard]] const FuzzerConfig& config() const { return config_; }
+  /// Auto-distill passes run so far (distill_interval > 0 only).
+  [[nodiscard]] std::uint64_t distill_passes() const {
+    return distill_passes_;
+  }
+  /// Retained seeds pruned by auto-distillation over the campaign.
+  [[nodiscard]] std::uint64_t distill_dropped() const {
+    return distill_dropped_;
+  }
 
   /// Finalizes the stats series (records a last checkpoint).
   void finish();
@@ -132,6 +146,9 @@ class Fuzzer {
   /// (and records it otherwise).
   bool seen_before(const Bytes& packet);
 
+  /// Minimizes the retained pool in place (FuzzerConfig::distill_interval).
+  void auto_distill();
+
   ProtocolTarget& target_;
   const model::DataModelSet& models_;
   FuzzerConfig config_;
@@ -160,6 +177,9 @@ class Fuzzer {
   /// the eviction-safe cursor behind drain_new_retained().
   std::uint64_t total_retained_ = 0;
   std::uint64_t exported_retained_ = 0;
+  /// Auto-distillation tallies (distill_interval > 0 only).
+  std::uint64_t distill_passes_ = 0;
+  std::uint64_t distill_dropped_ = 0;
 };
 
 }  // namespace icsfuzz::fuzz

@@ -115,6 +115,96 @@ std::optional<std::string> save_session(const Fuzzer& fuzzer,
   return std::nullopt;
 }
 
+std::optional<std::string> save_distilled_corpus(
+    const std::string& directory, const std::vector<Bytes>& seeds,
+    const distill::ReplayReport& report) {
+  std::error_code error;
+  const fs::path root(directory);
+  fs::create_directories(root, error);
+  if (error) return "cannot create corpus directory: " + error.message();
+
+  // A re-save into the same directory must fully replace the corpus:
+  // stale seed files would be globbed back in by load_distilled_corpus
+  // and falsify the fresh manifest.
+  for (const auto& entry : fs::directory_iterator(root, error)) {
+    if (entry.path().extension() == ".bin") {
+      std::error_code ignored;
+      fs::remove(entry.path(), ignored);
+    }
+  }
+
+  std::size_t index = 0;
+  for (const Bytes& seed : seeds) {
+    char name[32];
+    std::snprintf(name, sizeof name, "seed-%05zu.bin", index++);
+    if (!write_file(root / name, seed)) {
+      return std::string("cannot write ") + name;
+    }
+  }
+
+  char manifest[512];
+  std::snprintf(manifest, sizeof manifest,
+                "icsfuzz-distilled-corpus v1\n"
+                "seeds %zu\n"
+                "executions %llu\n"
+                "edges %zu\n"
+                "paths %zu\n"
+                "crashes %zu\n"
+                "map_fingerprint %016llx\n"
+                "path_fingerprint %016llx\n",
+                seeds.size(),
+                static_cast<unsigned long long>(report.executions),
+                report.edges, report.paths, report.crashes,
+                static_cast<unsigned long long>(report.map_fingerprint),
+                static_cast<unsigned long long>(report.path_fingerprint));
+  if (!write_text(root / "MANIFEST.txt", manifest)) {
+    return "cannot write MANIFEST.txt";
+  }
+  return std::nullopt;
+}
+
+LoadedCorpus load_distilled_corpus(const std::string& directory) {
+  LoadedCorpus corpus;
+  std::error_code error;
+  const fs::path root(directory);
+  if (!fs::is_directory(root, error)) return corpus;
+
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(root, error)) {
+    if (entry.path().extension() == ".bin") paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& path : paths) {
+    if (auto data = read_file(path)) corpus.seeds.push_back(std::move(*data));
+  }
+
+  std::ifstream manifest(root / "MANIFEST.txt");
+  if (manifest) {
+    std::string header;
+    std::getline(manifest, header);
+    if (header.rfind("icsfuzz-distilled-corpus", 0) == 0) {
+      corpus.has_manifest = true;
+      std::string key;
+      while (manifest >> key) {
+        if (key == "seeds") manifest >> corpus.expected.seeds;
+        else if (key == "executions") manifest >> corpus.expected.executions;
+        else if (key == "edges") manifest >> corpus.expected.edges;
+        else if (key == "paths") manifest >> corpus.expected.paths;
+        else if (key == "crashes") manifest >> corpus.expected.crashes;
+        else if (key == "map_fingerprint") {
+          manifest >> std::hex >> corpus.expected.map_fingerprint >> std::dec;
+        } else if (key == "path_fingerprint") {
+          manifest >> std::hex >> corpus.expected.path_fingerprint >> std::dec;
+        } else {
+          std::string skipped;
+          manifest >> skipped;
+        }
+      }
+    }
+  }
+  return corpus;
+}
+
 std::vector<LoadedCrash> load_crashes(const std::string& directory) {
   std::vector<LoadedCrash> out;
   std::error_code error;

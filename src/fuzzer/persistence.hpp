@@ -10,12 +10,18 @@
 //   seeds/seed-<index>.bin        retained valuable seeds
 //   stats.csv                     the campaign's checkpoint series
 //   summary.txt                   human-readable wrap-up
+//
+// Distilled corpora (src/distill/) persist as their own directory of
+// seed-<index>.bin files plus a MANIFEST.txt recording the ReplayReport
+// the corpus must reproduce when reloaded — the load side hands that
+// expectation back so callers can verify replay coverage is bit-identical.
 #pragma once
 
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "distill/replay.hpp"
 #include "fuzzer/fuzzer.hpp"
 
 namespace icsfuzz::fuzz {
@@ -40,5 +46,24 @@ std::vector<Bytes> load_seeds(const std::string& directory);
 /// Renders a human-readable campaign summary (used by summary.txt and the
 /// examples).
 std::string render_summary(const Fuzzer& fuzzer);
+
+/// Writes a distilled corpus under `directory`: one seed-<index>.bin per
+/// seed plus MANIFEST.txt with `report`'s coverage expectation. Returns an
+/// error message on I/O failure, nullopt on success.
+std::optional<std::string> save_distilled_corpus(
+    const std::string& directory, const std::vector<Bytes>& seeds,
+    const distill::ReplayReport& report);
+
+/// A reloaded distilled corpus.
+struct LoadedCorpus {
+  std::vector<Bytes> seeds;
+  /// The coverage the corpus claimed at save time (MANIFEST.txt); compare
+  /// with a fresh replay via ReplayReport::same_coverage.
+  distill::ReplayReport expected;
+  bool has_manifest = false;
+};
+
+/// Loads a distilled corpus directory (empty seeds when missing).
+LoadedCorpus load_distilled_corpus(const std::string& directory);
 
 }  // namespace icsfuzz::fuzz

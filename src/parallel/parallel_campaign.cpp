@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <thread>
+#include <unordered_set>
 
 namespace icsfuzz::par {
 
@@ -85,6 +86,30 @@ ParallelCampaignResult ParallelCampaign::run() {
   result.global_paths = exchange.global_paths();
   result.global_edges = exchange.global_edges();
   result.seeds_published = exchange.published_count();
+
+  if (config_.distill_final) {
+    // Pool every worker's retained seeds (content-deduplicated, worker
+    // order — deterministic because workers are visited in id order) and
+    // keep the coverage-preserving minimum. Replays shard across the same
+    // worker count the campaign ran with.
+    std::vector<Bytes> pooled;
+    std::unordered_set<std::uint64_t> seen;
+    for (const std::unique_ptr<Worker>& worker : workers) {
+      for (const fuzz::RetainedSeed& seed :
+           worker->fuzzer().retained_seeds()) {
+        if (seen.insert(content_hash(seed.bytes)).second) {
+          pooled.push_back(seed.bytes);
+        }
+      }
+    }
+    distill::CminConfig distill_config;
+    distill_config.workers = config_.workers;
+    distill_config.executor = config_.fuzzer.executor;
+    distill::CminResult distilled =
+        distill::cmin(make_target_, pooled, distill_config);
+    result.distilled_corpus = std::move(distilled.seeds);
+    result.distill_stats = distilled.stats;
+  }
   return result;
 }
 

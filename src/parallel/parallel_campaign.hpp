@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "distill/distill.hpp"
 #include "fuzzer/campaign.hpp"
 #include "parallel/worker.hpp"
 
@@ -37,7 +38,13 @@ struct ParallelCampaignConfig {
   std::uint64_t sync_interval = 1024;
   /// Seed-store shards in the exchange.
   std::size_t exchange_shards = 8;
+  /// Distill the campaign's pooled retained seeds after the workers
+  /// finish: replays are sharded across `workers` threads and the greedy
+  /// set-cover minimum lands in ParallelCampaignResult::distilled_corpus.
+  bool distill_final = false;
   /// Per-worker fuzzer configuration (rng_seed is overridden per worker).
+  /// Set fuzzer.distill_interval to auto-distill each worker's retained
+  /// pool mid-campaign as well.
   fuzz::FuzzerConfig fuzzer;
 };
 
@@ -67,6 +74,11 @@ struct ParallelCampaignResult {
   fuzz::CrashDb pooled_crashes;
   /// Campaign-wide throughput series (sum_series over the workers).
   std::vector<fuzz::Checkpoint> throughput_series;
+  /// The coverage-preserving minimum of the workers' pooled retained seeds
+  /// (distill_final only; empty otherwise).
+  std::vector<Bytes> distilled_corpus;
+  /// Distillation tallies (zeroed unless distill_final).
+  distill::CminStats distill_stats;
   double wall_seconds = 0.0;
   [[nodiscard]] double execs_per_second() const {
     return wall_seconds > 0.0

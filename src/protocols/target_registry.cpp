@@ -1,0 +1,35 @@
+#include "protocols/target_registry.hpp"
+
+#include "protocols/dnp3/dnp3_server.hpp"
+#include "protocols/iccp/iccp_server.hpp"
+#include "protocols/iec104/iec104_server.hpp"
+#include "protocols/iec61850/mms_server.hpp"
+#include "protocols/lib60870/cs101_server.hpp"
+#include "protocols/modbus/modbus_server.hpp"
+
+namespace icsfuzz::proto {
+
+std::function<std::unique_ptr<ProtocolTarget>()> target_factory(
+    std::string_view project) {
+  if (project == "libmodbus") {
+    return [] { return std::make_unique<ModbusServer>(); };
+  }
+  if (project == "IEC104") {
+    return [] { return std::make_unique<Iec104Server>(); };
+  }
+  if (project == "libiec61850") {
+    return [] { return std::make_unique<MmsServer>(); };
+  }
+  if (project == "lib60870") {
+    return [] { return std::make_unique<Cs101Server>(); };
+  }
+  if (project == "libiec_iccp_mod") {
+    return [] { return std::make_unique<IccpServer>(); };
+  }
+  if (project == "opendnp3") {
+    return [] { return std::make_unique<Dnp3Server>(); };
+  }
+  return {};
+}
+
+}  // namespace icsfuzz::proto

@@ -1,0 +1,21 @@
+// Maps the paper's project names ("libmodbus", "IEC104", ...) to factories
+// producing fresh instances of the matching instrumented server. The one
+// authoritative name-to-stack mapping — the benches, the icsfuzz-distill
+// CLI, and any future tool share it, and the names align with
+// pits::pit_for_project.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "protocols/protocol_target.hpp"
+
+namespace icsfuzz::proto {
+
+/// Factory for the named project's server; an empty std::function for
+/// unknown names.
+std::function<std::unique_ptr<ProtocolTarget>()> target_factory(
+    std::string_view project);
+
+}  // namespace icsfuzz::proto

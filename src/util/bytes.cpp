@@ -25,6 +25,13 @@ std::uint64_t content_hash(ByteSpan data) {
   return hash ^ data.size();
 }
 
+std::uint64_t mix64(std::uint64_t value) {
+  value += 0x9E3779B97F4A7C15ULL;
+  value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  value = (value ^ (value >> 27)) * 0x94D049BB133111EBULL;
+  return value ^ (value >> 31);
+}
+
 std::uint8_t ByteReader::read_u8() {
   if (!ok_ || pos_ >= data_.size()) {
     ok_ = false;

@@ -36,6 +36,11 @@ void append(Bytes& head, ByteSpan tail);
 /// must agree on this function or cross-component dedup drifts.
 std::uint64_t content_hash(ByteSpan data);
 
+/// Stateless splitmix64 finalizer: the shared 64-bit scrambler behind the
+/// order-insensitive set fingerprints (coverage trace hash, replay path
+/// fingerprint).
+std::uint64_t mix64(std::uint64_t value);
+
 /// A non-owning, bounds-checked forward cursor over a byte span.
 ///
 /// All `read_*` calls return a value and clear `ok()` on underrun; once the

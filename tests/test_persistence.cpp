@@ -4,6 +4,8 @@
 
 #include <filesystem>
 
+#include "distill/distill.hpp"
+#include "distill/replay.hpp"
 #include "fuzzer/executor.hpp"
 #include "fuzzer/persistence.hpp"
 #include "pits/pits.hpp"
@@ -94,6 +96,58 @@ TEST(Persistence, SummaryMentionsKeyNumbers) {
 TEST(Persistence, LoadFromMissingDirectoryIsEmpty) {
   EXPECT_TRUE(load_crashes("/nonexistent/session").empty());
   EXPECT_TRUE(load_seeds("/nonexistent/session").empty());
+  const LoadedCorpus corpus = load_distilled_corpus("/nonexistent/corpus");
+  EXPECT_TRUE(corpus.seeds.empty());
+  EXPECT_FALSE(corpus.has_manifest);
+}
+
+TEST(Persistence, DistilledCorpusRoundTripReplaysIdenticalCoverage) {
+  // Distill a cs101 campaign's retained seeds, persist the result, reload
+  // it, and replay: edge and path coverage must match the manifest
+  // bit-for-bit.
+  SessionDir dir;
+  const fuzz::TargetFactory factory = [] {
+    return std::make_unique<proto::Cs101Server>();
+  };
+  Fuzzer fuzzer = fuzz_cs101(8000);
+  std::vector<Bytes> seeds;
+  for (const RetainedSeed& seed : fuzzer.retained_seeds()) {
+    seeds.push_back(seed.bytes);
+  }
+  ASSERT_GT(seeds.size(), 1u);
+
+  const distill::CminResult distilled = distill::cmin(factory, seeds, {});
+  const distill::ReplayReport report =
+      distill::replay_corpus_sharded(factory, distilled.seeds, 2);
+  ASSERT_FALSE(
+      save_distilled_corpus(dir.str(), distilled.seeds, report).has_value());
+
+  const LoadedCorpus loaded = load_distilled_corpus(dir.str());
+  ASSERT_TRUE(loaded.has_manifest);
+  ASSERT_EQ(loaded.seeds.size(), distilled.seeds.size());
+  for (std::size_t i = 0; i < loaded.seeds.size(); ++i) {
+    EXPECT_EQ(loaded.seeds[i], distilled.seeds[i]) << i;
+  }
+  EXPECT_EQ(loaded.expected.edges, report.edges);
+  EXPECT_EQ(loaded.expected.paths, report.paths);
+
+  const distill::ReplayReport replayed =
+      distill::replay_corpus_sharded(factory, loaded.seeds, 2);
+  EXPECT_TRUE(replayed.same_coverage(loaded.expected));
+  EXPECT_EQ(replayed.crashes, loaded.expected.crashes);
+
+  // Re-saving a smaller corpus into the same directory must fully replace
+  // it — stale seed files would falsify the fresh manifest.
+  std::vector<Bytes> smaller(distilled.seeds.begin(),
+                             distilled.seeds.begin() + 1);
+  const auto target = factory();
+  const distill::ReplayReport smaller_report =
+      distill::replay_corpus(*target, smaller);
+  ASSERT_FALSE(
+      save_distilled_corpus(dir.str(), smaller, smaller_report).has_value());
+  const LoadedCorpus reloaded = load_distilled_corpus(dir.str());
+  EXPECT_EQ(reloaded.seeds.size(), 1u);
+  EXPECT_EQ(reloaded.expected.edges, smaller_report.edges);
 }
 
 TEST(Persistence, SaveToUnwritablePathFails) {

@@ -9,6 +9,7 @@
 #include <set>
 
 #include "model/instantiation.hpp"
+#include "model/pit_parser.hpp"
 #include "pits/pits.hpp"
 #include "protocols/dnp3/dnp3_server.hpp"
 #include "protocols/iccp/iccp_server.hpp"
@@ -107,6 +108,53 @@ INSTANTIATE_TEST_SUITE_P(
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }
+      return name;
+    });
+
+// Every protocol family with a server also ships a file-loadable XML pit
+// (pits/*.xml); their defaults must be accepted by the matching stack.
+struct XmlPitCase {
+  const char* file;
+  std::function<std::unique_ptr<ProtocolTarget>()> target;
+};
+
+class XmlPitSuite : public ::testing::TestWithParam<XmlPitCase> {};
+
+TEST_P(XmlPitSuite, ShippedXmlDefaultsNeverFaultTheTarget) {
+  const model::PitParseResult result = model::parse_pit_file(
+      std::string(ICSFUZZ_PITS_DIR) + "/" + GetParam().file);
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_GE(result.models.size(), 2u);
+  auto target = GetParam().target();
+  std::size_t responded = 0;
+  for (const model::DataModel& model : result.models.models()) {
+    const Bytes packet = model::default_instance(model).serialize();
+    const auto run = run_armed(*target, packet);
+    EXPECT_FALSE(run.crashed()) << model.name();
+    if (!run.response.empty()) ++responded;
+  }
+  // At least one default per XML pit must be a valid, answered request.
+  EXPECT_GE(responded, 1u) << GetParam().file;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, XmlPitSuite,
+    ::testing::Values(
+        XmlPitCase{"modbus.xml",
+                   [] { return std::make_unique<proto::ModbusServer>(); }},
+        XmlPitCase{"iec104.xml",
+                   [] { return std::make_unique<proto::Iec104Server>(); }},
+        XmlPitCase{"cs101.xml",
+                   [] { return std::make_unique<proto::Cs101Server>(); }},
+        XmlPitCase{"dnp3.xml",
+                   [] { return std::make_unique<proto::Dnp3Server>(); }},
+        XmlPitCase{"iccp.xml",
+                   [] { return std::make_unique<proto::IccpServer>(); }},
+        XmlPitCase{"mms.xml",
+                   [] { return std::make_unique<proto::MmsServer>(); }}),
+    [](const ::testing::TestParamInfo<XmlPitCase>& info) {
+      std::string name = info.param.file;
+      name = name.substr(0, name.find('.'));
       return name;
     });
 

@@ -234,6 +234,59 @@ TEST(Pit, ShippedIec104XmlLoadsAndRoundTrips) {
   }
 }
 
+TEST(Pit, ShippedCs101XmlLoadsAndRoundTrips) {
+  const PitParseResult result =
+      parse_pit_file(std::string(ICSFUZZ_PITS_DIR) + "/cs101.xml");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.models.size(), 3u);
+  ASSERT_FALSE(result.models.validate().has_value());
+  for (const DataModel& model : result.models.models()) {
+    const Bytes wire = default_instance(model).serialize();
+    EXPECT_TRUE(parse_packet(model, wire).has_value()) << model.name();
+  }
+}
+
+TEST(Pit, ShippedDnp3XmlLoadsAndRoundTrips) {
+  const PitParseResult result =
+      parse_pit_file(std::string(ICSFUZZ_PITS_DIR) + "/dnp3.xml");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.models.size(), 3u);
+  ASSERT_FALSE(result.models.validate().has_value());
+  for (const DataModel& model : result.models.models()) {
+    const Bytes wire = default_instance(model).serialize();
+    EXPECT_TRUE(parse_packet(model, wire).has_value()) << model.name();
+  }
+  // The link frames must carry real DNP3 CRC fixups, not placeholders.
+  const DataModel* read = result.models.find("DnpReadAllObjects");
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->find("HeaderCrc")->fixup().kind, FixupKind::CrcDnp3);
+  EXPECT_EQ(read->find("BlockCrc")->fixup().kind, FixupKind::CrcDnp3);
+}
+
+TEST(Pit, ShippedIccpXmlLoadsAndRoundTrips) {
+  const PitParseResult result =
+      parse_pit_file(std::string(ICSFUZZ_PITS_DIR) + "/iccp.xml");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.models.size(), 2u);
+  ASSERT_FALSE(result.models.validate().has_value());
+  for (const DataModel& model : result.models.models()) {
+    const Bytes wire = default_instance(model).serialize();
+    EXPECT_TRUE(parse_packet(model, wire).has_value()) << model.name();
+  }
+}
+
+TEST(Pit, ShippedMmsXmlLoadsAndRoundTrips) {
+  const PitParseResult result =
+      parse_pit_file(std::string(ICSFUZZ_PITS_DIR) + "/mms.xml");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.models.size(), 2u);
+  ASSERT_FALSE(result.models.validate().has_value());
+  for (const DataModel& model : result.models.models()) {
+    const Bytes wire = default_instance(model).serialize();
+    EXPECT_TRUE(parse_packet(model, wire).has_value()) << model.name();
+  }
+}
+
 TEST(Pit, ShippedHvacXmlLoads) {
   const PitParseResult result =
       parse_pit_file(std::string(ICSFUZZ_PITS_DIR) + "/hvac.xml");
