@@ -1,0 +1,222 @@
+// Execution hot-path microbench: isolates the two costs the sparse
+// overhaul removed from every execution and reports them as one JSON
+// document for the bench-regression gate.
+//
+//   * Map ops A/B — identical synthetic traces (three edge densities)
+//     replayed through the dense full-map reference
+//     (begin_execution_dense + finalize_execution_dense: memset + ~5 whole
+//     64 KiB sweeps per exec) and through the sparse dirty-word path
+//     (begin_execution + fused finalize_execution: O(touched words)).
+//     `speedup_vs_dense` is the hardware-independent headline — both arms
+//     run the same workload on the same machine, so the ratio gates
+//     regressions without caring how fast the CI runner is.
+//
+//   * Packet-pipeline allocations — a counting global allocator measures
+//     steady-state heap allocations per Executor::run_into on an
+//     allocation-free stub target (must be 0), and per stacked
+//     mutate_bytes_into ping-pong iteration (must be 0).
+//
+// Budget knobs:
+//   ICSFUZZ_BENCH_HOTPATH_EXECS   executions per density tier (default 3000)
+#include <chrono>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "counting_allocator.hpp"
+#include "coverage/coverage_map.hpp"
+#include "fuzzer/executor.hpp"
+#include "mutation/mutator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using icsfuzz::bench_alloc::g_allocations;
+
+using namespace icsfuzz;
+using Clock = std::chrono::steady_clock;
+
+/// One synthetic execution: (cell, raw count) pairs to emit via cov::hit.
+using Trace = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+/// Bumps exactly `cell` (solves the instrumentation update rule).
+inline void emit_cell(std::uint32_t cell) {
+  cov::hit(cell ^ cov::tls_prev_location);
+}
+
+std::vector<Trace> make_traces(std::size_t execs, std::size_t edges,
+                               std::uint64_t seed) {
+  // Cells come from a bounded pool so the virgin map saturates after the
+  // first executions — the steady-state (no-new-coverage) regime a long
+  // campaign spends nearly all its time in.
+  Rng rng(seed);
+  std::vector<std::uint32_t> pool(8 * edges);
+  for (std::uint32_t& cell : pool) {
+    cell = static_cast<std::uint32_t>(rng.below(cov::kMapSize));
+  }
+  std::vector<Trace> traces(execs);
+  for (Trace& trace : traces) {
+    trace.reserve(edges);
+    for (std::size_t e = 0; e < edges; ++e) {
+      trace.push_back({pool[rng.index(pool.size())],
+                       static_cast<std::uint32_t>(1 + rng.below(4))});
+    }
+  }
+  return traces;
+}
+
+template <typename Begin, typename Finalize>
+double time_arm(cov::CoverageMap& map, const std::vector<Trace>& traces,
+                Begin begin, Finalize finalize, std::uint64_t& sink) {
+  const auto start = Clock::now();
+  for (const Trace& trace : traces) {
+    begin(map);
+    for (const auto& [cell, count] : trace) {
+      for (std::uint32_t i = 0; i < count; ++i) emit_cell(cell);
+    }
+    const cov::TraceSummary summary = finalize(map);
+    sink ^= summary.trace_hash + summary.trace_edges;
+  }
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Allocation-free stub target for the executor-pipeline measurement.
+class StubTarget final : public ProtocolTarget {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "stub"; }
+  void reset() override {}
+  Bytes process(ByteSpan packet) override {
+    Bytes response;
+    process_into(packet, response);
+    return response;
+  }
+  void process_into(ByteSpan packet, Bytes& response) override {
+    for (const std::uint8_t byte : packet) {
+      cov::hit(static_cast<std::uint32_t>(byte) * 977u + 13u);
+    }
+    response.assign(packet.begin(), packet.end());
+  }
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t execs = static_cast<std::size_t>(
+      bench::env_u64("ICSFUZZ_BENCH_HOTPATH_EXECS", 3000));
+  const std::size_t densities[] = {32, 256, 1024};
+
+  // -- Map ops A/B. -------------------------------------------------------
+  double dense_seconds = 0.0;
+  double sparse_seconds = 0.0;
+  double per_density_speedup[3] = {0, 0, 0};
+  std::uint64_t sink = 0;
+  std::size_t tier = 0;
+  for (const std::size_t edges : densities) {
+    const std::vector<Trace> traces = make_traces(execs, edges, 1000 + edges);
+    cov::CoverageMap sparse_map;
+    cov::CoverageMap dense_map;
+    // Warm both arms (page in maps, saturate virgin bits) with a slice.
+    std::uint64_t warm_sink = 0;
+    const std::vector<Trace> warmup(traces.begin(),
+                                    traces.begin() +
+                                        static_cast<std::ptrdiff_t>(
+                                            std::min<std::size_t>(64, execs)));
+    time_arm(
+        sparse_map, warmup, [](cov::CoverageMap& m) { m.begin_execution(); },
+        [](cov::CoverageMap& m) { return m.finalize_execution(); }, warm_sink);
+    time_arm(
+        dense_map, warmup,
+        [](cov::CoverageMap& m) { m.begin_execution_dense(); },
+        [](cov::CoverageMap& m) { return m.finalize_execution_dense(); },
+        warm_sink);
+
+    const double sparse = time_arm(
+        sparse_map, traces, [](cov::CoverageMap& m) { m.begin_execution(); },
+        [](cov::CoverageMap& m) { return m.finalize_execution(); }, sink);
+    const double dense = time_arm(
+        dense_map, traces,
+        [](cov::CoverageMap& m) { m.begin_execution_dense(); },
+        [](cov::CoverageMap& m) { return m.finalize_execution_dense(); },
+        sink);
+    sparse_seconds += sparse;
+    dense_seconds += dense;
+    per_density_speedup[tier++] = sparse > 0.0 ? dense / sparse : 0.0;
+  }
+  const double total_map_execs =
+      static_cast<double>(execs) * std::size(densities);
+  const double speedup =
+      sparse_seconds > 0.0 ? dense_seconds / sparse_seconds : 0.0;
+
+  // -- Executor pipeline: throughput + steady-state allocations. ----------
+  StubTarget target;
+  fuzz::Executor executor;
+  fuzz::ExecResult result;
+  const std::vector<Bytes> packets = {
+      Bytes{1, 2, 3, 4, 5, 6, 7, 8}, Bytes{9, 8, 7, 6, 5},
+      Bytes{1, 1, 2, 3, 5, 8, 13, 21, 34, 55}, Bytes{0x42, 0x43}};
+  for (std::size_t i = 0; i < 512; ++i) {  // warm-up
+    executor.run_into(target, packets[i % packets.size()], result);
+  }
+  const std::size_t exec_iters = 20000;
+  const std::uint64_t allocs_before =
+      g_allocations.load(std::memory_order_relaxed);
+  const auto exec_start = Clock::now();
+  for (std::size_t i = 0; i < exec_iters; ++i) {
+    executor.run_into(target, packets[i % packets.size()], result);
+  }
+  const double exec_seconds =
+      std::chrono::duration<double>(Clock::now() - exec_start).count();
+  const std::uint64_t allocs_after =
+      g_allocations.load(std::memory_order_relaxed);
+  const double allocs_per_exec =
+      static_cast<double>(allocs_after - allocs_before) /
+      static_cast<double>(exec_iters);
+
+  // -- Stacked mutation ping-pong allocations. ----------------------------
+  const mutation::MutatorSuite mutators;
+  Rng rng(4242);
+  const Bytes seed = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+  Bytes a;
+  Bytes b;
+  for (int i = 0; i < 8192; ++i) {  // warm-up
+    a.assign(seed.begin(), seed.end());
+    mutators.mutate_bytes_into(a, b, rng);
+    a.swap(b);
+  }
+  const std::size_t mut_iters = 8192;
+  const std::uint64_t mut_before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < mut_iters; ++i) {
+    a.assign(seed.begin(), seed.end());
+    mutators.mutate_bytes_into(a, b, rng);
+    a.swap(b);
+  }
+  const double mut_allocs =
+      static_cast<double>(g_allocations.load(std::memory_order_relaxed) -
+                          mut_before) /
+      static_cast<double>(mut_iters);
+
+  std::printf("{\n  \"bench\": \"hotpath\",\n");
+  std::printf("  \"map_execs_per_density\": %zu,\n", execs);
+  std::printf("  \"dense_map_execs_per_sec\": %.0f,\n",
+              dense_seconds > 0.0 ? total_map_execs / dense_seconds : 0.0);
+  std::printf("  \"sparse_map_execs_per_sec\": %.0f,\n",
+              sparse_seconds > 0.0 ? total_map_execs / sparse_seconds : 0.0);
+  std::printf("  \"speedup_vs_dense\": %.2f,\n", speedup);
+  std::printf("  \"speedup_vs_dense_32_edges\": %.2f,\n",
+              per_density_speedup[0]);
+  std::printf("  \"speedup_vs_dense_256_edges\": %.2f,\n",
+              per_density_speedup[1]);
+  std::printf("  \"speedup_vs_dense_1024_edges\": %.2f,\n",
+              per_density_speedup[2]);
+  std::printf("  \"executor_execs_per_sec\": %.0f,\n",
+              exec_seconds > 0.0 ? static_cast<double>(exec_iters) /
+                                       exec_seconds
+                                 : 0.0);
+  std::printf("  \"steady_state_allocs_per_exec\": %.4f,\n", allocs_per_exec);
+  std::printf("  \"mutate_into_allocs_per_iter\": %.4f,\n", mut_allocs);
+  std::printf("  \"checksum\": %llu\n}\n",
+              static_cast<unsigned long long>(sink & 0xFFFF));
+  return allocs_per_exec == 0.0 && mut_allocs == 0.0 ? 0 : 1;
+}

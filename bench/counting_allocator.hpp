@@ -1,0 +1,55 @@
+// Counting replacement of the global allocator, shared by the standalone
+// binaries that assert the hot path's zero-allocation discipline
+// (bench/bench_hotpath.cpp and tests/test_hotpath_alloc.cpp).
+//
+// Include EXACTLY ONCE per binary: this header *defines* the replaceable
+// global operator new/delete set. Every allocation bumps
+// icsfuzz::bench_alloc::g_allocations; measure a window by differencing
+// the counter around it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace icsfuzz::bench_alloc {
+
+inline std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace icsfuzz::bench_alloc
+
+void* operator new(std::size_t size) {
+  icsfuzz::bench_alloc::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  icsfuzz::bench_alloc::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t alignment = static_cast<std::size_t>(align);
+  const std::size_t rounded =
+      ((size == 0 ? 1 : size) + alignment - 1) / alignment * alignment;
+  if (void* p = std::aligned_alloc(alignment, rounded)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -5,11 +5,17 @@ Compares a bench's JSON output against a checked-in baseline:
 
     check_bench_regression.py bench/baseline.json bench_distill.json
 
-The baseline declares three kinds of expectations:
+The baseline either declares expectations at the top level or, for a
+multi-bench baseline, under "benches": {<name>: {...}} where <name> is
+matched against the current output's "bench" key. Each section declares
+four kinds of expectations:
   * "rates":        throughput keys (exec/sec); the current value may not
                     fall more than "regression_pct" percent below baseline.
-  * "min":          hard floors (e.g. reduction_pct) — hardware-independent
-                    quality metrics that must never drop below the floor.
+  * "min":          hard floors (e.g. reduction_pct, speedup_vs_dense) —
+                    hardware-independent quality metrics that must never
+                    drop below the floor.
+  * "max":          hard ceilings (e.g. steady_state_allocs_per_exec) —
+                    metrics that must never exceed the bound.
   * "require_true": boolean keys that must be true (correctness gates such
                     as coverage_identical).
 
@@ -41,11 +47,19 @@ def main(argv: list[str]) -> int:
     except (OSError, json.JSONDecodeError) as error:
         return fail(f"cannot load inputs: {error}", 2)
 
-    regression_pct = float(baseline.get("regression_pct", 25))
+    section = baseline
+    if "benches" in baseline:
+        name = current.get("bench")
+        section = baseline["benches"].get(name)
+        if section is None:
+            return fail(f"no baseline section for bench {name!r}", 2)
+
+    regression_pct = float(
+        section.get("regression_pct", baseline.get("regression_pct", 25)))
     allowed = 1.0 - regression_pct / 100.0
     status = 0
 
-    for key, reference in baseline.get("rates", {}).items():
+    for key, reference in section.get("rates", {}).items():
         value = current.get(key)
         if value is None:
             status = fail(f"missing rate key '{key}' in {argv[2]}")
@@ -57,7 +71,7 @@ def main(argv: list[str]) -> int:
         if float(value) < floor:
             status = 1
 
-    for key, floor in baseline.get("min", {}).items():
+    for key, floor in section.get("min", {}).items():
         value = current.get(key)
         if value is None:
             status = fail(f"missing min key '{key}' in {argv[2]}")
@@ -67,7 +81,17 @@ def main(argv: list[str]) -> int:
         if float(value) < float(floor):
             status = 1
 
-    for key in baseline.get("require_true", []):
+    for key, ceiling in section.get("max", {}).items():
+        value = current.get(key)
+        if value is None:
+            status = fail(f"missing max key '{key}' in {argv[2]}")
+            continue
+        verdict = "ok" if float(value) <= float(ceiling) else "REGRESSION"
+        print(f"{key}: current={value} max={ceiling} {verdict}")
+        if float(value) > float(ceiling):
+            status = 1
+
+    for key in section.get("require_true", []):
         value = current.get(key)
         print(f"{key}: {value}")
         if value is not True:

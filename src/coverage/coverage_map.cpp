@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "coverage/dense_ref.hpp"
+
 namespace icsfuzz::cov {
 namespace {
 
@@ -22,88 +24,124 @@ constexpr std::array<std::uint8_t, 256> make_bucket_table() {
 
 const std::array<std::uint8_t, 256> kBucketTable = make_bucket_table();
 
+/// Number of bytes that are zero in `before` but nonzero in `after` — the
+/// edges a virgin-map OR newly covered (feeds the O(1) edges_covered()).
+std::size_t newly_nonzero_bytes(std::uint64_t before, std::uint64_t after) {
+  std::size_t count = 0;
+  for (std::size_t b = 0; b < 8; ++b) {
+    const std::uint64_t mask = 0xFFULL << (b * 8);
+    count += (before & mask) == 0 && (after & mask) != 0;
+  }
+  return count;
+}
+
 }  // namespace
 
 std::uint8_t classify_count(std::uint8_t raw) { return kBucketTable[raw]; }
 
 CoverageMap::CoverageMap()
-    : trace_(std::make_unique<std::uint8_t[]>(kMapSize)),
-      virgin_(std::make_unique<std::uint8_t[]>(kMapSize)) {
+    : trace_(std::make_unique<std::uint64_t[]>(kMapWords)),
+      virgin_(std::make_unique<std::uint64_t[]>(kMapWords)),
+      dirty_(std::make_unique<DirtyWordList>()) {
   std::memset(trace_.get(), 0, kMapSize);
   std::memset(virgin_.get(), 0, kMapSize);
 }
 
 void CoverageMap::begin_execution() {
+  // Sparse clear: only the words the previous execution made nonzero. The
+  // invariant "every word not in the dirty list is zero" holds from the
+  // constructor memset onwards, because hit() appends each word on its
+  // 0 -> nonzero transition and counters never decrease while armed.
+  for (std::uint32_t i = 0; i < dirty_->count; ++i) {
+    trace_[dirty_->indices[i]] = 0;
+  }
+  dirty_->count = 0;
+  begin_trace(trace_bytes(), dirty_.get());
+}
+
+void CoverageMap::begin_execution_dense() {
   std::memset(trace_.get(), 0, kMapSize);
-  begin_trace(trace_.get());
+  dirty_->count = 0;
+  begin_trace(trace_bytes(), dirty_.get());
 }
 
-namespace {
-
-// The maps are sparse (a few hundred live cells out of 64 Ki), so every
-// whole-map pass skips zero 64-bit words — the same trick AFL uses.
-constexpr std::size_t kWords = kMapSize / sizeof(std::uint64_t);
-
-const std::uint64_t* as_words(const std::uint8_t* bytes) {
-  return reinterpret_cast<const std::uint64_t*>(bytes);
+TraceSummary CoverageMap::finalize_execution() {
+  end_trace();
+  TraceSummary summary;
+  std::uint64_t sum = 0;
+  std::uint64_t mix = 0;
+  for (std::uint32_t i = 0; i < dirty_->count; ++i) {
+    const std::size_t w = dirty_->indices[i];
+    std::uint8_t* cell = trace_bytes() + w * 8;
+    // Classify the word's cells, then hash/count/accumulate the classified
+    // values — the fused single pass.
+    for (std::size_t b = 0; b < 8; ++b) cell[b] = kBucketTable[cell[b]];
+    const std::uint64_t word = trace_[w];
+    const std::uint64_t have = virgin_[w];
+    const std::uint64_t fresh = word & ~have;
+    if (fresh != 0) {
+      virgin_[w] = have | fresh;
+      edges_covered_ += newly_nonzero_bytes(have, have | fresh);
+      summary.new_coverage = true;
+    }
+    for (std::size_t b = 0; b < 8; ++b) {
+      if (cell[b] == 0) continue;
+      const std::uint64_t v = dense::mix_cell(w * 8 + b, cell[b]);
+      sum += v;
+      mix ^= v;
+      ++summary.trace_edges;
+    }
+  }
+  summary.trace_hash = dense::finish_hash(sum, mix);
+  return summary;
 }
 
-std::uint64_t* as_words(std::uint8_t* bytes) {
-  return reinterpret_cast<std::uint64_t*>(bytes);
+TraceSummary CoverageMap::finalize_execution_dense() {
+  end_trace();
+  dense::classify_in_place(trace_bytes());
+  TraceSummary summary;
+  summary.trace_hash = dense::trace_hash(trace_bytes());
+  summary.trace_edges = dense::edge_count(trace_bytes());
+  summary.new_coverage = dense::accumulate(trace_bytes(), virgin_bytes());
+  edges_covered_ = dense::edge_count(accumulated());
+  return summary;
 }
-
-}  // anonymous namespace
 
 void CoverageMap::end_execution() {
   end_trace();
-  std::uint64_t* words = as_words(trace_.get());
-  for (std::size_t w = 0; w < kWords; ++w) {
-    if (words[w] == 0) continue;
-    std::uint8_t* cell = trace_.get() + w * 8;
+  for (std::uint32_t i = 0; i < dirty_->count; ++i) {
+    std::uint8_t* cell = trace_bytes() + dirty_->indices[i] * 8;
     for (std::size_t b = 0; b < 8; ++b) cell[b] = kBucketTable[cell[b]];
   }
 }
 
 bool CoverageMap::has_new_bits() const {
-  const std::uint64_t* trace_words = as_words(trace_.get());
-  const std::uint64_t* virgin_words = as_words(virgin_.get());
-  for (std::size_t w = 0; w < kWords; ++w) {
-    if ((trace_words[w] & ~virgin_words[w]) != 0) return true;
+  for (std::uint32_t i = 0; i < dirty_->count; ++i) {
+    const std::size_t w = dirty_->indices[i];
+    if ((trace_[w] & ~virgin_[w]) != 0) return true;
   }
   return false;
 }
 
 bool CoverageMap::accumulate() {
-  const std::uint64_t* trace_words = as_words(trace_.get());
-  std::uint64_t* virgin_words = as_words(virgin_.get());
   bool added = false;
-  for (std::size_t w = 0; w < kWords; ++w) {
-    const std::uint64_t fresh = trace_words[w] & ~virgin_words[w];
+  for (std::uint32_t i = 0; i < dirty_->count; ++i) {
+    const std::size_t w = dirty_->indices[i];
+    const std::uint64_t have = virgin_[w];
+    const std::uint64_t fresh = trace_[w] & ~have;
     if (fresh != 0) {
-      virgin_words[w] |= fresh;
+      virgin_[w] = have | fresh;
+      edges_covered_ += newly_nonzero_bytes(have, have | fresh);
       added = true;
     }
   }
   return added;
 }
 
-std::size_t CoverageMap::edges_covered() const {
-  const std::uint64_t* words = as_words(virgin_.get());
-  std::size_t count = 0;
-  for (std::size_t w = 0; w < kWords; ++w) {
-    if (words[w] == 0) continue;
-    const std::uint8_t* cell = virgin_.get() + w * 8;
-    for (std::size_t b = 0; b < 8; ++b) count += cell[b] != 0;
-  }
-  return count;
-}
-
 std::size_t CoverageMap::trace_edge_count() const {
-  const std::uint64_t* words = as_words(trace_.get());
   std::size_t count = 0;
-  for (std::size_t w = 0; w < kWords; ++w) {
-    if (words[w] == 0) continue;
-    const std::uint8_t* cell = trace_.get() + w * 8;
+  for (std::uint32_t i = 0; i < dirty_->count; ++i) {
+    const std::uint8_t* cell = trace() + dirty_->indices[i] * 8;
     for (std::size_t b = 0; b < 8; ++b) count += cell[b] != 0;
   }
   return count;
@@ -111,40 +149,35 @@ std::size_t CoverageMap::trace_edge_count() const {
 
 std::uint64_t CoverageMap::trace_hash() const {
   // Commutative accumulation (sum + xor of per-cell mixes) so the hash is
-  // independent of iteration order while remaining sensitive to both edge
-  // identity and hit bucket.
+  // independent of iteration order — which also makes the first-touch-order
+  // dirty sweep hash identically to the ascending dense sweep.
   std::uint64_t sum = 0;
   std::uint64_t mix = 0;
-  const std::uint64_t* words = as_words(trace_.get());
-  for (std::size_t w = 0; w < kWords; ++w) {
-    if (words[w] == 0) continue;
+  for (std::uint32_t i = 0; i < dirty_->count; ++i) {
+    const std::size_t w = dirty_->indices[i];
+    const std::uint8_t* cell = trace() + w * 8;
     for (std::size_t b = 0; b < 8; ++b) {
-      const std::size_t i = w * 8 + b;
-      if (trace_[i] == 0) continue;
-      std::uint64_t v = (static_cast<std::uint64_t>(i) << 8) | trace_[i];
-      v *= 0x9E3779B97F4A7C15ULL;
-      v ^= v >> 29;
-      v *= 0xBF58476D1CE4E5B9ULL;
-      v ^= v >> 32;
+      if (cell[b] == 0) continue;
+      const std::uint64_t v = dense::mix_cell(w * 8 + b, cell[b]);
       sum += v;
       mix ^= v;
     }
   }
-  return sum ^ (mix * 0x94D049BB133111EBULL);
+  return dense::finish_hash(sum, mix);
 }
 
 bool CoverageMap::merge(const CoverageMap& other) {
-  return merge_accumulated(other.virgin_.get());
+  return merge_accumulated(other.accumulated());
 }
 
 bool CoverageMap::merge_accumulated(const std::uint8_t* bits) {
-  const std::uint64_t* in_words = as_words(bits);
-  std::uint64_t* virgin_words = as_words(virgin_.get());
   bool added = false;
-  for (std::size_t w = 0; w < kWords; ++w) {
-    const std::uint64_t fresh = in_words[w] & ~virgin_words[w];
+  for (std::size_t w = 0; w < kMapWords; ++w) {
+    const std::uint64_t have = virgin_[w];
+    const std::uint64_t fresh = dense::load_word(bits, w) & ~have;
     if (fresh != 0) {
-      virgin_words[w] |= fresh;
+      virgin_[w] = have | fresh;
+      edges_covered_ += newly_nonzero_bytes(have, have | fresh);
       added = true;
     }
   }
@@ -152,11 +185,12 @@ bool CoverageMap::merge_accumulated(const std::uint8_t* bits) {
 }
 
 std::vector<std::uint8_t> CoverageMap::snapshot_accumulated() const {
-  return std::vector<std::uint8_t>(virgin_.get(), virgin_.get() + kMapSize);
+  return std::vector<std::uint8_t>(accumulated(), accumulated() + kMapSize);
 }
 
 void CoverageMap::reset_accumulated() {
   std::memset(virgin_.get(), 0, kMapSize);
+  edges_covered_ = 0;
 }
 
 }  // namespace icsfuzz::cov

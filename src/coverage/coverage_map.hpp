@@ -1,5 +1,14 @@
 // Edge-coverage bookkeeping: the per-execution trace map plus the
 // accumulated "virgin" map that decides whether a seed is valuable.
+//
+// Hot-path design (the sparse dirty-word overhaul): a typical execution
+// touches a few hundred of the 64 Ki map cells, so every per-execution
+// operation runs over the DirtyWordList maintained by cov::hit() instead of
+// sweeping all 8192 words — begin_execution clears only the words the
+// previous execution dirtied (no 64 KiB memset), and finalize_execution
+// classifies, hashes, counts and accumulates in ONE sweep of the dirty
+// words. The pre-sparse full-map passes live on in coverage/dense_ref.hpp
+// as the bit-for-bit reference (equivalence tests, bench_hotpath's A/B).
 #pragma once
 
 #include <array>
@@ -16,15 +25,37 @@ namespace icsfuzz::cov {
 /// count unique.
 std::uint8_t classify_count(std::uint8_t raw);
 
+/// Everything the feedback loop needs to know about one finished execution,
+/// produced by CoverageMap::finalize_execution in a single sparse sweep.
+struct TraceSummary {
+  /// Order-insensitive hash of the classified (edge, bucket) set.
+  std::uint64_t trace_hash = 0;
+  /// Distinct edges in the trace.
+  std::size_t trace_edges = 0;
+  /// The trace contained virgin bits, which were accumulated (the combined
+  /// has_new_bits() + accumulate() answer).
+  bool new_coverage = false;
+};
+
 /// One execution's trace plus campaign-lifetime accumulation.
 class CoverageMap {
  public:
   CoverageMap();
 
-  /// Zeroes the trace buffer and arms thread-local tracing into it.
+  /// Clears the words the previous execution dirtied (sparse analogue of
+  /// the full memset) and arms thread-local tracing into the trace buffer.
   void begin_execution();
 
-  /// Disarms tracing and classifies the raw counts in place.
+  /// Disarms tracing, then classifies, hashes, counts and accumulates the
+  /// trace in one sweep of the dirty words. Exactly equivalent to
+  /// end_execution() + trace_hash() + trace_edge_count() + accumulate(),
+  /// fused; call one or the other per execution (classification is not
+  /// idempotent). The per-query API below remains valid afterwards.
+  TraceSummary finalize_execution();
+
+  /// Disarms tracing and classifies the raw counts in place (dirty words
+  /// only). Use the per-query API below afterwards; prefer
+  /// finalize_execution() on hot paths.
   void end_execution();
 
   /// True when the classified trace contains a bucketed edge never seen in
@@ -36,7 +67,8 @@ class CoverageMap {
   bool accumulate();
 
   /// Number of distinct edges (cells ever nonzero) accumulated so far.
-  [[nodiscard]] std::size_t edges_covered() const;
+  /// O(1): maintained incrementally by every accumulate/merge path.
+  [[nodiscard]] std::size_t edges_covered() const { return edges_covered_; }
 
   /// Number of distinct edges in the current trace.
   [[nodiscard]] std::size_t trace_edge_count() const;
@@ -46,8 +78,35 @@ class CoverageMap {
   [[nodiscard]] std::uint64_t trace_hash() const;
 
   /// Raw access for tests and serialization.
-  [[nodiscard]] const std::uint8_t* trace() const { return trace_.get(); }
-  [[nodiscard]] const std::uint8_t* accumulated() const { return virgin_.get(); }
+  [[nodiscard]] const std::uint8_t* trace() const {
+    return reinterpret_cast<const std::uint8_t*>(trace_.get());
+  }
+  [[nodiscard]] const std::uint8_t* accumulated() const {
+    return reinterpret_cast<const std::uint8_t*>(virgin_.get());
+  }
+
+  /// The 64-bit map words the current trace touched, in first-touch order
+  /// (complete: every nonzero trace word is listed exactly once). Lets
+  /// trace consumers (distill replay extraction, tests) iterate the sparse
+  /// trace without a full-map sweep. Valid until the next begin_execution.
+  [[nodiscard]] const std::uint16_t* dirty_words() const {
+    return dirty_->indices;
+  }
+  [[nodiscard]] std::uint32_t dirty_word_count() const {
+    return dirty_->count;
+  }
+
+  // -- Dense reference mode (tests / bench_hotpath / Executor's
+  //    dense_reference flag). Bit-identical results via the retained
+  //    full-map passes of coverage/dense_ref.hpp; ~6 whole-map sweeps per
+  //    execution, exactly the pre-overhaul cost profile. --
+
+  /// Full-memset variant of begin_execution (dirty tracking stays armed, so
+  /// the sparse queries remain valid even in dense mode).
+  void begin_execution_dense();
+
+  /// Full-map-pass variant of finalize_execution.
+  TraceSummary finalize_execution_dense();
 
   /// Merges `other`'s accumulated map into this one (bitwise OR of the
   /// classified bits). Returns true when anything new was added. The
@@ -68,9 +127,23 @@ class CoverageMap {
   void reset_accumulated();
 
  private:
-  // Heap-allocated to keep CoverageMap cheaply movable and stack-friendly.
-  std::unique_ptr<std::uint8_t[]> trace_;
-  std::unique_ptr<std::uint8_t[]> virgin_;  // accumulated classified bits
+  [[nodiscard]] std::uint8_t* trace_bytes() {
+    return reinterpret_cast<std::uint8_t*>(trace_.get());
+  }
+  [[nodiscard]] std::uint8_t* virgin_bytes() {
+    return reinterpret_cast<std::uint8_t*>(virgin_.get());
+  }
+
+  // Maps are stored as uint64 words (the unit every sparse operation works
+  // in); cell access goes through the uint8_t aliases above. Heap-allocated
+  // to keep CoverageMap cheaply movable and stack-friendly; the dirty list
+  // lives behind its own pointer so an armed map's tls reference survives a
+  // move of the CoverageMap object itself.
+  std::unique_ptr<std::uint64_t[]> trace_;
+  std::unique_ptr<std::uint64_t[]> virgin_;  // accumulated classified bits
+  std::unique_ptr<DirtyWordList> dirty_;
+  /// Incrementally maintained nonzero-cell count of the virgin map.
+  std::size_t edges_covered_ = 0;
 };
 
 }  // namespace icsfuzz::cov

@@ -1,0 +1,62 @@
+#include "coverage/dense_ref.hpp"
+
+#include "coverage/coverage_map.hpp"
+
+namespace icsfuzz::cov::dense {
+
+void classify_in_place(std::uint8_t* trace) {
+  for (std::size_t w = 0; w < kMapWords; ++w) {
+    if (load_word(trace, w) == 0) continue;
+    std::uint8_t* cell = trace + w * 8;
+    for (std::size_t b = 0; b < 8; ++b) cell[b] = classify_count(cell[b]);
+  }
+}
+
+bool has_new_bits(const std::uint8_t* trace, const std::uint8_t* virgin) {
+  for (std::size_t w = 0; w < kMapWords; ++w) {
+    if ((load_word(trace, w) & ~load_word(virgin, w)) != 0) return true;
+  }
+  return false;
+}
+
+bool accumulate(const std::uint8_t* trace, std::uint8_t* virgin) {
+  bool added = false;
+  for (std::size_t w = 0; w < kMapWords; ++w) {
+    const std::uint64_t have = load_word(virgin, w);
+    const std::uint64_t fresh = load_word(trace, w) & ~have;
+    if (fresh != 0) {
+      const std::uint64_t merged = have | fresh;
+      std::memcpy(virgin + w * 8, &merged, sizeof(merged));
+      added = true;
+    }
+  }
+  return added;
+}
+
+std::size_t edge_count(const std::uint8_t* map) {
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < kMapWords; ++w) {
+    if (load_word(map, w) == 0) continue;
+    const std::uint8_t* cell = map + w * 8;
+    for (std::size_t b = 0; b < 8; ++b) count += cell[b] != 0;
+  }
+  return count;
+}
+
+std::uint64_t trace_hash(const std::uint8_t* trace) {
+  std::uint64_t sum = 0;
+  std::uint64_t mix = 0;
+  for (std::size_t w = 0; w < kMapWords; ++w) {
+    if (load_word(trace, w) == 0) continue;
+    for (std::size_t b = 0; b < 8; ++b) {
+      const std::size_t i = w * 8 + b;
+      if (trace[i] == 0) continue;
+      const std::uint64_t v = mix_cell(i, trace[i]);
+      sum += v;
+      mix ^= v;
+    }
+  }
+  return finish_hash(sum, mix);
+}
+
+}  // namespace icsfuzz::cov::dense

@@ -16,11 +16,29 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 namespace icsfuzz::cov {
 
 /// Size of the shared edge map; same 64 KiB default as AFL / the paper.
 inline constexpr std::size_t kMapSize = 1 << 16;
+
+/// Number of 64-bit words in the edge map.
+inline constexpr std::size_t kMapWords = kMapSize / sizeof(std::uint64_t);
+
+/// Sparse-trace bookkeeping: the index of every 64-bit map word that went
+/// nonzero during the current execution, in first-touch order. A typical
+/// trace dirties a few hundred of the 8192 words, so clearing and analysing
+/// only the dirty words replaces every full 64 KiB map pass with an O(touched)
+/// sweep — the hot-path optimisation the whole coverage layer is built on.
+///
+/// Capacity never overflows: a word is appended only on its 0 -> nonzero
+/// transition, counters saturate (never return to zero) while armed, so each
+/// word appears at most once per arming.
+struct DirtyWordList {
+  std::uint32_t count = 0;
+  std::uint16_t indices[kMapWords];
+};
 
 /// The "shared memory" edge-hit array for the currently executing target.
 /// Owned by the active CoverageMap (coverage_map.hpp); null when no
@@ -34,12 +52,29 @@ extern thread_local std::uint32_t tls_prev_location;
 /// this as a deterministic "time" budget for hang detection.
 extern thread_local std::uint64_t tls_event_count;
 
+/// Dirty-word list of the currently armed trace. Invariant: non-null
+/// whenever tls_shared_mem is non-null (begin_trace installs a per-thread
+/// fallback when the caller does not supply one), so hit() never branches
+/// on it.
+extern thread_local DirtyWordList* tls_dirty_words;
+
 /// Records a transition into the basic block identified by `block_id`.
 inline void hit(std::uint32_t block_id) {
   ++tls_event_count;
-  if (tls_shared_mem == nullptr) return;
+  std::uint8_t* mem = tls_shared_mem;
+  if (mem == nullptr) return;
   const std::uint32_t cur_location = block_id & (kMapSize - 1);
-  std::uint8_t& cell = tls_shared_mem[cur_location ^ tls_prev_location];
+  const std::uint32_t index = cur_location ^ tls_prev_location;
+  // Dirty-word bookkeeping: the containing 64-bit word shares the cell's
+  // cache line, so this is one extra load + compare on the hot path; the
+  // append itself runs once per word per execution.
+  std::uint64_t word;
+  std::memcpy(&word, mem + (index & ~std::uint32_t{7}), sizeof(word));
+  if (word == 0) {
+    DirtyWordList* dirty = tls_dirty_words;
+    dirty->indices[dirty->count++] = static_cast<std::uint16_t>(index >> 3);
+  }
+  std::uint8_t& cell = mem[index];
   // Saturating increment: a wrapped counter would make a 256-iteration loop
   // look identical to a straight-line block.
   if (cell != 0xFF) ++cell;
@@ -53,7 +88,19 @@ inline void hit(std::uint32_t block_id) {
 /// on one thread never observes or disturbs another thread's trace. The map
 /// pointer must stay valid until the matching end_trace() on the same
 /// thread, and target code must run on the thread that armed it.
+///
+/// Dirty-word tracking uses a per-thread fallback list (reset by this call);
+/// callers that want to *read* the dirty list pass their own via the
+/// two-argument overload.
 void begin_trace(std::uint8_t* map);
+
+/// Arms tracing with a caller-owned dirty-word list (not reset: the caller
+/// decides which words are already dirty). `hit` appends the index of every
+/// map word whose first nonzero transition it causes; for the appended list
+/// to be the complete set of nonzero words, every word NOT already listed in
+/// `dirty` must be zero when tracing starts. Both `map` and `dirty` must
+/// outlive the matching end_trace().
+void begin_trace(std::uint8_t* map, DirtyWordList* dirty);
 
 /// Disarms tracing and resets prev_location / the event counter.
 void end_trace();

@@ -69,9 +69,11 @@ ReplayReport replay_corpus(ProtocolTarget& target,
                            const std::vector<Bytes>& seeds,
                            const fuzz::ExecutorConfig& executor_config) {
   fuzz::Executor executor(executor_config);
+  fuzz::ExecResult scratch;
   std::size_t crashes = 0;
   for (const Bytes& seed : seeds) {
-    crashes += executor.run(target, seed).crashed();
+    executor.run_into(target, seed, scratch);
+    crashes += scratch.crashed();
   }
   return report_from(executor.coverage(), executor.paths(), seeds.size(),
                      executor.executions(), crashes);
@@ -106,8 +108,10 @@ ReplayReport replay_corpus_sharded(
       if (begin >= end) break;
       threads.emplace_back([&, w, begin, end] {
         const auto target = make_target();
+        fuzz::ExecResult scratch;
         for (std::size_t i = begin; i < end; ++i) {
-          shards[w].crashes += shards[w].executor.run(*target, seeds[i]).crashed();
+          shards[w].executor.run_into(*target, seeds[i], scratch);
+          shards[w].crashes += scratch.crashed();
         }
       });
     }

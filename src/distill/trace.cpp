@@ -1,5 +1,6 @@
 #include "distill/trace.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <thread>
 
@@ -9,21 +10,25 @@ namespace icsfuzz::distill {
 namespace {
 
 SeedTrace trace_one(fuzz::Executor& executor, ProtocolTarget& target,
-                    const Bytes& seed, std::size_t index) {
+                    const Bytes& seed, std::size_t index,
+                    fuzz::ExecResult& scratch) {
   SeedTrace trace;
   trace.index = index;
-  const fuzz::ExecResult result = executor.run(target, seed);
+  executor.run_into(target, seed, scratch);
+  const fuzz::ExecResult& result = scratch;
   trace.trace_hash = result.trace_hash;
   trace.crashed = result.crashed();
 
   // The classified trace of the execution is still in the executor's map;
-  // extract its nonzero cells with the same zero-word skip the coverage
-  // passes use (the map is sparse).
-  const std::uint8_t* cells = executor.coverage().trace();
-  const auto* words = reinterpret_cast<const std::uint64_t*>(cells);
+  // extract its nonzero cells from the dirty-word list instead of sweeping
+  // all 8192 map words. The list is in first-touch order, so the collected
+  // elements are sorted afterwards (the encoding is monotone in the cell
+  // index) to keep the documented ascending order.
+  const cov::CoverageMap& map = executor.coverage();
+  const std::uint8_t* cells = map.trace();
   trace.elements.reserve(result.trace_edges);
-  for (std::size_t w = 0; w < cov::kMapSize / 8; ++w) {
-    if (words[w] == 0) continue;
+  for (std::uint32_t i = 0; i < map.dirty_word_count(); ++i) {
+    const std::size_t w = map.dirty_words()[i];
     for (std::size_t b = 0; b < 8; ++b) {
       const std::size_t cell = w * 8 + b;
       if (cells[cell] == 0) continue;
@@ -33,6 +38,7 @@ SeedTrace trace_one(fuzz::Executor& executor, ProtocolTarget& target,
           (cell << 3) | static_cast<unsigned>(std::countr_zero(cells[cell]))));
     }
   }
+  std::sort(trace.elements.begin(), trace.elements.end());
   return trace;
 }
 
@@ -42,10 +48,11 @@ std::vector<SeedTrace> collect_traces(
     ProtocolTarget& target, const std::vector<Bytes>& seeds,
     const fuzz::ExecutorConfig& executor_config) {
   fuzz::Executor executor(executor_config);
+  fuzz::ExecResult scratch;
   std::vector<SeedTrace> traces;
   traces.reserve(seeds.size());
   for (std::size_t i = 0; i < seeds.size(); ++i) {
-    traces.push_back(trace_one(executor, target, seeds[i], i));
+    traces.push_back(trace_one(executor, target, seeds[i], i, scratch));
   }
   return traces;
 }
@@ -71,8 +78,9 @@ std::vector<SeedTrace> collect_traces_sharded(
     threads.emplace_back([&, begin, end] {
       const auto target = make_target();
       fuzz::Executor executor(executor_config);
+      fuzz::ExecResult scratch;
       for (std::size_t i = begin; i < end; ++i) {
-        traces[i] = trace_one(executor, *target, seeds[i], i);
+        traces[i] = trace_one(executor, *target, seeds[i], i, scratch);
       }
     });
   }

@@ -1,0 +1,59 @@
+// GenerationalDedup — bounded-memory executed-packet dedup.
+//
+// The fuzzer rules out "meaningless repetitions of path exploration"
+// (paper §I) by hashing every executed packet. An unbounded set would grow
+// without limit over a long campaign; the naive fix — wipe the whole set at
+// a threshold — discards ALL dedup state at once, so the iterations right
+// after the wipe happily re-execute the most recently seen packets.
+//
+// This class keeps two generations instead: inserts go to `current_`, and
+// when `current_` reaches half the capacity it rotates into `previous_`
+// (dropping the generation before it). Membership checks consult both, so
+// at any moment at least the most recent capacity/2 distinct hashes are
+// still deduplicated — the half-clear costs one move, no rehash, no copy.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+
+namespace icsfuzz::fuzz {
+
+class GenerationalDedup {
+ public:
+  /// `capacity` bounds the total retained hashes across both generations.
+  explicit GenerationalDedup(std::size_t capacity = 1ULL << 21)
+      : capacity_(capacity < 2 ? 2 : capacity) {}
+
+  /// Records `hash`; returns true when it was NOT seen in the two retained
+  /// generations (i.e. the packet should execute).
+  bool insert(std::uint64_t hash) {
+    if (current_.contains(hash) || previous_.contains(hash)) return false;
+    current_.insert(hash);
+    if (current_.size() >= capacity_ / 2) {
+      // Rotate: the oldest generation's memory is released, the newest
+      // half of the history is retained verbatim.
+      previous_ = std::move(current_);
+      current_.clear();
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t hash) const {
+    return current_.contains(hash) || previous_.contains(hash);
+  }
+
+  /// Hashes currently retained (both generations).
+  [[nodiscard]] std::size_t size() const {
+    return current_.size() + previous_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_set<std::uint64_t> current_;
+  std::unordered_set<std::uint64_t> previous_;
+};
+
+}  // namespace icsfuzz::fuzz

@@ -6,6 +6,12 @@ namespace icsfuzz::fuzz {
 
 ExecResult Executor::run(ProtocolTarget& target, ByteSpan packet) {
   ExecResult result;
+  run_into(target, packet, result);
+  return result;
+}
+
+void Executor::run_into(ProtocolTarget& target, ByteSpan packet,
+                        ExecResult& result) {
   ++executions_;
 
   // Executions must not nest on a thread: the second begin_execution would
@@ -14,13 +20,22 @@ ExecResult Executor::run(ProtocolTarget& target, ByteSpan packet) {
 
   target.reset();
   san::FaultSink::arm();
-  map_.begin_execution();
+  if (config_.dense_reference) {
+    map_.begin_execution_dense();
+  } else {
+    map_.begin_execution();
+  }
 
-  result.response = target.process(packet);
+  target.process_into(packet, result.response);
 
-  map_.end_execution();
+  // The fused sparse pass (or its dense reference twin) replaces the old
+  // end_execution -> trace_hash -> trace_edge_count -> accumulate sequence:
+  // one sweep of the dirty words instead of four full-map passes.
+  const cov::TraceSummary summary = config_.dense_reference
+                                        ? map_.finalize_execution_dense()
+                                        : map_.finalize_execution();
   result.events = cov::tls_event_count;
-  result.faults = san::FaultSink::disarm();
+  san::FaultSink::disarm_into(result.faults);
 
   if (result.faults.empty() && result.events > config_.hang_event_budget) {
     result.faults.push_back(san::FaultReport{
@@ -29,11 +44,10 @@ ExecResult Executor::run(ProtocolTarget& target, ByteSpan packet) {
             " instrumentation events"});
   }
 
-  result.trace_hash = map_.trace_hash();
-  result.trace_edges = map_.trace_edge_count();
-  result.new_coverage = map_.accumulate();
-  result.new_path = paths_.record(result.trace_hash);
-  return result;
+  result.trace_hash = summary.trace_hash;
+  result.trace_edges = summary.trace_edges;
+  result.new_coverage = summary.new_coverage;
+  result.new_path = paths_.record(summary.trace_hash);
 }
 
 void Executor::reset_campaign() {

@@ -38,6 +38,12 @@ struct ExecutorConfig {
   /// Executions whose instrumentation-event count exceeds this budget are
   /// flagged as hangs (the deterministic analogue of Peach's timeout).
   std::uint64_t hang_event_budget = 200000;
+  /// Reference mode for tests and benches: route all trace analysis through
+  /// the retained dense full-map passes (coverage/dense_ref.hpp) instead of
+  /// the sparse dirty-word path. Results are bit-identical — asserted by the
+  /// trajectory-preservation suite — but every execution pays the
+  /// pre-overhaul ~6 whole-map sweeps again.
+  bool dense_reference = false;
 };
 
 class Executor {
@@ -48,6 +54,13 @@ class Executor {
   /// classifies the outcome. Updates the campaign's accumulated coverage
   /// and path set.
   ExecResult run(ProtocolTarget& target, ByteSpan packet);
+
+  /// Buffer-reusing variant of run(): overwrites `result` in place, reusing
+  /// the capacity of its faults/response vectors, so a caller that passes
+  /// the same ExecResult every iteration performs zero steady-state heap
+  /// allocations (given an allocation-free target — see
+  /// ProtocolTarget::process_into).
+  void run_into(ProtocolTarget& target, ByteSpan packet, ExecResult& result);
 
   [[nodiscard]] const cov::CoverageMap& coverage() const { return map_; }
   [[nodiscard]] const cov::PathTracker& paths() const { return paths_; }

@@ -21,6 +21,7 @@ Fuzzer::Fuzzer(ProtocolTarget& target, const model::DataModelSet& models,
       models_(models),
       config_(config),
       rng_(config.rng_seed),
+      executed_(config.dedup_capacity),
       executor_(config.executor),
       instantiator_(config.mutators),
       semantic_(config.semantic, config.mutators),
@@ -37,13 +38,13 @@ bool Fuzzer::seen_before(const Bytes& packet) {
     hash ^= byte;
     hash *= 1099511628211ULL;
   }
-  // Bound the memory of very long campaigns; losing dedup beyond this
-  // point only costs a few repeated executions.
-  if (executed_.size() > (1U << 21)) executed_.clear();
-  return !executed_.insert(hash).second;
+  // Memory stays bounded via generational half-clears: at least the most
+  // recent dedup_capacity/2 packets remain deduplicated at all times.
+  return !executed_.insert(hash);
 }
 
-Bytes Fuzzer::next_packet(const model::DataModel*& used_model) {
+void Fuzzer::next_packet_into(const model::DataModel*& used_model,
+                              Bytes& out) {
   used_model = nullptr;
   // A few regeneration attempts skip packets already executed — the
   // "meaningless repetitions" the paper's design sets out to rule out.
@@ -52,25 +53,28 @@ Bytes Fuzzer::next_packet(const model::DataModel*& used_model) {
   // executing them locally is what transfers the peer's coverage discovery
   // into this worker's map, corpus and pools.
   while (!imported_.empty()) {
-    Bytes packet = std::move(imported_.front());
+    out = std::move(imported_.front());
     imported_.pop_front();
-    if (!seen_before(packet)) return packet;
+    if (!seen_before(out)) return;
   }
   if (config_.strategy == Strategy::PeachStar) {
     // Drain the combinatorial batch scheduled by the last crack first.
     while (!pending_batch_.empty()) {
-      Bytes packet = std::move(pending_batch_.front());
+      out = std::move(pending_batch_.front());
       pending_batch_.pop_front();
-      if (!seen_before(packet)) return packet;
+      if (!seen_before(out)) return;
     }
     for (int attempt = 0;; ++attempt) {
       const model::DataModel& model = choose_model();
       used_model = &model;
       const bool semantic =
           !corpus_.empty() && rng_.chance(config_.steady_semantic_pct, 100);
-      Bytes packet = semantic ? semantic_.generate(model, corpus_, rng_)
-                              : instantiator_.generate(model, rng_);
-      if (attempt >= kDedupAttempts || !seen_before(packet)) return packet;
+      if (semantic) {
+        semantic_.generate_into(model, corpus_, rng_, out);
+      } else {
+        instantiator_.generate_into(model, rng_, out);
+      }
+      if (attempt >= kDedupAttempts || !seen_before(out)) return;
     }
   }
   if (config_.strategy == Strategy::ByteMutation) {
@@ -81,27 +85,35 @@ Bytes Fuzzer::next_packet(const model::DataModel*& used_model) {
       }
     }
     for (int attempt = 0;; ++attempt) {
-      Bytes packet = rng_.pick(mutation_pool_);
+      const Bytes& seed = rng_.pick(mutation_pool_);
+      out.assign(seed.begin(), seed.end());
       const std::uint64_t stack = rng_.between(1, 8);
       for (std::uint64_t i = 0; i < stack; ++i) {
-        packet = instantiator_.mutators().mutate_bytes(packet, rng_);
+        // Ping-pong with the second scratch buffer: mutate_bytes_into must
+        // not read and write the same vector.
+        instantiator_.mutators().mutate_bytes_into(out, mutate_scratch_, rng_);
+        out.swap(mutate_scratch_);
       }
-      if (attempt >= kDedupAttempts || !seen_before(packet)) return packet;
+      if (attempt >= kDedupAttempts || !seen_before(out)) return;
     }
   }
   // Baseline Peach: inherent generation only.
   for (int attempt = 0;; ++attempt) {
     const model::DataModel& model = choose_model();
     used_model = &model;
-    Bytes packet = instantiator_.generate(model, rng_);
-    if (attempt >= kDedupAttempts || !seen_before(packet)) return packet;
+    instantiator_.generate_into(model, rng_, out);
+    if (attempt >= kDedupAttempts || !seen_before(out)) return;
   }
 }
 
-ExecResult Fuzzer::step() {
+ExecResult Fuzzer::step() { return step_fast(); }
+
+const ExecResult& Fuzzer::step_fast() {
   const model::DataModel* used_model = nullptr;
-  const Bytes packet = next_packet(used_model);
-  ExecResult result = executor_.run(target_, packet);
+  next_packet_into(used_model, packet_scratch_);
+  const Bytes& packet = packet_scratch_;
+  executor_.run_into(target_, packet, exec_scratch_);
+  ExecResult& result = exec_scratch_;
 
   for (const san::FaultReport& fault : result.faults) {
     crash_db_.record(fault, packet, executor_.executions());
@@ -189,7 +201,7 @@ void Fuzzer::auto_distill() {
 void Fuzzer::run(std::uint64_t iterations,
                  const std::function<void(const ExecResult&)>& on_exec) {
   for (std::uint64_t i = 0; i < iterations; ++i) {
-    ExecResult result = step();
+    const ExecResult& result = step_fast();
     if (on_exec) on_exec(result);
   }
   finish();

@@ -17,11 +17,11 @@
 
 #include <deque>
 #include <functional>
-#include <unordered_set>
 
 #include "fuzzer/corpus.hpp"
 #include "fuzzer/cracker.hpp"
 #include "fuzzer/crash_db.hpp"
+#include "fuzzer/dedup.hpp"
 #include "fuzzer/executor.hpp"
 #include "fuzzer/instantiator.hpp"
 #include "fuzzer/semantic_gen.hpp"
@@ -62,6 +62,11 @@ struct FuzzerConfig {
   /// no randomness, so enabling this never changes the fuzzing trajectory
   /// — only the retained pool's size). 0 disables.
   std::uint64_t distill_interval = 0;
+  /// Executed-packet dedup memory bound (GenerationalDedup capacity): at
+  /// least the most recent dedup_capacity/2 distinct packets stay
+  /// deduplicated; older generations are released. Campaigns shorter than
+  /// dedup_capacity/2 unique packets behave as with unbounded dedup.
+  std::size_t dedup_capacity = 1ULL << 21;
 };
 
 /// One retained valuable seed.
@@ -84,6 +89,13 @@ class Fuzzer {
 
   /// Runs a single fuzzing iteration; returns the execution's result.
   ExecResult step();
+
+  /// Hot-path variant of step(): the returned reference points at internal
+  /// scratch reused every iteration (valid until the next step), so the
+  /// steady-state loop performs no per-iteration heap allocations for the
+  /// packet, response or fault vectors. run() and the parallel workers use
+  /// this; step() wraps it with a copy.
+  const ExecResult& step_fast();
 
   // -- Observers. --
   [[nodiscard]] const Executor& executor() const { return executor_; }
@@ -139,8 +151,9 @@ class Fuzzer {
   /// CHOOSE(SM): uniformly random model selection.
   const model::DataModel& choose_model();
 
-  /// Produces the next packet according to the active strategy.
-  Bytes next_packet(const model::DataModel*& used_model);
+  /// Produces the next packet according to the active strategy into `out`
+  /// (caller-owned scratch; capacity reused across iterations).
+  void next_packet_into(const model::DataModel*& used_model, Bytes& out);
 
   /// Returns true when `packet` was executed before in this campaign
   /// (and records it otherwise).
@@ -154,8 +167,9 @@ class Fuzzer {
   FuzzerConfig config_;
   Rng rng_;
   /// Hashes of executed packets — rules out the "meaningless repetitions
-  /// of path exploration" the paper's corpus design targets (§I).
-  std::unordered_set<std::uint64_t> executed_;
+  /// of path exploration" the paper's corpus design targets (§I). Bounded
+  /// by the generational half-clear scheme (dedup.hpp).
+  GenerationalDedup executed_;
 
   Executor executor_;
   ModelInstantiator instantiator_;
@@ -173,6 +187,13 @@ class Fuzzer {
 
   /// Peer seeds queued by import_external_seed (drained before generation).
   std::deque<Bytes> imported_;
+  /// Iteration scratch reused by step_fast(): the generated packet, the
+  /// stacked-mutation ping-pong buffer, and the execution result. Their
+  /// capacities converge after warm-up, making the steady-state loop
+  /// allocation-free outside rare events (new coverage, crashes).
+  Bytes packet_scratch_;
+  Bytes mutate_scratch_;
+  ExecResult exec_scratch_;
   /// Lifetime count of retained seeds and how many have been exported —
   /// the eviction-safe cursor behind drain_new_retained().
   std::uint64_t total_retained_ = 0;

@@ -116,4 +116,9 @@ Bytes ModelInstantiator::generate(const model::DataModel& model,
   return instantiate(model, rng).serialize();
 }
 
+void ModelInstantiator::generate_into(const model::DataModel& model, Rng& rng,
+                                      Bytes& out) const {
+  instantiate(model, rng).serialize_into(out);
+}
+
 }  // namespace icsfuzz::fuzz

@@ -26,6 +26,11 @@ class ModelInstantiator {
   /// Convenience: instantiate and serialize.
   Bytes generate(const model::DataModel& model, Rng& rng) const;
 
+  /// Buffer-reusing variant of generate(): serializes into `out` (cleared
+  /// first, capacity retained). Identical RNG draws.
+  void generate_into(const model::DataModel& model, Rng& rng,
+                     Bytes& out) const;
+
   [[nodiscard]] const mutation::MutatorSuite& mutators() const {
     return mutators_;
   }

@@ -92,6 +92,14 @@ model::InsNode SemanticGenerator::build_with_donors(const model::Chunk& chunk,
 
 Bytes SemanticGenerator::generate(const model::DataModel& model,
                                   const PuzzleCorpus& corpus, Rng& rng) const {
+  Bytes out;
+  generate_into(model, corpus, rng, out);
+  return out;
+}
+
+void SemanticGenerator::generate_into(const model::DataModel& model,
+                                      const PuzzleCorpus& corpus, Rng& rng,
+                                      Bytes& out) const {
   model::InsTree tree;
   tree.model = &model;
   if (rng.chance(60, 100)) {
@@ -137,7 +145,7 @@ Bytes SemanticGenerator::generate(const model::DataModel& model,
   if (config_.apply_file_fixup) {
     model::apply_constraints(tree);  // File Fixup
   }
-  return tree.serialize();
+  tree.serialize_into(out);
 }
 
 namespace {

@@ -56,6 +56,11 @@ class SemanticGenerator {
   Bytes generate(const model::DataModel& model, const PuzzleCorpus& corpus,
                  Rng& rng) const;
 
+  /// Buffer-reusing variant of generate(): serializes into `out` (cleared
+  /// first, capacity retained). Identical RNG draws.
+  void generate_into(const model::DataModel& model, const PuzzleCorpus& corpus,
+                     Rng& rng, Bytes& out) const;
+
   /// Post-crack combinatorial batch (Algorithm 3's cartesian construction).
   std::vector<Bytes> generate_batch(const model::DataModel& model,
                                     const PuzzleCorpus& corpus,

@@ -236,18 +236,6 @@ class Parser {
   LengthEnv env_;
 };
 
-void serialize_into(const InsNode& node, Bytes& out) {
-  if (node.rule != nullptr && node.rule->is_leaf()) {
-    append(out, node.content);
-    return;
-  }
-  if (node.opaque) {
-    append(out, node.content);
-    return;
-  }
-  for (const InsNode& child : node.children) serialize_into(child, out);
-}
-
 InsNode build_default(const Chunk& chunk) {
   InsNode node;
   node.rule = &chunk;
@@ -312,8 +300,16 @@ void dump_node(const InsNode& node, std::size_t depth, std::string& out) {
 Bytes InsNode::serialize() const {
   Bytes out;
   out.reserve(serialized_size());
-  serialize_into(*this, out);
+  serialize_append(out);
   return out;
+}
+
+void InsNode::serialize_append(Bytes& out) const {
+  if ((rule != nullptr && rule->is_leaf()) || opaque) {
+    append(out, content);
+    return;
+  }
+  for (const InsNode& child : children) child.serialize_append(out);
 }
 
 std::size_t InsNode::serialized_size() const {

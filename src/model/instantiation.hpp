@@ -46,6 +46,10 @@ struct InsNode {
   /// Serialized wire bytes of this subtree (a "puzzle" per Definition 2).
   [[nodiscard]] Bytes serialize() const;
 
+  /// Appends this subtree's wire bytes to `out` without clearing it — the
+  /// allocation-free core of serialize(); callers own the buffer.
+  void serialize_append(Bytes& out) const;
+
   /// Serialized byte length without materialising the bytes.
   [[nodiscard]] std::size_t serialized_size() const;
 
@@ -63,6 +67,14 @@ struct InsTree {
   InsNode root;
 
   [[nodiscard]] Bytes serialize() const { return root.serialize(); }
+
+  /// Serializes into a caller-owned buffer (cleared first, capacity
+  /// retained) — the packet pipeline's zero-allocation serialization path.
+  void serialize_into(Bytes& out) const {
+    out.clear();
+    out.reserve(root.serialized_size());
+    root.serialize_append(out);
+  }
 };
 
 /// Options controlling `parse_packet`.

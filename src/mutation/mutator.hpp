@@ -60,6 +60,12 @@ class MutatorSuite {
   /// remove, byte insert. Empty input may grow.
   Bytes mutate_bytes(ByteSpan input, Rng& rng) const;
 
+  /// Buffer-reusing variant: writes the mutated bytes into `out` (cleared
+  /// first, capacity retained), drawing the identical RNG sequence as
+  /// mutate_bytes. `input` must not alias `out` — stacked-mutation callers
+  /// ping-pong two scratch buffers (see Fuzzer::next_packet_into).
+  void mutate_bytes_into(ByteSpan input, Bytes& out, Rng& rng) const;
+
   [[nodiscard]] const MutatorConfig& config() const { return config_; }
 
  private:

@@ -13,7 +13,7 @@ Worker::Worker(WorkerConfig config, std::unique_ptr<ProtocolTarget> target,
 void Worker::run(std::uint64_t iterations) {
   const std::uint64_t interval = config_.sync_interval;
   for (std::uint64_t i = 0; i < iterations; ++i) {
-    fuzzer_.step();
+    fuzzer_.step_fast();
     if (interval != 0 && (i + 1) % interval == 0) {
       // The sync closing the final iteration is publish-only too: anything
       // imported here could never execute.

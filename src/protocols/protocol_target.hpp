@@ -30,6 +30,15 @@ class ProtocolTarget {
   /// stack drops the packet). Must not throw: malformed input is the normal
   /// case under fuzzing.
   virtual Bytes process(ByteSpan packet) = 0;
+
+  /// Buffer-reusing variant used by the executor hot path: writes the
+  /// response into `response` (cleared first, capacity retained). The
+  /// default delegates to process(); stacks that build their response
+  /// incrementally can override it to make steady-state executions
+  /// allocation-free.
+  virtual void process_into(ByteSpan packet, Bytes& response) {
+    response = process(packet);
+  }
 };
 
 }  // namespace icsfuzz

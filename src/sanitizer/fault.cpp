@@ -34,6 +34,12 @@ std::vector<FaultReport> FaultSink::disarm() {
   return std::exchange(tls_sink.faults, {});
 }
 
+void FaultSink::disarm_into(std::vector<FaultReport>& out) {
+  tls_sink.armed = false;
+  out.clear();
+  std::swap(out, tls_sink.faults);
+}
+
 void FaultSink::raise(FaultKind kind, std::uint32_t site, std::string detail) {
   if (!tls_sink.armed) return;
   // Keep only the first fault: a real process dies at its first invalid

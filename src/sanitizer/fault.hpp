@@ -51,6 +51,12 @@ class FaultSink {
   /// Disarms and returns the faults collected during the execution.
   static std::vector<FaultReport> disarm();
 
+  /// Allocation-free disarm: swaps the collected faults into `out`
+  /// (clearing it first). On the fault-free steady-state path this swaps
+  /// two empty vectors — no heap traffic — which is what lets
+  /// Executor::run_into stay zero-allocation across executions.
+  static void disarm_into(std::vector<FaultReport>& out);
+
   /// Records a fault (no-op when the sink is not armed).
   static void raise(FaultKind kind, std::uint32_t site, std::string detail);
 

@@ -1,0 +1,278 @@
+// Equivalence suite for the sparse dirty-word hot path.
+//
+// Every analysis the feedback loop consumes — classified trace, trace hash,
+// edge count, new-bit decision, accumulated map — must be bit-identical
+// between the sparse dirty-word implementation (CoverageMap's default) and
+// the retained dense full-map reference (coverage/dense_ref.hpp, driven via
+// begin_execution_dense / finalize_execution_dense). The suite drives both
+// through randomized trace patterns (including empty, dense, and the
+// boundary words 0 and 8191) and then proves trajectory preservation at
+// campaign scale: a fixed-seed Fuzzer run, a ParallelCampaign at W=2, and a
+// distill_interval auto-distill campaign each produce identical path/edge
+// series under both modes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "coverage/coverage_map.hpp"
+#include "coverage/dense_ref.hpp"
+#include "coverage/instrument.hpp"
+#include "parallel/parallel_campaign.hpp"
+#include "pits/pits.hpp"
+#include "protocols/modbus/modbus_server.hpp"
+#include "util/rng.hpp"
+
+namespace icsfuzz::cov {
+namespace {
+
+/// Bumps exactly the trace cell `cell` while tracing is armed, by solving
+/// the instrumentation update rule for the needed block id:
+/// hit(cell ^ prev) touches index (cell ^ prev) ^ prev == cell.
+void emit_cell(std::uint32_t cell) { hit(cell ^ tls_prev_location); }
+
+/// One synthetic execution: the (cell, raw-count) multiset to emit.
+struct Pattern {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> cells;
+};
+
+/// Replays `pattern` into `map` between the given begin/finalize pair and
+/// returns the summary.
+template <typename Begin, typename Finalize>
+TraceSummary replay(CoverageMap& map, const Pattern& pattern, Begin begin,
+                    Finalize finalize) {
+  begin(map);
+  for (const auto& [cell, count] : pattern.cells) {
+    for (std::uint32_t i = 0; i < count; ++i) emit_cell(cell);
+  }
+  return finalize(map);
+}
+
+TraceSummary replay_sparse(CoverageMap& map, const Pattern& pattern) {
+  return replay(
+      map, pattern, [](CoverageMap& m) { m.begin_execution(); },
+      [](CoverageMap& m) { return m.finalize_execution(); });
+}
+
+TraceSummary replay_dense(CoverageMap& map, const Pattern& pattern) {
+  return replay(
+      map, pattern, [](CoverageMap& m) { m.begin_execution_dense(); },
+      [](CoverageMap& m) { return m.finalize_execution_dense(); });
+}
+
+void expect_equivalent(const std::vector<Pattern>& executions) {
+  CoverageMap sparse;
+  CoverageMap dense;
+  for (std::size_t i = 0; i < executions.size(); ++i) {
+    const TraceSummary s = replay_sparse(sparse, executions[i]);
+    const TraceSummary d = replay_dense(dense, executions[i]);
+    ASSERT_EQ(s.trace_hash, d.trace_hash) << "execution " << i;
+    ASSERT_EQ(s.trace_edges, d.trace_edges) << "execution " << i;
+    ASSERT_EQ(s.new_coverage, d.new_coverage) << "execution " << i;
+    ASSERT_EQ(sparse.edges_covered(), dense.edges_covered())
+        << "execution " << i;
+    // The classified trace buffers and accumulated maps must match byte
+    // for byte, not just in aggregate.
+    ASSERT_EQ(0, std::memcmp(sparse.trace(), dense.trace(), kMapSize))
+        << "execution " << i;
+    ASSERT_EQ(sparse.snapshot_accumulated(), dense.snapshot_accumulated())
+        << "execution " << i;
+  }
+}
+
+TEST(SparseEquivalence, EmptyTrace) {
+  expect_equivalent({Pattern{}, Pattern{}});
+}
+
+TEST(SparseEquivalence, BoundaryWords) {
+  // Cells of map word 0 and map word 8191 (the last word), plus the very
+  // first and last cells of the map.
+  Pattern boundary;
+  for (const std::uint32_t cell : {0u, 7u, 65528u, 65535u}) {
+    boundary.cells.push_back({cell, 1});
+  }
+  // A second execution revisits the boundary cells with bucket-changing
+  // counts and adds neighbours.
+  Pattern revisit;
+  for (const std::uint32_t cell : {0u, 65535u}) revisit.cells.push_back({cell, 3});
+  for (const std::uint32_t cell : {1u, 65529u}) revisit.cells.push_back({cell, 1});
+  expect_equivalent({boundary, revisit, boundary});
+}
+
+TEST(SparseEquivalence, SaturatedCounts) {
+  Pattern saturated;
+  saturated.cells.push_back({123u, 300});  // beyond the 0xFF saturation
+  saturated.cells.push_back({124u, 255});
+  saturated.cells.push_back({125u, 128});
+  expect_equivalent({saturated, saturated});
+}
+
+TEST(SparseEquivalence, RandomizedExecutionSequences) {
+  Rng rng(0xC0FFEE);
+  std::vector<Pattern> executions;
+  for (int exec = 0; exec < 40; ++exec) {
+    Pattern pattern;
+    // Mix sparse (a handful of edges) and dense (thousands) executions.
+    const std::size_t edges = rng.chance(1, 5)
+                                  ? 2000 + rng.index(3000)
+                                  : 1 + rng.index(300);
+    for (std::size_t i = 0; i < edges; ++i) {
+      pattern.cells.push_back(
+          {static_cast<std::uint32_t>(rng.below(kMapSize)),
+           static_cast<std::uint32_t>(1 + rng.below(40))});
+    }
+    executions.push_back(std::move(pattern));
+  }
+  expect_equivalent(executions);
+}
+
+TEST(SparseEquivalence, PerQueryApiMatchesFusedSummary) {
+  // The dirty-list-backed per-query API (end_execution + has_new_bits +
+  // accumulate + trace_hash + trace_edge_count) must agree with the fused
+  // finalize_execution on an identical twin map.
+  Rng rng(7);
+  CoverageMap fused;
+  CoverageMap queried;
+  for (int exec = 0; exec < 20; ++exec) {
+    Pattern pattern;
+    const std::size_t edges = 1 + rng.index(200);
+    for (std::size_t i = 0; i < edges; ++i) {
+      pattern.cells.push_back(
+          {static_cast<std::uint32_t>(rng.below(kMapSize)),
+           static_cast<std::uint32_t>(1 + rng.below(5))});
+    }
+    const TraceSummary summary = replay_sparse(fused, pattern);
+
+    queried.begin_execution();
+    for (const auto& [cell, count] : pattern.cells) {
+      for (std::uint32_t i = 0; i < count; ++i) emit_cell(cell);
+    }
+    queried.end_execution();
+    const bool new_bits = queried.has_new_bits();
+    ASSERT_EQ(queried.trace_hash(), summary.trace_hash);
+    ASSERT_EQ(queried.trace_edge_count(), summary.trace_edges);
+    ASSERT_EQ(queried.accumulate(), summary.new_coverage);
+    ASSERT_EQ(new_bits, summary.new_coverage);
+    ASSERT_EQ(queried.edges_covered(), fused.edges_covered());
+    ASSERT_EQ(queried.snapshot_accumulated(), fused.snapshot_accumulated());
+  }
+}
+
+TEST(SparseEquivalence, DirtyListIsCompleteAndDuplicateFree) {
+  CoverageMap map;
+  Pattern pattern;
+  for (const std::uint32_t cell : {8u, 9u, 15u, 4096u, 65535u, 10u}) {
+    pattern.cells.push_back({cell, 2});
+  }
+  replay_sparse(map, pattern);
+  std::vector<bool> listed(kMapWords, false);
+  for (std::uint32_t i = 0; i < map.dirty_word_count(); ++i) {
+    const std::uint16_t w = map.dirty_words()[i];
+    ASSERT_FALSE(listed[w]) << "word " << w << " listed twice";
+    listed[w] = true;
+  }
+  for (std::size_t w = 0; w < kMapWords; ++w) {
+    const bool nonzero = dense::load_word(map.trace(), w) != 0;
+    ASSERT_EQ(nonzero, listed[w]) << "word " << w;
+  }
+}
+
+// -- Campaign-scale trajectory preservation. ------------------------------
+
+fuzz::TargetFactory modbus_factory() {
+  return [] { return std::make_unique<proto::ModbusServer>(); };
+}
+
+const model::DataModelSet& modbus_models() {
+  static const model::DataModelSet models = pits::modbus_pit();
+  return models;
+}
+
+/// Rolling fingerprint + per-checkpoint series of one campaign.
+struct Trajectory {
+  std::vector<std::size_t> path_series;
+  std::vector<std::size_t> edge_series;
+  std::uint64_t exec_fingerprint = 0;
+  std::size_t retained = 0;
+  std::size_t corpus = 0;
+  std::size_t crashes = 0;
+
+  bool operator==(const Trajectory&) const = default;
+};
+
+Trajectory run_campaign(bool dense_reference, std::uint64_t iterations,
+                        std::uint64_t distill_interval = 0) {
+  proto::ModbusServer server;
+  fuzz::FuzzerConfig config;
+  config.strategy = fuzz::Strategy::PeachStar;
+  config.rng_seed = 42;
+  config.distill_interval = distill_interval;
+  config.executor.dense_reference = dense_reference;
+  fuzz::Fuzzer fuzzer(server, modbus_models(), config);
+  Trajectory trajectory;
+  fuzzer.run(iterations, [&](const fuzz::ExecResult& result) {
+    trajectory.exec_fingerprint =
+        trajectory.exec_fingerprint * 0x100000001B3ULL ^
+        mix64(result.trace_hash ^ (result.new_coverage ? 1 : 0) ^
+              (result.new_path ? 2 : 0) ^ result.trace_edges);
+    if (fuzzer.executor().executions() % 500 == 0) {
+      trajectory.path_series.push_back(fuzzer.path_count());
+      trajectory.edge_series.push_back(fuzzer.executor().edge_count());
+    }
+  });
+  trajectory.retained = fuzzer.retained_seeds().size();
+  trajectory.corpus = fuzzer.corpus().size();
+  trajectory.crashes = fuzzer.crashes().unique_count();
+  return trajectory;
+}
+
+TEST(TrajectoryPreservation, FuzzerCampaignIdenticalToDenseReference) {
+  const Trajectory sparse = run_campaign(false, 10000);
+  const Trajectory dense = run_campaign(true, 10000);
+  EXPECT_EQ(sparse, dense);
+  EXPECT_FALSE(sparse.path_series.empty());
+  EXPECT_GT(sparse.path_series.back(), 0u);
+}
+
+TEST(TrajectoryPreservation, AutoDistillCampaignIdenticalToDenseReference) {
+  const Trajectory sparse = run_campaign(false, 4000, /*distill_interval=*/1000);
+  const Trajectory dense = run_campaign(true, 4000, /*distill_interval=*/1000);
+  EXPECT_EQ(sparse, dense);
+}
+
+TEST(TrajectoryPreservation, ParallelCampaignW2IdenticalToDenseReference) {
+  auto run_parallel = [&](bool dense_reference) {
+    par::ParallelCampaignConfig config;
+    config.workers = 2;
+    config.iterations_per_worker = 3000;
+    config.base_seed = 99;
+    // Syncing off: a syncing campaign is reproducible only up to OS thread
+    // interleaving of the sync points (parallel_campaign.hpp), so the
+    // bit-identical sparse-vs-dense comparison needs independent shards.
+    // The exchange's merge paths are covered by the CoverageMerge suite.
+    config.sync_interval = 0;
+    config.fuzzer.strategy = fuzz::Strategy::PeachStar;
+    config.fuzzer.executor.dense_reference = dense_reference;
+    par::ParallelCampaign campaign(modbus_factory(), modbus_models(), config);
+    return campaign.run();
+  };
+  const par::ParallelCampaignResult sparse = run_parallel(false);
+  const par::ParallelCampaignResult dense = run_parallel(true);
+
+  ASSERT_EQ(sparse.workers.size(), dense.workers.size());
+  for (std::size_t w = 0; w < sparse.workers.size(); ++w) {
+    EXPECT_EQ(sparse.workers[w].paths, dense.workers[w].paths) << "worker " << w;
+    EXPECT_EQ(sparse.workers[w].edges, dense.workers[w].edges) << "worker " << w;
+    EXPECT_EQ(sparse.workers[w].retained_seeds, dense.workers[w].retained_seeds)
+        << "worker " << w;
+    EXPECT_EQ(sparse.workers[w].corpus_size, dense.workers[w].corpus_size)
+        << "worker " << w;
+  }
+  EXPECT_EQ(sparse.global_paths, dense.global_paths);
+  EXPECT_EQ(sparse.global_edges, dense.global_edges);
+  EXPECT_EQ(sparse.total_executions, dense.total_executions);
+}
+
+}  // namespace
+}  // namespace icsfuzz::cov

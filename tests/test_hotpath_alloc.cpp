@@ -1,0 +1,170 @@
+// Hot-path allocation discipline + dedup-bound regression tests.
+//
+// The zero-allocation packet pipeline promises that steady-state executions
+// perform no heap allocations: Executor::run_into reuses the ExecResult's
+// vectors, FaultSink::disarm_into swaps instead of reallocating, and
+// MutatorSuite::mutate_bytes_into ping-pongs caller-owned buffers. This
+// file asserts those promises with a counting global allocator (each test
+// binary is standalone, so overriding operator new here is safe), and
+// covers the GenerationalDedup half-clear scheme that replaced the
+// wipe-everything dedup reset.
+#include <gtest/gtest.h>
+
+#include "bench/counting_allocator.hpp"
+#include "coverage/instrument.hpp"
+#include "fuzzer/dedup.hpp"
+#include "fuzzer/executor.hpp"
+#include "mutation/mutator.hpp"
+#include "protocols/protocol_target.hpp"
+#include "util/rng.hpp"
+
+namespace icsfuzz::fuzz {
+namespace {
+
+using bench_alloc::g_allocations;
+
+/// Deterministic allocation-free target: traces a few edges derived from
+/// the packet bytes and echoes the packet through the reused response
+/// buffer (process_into never allocates once the buffer has capacity).
+class StubTarget final : public ProtocolTarget {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "stub"; }
+  void reset() override {}
+
+  Bytes process(ByteSpan packet) override {
+    Bytes response;
+    process_into(packet, response);
+    return response;
+  }
+
+  void process_into(ByteSpan packet, Bytes& response) override {
+    for (const std::uint8_t byte : packet) {
+      cov::hit(static_cast<std::uint32_t>(byte) * 977u + 13u);
+    }
+    response.assign(packet.begin(), packet.end());
+  }
+};
+
+TEST(ZeroAllocation, ExecutorSteadyStateRunsAllocationFree) {
+  StubTarget target;
+  Executor executor;
+  ExecResult result;
+  const std::vector<Bytes> packets = {
+      Bytes{1, 2, 3, 4}, Bytes{9, 8, 7}, Bytes{1, 1, 1, 1, 1}, Bytes{0x42}};
+
+  // Warm-up: vector capacities converge, every distinct path hash enters
+  // the PathTracker.
+  for (int i = 0; i < 64; ++i) {
+    executor.run_into(target, packets[static_cast<std::size_t>(i) %
+                                      packets.size()],
+                      result);
+  }
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 512; ++i) {
+    executor.run_into(target, packets[static_cast<std::size_t>(i) %
+                                      packets.size()],
+                      result);
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state executions must not touch the heap";
+  EXPECT_EQ(executor.executions(), 576u);
+  EXPECT_FALSE(result.crashed());
+  EXPECT_GT(result.trace_edges, 0u);
+}
+
+TEST(ZeroAllocation, MutateBytesIntoPingPongIsAllocationFree) {
+  const mutation::MutatorSuite mutators;
+  Rng rng(123);
+  const Bytes seed = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+  Bytes a;
+  Bytes b;
+
+  // Warm-up until the ping-pong buffers reach their steady capacity (each
+  // mutation grows the packet by at most 8 bytes before the next iteration
+  // re-seeds, so capacity converges quickly).
+  for (int i = 0; i < 4096; ++i) {
+    a.assign(seed.begin(), seed.end());
+    mutators.mutate_bytes_into(a, b, rng);
+    a.swap(b);
+  }
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 4096; ++i) {
+    a.assign(seed.begin(), seed.end());
+    mutators.mutate_bytes_into(a, b, rng);
+    a.swap(b);
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
+TEST(ZeroAllocation, ValueReturningMutateStillMatchesIntoVariant) {
+  // The wrapper draws the identical RNG sequence, so both forms produce
+  // identical packets from identical RNG states.
+  const mutation::MutatorSuite mutators;
+  const Bytes seed = {10, 20, 30, 40, 50};
+  Rng rng_value(77);
+  Rng rng_into(77);
+  for (int i = 0; i < 200; ++i) {
+    const Bytes by_value = mutators.mutate_bytes(seed, rng_value);
+    Bytes into;
+    mutators.mutate_bytes_into(seed, into, rng_into);
+    ASSERT_EQ(by_value, into) << "iteration " << i;
+  }
+}
+
+TEST(GenerationalDedup, DedupSurvivesTheRotationThreshold) {
+  // Capacity 64 -> generations rotate every 32 inserts. The regression the
+  // old wipe-everything scheme had: immediately after the threshold, ALL
+  // dedup state was gone and recent packets re-executed. Here the newest
+  // half must stay deduplicated across the rotation.
+  GenerationalDedup dedup(64);
+  for (std::uint64_t h = 1; h <= 32; ++h) {
+    EXPECT_TRUE(dedup.insert(h)) << h;
+  }
+  // Rotation happened at h=32; everything recent must still be known.
+  for (std::uint64_t h = 1; h <= 32; ++h) {
+    EXPECT_TRUE(dedup.contains(h)) << h;
+    EXPECT_FALSE(dedup.insert(h)) << h;
+  }
+  // Fill the second generation; the first is dropped only after ANOTHER
+  // full half-capacity of fresh hashes.
+  for (std::uint64_t h = 33; h <= 64; ++h) {
+    EXPECT_TRUE(dedup.insert(h)) << h;
+  }
+  for (std::uint64_t h = 33; h <= 64; ++h) {
+    EXPECT_FALSE(dedup.insert(h)) << h;
+  }
+  // Memory stays bounded by the capacity.
+  EXPECT_LE(dedup.size(), dedup.capacity());
+}
+
+TEST(GenerationalDedup, OldestGenerationIsReleasedNotTheWholeSet) {
+  GenerationalDedup dedup(64);
+  for (std::uint64_t h = 1; h <= 95; ++h) dedup.insert(h);
+  // Rotations fired at 32 and 64: the oldest generation (1..32) is gone,
+  // while 33..95 span the two live generations and remain deduplicated.
+  for (std::uint64_t h = 1; h <= 32; ++h) {
+    EXPECT_FALSE(dedup.contains(h)) << h;
+  }
+  for (std::uint64_t h = 33; h <= 95; ++h) {
+    EXPECT_TRUE(dedup.contains(h)) << h;
+  }
+  EXPECT_LE(dedup.size(), 64u);
+}
+
+TEST(GenerationalDedup, UnboundedBehaviourBelowHalfCapacity) {
+  GenerationalDedup dedup;  // default 2^21
+  for (std::uint64_t h = 1; h <= 10000; ++h) {
+    EXPECT_TRUE(dedup.insert(h));
+  }
+  for (std::uint64_t h = 1; h <= 10000; ++h) {
+    EXPECT_FALSE(dedup.insert(h));
+  }
+  EXPECT_EQ(dedup.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace icsfuzz::fuzz
