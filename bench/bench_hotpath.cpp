@@ -11,6 +11,16 @@
 //     run the same workload on the same machine, so the ratio gates
 //     regressions without caring how fast the CI runner is.
 //
+//   * SIMD kernel A/B — the same traces replayed through the sparse path
+//     twice, once with the scalar reference kernel pinned and once with the
+//     best kernel the build + CPU support (coverage/simd.hpp), timing only
+//     the analysis windows (begin_execution + finalize_execution; the trace
+//     emission between them is identical in both arms and excluded).
+//     `speedup_vs_scalar_sparse` is the vectorization headline, and the two
+//     arms' trace hashes/edge counts are folded into checksums that must
+//     match exactly (`simd_matches_scalar`) — the kernels are required to be
+//     bit-identical, not just fast.
+//
 //   * Packet-pipeline allocations — a counting global allocator measures
 //     steady-state heap allocations per Executor::run_into on an
 //     allocation-free stub target (must be 0), and per stacked
@@ -20,12 +30,14 @@
 //   ICSFUZZ_BENCH_HOTPATH_EXECS   executions per density tier (default 3000)
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "counting_allocator.hpp"
 #include "coverage/coverage_map.hpp"
+#include "coverage/simd.hpp"
 #include "fuzzer/executor.hpp"
 #include "mutation/mutator.hpp"
 #include "util/rng.hpp"
@@ -79,6 +91,27 @@ double time_arm(cov::CoverageMap& map, const std::vector<Trace>& traces,
     sink ^= summary.trace_hash + summary.trace_edges;
   }
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Times only the map-analysis windows (begin + finalize) of a sparse-path
+/// replay, excluding the emit loop both kernel arms share.
+double time_analysis(cov::CoverageMap& map, const std::vector<Trace>& traces,
+                     std::uint64_t& sink) {
+  double total = 0.0;
+  for (const Trace& trace : traces) {
+    const auto begin_start = Clock::now();
+    map.begin_execution();
+    total += std::chrono::duration<double>(Clock::now() - begin_start).count();
+    for (const auto& [cell, count] : trace) {
+      for (std::uint32_t i = 0; i < count; ++i) emit_cell(cell);
+    }
+    const auto finalize_start = Clock::now();
+    const cov::TraceSummary summary = map.finalize_execution();
+    total +=
+        std::chrono::duration<double>(Clock::now() - finalize_start).count();
+    sink ^= summary.trace_hash + summary.trace_edges;
+  }
+  return total;
 }
 
 /// Allocation-free stub target for the executor-pipeline measurement.
@@ -148,6 +181,68 @@ int main() {
   const double speedup =
       sparse_seconds > 0.0 ? dense_seconds / sparse_seconds : 0.0;
 
+  // -- SIMD kernel A/B: scalar reference vs best kernel, sparse path. -----
+  const cov::simd::Kernel best_kernel = cov::simd::best_kernel();
+  double scalar_analysis_seconds = 0.0;
+  double simd_analysis_seconds = 0.0;
+  double per_density_simd_speedup[3] = {0, 0, 0};
+  std::uint64_t scalar_sink = 0;
+  std::uint64_t simd_sink = 0;
+  tier = 0;
+  for (const std::size_t edges : densities) {
+    const std::vector<Trace> traces = make_traces(execs, edges, 2000 + edges);
+    cov::CoverageMap scalar_map;
+    scalar_map.use_kernel(cov::simd::Kernel::kScalar);
+    cov::CoverageMap simd_map;
+    simd_map.use_kernel(best_kernel);
+    const std::vector<Trace> warmup(traces.begin(),
+                                    traces.begin() +
+                                        static_cast<std::ptrdiff_t>(
+                                            std::min<std::size_t>(64, execs)));
+    std::uint64_t warm_sink = 0;
+    time_analysis(scalar_map, warmup, warm_sink);
+    time_analysis(simd_map, warmup, warm_sink);
+
+    const double scalar = time_analysis(scalar_map, traces, scalar_sink);
+    const double simd = time_analysis(simd_map, traces, simd_sink);
+    scalar_analysis_seconds += scalar;
+    simd_analysis_seconds += simd;
+    per_density_simd_speedup[tier++] = simd > 0.0 ? scalar / simd : 0.0;
+  }
+  const bool simd_matches_scalar = scalar_sink == simd_sink;
+  const double simd_speedup = simd_analysis_seconds > 0.0
+                                  ? scalar_analysis_seconds /
+                                        simd_analysis_seconds
+                                  : 0.0;
+
+  // -- Merge A/B: steady-state worker-to-exchange folds, scalar vs SIMD. --
+  // Source map with saturated coverage; destination already holds it, so
+  // every merge is the "peer has nothing new" case a syncing campaign spends
+  // nearly all its time in.
+  double merge_speedup = 0.0;
+  {
+    cov::CoverageMap source;
+    const std::vector<Trace> traces = make_traces(256, 1024, 7777);
+    std::uint64_t warm_sink = 0;
+    time_analysis(source, traces, warm_sink);
+    const std::size_t merge_iters = 2000;
+    double seconds[2] = {0, 0};
+    int arm = 0;
+    for (const cov::simd::Kernel kind :
+         {cov::simd::Kernel::kScalar, best_kernel}) {
+      cov::CoverageMap dst;
+      dst.use_kernel(kind);
+      dst.merge(source);  // after this, merges add nothing
+      const auto start = Clock::now();
+      bool added = false;
+      for (std::size_t i = 0; i < merge_iters; ++i) added |= dst.merge(source);
+      seconds[arm++] =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (added) std::fprintf(stderr, "merge steady state added bits?\n");
+    }
+    merge_speedup = seconds[1] > 0.0 ? seconds[0] / seconds[1] : 0.0;
+  }
+
   // -- Executor pipeline: throughput + steady-state allocations. ----------
   StubTarget target;
   fuzz::Executor executor;
@@ -210,6 +305,27 @@ int main() {
               per_density_speedup[1]);
   std::printf("  \"speedup_vs_dense_1024_edges\": %.2f,\n",
               per_density_speedup[2]);
+  std::printf("  \"simd_kernel\": \"%s\",\n",
+              std::string(cov::simd::kernel_name(best_kernel)).c_str());
+  const double analysis_execs = total_map_execs;
+  std::printf("  \"scalar_analysis_execs_per_sec\": %.0f,\n",
+              scalar_analysis_seconds > 0.0
+                  ? analysis_execs / scalar_analysis_seconds
+                  : 0.0);
+  std::printf("  \"simd_analysis_execs_per_sec\": %.0f,\n",
+              simd_analysis_seconds > 0.0
+                  ? analysis_execs / simd_analysis_seconds
+                  : 0.0);
+  std::printf("  \"speedup_vs_scalar_sparse\": %.2f,\n", simd_speedup);
+  std::printf("  \"speedup_vs_scalar_sparse_32_edges\": %.2f,\n",
+              per_density_simd_speedup[0]);
+  std::printf("  \"speedup_vs_scalar_sparse_256_edges\": %.2f,\n",
+              per_density_simd_speedup[1]);
+  std::printf("  \"speedup_vs_scalar_sparse_1024_edges\": %.2f,\n",
+              per_density_simd_speedup[2]);
+  std::printf("  \"simd_matches_scalar\": %s,\n",
+              simd_matches_scalar ? "true" : "false");
+  std::printf("  \"merge_speedup_vs_scalar\": %.2f,\n", merge_speedup);
   std::printf("  \"executor_execs_per_sec\": %.0f,\n",
               exec_seconds > 0.0 ? static_cast<double>(exec_iters) /
                                        exec_seconds
@@ -218,5 +334,7 @@ int main() {
   std::printf("  \"mutate_into_allocs_per_iter\": %.4f,\n", mut_allocs);
   std::printf("  \"checksum\": %llu\n}\n",
               static_cast<unsigned long long>(sink & 0xFFFF));
-  return allocs_per_exec == 0.0 && mut_allocs == 0.0 ? 0 : 1;
+  return allocs_per_exec == 0.0 && mut_allocs == 0.0 && simd_matches_scalar
+             ? 0
+             : 1;
 }

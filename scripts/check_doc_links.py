@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Docs link-check for CI: relative markdown links must resolve on disk.
+
+    check_doc_links.py README.md docs/*.md
+
+Checks every inline link / image target `[text](target)` whose target is a
+local path, relative to the file containing it. Skipped on purpose:
+  * absolute URLs (http://, https://, mailto:)
+  * pure in-page anchors (#section)
+  * targets that escape the repository root (run the script from the repo
+    root) — GitHub-web idioms such as the CI badge's ../../actions/... link
+    have no on-disk counterpart.
+A target may carry a #fragment; only the file part must exist.
+
+Exit status: 0 when every checked link resolves, 1 when any is broken,
+2 on usage errors.
+"""
+
+import os
+import re
+import sys
+
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^()\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    root = os.path.abspath(os.getcwd())
+    checked = 0
+    broken = 0
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            print(f"FAIL: cannot read {path}: {error}")
+            return 2
+        base = os.path.dirname(os.path.abspath(path))
+        for match in INLINE_LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            file_part, _, _fragment = target.partition("#")
+            if not file_part:
+                continue
+            resolved = os.path.normpath(os.path.join(base, file_part))
+            if os.path.commonpath([resolved, root]) != root:
+                continue  # escapes the repo: a GitHub-web link, not a file
+            line = text.count("\n", 0, match.start()) + 1
+            checked += 1
+            if not os.path.exists(resolved):
+                print(f"BROKEN: {path}:{line}: {target}")
+                broken += 1
+    print(f"doc link-check: {checked} relative links checked, "
+          f"{broken} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

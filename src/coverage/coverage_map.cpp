@@ -5,46 +5,26 @@
 #include "coverage/dense_ref.hpp"
 
 namespace icsfuzz::cov {
-namespace {
 
-// Lookup table mapping a raw count to its AFL bucket bitmask.
-constexpr std::array<std::uint8_t, 256> make_bucket_table() {
-  std::array<std::uint8_t, 256> table{};
-  table[0] = 0;
-  table[1] = 1;
-  table[2] = 2;
-  table[3] = 4;
-  for (int i = 4; i <= 7; ++i) table[static_cast<std::size_t>(i)] = 8;
-  for (int i = 8; i <= 15; ++i) table[static_cast<std::size_t>(i)] = 16;
-  for (int i = 16; i <= 31; ++i) table[static_cast<std::size_t>(i)] = 32;
-  for (int i = 32; i <= 127; ++i) table[static_cast<std::size_t>(i)] = 64;
-  for (int i = 128; i <= 255; ++i) table[static_cast<std::size_t>(i)] = 128;
-  return table;
+std::uint8_t classify_count(std::uint8_t raw) {
+  return simd::kBucketTable[raw];
 }
-
-const std::array<std::uint8_t, 256> kBucketTable = make_bucket_table();
-
-/// Number of bytes that are zero in `before` but nonzero in `after` — the
-/// edges a virgin-map OR newly covered (feeds the O(1) edges_covered()).
-std::size_t newly_nonzero_bytes(std::uint64_t before, std::uint64_t after) {
-  std::size_t count = 0;
-  for (std::size_t b = 0; b < 8; ++b) {
-    const std::uint64_t mask = 0xFFULL << (b * 8);
-    count += (before & mask) == 0 && (after & mask) != 0;
-  }
-  return count;
-}
-
-}  // namespace
-
-std::uint8_t classify_count(std::uint8_t raw) { return kBucketTable[raw]; }
 
 CoverageMap::CoverageMap()
     : trace_(std::make_unique<std::uint64_t[]>(kMapWords)),
       virgin_(std::make_unique<std::uint64_t[]>(kMapWords)),
-      dirty_(std::make_unique<DirtyWordList>()) {
+      dirty_(std::make_unique<DirtyWordList>()),
+      acc_dirty_(std::make_unique<DirtyWordList>()),
+      ops_(&simd::active()) {
   std::memset(trace_.get(), 0, kMapSize);
   std::memset(virgin_.get(), 0, kMapSize);
+}
+
+void CoverageMap::use_kernel(simd::Kernel kind) {
+  const simd::KernelOps* ops = kind == simd::Kernel::kAuto
+                                   ? &simd::active()
+                                   : simd::ops_for(kind);
+  ops_ = ops == nullptr ? &simd::scalar_ops() : ops;
 }
 
 void CoverageMap::begin_execution() {
@@ -67,32 +47,17 @@ void CoverageMap::begin_execution_dense() {
 
 TraceSummary CoverageMap::finalize_execution() {
   end_trace();
+  // The fused classify+hash+count+accumulate pass, dispatched to the active
+  // SIMD kernel (scalar reference produces bit-identical results).
+  const simd::TraceAnalysis analysis = ops_->analyze_trace(
+      trace_.get(), dirty_->indices, dirty_->count, virgin_.get(),
+      acc_dirty_.get());
+  edges_covered_ += analysis.newly_covered;
   TraceSummary summary;
-  std::uint64_t sum = 0;
-  std::uint64_t mix = 0;
-  for (std::uint32_t i = 0; i < dirty_->count; ++i) {
-    const std::size_t w = dirty_->indices[i];
-    std::uint8_t* cell = trace_bytes() + w * 8;
-    // Classify the word's cells, then hash/count/accumulate the classified
-    // values — the fused single pass.
-    for (std::size_t b = 0; b < 8; ++b) cell[b] = kBucketTable[cell[b]];
-    const std::uint64_t word = trace_[w];
-    const std::uint64_t have = virgin_[w];
-    const std::uint64_t fresh = word & ~have;
-    if (fresh != 0) {
-      virgin_[w] = have | fresh;
-      edges_covered_ += newly_nonzero_bytes(have, have | fresh);
-      summary.new_coverage = true;
-    }
-    for (std::size_t b = 0; b < 8; ++b) {
-      if (cell[b] == 0) continue;
-      const std::uint64_t v = dense::mix_cell(w * 8 + b, cell[b]);
-      sum += v;
-      mix ^= v;
-      ++summary.trace_edges;
-    }
-  }
-  summary.trace_hash = dense::finish_hash(sum, mix);
+  summary.trace_hash = dense::finish_hash(analysis.hash_sum,
+                                          analysis.hash_mix);
+  summary.trace_edges = analysis.trace_edges;
+  summary.new_coverage = analysis.new_coverage;
   return summary;
 }
 
@@ -104,15 +69,22 @@ TraceSummary CoverageMap::finalize_execution_dense() {
   summary.trace_edges = dense::edge_count(trace_bytes());
   summary.new_coverage = dense::accumulate(trace_bytes(), virgin_bytes());
   edges_covered_ = dense::edge_count(accumulated());
+  // dense::accumulate bypasses the incremental superset maintenance; rebuild
+  // it with one more full sweep (consistent with dense mode's charter of
+  // paying the pre-overhaul whole-map costs).
+  acc_dirty_->count = 0;
+  for (std::size_t w = 0; w < kMapWords; ++w) {
+    if (virgin_[w] != 0) {
+      acc_dirty_->indices[acc_dirty_->count++] =
+          static_cast<std::uint16_t>(w);
+    }
+  }
   return summary;
 }
 
 void CoverageMap::end_execution() {
   end_trace();
-  for (std::uint32_t i = 0; i < dirty_->count; ++i) {
-    std::uint8_t* cell = trace_bytes() + dirty_->indices[i] * 8;
-    for (std::size_t b = 0; b < 8; ++b) cell[b] = kBucketTable[cell[b]];
-  }
+  ops_->classify_words(trace_.get(), dirty_->indices, dirty_->count);
 }
 
 bool CoverageMap::has_new_bits() const {
@@ -124,18 +96,14 @@ bool CoverageMap::has_new_bits() const {
 }
 
 bool CoverageMap::accumulate() {
-  bool added = false;
-  for (std::uint32_t i = 0; i < dirty_->count; ++i) {
-    const std::size_t w = dirty_->indices[i];
-    const std::uint64_t have = virgin_[w];
-    const std::uint64_t fresh = trace_[w] & ~have;
-    if (fresh != 0) {
-      virgin_[w] = have | fresh;
-      edges_covered_ += newly_nonzero_bytes(have, have | fresh);
-      added = true;
-    }
-  }
-  return added;
+  // The classified trace is a sparse source whose nonzero words are exactly
+  // the dirty list — the same shape as a peer merge, so it shares the
+  // SIMD-compared merge kernel.
+  const simd::MergeResult merged = ops_->merge_words(
+      virgin_.get(), trace_.get(), dirty_->indices, dirty_->count,
+      acc_dirty_.get());
+  edges_covered_ += merged.newly_covered;
+  return merged.added;
 }
 
 std::size_t CoverageMap::trace_edge_count() const {
@@ -167,21 +135,32 @@ std::uint64_t CoverageMap::trace_hash() const {
 }
 
 bool CoverageMap::merge(const CoverageMap& other) {
-  return merge_accumulated(other.accumulated());
+  // Dirty-superset-aware: when the source campaign covered few words, walk
+  // only its acc_dirty list (complete by the same append-on-transition
+  // invariant as the trace dirty list). Once the superset is dense enough
+  // that scattered gathers lose to contiguous loads, switch to the
+  // SIMD-compared full sweep — a whole register of words per compare, with
+  // the steady-state "peer has nothing new" case skipping each batch on one
+  // test.
+  const std::uint32_t count = other.acc_dirty_->count;
+  const simd::MergeResult merged =
+      count >= kMapWords / 8
+          ? ops_->merge_full(virgin_.get(), other.accumulated(),
+                             acc_dirty_.get())
+          : ops_->merge_words(virgin_.get(), other.virgin_.get(),
+                              other.acc_dirty_->indices, count,
+                              acc_dirty_.get());
+  edges_covered_ += merged.newly_covered;
+  return merged.added;
 }
 
 bool CoverageMap::merge_accumulated(const std::uint8_t* bits) {
-  bool added = false;
-  for (std::size_t w = 0; w < kMapWords; ++w) {
-    const std::uint64_t have = virgin_[w];
-    const std::uint64_t fresh = dense::load_word(bits, w) & ~have;
-    if (fresh != 0) {
-      virgin_[w] = have | fresh;
-      edges_covered_ += newly_nonzero_bytes(have, have | fresh);
-      added = true;
-    }
-  }
-  return added;
+  // Raw snapshots carry no dirty list, so this stays a full-map sweep — but
+  // a SIMD-compared one (a whole register of words per compare).
+  const simd::MergeResult merged =
+      ops_->merge_full(virgin_.get(), bits, acc_dirty_.get());
+  edges_covered_ += merged.newly_covered;
+  return merged.added;
 }
 
 std::vector<std::uint8_t> CoverageMap::snapshot_accumulated() const {
@@ -190,6 +169,7 @@ std::vector<std::uint8_t> CoverageMap::snapshot_accumulated() const {
 
 void CoverageMap::reset_accumulated() {
   std::memset(virgin_.get(), 0, kMapSize);
+  acc_dirty_->count = 0;
   edges_covered_ = 0;
 }
 

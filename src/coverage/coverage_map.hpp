@@ -9,6 +9,14 @@
 // classifies, hashes, counts and accumulates in ONE sweep of the dirty
 // words. The pre-sparse full-map passes live on in coverage/dense_ref.hpp
 // as the bit-for-bit reference (equivalence tests, bench_hotpath's A/B).
+//
+// The per-word cell work itself (classify + nonzero scan + hash mix, and the
+// word compares of merges) runs through a pluggable SIMD kernel
+// (coverage/simd.hpp): byte-wide SSE2/AVX2/NEON implementations selected at
+// runtime, with the scalar fused loop as the always-available reference. A
+// map defaults to the process-wide best kernel; use_kernel() pins one
+// explicitly (tests, bench_hotpath's scalar-vs-SIMD arms,
+// ExecutorConfig::coverage_kernel).
 #pragma once
 
 #include <array>
@@ -17,6 +25,7 @@
 #include <vector>
 
 #include "coverage/instrument.hpp"
+#include "coverage/simd.hpp"
 
 namespace icsfuzz::cov {
 
@@ -96,6 +105,27 @@ class CoverageMap {
     return dirty_->count;
   }
 
+  /// The 64-bit words of the *accumulated* map that have ever gone nonzero,
+  /// in first-accumulation order (complete: every nonzero virgin word is
+  /// listed exactly once — the campaign-lifetime dirty superset). merge()
+  /// iterates the source map's superset instead of all 8192 words, so
+  /// worker-to-exchange sync cost scales with coverage actually reached.
+  [[nodiscard]] const std::uint16_t* accumulated_dirty_words() const {
+    return acc_dirty_->indices;
+  }
+  [[nodiscard]] std::uint32_t accumulated_dirty_word_count() const {
+    return acc_dirty_->count;
+  }
+
+  /// Pins this map's analysis/merge kernel (kAuto restores the process-wide
+  /// default; unavailable kernels fall back to scalar). Results are
+  /// bit-identical across kernels — only throughput changes.
+  void use_kernel(simd::Kernel kind);
+
+  /// The kernel this map currently dispatches to.
+  [[nodiscard]] simd::Kernel kernel() const { return ops_->kind; }
+  [[nodiscard]] const char* kernel_name() const { return ops_->name; }
+
   // -- Dense reference mode (tests / bench_hotpath / Executor's
   //    dense_reference flag). Bit-identical results via the retained
   //    full-map passes of coverage/dense_ref.hpp; ~6 whole-map sweeps per
@@ -142,6 +172,13 @@ class CoverageMap {
   std::unique_ptr<std::uint64_t[]> trace_;
   std::unique_ptr<std::uint64_t[]> virgin_;  // accumulated classified bits
   std::unique_ptr<DirtyWordList> dirty_;
+  /// Dirty superset of the accumulated map: every virgin word that ever went
+  /// nonzero, appended on its 0 -> nonzero transition by each accumulate/
+  /// merge path (rebuilt by the dense-reference finalize, which bypasses the
+  /// incremental paths). Cleared by reset_accumulated().
+  std::unique_ptr<DirtyWordList> acc_dirty_;
+  /// Active analysis/merge kernel (never null; defaults to simd::active()).
+  const simd::KernelOps* ops_;
   /// Incrementally maintained nonzero-cell count of the virgin map.
   std::size_t edges_covered_ = 0;
 };

@@ -1,0 +1,170 @@
+// Byte-wide SIMD kernels for the coverage hot loops.
+//
+// PR 3's sparse dirty-word overhaul removed every full-map sweep from the
+// execution path; what remained on the profile was the per-cell work *inside*
+// each dirty word (8 bucket-table lookups + a nonzero scan + a hash mix per
+// cell) and the full 8192-word sweep of worker-to-exchange merges. This layer
+// vectorizes both with plain byte-wide operations (compare / min-max / blend)
+// that exist identically on SSE2, AVX2 and NEON, behind one dispatch table:
+//
+//   * Compile-time selection — each kernel is compiled only when the target
+//     architecture can express it (SSE2 is x86-64 baseline; AVX2 additionally
+//     via the GCC/Clang `target("avx2")` function attribute so a plain
+//     -march=x86-64 build still *contains* the AVX2 kernel; NEON on
+//     aarch64/ARM; the portable scalar kernel always). Defining
+//     ICSFUZZ_SCALAR_COVERAGE (CMake: -DICSFUZZ_SCALAR_COVERAGE=ON) compiles
+//     the scalar kernel alone.
+//   * Runtime dispatch — best_kernel() probes the CPU once (AVX2 via
+//     __builtin_cpu_supports) and active() returns the process-wide default
+//     table, overridable with force_kernel() or the ICSFUZZ_COV_KERNEL
+//     environment variable (scalar|sse2|avx2|neon|auto). Each CoverageMap can
+//     also pin its own kernel (CoverageMap::use_kernel /
+//     ExecutorConfig::coverage_kernel), which is how tests and bench_hotpath
+//     run the scalar and SIMD arms side by side in one process.
+//
+// Every kernel is bit-identical to the scalar reference: same classified
+// bytes, same commutative (sum, xor) hash accumulators, same edge counts,
+// same accumulated maps, same dirty-superset append order. The scalar kernel
+// *is* PR 3's fused loop, verbatim; the equivalence suite
+// (tests/test_coverage_sparse.cpp) drives all compiled kernels against it and
+// against the dense full-map reference (coverage/dense_ref.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "coverage/instrument.hpp"
+
+namespace icsfuzz::cov::simd {
+
+/// Kernel identities, in dispatch-preference order (higher is preferred).
+enum class Kernel : std::uint8_t {
+  kAuto = 0,  ///< "best available" — resolved by ops_for()/best_kernel()
+  kScalar,
+  kSSE2,
+  kAVX2,
+  kNEON,
+};
+
+/// AFL bucket table: raw hit count -> bucket bitmask. Shared by the scalar
+/// kernel, classify_count() and the dense reference so every implementation
+/// classifies identically.
+constexpr std::array<std::uint8_t, 256> make_bucket_table() {
+  std::array<std::uint8_t, 256> table{};
+  table[0] = 0;
+  table[1] = 1;
+  table[2] = 2;
+  table[3] = 4;
+  for (int i = 4; i <= 7; ++i) table[static_cast<std::size_t>(i)] = 8;
+  for (int i = 8; i <= 15; ++i) table[static_cast<std::size_t>(i)] = 16;
+  for (int i = 16; i <= 31; ++i) table[static_cast<std::size_t>(i)] = 32;
+  for (int i = 32; i <= 127; ++i) table[static_cast<std::size_t>(i)] = 64;
+  for (int i = 128; i <= 255; ++i) table[static_cast<std::size_t>(i)] = 128;
+  return table;
+}
+
+inline constexpr std::array<std::uint8_t, 256> kBucketTable =
+    make_bucket_table();
+
+/// Number of bytes that are zero in `before` but nonzero in `after` — the
+/// cells a virgin-map OR newly covered (feeds the O(1) edges_covered()).
+inline std::size_t newly_nonzero_bytes(std::uint64_t before,
+                                       std::uint64_t after) {
+  std::size_t count = 0;
+  for (std::size_t b = 0; b < 8; ++b) {
+    const std::uint64_t mask = 0xFFULL << (b * 8);
+    count += (before & mask) == 0 && (after & mask) != 0;
+  }
+  return count;
+}
+
+/// Commutative accumulators of the fused trace pass. Finish with
+/// dense::finish_hash(hash_sum, hash_mix); commutativity is what lets the
+/// kernels batch dirty words in any width without changing the hash.
+struct TraceAnalysis {
+  std::uint64_t hash_sum = 0;
+  std::uint64_t hash_mix = 0;
+  std::size_t trace_edges = 0;
+  /// Virgin-map cells that went 0 -> nonzero (edges_covered delta).
+  std::size_t newly_covered = 0;
+  bool new_coverage = false;
+};
+
+/// Outcome of a merge kernel (accumulate / worker-to-exchange fold).
+struct MergeResult {
+  std::size_t newly_covered = 0;
+  bool added = false;
+};
+
+/// Fused classify + hash + count + accumulate over the listed dirty words of
+/// `trace` (uint64 map words), folding fresh bits into `virgin` and appending
+/// every virgin word that transitions 0 -> nonzero to `acc_dirty` (the
+/// accumulated-map dirty superset the sparse merge path iterates).
+using AnalyzeTraceFn = TraceAnalysis (*)(std::uint64_t* trace,
+                                         const std::uint16_t* indices,
+                                         std::uint32_t count,
+                                         std::uint64_t* virgin,
+                                         DirtyWordList* acc_dirty);
+
+/// Classify-only pass over the listed dirty words (the per-query
+/// end_execution path).
+using ClassifyWordsFn = void (*)(std::uint64_t* trace,
+                                 const std::uint16_t* indices,
+                                 std::uint32_t count);
+
+/// Sparse merge: ORs the listed words of `src` into `dst` (both uint64 map
+/// arrays), appending dst words that transition 0 -> nonzero to `acc_dirty`.
+/// The SIMD arms compare whole batches first, so the steady-state case
+/// (nothing fresh) skips several words per instruction.
+using MergeWordsFn = MergeResult (*)(std::uint64_t* dst,
+                                     const std::uint64_t* src,
+                                     const std::uint16_t* indices,
+                                     std::uint32_t count,
+                                     DirtyWordList* acc_dirty);
+
+/// Full-map merge from a raw kMapSize-byte snapshot (cross-process shipping,
+/// persistence — no dirty list travels with the bytes).
+using MergeFullFn = MergeResult (*)(std::uint64_t* dst,
+                                    const std::uint8_t* src_bytes,
+                                    DirtyWordList* acc_dirty);
+
+/// One kernel's dispatch table.
+struct KernelOps {
+  Kernel kind = Kernel::kScalar;
+  const char* name = "scalar";
+  AnalyzeTraceFn analyze_trace = nullptr;
+  ClassifyWordsFn classify_words = nullptr;
+  MergeWordsFn merge_words = nullptr;
+  MergeFullFn merge_full = nullptr;
+};
+
+/// The portable reference kernel (always compiled).
+const KernelOps& scalar_ops();
+
+/// The dispatch table for `kind`, or nullptr when that kernel is not
+/// compiled in / not supported by this CPU. kAuto resolves to the best
+/// runnable kernel (never nullptr: scalar always runs).
+const KernelOps* ops_for(Kernel kind);
+
+/// The best kernel this build can run on this CPU (compile-time selection
+/// refined by the one-time runtime probe).
+Kernel best_kernel();
+
+/// The process-wide default table: best_kernel(), unless overridden by
+/// force_kernel() or the ICSFUZZ_COV_KERNEL environment variable
+/// (scalar|sse2|avx2|neon|auto), read once on first use.
+const KernelOps& active();
+
+/// Overrides the process-wide default. Returns false (and changes nothing)
+/// when `kind` is unavailable; kAuto restores runtime selection.
+bool force_kernel(Kernel kind);
+
+/// Human-readable kernel name ("scalar", "sse2", "avx2", "neon", "auto").
+std::string_view kernel_name(Kernel kind);
+
+/// Parses a kernel name (as accepted by ICSFUZZ_COV_KERNEL); kAuto for
+/// unrecognized input.
+Kernel parse_kernel(std::string_view name);
+
+}  // namespace icsfuzz::cov::simd

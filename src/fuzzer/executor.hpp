@@ -44,11 +44,18 @@ struct ExecutorConfig {
   /// trajectory-preservation suite — but every execution pays the
   /// pre-overhaul ~6 whole-map sweeps again.
   bool dense_reference = false;
+  /// Which coverage/simd.hpp kernel this executor's map dispatches to.
+  /// kAuto picks the best the build + CPU support; kScalar force-selects the
+  /// portable reference loop (the equivalence suite runs campaigns under
+  /// both arms so CI exercises the dispatch even on a single ISA).
+  cov::simd::Kernel coverage_kernel = cov::simd::Kernel::kAuto;
 };
 
 class Executor {
  public:
-  explicit Executor(ExecutorConfig config = {}) : config_(config) {}
+  explicit Executor(ExecutorConfig config = {}) : config_(config) {
+    map_.use_kernel(config_.coverage_kernel);
+  }
 
   /// Resets the target, arms coverage + sanitizer, runs one packet and
   /// classifies the outcome. Updates the campaign's accumulated coverage

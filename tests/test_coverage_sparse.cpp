@@ -1,24 +1,30 @@
-// Equivalence suite for the sparse dirty-word hot path.
+// Equivalence suite for the sparse dirty-word hot path and its SIMD kernels.
 //
 // Every analysis the feedback loop consumes — classified trace, trace hash,
 // edge count, new-bit decision, accumulated map — must be bit-identical
-// between the sparse dirty-word implementation (CoverageMap's default) and
-// the retained dense full-map reference (coverage/dense_ref.hpp, driven via
-// begin_execution_dense / finalize_execution_dense). The suite drives both
-// through randomized trace patterns (including empty, dense, and the
-// boundary words 0 and 8191) and then proves trajectory preservation at
-// campaign scale: a fixed-seed Fuzzer run, a ParallelCampaign at W=2, and a
-// distill_interval auto-distill campaign each produce identical path/edge
-// series under both modes.
+// across a three-implementation matrix: the dense full-map reference
+// (coverage/dense_ref.hpp, driven via begin_execution_dense /
+// finalize_execution_dense), the sparse path pinned to the scalar reference
+// kernel, and the sparse path on every vector kernel this build + CPU can
+// run (coverage/simd.hpp — force-selecting the scalar kernel alongside the
+// SIMD one exercises both dispatch arms even on a single ISA). The suite
+// drives the matrix through randomized trace patterns (including empty,
+// dense, and the boundary words 0 and 8191), proves the merge kernels
+// equivalent on both sides of the dirty-superset/full-sweep hybrid, and then
+// proves trajectory preservation at campaign scale: a fixed-seed Fuzzer run,
+// a ParallelCampaign at W=2, and a distill_interval auto-distill campaign
+// each produce identical path/edge series under every mode.
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "coverage/coverage_map.hpp"
 #include "coverage/dense_ref.hpp"
 #include "coverage/instrument.hpp"
+#include "coverage/simd.hpp"
 #include "parallel/parallel_campaign.hpp"
 #include "pits/pits.hpp"
 #include "protocols/modbus/modbus_server.hpp"
@@ -61,23 +67,55 @@ TraceSummary replay_dense(CoverageMap& map, const Pattern& pattern) {
       [](CoverageMap& m) { return m.finalize_execution_dense(); });
 }
 
+/// Every kernel this build + CPU can actually dispatch to (scalar first).
+std::vector<simd::Kernel> runnable_kernels() {
+  std::vector<simd::Kernel> kernels = {simd::Kernel::kScalar};
+  for (const simd::Kernel kind :
+       {simd::Kernel::kSSE2, simd::Kernel::kAVX2, simd::Kernel::kNEON}) {
+    if (simd::ops_for(kind) != nullptr) kernels.push_back(kind);
+  }
+  return kernels;
+}
+
+/// Drives the full three-way matrix: for every runnable vector kernel, the
+/// sparse path on that kernel, the sparse path force-pinned to the scalar
+/// reference, and the dense full-map reference must stay bit-identical
+/// execution by execution.
 void expect_equivalent(const std::vector<Pattern>& executions) {
-  CoverageMap sparse;
-  CoverageMap dense;
-  for (std::size_t i = 0; i < executions.size(); ++i) {
-    const TraceSummary s = replay_sparse(sparse, executions[i]);
-    const TraceSummary d = replay_dense(dense, executions[i]);
-    ASSERT_EQ(s.trace_hash, d.trace_hash) << "execution " << i;
-    ASSERT_EQ(s.trace_edges, d.trace_edges) << "execution " << i;
-    ASSERT_EQ(s.new_coverage, d.new_coverage) << "execution " << i;
-    ASSERT_EQ(sparse.edges_covered(), dense.edges_covered())
-        << "execution " << i;
-    // The classified trace buffers and accumulated maps must match byte
-    // for byte, not just in aggregate.
-    ASSERT_EQ(0, std::memcmp(sparse.trace(), dense.trace(), kMapSize))
-        << "execution " << i;
-    ASSERT_EQ(sparse.snapshot_accumulated(), dense.snapshot_accumulated())
-        << "execution " << i;
+  for (const simd::Kernel kind : runnable_kernels()) {
+    SCOPED_TRACE(std::string("kernel ") +
+                 std::string(simd::kernel_name(kind)));
+    CoverageMap sparse;
+    sparse.use_kernel(kind);
+    ASSERT_EQ(sparse.kernel(), kind);
+    CoverageMap scalar;
+    scalar.use_kernel(simd::Kernel::kScalar);
+    CoverageMap dense;
+    for (std::size_t i = 0; i < executions.size(); ++i) {
+      const TraceSummary s = replay_sparse(sparse, executions[i]);
+      const TraceSummary sc = replay_sparse(scalar, executions[i]);
+      const TraceSummary d = replay_dense(dense, executions[i]);
+      ASSERT_EQ(s.trace_hash, d.trace_hash) << "execution " << i;
+      ASSERT_EQ(s.trace_hash, sc.trace_hash) << "execution " << i;
+      ASSERT_EQ(s.trace_edges, d.trace_edges) << "execution " << i;
+      ASSERT_EQ(s.trace_edges, sc.trace_edges) << "execution " << i;
+      ASSERT_EQ(s.new_coverage, d.new_coverage) << "execution " << i;
+      ASSERT_EQ(s.new_coverage, sc.new_coverage) << "execution " << i;
+      ASSERT_EQ(sparse.edges_covered(), dense.edges_covered())
+          << "execution " << i;
+      ASSERT_EQ(sparse.edges_covered(), scalar.edges_covered())
+          << "execution " << i;
+      // The classified trace buffers and accumulated maps must match byte
+      // for byte, not just in aggregate.
+      ASSERT_EQ(0, std::memcmp(sparse.trace(), dense.trace(), kMapSize))
+          << "execution " << i;
+      ASSERT_EQ(0, std::memcmp(sparse.trace(), scalar.trace(), kMapSize))
+          << "execution " << i;
+      ASSERT_EQ(sparse.snapshot_accumulated(), dense.snapshot_accumulated())
+          << "execution " << i;
+      ASSERT_EQ(sparse.snapshot_accumulated(), scalar.snapshot_accumulated())
+          << "execution " << i;
+    }
   }
 }
 
@@ -178,6 +216,197 @@ TEST(SparseEquivalence, DirtyListIsCompleteAndDuplicateFree) {
   }
 }
 
+// -- SIMD kernel dispatch. ------------------------------------------------
+
+TEST(SimdDispatch, ScalarKernelAlwaysRunnable) {
+  EXPECT_NE(simd::ops_for(simd::Kernel::kScalar), nullptr);
+  EXPECT_EQ(simd::scalar_ops().kind, simd::Kernel::kScalar);
+  // kAuto always resolves (to scalar at worst).
+  EXPECT_NE(simd::ops_for(simd::Kernel::kAuto), nullptr);
+  EXPECT_NE(simd::ops_for(simd::best_kernel()), nullptr);
+}
+
+TEST(SimdDispatch, UseKernelPinsOrFallsBackToScalar) {
+  for (const simd::Kernel kind :
+       {simd::Kernel::kScalar, simd::Kernel::kSSE2, simd::Kernel::kAVX2,
+        simd::Kernel::kNEON}) {
+    CoverageMap map;
+    map.use_kernel(kind);
+    if (simd::ops_for(kind) != nullptr) {
+      EXPECT_EQ(map.kernel(), kind) << simd::kernel_name(kind);
+    } else {
+      EXPECT_EQ(map.kernel(), simd::Kernel::kScalar)
+          << simd::kernel_name(kind);
+    }
+  }
+}
+
+TEST(SimdDispatch, ForceKernelOverridesProcessDefault) {
+  const simd::Kernel before = simd::active().kind;
+  ASSERT_TRUE(simd::force_kernel(simd::Kernel::kScalar));
+  EXPECT_EQ(simd::active().kind, simd::Kernel::kScalar);
+  // A map created while scalar is forced inherits it.
+  CoverageMap map;
+  EXPECT_EQ(map.kernel(), simd::Kernel::kScalar);
+  ASSERT_TRUE(simd::force_kernel(simd::Kernel::kAuto));
+  EXPECT_EQ(simd::active().kind, before);
+}
+
+TEST(SimdDispatch, KernelNamesRoundTrip) {
+  for (const simd::Kernel kind :
+       {simd::Kernel::kScalar, simd::Kernel::kSSE2, simd::Kernel::kAVX2,
+        simd::Kernel::kNEON}) {
+    EXPECT_EQ(simd::parse_kernel(simd::kernel_name(kind)), kind);
+  }
+  EXPECT_EQ(simd::parse_kernel("bogus"), simd::Kernel::kAuto);
+}
+
+// -- Accumulated-map dirty superset (the sparse merge's iteration set). ---
+
+void expect_superset_exact(const CoverageMap& map) {
+  std::vector<bool> listed(kMapWords, false);
+  for (std::uint32_t i = 0; i < map.accumulated_dirty_word_count(); ++i) {
+    const std::uint16_t w = map.accumulated_dirty_words()[i];
+    ASSERT_FALSE(listed[w]) << "virgin word " << w << " listed twice";
+    listed[w] = true;
+  }
+  for (std::size_t w = 0; w < kMapWords; ++w) {
+    const bool nonzero = dense::load_word(map.accumulated(), w) != 0;
+    ASSERT_EQ(nonzero, listed[w]) << "virgin word " << w;
+  }
+}
+
+TEST(AccumulatedDirtySuperset, TracksEveryAccumulatePath) {
+  for (const simd::Kernel kind : runnable_kernels()) {
+    SCOPED_TRACE(std::string("kernel ") +
+                 std::string(simd::kernel_name(kind)));
+    Rng rng(0xACCD);
+    CoverageMap map;
+    map.use_kernel(kind);
+    // Fused finalize path.
+    for (int exec = 0; exec < 10; ++exec) {
+      Pattern pattern;
+      const std::size_t edges = 1 + rng.index(400);
+      for (std::size_t i = 0; i < edges; ++i) {
+        pattern.cells.push_back(
+            {static_cast<std::uint32_t>(rng.below(kMapSize)),
+             static_cast<std::uint32_t>(1 + rng.below(5))});
+      }
+      replay_sparse(map, pattern);
+    }
+    expect_superset_exact(map);
+
+    // Per-query accumulate path.
+    map.begin_execution();
+    emit_cell(12345);
+    emit_cell(65535);
+    map.end_execution();
+    map.accumulate();
+    expect_superset_exact(map);
+
+    // Merge paths (sparse walk and raw snapshot).
+    CoverageMap other;
+    other.use_kernel(kind);
+    Pattern foreign;
+    for (const std::uint32_t cell : {77u, 40000u, 65528u}) {
+      foreign.cells.push_back({cell, 2});
+    }
+    replay_sparse(other, foreign);
+    map.merge(other);
+    expect_superset_exact(map);
+    CoverageMap snapshot_sink;
+    snapshot_sink.use_kernel(kind);
+    snapshot_sink.merge_accumulated(map.snapshot_accumulated().data());
+    expect_superset_exact(snapshot_sink);
+
+    // Dense-reference finalize rebuilds the superset.
+    replay_dense(map, foreign);
+    expect_superset_exact(map);
+
+    map.reset_accumulated();
+    EXPECT_EQ(map.accumulated_dirty_word_count(), 0u);
+    expect_superset_exact(map);
+  }
+}
+
+// -- Merge-kernel equivalence (the SIMD-compared parallel sync). ----------
+
+/// Builds a map whose accumulated coverage has roughly `words` dirty words —
+/// below kMapWords/8 it exercises the sparse superset walk of merge(), above
+/// it the SIMD-compared full sweep.
+CoverageMap make_accumulated(simd::Kernel kind, std::size_t words,
+                             std::uint64_t seed) {
+  CoverageMap map;
+  map.use_kernel(kind);
+  Rng rng(seed);
+  Pattern pattern;
+  for (std::size_t i = 0; i < words; ++i) {
+    const std::uint32_t word = static_cast<std::uint32_t>(rng.below(kMapWords));
+    pattern.cells.push_back(
+        {word * 8 + static_cast<std::uint32_t>(rng.below(8)),
+         static_cast<std::uint32_t>(1 + rng.below(200))});
+  }
+  replay_sparse(map, pattern);
+  return map;
+}
+
+TEST(MergeEquivalence, KernelsMatchDenseReferenceOnBothHybridArms) {
+  // 200 words < kMapWords/8 (sparse superset walk); 3000 words > kMapWords/8
+  // (SIMD-compared full sweep).
+  for (const std::size_t words : {std::size_t{200}, std::size_t{3000}}) {
+    SCOPED_TRACE("words " + std::to_string(words));
+    for (const simd::Kernel kind : runnable_kernels()) {
+      SCOPED_TRACE(std::string("kernel ") +
+                   std::string(simd::kernel_name(kind)));
+      CoverageMap dst = make_accumulated(kind, words, 1);
+      CoverageMap src = make_accumulated(kind, words, 2);
+      // Dense reference: OR the snapshots through the retained full-map
+      // accumulate.
+      std::vector<std::uint8_t> expected = dst.snapshot_accumulated();
+      const std::vector<std::uint8_t> addend = src.snapshot_accumulated();
+      const bool expected_added =
+          dense::accumulate(addend.data(), expected.data());
+      const std::size_t expected_edges = dense::edge_count(expected.data());
+
+      EXPECT_EQ(dst.merge(src), expected_added);
+      EXPECT_EQ(dst.snapshot_accumulated(), expected);
+      EXPECT_EQ(dst.edges_covered(), expected_edges);
+      expect_superset_exact(dst);
+      // Idempotent: the steady-state sync adds nothing on either arm.
+      EXPECT_FALSE(dst.merge(src));
+      EXPECT_EQ(dst.edges_covered(), expected_edges);
+
+      // The raw-snapshot merge path reaches the same state.
+      CoverageMap via_snapshot = make_accumulated(kind, words, 1);
+      EXPECT_EQ(via_snapshot.merge_accumulated(addend.data()), expected_added);
+      EXPECT_EQ(via_snapshot.snapshot_accumulated(), expected);
+      EXPECT_EQ(via_snapshot.edges_covered(), expected_edges);
+      expect_superset_exact(via_snapshot);
+    }
+  }
+}
+
+TEST(MergeEquivalence, MixedKernelWorkersMergeIdentically) {
+  // A SIMD worker merged into a scalar exchange (and vice versa) must land
+  // on the same global map — parallel campaigns may mix kernels freely.
+  const std::vector<simd::Kernel> kernels = runnable_kernels();
+  const simd::Kernel vector_kind = kernels.back();
+  CoverageMap worker_scalar = make_accumulated(simd::Kernel::kScalar, 600, 9);
+  CoverageMap worker_simd = make_accumulated(vector_kind, 600, 9);
+  ASSERT_EQ(worker_scalar.snapshot_accumulated(),
+            worker_simd.snapshot_accumulated());
+
+  CoverageMap exchange_scalar;
+  exchange_scalar.use_kernel(simd::Kernel::kScalar);
+  CoverageMap exchange_simd;
+  exchange_simd.use_kernel(vector_kind);
+  exchange_scalar.merge(worker_simd);
+  exchange_simd.merge(worker_scalar);
+  EXPECT_EQ(exchange_scalar.snapshot_accumulated(),
+            exchange_simd.snapshot_accumulated());
+  EXPECT_EQ(exchange_scalar.edges_covered(), exchange_simd.edges_covered());
+}
+
 // -- Campaign-scale trajectory preservation. ------------------------------
 
 fuzz::TargetFactory modbus_factory() {
@@ -202,13 +431,15 @@ struct Trajectory {
 };
 
 Trajectory run_campaign(bool dense_reference, std::uint64_t iterations,
-                        std::uint64_t distill_interval = 0) {
+                        std::uint64_t distill_interval = 0,
+                        simd::Kernel kernel = simd::Kernel::kAuto) {
   proto::ModbusServer server;
   fuzz::FuzzerConfig config;
   config.strategy = fuzz::Strategy::PeachStar;
   config.rng_seed = 42;
   config.distill_interval = distill_interval;
   config.executor.dense_reference = dense_reference;
+  config.executor.coverage_kernel = kernel;
   fuzz::Fuzzer fuzzer(server, modbus_models(), config);
   Trajectory trajectory;
   fuzzer.run(iterations, [&](const fuzz::ExecResult& result) {
@@ -228,21 +459,32 @@ Trajectory run_campaign(bool dense_reference, std::uint64_t iterations,
 }
 
 TEST(TrajectoryPreservation, FuzzerCampaignIdenticalToDenseReference) {
-  const Trajectory sparse = run_campaign(false, 10000);
+  // Three-way: dense reference vs sparse-scalar vs sparse on the best SIMD
+  // kernel (the executor config force-selects the scalar arm, so both
+  // dispatch paths run even when CI has a single ISA).
+  const Trajectory simd =
+      run_campaign(false, 10000, 0, simd::Kernel::kAuto);
+  const Trajectory scalar =
+      run_campaign(false, 10000, 0, simd::Kernel::kScalar);
   const Trajectory dense = run_campaign(true, 10000);
-  EXPECT_EQ(sparse, dense);
-  EXPECT_FALSE(sparse.path_series.empty());
-  EXPECT_GT(sparse.path_series.back(), 0u);
+  EXPECT_EQ(simd, dense);
+  EXPECT_EQ(simd, scalar);
+  EXPECT_FALSE(simd.path_series.empty());
+  EXPECT_GT(simd.path_series.back(), 0u);
 }
 
 TEST(TrajectoryPreservation, AutoDistillCampaignIdenticalToDenseReference) {
-  const Trajectory sparse = run_campaign(false, 4000, /*distill_interval=*/1000);
+  const Trajectory simd = run_campaign(false, 4000, /*distill_interval=*/1000,
+                                       simd::Kernel::kAuto);
+  const Trajectory scalar = run_campaign(
+      false, 4000, /*distill_interval=*/1000, simd::Kernel::kScalar);
   const Trajectory dense = run_campaign(true, 4000, /*distill_interval=*/1000);
-  EXPECT_EQ(sparse, dense);
+  EXPECT_EQ(simd, dense);
+  EXPECT_EQ(simd, scalar);
 }
 
-TEST(TrajectoryPreservation, ParallelCampaignW2IdenticalToDenseReference) {
-  auto run_parallel = [&](bool dense_reference) {
+TEST(TrajectoryPreservation, ParallelCampaignW2IdenticalAcrossAllModes) {
+  auto run_parallel = [&](bool dense_reference, simd::Kernel kernel) {
     par::ParallelCampaignConfig config;
     config.workers = 2;
     config.iterations_per_worker = 3000;
@@ -250,28 +492,40 @@ TEST(TrajectoryPreservation, ParallelCampaignW2IdenticalToDenseReference) {
     // Syncing off: a syncing campaign is reproducible only up to OS thread
     // interleaving of the sync points (parallel_campaign.hpp), so the
     // bit-identical sparse-vs-dense comparison needs independent shards.
-    // The exchange's merge paths are covered by the CoverageMerge suite.
+    // The exchange's merge paths are covered by the CoverageMerge and
+    // MergeEquivalence suites.
     config.sync_interval = 0;
     config.fuzzer.strategy = fuzz::Strategy::PeachStar;
     config.fuzzer.executor.dense_reference = dense_reference;
+    config.fuzzer.executor.coverage_kernel = kernel;
     par::ParallelCampaign campaign(modbus_factory(), modbus_models(), config);
     return campaign.run();
   };
-  const par::ParallelCampaignResult sparse = run_parallel(false);
-  const par::ParallelCampaignResult dense = run_parallel(true);
+  // Three-way fixed-seed matrix at W=2: sparse-SIMD, sparse-scalar, dense.
+  const par::ParallelCampaignResult simd =
+      run_parallel(false, simd::Kernel::kAuto);
+  const par::ParallelCampaignResult scalar =
+      run_parallel(false, simd::Kernel::kScalar);
+  const par::ParallelCampaignResult dense =
+      run_parallel(true, simd::Kernel::kAuto);
 
-  ASSERT_EQ(sparse.workers.size(), dense.workers.size());
-  for (std::size_t w = 0; w < sparse.workers.size(); ++w) {
-    EXPECT_EQ(sparse.workers[w].paths, dense.workers[w].paths) << "worker " << w;
-    EXPECT_EQ(sparse.workers[w].edges, dense.workers[w].edges) << "worker " << w;
-    EXPECT_EQ(sparse.workers[w].retained_seeds, dense.workers[w].retained_seeds)
-        << "worker " << w;
-    EXPECT_EQ(sparse.workers[w].corpus_size, dense.workers[w].corpus_size)
-        << "worker " << w;
+  for (const par::ParallelCampaignResult* other : {&scalar, &dense}) {
+    ASSERT_EQ(simd.workers.size(), other->workers.size());
+    for (std::size_t w = 0; w < simd.workers.size(); ++w) {
+      EXPECT_EQ(simd.workers[w].paths, other->workers[w].paths)
+          << "worker " << w;
+      EXPECT_EQ(simd.workers[w].edges, other->workers[w].edges)
+          << "worker " << w;
+      EXPECT_EQ(simd.workers[w].retained_seeds,
+                other->workers[w].retained_seeds)
+          << "worker " << w;
+      EXPECT_EQ(simd.workers[w].corpus_size, other->workers[w].corpus_size)
+          << "worker " << w;
+    }
+    EXPECT_EQ(simd.global_paths, other->global_paths);
+    EXPECT_EQ(simd.global_edges, other->global_edges);
+    EXPECT_EQ(simd.total_executions, other->total_executions);
   }
-  EXPECT_EQ(sparse.global_paths, dense.global_paths);
-  EXPECT_EQ(sparse.global_edges, dense.global_edges);
-  EXPECT_EQ(sparse.total_executions, dense.total_executions);
 }
 
 }  // namespace
