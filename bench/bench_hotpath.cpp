@@ -26,17 +26,26 @@
 //     allocation-free stub target (must be 0), and per stacked
 //     mutate_bytes_into ping-pong iteration (must be 0).
 //
+//   * Path-tracker probe A/B — the campaign-shaped record() stream (a few
+//     percent fresh hashes, the rest repeats of the resident set) through
+//     the open-addressing PathTracker and through a std::unordered_set
+//     reference. `path_record_ops_per_sec` floors the absolute rate and
+//     `path_probe_speedup_vs_set` is the hardware-independent gate on the
+//     table rewrite.
+//
 // Budget knobs:
 //   ICSFUZZ_BENCH_HOTPATH_EXECS   executions per density tier (default 3000)
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "counting_allocator.hpp"
 #include "coverage/coverage_map.hpp"
+#include "coverage/path_tracker.hpp"
 #include "coverage/simd.hpp"
 #include "fuzzer/executor.hpp"
 #include "mutation/mutator.hpp"
@@ -243,6 +252,56 @@ int main() {
     merge_speedup = seconds[1] > 0.0 ? seconds[0] / seconds[1] : 0.0;
   }
 
+  // -- Path-tracker probe A/B: open addressing vs unordered_set. ----------
+  // A long campaign's record() stream: the resident path set grows to a
+  // few tens of thousands while the overwhelming majority of executions
+  // replay known paths — the probe-miss-free regime both stores spend
+  // their time in.
+  double path_record_ops_per_sec = 0.0;
+  double path_probe_speedup = 0.0;
+  {
+    const std::size_t resident = 50000;
+    const std::size_t probes = 2000000;
+    std::vector<std::uint64_t> stream;
+    stream.reserve(probes);
+    Rng rng(0x9A7B);
+    for (std::size_t i = 0; i < probes; ++i) {
+      // ~3% fresh hashes, the rest repeats from the resident set.
+      stream.push_back(rng.chance(3, 100)
+                           ? rng.next_u64()
+                           : mix64(rng.below(resident)));
+    }
+    cov::PathTracker tracker;
+    std::unordered_set<std::uint64_t> reference;
+    for (std::size_t i = 0; i < resident; ++i) {
+      tracker.record(mix64(i));
+      reference.insert(mix64(i));
+    }
+    std::size_t tracker_new = 0;
+    const auto tracker_start = Clock::now();
+    for (const std::uint64_t hash : stream) {
+      tracker_new += tracker.record(hash) ? 1 : 0;
+    }
+    const double tracker_seconds =
+        std::chrono::duration<double>(Clock::now() - tracker_start).count();
+    std::size_t set_new = 0;
+    const auto set_start = Clock::now();
+    for (const std::uint64_t hash : stream) {
+      set_new += reference.insert(hash).second ? 1 : 0;
+    }
+    const double set_seconds =
+        std::chrono::duration<double>(Clock::now() - set_start).count();
+    if (tracker_new != set_new) {
+      std::fprintf(stderr, "path tracker diverged from the set oracle\n");
+      return 1;
+    }
+    path_record_ops_per_sec =
+        tracker_seconds > 0.0 ? static_cast<double>(probes) / tracker_seconds
+                              : 0.0;
+    path_probe_speedup =
+        tracker_seconds > 0.0 ? set_seconds / tracker_seconds : 0.0;
+  }
+
   // -- Executor pipeline: throughput + steady-state allocations. ----------
   StubTarget target;
   fuzz::Executor executor;
@@ -326,6 +385,9 @@ int main() {
   std::printf("  \"simd_matches_scalar\": %s,\n",
               simd_matches_scalar ? "true" : "false");
   std::printf("  \"merge_speedup_vs_scalar\": %.2f,\n", merge_speedup);
+  std::printf("  \"path_record_ops_per_sec\": %.0f,\n",
+              path_record_ops_per_sec);
+  std::printf("  \"path_probe_speedup_vs_set\": %.2f,\n", path_probe_speedup);
   std::printf("  \"executor_execs_per_sec\": %.0f,\n",
               exec_seconds > 0.0 ? static_cast<double>(exec_iters) /
                                        exec_seconds

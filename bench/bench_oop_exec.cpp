@@ -1,0 +1,134 @@
+// Out-of-process execution bench: fork-server throughput plus the
+// differential oracle, reported as one JSON document for the
+// bench-regression gate.
+//
+// Two arms run the identical deterministic packet batch against the same
+// protocol stack (libmodbus):
+//
+//   * out-of-process — fuzz::Executor with ExecutorConfig::target_cmd
+//     pointing at the shim binary: every execution pays the shim's fork(),
+//     the pipe round trip, the shm sweep (CoverageMap::adopt_external) and
+//     the fused analysis. `oop_execs_per_sec` is the headline the
+//     baseline floors; the acceptance bar is fork-server execution in the
+//     thousands per second.
+//
+//   * in-process — the plain Executor on the same packets.
+//     `slowdown_vs_in_process` contextualizes the fork tax, and the two
+//     arms' per-execution trace hashes / edge counts are folded into
+//     checksums that must match exactly (`matches_in_process`) — the
+//     differential oracle as a continuously-gated bench invariant, not
+//     just a test.
+//
+// Budget knobs:
+//   ICSFUZZ_BENCH_OOP_EXECS   executions per arm (default 12000)
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exec_oop/oop_executor.hpp"
+#include "fuzzer/executor.hpp"
+#include "model/instantiation.hpp"
+#include "mutation/mutator.hpp"
+#include "pits/pits.hpp"
+#include "protocols/target_registry.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace icsfuzz;
+using Clock = std::chrono::steady_clock;
+
+/// Deterministic packet pool: every libmodbus model's default instance
+/// plus fixed-seed mutations — the mix a real campaign's steady state
+/// replays.
+std::vector<Bytes> make_packets() {
+  const model::DataModelSet models = pits::pit_for_project("libmodbus");
+  const mutation::MutatorSuite mutators;
+  Rng rng(0xBE7C);
+  std::vector<Bytes> packets;
+  for (const model::DataModel& model : models.models()) {
+    Bytes base = model::default_instance(model).serialize();
+    for (int m = 0; m < 7; ++m) {
+      packets.push_back(mutators.mutate_bytes(base, rng));
+    }
+    packets.push_back(std::move(base));
+  }
+  return packets;
+}
+
+struct ArmResult {
+  double seconds = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+ArmResult run_arm(fuzz::Executor& executor, ProtocolTarget& target,
+                  const std::vector<Bytes>& packets, std::size_t execs) {
+  fuzz::ExecResult result;
+  ArmResult arm;
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < execs; ++i) {
+    executor.run_into(target, packets[i % packets.size()], result);
+    arm.checksum = arm.checksum * 0x100000001B3ULL ^
+                   (result.trace_hash + result.trace_edges +
+                    (result.new_coverage ? 1 : 0) + result.faults.size());
+  }
+  arm.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return arm;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t execs = static_cast<std::size_t>(
+      bench::env_u64("ICSFUZZ_BENCH_OOP_EXECS", 12000));
+  const std::vector<Bytes> packets = make_packets();
+
+  const auto factory = proto::target_factory("libmodbus");
+  const std::unique_ptr<ProtocolTarget> placeholder = factory();
+  const std::unique_ptr<ProtocolTarget> inproc_target = factory();
+
+  fuzz::ExecutorConfig oop_config;
+  oop_config.target_cmd = {ICSFUZZ_SHIM_PATH, "--project", "libmodbus"};
+  // Generous deadline: on a noisy shared runner a scheduler stall must not
+  // turn a healthy exec into a Hang fault and fail the matches_in_process
+  // gate (the fault-injection suite covers the deadline path explicitly).
+  oop_config.oop_exec_timeout_ms = 30000;
+  fuzz::Executor oop_executor(oop_config);
+  fuzz::Executor inproc_executor;
+
+  // Warm-up: spawn the fork server, converge buffer capacities, saturate
+  // the virgin maps so both arms measure the steady-state regime.
+  run_arm(oop_executor, *placeholder, packets, 256);
+  run_arm(inproc_executor, *inproc_target, packets, 256);
+
+  const ArmResult oop = run_arm(oop_executor, *placeholder, packets, execs);
+  const ArmResult inproc =
+      run_arm(inproc_executor, *inproc_target, packets, execs);
+
+  const bool matches = oop.checksum == inproc.checksum;
+  const double oop_rate =
+      oop.seconds > 0.0 ? static_cast<double>(execs) / oop.seconds : 0.0;
+  const double inproc_rate =
+      inproc.seconds > 0.0 ? static_cast<double>(execs) / inproc.seconds
+                           : 0.0;
+  const std::uint64_t restarts =
+      oop_executor.oop_backend() != nullptr
+          ? oop_executor.oop_backend()->server_restarts()
+          : 0;
+
+  std::printf("{\n  \"bench\": \"oop_exec\",\n");
+  std::printf("  \"execs_per_arm\": %zu,\n", execs);
+  std::printf("  \"oop_execs_per_sec\": %.0f,\n", oop_rate);
+  std::printf("  \"in_process_execs_per_sec\": %.0f,\n", inproc_rate);
+  std::printf("  \"slowdown_vs_in_process\": %.2f,\n",
+              oop_rate > 0.0 ? inproc_rate / oop_rate : 0.0);
+  std::printf("  \"matches_in_process\": %s,\n", matches ? "true" : "false");
+  std::printf("  \"server_restarts\": %llu,\n",
+              static_cast<unsigned long long>(restarts));
+  std::printf("  \"checksum\": %llu\n}\n",
+              static_cast<unsigned long long>(oop.checksum & 0xFFFF));
+  return matches && restarts == 0 ? 0 : 1;
+}

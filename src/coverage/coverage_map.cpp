@@ -87,6 +87,19 @@ void CoverageMap::end_execution() {
   ops_->classify_words(trace_.get(), dirty_->indices, dirty_->count);
 }
 
+void CoverageMap::adopt_external(const std::uint64_t* words) {
+  // Same sparse clear as begin_execution (the invariant "every word not in
+  // the dirty list is zero" carries over), but tracing stays disarmed: the
+  // trace was produced in another process and only needs adopting.
+  for (std::uint32_t i = 0; i < dirty_->count; ++i) {
+    trace_[dirty_->indices[i]] = 0;
+  }
+  dirty_->count = 0;
+  // Null = the empty trace (a lost fork server produced no coverage): the
+  // clear above already is that state, no sweep needed.
+  if (words != nullptr) ops_->adopt_full(trace_.get(), words, dirty_.get());
+}
+
 bool CoverageMap::has_new_bits() const {
   for (std::uint32_t i = 0; i < dirty_->count; ++i) {
     const std::size_t w = dirty_->indices[i];

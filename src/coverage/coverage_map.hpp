@@ -67,6 +67,19 @@ class CoverageMap {
   /// finalize_execution() on hot paths.
   void end_execution();
 
+  /// Reader-side adoption of an externally produced raw trace — the shared
+  /// memory map an out-of-process target wrote (exec_oop/). Clears the
+  /// words the previous execution dirtied, then rebuilds the dirty list
+  /// with the active kernel's nonzero sweep of `words` (kMapWords uint64s),
+  /// copying every nonzero word into the trace buffer. Afterwards the map
+  /// is in exactly the state begin_execution + in-process tracing would
+  /// have left it (dirty order is ascending instead of first-touch, which
+  /// every consumer is insensitive to — the hash accumulators are
+  /// commutative), so finalize_execution / finalize_execution_dense and the
+  /// per-query API apply unchanged. Does NOT arm thread-local tracing.
+  /// `words == nullptr` adopts the empty trace (clear only, no sweep).
+  void adopt_external(const std::uint64_t* words);
+
   /// True when the classified trace contains a bucketed edge never seen in
   /// the accumulated map. Does NOT update the accumulated map.
   [[nodiscard]] bool has_new_bits() const;

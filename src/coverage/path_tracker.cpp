@@ -2,20 +2,78 @@
 
 namespace icsfuzz::cov {
 
+namespace {
+/// First allocation on first insert; small enough to be free, large enough
+/// that short campaigns never rehash.
+constexpr std::size_t kInitialSlots = 1024;
+}  // namespace
+
+std::size_t PathTracker::probe(std::uint64_t trace_hash) const {
+  // Trace hashes are splitmix-finalized (dense::finish_hash), so the low
+  // bits are already uniform — the raw key indexes the table directly.
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t slot = static_cast<std::size_t>(trace_hash) & mask;
+  while (slots_[slot] != 0 && slots_[slot] != trace_hash) {
+    slot = (slot + 1) & mask;
+  }
+  return slot;
+}
+
 bool PathTracker::record(std::uint64_t trace_hash) {
-  return paths_.insert(trace_hash).second;
+  if (trace_hash == 0) {
+    const bool fresh = !has_zero_;
+    has_zero_ = true;
+    return fresh;
+  }
+  if (slots_.empty()) slots_.assign(kInitialSlots, 0);
+  const std::size_t slot = probe(trace_hash);
+  if (slots_[slot] == trace_hash) return false;
+  slots_[slot] = trace_hash;
+  ++filled_;
+  if (filled_ * 2 >= slots_.size()) grow();
+  return true;
+}
+
+bool PathTracker::contains(std::uint64_t trace_hash) const {
+  if (trace_hash == 0) return has_zero_;
+  if (slots_.empty()) return false;
+  return slots_[probe(trace_hash)] == trace_hash;
+}
+
+void PathTracker::grow() {
+  const std::vector<std::uint64_t> old = std::move(slots_);
+  slots_.assign(old.size() * 2, 0);
+  for (const std::uint64_t key : old) {
+    if (key != 0) slots_[probe(key)] = key;
+  }
 }
 
 std::size_t PathTracker::merge(const PathTracker& other) {
   std::size_t added = 0;
-  for (std::uint64_t hash : other.paths_) {
-    added += paths_.insert(hash).second ? 1 : 0;
+  if (other.has_zero_ && !has_zero_) {
+    has_zero_ = true;
+    ++added;
+  }
+  for (const std::uint64_t key : other.slots_) {
+    if (key != 0) added += record(key) ? 1 : 0;
   }
   return added;
 }
 
 std::vector<std::uint64_t> PathTracker::snapshot() const {
-  return std::vector<std::uint64_t>(paths_.begin(), paths_.end());
+  std::vector<std::uint64_t> paths;
+  paths.reserve(path_count());
+  if (has_zero_) paths.push_back(0);
+  for (const std::uint64_t key : slots_) {
+    if (key != 0) paths.push_back(key);
+  }
+  return paths;
+}
+
+void PathTracker::clear() {
+  slots_.clear();
+  filled_ = 0;
+  has_zero_ = false;
 }
 
 }  // namespace icsfuzz::cov

@@ -177,9 +177,25 @@ MergeResult merge_full_scalar(std::uint64_t* dst,
   return out;
 }
 
-constexpr KernelOps kScalarOps = {Kernel::kScalar, "scalar",
+/// Shared tail of every adopt kernel: copy one nonzero word and list it.
+inline void adopt_one_word(std::uint64_t* dst, std::uint64_t src_word,
+                           std::size_t w, DirtyWordList* dirty) {
+  if (src_word == 0) return;
+  dst[w] = src_word;
+  dirty->indices[dirty->count++] = static_cast<std::uint16_t>(w);
+}
+
+void adopt_full_scalar(std::uint64_t* dst, const std::uint64_t* src,
+                       DirtyWordList* dirty) {
+  for (std::size_t w = 0; w < kMapWords; ++w) {
+    adopt_one_word(dst, src[w], w, dirty);
+  }
+}
+
+constexpr KernelOps kScalarOps = {Kernel::kScalar,      "scalar",
                                   analyze_trace_scalar, classify_words_scalar,
-                                  merge_words_scalar, merge_full_scalar};
+                                  merge_words_scalar,   merge_full_scalar,
+                                  adopt_full_scalar};
 
 // --------------------------------------------------------------- SSE2 --
 #if defined(ICSFUZZ_SIMD_SSE2)
@@ -300,9 +316,25 @@ MergeResult merge_full_sse2(std::uint64_t* dst, const std::uint8_t* src_bytes,
   return out;
 }
 
-constexpr KernelOps kSse2Ops = {Kernel::kSSE2, "sse2", analyze_trace_sse2,
-                                classify_words_sse2, merge_words_sse2,
-                                merge_full_sse2};
+void adopt_full_sse2(std::uint64_t* dst, const std::uint64_t* src,
+                     DirtyWordList* dirty) {
+  for (std::size_t w = 0; w < kMapWords; w += 2) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + w));
+    // Steady state: the external map is mostly zero — skip the whole batch
+    // on one compare.
+    if (_mm_movemask_epi8(_mm_cmpeq_epi8(s, _mm_setzero_si128())) == 0xFFFF) {
+      continue;
+    }
+    adopt_one_word(dst, src[w], w, dirty);
+    adopt_one_word(dst, src[w + 1], w + 1, dirty);
+  }
+}
+
+constexpr KernelOps kSse2Ops = {Kernel::kSSE2,       "sse2",
+                                analyze_trace_sse2,  classify_words_sse2,
+                                merge_words_sse2,    merge_full_sse2,
+                                adopt_full_sse2};
 #endif  // ICSFUZZ_SIMD_SSE2
 
 // --------------------------------------------------------------- AVX2 --
@@ -437,9 +469,24 @@ ICSFUZZ_TARGET_AVX2 MergeResult merge_full_avx2(std::uint64_t* dst,
   return out;
 }
 
-constexpr KernelOps kAvx2Ops = {Kernel::kAVX2, "avx2", analyze_trace_avx2,
-                                classify_words_avx2, merge_words_avx2,
-                                merge_full_avx2};
+ICSFUZZ_TARGET_AVX2 void adopt_full_avx2(std::uint64_t* dst,
+                                         const std::uint64_t* src,
+                                         DirtyWordList* dirty) {
+  for (std::size_t w = 0; w < kMapWords; w += 4) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    if (_mm256_testz_si256(s, s)) continue;
+    adopt_one_word(dst, src[w], w, dirty);
+    adopt_one_word(dst, src[w + 1], w + 1, dirty);
+    adopt_one_word(dst, src[w + 2], w + 2, dirty);
+    adopt_one_word(dst, src[w + 3], w + 3, dirty);
+  }
+}
+
+constexpr KernelOps kAvx2Ops = {Kernel::kAVX2,       "avx2",
+                                analyze_trace_avx2,  classify_words_avx2,
+                                merge_words_avx2,    merge_full_avx2,
+                                adopt_full_avx2};
 #endif  // ICSFUZZ_SIMD_AVX2
 
 // --------------------------------------------------------------- NEON --
@@ -499,11 +546,21 @@ void classify_words_neon(std::uint64_t* trace, const std::uint16_t* indices,
   if (i < count) classify_words_scalar(trace, indices + i, count - i);
 }
 
+void adopt_full_neon(std::uint64_t* dst, const std::uint64_t* src,
+                     DirtyWordList* dirty) {
+  for (std::size_t w = 0; w < kMapWords; w += 2) {
+    if ((src[w] | src[w + 1]) == 0) continue;
+    adopt_one_word(dst, src[w], w, dirty);
+    adopt_one_word(dst, src[w + 1], w + 1, dirty);
+  }
+}
+
 // Merges batch only two words per vector on NEON, so the compare-and-skip
 // trick buys little; the scalar merge kernels serve as the merge arms.
-constexpr KernelOps kNeonOps = {Kernel::kNEON, "neon", analyze_trace_neon,
-                                classify_words_neon, merge_words_scalar,
-                                merge_full_scalar};
+constexpr KernelOps kNeonOps = {Kernel::kNEON,       "neon",
+                                analyze_trace_neon,  classify_words_neon,
+                                merge_words_scalar,  merge_full_scalar,
+                                adopt_full_neon};
 #endif  // ICSFUZZ_SIMD_NEON
 
 // ----------------------------------------------------------- dispatch --

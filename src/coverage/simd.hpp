@@ -129,6 +129,17 @@ using MergeFullFn = MergeResult (*)(std::uint64_t* dst,
                                     const std::uint8_t* src_bytes,
                                     DirtyWordList* acc_dirty);
 
+/// Reader-side adoption of an externally produced raw trace (the shared
+/// memory map an out-of-process target wrote): sweeps all kMapWords of
+/// `src`, copies every nonzero word into `dst` and appends its index to
+/// `dirty` in ascending order — rebuilding the dirty list the shm map could
+/// not ship. `dst`'s unlisted words must already be zero (the caller clears
+/// its previous dirty words first). The vector arms test whole batches for
+/// zero, so the mostly-zero steady-state map skips several words per
+/// instruction.
+using AdoptFullFn = void (*)(std::uint64_t* dst, const std::uint64_t* src,
+                             DirtyWordList* dirty);
+
 /// One kernel's dispatch table.
 struct KernelOps {
   Kernel kind = Kernel::kScalar;
@@ -137,6 +148,7 @@ struct KernelOps {
   ClassifyWordsFn classify_words = nullptr;
   MergeWordsFn merge_words = nullptr;
   MergeFullFn merge_full = nullptr;
+  AdoptFullFn adopt_full = nullptr;
 };
 
 /// The portable reference kernel (always compiled).

@@ -1,0 +1,117 @@
+// Wire + segment protocol shared by the fuzzer-side fork-server client
+// (fork_server.hpp / oop_executor.hpp) and the target-side shim loop
+// (shim_runner.hpp, linked into tools/icsfuzz_shim_target.cpp).
+//
+// Segment layout (one ShmSegment of kSegmentBytes):
+//
+//   [0, kMapSize)                  raw edge-hit map (cov::kMapSize bytes),
+//                                  written by the instrumented child via
+//                                  cov::begin_trace into the mapping
+//   [kAuxOffset, kAuxOffset+kAux)  auxiliary execution result, written by
+//                                  the child just before _exit
+//
+// The aux block ships the observables a pipe could lose if the child died
+// mid-write: the instrumentation event count (the deterministic hang
+// budget), the soft-sanitizer fault reports, and the response bytes. The
+// child stores the completion magic LAST (release fence); the parent reads
+// it only after waitpid() has reaped the child, so a set magic implies a
+// fully written block and a missing magic means the child never finished
+// (killed, crashed, hung).
+//
+// Pipe protocol (classic AFL two-pipe handshake, enriched):
+//
+//   spawn:    shim dup2s the control pipe onto fd kCtlFd and the status
+//             pipe onto fd kStFd, then writes kHelloMagic on kStFd.
+//   per exec: executor writes [u32 timeout_ms][u32 packet_len][packet] on
+//             kCtlFd. The shim clears the segment, forks, arms a
+//             timeout_ms interval timer, waitpid()s the child (SIGKILLing
+//             it when the timer fires first — the shim owns the pid, so
+//             the kill can never hit a recycled pid, and a child that
+//             finished just before the deadline is reaped normally, not
+//             misreported), then writes [i32 wstatus][u8 timed_out] on
+//             kStFd. The executor's own read deadline (timeout_ms plus
+//             a grace margin) only guards against the server itself
+//             wedging, which is reported as server-lost, not as a hang.
+//   shutdown: executor closes the control pipe; the shim's packet read
+//             sees EOF and exits cleanly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coverage/instrument.hpp"
+#include "sanitizer/fault.hpp"
+#include "util/bytes.hpp"
+
+namespace icsfuzz::oop {
+
+/// Fixed descriptors the shim inherits (AFL uses 198/199 for the same
+/// purpose; keeping the convention makes the protocol self-describing).
+inline constexpr int kCtlFd = 198;
+inline constexpr int kStFd = 199;
+
+/// First word the shim writes after attaching the segment ("ICSF").
+inline constexpr std::uint32_t kHelloMagic = 0x49435346;
+
+/// Aux-block completion magic ("OOP!"), stored last by the child.
+inline constexpr std::uint32_t kAuxCompleteMagic = 0x4F4F5021;
+
+/// Segment geometry: the coverage map followed by the aux result block.
+inline constexpr std::size_t kAuxOffset = cov::kMapSize;
+inline constexpr std::size_t kAuxBytes = std::size_t{1} << 16;
+inline constexpr std::size_t kSegmentBytes = kAuxOffset + kAuxBytes;
+
+/// Environment variables carrying the segment to the exec'd shim.
+inline constexpr const char* kShmNameEnv = "ICSFUZZ_OOP_SHM";
+inline constexpr const char* kShmSizeEnv = "ICSFUZZ_OOP_SHM_SIZE";
+
+/// What one out-of-process execution reported back through the aux block.
+struct AuxResult {
+  std::uint64_t events = 0;
+  std::vector<san::FaultReport> faults;
+  Bytes response;
+  /// The response did not fit the aux block and was truncated (the map and
+  /// every other observable are still exact).
+  bool response_truncated = false;
+  /// Whole fault reports were dropped (or a detail string clamped) because
+  /// the aux block filled — the shipped fault list is incomplete. The
+  /// executor surfaces this as a synthetic fault so crash accounting never
+  /// silently under-reports.
+  bool faults_truncated = false;
+};
+
+/// Serializes `result` into the aux block (child side; `aux` points at
+/// kAuxOffset, `aux_size` bytes available). Stores the completion magic
+/// last, behind a release fence.
+void aux_store(std::uint8_t* aux, std::size_t aux_size,
+               const AuxResult& result);
+
+/// Reads the aux block (parent side, after waitpid). Returns false when the
+/// completion magic is absent — the child never finished its execution.
+bool aux_load(const std::uint8_t* aux, std::size_t aux_size, AuxResult& out);
+
+// -- Pipe plumbing (EINTR-safe, deadline-aware). ---------------------------
+
+/// Writes exactly `size` bytes; false on error/EPIPE (server gone).
+bool write_full(int fd, const void* data, std::size_t size);
+
+/// Reads exactly `size` bytes; false on error or EOF.
+bool read_full(int fd, void* data, std::size_t size);
+
+/// Deadline-aware exact read. Returns kOk, kTimeout (deadline expired with
+/// the read incomplete) or kClosed (error/EOF). A negative `timeout_ms`
+/// waits indefinitely (no deadline).
+enum class ReadStatus : std::uint8_t { kOk, kTimeout, kClosed };
+ReadStatus read_full_deadline(int fd, void* data, std::size_t size,
+                              int timeout_ms);
+
+/// Deadline-aware exact write for a non-blocking descriptor: polls for
+/// writability, so a wedged peer that stops draining the pipe surfaces as
+/// kTimeout instead of blocking the caller forever (a full-buffer write to
+/// a stopped reader otherwise blocks with no deadline at all). Negative
+/// `timeout_ms` waits indefinitely; kClosed covers EPIPE/errors.
+ReadStatus write_full_deadline(int fd, const void* data, std::size_t size,
+                               int timeout_ms);
+
+}  // namespace icsfuzz::oop

@@ -1,0 +1,82 @@
+// ForkServer — fuzzer-side client of the classic AFL two-pipe fork-server
+// protocol (exec_protocol.hpp).
+//
+// One spawn pays the exec + dynamic-link cost once; every execution after
+// that is a single fork() inside the target, which is what makes
+// out-of-process fuzzing of real binaries viable at thousands of
+// executions per second. The server process is the shim's request loop;
+// the per-execution child is the shim's fork.
+//
+// Failure surface (all reported, never thrown — the campaign must outlive
+// a dying target):
+//   * spawn/handshake failure  -> start() false, error() says why
+//   * per-exec wall-clock hang -> the shim SIGKILLs its own child at the
+//                                 deadline (it owns the pid — no recycled
+//                                 -pid hazard) and the run reports
+//                                 kTimeout
+//   * server death (EOF/EPIPE) -> the run reports kServerLost; the owner
+//                                 (OutOfProcessExecutor) respawns
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace icsfuzz::oop {
+
+class ForkServer {
+ public:
+  ForkServer() = default;
+  ~ForkServer();
+
+  ForkServer(const ForkServer&) = delete;
+  ForkServer& operator=(const ForkServer&) = delete;
+
+  /// One execution's transport-level outcome (the semantic mapping onto
+  /// crash/hang/ok lives in OutOfProcessExecutor, which also reads the
+  /// segment's aux block).
+  struct RunOutcome {
+    enum class Kind : std::uint8_t {
+      kExited,      ///< child exited; exit_code valid
+      kSignaled,    ///< child died on a signal; term_signal valid
+      kTimeout,     ///< deadline hit; child was SIGKILLed
+      kServerLost,  ///< the fork server itself is gone mid-run
+    };
+    Kind kind = Kind::kServerLost;
+    int exit_code = 0;
+    int term_signal = 0;
+  };
+
+  /// Spawns `argv` (argv[0] resolved through PATH) with `extra_env`
+  /// appended to the inherited environment, performs the hello handshake.
+  /// False on spawn or handshake failure (error() explains).
+  bool start(const std::vector<std::string>& argv,
+             const std::vector<std::string>& extra_env,
+             int handshake_timeout_ms);
+
+  /// Runs one packet with a wall-clock deadline, enforced by the shim on
+  /// its own child. `timeout_ms` <= 0 disables the deadline end to end
+  /// (the client then waits indefinitely; only pipe EOF catches a wedged
+  /// server). Requires running().
+  RunOutcome run(ByteSpan packet, int timeout_ms);
+
+  /// Kills the server process (SIGKILL), reaps it, closes the pipes.
+  /// Idempotent; start() may be called again afterwards.
+  void stop();
+
+  [[nodiscard]] bool running() const { return server_pid_ > 0; }
+  [[nodiscard]] pid_t server_pid() const { return server_pid_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  pid_t server_pid_ = -1;
+  int ctl_fd_ = -1;  ///< write side: [timeout_ms][len][packet] requests
+  int st_fd_ = -1;   ///< read side: hello / [wstatus][timed_out] replies
+  std::string error_;
+};
+
+}  // namespace icsfuzz::oop

@@ -1,0 +1,129 @@
+#include "exec_oop/oop_executor.hpp"
+
+#include <cstring>
+
+namespace icsfuzz::oop {
+
+std::string to_string(ExecStatus status) {
+  switch (status) {
+    case ExecStatus::kOk: return "ok";
+    case ExecStatus::kCrash: return "crash";
+    case ExecStatus::kHang: return "hang";
+    case ExecStatus::kServerLost: return "server-lost";
+  }
+  return "?";
+}
+
+OutOfProcessExecutor::OutOfProcessExecutor(OopExecutorConfig config)
+    : config_(std::move(config)) {}
+
+OutOfProcessExecutor::~OutOfProcessExecutor() { shutdown(); }
+
+void OutOfProcessExecutor::shutdown() {
+  server_.stop();
+  segment_ = ShmSegment();
+}
+
+bool OutOfProcessExecutor::spawn() {
+  server_.stop();
+  // A fresh segment per spawn: restart never races a peer's shm_unlink of
+  // the previous name, and a crashed child can leave no stale bytes behind.
+  segment_ = ShmSegment::create(kSegmentBytes);
+  if (!segment_.valid()) {
+    error_ = "shm segment creation failed: " + segment_.error();
+    return false;
+  }
+  if (!segment_.named()) {
+    error_ =
+        "fork-server execution needs a named shm segment "
+        "(anonymous fallback cannot cross exec): " +
+        segment_.error();
+    return false;
+  }
+  std::memset(segment_.data(), 0, segment_.size());
+
+  const std::vector<std::string> extra_env = {
+      std::string(kShmNameEnv) + "=" + segment_.name(),
+      std::string(kShmSizeEnv) + "=" + std::to_string(segment_.size()),
+  };
+  if (!server_.start(config_.target_cmd, extra_env,
+                     config_.handshake_timeout_ms)) {
+    error_ = server_.error();
+    return false;
+  }
+  return true;
+}
+
+bool OutOfProcessExecutor::ensure_started() {
+  if (server_.running()) return true;
+  if (!spawn()) return false;
+  // Count only successful respawns of a server that had previously come
+  // up: a target that can never start keeps the counter at zero (that is
+  // "server never started", not "server keeps dying" — the distinction
+  // the fault-injection suite and the bench gate read).
+  if (ever_started_) {
+    ++restarts_;
+  } else {
+    ever_started_ = true;
+  }
+  return true;
+}
+
+const OutOfProcessExecutor::Outcome& OutOfProcessExecutor::run(
+    ByteSpan packet) {
+  Outcome& outcome = outcome_;
+  outcome.status = ExecStatus::kServerLost;
+  outcome.term_signal = 0;
+  outcome.exit_code = 0;
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!ensure_started()) continue;  // second attempt retries the spawn
+
+    const ForkServer::RunOutcome raw =
+        server_.run(packet, config_.exec_timeout_ms);
+    if (raw.kind == ForkServer::RunOutcome::Kind::kServerLost) {
+      error_ = server_.error();
+      server_.stop();
+      continue;  // respawn + retry once
+    }
+
+    const bool aux_complete =
+        aux_load(segment_.data() + kAuxOffset, kAuxBytes, outcome.aux);
+    switch (raw.kind) {
+      case ForkServer::RunOutcome::Kind::kTimeout:
+        outcome.status = ExecStatus::kHang;
+        outcome.term_signal = raw.term_signal;
+        break;
+      case ForkServer::RunOutcome::Kind::kSignaled:
+        outcome.status = ExecStatus::kCrash;
+        outcome.term_signal = raw.term_signal;
+        break;
+      case ForkServer::RunOutcome::Kind::kExited:
+        if (raw.exit_code == 0 && aux_complete) {
+          outcome.status = ExecStatus::kOk;
+        } else {
+          // A nonzero exit — or a clean exit that never finished the aux
+          // block — is an abnormal termination mid-execution.
+          outcome.status = ExecStatus::kCrash;
+          outcome.exit_code = raw.exit_code;
+        }
+        break;
+      case ForkServer::RunOutcome::Kind::kServerLost:
+        break;  // unreachable (handled above)
+    }
+    return outcome;
+  }
+  // Both attempts failed: leave kServerLost with error_ describing why,
+  // and a zeroed coverage window (the caller adopts an empty trace).
+  if (segment_.valid()) {
+    std::memset(segment_.data(), 0, segment_.size());
+  }
+  outcome.aux.events = 0;
+  outcome.aux.faults.clear();
+  outcome.aux.response.clear();
+  outcome.aux.response_truncated = false;
+  outcome.aux.faults_truncated = false;
+  return outcome;
+}
+
+}  // namespace icsfuzz::oop

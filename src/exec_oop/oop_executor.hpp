@@ -1,0 +1,113 @@
+// OutOfProcessExecutor — runs packets against an external fork-server
+// target (the shim binary, or any program speaking exec_protocol.hpp) and
+// exposes the raw observables the in-process Executor turns into an
+// ExecResult: the shared-memory coverage words, the aux block (events,
+// soft-sanitizer faults, response bytes), and the transport status.
+//
+// The ROADMAP's "real binaries under fork-server execution" unlock: the
+// same sparse dirty-word + SIMD analysis of PRs 3-4 consumes the shm map
+// via CoverageMap::adopt_external, so feedback semantics are bit-identical
+// to in-process execution — the differential oracle test_exec_oop.cpp
+// asserts exactly that.
+//
+// Robustness: a lost fork server (crashed, killed, never handshaken) is
+// respawned transparently with a fresh shm segment and the packet retried
+// once; a target that cannot be started at all degrades every run to
+// kServerLost without throwing, so campaigns report the failure instead of
+// dying.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec_oop/exec_protocol.hpp"
+#include "exec_oop/fork_server.hpp"
+#include "exec_oop/shm_segment.hpp"
+#include "util/bytes.hpp"
+
+namespace icsfuzz::oop {
+
+/// Semantic outcome of one out-of-process execution.
+enum class ExecStatus : std::uint8_t {
+  kOk,          ///< child ran to completion (aux block valid)
+  kCrash,       ///< child died on a signal / abnormal exit mid-execution
+  kHang,        ///< wall-clock deadline expired; child was SIGKILLed
+  kServerLost,  ///< fork server unreachable even after a respawn
+};
+
+std::string to_string(ExecStatus status);
+
+struct OopExecutorConfig {
+  /// argv of the fork-server target; argv[0] resolved through PATH.
+  std::vector<std::string> target_cmd;
+  /// Wall-clock deadline per execution (the safety net behind the
+  /// deterministic event budget, which ships in the aux block).
+  int exec_timeout_ms = 1000;
+  /// Deadline for the spawn handshake.
+  int handshake_timeout_ms = 5000;
+};
+
+class OutOfProcessExecutor {
+ public:
+  struct Outcome {
+    ExecStatus status = ExecStatus::kServerLost;
+    /// Signal that terminated the child (kCrash/kHang), 0 otherwise.
+    int term_signal = 0;
+    /// Child exit code (kCrash with a nonzero abnormal exit), 0 otherwise.
+    int exit_code = 0;
+    /// Aux-block observables; valid (and exact) only for kOk.
+    AuxResult aux;
+  };
+
+  explicit OutOfProcessExecutor(OopExecutorConfig config);
+  ~OutOfProcessExecutor();
+
+  OutOfProcessExecutor(const OutOfProcessExecutor&) = delete;
+  OutOfProcessExecutor& operator=(const OutOfProcessExecutor&) = delete;
+
+  /// Ensures the fork server is up (spawning it on first use / after a
+  /// loss). False when the target cannot be started; error() explains.
+  bool ensure_started();
+
+  /// Runs one packet, retrying once across a server respawn. The returned
+  /// reference points at internal scratch refilled every run (vector
+  /// capacities reused), valid until the next call.
+  const Outcome& run(ByteSpan packet);
+
+  /// The shm coverage words the last run produced (kMapWords uint64s),
+  /// ready for CoverageMap::adopt_external. Null until the server started.
+  [[nodiscard]] const std::uint64_t* map_words() const {
+    return segment_.valid()
+               ? reinterpret_cast<const std::uint64_t*>(segment_.data())
+               : nullptr;
+  }
+
+  /// Successful respawns of a server that had previously come up (a
+  /// target that never starts keeps this at 0) — 0 on a healthy campaign;
+  /// the fault-injection suite watches this climb.
+  [[nodiscard]] std::uint64_t server_restarts() const { return restarts_; }
+
+  [[nodiscard]] bool server_running() const { return server_.running(); }
+  [[nodiscard]] const std::string& last_error() const { return error_; }
+  [[nodiscard]] const ShmSegment& segment() const { return segment_; }
+  [[nodiscard]] const OopExecutorConfig& config() const { return config_; }
+
+  /// Tears the server down (next run respawns it).
+  void shutdown();
+
+ private:
+  bool spawn();
+
+  OopExecutorConfig config_;
+  ShmSegment segment_;
+  ForkServer server_;
+  Outcome outcome_;
+  std::string error_;
+  std::uint64_t restarts_ = 0;
+  /// A spawn has succeeded at least once (gates restart counting).
+  bool ever_started_ = false;
+};
+
+}  // namespace icsfuzz::oop

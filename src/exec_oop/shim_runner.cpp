@@ -1,0 +1,185 @@
+#include "exec_oop/shim_runner.hpp"
+
+#include <signal.h>
+#include <sys/time.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "coverage/instrument.hpp"
+#include "exec_oop/exec_protocol.hpp"
+#include "exec_oop/shm_segment.hpp"
+#include "sanitizer/fault.hpp"
+
+namespace icsfuzz::oop {
+
+namespace {
+
+std::uint64_t env_u64(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return 0;
+  return std::strtoull(value, nullptr, 10);
+}
+
+/// Set by the SIGALRM handler when the per-exec deadline fires. The
+/// handler only flags: the kill happens in normal context inside the
+/// waitpid loop, where the child is provably not yet reaped — so the shim
+/// can never SIGKILL a recycled pid.
+volatile sig_atomic_t g_deadline_fired = 0;
+
+void on_deadline(int) { g_deadline_fired = 1; }
+
+/// Installs the SIGALRM disposition WITHOUT SA_RESTART, so the blocking
+/// waitpid returns EINTR when the timer fires.
+void install_deadline_handler() {
+  struct sigaction action {};
+  action.sa_handler = on_deadline;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ::sigaction(SIGALRM, &action, nullptr);
+}
+
+/// Arms (or with 0 disarms) the per-exec interval timer. The timer
+/// REPEATS at the same period: a one-shot could fire (and be consumed by
+/// the handler) in the window between arming and waitpid() blocking —
+/// e.g. the shim descheduled on a loaded runner — after which a hung
+/// child would block the shim forever. With a repeating interval the next
+/// tick delivers another EINTR and the kill still happens.
+void arm_deadline(std::uint32_t timeout_ms) {
+  struct itimerval timer {};
+  timer.it_value.tv_sec = timeout_ms / 1000;
+  timer.it_value.tv_usec =
+      static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  timer.it_interval = timer.it_value;
+  ::setitimer(ITIMER_REAL, &timer, nullptr);
+}
+
+/// One execution, inside the forked child: trace into the shm map, run the
+/// target, publish the aux block, _exit. Never returns.
+[[noreturn]] void run_child(ProtocolTarget& target, std::uint8_t* segment,
+                            ByteSpan packet) {
+  // Same arming order as the in-process Executor::run_into — reset,
+  // fault sink, then tracing — so an instrumented reset() contributes to
+  // neither the map nor the event count in either mode (the differential
+  // oracle depends on this symmetry, not on reset() happening to be
+  // uninstrumented).
+  target.reset();
+  san::FaultSink::arm();
+  // The child's trace must satisfy the dirty-list invariant "every word not
+  // listed is zero": the server memset the whole segment before forking,
+  // and this list starts empty.
+  static cov::DirtyWordList dirty;
+  dirty.count = 0;
+  cov::begin_trace(segment, &dirty);
+
+  AuxResult result;
+  target.process_into(packet, result.response);
+  result.events = cov::tls_event_count;
+  cov::end_trace();
+  san::FaultSink::disarm_into(result.faults);
+
+  aux_store(segment + kAuxOffset, kAuxBytes, result);
+  // _exit (not exit): no atexit handlers, no stdio flush, and — under
+  // AddressSanitizer — no leak check in the short-lived child; the parent
+  // process is the one leak detection watches.
+  ::_exit(0);
+}
+
+}  // namespace
+
+ShimFaultPlan shim_fault_plan_from_env() {
+  ShimFaultPlan plan;
+  plan.no_handshake = env_u64("ICSFUZZ_SHIM_NO_HANDSHAKE") != 0;
+  plan.kill_child_at = env_u64("ICSFUZZ_SHIM_KILL_CHILD_AT");
+  plan.hang_at = env_u64("ICSFUZZ_SHIM_HANG_AT");
+  plan.server_exit_at = env_u64("ICSFUZZ_SHIM_SERVER_EXIT_AT");
+  return plan;
+}
+
+int run_shim_server(ProtocolTarget& target, const ShimFaultPlan& plan) {
+  const char* shm_name = std::getenv(kShmNameEnv);
+  const std::uint64_t shm_size = env_u64(kShmSizeEnv);
+  if (shm_name == nullptr || shm_size < kSegmentBytes) {
+    // Not spawned by a fork server; exiting without the hello makes the
+    // client report a handshake failure with this code visible in ps/logs.
+    return 3;
+  }
+  ShmSegment segment =
+      ShmSegment::attach(shm_name, static_cast<std::size_t>(shm_size));
+  if (!segment.valid()) return 3;
+
+  if (plan.no_handshake) return 7;
+
+  install_deadline_handler();
+  const std::uint32_t hello = kHelloMagic;
+  if (!write_full(kStFd, &hello, sizeof(hello))) return 4;
+
+  Bytes packet;
+  std::uint64_t exec_index = 0;
+  for (;;) {
+    std::uint32_t timeout_ms = 0;
+    std::uint32_t length = 0;
+    if (!read_full(kCtlFd, &timeout_ms, sizeof(timeout_ms))) {
+      return 0;  // EOF: clean shutdown
+    }
+    if (!read_full(kCtlFd, &length, sizeof(length))) return 0;
+    packet.resize(length);
+    if (length != 0 && !read_full(kCtlFd, packet.data(), length)) return 0;
+
+    ++exec_index;
+    if (plan.server_exit_at != 0 && exec_index == plan.server_exit_at) {
+      return 9;  // simulated fork-server crash
+    }
+
+    // Pristine segment for the child: the map invariant (all words zero)
+    // and a magic-less aux block, whatever the previous child left behind.
+    std::memset(segment.data(), 0, segment.size());
+
+    const pid_t child = ::fork();
+    if (child < 0) return 5;
+    if (child == 0) {
+      if (plan.kill_child_at != 0 && exec_index == plan.kill_child_at) {
+        ::raise(SIGKILL);
+      }
+      if (plan.hang_at != 0 && exec_index == plan.hang_at) {
+        for (;;) ::pause();
+      }
+      run_child(target, segment.data(), packet);
+    }
+
+    // The shim enforces the wall-clock deadline itself: it is the child's
+    // parent, so between here and a successful waitpid the pid provably
+    // belongs to this child and the SIGKILL can never hit a recycled pid.
+    // A child that finishes right at the boundary is reaped normally and
+    // reported as completed, not as a hang.
+    g_deadline_fired = 0;
+    if (timeout_ms != 0) arm_deadline(timeout_ms);
+    int wstatus = 0;
+    bool timed_out = false;
+    for (;;) {
+      const pid_t reaped = ::waitpid(child, &wstatus, 0);
+      if (reaped == child) break;
+      if (reaped < 0 && errno == EINTR) {
+        if (g_deadline_fired && !timed_out) {
+          timed_out = true;
+          ::kill(child, SIGKILL);
+        }
+        continue;
+      }
+      break;  // unexpected waitpid failure; report whatever we have
+    }
+    arm_deadline(0);
+
+    const std::int32_t wire_status = static_cast<std::int32_t>(wstatus);
+    const std::uint8_t wire_timed_out = timed_out ? 1 : 0;
+    if (!write_full(kStFd, &wire_status, sizeof(wire_status))) return 6;
+    if (!write_full(kStFd, &wire_timed_out, sizeof(wire_timed_out))) {
+      return 6;
+    }
+  }
+}
+
+}  // namespace icsfuzz::oop

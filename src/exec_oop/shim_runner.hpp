@@ -1,0 +1,40 @@
+// Target-side half of the fork-server protocol: the request loop the shim
+// binary (tools/icsfuzz_shim_target.cpp) runs around an instrumented
+// ProtocolTarget.
+//
+// Kept in the library so the protocol has exactly one implementation on
+// each side — the executor's client in fork_server.cpp, this server loop
+// here — and so future real-target harnesses can reuse it by linking
+// against their own ProtocolTarget.
+#pragma once
+
+#include "protocols/protocol_target.hpp"
+
+namespace icsfuzz::oop {
+
+/// Deterministic fault-injection knobs, parsed from the environment by the
+/// shim binary (tests drive the fork-server failure surface with these;
+/// all default to "off"). Execution indices are 1-based.
+struct ShimFaultPlan {
+  /// Exit (code 7) before writing the hello — a target that never
+  /// handshakes.
+  bool no_handshake = false;
+  /// On execution #N the forked child SIGKILLs itself mid-execution.
+  std::uint64_t kill_child_at = 0;
+  /// On execution #N the forked child hangs forever (the executor's
+  /// wall-clock deadline must reap it).
+  std::uint64_t hang_at = 0;
+  /// Before serving execution #N the server process itself exits (code 9)
+  /// — a crashed fork server the executor must respawn.
+  std::uint64_t server_exit_at = 0;
+};
+
+/// Reads the ICSFUZZ_SHIM_* fault-injection variables.
+ShimFaultPlan shim_fault_plan_from_env();
+
+/// Attaches the shm segment named by the environment (exec_protocol.hpp),
+/// writes the hello, and serves run requests on the protocol descriptors
+/// until the control pipe closes. Returns the process exit code.
+int run_shim_server(ProtocolTarget& target, const ShimFaultPlan& plan);
+
+}  // namespace icsfuzz::oop

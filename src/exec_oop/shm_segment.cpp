@@ -1,0 +1,155 @@
+#include "exec_oop/shm_segment.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <random>
+
+namespace icsfuzz::oop {
+
+namespace {
+
+/// Monotonic per-process counter so concurrent workers of one campaign
+/// never collide on a name; the pid disambiguates across live processes
+/// and the random tag across pid-recycled ones (a SIGKILLed fuzzer leaks
+/// its names, and a successor with the recycled pid must not land on
+/// them — create() additionally retries on EEXIST).
+std::string generate_name() {
+  static std::atomic<std::uint64_t> counter{0};
+  static const std::uint64_t tag = [] {
+    std::random_device device;
+    return (static_cast<std::uint64_t>(device()) << 32) ^ device();
+  }();
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  char name[64];
+  std::snprintf(name, sizeof(name), "/icsfuzz-%ld-%llx-%llu",
+                static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(tag),
+                static_cast<unsigned long long>(n));
+  return name;
+}
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+ShmSegment::~ShmSegment() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+  if (owns_name_ && !name_.empty()) ::shm_unlink(name_.c_str());
+}
+
+ShmSegment::ShmSegment(ShmSegment&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      name_(std::move(other.name_)),
+      owns_name_(other.owns_name_),
+      error_(std::move(other.error_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.owns_name_ = false;
+  other.name_.clear();
+}
+
+ShmSegment& ShmSegment::operator=(ShmSegment&& other) noexcept {
+  if (this == &other) return *this;
+  if (data_ != nullptr) ::munmap(data_, size_);
+  if (owns_name_ && !name_.empty()) ::shm_unlink(name_.c_str());
+  data_ = other.data_;
+  size_ = other.size_;
+  name_ = std::move(other.name_);
+  owns_name_ = other.owns_name_;
+  error_ = std::move(other.error_);
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.owns_name_ = false;
+  other.name_.clear();
+  return *this;
+}
+
+ShmSegment ShmSegment::create(std::size_t size, bool force_anonymous) {
+  ShmSegment segment;
+  segment.size_ = size;
+
+  if (!force_anonymous) {
+    // A few attempts with fresh names: EEXIST means a leaked segment from
+    // a killed predecessor (or an astronomically unlucky collision) is
+    // squatting on the name — a different name recovers.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const std::string name = generate_name();
+      const int fd =
+          ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+      if (fd < 0) {
+        segment.error_ = errno_string("shm_open");
+        if (errno == EEXIST) continue;
+        break;
+      }
+      if (::ftruncate(fd, static_cast<off_t>(size)) == 0) {
+        void* mapped = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                              MAP_SHARED, fd, 0);
+        ::close(fd);
+        if (mapped != MAP_FAILED) {
+          segment.data_ = static_cast<std::uint8_t*>(mapped);
+          segment.name_ = name;
+          segment.owns_name_ = true;
+          return segment;
+        }
+        segment.error_ = errno_string("mmap(shm)");
+      } else {
+        segment.error_ = errno_string("ftruncate(shm)");
+        ::close(fd);
+      }
+      ::shm_unlink(name.c_str());
+      break;
+    }
+    // Fall through to the anonymous fallback, keeping the shm error so a
+    // later "needs a named segment" diagnostic can explain why there is
+    // none.
+  }
+
+  void* mapped = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mapped == MAP_FAILED) {
+    segment.error_ += segment.error_.empty() ? "" : "; ";
+    segment.error_ += errno_string("mmap(anonymous)");
+    segment.size_ = 0;
+    return segment;
+  }
+  segment.data_ = static_cast<std::uint8_t*>(mapped);
+  return segment;
+}
+
+ShmSegment ShmSegment::attach(const std::string& name, std::size_t size) {
+  ShmSegment segment;
+  const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) {
+    segment.error_ = errno_string("shm_open(attach)");
+    return segment;
+  }
+  void* mapped =
+      ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (mapped == MAP_FAILED) {
+    segment.error_ = errno_string("mmap(attach)");
+    return segment;
+  }
+  segment.data_ = static_cast<std::uint8_t*>(mapped);
+  segment.size_ = size;
+  segment.name_ = name;
+  return segment;
+}
+
+void ShmSegment::unlink_name() {
+  if (owns_name_ && !name_.empty()) {
+    ::shm_unlink(name_.c_str());
+    owns_name_ = false;
+  }
+}
+
+}  // namespace icsfuzz::oop

@@ -6,12 +6,18 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "coverage/coverage_map.hpp"
 #include "coverage/path_tracker.hpp"
 #include "protocols/protocol_target.hpp"
 #include "sanitizer/fault.hpp"
+
+namespace icsfuzz::oop {
+class OutOfProcessExecutor;
+}  // namespace icsfuzz::oop
 
 namespace icsfuzz::fuzz {
 
@@ -30,6 +36,11 @@ struct ExecResult {
   std::vector<san::FaultReport> faults;
   /// Response bytes the target produced (diagnostics; empty on fault).
   Bytes response;
+  /// Out-of-process execution only: the response overflowed the shm aux
+  /// block and `response` holds a clamped prefix (always false in-process
+  /// — callers comparing the two modes must check it before trusting
+  /// response equality).
+  bool response_truncated = false;
 
   [[nodiscard]] bool crashed() const { return !faults.empty(); }
 };
@@ -49,13 +60,30 @@ struct ExecutorConfig {
   /// portable reference loop (the equivalence suite runs campaigns under
   /// both arms so CI exercises the dispatch even on a single ISA).
   cov::simd::Kernel coverage_kernel = cov::simd::Kernel::kAuto;
+  /// Out-of-process execution: when non-empty, packets run against this
+  /// fork-server target command (argv; typically
+  /// {"icsfuzz-shim-target", "--project", <name>}) instead of the
+  /// in-process ProtocolTarget passed to run() — the target argument is
+  /// then only a placeholder. Coverage arrives through the shared-memory
+  /// segment and is adopted into the same sparse analysis
+  /// (CoverageMap::adopt_external), so results are bit-identical to
+  /// in-process execution of the same stacks.
+  std::vector<std::string> target_cmd;
+  /// Wall-clock deadline per out-of-process execution (a SIGKILLed hang;
+  /// the deterministic hang_event_budget still applies on top, from the
+  /// event count the child ships back). <= 0 disables the wall-clock
+  /// deadline entirely — executions may then block indefinitely.
+  int oop_exec_timeout_ms = 1000;
+  /// Deadline for the fork-server spawn handshake.
+  int oop_handshake_timeout_ms = 5000;
 };
 
 class Executor {
  public:
-  explicit Executor(ExecutorConfig config = {}) : config_(config) {
-    map_.use_kernel(config_.coverage_kernel);
-  }
+  explicit Executor(ExecutorConfig config = {});
+  ~Executor();
+  Executor(Executor&&) noexcept;
+  Executor& operator=(Executor&&) noexcept;
 
   /// Resets the target, arms coverage + sanitizer, runs one packet and
   /// classifies the outcome. Updates the campaign's accumulated coverage
@@ -78,11 +106,32 @@ class Executor {
   /// Forgets all campaign-lifetime state (fresh run).
   void reset_campaign();
 
+  /// True when this executor runs packets out of process (target_cmd set).
+  [[nodiscard]] bool out_of_process() const {
+    return !config_.target_cmd.empty();
+  }
+
+  /// The fork-server backend (out-of-process mode only; null otherwise or
+  /// before the first execution). Fault-injection tests and the OOP bench
+  /// read restart counts and transport errors through this.
+  [[nodiscard]] const oop::OutOfProcessExecutor* oop_backend() const {
+    return oop_.get();
+  }
+
  private:
+  void run_oop_into(ByteSpan packet, ExecResult& result);
+
+  /// Shared tail of both execution modes (hang budget + summary fields +
+  /// path recording).
+  void finish_result(const cov::TraceSummary& summary, ExecResult& result);
+
   ExecutorConfig config_;
   cov::CoverageMap map_;
   cov::PathTracker paths_;
   std::uint64_t executions_ = 0;
+  /// Lazily spawned fork-server backend (out-of-process mode only; owns
+  /// the shm segment, the server process and the outcome scratch).
+  std::unique_ptr<oop::OutOfProcessExecutor> oop_;
 };
 
 }  // namespace icsfuzz::fuzz

@@ -28,20 +28,17 @@
 #include "parallel/parallel_campaign.hpp"
 #include "pits/pits.hpp"
 #include "protocols/modbus/modbus_server.hpp"
+#include "tests/test_support.hpp"
 #include "util/rng.hpp"
 
 namespace icsfuzz::cov {
 namespace {
 
-/// Bumps exactly the trace cell `cell` while tracing is armed, by solving
-/// the instrumentation update rule for the needed block id:
-/// hit(cell ^ prev) touches index (cell ^ prev) ^ prev == cell.
-void emit_cell(std::uint32_t cell) { hit(cell ^ tls_prev_location); }
+using icsfuzz::test::emit_cell;
+using icsfuzz::test::runnable_kernels;
 
 /// One synthetic execution: the (cell, raw-count) multiset to emit.
-struct Pattern {
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> cells;
-};
+using Pattern = icsfuzz::test::CellPattern;
 
 /// Replays `pattern` into `map` between the given begin/finalize pair and
 /// returns the summary.
@@ -49,9 +46,7 @@ template <typename Begin, typename Finalize>
 TraceSummary replay(CoverageMap& map, const Pattern& pattern, Begin begin,
                     Finalize finalize) {
   begin(map);
-  for (const auto& [cell, count] : pattern.cells) {
-    for (std::uint32_t i = 0; i < count; ++i) emit_cell(cell);
-  }
+  icsfuzz::test::emit_pattern(pattern);
   return finalize(map);
 }
 
@@ -65,16 +60,6 @@ TraceSummary replay_dense(CoverageMap& map, const Pattern& pattern) {
   return replay(
       map, pattern, [](CoverageMap& m) { m.begin_execution_dense(); },
       [](CoverageMap& m) { return m.finalize_execution_dense(); });
-}
-
-/// Every kernel this build + CPU can actually dispatch to (scalar first).
-std::vector<simd::Kernel> runnable_kernels() {
-  std::vector<simd::Kernel> kernels = {simd::Kernel::kScalar};
-  for (const simd::Kernel kind :
-       {simd::Kernel::kSSE2, simd::Kernel::kAVX2, simd::Kernel::kNEON}) {
-    if (simd::ops_for(kind) != nullptr) kernels.push_back(kind);
-  }
-  return kernels;
 }
 
 /// Drives the full three-way matrix: for every runnable vector kernel, the
@@ -128,21 +113,21 @@ TEST(SparseEquivalence, BoundaryWords) {
   // first and last cells of the map.
   Pattern boundary;
   for (const std::uint32_t cell : {0u, 7u, 65528u, 65535u}) {
-    boundary.cells.push_back({cell, 1});
+    boundary.push_back({cell, 1});
   }
   // A second execution revisits the boundary cells with bucket-changing
   // counts and adds neighbours.
   Pattern revisit;
-  for (const std::uint32_t cell : {0u, 65535u}) revisit.cells.push_back({cell, 3});
-  for (const std::uint32_t cell : {1u, 65529u}) revisit.cells.push_back({cell, 1});
+  for (const std::uint32_t cell : {0u, 65535u}) revisit.push_back({cell, 3});
+  for (const std::uint32_t cell : {1u, 65529u}) revisit.push_back({cell, 1});
   expect_equivalent({boundary, revisit, boundary});
 }
 
 TEST(SparseEquivalence, SaturatedCounts) {
   Pattern saturated;
-  saturated.cells.push_back({123u, 300});  // beyond the 0xFF saturation
-  saturated.cells.push_back({124u, 255});
-  saturated.cells.push_back({125u, 128});
+  saturated.push_back({123u, 300});  // beyond the 0xFF saturation
+  saturated.push_back({124u, 255});
+  saturated.push_back({125u, 128});
   expect_equivalent({saturated, saturated});
 }
 
@@ -156,7 +141,7 @@ TEST(SparseEquivalence, RandomizedExecutionSequences) {
                                   ? 2000 + rng.index(3000)
                                   : 1 + rng.index(300);
     for (std::size_t i = 0; i < edges; ++i) {
-      pattern.cells.push_back(
+      pattern.push_back(
           {static_cast<std::uint32_t>(rng.below(kMapSize)),
            static_cast<std::uint32_t>(1 + rng.below(40))});
     }
@@ -176,16 +161,14 @@ TEST(SparseEquivalence, PerQueryApiMatchesFusedSummary) {
     Pattern pattern;
     const std::size_t edges = 1 + rng.index(200);
     for (std::size_t i = 0; i < edges; ++i) {
-      pattern.cells.push_back(
+      pattern.push_back(
           {static_cast<std::uint32_t>(rng.below(kMapSize)),
            static_cast<std::uint32_t>(1 + rng.below(5))});
     }
     const TraceSummary summary = replay_sparse(fused, pattern);
 
     queried.begin_execution();
-    for (const auto& [cell, count] : pattern.cells) {
-      for (std::uint32_t i = 0; i < count; ++i) emit_cell(cell);
-    }
+    icsfuzz::test::emit_pattern(pattern);
     queried.end_execution();
     const bool new_bits = queried.has_new_bits();
     ASSERT_EQ(queried.trace_hash(), summary.trace_hash);
@@ -201,7 +184,7 @@ TEST(SparseEquivalence, DirtyListIsCompleteAndDuplicateFree) {
   CoverageMap map;
   Pattern pattern;
   for (const std::uint32_t cell : {8u, 9u, 15u, 4096u, 65535u, 10u}) {
-    pattern.cells.push_back({cell, 2});
+    pattern.push_back({cell, 2});
   }
   replay_sparse(map, pattern);
   std::vector<bool> listed(kMapWords, false);
@@ -288,7 +271,7 @@ TEST(AccumulatedDirtySuperset, TracksEveryAccumulatePath) {
       Pattern pattern;
       const std::size_t edges = 1 + rng.index(400);
       for (std::size_t i = 0; i < edges; ++i) {
-        pattern.cells.push_back(
+        pattern.push_back(
             {static_cast<std::uint32_t>(rng.below(kMapSize)),
              static_cast<std::uint32_t>(1 + rng.below(5))});
       }
@@ -309,7 +292,7 @@ TEST(AccumulatedDirtySuperset, TracksEveryAccumulatePath) {
     other.use_kernel(kind);
     Pattern foreign;
     for (const std::uint32_t cell : {77u, 40000u, 65528u}) {
-      foreign.cells.push_back({cell, 2});
+      foreign.push_back({cell, 2});
     }
     replay_sparse(other, foreign);
     map.merge(other);
@@ -342,7 +325,7 @@ CoverageMap make_accumulated(simd::Kernel kind, std::size_t words,
   Pattern pattern;
   for (std::size_t i = 0; i < words; ++i) {
     const std::uint32_t word = static_cast<std::uint32_t>(rng.below(kMapWords));
-    pattern.cells.push_back(
+    pattern.push_back(
         {word * 8 + static_cast<std::uint32_t>(rng.below(8)),
          static_cast<std::uint32_t>(1 + rng.below(200))});
   }

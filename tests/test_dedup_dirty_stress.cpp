@@ -1,0 +1,251 @@
+// Randomized stress coverage for two bounded-state mechanisms the hot
+// path leans on, closing the gap noted in test_hotpath_alloc.cpp (which
+// pins their deterministic corner cases only):
+//
+//   * GenerationalDedup's half-clear rotation, driven with adversarial
+//     randomized insert streams against an exact two-generation oracle
+//     model plus the properties the fuzzer actually relies on (the most
+//     recent capacity/2 distinct packets always stay deduplicated, memory
+//     stays bounded, evicted hashes become insertable again).
+//
+//   * The reader-side dirty-list rebuild (CoverageMap::adopt_external),
+//     hammered with adversarial external word patterns — boundary words 0
+//     and 8191, single-byte cells at word edges, dense smears, saturated
+//     counters, repeated adopt/clear cycles — on every runnable kernel,
+//     checking the rebuilt list stays complete, duplicate-free, and
+//     analysis-equivalent to in-process tracing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "coverage/coverage_map.hpp"
+#include "coverage/instrument.hpp"
+#include "fuzzer/dedup.hpp"
+#include "tests/test_support.hpp"
+#include "util/rng.hpp"
+
+namespace icsfuzz {
+namespace {
+
+using test::dirty_list_defect;
+using test::emit_pattern;
+using test::runnable_kernels;
+using Pattern = test::CellPattern;
+
+// -- GenerationalDedup stress. --------------------------------------------
+
+/// Exact reference model of the documented semantics: two generations,
+/// inserts into `current`, rotation into `previous` at capacity/2.
+class DedupOracle {
+ public:
+  explicit DedupOracle(std::size_t capacity)
+      : capacity_(capacity < 2 ? 2 : capacity) {}
+
+  bool insert(std::uint64_t hash) {
+    if (contains(hash)) return false;
+    current_.insert(hash);
+    if (current_.size() >= capacity_ / 2) {
+      previous_ = std::move(current_);
+      current_.clear();
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t hash) const {
+    return current_.contains(hash) || previous_.contains(hash);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return current_.size() + previous_.size();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_set<std::uint64_t> current_;
+  std::unordered_set<std::uint64_t> previous_;
+};
+
+TEST(GenerationalDedupStress, RandomizedStreamsMatchTheOracle) {
+  Rng rng(0xDED0);
+  for (const std::size_t capacity : {std::size_t{2}, std::size_t{3},
+                                     std::size_t{8}, std::size_t{64},
+                                     std::size_t{1000}}) {
+    SCOPED_TRACE("capacity " + std::to_string(capacity));
+    fuzz::GenerationalDedup dedup(capacity);
+    DedupOracle oracle(capacity);
+    // A hash universe a few times the capacity makes repeats, rotations
+    // and re-insertions of evicted hashes all common.
+    const std::uint64_t universe = 3 * capacity + 7;
+    for (int step = 0; step < 20000; ++step) {
+      const std::uint64_t hash = 1 + rng.below(universe);
+      ASSERT_EQ(dedup.insert(hash), oracle.insert(hash)) << "step " << step;
+      ASSERT_EQ(dedup.size(), oracle.size()) << "step " << step;
+      ASSERT_LE(dedup.size(), dedup.capacity()) << "step " << step;
+      // Spot-check membership agreement on a random probe.
+      const std::uint64_t probe = 1 + rng.below(universe);
+      ASSERT_EQ(dedup.contains(probe), oracle.contains(probe))
+          << "step " << step;
+    }
+  }
+}
+
+TEST(GenerationalDedupStress, RecentHalfAlwaysStaysDeduplicated) {
+  // The load-bearing guarantee: at any moment the most recent capacity/2
+  // distinct hashes are still known. Streams of distinct hashes make the
+  // window exact.
+  const std::size_t capacity = 128;
+  fuzz::GenerationalDedup dedup(capacity);
+  std::vector<std::uint64_t> inserted;
+  Rng rng(0x5115);
+  for (std::uint64_t h = 1; h <= 5000; ++h) {
+    // Mix in re-inserts of known-recent hashes; they must never count as
+    // fresh or disturb the window.
+    if (!inserted.empty() && rng.chance(1, 4)) {
+      const std::size_t back =
+          rng.index(std::min<std::size_t>(inserted.size(), capacity / 4));
+      ASSERT_FALSE(dedup.insert(inserted[inserted.size() - 1 - back]));
+      continue;
+    }
+    ASSERT_TRUE(dedup.insert(h));
+    inserted.push_back(h);
+    const std::size_t window = std::min<std::size_t>(
+        inserted.size(), capacity / 2);
+    for (std::size_t i = 0; i < window; ++i) {
+      ASSERT_TRUE(dedup.contains(inserted[inserted.size() - 1 - i]))
+          << "recent hash " << inserted[inserted.size() - 1 - i]
+          << " evicted too early after " << inserted.size() << " inserts";
+    }
+    ASSERT_LE(dedup.size(), capacity);
+  }
+}
+
+TEST(GenerationalDedupStress, EvictedHashesBecomeInsertableAgain) {
+  const std::size_t capacity = 64;
+  fuzz::GenerationalDedup dedup(capacity);
+  for (std::uint64_t h = 1; h <= 32; ++h) dedup.insert(h);
+  // Two full generations of fresh hashes must evict the first batch.
+  for (std::uint64_t h = 1000; h < 1000 + capacity; ++h) dedup.insert(h);
+  for (std::uint64_t h = 1; h <= 32; ++h) {
+    ASSERT_TRUE(dedup.insert(h)) << "hash " << h << " still resident";
+  }
+}
+
+// -- Reader-side dirty-list rebuild stress. -------------------------------
+
+/// Adversarial pattern generator: biases cells toward word boundaries
+/// (words 0 and 8191, cell edges within words) and mixes sparse, dense and
+/// saturated shapes.
+Pattern adversarial_pattern(Rng& rng) {
+  Pattern pattern;
+  const int shape = static_cast<int>(rng.below(4));
+  if (shape == 0) {
+    // Boundary-focused: the words PR 3's reviews called out.
+    for (const std::uint32_t word : {0u, 1u, 8190u, 8191u}) {
+      const std::uint32_t base = word * 8;
+      pattern.push_back({base, static_cast<std::uint32_t>(1 + rng.below(5))});
+      pattern.push_back(
+          {base + 7, static_cast<std::uint32_t>(1 + rng.below(5))});
+    }
+  } else if (shape == 1) {
+    // Saturation: counters pinned at/beyond 0xFF.
+    for (int i = 0; i < 6; ++i) {
+      pattern.push_back({static_cast<std::uint32_t>(rng.below(cov::kMapSize)),
+                         200 + static_cast<std::uint32_t>(rng.below(120))});
+    }
+  } else if (shape == 2) {
+    // Dense smear: thousands of cells, many words fully populated.
+    const std::uint32_t start =
+        static_cast<std::uint32_t>(rng.below(cov::kMapSize - 4096));
+    for (std::uint32_t c = 0; c < 3000; ++c) {
+      pattern.push_back({start + c, 1});
+    }
+  } else {
+    // Sparse scatter.
+    const std::size_t edges = 1 + rng.index(64);
+    for (std::size_t i = 0; i < edges; ++i) {
+      pattern.push_back({static_cast<std::uint32_t>(rng.below(cov::kMapSize)),
+                         static_cast<std::uint32_t>(1 + rng.below(8))});
+    }
+  }
+  return pattern;
+}
+
+TEST(DirtyRebuildStress, AdversarialAdoptCyclesStayExactOnEveryKernel) {
+  auto external = std::make_unique<std::uint64_t[]>(cov::kMapWords);
+  auto* external_bytes = reinterpret_cast<std::uint8_t*>(external.get());
+  for (const cov::simd::Kernel kind : runnable_kernels()) {
+    SCOPED_TRACE(std::string("kernel ") +
+                 std::string(cov::simd::kernel_name(kind)));
+    Rng rng(0xD127);
+    cov::CoverageMap adopted;
+    adopted.use_kernel(kind);
+    cov::CoverageMap reference;
+    reference.use_kernel(kind);
+    for (int round = 0; round < 60; ++round) {
+      const Pattern pattern = adversarial_pattern(rng);
+
+      std::memset(external_bytes, 0, cov::kMapSize);
+      cov::begin_trace(external_bytes);
+      emit_pattern(pattern);
+      cov::end_trace();
+
+      adopted.adopt_external(external.get());
+      ASSERT_EQ(dirty_list_defect(adopted), "") << "round " << round;
+      const cov::TraceSummary a = adopted.finalize_execution();
+
+      reference.begin_execution();
+      emit_pattern(pattern);
+      const cov::TraceSummary b = reference.finalize_execution();
+
+      ASSERT_EQ(a.trace_hash, b.trace_hash) << "round " << round;
+      ASSERT_EQ(a.trace_edges, b.trace_edges) << "round " << round;
+      ASSERT_EQ(a.new_coverage, b.new_coverage) << "round " << round;
+      ASSERT_EQ(adopted.edges_covered(), reference.edges_covered())
+          << "round " << round;
+      ASSERT_EQ(0, std::memcmp(adopted.trace(), reference.trace(),
+                               cov::kMapSize))
+          << "round " << round;
+      ASSERT_EQ(adopted.snapshot_accumulated(),
+                reference.snapshot_accumulated())
+          << "round " << round;
+    }
+  }
+}
+
+TEST(DirtyRebuildStress, StaleDirtyWordsNeverLeakAcrossAdoptions) {
+  // A dense adoption followed by a tiny one: every word of the dense trace
+  // must be cleared even though the new external map no longer lists it.
+  auto external = std::make_unique<std::uint64_t[]>(cov::kMapWords);
+  auto* external_bytes = reinterpret_cast<std::uint8_t*>(external.get());
+  cov::CoverageMap map;
+
+  Pattern dense_smear;
+  for (std::uint32_t c = 0; c < cov::kMapSize; c += 3) {
+    dense_smear.push_back({c, 1});
+  }
+  std::memset(external_bytes, 0, cov::kMapSize);
+  cov::begin_trace(external_bytes);
+  emit_pattern(dense_smear);
+  cov::end_trace();
+  map.adopt_external(external.get());
+  map.finalize_execution();
+
+  const Pattern tiny = {{8191u * 8 + 7, 1}};
+  std::memset(external_bytes, 0, cov::kMapSize);
+  cov::begin_trace(external_bytes);
+  emit_pattern(tiny);
+  cov::end_trace();
+  map.adopt_external(external.get());
+  ASSERT_EQ(dirty_list_defect(map), "");
+  EXPECT_EQ(map.dirty_word_count(), 1u);
+  EXPECT_EQ(map.dirty_words()[0], 8191u);
+  const cov::TraceSummary summary = map.finalize_execution();
+  EXPECT_EQ(summary.trace_edges, 1u);
+}
+
+}  // namespace
+}  // namespace icsfuzz

@@ -1,0 +1,430 @@
+// Differential suite for out-of-process (shm + fork-server) execution.
+//
+// The shim binary links the SAME instrumented protocol stacks the
+// in-process executor drives, so every observable the feedback loop
+// consumes must be bit-identical across the two execution modes — the
+// built-in differential oracle this suite enforces, mirroring the
+// three-way matrix style of test_coverage_sparse.cpp:
+//
+//   * ShmSegment unit behaviour (named create/attach round trip, early
+//     unlink keeping mappings valid, the anonymous fallback),
+//   * CoverageMap::adopt_external vs in-process tracing of identical
+//     patterns (trace bytes, dirty list, fused summary, accumulation),
+//   * single executions of every project's server: trace hash, edge
+//     count, events, faults, response bytes, accumulated map, path set,
+//   * fixed-seed campaign trajectories (Fuzzer with and without
+//     auto-distill, ParallelCampaign at W=2) in-process vs out-of-process.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coverage/coverage_map.hpp"
+#include "coverage/dense_ref.hpp"
+#include "exec_oop/exec_protocol.hpp"
+#include "exec_oop/oop_executor.hpp"
+#include "exec_oop/shm_segment.hpp"
+#include "fuzzer/fuzzer.hpp"
+#include "model/instantiation.hpp"
+#include "mutation/mutator.hpp"
+#include "parallel/parallel_campaign.hpp"
+#include "pits/pits.hpp"
+#include "protocols/target_registry.hpp"
+#include "tests/test_support.hpp"
+#include "util/rng.hpp"
+
+namespace icsfuzz {
+namespace {
+
+using test::CellPattern;
+using test::dirty_list_defect;
+using test::emit_pattern;
+using test::runnable_kernels;
+
+/// argv for the fork-server shim serving `project` (CMake injects the
+/// built binary's path).
+std::vector<std::string> shim_cmd(const std::string& project) {
+  return {ICSFUZZ_SHIM_PATH, "--project", project};
+}
+
+/// Generous per-exec deadline for the differential/trajectory configs: a
+/// scheduler stall on a loaded CI runner must not inject a spurious Hang
+/// fault into a bit-identity comparison (the fault-injection suite covers
+/// the deadline machinery explicitly).
+constexpr int kGenerousTimeoutMs = 30000;
+
+// -- ShmSegment. ----------------------------------------------------------
+
+TEST(ShmSegment, NamedCreateAttachRoundTrip) {
+  oop::ShmSegment created = oop::ShmSegment::create(1 << 16);
+  ASSERT_TRUE(created.valid()) << created.error();
+  ASSERT_TRUE(created.named()) << "expected the shm_open backing";
+  created.data()[0] = 0xAB;
+  created.data()[65535] = 0xCD;
+
+  oop::ShmSegment attached = oop::ShmSegment::attach(created.name(), 1 << 16);
+  ASSERT_TRUE(attached.valid()) << attached.error();
+  EXPECT_EQ(attached.data()[0], 0xAB);
+  EXPECT_EQ(attached.data()[65535], 0xCD);
+
+  // Writes propagate both ways through the shared pages.
+  attached.data()[100] = 0x55;
+  EXPECT_EQ(created.data()[100], 0x55);
+}
+
+TEST(ShmSegment, EarlyUnlinkKeepsMappingsValid) {
+  oop::ShmSegment created = oop::ShmSegment::create(4096);
+  ASSERT_TRUE(created.valid()) << created.error();
+  ASSERT_TRUE(created.named());
+  oop::ShmSegment attached = oop::ShmSegment::attach(created.name(), 4096);
+  ASSERT_TRUE(attached.valid()) << attached.error();
+
+  const std::string name = created.name();
+  created.unlink_name();
+  // The name is gone from the namespace...
+  EXPECT_FALSE(oop::ShmSegment::attach(name, 4096).valid());
+  // ...but both existing mappings still share pages.
+  created.data()[7] = 0x77;
+  EXPECT_EQ(attached.data()[7], 0x77);
+}
+
+TEST(ShmSegment, AnonymousFallback) {
+  oop::ShmSegment segment =
+      oop::ShmSegment::create(4096, /*force_anonymous=*/true);
+  ASSERT_TRUE(segment.valid()) << segment.error();
+  EXPECT_FALSE(segment.named());
+  segment.data()[0] = 1;
+  EXPECT_EQ(segment.data()[0], 1);
+}
+
+TEST(ShmSegment, DistinctNamesAcrossSegments) {
+  oop::ShmSegment a = oop::ShmSegment::create(4096);
+  oop::ShmSegment b = oop::ShmSegment::create(4096);
+  ASSERT_TRUE(a.valid());
+  ASSERT_TRUE(b.valid());
+  EXPECT_NE(a.name(), b.name());
+}
+
+// -- adopt_external vs in-process tracing. --------------------------------
+
+using Pattern = CellPattern;
+
+/// Produces `pattern`'s raw map in an "external" buffer, the way a
+/// fork-server child would have: traced into plain shared bytes whose
+/// dirty list never crosses the process boundary.
+void write_external(std::uint8_t* external, const Pattern& pattern) {
+  std::memset(external, 0, cov::kMapSize);
+  cov::begin_trace(external);
+  emit_pattern(pattern);
+  cov::end_trace();
+}
+
+void expect_adopt_equivalent(const std::vector<Pattern>& executions) {
+  auto external = std::make_unique<std::uint64_t[]>(cov::kMapWords);
+  for (const cov::simd::Kernel kind : runnable_kernels()) {
+    SCOPED_TRACE(std::string("kernel ") +
+                 std::string(cov::simd::kernel_name(kind)));
+    cov::CoverageMap adopted;
+    adopted.use_kernel(kind);
+    cov::CoverageMap inproc;
+    inproc.use_kernel(kind);
+    for (std::size_t i = 0; i < executions.size(); ++i) {
+      write_external(reinterpret_cast<std::uint8_t*>(external.get()),
+                     executions[i]);
+      adopted.adopt_external(external.get());
+      const cov::TraceSummary a = adopted.finalize_execution();
+
+      inproc.begin_execution();
+      emit_pattern(executions[i]);
+      const cov::TraceSummary b = inproc.finalize_execution();
+
+      ASSERT_EQ(a.trace_hash, b.trace_hash) << "execution " << i;
+      ASSERT_EQ(a.trace_edges, b.trace_edges) << "execution " << i;
+      ASSERT_EQ(a.new_coverage, b.new_coverage) << "execution " << i;
+      ASSERT_EQ(adopted.edges_covered(), inproc.edges_covered())
+          << "execution " << i;
+      ASSERT_EQ(0,
+                std::memcmp(adopted.trace(), inproc.trace(), cov::kMapSize))
+          << "execution " << i;
+      ASSERT_EQ(adopted.snapshot_accumulated(), inproc.snapshot_accumulated())
+          << "execution " << i;
+
+      // The rebuilt dirty list is complete and duplicate-free.
+      ASSERT_EQ(dirty_list_defect(adopted), "") << "execution " << i;
+    }
+  }
+}
+
+TEST(AdoptExternal, BoundaryWordsAndEmptyTraces) {
+  Pattern boundary;
+  for (const std::uint32_t cell : {0u, 7u, 65528u, 65535u}) {
+    boundary.push_back({cell, 1});
+  }
+  Pattern revisit = {{0u, 3}, {65535u, 3}, {1u, 1}, {65529u, 1}};
+  expect_adopt_equivalent({Pattern{}, boundary, revisit, Pattern{}, boundary});
+}
+
+TEST(AdoptExternal, RandomizedPatterns) {
+  Rng rng(0x00BEEF);
+  std::vector<Pattern> executions;
+  for (int exec = 0; exec < 30; ++exec) {
+    Pattern pattern;
+    const std::size_t edges = rng.chance(1, 5) ? 2000 + rng.index(2000)
+                                               : 1 + rng.index(300);
+    for (std::size_t i = 0; i < edges; ++i) {
+      pattern.push_back({static_cast<std::uint32_t>(rng.below(cov::kMapSize)),
+                         static_cast<std::uint32_t>(1 + rng.below(40))});
+    }
+    executions.push_back(std::move(pattern));
+  }
+  expect_adopt_equivalent(executions);
+}
+
+TEST(AdoptExternal, InterleavesWithInProcessExecutions) {
+  // A map can alternate between adopting external traces and tracing
+  // in-process ones; the dirty bookkeeping must survive the mix.
+  auto external = std::make_unique<std::uint64_t[]>(cov::kMapWords);
+  cov::CoverageMap mixed;
+  cov::CoverageMap reference;
+  Rng rng(99);
+  for (int exec = 0; exec < 20; ++exec) {
+    Pattern pattern;
+    const std::size_t edges = 1 + rng.index(200);
+    for (std::size_t i = 0; i < edges; ++i) {
+      pattern.push_back({static_cast<std::uint32_t>(rng.below(cov::kMapSize)),
+                         static_cast<std::uint32_t>(1 + rng.below(4))});
+    }
+    if (exec % 2 == 0) {
+      write_external(reinterpret_cast<std::uint8_t*>(external.get()),
+                     pattern);
+      mixed.adopt_external(external.get());
+    } else {
+      mixed.begin_execution();
+      emit_pattern(pattern);
+    }
+    const cov::TraceSummary a = mixed.finalize_execution();
+
+    reference.begin_execution();
+    emit_pattern(pattern);
+    const cov::TraceSummary b = reference.finalize_execution();
+    ASSERT_EQ(a.trace_hash, b.trace_hash) << "execution " << exec;
+    ASSERT_EQ(a.trace_edges, b.trace_edges) << "execution " << exec;
+    ASSERT_EQ(mixed.snapshot_accumulated(), reference.snapshot_accumulated())
+        << "execution " << exec;
+  }
+}
+
+// -- Differential execution: in-process vs fork server. -------------------
+
+/// A deterministic packet batch for `project`: every model's default
+/// instance plus fixed-seed byte mutations of each.
+std::vector<Bytes> packet_batch(const std::string& project) {
+  const model::DataModelSet models = pits::pit_for_project(project);
+  const mutation::MutatorSuite mutators;
+  Rng rng(0x5EED + project.size());
+  std::vector<Bytes> packets;
+  for (const model::DataModel& model : models.models()) {
+    Bytes base = model::default_instance(model).serialize();
+    for (int m = 0; m < 3; ++m) {
+      packets.push_back(mutators.mutate_bytes(base, rng));
+    }
+    packets.push_back(std::move(base));
+  }
+  packets.push_back({});                          // empty packet
+  packets.push_back(rng.bytes(512));              // oversized junk
+  return packets;
+}
+
+void expect_fault_lists_equal(const std::vector<san::FaultReport>& a,
+                              const std::vector<san::FaultReport>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << "fault " << i;
+    EXPECT_EQ(a[i].site, b[i].site) << "fault " << i;
+    EXPECT_EQ(a[i].detail, b[i].detail) << "fault " << i;
+  }
+}
+
+TEST(OopDifferential, EveryProjectMatchesInProcessExecution) {
+  for (const std::string& project : pits::all_project_names()) {
+    SCOPED_TRACE("project " + project);
+    const auto factory = proto::target_factory(project);
+    ASSERT_TRUE(factory);
+    const std::unique_ptr<ProtocolTarget> inproc_target = factory();
+    const std::unique_ptr<ProtocolTarget> placeholder = factory();
+
+    fuzz::Executor inproc;
+    fuzz::ExecutorConfig oop_config;
+    oop_config.target_cmd = shim_cmd(project);
+    oop_config.oop_exec_timeout_ms = kGenerousTimeoutMs;
+    fuzz::Executor oop(oop_config);
+
+    std::size_t crashes = 0;
+    for (const Bytes& packet : packet_batch(project)) {
+      const fuzz::ExecResult a = inproc.run(*inproc_target, packet);
+      const fuzz::ExecResult b = oop.run(*placeholder, packet);
+      ASSERT_EQ(a.trace_hash, b.trace_hash);
+      ASSERT_EQ(a.trace_edges, b.trace_edges);
+      ASSERT_EQ(a.new_coverage, b.new_coverage);
+      ASSERT_EQ(a.new_path, b.new_path);
+      ASSERT_EQ(a.events, b.events);
+      ASSERT_EQ(a.response, b.response);
+      ASSERT_FALSE(b.response_truncated)
+          << "protocol responses must fit the aux block";
+      expect_fault_lists_equal(a.faults, b.faults);
+      crashes += a.crashed();
+    }
+    ASSERT_NE(oop.oop_backend(), nullptr);
+    EXPECT_EQ(oop.oop_backend()->server_restarts(), 0u);
+
+    // Campaign-lifetime aggregates: identical accumulated map + path set.
+    EXPECT_EQ(inproc.edge_count(), oop.edge_count());
+    EXPECT_EQ(inproc.path_count(), oop.path_count());
+    EXPECT_EQ(inproc.coverage().snapshot_accumulated(),
+              oop.coverage().snapshot_accumulated());
+    std::vector<std::uint64_t> inproc_paths = inproc.paths().snapshot();
+    std::vector<std::uint64_t> oop_paths = oop.paths().snapshot();
+    std::sort(inproc_paths.begin(), inproc_paths.end());
+    std::sort(oop_paths.begin(), oop_paths.end());
+    EXPECT_EQ(inproc_paths, oop_paths);
+  }
+}
+
+TEST(OopDifferential, DenseReferenceModeAlsoMatches) {
+  // The dense full-map reference analysis applies unchanged to adopted
+  // traces — the sparse/dense x in-process/OOP square commutes.
+  const std::string project = "libmodbus";
+  const auto factory = proto::target_factory(project);
+  const std::unique_ptr<ProtocolTarget> inproc_target = factory();
+  const std::unique_ptr<ProtocolTarget> placeholder = factory();
+
+  fuzz::ExecutorConfig dense_config;
+  dense_config.dense_reference = true;
+  fuzz::Executor inproc(dense_config);
+  fuzz::ExecutorConfig oop_config;
+  oop_config.dense_reference = true;
+  oop_config.target_cmd = shim_cmd(project);
+  oop_config.oop_exec_timeout_ms = kGenerousTimeoutMs;
+  fuzz::Executor oop(oop_config);
+
+  for (const Bytes& packet : packet_batch(project)) {
+    const fuzz::ExecResult a = inproc.run(*inproc_target, packet);
+    const fuzz::ExecResult b = oop.run(*placeholder, packet);
+    ASSERT_EQ(a.trace_hash, b.trace_hash);
+    ASSERT_EQ(a.trace_edges, b.trace_edges);
+    ASSERT_EQ(a.new_coverage, b.new_coverage);
+  }
+  EXPECT_EQ(inproc.coverage().snapshot_accumulated(),
+            oop.coverage().snapshot_accumulated());
+}
+
+// -- Fixed-seed campaign trajectories. ------------------------------------
+
+/// Rolling fingerprint + per-checkpoint series of one campaign (the same
+/// shape test_coverage_sparse.cpp uses for its sparse-vs-dense matrix).
+struct Trajectory {
+  std::vector<std::size_t> path_series;
+  std::vector<std::size_t> edge_series;
+  std::uint64_t exec_fingerprint = 0;
+  std::size_t retained = 0;
+  std::size_t corpus = 0;
+  std::size_t crashes = 0;
+
+  bool operator==(const Trajectory&) const = default;
+};
+
+Trajectory run_fuzzer_campaign(bool out_of_process, std::uint64_t iterations,
+                               std::uint64_t distill_interval = 0) {
+  const std::string project = "libmodbus";
+  const std::unique_ptr<ProtocolTarget> target =
+      proto::target_factory(project)();
+  const model::DataModelSet models = pits::pit_for_project(project);
+  fuzz::FuzzerConfig config;
+  config.strategy = fuzz::Strategy::PeachStar;
+  config.rng_seed = 42;
+  config.distill_interval = distill_interval;
+  if (out_of_process) {
+    config.executor.target_cmd = shim_cmd(project);
+    config.executor.oop_exec_timeout_ms = kGenerousTimeoutMs;
+  }
+  fuzz::Fuzzer fuzzer(*target, models, config);
+  Trajectory trajectory;
+  fuzzer.run(iterations, [&](const fuzz::ExecResult& result) {
+    trajectory.exec_fingerprint =
+        trajectory.exec_fingerprint * 0x100000001B3ULL ^
+        mix64(result.trace_hash ^ (result.new_coverage ? 1 : 0) ^
+              (result.new_path ? 2 : 0) ^ result.trace_edges);
+    if (fuzzer.executor().executions() % 250 == 0) {
+      trajectory.path_series.push_back(fuzzer.path_count());
+      trajectory.edge_series.push_back(fuzzer.executor().edge_count());
+    }
+  });
+  trajectory.retained = fuzzer.retained_seeds().size();
+  trajectory.corpus = fuzzer.corpus().size();
+  trajectory.crashes = fuzzer.crashes().unique_count();
+  return trajectory;
+}
+
+TEST(OopTrajectory, FuzzerCampaignIdenticalToInProcess) {
+  const Trajectory oop = run_fuzzer_campaign(true, 1500);
+  const Trajectory inproc = run_fuzzer_campaign(false, 1500);
+  EXPECT_EQ(oop, inproc);
+  EXPECT_FALSE(oop.path_series.empty());
+  EXPECT_GT(oop.path_series.back(), 0u);
+}
+
+TEST(OopTrajectory, AutoDistillCampaignIdenticalToInProcess) {
+  // distill replays route through private executors with the same
+  // ExecutorConfig, so an OOP campaign distills over the fork server too.
+  const Trajectory oop =
+      run_fuzzer_campaign(true, 900, /*distill_interval=*/300);
+  const Trajectory inproc =
+      run_fuzzer_campaign(false, 900, /*distill_interval=*/300);
+  EXPECT_EQ(oop, inproc);
+}
+
+TEST(OopTrajectory, ParallelCampaignW2IdenticalToInProcess) {
+  const model::DataModelSet models = pits::pit_for_project("libmodbus");
+  auto run_parallel = [&](bool out_of_process) {
+    par::ParallelCampaignConfig config;
+    config.workers = 2;
+    config.iterations_per_worker = 400;
+    config.base_seed = 99;
+    // Syncing off for bit-exact comparison (thread interleaving of sync
+    // points is nondeterministic; see test_coverage_sparse.cpp).
+    config.sync_interval = 0;
+    config.fuzzer.strategy = fuzz::Strategy::PeachStar;
+    if (out_of_process) {
+      // One fork server per worker: each worker's Executor spawns its own
+      // backend with a private shm segment.
+      config.fuzzer.executor.target_cmd = shim_cmd("libmodbus");
+      config.fuzzer.executor.oop_exec_timeout_ms = kGenerousTimeoutMs;
+    }
+    par::ParallelCampaign campaign(proto::target_factory("libmodbus"),
+                                   models, config);
+    return campaign.run();
+  };
+  const par::ParallelCampaignResult oop = run_parallel(true);
+  const par::ParallelCampaignResult inproc = run_parallel(false);
+
+  ASSERT_EQ(oop.workers.size(), inproc.workers.size());
+  for (std::size_t w = 0; w < oop.workers.size(); ++w) {
+    EXPECT_EQ(oop.workers[w].paths, inproc.workers[w].paths) << "worker " << w;
+    EXPECT_EQ(oop.workers[w].edges, inproc.workers[w].edges) << "worker " << w;
+    EXPECT_EQ(oop.workers[w].unique_crashes, inproc.workers[w].unique_crashes)
+        << "worker " << w;
+    EXPECT_EQ(oop.workers[w].retained_seeds, inproc.workers[w].retained_seeds)
+        << "worker " << w;
+    EXPECT_EQ(oop.workers[w].corpus_size, inproc.workers[w].corpus_size)
+        << "worker " << w;
+  }
+  EXPECT_EQ(oop.global_paths, inproc.global_paths);
+  EXPECT_EQ(oop.global_edges, inproc.global_edges);
+  EXPECT_EQ(oop.total_executions, inproc.total_executions);
+}
+
+}  // namespace
+}  // namespace icsfuzz

@@ -1,0 +1,291 @@
+// Fault-injection coverage for the fork-server execution path.
+//
+// The shim binary honours ICSFUZZ_SHIM_* environment knobs that inject
+// deterministic failures (exec_oop/shim_runner.hpp): a child SIGKILLed
+// mid-execution, a target that never handshakes, a child hanging into the
+// wall-clock deadline, and the fork-server process itself dying. This
+// suite drives each of them — plus an shm unlink race and a missing
+// binary — and asserts the executor reports the right status while the
+// campaign keeps running (a dying target must never take the fuzzer with
+// it).
+#include <gtest/gtest.h>
+
+#include <sys/mman.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec_oop/oop_executor.hpp"
+#include "fuzzer/fuzzer.hpp"
+#include "pits/pits.hpp"
+#include "protocols/target_registry.hpp"
+#include "sanitizer/fault.hpp"
+
+namespace icsfuzz {
+namespace {
+
+std::vector<std::string> shim_cmd(const std::string& project = "libmodbus") {
+  return {ICSFUZZ_SHIM_PATH, "--project", project};
+}
+
+/// Scoped environment knob: set for the executor spawned inside the test,
+/// guaranteed cleared on exit so suites stay independent.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+bool has_fault_site(const fuzz::ExecResult& result, std::uint32_t site) {
+  for (const san::FaultReport& fault : result.faults) {
+    if (fault.site == site) return true;
+  }
+  return false;
+}
+
+const Bytes kPacket = {0x00, 0x01, 0x00, 0x00, 0x00, 0x06,
+                       0x01, 0x03, 0x00, 0x00, 0x00, 0x0A};
+
+TEST(ForkServerFaults, ChildKilledMidExecutionReportsCrashAndRecovers) {
+  ScopedEnv knob("ICSFUZZ_SHIM_KILL_CHILD_AT", "3");
+  const std::unique_ptr<ProtocolTarget> placeholder =
+      proto::target_factory("libmodbus")();
+  const std::unique_ptr<ProtocolTarget> reference_target =
+      proto::target_factory("libmodbus")();
+
+  fuzz::ExecutorConfig config;
+  config.target_cmd = shim_cmd();
+  fuzz::Executor executor(config);
+  fuzz::Executor reference;
+
+  for (int i = 1; i <= 5; ++i) {
+    const fuzz::ExecResult result = executor.run(*placeholder, kPacket);
+    const fuzz::ExecResult expected =
+        reference.run(*reference_target, kPacket);
+    if (i == 3) {
+      // The SIGKILLed child is a crash, attributed to the synthetic
+      // child-terminated site, with whatever partial trace it left.
+      EXPECT_TRUE(result.crashed()) << "execution " << i;
+      EXPECT_TRUE(
+          has_fault_site(result, san::site_id("oop-child-terminated")))
+          << "execution " << i;
+    } else {
+      // Every surrounding execution is bit-identical to in-process: the
+      // fork server survives its children.
+      EXPECT_FALSE(result.crashed()) << "execution " << i;
+      EXPECT_EQ(result.trace_hash, expected.trace_hash) << "execution " << i;
+      EXPECT_EQ(result.events, expected.events) << "execution " << i;
+      EXPECT_EQ(result.response, expected.response) << "execution " << i;
+    }
+  }
+  ASSERT_NE(executor.oop_backend(), nullptr);
+  EXPECT_EQ(executor.oop_backend()->server_restarts(), 0u)
+      << "a child death must not force a server respawn";
+}
+
+TEST(ForkServerFaults, TargetThatNeverHandshakesReportsServerLost) {
+  ScopedEnv knob("ICSFUZZ_SHIM_NO_HANDSHAKE", "1");
+  const std::unique_ptr<ProtocolTarget> placeholder =
+      proto::target_factory("libmodbus")();
+
+  fuzz::ExecutorConfig config;
+  config.target_cmd = shim_cmd();
+  fuzz::Executor executor(config);
+
+  // Every run fails fast (the shim exits instead of handshaking — no
+  // timeout wait), reports the server-lost site, and leaves the executor
+  // usable for the next attempt.
+  for (int i = 0; i < 3; ++i) {
+    const fuzz::ExecResult result = executor.run(*placeholder, kPacket);
+    EXPECT_TRUE(result.crashed()) << "execution " << i;
+    EXPECT_TRUE(has_fault_site(result, san::site_id("oop-server-lost")))
+        << "execution " << i;
+    EXPECT_EQ(result.trace_edges, 0u) << "execution " << i;
+    EXPECT_EQ(result.events, 0u) << "execution " << i;
+  }
+  ASSERT_NE(executor.oop_backend(), nullptr);
+  EXPECT_FALSE(executor.oop_backend()->last_error().empty());
+  EXPECT_FALSE(executor.oop_backend()->server_running());
+}
+
+TEST(ForkServerFaults, MissingBinaryReportsServerLost) {
+  const std::unique_ptr<ProtocolTarget> placeholder =
+      proto::target_factory("libmodbus")();
+  fuzz::ExecutorConfig config;
+  config.target_cmd = {"/nonexistent/icsfuzz-shim-target"};
+  fuzz::Executor executor(config);
+
+  const fuzz::ExecResult result = executor.run(*placeholder, kPacket);
+  EXPECT_TRUE(result.crashed());
+  EXPECT_TRUE(has_fault_site(result, san::site_id("oop-server-lost")));
+  // A server that never came up is not a "restart": the counter separates
+  // "server keeps dying" from "server never started".
+  ASSERT_NE(executor.oop_backend(), nullptr);
+  EXPECT_EQ(executor.oop_backend()->server_restarts(), 0u);
+}
+
+TEST(ForkServerFaults, HangHitsTheDeadlineAndTheServerSurvives) {
+  ScopedEnv knob("ICSFUZZ_SHIM_HANG_AT", "2");
+  const std::unique_ptr<ProtocolTarget> placeholder =
+      proto::target_factory("libmodbus")();
+  const std::unique_ptr<ProtocolTarget> reference_target =
+      proto::target_factory("libmodbus")();
+
+  fuzz::ExecutorConfig config;
+  config.target_cmd = shim_cmd();
+  config.oop_exec_timeout_ms = 200;
+  fuzz::Executor executor(config);
+  fuzz::Executor reference;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 1; i <= 4; ++i) {
+    const fuzz::ExecResult result = executor.run(*placeholder, kPacket);
+    const fuzz::ExecResult expected =
+        reference.run(*reference_target, kPacket);
+    if (i == 2) {
+      ASSERT_TRUE(result.crashed()) << "execution " << i;
+      EXPECT_EQ(result.faults[0].kind, san::FaultKind::Hang)
+          << "execution " << i;
+      EXPECT_TRUE(has_fault_site(result, san::site_id("oop-exec-deadline")))
+          << "execution " << i;
+    } else {
+      // The hung child was SIGKILLed at the deadline; the server keeps
+      // serving bit-identical executions.
+      EXPECT_FALSE(result.crashed()) << "execution " << i;
+      EXPECT_EQ(result.trace_hash, expected.trace_hash) << "execution " << i;
+    }
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count(), 30) << "the deadline must reap hangs promptly";
+  ASSERT_NE(executor.oop_backend(), nullptr);
+  EXPECT_EQ(executor.oop_backend()->server_restarts(), 0u);
+}
+
+TEST(ForkServerFaults, DisabledDeadlineStillExecutesNormally) {
+  // oop_exec_timeout_ms <= 0 disables the wall-clock deadline end to end
+  // (shim timer disarmed, client waits indefinitely); healthy executions
+  // must flow exactly as with a deadline.
+  const std::unique_ptr<ProtocolTarget> placeholder =
+      proto::target_factory("libmodbus")();
+  const std::unique_ptr<ProtocolTarget> reference_target =
+      proto::target_factory("libmodbus")();
+
+  fuzz::ExecutorConfig config;
+  config.target_cmd = shim_cmd();
+  config.oop_exec_timeout_ms = 0;
+  fuzz::Executor executor(config);
+  fuzz::Executor reference;
+
+  for (int i = 0; i < 3; ++i) {
+    const fuzz::ExecResult result = executor.run(*placeholder, kPacket);
+    const fuzz::ExecResult expected =
+        reference.run(*reference_target, kPacket);
+    EXPECT_FALSE(result.crashed()) << "execution " << i;
+    EXPECT_EQ(result.trace_hash, expected.trace_hash) << "execution " << i;
+    EXPECT_EQ(result.response, expected.response) << "execution " << i;
+  }
+}
+
+TEST(ForkServerFaults, ShmUnlinkRaceDoesNotDisturbALiveServer) {
+  const std::unique_ptr<ProtocolTarget> placeholder =
+      proto::target_factory("libmodbus")();
+  const std::unique_ptr<ProtocolTarget> reference_target =
+      proto::target_factory("libmodbus")();
+
+  fuzz::ExecutorConfig config;
+  config.target_cmd = shim_cmd();
+  fuzz::Executor executor(config);
+  fuzz::Executor reference;
+
+  const fuzz::ExecResult first = executor.run(*placeholder, kPacket);
+  const fuzz::ExecResult expected_first =
+      reference.run(*reference_target, kPacket);
+  EXPECT_EQ(first.trace_hash, expected_first.trace_hash);
+
+  // Rip the name out from under the running server (a hostile peer, an
+  // overzealous cleaner). Both sides hold live mappings, so execution
+  // continues bit-identically.
+  ASSERT_NE(executor.oop_backend(), nullptr);
+  const std::string name = executor.oop_backend()->segment().name();
+  ASSERT_FALSE(name.empty());
+  ASSERT_EQ(::shm_unlink(name.c_str()), 0);
+
+  for (int i = 0; i < 3; ++i) {
+    const fuzz::ExecResult result = executor.run(*placeholder, kPacket);
+    const fuzz::ExecResult expected =
+        reference.run(*reference_target, kPacket);
+    EXPECT_FALSE(result.crashed()) << "execution " << i;
+    EXPECT_EQ(result.trace_hash, expected.trace_hash) << "execution " << i;
+    EXPECT_EQ(result.response, expected.response) << "execution " << i;
+  }
+  EXPECT_EQ(executor.oop_backend()->server_restarts(), 0u);
+}
+
+TEST(ForkServerFaults, ServerCrashTriggersRespawnAndTheRunRetries) {
+  // The server dies right before serving its 3rd execution. The executor
+  // respawns it (fresh segment, fresh handshake) and retries the packet,
+  // so the caller sees an unbroken stream of clean results. The respawned
+  // server re-reads the knob, so it dies again at ITS 3rd execution: 5
+  // packets = 2 respawns, every result clean.
+  ScopedEnv knob("ICSFUZZ_SHIM_SERVER_EXIT_AT", "3");
+  const std::unique_ptr<ProtocolTarget> placeholder =
+      proto::target_factory("libmodbus")();
+  const std::unique_ptr<ProtocolTarget> reference_target =
+      proto::target_factory("libmodbus")();
+
+  fuzz::ExecutorConfig config;
+  config.target_cmd = shim_cmd();
+  fuzz::Executor executor(config);
+  fuzz::Executor reference;
+
+  for (int i = 1; i <= 5; ++i) {
+    const fuzz::ExecResult result = executor.run(*placeholder, kPacket);
+    const fuzz::ExecResult expected =
+        reference.run(*reference_target, kPacket);
+    EXPECT_FALSE(result.crashed()) << "execution " << i;
+    EXPECT_EQ(result.trace_hash, expected.trace_hash) << "execution " << i;
+    EXPECT_EQ(result.events, expected.events) << "execution " << i;
+    EXPECT_EQ(result.response, expected.response) << "execution " << i;
+  }
+  ASSERT_NE(executor.oop_backend(), nullptr);
+  EXPECT_EQ(executor.oop_backend()->server_restarts(), 2u);
+}
+
+TEST(ForkServerFaults, CampaignKeepsRunningThroughChildDeaths) {
+  // A whole fuzzing campaign over a target whose children die
+  // periodically: the fork server absorbs every death, the crash db
+  // records the synthetic site, and coverage still accumulates.
+  ScopedEnv knob("ICSFUZZ_SHIM_KILL_CHILD_AT", "7");
+  const std::unique_ptr<ProtocolTarget> placeholder =
+      proto::target_factory("libmodbus")();
+  const model::DataModelSet models = pits::pit_for_project("libmodbus");
+
+  fuzz::FuzzerConfig config;
+  config.strategy = fuzz::Strategy::PeachStar;
+  config.rng_seed = 7;
+  config.executor.target_cmd = shim_cmd();
+  fuzz::Fuzzer fuzzer(*placeholder, models, config);
+  fuzzer.run(60);
+
+  EXPECT_EQ(fuzzer.executor().executions(), 60u);
+  EXPECT_GT(fuzzer.path_count(), 1u);
+  EXPECT_GT(fuzzer.executor().edge_count(), 0u);
+  // The killed child surfaced in the crash accounting.
+  bool saw_child_death = false;
+  for (const fuzz::CrashRecord* record : fuzzer.crashes().records()) {
+    saw_child_death |= record->site == san::site_id("oop-child-terminated");
+  }
+  EXPECT_TRUE(saw_child_death);
+}
+
+}  // namespace
+}  // namespace icsfuzz

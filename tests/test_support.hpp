@@ -1,13 +1,68 @@
 // Shared helpers for the icsfuzz test suite.
 #pragma once
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "coverage/coverage_map.hpp"
+#include "coverage/dense_ref.hpp"
+#include "coverage/instrument.hpp"
 #include "protocols/protocol_target.hpp"
 #include "sanitizer/fault.hpp"
 
 namespace icsfuzz::test {
+
+// -- Coverage-trace helpers shared by the sparse/SIMD/OOP suites. ---------
+
+/// Bumps exactly the trace cell `cell` while tracing is armed, by solving
+/// the instrumentation update rule for the needed block id:
+/// hit(cell ^ prev) touches index (cell ^ prev) ^ prev == cell.
+inline void emit_cell(std::uint32_t cell) {
+  cov::hit(cell ^ cov::tls_prev_location);
+}
+
+/// One synthetic execution: the (cell, raw-count) multiset to emit.
+using CellPattern = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+/// Emits every (cell, count) of `pattern` through the armed trace.
+inline void emit_pattern(const CellPattern& pattern) {
+  for (const auto& [cell, count] : pattern) {
+    for (std::uint32_t i = 0; i < count; ++i) emit_cell(cell);
+  }
+}
+
+/// Every kernel this build + CPU can actually dispatch to (scalar first).
+inline std::vector<cov::simd::Kernel> runnable_kernels() {
+  std::vector<cov::simd::Kernel> kernels = {cov::simd::Kernel::kScalar};
+  for (const cov::simd::Kernel kind :
+       {cov::simd::Kernel::kSSE2, cov::simd::Kernel::kAVX2,
+        cov::simd::Kernel::kNEON}) {
+    if (cov::simd::ops_for(kind) != nullptr) kernels.push_back(kind);
+  }
+  return kernels;
+}
+
+/// Checks the map's trace dirty list is complete and duplicate-free
+/// (every nonzero trace word listed exactly once). Returns an empty
+/// string on success, a diagnostic otherwise — assert with
+/// ASSERT_EQ(dirty_list_defect(map), "").
+inline std::string dirty_list_defect(const cov::CoverageMap& map) {
+  std::vector<bool> listed(cov::kMapWords, false);
+  for (std::uint32_t i = 0; i < map.dirty_word_count(); ++i) {
+    const std::uint16_t w = map.dirty_words()[i];
+    if (listed[w]) return "word " + std::to_string(w) + " listed twice";
+    listed[w] = true;
+  }
+  for (std::size_t w = 0; w < cov::kMapWords; ++w) {
+    const bool nonzero = cov::dense::load_word(map.trace(), w) != 0;
+    if (nonzero != listed[w]) {
+      return "word " + std::to_string(w) +
+             (nonzero ? " nonzero but unlisted" : " listed but zero");
+    }
+  }
+  return {};
+}
 
 struct ArmedRun {
   Bytes response;

@@ -21,6 +21,7 @@
 #include "distill/replay.hpp"
 #include "fuzzer/persistence.hpp"
 #include "protocols/target_registry.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
@@ -39,7 +40,12 @@ int usage(const char* argv0) {
       "    --out DIR         write the distilled corpus here\n"
       "    --workers N       replay shards (default 1)\n"
       "    --tmin            trim each kept seed (trace-hash invariant)\n"
-      "    --no-preserve-paths  cover edges only, not distinct paths\n",
+      "    --no-preserve-paths  cover edges only, not distinct paths\n"
+      "    --target-cmd CMD  replay out of process through this fork-server\n"
+      "                      target (e.g. 'icsfuzz-shim-target --project\n"
+      "                      libmodbus'; split on spaces). Coverage comes\n"
+      "                      from the shm map and is bit-identical to the\n"
+      "                      in-process replay of the same stacks.\n",
       argv0);
   return 2;
 }
@@ -67,6 +73,7 @@ int main(int argc, char** argv) {
   bool replay_crashes = false;
   bool trim = false;
   bool preserve_paths = true;
+  fuzz::ExecutorConfig executor_config;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -91,6 +98,16 @@ int main(int argc, char** argv) {
       trim = true;
     } else if (arg == "--no-preserve-paths") {
       preserve_paths = false;
+    } else if (arg == "--target-cmd") {
+      if (const char* v = next()) {
+        // Split on spaces (the shim-style targets this drives take plain
+        // flag arguments), dropping empty tokens from repeated spaces.
+        for (std::string& token : split(v, ' ')) {
+          if (!token.empty()) {
+            executor_config.target_cmd.push_back(std::move(token));
+          }
+        }
+      }
     } else {
       return usage(argv[0]);
     }
@@ -113,8 +130,8 @@ int main(int argc, char** argv) {
                 project.c_str());
     for (std::size_t i = 0; i < crashes.size(); ++i) {
       const auto target = factory();
-      const distill::CrashReplay replay =
-          distill::replay_crash(*target, crashes[i].reproducer);
+      const distill::CrashReplay replay = distill::replay_crash(
+          *target, crashes[i].reproducer, executor_config);
       reproduced += replay.reproduced;
       std::printf("    {\"id\": \"%s\", \"reproduced\": %s}%s\n",
                   crashes[i].file_stem.c_str(),
@@ -129,8 +146,8 @@ int main(int argc, char** argv) {
   if (verify) {
     if (corpus_dir.empty()) return usage(argv[0]);
     const fuzz::LoadedCorpus loaded = fuzz::load_distilled_corpus(corpus_dir);
-    const distill::ReplayReport replayed =
-        distill::replay_corpus_sharded(factory, loaded.seeds, workers);
+    const distill::ReplayReport replayed = distill::replay_corpus_sharded(
+        factory, loaded.seeds, workers, executor_config);
     // The manifest's crash and seed counts are part of the replay
     // contract, not just the coverage fingerprints.
     const bool matches = loaded.has_manifest &&
@@ -154,26 +171,30 @@ int main(int argc, char** argv) {
                                  ? fuzz::load_distilled_corpus(corpus_dir).seeds
                                  : fuzz::load_seeds(session);
   const std::vector<distill::SeedTrace> traces =
-      distill::collect_traces_sharded(factory, seeds, workers);
+      distill::collect_traces_sharded(factory, seeds, workers,
+                                      executor_config);
   const distill::ReplayReport before = distill::report_from_traces(traces);
 
   distill::CminConfig config;
   config.workers = workers;
   config.preserve_paths = preserve_paths;
+  config.executor = executor_config;
   distill::CminResult result = distill::cmin_from_traces(traces, seeds, config);
 
   std::size_t trimmed_bytes = 0;
   if (trim) {
     const auto target = factory();
+    distill::TminConfig tmin_config;
+    tmin_config.executor = executor_config;
     for (Bytes& seed : result.seeds) {
-      distill::TminResult trimmed = distill::tmin(*target, seed);
+      distill::TminResult trimmed = distill::tmin(*target, seed, tmin_config);
       trimmed_bytes += trimmed.bytes_before - trimmed.seed.size();
       seed = std::move(trimmed.seed);
     }
   }
 
-  const distill::ReplayReport after =
-      distill::replay_corpus_sharded(factory, result.seeds, workers);
+  const distill::ReplayReport after = distill::replay_corpus_sharded(
+      factory, result.seeds, workers, executor_config);
   const bool identical = preserve_paths ? before.same_coverage(after)
                                         : before.edges == after.edges &&
                                               before.map_fingerprint ==

@@ -1,0 +1,52 @@
+// icsfuzz-shim-target — fork-server harness over the instrumented
+// protocol stacks.
+//
+//   icsfuzz-shim-target --project libmodbus
+//
+// Spawned by the fuzzer's OutOfProcessExecutor (never by hand): attaches
+// the shared-memory coverage segment named in the environment, performs
+// the fork-server handshake on the inherited protocol descriptors, and
+// serves executions — one fork per packet — against the named project's
+// server (the same six stacks the in-process executor drives, which is
+// what makes in-process vs out-of-process execution a built-in
+// differential oracle).
+//
+// ICSFUZZ_SHIM_* environment knobs inject deterministic faults (child
+// kill / hang / server crash / no handshake) for the fork-server
+// fault-injection suite; see exec_oop/shim_runner.hpp.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "exec_oop/exec_protocol.hpp"
+#include "exec_oop/shim_runner.hpp"
+#include "protocols/target_registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace icsfuzz;
+
+  std::string project;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--project") == 0 && i + 1 < argc) {
+      project = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --project <name>\n"
+                   "  projects: libmodbus IEC104 libiec61850 lib60870"
+                   " libiec_iccp_mod opendnp3\n"
+                   "  (spawned by the fuzzer's fork-server executor; expects"
+                   " %s in the environment)\n",
+                   argv[0], oop::kShmNameEnv);
+      return 2;
+    }
+  }
+
+  const auto factory = proto::target_factory(project);
+  if (!factory) {
+    std::fprintf(stderr, "unknown --project '%s'\n", project.c_str());
+    return 2;
+  }
+  const std::unique_ptr<ProtocolTarget> target = factory();
+  return oop::run_shim_server(*target, oop::shim_fault_plan_from_env());
+}
