@@ -1,0 +1,194 @@
+// Telemetry overhead A/B bench: the same fixed-seed Modbus Peach* campaign
+// run with the sink disabled (arm OFF) and bound to a private hub (arm ON),
+// interleaved for `rounds` rounds. Gates the observability layer's two hard
+// promises:
+//
+//   * `telemetry_overhead_pct` — min-of-rounds wall time ratio between the
+//     arms. Both arms run the identical workload on the same machine, so
+//     the ratio gates the hot-path cost (budget: <= 2%, baseline.json)
+//     without caring how fast the CI runner is.
+//
+//   * `telemetry_allocs_per_exec` — counting-allocator delta between the
+//     arms per round. Because the trajectories are identical, every
+//     campaign allocation (corpus growth, seed retention, crack batches)
+//     cancels out and the difference isolates telemetry itself: counters,
+//     gauges, histograms, and journal events must all be allocation-free,
+//     so the gate is exactly 0.
+//
+//   * `trajectory_identical` — final paths/edges/crashes/corpus/retained
+//     and the full checkpoint series (wall column excluded) must match
+//     between arms every round: telemetry is write-only and enabling it
+//     cannot perturb the campaign.
+//
+//   * `counters_consistent` — the ON hub's kExecutions counter must equal
+//     the executions the ON arms actually ran (shard merge sanity).
+//
+// Budget knobs:
+//   ICSFUZZ_BENCH_TELEMETRY_ITERS    executions per arm per round (100000)
+//   ICSFUZZ_BENCH_TELEMETRY_ROUNDS   interleaved A/B rounds (8)
+//
+// The defaults give ~200ms measurement windows; shorter windows put timer
+// and scheduler noise on the same order as the ~1% effect being gated.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "counting_allocator.hpp"
+#include "fuzzer/fuzzer.hpp"
+#include "pits/pits.hpp"
+#include "protocols/modbus/modbus_server.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using icsfuzz::bench_alloc::g_allocations;
+
+using namespace icsfuzz;
+using Clock = std::chrono::steady_clock;
+
+struct ArmOutcome {
+  double seconds = 0.0;
+  std::uint64_t allocs = 0;
+  std::uint64_t executions = 0;
+  std::size_t paths = 0;
+  std::size_t edges = 0;
+  std::size_t crashes = 0;
+  std::size_t corpus = 0;
+  std::size_t retained = 0;
+  std::uint64_t series_hash = 0;
+};
+
+/// Hashes a checkpoint series minus its wall column (the clock reading is
+/// the one field that legitimately differs between the arms).
+std::uint64_t series_hash(const std::vector<fuzz::Checkpoint>& series) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto fold = [&hash](std::uint64_t value) {
+    hash = (hash ^ value) * 0x100000001b3ULL;
+  };
+  for (const fuzz::Checkpoint& point : series) {
+    fold(point.executions);
+    fold(point.paths);
+    fold(point.edges);
+    fold(point.unique_crashes);
+    fold(point.corpus_size);
+  }
+  return hash;
+}
+
+ArmOutcome run_arm(const model::DataModelSet& models, telem::Sink sink,
+                   std::uint64_t iters) {
+  proto::ModbusServer server;
+  fuzz::FuzzerConfig config;
+  config.strategy = fuzz::Strategy::PeachStar;
+  config.rng_seed = 42;
+  config.telemetry = sink;
+  fuzz::Fuzzer fuzzer(server, models, config);
+
+  ArmOutcome out;
+  const std::uint64_t allocs_before =
+      g_allocations.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  fuzzer.run(iters);
+  out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  out.allocs = g_allocations.load(std::memory_order_relaxed) - allocs_before;
+  out.executions = fuzzer.executor().executions();
+  out.paths = fuzzer.path_count();
+  out.edges = fuzzer.executor().edge_count();
+  out.crashes = fuzzer.crashes().unique_count();
+  out.corpus = fuzzer.corpus().size();
+  out.retained = fuzzer.retained_seeds().size();
+  out.series_hash = series_hash(fuzzer.stats().checkpoints());
+  return out;
+}
+
+bool same_trajectory(const ArmOutcome& a, const ArmOutcome& b) {
+  return a.executions == b.executions && a.paths == b.paths &&
+         a.edges == b.edges && a.crashes == b.crashes &&
+         a.corpus == b.corpus && a.retained == b.retained &&
+         a.series_hash == b.series_hash;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t iters =
+      bench::env_u64("ICSFUZZ_BENCH_TELEMETRY_ITERS", 100000);
+  const std::size_t rounds = static_cast<std::size_t>(
+      bench::env_u64("ICSFUZZ_BENCH_TELEMETRY_ROUNDS", 8));
+  const model::DataModelSet models = pits::modbus_pit();
+
+  // The ON arm's hub lives outside every measurement window: its journal
+  // ring preallocates at construction and its snapshot allocates only after
+  // the rounds finish.
+  telem::Telemetry hub;
+  const telem::Sink off_sink;
+  const telem::Sink on_sink(&hub, 0);
+
+  // Un-timed warm-up pair pages in both arms (lazy statics, allocator
+  // pools) so round 1 is not charged for first-touch costs.
+  const ArmOutcome warm_off = run_arm(models, off_sink, iters);
+  const ArmOutcome warm_on = run_arm(models, on_sink, iters);
+
+  double off_best = 0.0;
+  double on_best = 0.0;
+  double worst_alloc_delta = 0.0;
+  bool trajectory_identical = same_trajectory(warm_off, warm_on);
+  std::uint64_t on_executions_total = warm_on.executions;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const ArmOutcome off = run_arm(models, off_sink, iters);
+    const ArmOutcome on = run_arm(models, on_sink, iters);
+    on_executions_total += on.executions;
+    trajectory_identical = trajectory_identical && same_trajectory(off, on) &&
+                           same_trajectory(off, warm_off);
+    off_best = round == 0 ? off.seconds : std::min(off_best, off.seconds);
+    on_best = round == 0 ? on.seconds : std::min(on_best, on.seconds);
+    const double delta =
+        (static_cast<double>(on.allocs) - static_cast<double>(off.allocs)) /
+        static_cast<double>(iters);
+    worst_alloc_delta =
+        round == 0 ? delta : std::max(worst_alloc_delta, delta);
+  }
+
+  const telem::Snapshot snapshot = hub.snapshot();
+  const bool counters_consistent =
+      snapshot.counter(telem::Counter::kExecutions) == on_executions_total;
+
+  // Micro: the raw cost of one counter bump through the sink (info only —
+  // the campaign-level overhead above is the gated number).
+  double counter_add_ns = 0.0;
+  {
+    const std::uint64_t ops = 20000000;
+    const auto start = Clock::now();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      on_sink.add(telem::Counter::kBatchSeeds);
+    }
+    counter_add_ns =
+        std::chrono::duration<double>(Clock::now() - start).count() * 1e9 /
+        static_cast<double>(ops);
+  }
+
+  const double overhead_pct =
+      off_best > 0.0 ? (on_best / off_best - 1.0) * 100.0 : 0.0;
+
+  std::printf("{\n  \"bench\": \"telemetry\",\n");
+  std::printf("  \"iters\": %llu,\n",
+              static_cast<unsigned long long>(iters));
+  std::printf("  \"rounds\": %zu,\n", rounds);
+  std::printf("  \"telemetry_off_execs_per_sec\": %.0f,\n",
+              off_best > 0.0 ? static_cast<double>(iters) / off_best : 0.0);
+  std::printf("  \"telemetry_on_execs_per_sec\": %.0f,\n",
+              on_best > 0.0 ? static_cast<double>(iters) / on_best : 0.0);
+  std::printf("  \"telemetry_overhead_pct\": %.2f,\n", overhead_pct);
+  std::printf("  \"telemetry_allocs_per_exec\": %.6f,\n", worst_alloc_delta);
+  std::printf("  \"counter_add_ns\": %.2f,\n", counter_add_ns);
+  std::printf("  \"journal_events\": %zu,\n", hub.journal().size());
+  std::printf("  \"trajectory_identical\": %s,\n",
+              trajectory_identical ? "true" : "false");
+  std::printf("  \"counters_consistent\": %s\n}\n",
+              counters_consistent ? "true" : "false");
+  return trajectory_identical && counters_consistent &&
+                 worst_alloc_delta == 0.0
+             ? 0
+             : 1;
+}

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validates a telemetry snapshot JSON against the checked-in schema.
+
+    check_metrics_schema.py schemas/metrics_snapshot.schema.json session/telemetry.json
+
+Implements the JSON-Schema subset the snapshot schema actually uses —
+type, enum, minimum, required, properties, additionalProperties,
+items/minItems/maxItems, and local "#/definitions/..." $refs — in stdlib
+Python so CI needs no jsonschema package. Because the schema's required
+lists enumerate every counter/gauge/histogram by name and forbid unknown
+keys, this doubles as a catalog-drift gate: adding a metric to
+src/telemetry/metrics.cpp without updating the schema (or vice versa)
+fails here.
+
+Exit status: 0 on pass, 1 on validation failure, 2 on usage/parse errors.
+"""
+
+import json
+import sys
+
+
+def resolve_ref(schema: dict, root: dict) -> dict:
+    ref = schema.get("$ref")
+    if ref is None:
+        return schema
+    if not ref.startswith("#/"):
+        raise ValueError(f"unsupported $ref {ref!r} (only local refs)")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def type_matches(value, expected: str) -> bool:
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    raise ValueError(f"unsupported schema type {expected!r}")
+
+
+def validate(value, schema: dict, root: dict, path: str,
+             errors: list) -> None:
+    schema = resolve_ref(schema, root)
+
+    expected = schema.get("type")
+    if expected is not None and not type_matches(value, expected):
+        errors.append(f"{path}: expected {expected}, got "
+                      f"{type(value).__name__}")
+        return
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        if schema.get("additionalProperties", True) is False:
+            for key in value:
+                if key not in properties:
+                    errors.append(f"{path}: unknown key {key!r}")
+        for key, subschema in properties.items():
+            if key in value:
+                validate(value[key], subschema, root, f"{path}.{key}", errors)
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{path}: {len(value)} items, expected >= "
+                          f"{schema['minItems']}")
+        if "maxItems" in schema and len(value) > schema["maxItems"]:
+            errors.append(f"{path}: {len(value)} items, expected <= "
+                          f"{schema['maxItems']}")
+        if "items" in schema:
+            for index, item in enumerate(value):
+                validate(item, schema["items"], root, f"{path}[{index}]",
+                         errors)
+
+
+def main(argv: list) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    try:
+        with open(argv[1]) as handle:
+            schema = json.load(handle)
+        with open(argv[2]) as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"FAIL: cannot load inputs: {error}")
+        return 2
+
+    errors: list = []
+    try:
+        validate(document, schema, schema, "$", errors)
+    except (KeyError, ValueError) as error:
+        print(f"FAIL: bad schema: {error}")
+        return 2
+
+    if errors:
+        for message in errors:
+            print(f"FAIL: {message}")
+        return 1
+    print(f"OK: {argv[2]} matches {argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -77,6 +77,7 @@ const OutOfProcessExecutor::Outcome& OutOfProcessExecutor::run(
   outcome.exit_code = 0;
 
   for (int attempt = 0; attempt < 2; ++attempt) {
+    if (attempt == 1) ++retries_;
     if (!ensure_started()) continue;  // second attempt retries the spawn
 
     const ForkServer::RunOutcome raw =

@@ -89,6 +89,13 @@ class OutOfProcessExecutor {
   /// the fault-injection suite watches this climb.
   [[nodiscard]] std::uint64_t server_restarts() const { return restarts_; }
 
+  /// Packets that needed a second attempt after the first one lost the
+  /// server (counted whether or not the retry then succeeded). Together
+  /// with server_restarts() this feeds the telemetry registry's
+  /// oop_restarts/oop_retries counters, which used to be visible only to
+  /// the fault-injection tests.
+  [[nodiscard]] std::uint64_t run_retries() const { return retries_; }
+
   [[nodiscard]] bool server_running() const { return server_.running(); }
   [[nodiscard]] const std::string& last_error() const { return error_; }
   [[nodiscard]] const ShmSegment& segment() const { return segment_; }
@@ -106,6 +113,7 @@ class OutOfProcessExecutor {
   Outcome outcome_;
   std::string error_;
   std::uint64_t restarts_ = 0;
+  std::uint64_t retries_ = 0;
   /// A spawn has succeeded at least once (gates restart counting).
   bool ever_started_ = false;
 };

@@ -1,6 +1,7 @@
 #include "fuzzer/executor.hpp"
 
 #include <cassert>
+#include <cstdio>
 
 #include "exec_oop/oop_executor.hpp"
 
@@ -82,7 +83,38 @@ void Executor::run_oop_into(ByteSpan packet, ExecResult& result) {
     oop_ = std::make_unique<oop::OutOfProcessExecutor>(std::move(oop_config));
   }
 
+  const telem::Sink& telemetry = config_.telemetry;
+  const std::uint64_t restarts_before = oop_->server_restarts();
+  const std::uint64_t retries_before = oop_->run_retries();
+
   const oop::OutOfProcessExecutor::Outcome& outcome = oop_->run(packet);
+
+  if (telemetry.enabled()) {
+    // Mirror the backend's restart/retry tallies (previously visible only
+    // to the fault-injection tests) into the campaign metrics, and journal
+    // each kill with its reason — a deadline SIGKILL ("hang") is a target
+    // bug, a lost server is infrastructure trouble, and conflating the two
+    // used to require reading the synthetic fault site ids.
+    const std::uint64_t respawns = oop_->server_restarts() - restarts_before;
+    const std::uint64_t retries = oop_->run_retries() - retries_before;
+    if (respawns > 0) {
+      telemetry.add(telem::Counter::kOopRestarts, respawns);
+      telemetry.event(telem::EventType::kForkServerRespawn,
+                      content_hash(packet), "reason=server-lost");
+    }
+    if (retries > 0) telemetry.add(telem::Counter::kOopRetries, retries);
+    if (outcome.status == oop::ExecStatus::kHang) {
+      telemetry.add(telem::Counter::kOopHangs);
+      char detail[48];
+      std::snprintf(detail, sizeof detail, "reason=hang deadline_ms=%d",
+                    config_.oop_exec_timeout_ms);
+      telemetry.event(telem::EventType::kHang, content_hash(packet), detail);
+    } else if (outcome.status == oop::ExecStatus::kServerLost) {
+      telemetry.add(telem::Counter::kOopServerLost);
+      telemetry.event(telem::EventType::kServerLost, content_hash(packet),
+                      "reason=server-lost");
+    }
+  }
 
   // Adopt the child's shared-memory trace into this map (reader-side dirty
   // list rebuild), then reuse the exact in-process analysis — the sparse

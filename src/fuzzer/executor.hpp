@@ -14,6 +14,7 @@
 #include "coverage/path_tracker.hpp"
 #include "protocols/protocol_target.hpp"
 #include "sanitizer/fault.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace icsfuzz::oop {
 class OutOfProcessExecutor;
@@ -76,6 +77,13 @@ struct ExecutorConfig {
   int oop_exec_timeout_ms = 1000;
   /// Deadline for the fork-server spawn handshake.
   int oop_handshake_timeout_ms = 5000;
+  /// Telemetry sink for executor-level observables: out-of-process
+  /// restart/retry/hang/server-lost counters and the journal events that
+  /// record each kill's reason (hang deadline vs lost server). Disabled by
+  /// default — the Fuzzer binds its own sink in when it builds its
+  /// executor, while replay/distill executors stay quiet so distillation
+  /// never pollutes campaign metrics.
+  telem::Sink telemetry;
 };
 
 class Executor {

@@ -1,10 +1,38 @@
 #include "fuzzer/fuzzer.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "distill/distill.hpp"
 
 namespace icsfuzz::fuzz {
+namespace {
+
+/// The executor inherits the fuzzer's telemetry sink so executor-level
+/// observables (OOP restarts, kill reasons) land in the same shard. The
+/// copy stays out of config_.executor, which is what auto_distill and the
+/// final-distill paths hand to their private replay executors — those must
+/// stay quiet or distillation would double-count campaign metrics.
+ExecutorConfig executor_config_with_telemetry(const FuzzerConfig& config) {
+  ExecutorConfig out = config.executor;
+  out.telemetry = config.telemetry;
+  return out;
+}
+
+/// Allocation-free twin of san::to_string for journal details (the event
+/// path must not allocate even on the rare unique-crash transitions, so
+/// the bench's zero-allocation delta holds exactly).
+const char* fault_kind_name(san::FaultKind kind) {
+  switch (kind) {
+    case san::FaultKind::Segv: return "SEGV";
+    case san::FaultKind::HeapBufferOverflow: return "heap-buffer-overflow";
+    case san::FaultKind::HeapUseAfterFree: return "heap-use-after-free";
+    case san::FaultKind::Hang: return "hang";
+  }
+  return "?";
+}
+
+}  // namespace
 
 std::string to_string(Strategy strategy) {
   switch (strategy) {
@@ -22,7 +50,7 @@ Fuzzer::Fuzzer(ProtocolTarget& target, const model::DataModelSet& models,
       config_(config),
       rng_(config.rng_seed),
       executed_(config.dedup_capacity),
-      executor_(config.executor),
+      executor_(executor_config_with_telemetry(config)),
       instantiator_(config.mutators),
       semantic_(config.semantic, config.mutators),
       corpus_(config.corpus),
@@ -109,14 +137,59 @@ void Fuzzer::next_packet_into(const model::DataModel*& used_model,
 ExecResult Fuzzer::step() { return step_fast(); }
 
 const ExecResult& Fuzzer::step_fast() {
+  const telem::Sink& telemetry = config_.telemetry;
   const model::DataModel* used_model = nullptr;
   next_packet_into(used_model, packet_scratch_);
   const Bytes& packet = packet_scratch_;
+  // Latency is sampled every 64th execution, decided on the execution
+  // count — deterministic across repeats — so the ~40ns clock-read pair
+  // amortizes to well under a nanosecond of per-execution cost.
+  const bool sample_latency =
+      telemetry.enabled() &&
+      (executor_.executions() & (telem::kLatencySampleInterval - 1)) == 0;
+  const std::uint64_t latency_start = sample_latency ? telemetry.now_ns() : 0;
   executor_.run_into(target_, packet, exec_scratch_);
   ExecResult& result = exec_scratch_;
 
+  if (telemetry.enabled()) {
+    if (sample_latency) {
+      telemetry.observe(telem::Histogram::kExecLatencyNs,
+                        telemetry.now_ns() - latency_start);
+    }
+    telemetry.add(telem::Counter::kExecutions);
+    telemetry.observe(telem::Histogram::kPacketBytes, packet.size());
+    // The dirty list survives finalize_execution until the next run, so
+    // this reads the trace's dirty-word count without an extra sweep.
+    telemetry.observe(telem::Histogram::kTraceDirtyWords,
+                      executor_.coverage().dirty_word_count());
+    if (result.new_path) telemetry.add(telem::Counter::kNewPaths);
+    if (result.new_coverage) {
+      telemetry.add(telem::Counter::kNewCoverageSeeds);
+    }
+    // Gauges move only on discoveries, so writing them here (not per
+    // execution) keeps the steady-state cost at the branch alone.
+    if (result.new_path || result.new_coverage) {
+      telemetry.set(telem::Gauge::kPathsCovered, executor_.path_count());
+      telemetry.set(telem::Gauge::kEdgesCovered, executor_.edge_count());
+    }
+  }
+
   for (const san::FaultReport& fault : result.faults) {
-    crash_db_.record(fault, packet, executor_.executions());
+    const bool fresh = crash_db_.record(fault, packet, executor_.executions());
+    if (telemetry.enabled()) {
+      const bool hang = fault.kind == san::FaultKind::Hang;
+      telemetry.add(hang ? telem::Counter::kHangFaults
+                         : telem::Counter::kCrashFaults);
+      if (fresh) {
+        telemetry.add(telem::Counter::kUniqueCrashes);
+        char detail[48];
+        std::snprintf(detail, sizeof detail, "%s site=%08x",
+                      fault_kind_name(fault.kind), fault.site);
+        telemetry.event(hang ? telem::EventType::kHang
+                             : telem::EventType::kCrash,
+                        content_hash(packet), detail);
+      }
+    }
   }
 
   if (config_.strategy == Strategy::ByteMutation && result.new_coverage) {
@@ -148,6 +221,7 @@ const ExecResult& Fuzzer::step_fast() {
 
     const CrackStats crack_stats =
         cracker_.crack(models_, packet, corpus_, rng_);
+    if (telemetry.enabled()) telemetry.add(telem::Counter::kCrackRuns);
 
     // Schedule the combinatorial batch only when the crack contributed new
     // puzzles: a crack that changed nothing would replay known material.
@@ -155,13 +229,24 @@ const ExecResult& Fuzzer::step_fast() {
       const model::DataModel& donor_target = choose_model();
       std::vector<Bytes> batch =
           semantic_.generate_batch(donor_target, corpus_, rng_);
+      if (telemetry.enabled()) {
+        telemetry.add(telem::Counter::kBatchSeeds, batch.size());
+      }
       for (Bytes& seed : batch) pending_batch_.push_back(std::move(seed));
+    }
+    if (telemetry.enabled()) {
+      telemetry.set(telem::Gauge::kRetainedSeeds, retained_.size());
+      telemetry.set(telem::Gauge::kCorpusPuzzles, corpus_.size());
     }
   }
 
-  stats_.tick(executor_.executions(), executor_.path_count(),
-              executor_.edge_count(), crash_db_.unique_count(),
-              corpus_.size());
+  // The interval check runs here (due()) so the telemetry clock is read
+  // only at checkpoint boundaries, never per execution.
+  if (stats_.due(executor_.executions())) {
+    stats_.tick(executor_.executions(), executor_.path_count(),
+                executor_.edge_count(), crash_db_.unique_count(),
+                corpus_.size(), telemetry.now_ns());
+  }
 
   if (config_.distill_interval != 0 && retained_.size() > 1 &&
       executor_.executions() % config_.distill_interval == 0) {
@@ -180,9 +265,17 @@ void Fuzzer::auto_distill() {
   for (const RetainedSeed& seed : retained_) seeds.push_back(seed.bytes);
 
   distill::CminConfig config;
-  config.executor = config_.executor;
+  config.executor = config_.executor;  // telemetry-free replay executor
   const distill::CminResult result = distill::cmin(target_, seeds, config);
   ++distill_passes_;
+  const telem::Sink& telemetry = config_.telemetry;
+  if (telemetry.enabled()) {
+    telemetry.add(telem::Counter::kDistillPasses);
+    char detail[48];
+    std::snprintf(detail, sizeof detail, "kept=%zu dropped=%zu",
+                  result.kept.size(), retained_.size() - result.kept.size());
+    telemetry.event(telem::EventType::kDistill, 0, detail);
+  }
   if (result.kept.size() == retained_.size()) return;
 
   std::vector<RetainedSeed> kept;
@@ -191,6 +284,10 @@ void Fuzzer::auto_distill() {
     kept.push_back(std::move(retained_[index]));
   }
   distill_dropped_ += retained_.size() - kept.size();
+  if (telemetry.enabled()) {
+    telemetry.add(telem::Counter::kDistillDroppedSeeds,
+                  retained_.size() - kept.size());
+  }
   // Order (and therefore the newest-at-the-back property the export cursor
   // relies on) is preserved: kept indices are ascending. A pruned
   // not-yet-exported seed may cause one extra re-publish of an older seed;
@@ -210,10 +307,11 @@ void Fuzzer::run(std::uint64_t iterations,
 void Fuzzer::finish() {
   stats_.finalize(executor_.executions(), executor_.path_count(),
                   executor_.edge_count(), crash_db_.unique_count(),
-                  corpus_.size());
+                  corpus_.size(), config_.telemetry.now_ns());
 }
 
 void Fuzzer::import_external_seed(Bytes packet) {
+  config_.telemetry.add(telem::Counter::kImportedSeeds);
   imported_.push_back(std::move(packet));
 }
 

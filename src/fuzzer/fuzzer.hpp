@@ -27,6 +27,7 @@
 #include "fuzzer/semantic_gen.hpp"
 #include "fuzzer/stats.hpp"
 #include "model/data_model.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace icsfuzz::fuzz {
 
@@ -67,6 +68,14 @@ struct FuzzerConfig {
   /// deduplicated; older generations are released. Campaigns shorter than
   /// dedup_capacity/2 unique packets behave as with unbounded dedup.
   std::size_t dedup_capacity = 1ULL << 21;
+  /// Telemetry sink (src/telemetry/): counters, histograms and journal
+  /// events for this fuzzer's hot loop, bound to the process-wide hub by
+  /// default — bench_telemetry holds the cost under 2% of the hot path, so
+  /// it stays on. Assign a worker-specific sink for parallel campaigns
+  /// (each worker must own its registry shard) or a default-constructed
+  /// Sink to disable. The sink is write-only from the engine's point of
+  /// view: enabling or disabling it never changes a campaign's trajectory.
+  telem::Sink telemetry = telem::Sink::global(0);
 };
 
 /// One retained valuable seed.

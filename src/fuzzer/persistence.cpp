@@ -112,7 +112,36 @@ std::optional<std::string> save_session(const Fuzzer& fuzzer,
   if (!write_text(root / "summary.txt", render_summary(fuzzer))) {
     return "cannot write summary.txt";
   }
+
+  // Telemetry artefacts: the hub-wide final snapshot and the event
+  // journal. The hub may be shared (the process-global default, or one hub
+  // across a parallel campaign's workers), in which case this records the
+  // campaign-wide view rather than this fuzzer's slice alone.
+  if (const telem::Telemetry* hub = fuzzer.config().telemetry.hub()) {
+    if (!write_text(root / "telemetry.json",
+                    telem::to_json(hub->snapshot()))) {
+      return "cannot write telemetry.json";
+    }
+    if (!write_text(root / "journal.jsonl", hub->journal().to_jsonl())) {
+      return "cannot write journal.jsonl";
+    }
+  }
   return std::nullopt;
+}
+
+std::vector<telem::Event> load_journal(const std::string& directory) {
+  const auto data = read_file(fs::path(directory) / "journal.jsonl");
+  if (!data) return {};
+  return telem::EventJournal::from_jsonl(std::string_view(
+      reinterpret_cast<const char*>(data->data()), data->size()));
+}
+
+std::optional<telem::Snapshot> load_telemetry_snapshot(
+    const std::string& directory) {
+  const auto data = read_file(fs::path(directory) / "telemetry.json");
+  if (!data) return std::nullopt;
+  return telem::snapshot_from_json(std::string_view(
+      reinterpret_cast<const char*>(data->data()), data->size()));
 }
 
 std::optional<std::string> save_distilled_corpus(

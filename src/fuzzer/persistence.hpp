@@ -10,6 +10,8 @@
 //   seeds/seed-<index>.bin        retained valuable seeds
 //   stats.csv                     the campaign's checkpoint series
 //   summary.txt                   human-readable wrap-up
+//   telemetry.json                final metrics snapshot (telemetry on)
+//   journal.jsonl                 telemetry event journal (telemetry on)
 //
 // Distilled corpora (src/distill/) persist as their own directory of
 // seed-<index>.bin files plus a MANIFEST.txt recording the ReplayReport
@@ -23,6 +25,7 @@
 
 #include "distill/replay.hpp"
 #include "fuzzer/fuzzer.hpp"
+#include "telemetry/export.hpp"
 
 namespace icsfuzz::fuzz {
 
@@ -42,6 +45,15 @@ std::vector<LoadedCrash> load_crashes(const std::string& directory);
 
 /// Loads every retained seed saved under `directory`.
 std::vector<Bytes> load_seeds(const std::string& directory);
+
+/// Loads the telemetry event journal saved under `directory` (empty when
+/// the session was saved with telemetry disabled).
+std::vector<telem::Event> load_journal(const std::string& directory);
+
+/// Loads the final metrics snapshot saved under `directory` (nullopt when
+/// absent or malformed).
+std::optional<telem::Snapshot> load_telemetry_snapshot(
+    const std::string& directory);
 
 /// Renders a human-readable campaign summary (used by summary.txt and the
 /// examples).

@@ -6,16 +6,18 @@ namespace icsfuzz::fuzz {
 
 void StatsSeries::tick(std::uint64_t executions, std::size_t paths,
                        std::size_t edges, std::size_t unique_crashes,
-                       std::size_t corpus_size) {
-  if (interval_ == 0 || executions % interval_ != 0) return;
-  points_.push_back({executions, paths, edges, unique_crashes, corpus_size});
+                       std::size_t corpus_size, std::uint64_t wall_ns) {
+  if (!due(executions)) return;
+  points_.push_back(
+      {executions, paths, edges, unique_crashes, corpus_size, wall_ns});
 }
 
 void StatsSeries::finalize(std::uint64_t executions, std::size_t paths,
                            std::size_t edges, std::size_t unique_crashes,
-                           std::size_t corpus_size) {
+                           std::size_t corpus_size, std::uint64_t wall_ns) {
   if (!points_.empty() && points_.back().executions == executions) return;
-  points_.push_back({executions, paths, edges, unique_crashes, corpus_size});
+  points_.push_back(
+      {executions, paths, edges, unique_crashes, corpus_size, wall_ns});
 }
 
 std::size_t StatsSeries::final_paths() const {
@@ -30,12 +32,13 @@ std::uint64_t StatsSeries::executions_to_reach(std::size_t paths) const {
 }
 
 std::string StatsSeries::to_csv() const {
-  std::string out = "executions,paths,edges,unique_crashes,corpus\n";
+  std::string out = "executions,paths,edges,unique_crashes,corpus,wall_ms\n";
   for (const Checkpoint& point : points_) {
     out += std::to_string(point.executions) + "," +
            std::to_string(point.paths) + "," + std::to_string(point.edges) +
            "," + std::to_string(point.unique_crashes) + "," +
-           std::to_string(point.corpus_size) + "\n";
+           std::to_string(point.corpus_size) + "," +
+           std::to_string(point.wall_ns / 1000000) + "\n";
   }
   return out;
 }
@@ -58,6 +61,9 @@ std::vector<Checkpoint> average_series(
       avg.edges += series[i].edges;
       avg.unique_crashes += series[i].unique_crashes;
       avg.corpus_size += series[i].corpus_size;
+      // Wall clock is not averaged: the repetitions ran sequentially, so
+      // the latest contributor's reading is the meaningful one.
+      avg.wall_ns = std::max(avg.wall_ns, series[i].wall_ns);
       ++contributors;
     }
     if (contributors == 0) break;
@@ -86,6 +92,9 @@ std::vector<Checkpoint> sum_series(
       total.edges += series[i].edges;
       total.unique_crashes += series[i].unique_crashes;
       total.corpus_size += series[i].corpus_size;
+      // Workers share one telemetry clock; the checkpoint "time" of the
+      // summed row is the last worker to reach it.
+      total.wall_ns = std::max(total.wall_ns, series[i].wall_ns);
     }
     out.push_back(total);
   }

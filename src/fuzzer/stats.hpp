@@ -14,6 +14,10 @@ struct Checkpoint {
   std::size_t edges = 0;
   std::size_t unique_crashes = 0;
   std::size_t corpus_size = 0;
+  /// Telemetry-clock reading when the checkpoint was taken (0 when the
+  /// caller has no clock). Campaign-relative nanoseconds; with a manual
+  /// telemetry clock, replayed campaigns emit identical timestamps.
+  std::uint64_t wall_ns = 0;
 };
 
 /// Records checkpoints at a fixed execution interval.
@@ -21,13 +25,22 @@ class StatsSeries {
  public:
   explicit StatsSeries(std::uint64_t interval = 500) : interval_(interval) {}
 
+  /// True when `executions` lands on the checkpoint interval — callers
+  /// gate the (possibly clock-reading) tick() arguments on this so the hot
+  /// path pays nothing between checkpoints.
+  [[nodiscard]] bool due(std::uint64_t executions) const {
+    return interval_ != 0 && executions % interval_ == 0;
+  }
+
   /// Called once per execution; records a checkpoint when due.
   void tick(std::uint64_t executions, std::size_t paths, std::size_t edges,
-            std::size_t unique_crashes, std::size_t corpus_size);
+            std::size_t unique_crashes, std::size_t corpus_size,
+            std::uint64_t wall_ns = 0);
 
   /// Forces a final checkpoint (campaign end).
   void finalize(std::uint64_t executions, std::size_t paths, std::size_t edges,
-                std::size_t unique_crashes, std::size_t corpus_size);
+                std::size_t unique_crashes, std::size_t corpus_size,
+                std::uint64_t wall_ns = 0);
 
   [[nodiscard]] const std::vector<Checkpoint>& checkpoints() const {
     return points_;
@@ -40,7 +53,9 @@ class StatsSeries {
   /// First execution count at which `paths` was reached, or 0 when never.
   [[nodiscard]] std::uint64_t executions_to_reach(std::size_t paths) const;
 
-  /// Renders "executions,paths,edges,crashes,corpus" CSV lines.
+  /// Renders "executions,paths,edges,crashes,corpus,wall_ms" CSV lines
+  /// (the trailing wall-clock column was appended in PR 6; the original
+  /// columns are stable).
   [[nodiscard]] std::string to_csv() const;
 
  private:

@@ -1,8 +1,12 @@
 #include "parallel/parallel_campaign.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 #include <unordered_set>
+
+#include "telemetry/export.hpp"
 
 namespace icsfuzz::par {
 
@@ -19,6 +23,7 @@ ParallelCampaignResult ParallelCampaign::run() {
   exchange_config.rng_seed = config_.base_seed ^ 0xC0FFEEULL;
   SeedExchange exchange(exchange_config);
 
+  const telem::Sink campaign_sink = config_.fuzzer.telemetry;
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w) {
@@ -28,8 +33,50 @@ ParallelCampaignResult ParallelCampaign::run() {
     worker_config.sync_interval = config_.sync_interval;
     worker_config.fuzzer = config_.fuzzer;
     worker_config.fuzzer.rng_seed = worker_seed(config_.base_seed, w);
+    // Rebind the sink to worker w's shard of the same hub: shards are
+    // single-writer by contract, and the configured sink (worker 0's by
+    // default) must not be shared across threads.
+    worker_config.fuzzer.telemetry =
+        campaign_sink.enabled()
+            ? telem::Sink(campaign_sink.hub(), static_cast<std::uint32_t>(w))
+            : telem::Sink();
     workers.push_back(std::make_unique<Worker>(worker_config, make_target_(),
                                                models_, exchange));
+  }
+
+  if (campaign_sink.enabled()) {
+    char detail[48];
+    std::snprintf(detail, sizeof detail, "workers=%zu iterations=%llu",
+                  config_.workers,
+                  static_cast<unsigned long long>(
+                      config_.iterations_per_worker));
+    campaign_sink.event(telem::EventType::kCampaignStart, 0, detail);
+  }
+
+  // Live exporter: periodic atomic rewrites of the campaign directory
+  // while the workers run. Its snapshot reads race only against relaxed
+  // atomic counters, never against the workers' control flow.
+  std::atomic<bool> stop_export{false};
+  std::thread exporter;
+  const bool live_export =
+      campaign_sink.enabled() && !config_.telemetry_dir.empty();
+  if (live_export) {
+    exporter = std::thread([&] {
+      telem::RateWindows rates;
+      const int interval_ms =
+          config_.telemetry_export_ms > 0 ? config_.telemetry_export_ms : 1000;
+      while (!stop_export.load(std::memory_order_relaxed)) {
+        telem::export_live(*campaign_sink.hub(), rates, config_.telemetry_dir);
+        // Sleep in small slices so campaign teardown is prompt.
+        for (int slept = 0;
+             slept < interval_ms &&
+             !stop_export.load(std::memory_order_relaxed);
+             slept += 20) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      }
+      telem::export_live(*campaign_sink.hub(), rates, config_.telemetry_dir);
+    });
   }
 
   const auto start = std::chrono::steady_clock::now();
@@ -44,6 +91,14 @@ ParallelCampaignResult ParallelCampaign::run() {
     for (std::thread& thread : threads) thread.join();
   }
   const auto stop = std::chrono::steady_clock::now();
+
+  if (campaign_sink.enabled()) {
+    campaign_sink.event(telem::EventType::kCampaignStop, 0, "workers-joined");
+  }
+  if (live_export) {
+    stop_export.store(true, std::memory_order_relaxed);
+    exporter.join();
+  }
 
   ParallelCampaignResult result;
   result.wall_seconds =

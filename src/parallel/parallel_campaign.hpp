@@ -42,10 +42,21 @@ struct ParallelCampaignConfig {
   /// finish: replays are sharded across `workers` threads and the greedy
   /// set-cover minimum lands in ParallelCampaignResult::distilled_corpus.
   bool distill_final = false;
-  /// Per-worker fuzzer configuration (rng_seed is overridden per worker).
-  /// Set fuzzer.distill_interval to auto-distill each worker's retained
-  /// pool mid-campaign as well.
+  /// Per-worker fuzzer configuration (rng_seed is overridden per worker —
+  /// and so is fuzzer.telemetry: worker w gets a sink bound to shard w of
+  /// the hub `fuzzer.telemetry` points at, so the hot loops never share a
+  /// cache line; a disabled sink here disables telemetry for the whole
+  /// campaign). Set fuzzer.distill_interval to auto-distill each worker's
+  /// retained pool mid-campaign as well.
   fuzz::FuzzerConfig fuzzer;
+  /// Live telemetry export: when non-empty, a background thread rewrites
+  /// metrics.json / metrics.prom / journal.jsonl under this directory
+  /// every telemetry_export_ms while the workers run (atomic tmp+rename
+  /// writes — `icsfuzz-stats <dir> --follow` tails it), plus one final
+  /// export after the last worker stops. Ignored when telemetry is
+  /// disabled.
+  std::string telemetry_dir;
+  int telemetry_export_ms = 1000;
 };
 
 /// Final tallies of one worker shard.

@@ -1,5 +1,7 @@
 #include "parallel/worker.hpp"
 
+#include <cstdio>
+
 namespace icsfuzz::par {
 
 Worker::Worker(WorkerConfig config, std::unique_ptr<ProtocolTarget> target,
@@ -11,6 +13,16 @@ Worker::Worker(WorkerConfig config, std::unique_ptr<ProtocolTarget> target,
       sync_rng_(config.fuzzer.rng_seed ^ 0x5EEDE8C4A06EULL) {}
 
 void Worker::run(std::uint64_t iterations) {
+  const telem::Sink& telemetry = config_.fuzzer.telemetry;
+  if (telemetry.enabled()) {
+    // Each worker owns its registry shard, so the per-shard 0/1 flag sums
+    // to a live campaign-wide workers_running gauge on snapshot.
+    telemetry.set(telem::Gauge::kWorkersRunning, 1);
+    char detail[48];
+    std::snprintf(detail, sizeof detail, "iterations=%llu",
+                  static_cast<unsigned long long>(iterations));
+    telemetry.event(telem::EventType::kWorkerStart, 0, detail);
+  }
   const std::uint64_t interval = config_.sync_interval;
   for (std::uint64_t i = 0; i < iterations; ++i) {
     fuzzer_.step_fast();
@@ -25,6 +37,15 @@ void Worker::run(std::uint64_t iterations) {
     sync(/*import_phase=*/false);
   }
   fuzzer_.finish();
+  if (telemetry.enabled()) {
+    telemetry.set(telem::Gauge::kWorkersRunning, 0);
+    char detail[48];
+    std::snprintf(detail, sizeof detail, "executions=%llu paths=%zu",
+                  static_cast<unsigned long long>(
+                      fuzzer_.executor().executions()),
+                  fuzzer_.path_count());
+    telemetry.event(telem::EventType::kWorkerStop, 0, detail);
+  }
 }
 
 void Worker::sync(bool import_phase) {
@@ -55,6 +76,13 @@ void Worker::sync(bool import_phase) {
   if (!import_phase || config_.worker_count <= 1) return;
   std::vector<ExchangeSeed> fresh;
   exchange_.pull(config_.id, cursor_, fresh);
+  if (!fresh.empty() && config_.fuzzer.telemetry.enabled()) {
+    char detail[48];
+    std::snprintf(detail, sizeof detail, "seeds=%zu sync=%llu", fresh.size(),
+                  static_cast<unsigned long long>(syncs_));
+    config_.fuzzer.telemetry.event(telem::EventType::kSeedImport,
+                                   content_hash(fresh.front().bytes), detail);
+  }
   for (ExchangeSeed& seed : fresh) {
     fuzzer_.import_external_seed(std::move(seed.bytes));
     ++imported_;

@@ -1,0 +1,56 @@
+// Telemetry clock — the single time source behind every observability
+// timestamp: metrics snapshots, windowed rates, journal events, and the
+// wall-clock column of StatsSeries checkpoints.
+//
+// Real mode reads the steady clock relative to the Clock's construction,
+// so readings are campaign-relative nanoseconds and strictly monotonic.
+// Manual mode pins the reading to a caller-driven value: deterministic
+// tests and replayed campaigns advance time by hand and get byte-identical
+// exports — the fuzzing trajectory itself never branches on a clock
+// reading (timestamps are recorded, never consulted), which is what keeps
+// telemetry-on campaigns bit-identical to telemetry-off ones.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace icsfuzz::telem {
+
+class Clock {
+ public:
+  Clock() : origin_(std::chrono::steady_clock::now()) {}
+
+  /// Nanoseconds since construction (real mode) or the pinned manual value.
+  [[nodiscard]] std::uint64_t now_ns() const {
+    if (manual_.load(std::memory_order_relaxed)) {
+      return manual_ns_.load(std::memory_order_relaxed);
+    }
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - origin_)
+            .count());
+  }
+
+  /// Switches to manual mode and pins the reading to `ns`.
+  void set_manual(std::uint64_t ns) {
+    manual_ns_.store(ns, std::memory_order_relaxed);
+    manual_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Manual mode: moves the pinned reading forward by `ns`.
+  void advance(std::uint64_t ns) {
+    manual_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool manual() const {
+    return manual_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  std::atomic<std::uint64_t> manual_ns_{0};
+  std::atomic<bool> manual_{false};
+};
+
+}  // namespace icsfuzz::telem

@@ -1,0 +1,171 @@
+#include "telemetry/journal.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace icsfuzz::telem {
+
+std::string_view to_string(EventType type) {
+  switch (type) {
+    case EventType::kCampaignStart: return "campaign-start";
+    case EventType::kCampaignStop: return "campaign-stop";
+    case EventType::kWorkerStart: return "worker-start";
+    case EventType::kWorkerStop: return "worker-stop";
+    case EventType::kCrash: return "crash";
+    case EventType::kHang: return "hang";
+    case EventType::kForkServerRespawn: return "fork-server-respawn";
+    case EventType::kServerLost: return "server-lost";
+    case EventType::kSeedImport: return "seed-import";
+    case EventType::kDistill: return "distill";
+    case EventType::kCount: break;
+  }
+  return "?";
+}
+
+std::optional<EventType> event_type_from(std::string_view name) {
+  for (std::uint8_t t = 0; t < static_cast<std::uint8_t>(EventType::kCount);
+       ++t) {
+    const EventType type = static_cast<EventType>(t);
+    if (to_string(type) == name) return type;
+  }
+  return std::nullopt;
+}
+
+void Event::set_detail(std::string_view text) {
+  const std::size_t n = text.size() < sizeof detail - 1 ? text.size()
+                                                        : sizeof detail - 1;
+  std::memcpy(detail, text.data(), n);
+  detail[n] = '\0';
+}
+
+bool Event::operator==(const Event& other) const {
+  return ts_ns == other.ts_ns && hash == other.hash &&
+         worker == other.worker && type == other.type &&
+         detail_view() == other.detail_view();
+}
+
+EventJournal::EventJournal(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void EventJournal::append(EventType type, std::uint64_t ts_ns,
+                          std::uint32_t worker, std::uint64_t hash,
+                          std::string_view detail) {
+  Event event;
+  event.ts_ns = ts_ns;
+  event.type = type;
+  event.worker = worker;
+  event.hash = hash;
+  event.set_detail(detail);
+  append(event);
+}
+
+void EventJournal::append(const Event& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+  if (count_ < capacity_) ++count_;
+  ++appended_;
+}
+
+std::vector<Event> EventJournal::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Event> out;
+  out.reserve(count_);
+  const std::size_t oldest = (next_ + capacity_ - count_) % capacity_;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(oldest + i) % capacity_]);
+  }
+  return out;
+}
+
+std::size_t EventJournal::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+std::uint64_t EventJournal::total_appended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appended_;
+}
+
+std::uint64_t EventJournal::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appended_ - count_;
+}
+
+std::string EventJournal::to_jsonl() const {
+  std::string out;
+  for (const Event& event : events()) {
+    char head[128];
+    std::snprintf(head, sizeof head,
+                  "{\"ts_ns\":%llu,\"type\":\"",
+                  static_cast<unsigned long long>(event.ts_ns));
+    out += head;
+    out += to_string(event.type);
+    std::snprintf(head, sizeof head, "\",\"worker\":%u,\"hash\":\"%016llx\"",
+                  event.worker,
+                  static_cast<unsigned long long>(event.hash));
+    out += head;
+    out += ",\"detail\":\"";
+    out += json_escape(event.detail_view());
+    out += "\"}\n";
+  }
+  return out;
+}
+
+std::optional<Event> EventJournal::parse_line(std::string_view line) {
+  const std::optional<JsonValue> doc = json_parse(line);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const JsonValue* ts = doc->find("ts_ns");
+  const JsonValue* type = doc->find("type");
+  const JsonValue* worker = doc->find("worker");
+  const JsonValue* hash = doc->find("hash");
+  const JsonValue* detail = doc->find("detail");
+  if (ts == nullptr || !ts->is_u64 || type == nullptr || !type->is_string()) {
+    return std::nullopt;
+  }
+  const std::optional<EventType> parsed_type = event_type_from(type->string);
+  if (!parsed_type) return std::nullopt;
+
+  Event event;
+  event.ts_ns = ts->u64;
+  event.type = *parsed_type;
+  if (worker != nullptr && worker->is_u64) {
+    event.worker = static_cast<std::uint32_t>(worker->u64);
+  }
+  if (hash != nullptr && hash->is_string()) {
+    // Hashes travel as zero-padded hex strings to dodge double rounding.
+    if (const auto value = parse_uint("0x" + hash->string)) {
+      event.hash = *value;
+    }
+  }
+  if (detail != nullptr && detail->is_string()) {
+    event.set_detail(detail->string);
+  }
+  return event;
+}
+
+std::vector<Event> EventJournal::from_jsonl(std::string_view text) {
+  std::vector<Event> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = trim(text.substr(start, end - start));
+    if (!line.empty()) {
+      if (const std::optional<Event> event = parse_line(line)) {
+        out.push_back(*event);
+      }
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace icsfuzz::telem

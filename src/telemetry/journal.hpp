@@ -1,0 +1,90 @@
+// Event journal — the structured, append-only record of a campaign's rare
+// transitions: crashes, hangs, fork-server respawns, seed imports, distill
+// passes and worker lifecycle. Each event carries the telemetry-clock
+// timestamp, the originating worker id, a seed/trace content hash (0 when
+// not applicable) and a short free-form detail string.
+//
+// The journal is a pre-allocated ring of fixed-size POD events behind one
+// mutex: events fire orders of magnitude below the execution rate (the
+// lock-free guarantee of the telemetry layer applies to the per-execution
+// counters, not to these transitions), and the fixed `detail` field keeps
+// the append path free of heap allocations. When the ring wraps, the
+// oldest events are dropped and counted — the exported JSONL says how many.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace icsfuzz::telem {
+
+enum class EventType : std::uint8_t {
+  kCampaignStart = 0,
+  kCampaignStop,
+  kWorkerStart,
+  kWorkerStop,
+  kCrash,            ///< new unique (kind, site) vulnerability
+  kHang,             ///< hang fault (event budget or fork-server deadline)
+  kForkServerRespawn,
+  kServerLost,       ///< execution lost even after the respawn retry
+  kSeedImport,       ///< peer seeds pulled from the exchange (per sync)
+  kDistill,          ///< distillation pass (auto or final)
+  kCount,
+};
+
+std::string_view to_string(EventType type);
+std::optional<EventType> event_type_from(std::string_view name);
+
+struct Event {
+  std::uint64_t ts_ns = 0;
+  std::uint64_t hash = 0;  ///< seed/trace content hash; 0 when n/a
+  std::uint32_t worker = 0;
+  EventType type = EventType::kCampaignStart;
+  /// NUL-terminated free-form detail, truncated to fit.
+  char detail[48] = {};
+
+  [[nodiscard]] std::string_view detail_view() const {
+    return std::string_view(detail);
+  }
+  void set_detail(std::string_view text);
+  [[nodiscard]] bool operator==(const Event& other) const;
+};
+
+class EventJournal {
+ public:
+  explicit EventJournal(std::size_t capacity = 4096);
+
+  void append(EventType type, std::uint64_t ts_ns, std::uint32_t worker,
+              std::uint64_t hash, std::string_view detail);
+  void append(const Event& event);
+
+  /// All retained events, oldest first.
+  [[nodiscard]] std::vector<Event> events() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Lifetime appends (>= size(); the difference was dropped by the ring).
+  [[nodiscard]] std::uint64_t total_appended() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// One JSON object per line, oldest first:
+  ///   {"ts_ns":N,"type":"crash","worker":W,"hash":"%016x","detail":"..."}
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// Parses one JSONL line (nullopt on malformed input).
+  static std::optional<Event> parse_line(std::string_view line);
+  /// Parses a whole JSONL document, skipping blank/malformed lines.
+  static std::vector<Event> from_jsonl(std::string_view text);
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<Event> ring_;   // pre-allocated to capacity_
+  std::size_t next_ = 0;      // slot the next append writes
+  std::size_t count_ = 0;     // live events (<= capacity_)
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace icsfuzz::telem

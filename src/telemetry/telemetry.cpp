@@ -1,0 +1,12 @@
+#include "telemetry/telemetry.hpp"
+
+namespace icsfuzz::telem {
+
+Telemetry& Telemetry::global() {
+  // Leaked on purpose: sinks bound to the global hub may outlive static
+  // destruction order (worker threads, exit-time flushes).
+  static Telemetry* instance = new Telemetry();
+  return *instance;
+}
+
+}  // namespace icsfuzz::telem

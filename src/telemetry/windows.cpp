@@ -1,0 +1,71 @@
+#include "telemetry/windows.hpp"
+
+namespace icsfuzz::telem {
+
+RateWindows::RateWindows(std::size_t capacity) {
+  ring_.resize(capacity == 0 ? 2 : capacity);
+}
+
+void RateWindows::push(const Snapshot& snapshot) {
+  ring_[next_] = snapshot;
+  next_ = (next_ + 1) % ring_.size();
+  if (count_ < ring_.size()) ++count_;
+}
+
+const Snapshot& RateWindows::at(std::size_t index_from_oldest) const {
+  const std::size_t oldest = (next_ + ring_.size() - count_) % ring_.size();
+  return ring_[(oldest + index_from_oldest) % ring_.size()];
+}
+
+const Snapshot* RateWindows::newest() const {
+  return count_ == 0 ? nullptr : &at(count_ - 1);
+}
+
+const Snapshot* RateWindows::base_for(std::uint64_t window_ns) const {
+  if (count_ < 2) return nullptr;
+  const std::uint64_t newest_ts = at(count_ - 1).ts_ns;
+  const std::uint64_t cutoff =
+      newest_ts >= window_ns ? newest_ts - window_ns : 0;
+  // Walk newest-to-oldest for the first snapshot old enough; entries are
+  // pushed in timestamp order, so this is the *newest* qualifying base.
+  for (std::size_t i = count_ - 1; i-- > 0;) {
+    if (at(i).ts_ns <= cutoff) return &at(i);
+  }
+  return &at(0);  // window reaches past the ring: rate since the oldest
+}
+
+RateWindows::Rate RateWindows::counter_rate(Counter counter,
+                                            std::uint64_t window_ns) const {
+  Rate rate;
+  const Snapshot* base = base_for(window_ns);
+  if (base == nullptr) return rate;
+  const Snapshot& head = at(count_ - 1);
+  if (head.ts_ns <= base->ts_ns) return rate;
+  const double span_seconds =
+      static_cast<double>(head.ts_ns - base->ts_ns) / 1e9;
+  rate.per_sec = static_cast<double>(head.counter(counter) -
+                                     base->counter(counter)) /
+                 span_seconds;
+  rate.window_seconds = span_seconds;
+  rate.valid = true;
+  return rate;
+}
+
+RateWindows::Rate RateWindows::gauge_rate(Gauge gauge,
+                                          std::uint64_t window_ns) const {
+  Rate rate;
+  const Snapshot* base = base_for(window_ns);
+  if (base == nullptr) return rate;
+  const Snapshot& head = at(count_ - 1);
+  if (head.ts_ns <= base->ts_ns) return rate;
+  const double span_seconds =
+      static_cast<double>(head.ts_ns - base->ts_ns) / 1e9;
+  rate.per_sec = (static_cast<double>(head.gauge(gauge)) -
+                  static_cast<double>(base->gauge(gauge))) /
+                 span_seconds;
+  rate.window_seconds = span_seconds;
+  rate.valid = true;
+  return rate;
+}
+
+}  // namespace icsfuzz::telem

@@ -1,0 +1,58 @@
+// Windowed-rate aggregation — a ring of recent Snapshots turned into
+// rates: execs/sec, new-edges/sec, crash-rate over 1s/10s/60s windows (or
+// any window the caller asks for). The exporter pushes one snapshot per
+// period; a rate is the delta between the newest snapshot and the newest
+// one at least `window_ns` older, divided by the actual elapsed span — so
+// early in a campaign a "60s" rate is really a since-start rate, and
+// `Rate::window_seconds` reports the span actually used.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace icsfuzz::telem {
+
+inline constexpr std::uint64_t kSecondNs = 1'000'000'000ULL;
+
+class RateWindows {
+ public:
+  /// `capacity` snapshots retained (at a 1 Hz export cadence, 128 covers
+  /// the 60s window with slack).
+  explicit RateWindows(std::size_t capacity = 128);
+
+  void push(const Snapshot& snapshot);
+
+  struct Rate {
+    double per_sec = 0.0;
+    /// Span the rate was actually computed over (may undershoot the
+    /// requested window early in a campaign).
+    double window_seconds = 0.0;
+    /// False until two snapshots with distinct timestamps exist.
+    bool valid = false;
+  };
+
+  /// Counter delta per second over (up to) the trailing `window_ns`.
+  [[nodiscard]] Rate counter_rate(Counter counter,
+                                  std::uint64_t window_ns) const;
+  /// Gauge delta per second (signed: gauges may shrink).
+  [[nodiscard]] Rate gauge_rate(Gauge gauge, std::uint64_t window_ns) const;
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  /// Newest pushed snapshot (nullptr while empty).
+  [[nodiscard]] const Snapshot* newest() const;
+
+ private:
+  /// Baseline snapshot for a window ending at the newest snapshot: the
+  /// newest entry at least `window_ns` older, or the oldest entry when the
+  /// ring does not reach back that far. Nullptr with fewer than 2 entries.
+  [[nodiscard]] const Snapshot* base_for(std::uint64_t window_ns) const;
+  [[nodiscard]] const Snapshot& at(std::size_t index_from_oldest) const;
+
+  std::vector<Snapshot> ring_;
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace icsfuzz::telem

@@ -1,0 +1,56 @@
+// Minimal JSON support for the telemetry exporters and the stats CLI: a
+// recursive-descent parser over the subset the repo emits (objects,
+// arrays, strings with escapes, numbers, booleans, null) plus the escape
+// helper the writers share. No external dependencies.
+//
+// Numbers keep an exact-integer side channel: JSON has only doubles, but
+// telemetry counters and 64-bit hashes must round-trip exactly, so integer
+// literals that fit a uint64 are stored losslessly alongside the double.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace icsfuzz {
+
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  /// Exact value for non-negative integer literals that fit 64 bits
+  /// (is_u64 set); `number` holds the rounded double either way.
+  std::uint64_t u64 = 0;
+  bool is_u64 = false;
+  std::string string;
+  std::vector<JsonValue> items;                             // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;   // kObject
+
+  /// Object member lookup (nullptr when absent or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+};
+
+/// Parses one JSON document (nullopt on malformed input or trailing junk).
+std::optional<JsonValue> json_parse(std::string_view text);
+
+/// Escapes `text` for embedding inside a JSON string literal (no quotes).
+std::string json_escape(std::string_view text);
+
+}  // namespace icsfuzz

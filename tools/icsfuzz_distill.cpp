@@ -21,6 +21,7 @@
 #include "distill/replay.hpp"
 #include "fuzzer/persistence.hpp"
 #include "protocols/target_registry.hpp"
+#include "telemetry/clock.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -170,10 +171,15 @@ int main(int argc, char** argv) {
   std::vector<Bytes> seeds = session.empty()
                                  ? fuzz::load_distilled_corpus(corpus_dir).seeds
                                  : fuzz::load_seeds(session);
+  // Phase timing off the telemetry clock: crack (trace collection) /
+  // distill (cmin + optional tmin) / replay (final verification pass).
+  telem::Clock clock;
+  const std::uint64_t crack_start = clock.now_ns();
   const std::vector<distill::SeedTrace> traces =
       distill::collect_traces_sharded(factory, seeds, workers,
                                       executor_config);
   const distill::ReplayReport before = distill::report_from_traces(traces);
+  const std::uint64_t distill_start = clock.now_ns();
 
   distill::CminConfig config;
   config.workers = workers;
@@ -192,9 +198,11 @@ int main(int argc, char** argv) {
       seed = std::move(trimmed.seed);
     }
   }
+  const std::uint64_t replay_start = clock.now_ns();
 
   const distill::ReplayReport after = distill::replay_corpus_sharded(
       factory, result.seeds, workers, executor_config);
+  const std::uint64_t replay_end = clock.now_ns();
   const bool identical = preserve_paths ? before.same_coverage(after)
                                         : before.edges == after.edges &&
                                               before.map_fingerprint ==
@@ -208,6 +216,11 @@ int main(int argc, char** argv) {
               result.stats.reduction_ratio() * 100.0, trimmed_bytes);
   print_report("before", before, ",");
   print_report("after", after, ",");
+  std::printf("  \"phase_ms\": {\"crack\": %.1f, \"distill\": %.1f, "
+              "\"replay\": %.1f},\n",
+              static_cast<double>(distill_start - crack_start) / 1e6,
+              static_cast<double>(replay_start - distill_start) / 1e6,
+              static_cast<double>(replay_end - replay_start) / 1e6);
   std::printf("  \"coverage_identical\": %s\n}\n",
               identical ? "true" : "false");
 
