@@ -2,32 +2,47 @@
 // differential oracle, reported as one JSON document for the
 // bench-regression gate.
 //
-// Two arms run the identical deterministic packet batch against the same
+// Three arms run the identical deterministic packet batch against the same
 // protocol stack (libmodbus):
 //
-//   * out-of-process — fuzz::Executor with ExecutorConfig::target_cmd
+//   * fork-per-exec — fuzz::Executor with an out-of-process backend
 //     pointing at the shim binary: every execution pays the shim's fork(),
 //     the pipe round trip, the shm sweep (CoverageMap::adopt_external) and
-//     the fused analysis. `oop_execs_per_sec` is the headline the
-//     baseline floors; the acceptance bar is fork-server execution in the
-//     thousands per second.
+//     the fused analysis. `oop_execs_per_sec` is floored by the baseline;
+//     the acceptance bar is fork-server execution in the thousands per
+//     second.
+//
+//   * persistent — the same backend in persistent mode (ICSFUZZ_LOOP-style
+//     children, packets through shm slots, pipelined run_batch dispatch):
+//     the per-exec fork() disappears and `persistent_execs_per_sec` must
+//     clear both an absolute floor and a relative one
+//     (`persistent_speedup` over fork-per-exec — the order-of-magnitude
+//     win that motivates the mode).
 //
 //   * in-process — the plain Executor on the same packets.
-//     `slowdown_vs_in_process` contextualizes the fork tax, and the two
-//     arms' per-execution trace hashes / edge counts are folded into
-//     checksums that must match exactly (`matches_in_process`) — the
-//     differential oracle as a continuously-gated bench invariant, not
-//     just a test.
+//     `slowdown_vs_in_process` contextualizes the fork tax, and all arms'
+//     per-execution trace hashes / edge counts are folded into checksums
+//     that must match exactly (`matches_in_process`,
+//     `persistent_matches_in_process`) — the differential oracle as a
+//     continuously-gated bench invariant, not just a test. A dedicated
+//     probe additionally gates `state_bleed_free`: the same packet at
+//     iteration 1 and iteration K-1 of one persistent child must produce
+//     identical coverage and observables.
 //
 // Budget knobs:
-//   ICSFUZZ_BENCH_OOP_EXECS   executions per arm (default 12000)
+//   ICSFUZZ_BENCH_OOP_EXECS              executions per fork-per-exec arm
+//                                        (default 12000)
+//   ICSFUZZ_BENCH_OOP_PERSISTENT_EXECS   executions for the persistent arm
+//                                        (default 60000)
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "coverage/coverage_map.hpp"
 #include "exec_oop/oop_executor.hpp"
 #include "fuzzer/executor.hpp"
 #include "model/instantiation.hpp"
@@ -40,6 +55,11 @@ namespace {
 
 using namespace icsfuzz;
 using Clock = std::chrono::steady_clock;
+
+// Generous deadline: on a noisy shared runner a scheduler stall must not
+// turn a healthy exec into a Hang fault and fail the matches_in_process
+// gate (the fault-injection suite covers the deadline path explicitly).
+constexpr int kBenchTimeoutMs = 30000;
 
 /// Deterministic packet pool: every libmodbus model's default instance
 /// plus fixed-seed mutations — the mix a real campaign's steady state
@@ -59,10 +79,24 @@ std::vector<Bytes> make_packets() {
   return packets;
 }
 
+fuzz::ExecutorConfig backend_config(fuzz::BackendKind kind) {
+  fuzz::ExecutorConfig config;
+  config.backend.kind = kind;
+  config.backend.target_cmd = {ICSFUZZ_SHIM_PATH, "--project", "libmodbus"};
+  config.backend.exec_timeout_ms = kBenchTimeoutMs;
+  return config;
+}
+
 struct ArmResult {
   double seconds = 0.0;
   std::uint64_t checksum = 0;
 };
+
+std::uint64_t fold(std::uint64_t checksum, const fuzz::ExecResult& result) {
+  return checksum * 0x100000001B3ULL ^
+         (result.trace_hash + result.trace_edges +
+          (result.new_coverage ? 1 : 0) + result.faults.size());
+}
 
 ArmResult run_arm(fuzz::Executor& executor, ProtocolTarget& target,
                   const std::vector<Bytes>& packets, std::size_t execs) {
@@ -71,12 +105,68 @@ ArmResult run_arm(fuzz::Executor& executor, ProtocolTarget& target,
   const auto start = Clock::now();
   for (std::size_t i = 0; i < execs; ++i) {
     executor.run_into(target, packets[i % packets.size()], result);
-    arm.checksum = arm.checksum * 0x100000001B3ULL ^
-                   (result.trace_hash + result.trace_edges +
-                    (result.new_coverage ? 1 : 0) + result.faults.size());
+    arm.checksum = fold(arm.checksum, result);
   }
   arm.seconds = std::chrono::duration<double>(Clock::now() - start).count();
   return arm;
+}
+
+/// The persistent arm dispatches through run_batch (the pipelined path a
+/// replay workload uses), one full pass over the pool per round — the same
+/// packet sequence as run_arm's `i % packets.size()` indexing.
+ArmResult run_batch_arm(fuzz::Executor& executor, ProtocolTarget& target,
+                        const std::vector<Bytes>& packets,
+                        std::size_t execs) {
+  ArmResult arm;
+  const std::size_t rounds = execs / packets.size();
+  const std::vector<Bytes> remainder(packets.begin(),
+                                     packets.begin() +
+                                         (execs % packets.size()));
+  const auto start = Clock::now();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    executor.run_batch(target, packets,
+                       [&](std::size_t, const fuzz::ExecResult& result) {
+                         arm.checksum = fold(arm.checksum, result);
+                       });
+  }
+  executor.run_batch(target, remainder,
+                     [&](std::size_t, const fuzz::ExecResult& result) {
+                       arm.checksum = fold(arm.checksum, result);
+                     });
+  arm.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return arm;
+}
+
+/// State-bleed probe: the same packet at iteration 1 and iteration K-1 of
+/// one persistent child must be indistinguishable (coverage bytes, events,
+/// response) — any leak across the ICSFUZZ_LOOP iterations breaks it.
+bool probe_state_bleed(const std::vector<Bytes>& packets) {
+  constexpr std::uint32_t kBudget = 8;
+  oop::OopExecutorConfig config;
+  config.target_cmd = {ICSFUZZ_SHIM_PATH, "--project", "libmodbus"};
+  config.exec_timeout_ms = kBenchTimeoutMs;
+  config.persistent_budget = kBudget;
+  oop::OutOfProcessExecutor exec(config);
+
+  const Bytes& probe = packets.front();
+  const oop::OutOfProcessExecutor::Outcome first = exec.run(probe);
+  if (first.status != oop::ExecStatus::kOk || !first.persistent ||
+      first.iteration != 1) {
+    return false;
+  }
+  std::vector<std::uint64_t> first_map(exec.map_words(),
+                                       exec.map_words() + cov::kMapWords);
+  for (std::uint32_t i = 2; i <= kBudget - 2; ++i) {
+    if (exec.run(packets[i % packets.size()]).status != oop::ExecStatus::kOk) {
+      return false;
+    }
+  }
+  const oop::OutOfProcessExecutor::Outcome& again = exec.run(probe);
+  return again.status == oop::ExecStatus::kOk &&
+         again.iteration == kBudget - 1 &&
+         again.aux.events == first.aux.events &&
+         again.aux.response == first.aux.response &&
+         std::memcmp(first_map.data(), exec.map_words(), cov::kMapSize) == 0;
 }
 
 }  // namespace
@@ -84,40 +174,68 @@ ArmResult run_arm(fuzz::Executor& executor, ProtocolTarget& target,
 int main() {
   const std::size_t execs = static_cast<std::size_t>(
       bench::env_u64("ICSFUZZ_BENCH_OOP_EXECS", 12000));
+  const std::size_t persistent_execs = static_cast<std::size_t>(
+      bench::env_u64("ICSFUZZ_BENCH_OOP_PERSISTENT_EXECS", 60000));
   const std::vector<Bytes> packets = make_packets();
 
   const auto factory = proto::target_factory("libmodbus");
   const std::unique_ptr<ProtocolTarget> placeholder = factory();
   const std::unique_ptr<ProtocolTarget> inproc_target = factory();
 
-  fuzz::ExecutorConfig oop_config;
-  oop_config.target_cmd = {ICSFUZZ_SHIM_PATH, "--project", "libmodbus"};
-  // Generous deadline: on a noisy shared runner a scheduler stall must not
-  // turn a healthy exec into a Hang fault and fail the matches_in_process
-  // gate (the fault-injection suite covers the deadline path explicitly).
-  oop_config.oop_exec_timeout_ms = 30000;
-  fuzz::Executor oop_executor(oop_config);
+  fuzz::Executor oop_executor(
+      backend_config(fuzz::BackendKind::kForkPerExec));
+  fuzz::Executor persistent_executor(
+      backend_config(fuzz::BackendKind::kPersistent));
   fuzz::Executor inproc_executor;
 
-  // Warm-up: spawn the fork server, converge buffer capacities, saturate
-  // the virgin maps so both arms measure the steady-state regime.
+  // Warm-up: spawn the fork servers, converge buffer capacities, saturate
+  // the virgin maps so all arms measure the steady-state regime.
   run_arm(oop_executor, *placeholder, packets, 256);
+  run_batch_arm(persistent_executor, *placeholder, packets, 256);
   run_arm(inproc_executor, *inproc_target, packets, 256);
 
   const ArmResult oop = run_arm(oop_executor, *placeholder, packets, execs);
   const ArmResult inproc =
       run_arm(inproc_executor, *inproc_target, packets, execs);
+  const ArmResult persistent =
+      run_batch_arm(persistent_executor, *placeholder, packets,
+                    persistent_execs);
+
+  // The persistent checksum covers a different execution count; compare it
+  // against a fresh in-process replay of the same sequence, with the same
+  // 256-exec warm-up so new_coverage flags line up in the measured region.
+  fuzz::Executor inproc_replay;
+  const std::unique_ptr<ProtocolTarget> replay_target = factory();
+  run_arm(inproc_replay, *replay_target, packets, 256);
+  const ArmResult inproc_persistent_ref =
+      run_arm(inproc_replay, *replay_target, packets, persistent_execs);
 
   const bool matches = oop.checksum == inproc.checksum;
+  const bool persistent_matches =
+      persistent.checksum == inproc_persistent_ref.checksum;
+  const bool state_bleed_free = probe_state_bleed(packets);
   const double oop_rate =
       oop.seconds > 0.0 ? static_cast<double>(execs) / oop.seconds : 0.0;
   const double inproc_rate =
       inproc.seconds > 0.0 ? static_cast<double>(execs) / inproc.seconds
                            : 0.0;
+  const double persistent_rate =
+      persistent.seconds > 0.0
+          ? static_cast<double>(persistent_execs) / persistent.seconds
+          : 0.0;
   const std::uint64_t restarts =
       oop_executor.oop_backend() != nullptr
           ? oop_executor.oop_backend()->server_restarts()
           : 0;
+  const auto* persistent_backend = persistent_executor.oop_backend();
+  const std::uint64_t persistent_restarts =
+      persistent_backend != nullptr ? persistent_backend->server_restarts()
+                                    : 0;
+  const std::uint64_t recycles =
+      persistent_backend != nullptr ? persistent_backend->child_recycles()
+                                    : 0;
+  const bool persistent_active =
+      persistent_backend != nullptr && persistent_backend->persistent_active();
 
   std::printf("{\n  \"bench\": \"oop_exec\",\n");
   std::printf("  \"execs_per_arm\": %zu,\n", execs);
@@ -128,7 +246,25 @@ int main() {
   std::printf("  \"matches_in_process\": %s,\n", matches ? "true" : "false");
   std::printf("  \"server_restarts\": %llu,\n",
               static_cast<unsigned long long>(restarts));
+  std::printf("  \"persistent_execs\": %zu,\n", persistent_execs);
+  std::printf("  \"persistent_execs_per_sec\": %.0f,\n", persistent_rate);
+  std::printf("  \"persistent_speedup\": %.2f,\n",
+              oop_rate > 0.0 ? persistent_rate / oop_rate : 0.0);
+  std::printf("  \"persistent_matches_in_process\": %s,\n",
+              persistent_matches ? "true" : "false");
+  std::printf("  \"persistent_mode_active\": %s,\n",
+              persistent_active ? "true" : "false");
+  std::printf("  \"state_bleed_free\": %s,\n",
+              state_bleed_free ? "true" : "false");
+  std::printf("  \"persistent_server_restarts\": %llu,\n",
+              static_cast<unsigned long long>(persistent_restarts));
+  std::printf("  \"persistent_child_recycles\": %llu,\n",
+              static_cast<unsigned long long>(recycles));
   std::printf("  \"checksum\": %llu\n}\n",
               static_cast<unsigned long long>(oop.checksum & 0xFFFF));
-  return matches && restarts == 0 ? 0 : 1;
+  return matches && persistent_matches && state_bleed_free &&
+                 persistent_active && restarts == 0 &&
+                 persistent_restarts == 0
+             ? 0
+             : 1;
 }

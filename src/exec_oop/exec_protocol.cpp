@@ -127,6 +127,43 @@ bool aux_load(const std::uint8_t* aux, std::size_t aux_size, AuxResult& out) {
   return true;
 }
 
+void ctl_store(std::uint8_t* segment, const CtlBlock& ctl) {
+  std::uint8_t* block = segment + kCtlBlockOffset;
+  store<std::uint32_t>(block, 0, ctl.slot);
+  store<std::uint32_t>(block, 4, ctl.budget);
+  store<std::uint64_t>(block, 8, ctl.exec_index);
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+CtlBlock ctl_load(const std::uint8_t* segment) {
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const std::uint8_t* block = segment + kCtlBlockOffset;
+  CtlBlock ctl;
+  ctl.slot = load<std::uint32_t>(block, 0);
+  ctl.budget = load<std::uint32_t>(block, 4);
+  ctl.exec_index = load<std::uint64_t>(block, 8);
+  return ctl;
+}
+
+bool slot_store_packet(std::uint8_t* segment, std::uint32_t slot,
+                       ByteSpan packet) {
+  if (packet.size() > kSlotTestCaseBytes - 4) return false;
+  std::uint8_t* buffer = segment + slot_offset(slot) + kSlotTestCaseOffset;
+  store<std::uint32_t>(buffer, 0, static_cast<std::uint32_t>(packet.size()));
+  if (!packet.empty()) {
+    std::memcpy(buffer + 4, packet.data(), packet.size());
+  }
+  return true;
+}
+
+ByteSpan slot_load_packet(const std::uint8_t* segment, std::uint32_t slot) {
+  const std::uint8_t* buffer =
+      segment + slot_offset(slot) + kSlotTestCaseOffset;
+  std::uint32_t length = load<std::uint32_t>(buffer, 0);
+  if (length > kSlotTestCaseBytes - 4) length = 0;  // corrupt header
+  return ByteSpan(buffer + 4, length);
+}
+
 bool write_full(int fd, const void* data, std::size_t size) {
   const auto* bytes = static_cast<const std::uint8_t*>(data);
   std::size_t written = 0;

@@ -18,22 +18,54 @@
 // fully written block and a missing magic means the child never finished
 // (killed, crashed, hung).
 //
-// Pipe protocol (classic AFL two-pipe handshake, enriched):
+// Pipe protocol (classic AFL two-pipe handshake, enriched, versioned):
 //
 //   spawn:    shim dup2s the control pipe onto fd kCtlFd and the status
-//             pipe onto fd kStFd, then writes kHelloMagic on kStFd.
-//   per exec: executor writes [u32 timeout_ms][u32 packet_len][packet] on
-//             kCtlFd. The shim clears the segment, forks, arms a
-//             timeout_ms interval timer, waitpid()s the child (SIGKILLing
-//             it when the timer fires first — the shim owns the pid, so
-//             the kill can never hit a recycled pid, and a child that
-//             finished just before the deadline is reaped normally, not
-//             misreported), then writes [i32 wstatus][u8 timed_out] on
-//             kStFd. The executor's own read deadline (timeout_ms plus
-//             a grace margin) only guards against the server itself
-//             wedging, which is reported as server-lost, not as a hang.
-//   shutdown: executor closes the control pipe; the shim's packet read
-//             sees EOF and exits cleanly.
+//             pipe onto fd kStFd, then handshakes on kStFd. A v1 shim
+//             writes the bare [u32 kHelloMagic]; a v2 shim writes
+//             [u32 kHelloMagicV2][u32 caps] where caps advertises optional
+//             features (kCapPersistent). The client accepts either hello
+//             and downgrades its request format to what the server speaks,
+//             which is how a new fuzzer degrades gracefully to
+//             fork-per-exec against an old shim binary.
+//   per exec: v1 request  [u32 timeout_ms][u32 packet_len][packet]
+//             v2 request  [u32 timeout_ms][u32 control][u32 packet_len]
+//                         [packet], where control == 0 keeps the v1
+//                         fork-per-exec semantics and a persistent control
+//                         word (encode_control) routes the execution into
+//                         the persistent child over a shm test-case slot
+//                         (packet_len is then 0 — the packet travels
+//                         through the segment, not the pipe).
+//             The shim runs the execution (fork per exec, or one iteration
+//             of the persistent child's loop), SIGKILLing the child when
+//             its timeout_ms interval timer fires first — the shim owns
+//             the pid, so the kill can never hit a recycled pid — then
+//             replies on kStFd:
+//             v1 reply  [i32 wstatus][u8 timed_out]
+//             v2 reply  [i32 wstatus][u32 flags][u32 iteration], flags
+//                       carrying timed-out / ran-persistent / recycled
+//                       (+ the recycle reason), iteration saying which
+//                       "N of K" of the serving child this execution was.
+//             The executor's own read deadline (timeout_ms plus a grace
+//             margin) only guards against the server itself wedging,
+//             which is reported as server-lost, not as a hang.
+//   shutdown: executor closes the control pipe; the shim's request read
+//             sees EOF, reaps any stopped persistent child and exits
+//             cleanly (exit 0 — an *orderly* shutdown the client tells
+//             apart from a lost server).
+//
+// Persistent mode (v2 + kCapPersistent): the shim forks one long-lived
+// child that loops up to K executions (the request's budget). Between
+// iterations the child raises SIGSTOP (AFL deferred/persistent-mode
+// convention); the shim observes the stop via waitpid(WUNTRACED), which is
+// the "iteration complete" signal, and SIGCONTs it when the next request
+// arrives. The child _exit(0)s at iteration K (budget exhaustion) and the
+// shim re-forks on the next request — likewise after a crash or a
+// deadline kill, so one bad execution never poisons the loop. Each
+// iteration's observables land in that request's shm *slot* (its own map,
+// aux block and test-case buffer), so the client can pipeline up to
+// kNumSlots requests into the pipe without a round-trip stall per exec
+// and adopt each slot's results as the in-order replies drain.
 #pragma once
 
 #include <cstdint>
@@ -51,16 +83,121 @@ namespace icsfuzz::oop {
 inline constexpr int kCtlFd = 198;
 inline constexpr int kStFd = 199;
 
-/// First word the shim writes after attaching the segment ("ICSF").
+/// First word the shim writes after attaching the segment ("ICSF") —
+/// protocol v1: fork-per-exec only, no capability word.
 inline constexpr std::uint32_t kHelloMagic = 0x49435346;
+
+/// v2 hello magic ("ICS2"): followed by a u32 capability word.
+inline constexpr std::uint32_t kHelloMagicV2 = 0x49435332;
+
+/// Capability bits in the v2 hello.
+inline constexpr std::uint32_t kCapPersistent = 1u << 0;
 
 /// Aux-block completion magic ("OOP!"), stored last by the child.
 inline constexpr std::uint32_t kAuxCompleteMagic = 0x4F4F5021;
 
-/// Segment geometry: the coverage map followed by the aux result block.
+/// v1 segment geometry: the coverage map followed by the aux result block.
+/// This region still serves every fork-per-exec execution (and is all a v1
+/// shim ever touches).
 inline constexpr std::size_t kAuxOffset = cov::kMapSize;
 inline constexpr std::size_t kAuxBytes = std::size_t{1} << 16;
 inline constexpr std::size_t kSegmentBytes = kAuxOffset + kAuxBytes;
+
+/// v2 slot region, appended after the v1 region: kNumSlots independent
+/// execution slots, each with its own coverage map, aux block and
+/// test-case buffer, so up to kNumSlots persistent-mode requests can be in
+/// flight (pipelined into the pipe) with no shared mutable state between
+/// them.
+inline constexpr std::uint32_t kNumSlots = 4;
+inline constexpr std::size_t kSlotAuxOffset = cov::kMapSize;
+inline constexpr std::size_t kSlotTestCaseOffset = kSlotAuxOffset + kAuxBytes;
+inline constexpr std::size_t kSlotTestCaseBytes = std::size_t{1} << 16;
+inline constexpr std::size_t kSlotBytes =
+    kSlotTestCaseOffset + kSlotTestCaseBytes;
+inline constexpr std::size_t kSlotsOffset = kSegmentBytes;
+
+/// Per-iteration control block the shim writes before waking (or forking)
+/// the persistent child: which slot this iteration serves, the loop budget
+/// K, and the campaign-global execution index (fault-injection hooks key
+/// off it, mirroring the fork-per-exec plan semantics).
+inline constexpr std::size_t kCtlBlockOffset =
+    kSlotsOffset + std::size_t{kNumSlots} * kSlotBytes;
+inline constexpr std::size_t kCtlBlockBytes = 64;
+
+/// Full v2 segment size (the client always creates this much; a v1 shim
+/// simply never looks past kSegmentBytes).
+inline constexpr std::size_t kSegmentBytesV2 = kCtlBlockOffset + kCtlBlockBytes;
+
+/// Byte offset of persistent slot `slot` inside the segment.
+[[nodiscard]] constexpr std::size_t slot_offset(std::uint32_t slot) {
+  return kSlotsOffset + std::size_t{slot} * kSlotBytes;
+}
+
+// -- v2 request control word. ----------------------------------------------
+//
+// 0 = v1 fork-per-exec semantics (packet on the pipe, results in the v1
+// region). Otherwise: bits [0,4) the slot index, bit 4 the persistent
+// marker, bits [8,32) the iteration budget K.
+inline constexpr std::uint32_t kCtlPersistent = 1u << 4;
+inline constexpr std::uint32_t kCtlSlotMask = 0xF;
+inline constexpr std::uint32_t kCtlBudgetShift = 8;
+
+[[nodiscard]] constexpr std::uint32_t encode_control(std::uint32_t slot,
+                                                     std::uint32_t budget) {
+  return kCtlPersistent | (slot & kCtlSlotMask) |
+         (budget << kCtlBudgetShift);
+}
+[[nodiscard]] constexpr std::uint32_t control_slot(std::uint32_t control) {
+  return control & kCtlSlotMask;
+}
+[[nodiscard]] constexpr std::uint32_t control_budget(std::uint32_t control) {
+  return control >> kCtlBudgetShift;
+}
+
+// -- v2 reply flags. -------------------------------------------------------
+inline constexpr std::uint32_t kReplyTimedOut = 1u << 0;
+/// The execution ran inside the persistent child (not a fresh fork).
+inline constexpr std::uint32_t kReplyPersistent = 1u << 1;
+/// The serving child is gone after this execution; the next request
+/// re-forks. The recycle *reason* sits in bits [8,16).
+inline constexpr std::uint32_t kReplyChildRecycled = 1u << 2;
+inline constexpr std::uint32_t kReplyRecycleShift = 8;
+enum class RecycleReason : std::uint8_t {
+  kNone = 0,
+  kBudget,  ///< orderly _exit(0) at iteration K
+  kCrash,   ///< signal / abnormal exit mid-iteration
+  kHang,    ///< deadline SIGKILL
+};
+[[nodiscard]] constexpr std::uint32_t encode_recycle(RecycleReason reason) {
+  return kReplyChildRecycled |
+         (static_cast<std::uint32_t>(reason) << kReplyRecycleShift);
+}
+[[nodiscard]] constexpr RecycleReason reply_recycle_reason(
+    std::uint32_t flags) {
+  return static_cast<RecycleReason>((flags >> kReplyRecycleShift) & 0xFF);
+}
+
+/// The per-iteration control block (kCtlBlockOffset).
+struct CtlBlock {
+  std::uint32_t slot = 0;
+  std::uint32_t budget = 0;
+  std::uint64_t exec_index = 0;
+};
+
+/// Publishes `ctl` into the segment (shim side, before fork/SIGCONT) /
+/// reads it back (child side, after resuming). The kernel round trip of
+/// the wakeup orders the accesses; the fences make the pairing explicit.
+void ctl_store(std::uint8_t* segment, const CtlBlock& ctl);
+CtlBlock ctl_load(const std::uint8_t* segment);
+
+/// Writes `packet` into slot `slot`'s test-case buffer as [u32 len][bytes]
+/// (client side). False when the packet exceeds the buffer — the caller
+/// must fall back to a fork-per-exec request over the pipe.
+bool slot_store_packet(std::uint8_t* segment, std::uint32_t slot,
+                       ByteSpan packet);
+
+/// The packet span stored in slot `slot` (persistent-child side).
+ByteSpan slot_load_packet(const std::uint8_t* segment, std::uint32_t slot);
 
 /// Environment variables carrying the segment to the exec'd shim.
 inline constexpr const char* kShmNameEnv = "ICSFUZZ_OOP_SHM";

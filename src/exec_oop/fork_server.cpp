@@ -63,6 +63,16 @@ bool same_env_name(const char* entry, const std::string& other) {
   return std::strncmp(entry, other.c_str(), eq + 1) == 0;
 }
 
+/// Pipe-I/O deadline for one request/reply: the exec budget plus a grace
+/// margin (the shim owns the real deadline; ours only catches a wedged
+/// server). Negative for an unbounded exec budget.
+int io_deadline_for(int timeout_ms) {
+  if (timeout_ms <= 0) return -1;
+  return timeout_ms > std::numeric_limits<int>::max() - 5000
+             ? std::numeric_limits<int>::max()
+             : timeout_ms + 5000;
+}
+
 }  // namespace
 
 ForkServer::~ForkServer() { stop(); }
@@ -72,6 +82,7 @@ bool ForkServer::start(const std::vector<std::string>& argv,
                        int handshake_timeout_ms) {
   stop();
   error_.clear();
+  last_failure_ = RunOutcome::Kind::kServerLost;
   if (argv.empty()) {
     error_ = "empty target command";
     return false;
@@ -169,10 +180,24 @@ bool ForkServer::start(const std::vector<std::string>& argv,
   ::fcntl(ctl_fd_, F_SETFL, ::fcntl(ctl_fd_, F_GETFL) | O_NONBLOCK);
   server_pid_ = pid;
 
+  // Versioned hello: a v1 server sends the bare magic (fork-per-exec
+  // only), a v2 server follows its magic with a capability word. Keeping
+  // both accepted is what lets a new fuzzer drive an old shim binary —
+  // it simply never gets the persistent capability and degrades to
+  // fork-per-exec requests in the v1 wire format.
+  version_ = 0;
+  caps_ = 0;
   std::uint32_t hello = 0;
-  const ReadStatus status =
+  ReadStatus status =
       read_full_deadline(st_fd_, &hello, sizeof(hello), handshake_timeout_ms);
-  if (status != ReadStatus::kOk || hello != kHelloMagic) {
+  if (status == ReadStatus::kOk && hello == kHelloMagicV2) {
+    status = read_full_deadline(st_fd_, &caps_, sizeof(caps_),
+                                handshake_timeout_ms);
+    if (status == ReadStatus::kOk) version_ = 2;
+  } else if (status == ReadStatus::kOk && hello == kHelloMagic) {
+    version_ = 1;
+  }
+  if (version_ == 0) {
     error_ = status == ReadStatus::kTimeout
                  ? "fork server handshake timed out"
                  : (status == ReadStatus::kClosed
@@ -184,30 +209,56 @@ bool ForkServer::start(const std::vector<std::string>& argv,
   return true;
 }
 
-ForkServer::RunOutcome ForkServer::run(ByteSpan packet, int timeout_ms) {
-  RunOutcome outcome;
-  if (!running()) {
-    error_ = "fork server not running";
-    return outcome;  // kServerLost
+ForkServer::RunOutcome::Kind ForkServer::classify_server_gone() {
+  // EOF can race the exit status by a hair (the pipe ends close inside
+  // the exiting process before it turns waitable), so poll briefly. An
+  // orderly exit (status 0 — the shim retired after its final execution,
+  // or was asked to shut down) is reaped here and must NOT be booked as a
+  // lost server; anything else keeps the kServerLost verdict and leaves
+  // stop() to do the killing.
+  for (int spin = 0; server_pid_ > 0 && spin < 500; ++spin) {
+    int wstatus = 0;
+    const pid_t reaped = ::waitpid(server_pid_, &wstatus, WNOHANG);
+    if (reaped == server_pid_) {
+      server_pid_ = -1;  // already reaped: stop() must not kill this pid
+      if (ctl_fd_ >= 0) ::close(ctl_fd_);
+      if (st_fd_ >= 0) ::close(st_fd_);
+      ctl_fd_ = st_fd_ = -1;
+      last_failure_ = WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0
+                          ? RunOutcome::Kind::kServerExited
+                          : RunOutcome::Kind::kServerLost;
+      return last_failure_;
+    }
+    if (reaped != 0) break;  // ECHILD or error: treat as lost
+    ::usleep(1000);
   }
+  last_failure_ = RunOutcome::Kind::kServerLost;
+  return last_failure_;
+}
 
+bool ForkServer::write_request(std::uint32_t control, ByteSpan packet,
+                               int timeout_ms, int io_deadline_ms) {
+  if (!running()) {
+    // Keep last_failure_ as classify_server_gone() left it: a caller that
+    // races a just-retired server still sees kServerExited, not a loss.
+    error_ = "fork server not running";
+    return false;
+  }
   // timeout_ms <= 0 disables the per-exec wall-clock deadline end to end:
   // the shim disarms its interval timer and this side waits indefinitely
   // — a wedged server is then caught only by pipe EOF (the caller opted
   // out of wall-clock limits).
-  const bool unbounded = timeout_ms <= 0;
   const std::uint32_t wire_timeout =
-      unbounded ? 0 : static_cast<std::uint32_t>(timeout_ms);
-  const int io_deadline_ms =
-      unbounded ? -1
-                : (timeout_ms > std::numeric_limits<int>::max() - 5000
-                       ? std::numeric_limits<int>::max()
-                       : timeout_ms + 5000);
-
+      timeout_ms <= 0 ? 0 : static_cast<std::uint32_t>(timeout_ms);
   const std::uint32_t length = static_cast<std::uint32_t>(packet.size());
+
   ReadStatus status = write_full_deadline(ctl_fd_, &wire_timeout,
                                           sizeof(wire_timeout),
                                           io_deadline_ms);
+  if (status == ReadStatus::kOk && version_ >= 2) {
+    status = write_full_deadline(ctl_fd_, &control, sizeof(control),
+                                 io_deadline_ms);
+  }
   if (status == ReadStatus::kOk) {
     status = write_full_deadline(ctl_fd_, &length, sizeof(length),
                                  io_deadline_ms);
@@ -217,31 +268,68 @@ ForkServer::RunOutcome ForkServer::run(ByteSpan packet, int timeout_ms) {
                                  io_deadline_ms);
   }
   if (status != ReadStatus::kOk) {
-    error_ = status == ReadStatus::kTimeout
-                 ? "fork server stopped draining the request pipe"
-                 : "fork server pipe write failed (server gone?)";
-    return outcome;  // kServerLost
+    if (status == ReadStatus::kTimeout) {
+      error_ = "fork server stopped draining the request pipe";
+      last_failure_ = RunOutcome::Kind::kServerLost;
+    } else {
+      error_ = "fork server pipe write failed (server gone?)";
+      classify_server_gone();
+    }
+    return false;
+  }
+  return true;
+}
+
+bool ForkServer::submit(std::uint32_t control, int timeout_ms) {
+  return write_request(control, {}, timeout_ms, io_deadline_for(timeout_ms));
+}
+
+ForkServer::RunOutcome ForkServer::await_reply(int io_deadline_ms) {
+  RunOutcome outcome;
+  if (st_fd_ < 0) {
+    outcome.kind = last_failure_;
+    return outcome;
   }
 
   // The shim owns the per-exec deadline (it SIGKILLs its own child when
   // the timer fires and reports timed_out) — our read deadline only has
   // to catch the server itself wedging, so it gets a generous grace
-  // margin on top of the exec budget and expiry means server-lost, never
+  // margin on top of the exec budget and expiry means server-gone, never
   // a hang verdict.
   std::int32_t wstatus = 0;
-  std::uint8_t timed_out = 0;
-  status =
+  std::uint32_t flags = 0;
+  ReadStatus status =
       read_full_deadline(st_fd_, &wstatus, sizeof(wstatus), io_deadline_ms);
-  if (status == ReadStatus::kOk) {
-    status = read_full_deadline(st_fd_, &timed_out, sizeof(timed_out),
-                                io_deadline_ms);
+  if (version_ >= 2) {
+    if (status == ReadStatus::kOk) {
+      status = read_full_deadline(st_fd_, &flags, sizeof(flags),
+                                  io_deadline_ms);
+    }
+    if (status == ReadStatus::kOk) {
+      status = read_full_deadline(st_fd_, &outcome.iteration,
+                                  sizeof(outcome.iteration), io_deadline_ms);
+    }
+  } else {
+    std::uint8_t timed_out = 0;
+    if (status == ReadStatus::kOk) {
+      status = read_full_deadline(st_fd_, &timed_out, sizeof(timed_out),
+                                  io_deadline_ms);
+    }
+    if (timed_out != 0) flags |= kReplyTimedOut;
   }
   if (status != ReadStatus::kOk) {
     error_ = "fork server died mid-execution";
-    return outcome;  // kServerLost
+    outcome.kind = status == ReadStatus::kClosed
+                       ? classify_server_gone()
+                       : RunOutcome::Kind::kServerLost;
+    return outcome;
   }
 
-  if (timed_out != 0) {
+  outcome.persistent = (flags & kReplyPersistent) != 0;
+  outcome.recycled = (flags & kReplyChildRecycled) != 0
+                         ? reply_recycle_reason(flags)
+                         : RecycleReason::kNone;
+  if ((flags & kReplyTimedOut) != 0) {
     outcome.kind = RunOutcome::Kind::kTimeout;
     outcome.term_signal = WIFSIGNALED(wstatus) ? WTERMSIG(wstatus) : SIGKILL;
   } else if (WIFSIGNALED(wstatus)) {
@@ -252,6 +340,27 @@ ForkServer::RunOutcome ForkServer::run(ByteSpan packet, int timeout_ms) {
     outcome.exit_code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : 0;
   }
   return outcome;
+}
+
+ForkServer::RunOutcome ForkServer::run(ByteSpan packet, int timeout_ms) {
+  const int io_deadline_ms = io_deadline_for(timeout_ms);
+  if (!write_request(0, packet, timeout_ms, io_deadline_ms)) {
+    RunOutcome outcome;
+    outcome.kind = last_failure_;
+    return outcome;
+  }
+  return await_reply(io_deadline_ms);
+}
+
+ForkServer::RunOutcome ForkServer::run_persistent(std::uint32_t control,
+                                                  int timeout_ms) {
+  const int io_deadline_ms = io_deadline_for(timeout_ms);
+  if (!write_request(control, {}, timeout_ms, io_deadline_ms)) {
+    RunOutcome outcome;
+    outcome.kind = last_failure_;
+    return outcome;
+  }
+  return await_reply(io_deadline_ms);
 }
 
 void ForkServer::stop() {

@@ -1,5 +1,6 @@
 #include "exec_oop/oop_executor.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace icsfuzz::oop {
@@ -22,13 +23,16 @@ OutOfProcessExecutor::~OutOfProcessExecutor() { shutdown(); }
 void OutOfProcessExecutor::shutdown() {
   server_.stop();
   segment_ = ShmSegment();
+  map_offset_ = 0;
 }
 
 bool OutOfProcessExecutor::spawn() {
   server_.stop();
   // A fresh segment per spawn: restart never races a peer's shm_unlink of
   // the previous name, and a crashed child can leave no stale bytes behind.
-  segment_ = ShmSegment::create(kSegmentBytes);
+  // Always the v2 size — a v1 shim validates only the v1 prefix it uses,
+  // so the extra slot region is invisible to it.
+  segment_ = ShmSegment::create(kSegmentBytesV2);
   if (!segment_.valid()) {
     error_ = "shm segment creation failed: " + segment_.error();
     return false;
@@ -41,6 +45,7 @@ bool OutOfProcessExecutor::spawn() {
     return false;
   }
   std::memset(segment_.data(), 0, segment_.size());
+  map_offset_ = 0;
 
   const std::vector<std::string> extra_env = {
       std::string(kShmNameEnv) + "=" + segment_.name(),
@@ -69,62 +74,189 @@ bool OutOfProcessExecutor::ensure_started() {
   return true;
 }
 
+void OutOfProcessExecutor::note_server_gone(ForkServer::RunOutcome::Kind kind) {
+  if (kind == ForkServer::RunOutcome::Kind::kServerExited) {
+    ++orderly_exits_;
+  } else {
+    error_ = server_.error();
+  }
+  server_.stop();
+}
+
+void OutOfProcessExecutor::classify(const ForkServer::RunOutcome& raw,
+                                    std::size_t map_offset,
+                                    std::size_t aux_offset, Outcome& out) {
+  out.status = ExecStatus::kServerLost;
+  out.term_signal = 0;
+  out.exit_code = 0;
+  out.persistent = raw.persistent;
+  out.iteration = raw.iteration;
+  out.child_recycled = raw.recycled != RecycleReason::kNone;
+  if (out.child_recycled) ++child_recycles_;
+  map_offset_ = map_offset;
+
+  const bool aux_complete =
+      aux_load(segment_.data() + aux_offset, kAuxBytes, out.aux);
+  switch (raw.kind) {
+    case ForkServer::RunOutcome::Kind::kTimeout:
+      out.status = ExecStatus::kHang;
+      out.term_signal = raw.term_signal;
+      break;
+    case ForkServer::RunOutcome::Kind::kSignaled:
+      out.status = ExecStatus::kCrash;
+      out.term_signal = raw.term_signal;
+      break;
+    case ForkServer::RunOutcome::Kind::kExited:
+      if (raw.exit_code == 0 && aux_complete) {
+        out.status = ExecStatus::kOk;
+      } else {
+        // A nonzero exit — or a clean exit that never finished the aux
+        // block — is an abnormal termination mid-execution.
+        out.status = ExecStatus::kCrash;
+        out.exit_code = raw.exit_code;
+      }
+      break;
+    case ForkServer::RunOutcome::Kind::kServerExited:
+    case ForkServer::RunOutcome::Kind::kServerLost:
+      break;  // callers handle server-gone before classify()
+  }
+}
+
+void OutOfProcessExecutor::fail_outcome(Outcome& out) {
+  // Both attempts failed: kServerLost with error_ describing why, and a
+  // zeroed coverage window (the caller adopts an empty trace).
+  if (segment_.valid()) {
+    std::memset(segment_.data(), 0, segment_.size());
+  }
+  out.status = ExecStatus::kServerLost;
+  out.term_signal = 0;
+  out.exit_code = 0;
+  out.persistent = false;
+  out.iteration = 0;
+  out.child_recycled = false;
+  out.aux.events = 0;
+  out.aux.faults.clear();
+  out.aux.response.clear();
+  out.aux.response_truncated = false;
+  out.aux.faults_truncated = false;
+  map_offset_ = 0;
+}
+
 const OutOfProcessExecutor::Outcome& OutOfProcessExecutor::run(
     ByteSpan packet) {
   Outcome& outcome = outcome_;
-  outcome.status = ExecStatus::kServerLost;
-  outcome.term_signal = 0;
-  outcome.exit_code = 0;
-
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (attempt == 1) ++retries_;
     if (!ensure_started()) continue;  // second attempt retries the spawn
 
-    const ForkServer::RunOutcome raw =
-        server_.run(packet, config_.exec_timeout_ms);
-    if (raw.kind == ForkServer::RunOutcome::Kind::kServerLost) {
-      error_ = server_.error();
-      server_.stop();
-      continue;  // respawn + retry once
+    ForkServer::RunOutcome raw;
+    std::size_t map_offset = 0;
+    std::size_t aux_offset = kAuxOffset;
+    // Persistent single-exec path: packet through slot 0, oversized
+    // packets (rare — > kSlotTestCaseBytes) fall back to the v1-style
+    // pipe request for this one execution.
+    if (persistent_active() && slot_store_packet(segment_.data(), 0, packet)) {
+      raw = server_.run_persistent(
+          encode_control(0, config_.persistent_budget),
+          config_.exec_timeout_ms);
+      map_offset = slot_offset(0);
+      aux_offset = slot_offset(0) + kSlotAuxOffset;
+    } else {
+      raw = server_.run(packet, config_.exec_timeout_ms);
     }
 
-    const bool aux_complete =
-        aux_load(segment_.data() + kAuxOffset, kAuxBytes, outcome.aux);
-    switch (raw.kind) {
-      case ForkServer::RunOutcome::Kind::kTimeout:
-        outcome.status = ExecStatus::kHang;
-        outcome.term_signal = raw.term_signal;
-        break;
-      case ForkServer::RunOutcome::Kind::kSignaled:
-        outcome.status = ExecStatus::kCrash;
-        outcome.term_signal = raw.term_signal;
-        break;
-      case ForkServer::RunOutcome::Kind::kExited:
-        if (raw.exit_code == 0 && aux_complete) {
-          outcome.status = ExecStatus::kOk;
-        } else {
-          // A nonzero exit — or a clean exit that never finished the aux
-          // block — is an abnormal termination mid-execution.
-          outcome.status = ExecStatus::kCrash;
-          outcome.exit_code = raw.exit_code;
-        }
-        break;
-      case ForkServer::RunOutcome::Kind::kServerLost:
-        break;  // unreachable (handled above)
+    if (raw.kind == ForkServer::RunOutcome::Kind::kServerExited ||
+        raw.kind == ForkServer::RunOutcome::Kind::kServerLost) {
+      note_server_gone(raw.kind);
+      continue;  // respawn + retry once
     }
+    classify(raw, map_offset, aux_offset, outcome);
     return outcome;
   }
-  // Both attempts failed: leave kServerLost with error_ describing why,
-  // and a zeroed coverage window (the caller adopts an empty trace).
-  if (segment_.valid()) {
-    std::memset(segment_.data(), 0, segment_.size());
-  }
-  outcome.aux.events = 0;
-  outcome.aux.faults.clear();
-  outcome.aux.response.clear();
-  outcome.aux.response_truncated = false;
-  outcome.aux.faults_truncated = false;
+  fail_outcome(outcome);
   return outcome;
+}
+
+std::size_t OutOfProcessExecutor::run_batch(
+    const std::vector<Bytes>& packets,
+    const std::function<void(std::size_t, const Outcome&)>& on_outcome) {
+  std::size_t next_submit = 0;   // next packet to put on the wire
+  std::size_t next_deliver = 0;  // next packet whose reply we owe
+
+  while (next_deliver < packets.size()) {
+    if (!persistent_active() || !ensure_started()) {
+      // No pipelining available (fork-per-exec, v1 server, or the server
+      // is down): drain the remainder through the sequential path, which
+      // owns the respawn/retry policy.
+      for (; next_deliver < packets.size(); ++next_deliver) {
+        on_outcome(next_deliver, run(ByteSpan(packets[next_deliver])));
+      }
+      break;
+    }
+
+    // Fill the window: one in-flight request per shm slot. Replies drain
+    // strictly in submission order, so slot i%kNumSlots is never reused
+    // before its reply has been consumed.
+    bool submit_failed = false;
+    while (!submit_failed && next_submit < packets.size() &&
+           next_submit - next_deliver < kNumSlots) {
+      const std::uint32_t slot =
+          static_cast<std::uint32_t>(next_submit % kNumSlots);
+      if (!slot_store_packet(segment_.data(), slot,
+                             ByteSpan(packets[next_submit]))) {
+        break;  // oversized: drain in-flight first, then run() it inline
+      }
+      if (!server_.submit(encode_control(slot, config_.persistent_budget),
+                          config_.exec_timeout_ms)) {
+        submit_failed = true;
+        break;
+      }
+      ++next_submit;
+    }
+
+    if (next_submit == next_deliver) {
+      if (submit_failed) {
+        // Request never went out: nothing in flight to drain. Respawn via
+        // the sequential path (which counts the retry) and resubmit.
+        note_server_gone(server_.last_failure());
+        on_outcome(next_deliver, run(ByteSpan(packets[next_deliver])));
+        ++next_deliver;
+        next_submit = next_deliver;
+      } else {
+        // Oversized packet at the head of the queue.
+        on_outcome(next_deliver, run(ByteSpan(packets[next_deliver])));
+        ++next_deliver;
+        next_submit = next_deliver;
+      }
+      continue;
+    }
+
+    // Drain one reply. The deadline covers every exec queued ahead of it
+    // in the worst case, plus IO grace.
+    const int deadline =
+        config_.exec_timeout_ms > 0
+            ? config_.exec_timeout_ms * static_cast<int>(kNumSlots) + 5000
+            : -1;
+    const ForkServer::RunOutcome raw = server_.await_reply(deadline);
+    if (raw.kind == ForkServer::RunOutcome::Kind::kServerExited ||
+        raw.kind == ForkServer::RunOutcome::Kind::kServerLost) {
+      // Every in-flight reply is gone with the server. Re-run the whole
+      // window sequentially (run() respawns and retries).
+      note_server_gone(raw.kind);
+      for (; next_deliver < next_submit; ++next_deliver) {
+        on_outcome(next_deliver, run(ByteSpan(packets[next_deliver])));
+      }
+      next_submit = next_deliver;
+      continue;
+    }
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(next_deliver % kNumSlots);
+    classify(raw, slot_offset(slot), slot_offset(slot) + kSlotAuxOffset,
+             outcome_);
+    on_outcome(next_deliver, outcome_);
+    ++next_deliver;
+  }
+  return packets.size();
 }
 
 }  // namespace icsfuzz::oop

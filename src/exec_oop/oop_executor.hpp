@@ -10,14 +10,28 @@
 // to in-process execution — the differential oracle test_exec_oop.cpp
 // asserts exactly that.
 //
+// Two execution modes behind one run() call:
+//   * fork-per-exec — one fork() per packet (protocol v1 semantics; the
+//     only mode a v1 shim offers).
+//   * persistent    — `persistent_budget` > 1 and the server advertises
+//     kCapPersistent: packets travel through shm test-case slots into a
+//     long-lived child that loops K executions per process, which removes
+//     the per-exec fork() and recovers an order of magnitude of
+//     throughput. run_batch() additionally pipelines up to kNumSlots
+//     requests so the round-trip stall disappears from replay-style
+//     workloads. An old (v1) server silently degrades the executor to
+//     fork-per-exec — persistent_active() reports what actually runs.
+//
 // Robustness: a lost fork server (crashed, killed, never handshaken) is
 // respawned transparently with a fresh shm segment and the packet retried
-// once; a target that cannot be started at all degrades every run to
-// kServerLost without throwing, so campaigns report the failure instead of
-// dying.
+// once; an *orderly* server exit (status 0 — e.g. periodic retirement) is
+// respawned the same way but never booked as a lost server; a target that
+// cannot be started at all degrades every run to kServerLost without
+// throwing, so campaigns report the failure instead of dying.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +61,10 @@ struct OopExecutorConfig {
   int exec_timeout_ms = 1000;
   /// Deadline for the spawn handshake.
   int handshake_timeout_ms = 5000;
+  /// Executions per persistent child (the ICSFUZZ_LOOP budget K). <= 1
+  /// keeps fork-per-exec; larger values request persistent mode, which
+  /// engages when the server also advertises the capability.
+  std::uint32_t persistent_budget = 0;
 };
 
 class OutOfProcessExecutor {
@@ -57,6 +75,13 @@ class OutOfProcessExecutor {
     int term_signal = 0;
     /// Child exit code (kCrash with a nonzero abnormal exit), 0 otherwise.
     int exit_code = 0;
+    /// The execution ran inside the persistent child.
+    bool persistent = false;
+    /// 1-based iteration "N of K" within the serving child (persistent).
+    std::uint32_t iteration = 0;
+    /// The serving child was recycled after this execution (persistent:
+    /// budget exhaustion, crash, or hang — see status for which).
+    bool child_recycled = false;
     /// Aux-block observables; valid (and exact) only for kOk.
     AuxResult aux;
   };
@@ -76,17 +101,46 @@ class OutOfProcessExecutor {
   /// capacities reused), valid until the next call.
   const Outcome& run(ByteSpan packet);
 
-  /// The shm coverage words the last run produced (kMapWords uint64s),
-  /// ready for CoverageMap::adopt_external. Null until the server started.
+  /// Pipelined batch dispatch (replay/bench/distill workloads — the
+  /// adaptive fuzzing loop stays per-exec because generation depends on
+  /// each result). Up to kNumSlots requests ride the pipe concurrently in
+  /// persistent mode; outcomes are delivered strictly in packet order,
+  /// each valid only for the duration of its callback (the scratch is
+  /// reused). Falls back to sequential run() calls when persistent mode
+  /// is inactive. Returns the number of packets executed (always
+  /// packets.size(); failures surface per-outcome, not as early exits).
+  std::size_t run_batch(
+      const std::vector<Bytes>& packets,
+      const std::function<void(std::size_t, const Outcome&)>& on_outcome);
+
+  /// The shm coverage words the last outcome's execution produced
+  /// (kMapWords uint64s), ready for CoverageMap::adopt_external — the v1
+  /// map region or the persistent slot that served the execution. Null
+  /// until the server started. During run_batch this advances with each
+  /// callback.
   [[nodiscard]] const std::uint64_t* map_words() const {
     return segment_.valid()
-               ? reinterpret_cast<const std::uint64_t*>(segment_.data())
+               ? reinterpret_cast<const std::uint64_t*>(segment_.data() +
+                                                        map_offset_)
                : nullptr;
+  }
+
+  /// Persistent mode requested by the config (budget > 1).
+  [[nodiscard]] bool persistent_requested() const {
+    return config_.persistent_budget > 1;
+  }
+  /// Persistent mode actually in effect: requested AND the serving shim
+  /// advertised the capability. False before the first spawn and after a
+  /// v1 server degraded us to fork-per-exec.
+  [[nodiscard]] bool persistent_active() const {
+    return persistent_requested() && server_.persistent_capable();
   }
 
   /// Successful respawns of a server that had previously come up (a
   /// target that never starts keeps this at 0) — 0 on a healthy campaign;
-  /// the fault-injection suite watches this climb.
+  /// the fault-injection suite watches this climb. Orderly exits count
+  /// here too (the respawn is real) but never in the lost-server
+  /// accounting.
   [[nodiscard]] std::uint64_t server_restarts() const { return restarts_; }
 
   /// Packets that needed a second attempt after the first one lost the
@@ -96,10 +150,24 @@ class OutOfProcessExecutor {
   /// the fault-injection tests.
   [[nodiscard]] std::uint64_t run_retries() const { return retries_; }
 
+  /// Orderly server exits (EOF + exit status 0) absorbed by a respawn —
+  /// kept apart from lost servers so `oop_server_lost` telemetry does not
+  /// overcount periodic retirement.
+  [[nodiscard]] std::uint64_t orderly_server_exits() const {
+    return orderly_exits_;
+  }
+
+  /// Persistent children recycled so far (budget exhaustion, crash or
+  /// hang — each one costs the next request a fork).
+  [[nodiscard]] std::uint64_t child_recycles() const {
+    return child_recycles_;
+  }
+
   [[nodiscard]] bool server_running() const { return server_.running(); }
   [[nodiscard]] const std::string& last_error() const { return error_; }
   [[nodiscard]] const ShmSegment& segment() const { return segment_; }
   [[nodiscard]] const OopExecutorConfig& config() const { return config_; }
+  [[nodiscard]] const ForkServer& server() const { return server_; }
 
   /// Tears the server down (next run respawns it).
   void shutdown();
@@ -107,13 +175,27 @@ class OutOfProcessExecutor {
  private:
   bool spawn();
 
+  /// Maps a transport outcome + the aux block at `aux_offset` onto the
+  /// semantic Outcome, and points map_words() at `map_offset`.
+  void classify(const ForkServer::RunOutcome& raw, std::size_t map_offset,
+                std::size_t aux_offset, Outcome& out);
+
+  /// Handles a gone server (orderly vs lost) before a respawn attempt.
+  void note_server_gone(ForkServer::RunOutcome::Kind kind);
+
+  /// Zeroed-scratch outcome for the both-attempts-failed path.
+  void fail_outcome(Outcome& out);
+
   OopExecutorConfig config_;
   ShmSegment segment_;
   ForkServer server_;
   Outcome outcome_;
   std::string error_;
+  std::size_t map_offset_ = 0;
   std::uint64_t restarts_ = 0;
   std::uint64_t retries_ = 0;
+  std::uint64_t orderly_exits_ = 0;
+  std::uint64_t child_recycles_ = 0;
   /// A spawn has succeeded at least once (gates restart counting).
   bool ever_started_ = false;
 };

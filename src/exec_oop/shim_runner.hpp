@@ -6,6 +6,14 @@
 // each side — the executor's client in fork_server.cpp, this server loop
 // here — and so future real-target harnesses can reuse it by linking
 // against their own ProtocolTarget.
+//
+// The shim speaks protocol v2 (exec_protocol.hpp) and advertises the
+// persistent capability: fork-per-exec requests (control == 0) fork one
+// child per execution exactly as v1 did, while persistent requests run K
+// executions per child through an ICSFUZZ_LOOP-style loop — the child
+// raises SIGSTOP between iterations (the AFL persistent-mode convention),
+// the shim SIGCONTs it per request, and the child is re-forked
+// automatically after a crash, a deadline kill, or budget exhaustion.
 #pragma once
 
 #include "protocols/protocol_target.hpp"
@@ -19,14 +27,23 @@ struct ShimFaultPlan {
   /// Exit (code 7) before writing the hello — a target that never
   /// handshakes.
   bool no_handshake = false;
-  /// On execution #N the forked child SIGKILLs itself mid-execution.
+  /// Speak protocol v1 (bare hello, no capability word, fork-per-exec
+  /// request format) — the handshake-negotiation tests use this to stand
+  /// in for an old shim binary.
+  bool legacy_v1 = false;
+  /// On execution #N the (forked or persistent) child SIGKILLs itself
+  /// mid-execution.
   std::uint64_t kill_child_at = 0;
-  /// On execution #N the forked child hangs forever (the executor's
-  /// wall-clock deadline must reap it).
+  /// On execution #N the child hangs forever (the executor's wall-clock
+  /// deadline must reap it).
   std::uint64_t hang_at = 0;
   /// Before serving execution #N the server process itself exits (code 9)
   /// — a crashed fork server the executor must respawn.
   std::uint64_t server_exit_at = 0;
+  /// After serving N executions the server exits 0 — an ORDERLY
+  /// retirement (periodic server recycling) the client must distinguish
+  /// from a lost server. 0 disables.
+  std::uint64_t server_retire_after = 0;
 };
 
 /// Reads the ICSFUZZ_SHIM_* fault-injection variables.

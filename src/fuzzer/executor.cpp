@@ -1,13 +1,13 @@
 #include "fuzzer/executor.hpp"
 
-#include <cassert>
-#include <cstdio>
-
 #include "exec_oop/oop_executor.hpp"
 
 namespace icsfuzz::fuzz {
 
-Executor::Executor(ExecutorConfig config) : config_(std::move(config)) {
+Executor::Executor(ExecutorConfig config)
+    : config_(std::move(config)),
+      backend_(make_exec_backend(config_.backend, config_.dense_reference,
+                                 config_.telemetry)) {
   map_.use_kernel(config_.coverage_kernel);
 }
 
@@ -15,50 +15,35 @@ Executor::~Executor() = default;
 Executor::Executor(Executor&&) noexcept = default;
 Executor& Executor::operator=(Executor&&) noexcept = default;
 
-ExecResult Executor::run(ProtocolTarget& target, ByteSpan packet) {
-  ExecResult result;
-  run_into(target, packet, result);
-  return result;
+const ExecResult& Executor::run(ProtocolTarget& target, ByteSpan packet) {
+  run_into(target, packet, scratch_);
+  return scratch_;
 }
 
 void Executor::run_into(ProtocolTarget& target, ByteSpan packet,
                         ExecResult& result) {
-  if (out_of_process()) {
-    run_oop_into(packet, result);
-    return;
-  }
   ++executions_;
-
-  // Executions must not nest on a thread: the second begin_execution would
-  // silently steal the first one's thread-local trace arming.
-  assert(!cov::trace_armed());
-
-  target.reset();
-  san::FaultSink::arm();
-  if (config_.dense_reference) {
-    map_.begin_execution_dense();
-  } else {
-    map_.begin_execution();
-  }
-
-  target.process_into(packet, result.response);
-  result.response_truncated = false;  // reused-result hygiene
-
-  // The fused sparse pass (or its dense reference twin) replaces the old
-  // end_execution -> trace_hash -> trace_edge_count -> accumulate sequence:
-  // one sweep of the dirty words instead of four full-map passes.
-  const cov::TraceSummary summary = config_.dense_reference
-                                        ? map_.finalize_execution_dense()
-                                        : map_.finalize_execution();
-  result.events = cov::tls_event_count;
-  san::FaultSink::disarm_into(result.faults);
-
+  const cov::TraceSummary summary =
+      backend_->execute(target, packet, map_, result);
   finish_result(summary, result);
 }
 
-/// Shared tail of both execution modes: the deterministic hang budget and
-/// the summary/new-path assignments. One implementation, so the two arms
-/// of the in-process/out-of-process differential oracle cannot drift.
+void Executor::run_batch(
+    ProtocolTarget& target, const std::vector<Bytes>& packets,
+    const std::function<void(std::size_t, const ExecResult&)>& on_result) {
+  backend_->execute_batch(
+      target, packets, map_, scratch_,
+      [&](std::size_t index, const cov::TraceSummary& summary,
+          ExecResult& result) {
+        ++executions_;
+        finish_result(summary, result);
+        on_result(index, result);
+      });
+}
+
+/// Shared tail of every backend: the deterministic hang budget and the
+/// summary/new-path assignments. One implementation, so the arms of the
+/// in-process/out-of-process differential oracle cannot drift.
 void Executor::finish_result(const cov::TraceSummary& summary,
                              ExecResult& result) {
   if (result.faults.empty() && result.events > config_.hang_event_budget) {
@@ -71,108 +56,6 @@ void Executor::finish_result(const cov::TraceSummary& summary,
   result.trace_edges = summary.trace_edges;
   result.new_coverage = summary.new_coverage;
   result.new_path = paths_.record(summary.trace_hash);
-}
-
-void Executor::run_oop_into(ByteSpan packet, ExecResult& result) {
-  ++executions_;
-  if (!oop_) {
-    oop::OopExecutorConfig oop_config;
-    oop_config.target_cmd = config_.target_cmd;
-    oop_config.exec_timeout_ms = config_.oop_exec_timeout_ms;
-    oop_config.handshake_timeout_ms = config_.oop_handshake_timeout_ms;
-    oop_ = std::make_unique<oop::OutOfProcessExecutor>(std::move(oop_config));
-  }
-
-  const telem::Sink& telemetry = config_.telemetry;
-  const std::uint64_t restarts_before = oop_->server_restarts();
-  const std::uint64_t retries_before = oop_->run_retries();
-
-  const oop::OutOfProcessExecutor::Outcome& outcome = oop_->run(packet);
-
-  if (telemetry.enabled()) {
-    // Mirror the backend's restart/retry tallies (previously visible only
-    // to the fault-injection tests) into the campaign metrics, and journal
-    // each kill with its reason — a deadline SIGKILL ("hang") is a target
-    // bug, a lost server is infrastructure trouble, and conflating the two
-    // used to require reading the synthetic fault site ids.
-    const std::uint64_t respawns = oop_->server_restarts() - restarts_before;
-    const std::uint64_t retries = oop_->run_retries() - retries_before;
-    if (respawns > 0) {
-      telemetry.add(telem::Counter::kOopRestarts, respawns);
-      telemetry.event(telem::EventType::kForkServerRespawn,
-                      content_hash(packet), "reason=server-lost");
-    }
-    if (retries > 0) telemetry.add(telem::Counter::kOopRetries, retries);
-    if (outcome.status == oop::ExecStatus::kHang) {
-      telemetry.add(telem::Counter::kOopHangs);
-      char detail[48];
-      std::snprintf(detail, sizeof detail, "reason=hang deadline_ms=%d",
-                    config_.oop_exec_timeout_ms);
-      telemetry.event(telem::EventType::kHang, content_hash(packet), detail);
-    } else if (outcome.status == oop::ExecStatus::kServerLost) {
-      telemetry.add(telem::Counter::kOopServerLost);
-      telemetry.event(telem::EventType::kServerLost, content_hash(packet),
-                      "reason=server-lost");
-    }
-  }
-
-  // Adopt the child's shared-memory trace into this map (reader-side dirty
-  // list rebuild), then reuse the exact in-process analysis — the sparse
-  // fused pass or its dense reference twin — unchanged. A backend that
-  // could not even create its segment adopts the empty trace (null).
-  map_.adopt_external(oop_->map_words());
-  const cov::TraceSummary summary = config_.dense_reference
-                                        ? map_.finalize_execution_dense()
-                                        : map_.finalize_execution();
-
-  result.events = outcome.aux.events;
-  result.faults.assign(outcome.aux.faults.begin(), outcome.aux.faults.end());
-  result.response.assign(outcome.aux.response.begin(),
-                         outcome.aux.response.end());
-  result.response_truncated = outcome.aux.response_truncated;
-  if (outcome.aux.faults_truncated) {
-    // The child's fault stream overflowed the aux block: the list above is
-    // incomplete, which crash accounting must see rather than silently
-    // under-report.
-    result.faults.push_back(san::FaultReport{
-        san::FaultKind::Segv, san::site_id("oop-aux-faults-truncated"),
-        "fault reports overflowed the shared-memory aux block"});
-  }
-
-  // Transport-level failures become synthetic fault reports so the
-  // campaign's crash accounting sees them; on the healthy path the aux
-  // block shipped the exact in-process observables and the reports below
-  // never fire — which is what keeps out-of-process trajectories
-  // bit-identical to in-process ones (test_exec_oop.cpp).
-  switch (outcome.status) {
-    case oop::ExecStatus::kOk:
-      break;
-    case oop::ExecStatus::kCrash:
-      result.faults.push_back(san::FaultReport{
-          san::FaultKind::Segv, san::site_id("oop-child-terminated"),
-          outcome.term_signal != 0
-              ? "target child died on signal " +
-                    std::to_string(outcome.term_signal)
-              : "target child exited abnormally (code " +
-                    std::to_string(outcome.exit_code) + ")"});
-      break;
-    case oop::ExecStatus::kHang:
-      result.faults.push_back(san::FaultReport{
-          san::FaultKind::Hang, san::site_id("oop-exec-deadline"),
-          "execution exceeded the " +
-              std::to_string(config_.oop_exec_timeout_ms) +
-              " ms fork-server deadline"});
-      break;
-    case oop::ExecStatus::kServerLost:
-      result.faults.push_back(san::FaultReport{
-          san::FaultKind::Segv, san::site_id("oop-server-lost"),
-          "fork server unreachable: " + oop_->last_error()});
-      break;
-  }
-
-  // Same tail as in-process execution — the hang budget applies to the
-  // event count the child shipped back.
-  finish_result(summary, result);
 }
 
 void Executor::reset_campaign() {

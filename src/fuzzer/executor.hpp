@@ -3,48 +3,28 @@
 // coverage novelty ("valuable seed" detection, §IV-B), the execution path
 // hash (the path-coverage metric of §V), and soft-sanitizer faults
 // (crash/hang detection).
+//
+// *How* the packet executes is delegated to an ExecBackend
+// (fuzzer/exec_backend.hpp): in-process, fork-per-exec, or persistent-mode
+// out-of-process — one seam, selected by ExecutorConfig::backend. The
+// Executor owns everything campaign-lifetime regardless of backend: the
+// accumulated coverage map, the path set, the deterministic hang budget.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "coverage/coverage_map.hpp"
 #include "coverage/path_tracker.hpp"
+#include "fuzzer/exec_backend.hpp"
 #include "protocols/protocol_target.hpp"
 #include "sanitizer/fault.hpp"
 #include "telemetry/telemetry.hpp"
 
-namespace icsfuzz::oop {
-class OutOfProcessExecutor;
-}  // namespace icsfuzz::oop
-
 namespace icsfuzz::fuzz {
-
-struct ExecResult {
-  /// The trace contained a bucketed edge never seen before in this
-  /// campaign — the seed is "valuable" in the paper's sense.
-  bool new_coverage = false;
-  /// The whole-trace hash was never seen before — a new path.
-  bool new_path = false;
-  std::uint64_t trace_hash = 0;
-  std::size_t trace_edges = 0;
-  /// Instrumentation events consumed (deterministic time proxy).
-  std::uint64_t events = 0;
-  /// Faults raised during the execution (at most one real fault, possibly
-  /// followed by a synthetic Hang entry).
-  std::vector<san::FaultReport> faults;
-  /// Response bytes the target produced (diagnostics; empty on fault).
-  Bytes response;
-  /// Out-of-process execution only: the response overflowed the shm aux
-  /// block and `response` holds a clamped prefix (always false in-process
-  /// — callers comparing the two modes must check it before trusting
-  /// response equality).
-  bool response_truncated = false;
-
-  [[nodiscard]] bool crashed() const { return !faults.empty(); }
-};
 
 struct ExecutorConfig {
   /// Executions whose instrumentation-event count exceeds this budget are
@@ -61,28 +41,20 @@ struct ExecutorConfig {
   /// portable reference loop (the equivalence suite runs campaigns under
   /// both arms so CI exercises the dispatch even on a single ISA).
   cov::simd::Kernel coverage_kernel = cov::simd::Kernel::kAuto;
-  /// Out-of-process execution: when non-empty, packets run against this
-  /// fork-server target command (argv; typically
-  /// {"icsfuzz-shim-target", "--project", <name>}) instead of the
-  /// in-process ProtocolTarget passed to run() — the target argument is
-  /// then only a placeholder. Coverage arrives through the shared-memory
-  /// segment and is adopted into the same sparse analysis
+  /// Execution backend selection: kInProcess (default) runs the
+  /// ProtocolTarget passed to run() on this thread; the out-of-process
+  /// kinds run `backend.target_cmd` under the fork server and the target
+  /// argument is only a placeholder. Coverage then arrives through the
+  /// shared-memory segment and is adopted into the same sparse analysis
   /// (CoverageMap::adopt_external), so results are bit-identical to
   /// in-process execution of the same stacks.
-  std::vector<std::string> target_cmd;
-  /// Wall-clock deadline per out-of-process execution (a SIGKILLed hang;
-  /// the deterministic hang_event_budget still applies on top, from the
-  /// event count the child ships back). <= 0 disables the wall-clock
-  /// deadline entirely — executions may then block indefinitely.
-  int oop_exec_timeout_ms = 1000;
-  /// Deadline for the fork-server spawn handshake.
-  int oop_handshake_timeout_ms = 5000;
+  ExecBackendConfig backend;
   /// Telemetry sink for executor-level observables: out-of-process
-  /// restart/retry/hang/server-lost counters and the journal events that
-  /// record each kill's reason (hang deadline vs lost server). Disabled by
-  /// default — the Fuzzer binds its own sink in when it builds its
-  /// executor, while replay/distill executors stay quiet so distillation
-  /// never pollutes campaign metrics.
+  /// restart/retry/hang/server-lost/recycle counters and the journal
+  /// events that record each kill's reason (hang deadline vs lost server).
+  /// Disabled by default — the Fuzzer binds its own sink in when it builds
+  /// its executor, while replay/distill executors stay quiet so
+  /// distillation never pollutes campaign metrics.
   telem::Sink telemetry;
 };
 
@@ -95,15 +67,28 @@ class Executor {
 
   /// Resets the target, arms coverage + sanitizer, runs one packet and
   /// classifies the outcome. Updates the campaign's accumulated coverage
-  /// and path set.
-  ExecResult run(ProtocolTarget& target, ByteSpan packet);
+  /// and path set. The returned reference points at per-executor scratch
+  /// refilled every run (vector capacities reused — the steady state
+  /// allocates nothing), valid until the next run/run_into/run_batch call.
+  const ExecResult& run(ProtocolTarget& target, ByteSpan packet);
 
-  /// Buffer-reusing variant of run(): overwrites `result` in place, reusing
-  /// the capacity of its faults/response vectors, so a caller that passes
-  /// the same ExecResult every iteration performs zero steady-state heap
-  /// allocations (given an allocation-free target — see
+  /// Caller-owned-buffer variant of run(): overwrites `result` in place,
+  /// reusing the capacity of its faults/response vectors, so a caller that
+  /// passes the same ExecResult every iteration performs zero steady-state
+  /// heap allocations (given an allocation-free target — see
   /// ProtocolTarget::process_into).
   void run_into(ProtocolTarget& target, ByteSpan packet, ExecResult& result);
+
+  /// Runs a batch of packets, delivering each classified result in packet
+  /// order (the result reference is scratch, valid only inside the
+  /// callback). The persistent backend pipelines the batch across its shm
+  /// slots; other backends execute sequentially. Campaign state (paths,
+  /// accumulated coverage, execution count) advances exactly as if run()
+  /// had been called per packet — batch vs sequential trajectories are
+  /// bit-identical (asserted by test_exec_oop.cpp).
+  void run_batch(ProtocolTarget& target, const std::vector<Bytes>& packets,
+                 const std::function<void(std::size_t, const ExecResult&)>&
+                     on_result);
 
   [[nodiscard]] const cov::CoverageMap& coverage() const { return map_; }
   [[nodiscard]] const cov::PathTracker& paths() const { return paths_; }
@@ -114,32 +99,35 @@ class Executor {
   /// Forgets all campaign-lifetime state (fresh run).
   void reset_campaign();
 
-  /// True when this executor runs packets out of process (target_cmd set).
+  /// True when this executor runs packets out of process.
   [[nodiscard]] bool out_of_process() const {
-    return !config_.target_cmd.empty();
+    return config_.backend.kind != BackendKind::kInProcess;
   }
 
-  /// The fork-server backend (out-of-process mode only; null otherwise or
-  /// before the first execution). Fault-injection tests and the OOP bench
-  /// read restart counts and transport errors through this.
+  /// The execution backend (never null after construction).
+  [[nodiscard]] ExecBackend& backend() { return *backend_; }
+  [[nodiscard]] const ExecBackend& backend() const { return *backend_; }
+
+  /// The fork-server transport (out-of-process kinds only; null
+  /// in-process). Fault-injection tests and the OOP bench read restart /
+  /// recycle counts and transport errors through this.
   [[nodiscard]] const oop::OutOfProcessExecutor* oop_backend() const {
-    return oop_.get();
+    return backend_->oop();
   }
 
  private:
-  void run_oop_into(ByteSpan packet, ExecResult& result);
-
-  /// Shared tail of both execution modes (hang budget + summary fields +
-  /// path recording).
+  /// Shared tail of every backend (hang budget + summary fields + path
+  /// recording) — one implementation, so the backends' trajectories cannot
+  /// drift apart.
   void finish_result(const cov::TraceSummary& summary, ExecResult& result);
 
   ExecutorConfig config_;
   cov::CoverageMap map_;
   cov::PathTracker paths_;
   std::uint64_t executions_ = 0;
-  /// Lazily spawned fork-server backend (out-of-process mode only; owns
-  /// the shm segment, the server process and the outcome scratch).
-  std::unique_ptr<oop::OutOfProcessExecutor> oop_;
+  std::unique_ptr<ExecBackend> backend_;
+  /// Scratch for the reference-returning run() (capacity reused).
+  ExecResult scratch_;
 };
 
 }  // namespace icsfuzz::fuzz

@@ -70,23 +70,26 @@ std::optional<Dnp3Server::LinkFrame> Dnp3Server::parse_link(ByteSpan packet) {
   frame.destination = destination;
   frame.source = source;
 
-  // User data: `length - 5` payload octets in 16-byte blocks, each with CRC.
+  // User data: `length - 5` payload octets in 16-byte blocks, each with
+  // CRC, reassembled into the reused user_data_ scratch.
+  user_data_.clear();
   std::size_t remaining_payload = static_cast<std::size_t>(length) - 5;
   while (remaining_payload > 0) {
     ICSFUZZ_COV_BLOCK();
     const std::size_t block = remaining_payload < 16 ? remaining_payload : 16;
     const std::size_t block_start = reader.position();
-    Bytes data = reader.read_bytes(block);
+    reader.skip(block);
     const std::uint16_t block_crc = reader.read_u16(Endian::Little);
     if (!reader.ok()) {
       ICSFUZZ_COV_BLOCK();
       return std::nullopt;  // truncated block
     }
-    if (crc16_dnp3(packet.subspan(block_start, block)) != block_crc) {
+    const ByteSpan data = packet.subspan(block_start, block);
+    if (crc16_dnp3(data) != block_crc) {
       ICSFUZZ_COV_BLOCK();
       return std::nullopt;  // data CRC failure
     }
-    append(frame.user_data, data);
+    append(user_data_, data);
     remaining_payload -= block;
   }
   if (!reader.at_end()) {
@@ -98,10 +101,16 @@ std::optional<Dnp3Server::LinkFrame> Dnp3Server::parse_link(ByteSpan packet) {
 }
 
 Bytes Dnp3Server::process(ByteSpan packet) {
+  Bytes response;
+  process_into(packet, response);
+  return response;
+}
+
+void Dnp3Server::process_into(ByteSpan packet, Bytes& response) {
   ICSFUZZ_COV_BLOCK();
   // Stream framing: a link frame with user-data length L occupies
   // 10 + L' + 2*ceil(L'/16) octets on the wire, where L' = L - 5.
-  Bytes responses;
+  response_writer_.clear();
   std::size_t offset = 0;
   for (std::size_t frames = 0; frames < kMaxFramesPerStream; ++frames) {
     if (packet.size() - offset < 10) break;
@@ -111,73 +120,77 @@ Bytes Dnp3Server::process(ByteSpan packet) {
     const std::size_t frame_size = 10 + user + 2 * ((user + 15) / 16);
     if (packet.size() - offset < frame_size) break;
     ICSFUZZ_COV_BLOCK();
-    Bytes response = process_frame(packet.subspan(offset, frame_size));
-    append(responses, response);
+    process_frame(packet.subspan(offset, frame_size));
     offset += frame_size;
   }
-  return responses;
+  const Bytes& out = response_writer_.bytes();
+  response.assign(out.begin(), out.end());
 }
 
-Bytes Dnp3Server::process_frame(ByteSpan packet) {
+void Dnp3Server::process_frame(ByteSpan packet) {
   ICSFUZZ_COV_BLOCK();
   auto frame = parse_link(packet);
-  if (!frame) return {};
+  if (!frame) return;
   if (frame->destination != kLocalAddress && frame->destination != 0xFFFF) {
     ICSFUZZ_COV_BLOCK();
-    return {};  // not addressed to this outstation
+    return;  // not addressed to this outstation
   }
   const std::uint8_t function = frame->control & 0x0F;
   const bool primary = (frame->control & 0x80) != 0;
   if (!primary) {
     ICSFUZZ_COV_BLOCK();
-    return {};  // secondary-station frames carry no requests
+    return;  // secondary-station frames carry no requests
   }
   switch (function) {
     case 0x04:  // unconfirmed user data
       ICSFUZZ_COV_BLOCK();
-      return handle_transport(frame->user_data);
+      handle_transport(user_data_);
+      break;
     case 0x03:  // confirmed user data — acknowledge then process
       ICSFUZZ_COV_BLOCK();
-      return handle_transport(frame->user_data);
+      handle_transport(user_data_);
+      break;
     case 0x09:  // request link status
       ICSFUZZ_COV_BLOCK();
-      return frame_link({});
+      frame_link({});
+      break;
     default:
       ICSFUZZ_COV_BLOCK();
-      return {};
+      break;
   }
 }
 
-Bytes Dnp3Server::handle_transport(ByteSpan segment) {
+void Dnp3Server::handle_transport(ByteSpan segment) {
   ICSFUZZ_COV_BLOCK();
   if (segment.empty()) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   const std::uint8_t transport = segment[0];
   const bool fin = (transport & 0x80) != 0;
   const bool fir = (transport & 0x40) != 0;
   if (!fir || !fin) {
     ICSFUZZ_COV_BLOCK();  // multi-fragment messages are not reassembled
-    return {};
+    return;
   }
   expected_transport_seq_ =
       static_cast<std::uint8_t>((transport & 0x3F) + 1) & 0x3F;
   ICSFUZZ_COV_BLOCK();
-  return handle_application(segment.subspan(1));
+  handle_application(segment.subspan(1));
 }
 
-Bytes Dnp3Server::handle_application(ByteSpan fragment) {
+void Dnp3Server::handle_application(ByteSpan fragment) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(fragment);
   const std::uint8_t app_control = reader.read_u8();
   const std::uint8_t function = reader.read_u8();
   if (!reader.ok()) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   std::uint16_t iin = 0;
-  ByteWriter response_objects;
+  objects_writer_.clear();
+  ByteWriter& response_objects = objects_writer_;
 
   switch (function) {
     case kFuncRead:
@@ -212,19 +225,26 @@ Bytes Dnp3Server::handle_application(ByteSpan fragment) {
       ICSFUZZ_COV_BLOCK();
       iin |= kIinDeviceRestart;
       // Time-delay object g52v1, 0 ms.
-      response_objects.write_bytes(Bytes{0x34, 0x01, 0x07, 0x01, 0x00, 0x00});
+      {
+        static constexpr std::uint8_t kDelayObject[] = {0x34, 0x01, 0x07,
+                                                        0x01, 0x00, 0x00};
+        response_objects.write_bytes(ByteSpan(kDelayObject));
+      }
       break;
     case kFuncDelayMeasure:
       ICSFUZZ_COV_BLOCK();
-      response_objects.write_bytes(Bytes{0x34, 0x02, 0x07, 0x01, 0x00, 0x00});
+      {
+        static constexpr std::uint8_t kDelayFine[] = {0x34, 0x02, 0x07,
+                                                      0x01, 0x00, 0x00};
+        response_objects.write_bytes(ByteSpan(kDelayFine));
+      }
       break;
     default:
       ICSFUZZ_COV_BLOCK();
       iin |= kIinFuncNotSupported;
       break;
   }
-  return build_response(app_control, kFuncResponse, iin,
-                        response_objects.bytes());
+  build_response(app_control, kFuncResponse, iin, response_objects.span());
 }
 
 bool Dnp3Server::handle_object_header(ByteSpan& remaining,
@@ -383,35 +403,37 @@ bool Dnp3Server::handle_object_header(ByteSpan& remaining,
   return true;
 }
 
-Bytes Dnp3Server::build_response(std::uint8_t app_control,
-                                 std::uint8_t function, std::uint16_t iin,
-                                 ByteSpan payload) {
+void Dnp3Server::build_response(std::uint8_t app_control,
+                                std::uint8_t function, std::uint16_t iin,
+                                ByteSpan payload) {
   ICSFUZZ_COV_BLOCK();
-  ByteWriter app;
-  app.write_u8(static_cast<std::uint8_t>(0xC0 | (app_control & 0x0F)));
-  app.write_u8(function);
-  app.write_u8(static_cast<std::uint8_t>(iin >> 8));
-  app.write_u8(static_cast<std::uint8_t>(iin & 0xFF));
-  app.write_bytes(payload);
-
-  // Transport header: FIR|FIN, sequence 0.
-  Bytes user_data;
-  user_data.push_back(0xC0);
-  append(user_data, app.bytes());
-  return frame_link(user_data);
+  // Transport header (FIR|FIN, sequence 0) + application fragment, in the
+  // reused scratch the link framer blocks below.
+  fragment_writer_.clear();
+  fragment_writer_.write_u8(0xC0);
+  fragment_writer_.write_u8(
+      static_cast<std::uint8_t>(0xC0 | (app_control & 0x0F)));
+  fragment_writer_.write_u8(function);
+  fragment_writer_.write_u8(static_cast<std::uint8_t>(iin >> 8));
+  fragment_writer_.write_u8(static_cast<std::uint8_t>(iin & 0xFF));
+  fragment_writer_.write_bytes(payload);
+  frame_link(fragment_writer_.span());
 }
 
-Bytes Dnp3Server::frame_link(ByteSpan user_data) {
+void Dnp3Server::frame_link(ByteSpan user_data) {
   ICSFUZZ_COV_BLOCK();
-  ByteWriter link;
+  // Appends one outbound link frame to response_writer_; the header CRC is
+  // computed over the eight header octets just written.
+  ByteWriter& link = response_writer_;
+  const std::size_t base = link.size();
   link.write_u8(kStart0);
   link.write_u8(kStart1);
   link.write_u8(static_cast<std::uint8_t>(5 + user_data.size()));
   link.write_u8(0x44);  // DIR=0, PRM=1, unconfirmed user data
   link.write_u16(0xFFFF, Endian::Little);  // destination: whoever asked
   link.write_u16(kLocalAddress, Endian::Little);
-  const std::uint16_t header_crc = crc16_dnp3(
-      ByteSpan(link.bytes().data(), 8));
+  const std::uint16_t header_crc =
+      crc16_dnp3(ByteSpan(link.bytes().data() + base, 8));
   link.write_u16(header_crc, Endian::Little);
   // Payload blocks.
   std::size_t offset = 0;
@@ -423,7 +445,6 @@ Bytes Dnp3Server::frame_link(ByteSpan user_data) {
     link.write_u16(crc16_dnp3(slice), Endian::Little);
     offset += block;
   }
-  return link.take();
 }
 
 }  // namespace icsfuzz::proto

@@ -33,6 +33,11 @@ class Dnp3Server final : public ProtocolTarget {
   /// returns the concatenated responses.
   Bytes process(ByteSpan packet) override;
 
+  /// Allocation-free hot path: reassembly and response framing run through
+  /// member scratch buffers whose capacity converges. Byte-identical to
+  /// process().
+  void process_into(ByteSpan packet, Bytes& response) override;
+
   static constexpr std::size_t kMaxFramesPerStream = 8;
 
   // -- Introspection for tests. --
@@ -48,18 +53,19 @@ class Dnp3Server final : public ProtocolTarget {
     std::uint8_t control = 0;
     std::uint16_t destination = 0;
     std::uint16_t source = 0;
-    Bytes user_data;
   };
 
-  Bytes process_frame(ByteSpan frame);
+  // Responses append into response_writer_; parse_link reassembles the
+  // inbound user data into user_data_ (both reused across executions).
+  void process_frame(ByteSpan frame);
   std::optional<LinkFrame> parse_link(ByteSpan packet);
-  Bytes handle_transport(ByteSpan segment);
-  Bytes handle_application(ByteSpan fragment);
+  void handle_transport(ByteSpan segment);
+  void handle_application(ByteSpan fragment);
   bool handle_object_header(ByteSpan& remaining, std::uint8_t function,
                             ByteWriter& response, std::uint16_t& iin);
-  Bytes build_response(std::uint8_t app_control, std::uint8_t function,
-                       std::uint16_t iin, ByteSpan payload);
-  Bytes frame_link(ByteSpan user_data);
+  void build_response(std::uint8_t app_control, std::uint8_t function,
+                      std::uint16_t iin, ByteSpan payload);
+  void frame_link(ByteSpan user_data);
 
   std::array<bool, kNumBinary> binary_{};
   std::array<std::uint32_t, kNumAnalog> analog_{};
@@ -67,6 +73,12 @@ class Dnp3Server final : public ProtocolTarget {
   std::uint8_t select_index_ = 0;
   std::uint32_t operate_count_ = 0;
   std::uint8_t expected_transport_seq_ = 0;
+
+  // Reused scratch (see process_into).
+  ByteWriter response_writer_;   ///< concatenated outbound link frames
+  Bytes user_data_;              ///< reassembled inbound link payload
+  ByteWriter objects_writer_;    ///< response objects of one fragment
+  ByteWriter fragment_writer_;   ///< outbound transport+application bytes
 };
 
 }  // namespace icsfuzz::proto

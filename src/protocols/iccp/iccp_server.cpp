@@ -85,10 +85,16 @@ void IccpServer::reset() {
 }
 
 Bytes IccpServer::process(ByteSpan packet) {
+  Bytes response;
+  process_into(packet, response);
+  return response;
+}
+
+void IccpServer::process_into(ByteSpan packet, Bytes& response) {
   ICSFUZZ_COV_BLOCK();
   // Stream framing: each TPKT envelope declares its own total length in
   // octets 2-3.
-  Bytes responses;
+  response_writer_.clear();
   std::size_t offset = 0;
   for (std::size_t frames = 0; frames < kMaxFramesPerStream; ++frames) {
     if (packet.size() - offset < 4) break;
@@ -96,15 +102,15 @@ Bytes IccpServer::process(ByteSpan packet) {
         (packet[offset + 2] << 8) | packet[offset + 3]);
     if (frame_size < 4 || packet.size() - offset < frame_size) break;
     ICSFUZZ_COV_BLOCK();
-    Bytes response = process_frame(packet.subspan(offset, frame_size));
-    append(responses, response);
+    process_frame(packet.subspan(offset, frame_size));
     if (san::FaultSink::tripped()) break;  // the server process just died
     offset += frame_size;
   }
-  return responses;
+  const ByteSpan out = response_writer_.span();
+  response.assign(out.begin(), out.end());
 }
 
-Bytes IccpServer::process_frame(ByteSpan packet) {
+void IccpServer::process_frame(ByteSpan packet) {
   ICSFUZZ_COV_BLOCK();
   // --- TPKT-like envelope -------------------------------------------------
   ByteReader reader(packet);
@@ -113,53 +119,57 @@ Bytes IccpServer::process_frame(ByteSpan packet) {
   const std::uint16_t length = reader.read_u16(Endian::Big);
   if (!reader.ok() || version != 0x03 || reserved != 0x00) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   if (length != packet.size()) {
     ICSFUZZ_COV_BLOCK();
-    return {};  // envelope length mismatch
+    return;  // envelope length mismatch
   }
   ICSFUZZ_COV_BLOCK();
-  return handle_pdu(packet.subspan(4));
+  handle_pdu(packet.subspan(4));
 }
 
-Bytes IccpServer::handle_pdu(ByteSpan pdu) {
+void IccpServer::handle_pdu(ByteSpan pdu) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(pdu);
   auto tlv = read_tlv(reader, pdu);
   if (!tlv || !reader.at_end()) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   switch (tlv->tag) {
     case kInitiateRequest:
       ICSFUZZ_COV_BLOCK();
-      return handle_initiate(tlv->value);
+      handle_initiate(tlv->value);
+      return;
     case kConcludeRequest:
       ICSFUZZ_COV_BLOCK();
       associated_ = false;
-      return Bytes{0x8C, 0x00};  // conclude response
+      response_writer_.write_u8s(0x8C, 0x00);  // conclude response
+      return;
     case kConfirmedRequest:
       ICSFUZZ_COV_BLOCK();
       if (!associated_) {
         ICSFUZZ_COV_BLOCK();
-        return {};  // service request before association
+        return;  // service request before association
       }
-      return handle_confirmed_request(tlv->value);
+      handle_confirmed_request(tlv->value);
+      return;
     case kInformationReport:
       ICSFUZZ_COV_BLOCK();
       if (!associated_) {
         ICSFUZZ_COV_BLOCK();
-        return {};
+        return;
       }
-      return handle_information_report(tlv->value);
+      handle_information_report(tlv->value);
+      return;
     default:
       ICSFUZZ_COV_BLOCK();
-      return {};
+      return;
   }
 }
 
-Bytes IccpServer::handle_initiate(ByteSpan body) {
+void IccpServer::handle_initiate(ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   // initiate-Request: local-detail (0x80 len4), max-serv-outstanding
   // (0x81 len1), version (0x82 len1).
@@ -171,50 +181,48 @@ Bytes IccpServer::handle_initiate(ByteSpan body) {
     auto tlv = read_tlv(reader, body);
     if (!tlv) {
       ICSFUZZ_COV_BLOCK();
-      return {};
+      return;
     }
     switch (tlv->tag) {
       case 0x80:
         ICSFUZZ_COV_BLOCK();
-        if (tlv->value.size() != 4) return {};
+        if (tlv->value.size() != 4) return;
         local_detail = static_cast<std::uint32_t>(
             decode_uint(tlv->value, Endian::Big));
         saw_detail = true;
         break;
       case 0x81:
         ICSFUZZ_COV_BLOCK();
-        if (tlv->value.size() != 1) return {};
+        if (tlv->value.size() != 1) return;
         break;
       case 0x82:
         ICSFUZZ_COV_BLOCK();
-        if (tlv->value.size() != 1) return {};
+        if (tlv->value.size() != 1) return;
         version = tlv->value[0];
         break;
       default:
         ICSFUZZ_COV_BLOCK();
-        return {};  // unknown initiate parameter
+        return;  // unknown initiate parameter
     }
   }
   if (!saw_detail || local_detail < 1000 || local_detail > 65000) {
     ICSFUZZ_COV_BLOCK();
-    return {};  // negotiation failure
+    return;  // negotiation failure
   }
   if (version != 1 && version != 2) {
     ICSFUZZ_COV_BLOCK();
-    return {};  // unsupported TASE.2 version
+    return;  // unsupported TASE.2 version
   }
   ICSFUZZ_COV_BLOCK();  // association established
   associated_ = true;
-  ByteWriter payload;
-  payload.write_u8(0x80);
-  payload.write_u8(4);
-  payload.write_u32(local_detail, Endian::Big);
-  ByteWriter out;
-  write_tlv(out, kInitiateResponse, payload.bytes());
-  return out.take();
+  payload_writer_.clear();
+  payload_writer_.write_u8(0x80);
+  payload_writer_.write_u8(4);
+  payload_writer_.write_u32(local_detail, Endian::Big);
+  write_tlv(response_writer_, kInitiateResponse, payload_writer_.span());
 }
 
-Bytes IccpServer::handle_confirmed_request(ByteSpan body) {
+void IccpServer::handle_confirmed_request(ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   // confirmed-Request: invoke id (0x02 INTEGER), then one service TLV.
   ByteReader reader(body);
@@ -222,32 +230,36 @@ Bytes IccpServer::handle_confirmed_request(ByteSpan body) {
   if (!invoke || invoke->tag != 0x02 || invoke->value.empty() ||
       invoke->value.size() > 4) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   const std::uint32_t invoke_id =
       static_cast<std::uint32_t>(decode_uint(invoke->value, Endian::Big));
   auto service = read_tlv(reader, body);
   if (!service || !reader.at_end()) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   switch (service->tag) {
     case kServiceRead:
       ICSFUZZ_COV_BLOCK();
-      return handle_read(invoke_id, service->value);
+      handle_read(invoke_id, service->value);
+      return;
     case kServiceWrite:
       ICSFUZZ_COV_BLOCK();
-      return handle_write(invoke_id, service->value);
+      handle_write(invoke_id, service->value);
+      return;
     case kServiceNameList:
       ICSFUZZ_COV_BLOCK();
-      return handle_name_list(invoke_id, service->value);
+      handle_name_list(invoke_id, service->value);
+      return;
     default:
       ICSFUZZ_COV_BLOCK();
-      return error_response(invoke_id, 0x01);  // service not supported
+      error_response(invoke_id, 0x01);  // service not supported
+      return;
   }
 }
 
-Bytes IccpServer::handle_read(std::uint32_t invoke_id, ByteSpan body) {
+void IccpServer::handle_read(std::uint32_t invoke_id, ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   // Read: item index (0x80 len1) + optional component index (0x81 len1) for
   // structured points.
@@ -255,12 +267,14 @@ Bytes IccpServer::handle_read(std::uint32_t invoke_id, ByteSpan body) {
   auto item = read_tlv(reader, body);
   if (!item || item->tag != 0x80 || item->value.size() != 1) {
     ICSFUZZ_COV_BLOCK();
-    return error_response(invoke_id, 0x02);
+    error_response(invoke_id, 0x02);
+    return;
   }
   const std::uint8_t item_index = item->value[0];
   if (item_index >= kPoints.size()) {
     ICSFUZZ_COV_BLOCK();
-    return error_response(invoke_id, 0x03);  // object non-existent
+    error_response(invoke_id, 0x03);  // object non-existent
+    return;
   }
   std::uint32_t value = kPoints[item_index].value;
 
@@ -269,7 +283,8 @@ Bytes IccpServer::handle_read(std::uint32_t invoke_id, ByteSpan body) {
     if (!component || component->tag != 0x81 ||
         component->value.size() != 1 || !reader.at_end()) {
       ICSFUZZ_COV_BLOCK();
-      return error_response(invoke_id, 0x02);
+      error_response(invoke_id, 0x02);
+      return;
     }
     ICSFUZZ_COV_BLOCK();  // structured (alternate-access) read
     // BUG(iccp-nest-oob): the component table of every structured point has
@@ -280,19 +295,19 @@ Bytes IccpServer::handle_read(std::uint32_t invoke_id, ByteSpan body) {
         ByteSpan(kComponents.data(), kComponents.size()),
         san::site_id("iccp-nest-oob"), "structure component table");
     const std::uint8_t selector = components.at(component->value[0]);
-    if (san::FaultSink::tripped()) return {};  // process died here
+    if (san::FaultSink::tripped()) return;  // process died here
     value = (value >> (selector & 0x1F)) & 0xFFFF;
   }
 
   ICSFUZZ_COV_BLOCK();
-  ByteWriter payload;
-  payload.write_u8(0x89);  // unsigned data
-  payload.write_u8(4);
-  payload.write_u32(value, Endian::Big);
-  return confirmed_response(invoke_id, kServiceRead, payload.bytes());
+  payload_writer_.clear();
+  payload_writer_.write_u8(0x89);  // unsigned data
+  payload_writer_.write_u8(4);
+  payload_writer_.write_u32(value, Endian::Big);
+  confirmed_response(invoke_id, kServiceRead, payload_writer_.span());
 }
 
-Bytes IccpServer::handle_write(std::uint32_t invoke_id, ByteSpan body) {
+void IccpServer::handle_write(std::uint32_t invoke_id, ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   // Write: item index (0x80 len1), declared value length (0x81 len1),
   // value octets (0x82 len N).
@@ -304,16 +319,19 @@ Bytes IccpServer::handle_write(std::uint32_t invoke_id, ByteSpan body) {
       declared->tag != 0x81 || declared->value.size() != 1 || !value ||
       value->tag != 0x82 || !reader.at_end()) {
     ICSFUZZ_COV_BLOCK();
-    return error_response(invoke_id, 0x02);
+    error_response(invoke_id, 0x02);
+    return;
   }
   const std::uint8_t item_index = item->value[0];
   if (item_index >= kPoints.size()) {
     ICSFUZZ_COV_BLOCK();
-    return error_response(invoke_id, 0x03);
+    error_response(invoke_id, 0x03);
+    return;
   }
   if (item_index < 3) {
     ICSFUZZ_COV_BLOCK();
-    return error_response(invoke_id, 0x04);  // read-only transfer-set point
+    error_response(invoke_id, 0x04);  // read-only transfer-set point
+    return;
   }
   ICSFUZZ_COV_BLOCK();  // writable point
   const std::uint8_t declared_length = declared->value[0];
@@ -329,17 +347,17 @@ Bytes IccpServer::handle_write(std::uint32_t invoke_id, ByteSpan body) {
   for (std::size_t i = 0; i < copy_length; ++i) {
     ICSFUZZ_COV_BLOCK();
     staging.write(i, value->value[i]);
-    if (san::FaultSink::tripped()) return {};  // process died here
+    if (san::FaultSink::tripped()) return;  // process died here
   }
   ++writes_accepted_;
-  ByteWriter payload;
-  payload.write_u8(0x80);
-  payload.write_u8(1);
-  payload.write_u8(0x00);  // success
-  return confirmed_response(invoke_id, kServiceWrite, payload.bytes());
+  payload_writer_.clear();
+  payload_writer_.write_u8(0x80);
+  payload_writer_.write_u8(1);
+  payload_writer_.write_u8(0x00);  // success
+  confirmed_response(invoke_id, kServiceWrite, payload_writer_.span());
 }
 
-Bytes IccpServer::handle_name_list(std::uint32_t invoke_id, ByteSpan body) {
+void IccpServer::handle_name_list(std::uint32_t invoke_id, ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   // GetNameList: object class (0x80 len1), optional continue-after index
   // (0x81 len1).
@@ -348,11 +366,13 @@ Bytes IccpServer::handle_name_list(std::uint32_t invoke_id, ByteSpan body) {
   if (!object_class || object_class->tag != 0x80 ||
       object_class->value.size() != 1) {
     ICSFUZZ_COV_BLOCK();
-    return error_response(invoke_id, 0x02);
+    error_response(invoke_id, 0x02);
+    return;
   }
   if (object_class->value[0] != 0) {  // 0 = named variables
     ICSFUZZ_COV_BLOCK();
-    return error_response(invoke_id, 0x05);  // class not supported
+    error_response(invoke_id, 0x05);  // class not supported
+    return;
   }
   std::size_t start = 0;
   if (!reader.at_end()) {
@@ -360,7 +380,8 @@ Bytes IccpServer::handle_name_list(std::uint32_t invoke_id, ByteSpan body) {
     if (!continue_after || continue_after->tag != 0x81 ||
         continue_after->value.size() != 1 || !reader.at_end()) {
       ICSFUZZ_COV_BLOCK();
-      return error_response(invoke_id, 0x02);
+      error_response(invoke_id, 0x02);
+      return;
     }
     ICSFUZZ_COV_BLOCK();  // continuation request
     // BUG(iccp-name-oob): "continue after entry N" resumes at N+1 without
@@ -373,11 +394,12 @@ Bytes IccpServer::handle_name_list(std::uint32_t invoke_id, ByteSpan body) {
                              "name-list length table");
     start = static_cast<std::size_t>(continue_after->value[0]) + 1;
     (void)lengths.at(start);  // prefetches the resume entry — unchecked
-    if (san::FaultSink::tripped()) return {};  // process died here
-    if (start >= kPoints.size()) return {};
+    if (san::FaultSink::tripped()) return;  // process died here
+    if (start >= kPoints.size()) return;
   }
   ICSFUZZ_COV_BLOCK();
-  ByteWriter names;
+  payload_writer_.clear();
+  ByteWriter& names = payload_writer_;
   for (std::size_t i = start; i < kPoints.size(); ++i) {
     ICSFUZZ_COV_BLOCK();
     const std::string_view name = kPoints[i].name;
@@ -385,10 +407,10 @@ Bytes IccpServer::handle_name_list(std::uint32_t invoke_id, ByteSpan body) {
     names.write_u8(static_cast<std::uint8_t>(name.size()));
     names.write_string(name);
   }
-  return confirmed_response(invoke_id, kServiceNameList, names.bytes());
+  confirmed_response(invoke_id, kServiceNameList, names.span());
 }
 
-Bytes IccpServer::handle_information_report(ByteSpan body) {
+void IccpServer::handle_information_report(ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   // InformationReport: entry count (0x80 len1), offsets blob (0x81 len N —
   // one byte per entry), data blob (0x82 len M).
@@ -400,12 +422,12 @@ Bytes IccpServer::handle_information_report(ByteSpan body) {
       !offsets_tlv || offsets_tlv->tag != 0x81 || !data_tlv ||
       data_tlv->tag != 0x82 || !reader.at_end()) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   const std::uint8_t count = count_tlv->value[0];
   if (count == 0 || count > offsets_tlv->value.size()) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   ICSFUZZ_COV_BLOCK();
   // BUG(iccp-report-oob): each entry's offset into the data blob comes
@@ -418,38 +440,33 @@ Bytes IccpServer::handle_information_report(ByteSpan body) {
     ICSFUZZ_COV_BLOCK();
     const std::uint8_t offset = offsets_tlv->value[i];
     acc = static_cast<std::uint8_t>(acc ^ data.at(offset));
-    if (san::FaultSink::tripped()) return {};  // process died here
+    if (san::FaultSink::tripped()) return;  // process died here
   }
   // Unconfirmed service: no response, but track the digest for liveness.
   (void)acc;
-  return {};
 }
 
-Bytes IccpServer::confirmed_response(std::uint32_t invoke_id,
-                                     std::uint8_t service_tag,
-                                     ByteSpan payload) const {
-  ByteWriter inner;
-  inner.write_u8(0x02);
-  inner.write_u8(4);
-  inner.write_u32(invoke_id, Endian::Big);
-  write_tlv(inner, service_tag, payload);
-  ByteWriter out;
-  write_tlv(out, kConfirmedResponse, inner.bytes());
-  return out.take();
+void IccpServer::confirmed_response(std::uint32_t invoke_id,
+                                    std::uint8_t service_tag,
+                                    ByteSpan payload) {
+  inner_writer_.clear();
+  inner_writer_.write_u8(0x02);
+  inner_writer_.write_u8(4);
+  inner_writer_.write_u32(invoke_id, Endian::Big);
+  write_tlv(inner_writer_, service_tag, payload);
+  write_tlv(response_writer_, kConfirmedResponse, inner_writer_.span());
 }
 
-Bytes IccpServer::error_response(std::uint32_t invoke_id,
-                                 std::uint8_t error_code) const {
-  ByteWriter inner;
-  inner.write_u8(0x02);
-  inner.write_u8(4);
-  inner.write_u32(invoke_id, Endian::Big);
-  inner.write_u8(0x85);
-  inner.write_u8(1);
-  inner.write_u8(error_code);
-  ByteWriter out;
-  write_tlv(out, 0xA2, inner.bytes());  // confirmed-error PDU
-  return out.take();
+void IccpServer::error_response(std::uint32_t invoke_id,
+                                std::uint8_t error_code) {
+  inner_writer_.clear();
+  inner_writer_.write_u8(0x02);
+  inner_writer_.write_u8(4);
+  inner_writer_.write_u32(invoke_id, Endian::Big);
+  inner_writer_.write_u8(0x85);
+  inner_writer_.write_u8(1);
+  inner_writer_.write_u8(error_code);
+  write_tlv(response_writer_, 0xA2, inner_writer_.span());  // confirmed-error PDU
 }
 
 }  // namespace icsfuzz::proto

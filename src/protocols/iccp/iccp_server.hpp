@@ -39,6 +39,11 @@ class IccpServer final : public ProtocolTarget {
   /// and returns the concatenated responses.
   Bytes process(ByteSpan packet) override;
 
+  /// Allocation-free hot path (modulo the injected GuardedAlloc in the
+  /// Write service): responses assemble in member scratch writers, then
+  /// copy into the caller's reused buffer. Byte-identical to process().
+  void process_into(ByteSpan packet, Bytes& response) override;
+
   static constexpr std::size_t kMaxFramesPerStream = 8;
 
   // -- Introspection for tests. --
@@ -48,21 +53,28 @@ class IccpServer final : public ProtocolTarget {
   }
 
  private:
-  Bytes process_frame(ByteSpan frame);
-  Bytes handle_pdu(ByteSpan pdu);
-  Bytes handle_initiate(ByteSpan body);
-  Bytes handle_confirmed_request(ByteSpan body);
-  Bytes handle_read(std::uint32_t invoke_id, ByteSpan body);
-  Bytes handle_write(std::uint32_t invoke_id, ByteSpan body);
-  Bytes handle_name_list(std::uint32_t invoke_id, ByteSpan body);
-  Bytes handle_information_report(ByteSpan body);
+  // Handlers append outbound PDUs into response_writer_; the scratch
+  // writers stage one BER nesting level each (see process_into).
+  void process_frame(ByteSpan frame);
+  void handle_pdu(ByteSpan pdu);
+  void handle_initiate(ByteSpan body);
+  void handle_confirmed_request(ByteSpan body);
+  void handle_read(std::uint32_t invoke_id, ByteSpan body);
+  void handle_write(std::uint32_t invoke_id, ByteSpan body);
+  void handle_name_list(std::uint32_t invoke_id, ByteSpan body);
+  void handle_information_report(ByteSpan body);
 
-  Bytes confirmed_response(std::uint32_t invoke_id, std::uint8_t service_tag,
-                           ByteSpan payload) const;
-  Bytes error_response(std::uint32_t invoke_id, std::uint8_t error_code) const;
+  void confirmed_response(std::uint32_t invoke_id, std::uint8_t service_tag,
+                          ByteSpan payload);
+  void error_response(std::uint32_t invoke_id, std::uint8_t error_code);
 
   bool associated_ = false;
   std::uint32_t writes_accepted_ = 0;
+
+  // Reused scratch (see process_into).
+  ByteWriter response_writer_;  ///< concatenated outbound TPKT payloads
+  ByteWriter inner_writer_;     ///< invoke id + service TLV of one response
+  ByteWriter payload_writer_;   ///< service-level payload
 };
 
 }  // namespace icsfuzz::proto

@@ -48,140 +48,150 @@ void Iec104Server::reset() {
   setpoint_selected_ = false;
 }
 
-Bytes Iec104Server::build_u(std::uint8_t control) const {
-  return Bytes{kStartByte, 0x04, control, 0x00, 0x00, 0x00};
+void Iec104Server::build_u(std::uint8_t control) {
+  response_writer_.write_u8s(kStartByte, 0x04, control, 0x00, 0x00, 0x00);
 }
 
-Bytes Iec104Server::build_i(ByteSpan asdu) {
-  ByteWriter writer;
-  writer.write_u8(kStartByte);
-  writer.write_u8(static_cast<std::uint8_t>(4 + asdu.size()));
-  writer.write_u16(static_cast<std::uint16_t>(send_seq_ << 1), Endian::Little);
-  writer.write_u16(static_cast<std::uint16_t>(recv_seq_ << 1), Endian::Little);
-  writer.write_bytes(asdu);
+void Iec104Server::build_i(ByteSpan asdu) {
+  response_writer_.write_u8(kStartByte);
+  response_writer_.write_u8(static_cast<std::uint8_t>(4 + asdu.size()));
+  response_writer_.write_u16(static_cast<std::uint16_t>(send_seq_ << 1),
+                             Endian::Little);
+  response_writer_.write_u16(static_cast<std::uint16_t>(recv_seq_ << 1),
+                             Endian::Little);
+  response_writer_.write_bytes(asdu);
   send_seq_ = static_cast<std::uint16_t>((send_seq_ + 1) & 0x7FFF);
-  return writer.take();
 }
 
 Bytes Iec104Server::process(ByteSpan packet) {
+  Bytes response;
+  process_into(packet, response);
+  return response;
+}
+
+void Iec104Server::process_into(ByteSpan packet, Bytes& response) {
   ICSFUZZ_COV_BLOCK();
   // TCP stream framing: each APCI frame occupies 2 + length bytes.
-  Bytes responses;
+  response_writer_.clear();
   std::size_t offset = 0;
   for (std::size_t frames = 0; frames < kMaxFramesPerStream; ++frames) {
     if (packet.size() - offset < 2) break;
     const std::size_t frame_size = 2 + packet[offset + 1];
     if (packet.size() - offset < frame_size) break;
     ICSFUZZ_COV_BLOCK();
-    Bytes response = process_frame(packet.subspan(offset, frame_size));
-    append(responses, response);
+    process_frame(packet.subspan(offset, frame_size));
     offset += frame_size;
   }
-  return responses;
+  const ByteSpan out = response_writer_.span();
+  response.assign(out.begin(), out.end());
 }
 
-Bytes Iec104Server::process_frame(ByteSpan packet) {
+void Iec104Server::process_frame(ByteSpan packet) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(packet);
   const std::uint8_t start = reader.read_u8();
   const std::uint8_t length = reader.read_u8();
   if (!reader.ok() || start != kStartByte) {
     ICSFUZZ_COV_BLOCK();
-    return {};  // not an APCI frame
+    return;  // not an APCI frame
   }
   if (length < 4 || length > 253) {
     ICSFUZZ_COV_BLOCK();
-    return {};  // APDU length out of spec
+    return;  // APDU length out of spec
   }
   if (reader.remaining() != length) {
     ICSFUZZ_COV_BLOCK();
-    return {};  // framing mismatch
+    return;  // framing mismatch
   }
-  const Bytes control = reader.read_bytes(4);
-  const Bytes asdu = reader.read_rest();
+  const ByteSpan control = packet.subspan(2, 4);
+  const ByteSpan asdu = packet.subspan(6);
 
   if ((control[0] & 0x03) == 0x03) {
     ICSFUZZ_COV_BLOCK();  // U format
     if (!asdu.empty()) {
       ICSFUZZ_COV_BLOCK();
-      return {};  // U frames carry no ASDU
+      return;  // U frames carry no ASDU
     }
-    return handle_u_frame(control[0]);
+    handle_u_frame(control[0]);
+    return;
   }
   if ((control[0] & 0x03) == 0x01) {
     ICSFUZZ_COV_BLOCK();  // S format
     if (!asdu.empty()) {
       ICSFUZZ_COV_BLOCK();
-      return {};
+      return;
     }
-    return handle_s_frame(control);
+    handle_s_frame(control);
+    return;
   }
   ICSFUZZ_COV_BLOCK();  // I format (LSB of first control octet is 0)
-  return handle_i_frame(control, asdu);
+  handle_i_frame(control, asdu);
 }
 
-Bytes Iec104Server::handle_u_frame(std::uint8_t control) {
+void Iec104Server::handle_u_frame(std::uint8_t control) {
   ICSFUZZ_COV_BLOCK();
   switch (control) {
     case kStartDtAct:
       ICSFUZZ_COV_BLOCK();
       started_ = true;
-      return build_u(kStartDtCon);
+      build_u(kStartDtCon);
+      return;
     case kStopDtAct:
       ICSFUZZ_COV_BLOCK();
       started_ = false;
-      return build_u(kStopDtCon);
+      build_u(kStopDtCon);
+      return;
     case kTestFrAct:
       ICSFUZZ_COV_BLOCK();
-      return build_u(kTestFrCon);
+      build_u(kTestFrCon);
+      return;
     case kStartDtCon:
     case kStopDtCon:
     case kTestFrCon:
       ICSFUZZ_COV_BLOCK();  // confirmations from peer: accepted silently
-      return {};
+      return;
     default:
       ICSFUZZ_COV_BLOCK();  // undefined U function
-      return {};
+      return;
   }
 }
 
-Bytes Iec104Server::handle_s_frame(ByteSpan control) {
+void Iec104Server::handle_s_frame(ByteSpan control) {
   ICSFUZZ_COV_BLOCK();
   const std::uint16_t ack =
       static_cast<std::uint16_t>((control[2] | (control[3] << 8)) >> 1);
   if (ack > send_seq_) {
     ICSFUZZ_COV_BLOCK();  // acknowledging frames never sent
-    return {};
+    return;
   }
   ICSFUZZ_COV_BLOCK();
-  return {};
 }
 
-Bytes Iec104Server::handle_i_frame(ByteSpan control, ByteSpan asdu) {
+void Iec104Server::handle_i_frame(ByteSpan control, ByteSpan asdu) {
   ICSFUZZ_COV_BLOCK();
   if (!started_) {
     ICSFUZZ_COV_BLOCK();  // data transfer not started: drop (per spec)
-    return {};
+    return;
   }
   const std::uint16_t their_send =
       static_cast<std::uint16_t>((control[0] | (control[1] << 8)) >> 1);
   if (their_send != recv_seq_) {
     ICSFUZZ_COV_BLOCK();  // N(S) sequence error — the stack closes the link
     started_ = false;
-    return {};
+    return;
   }
   const std::uint16_t their_recv =
       static_cast<std::uint16_t>((control[2] | (control[3] << 8)) >> 1);
   if (their_recv > send_seq_) {
     ICSFUZZ_COV_BLOCK();  // N(R) acknowledges unsent frames — link closed
     started_ = false;
-    return {};
+    return;
   }
   recv_seq_ = static_cast<std::uint16_t>((recv_seq_ + 1) & 0x7FFF);
-  return handle_asdu(asdu);
+  handle_asdu(asdu);
 }
 
-Bytes Iec104Server::handle_asdu(ByteSpan asdu) {
+void Iec104Server::handle_asdu(ByteSpan asdu) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(asdu);
   const std::uint8_t type_id = reader.read_u8();
@@ -192,19 +202,20 @@ Bytes Iec104Server::handle_asdu(ByteSpan asdu) {
   (void)originator;
   if (!reader.ok()) {
     ICSFUZZ_COV_BLOCK();
-    return {};  // ASDU header truncated
+    return;  // ASDU header truncated
   }
   if (ca != kCommonAddress && ca != 0xFFFF) {
     ICSFUZZ_COV_BLOCK();
-    return {};  // not our station
+    return;  // not our station
   }
   const std::uint8_t count = vsq & 0x7F;
   if (count == 0) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
 
-  ByteWriter response;
+  asdu_writer_.clear();
+  ByteWriter& response = asdu_writer_;
   switch (type_id) {
     case kCIcNa1: {
       ICSFUZZ_COV_BLOCK();  // station interrogation
@@ -213,41 +224,35 @@ Bytes Iec104Server::handle_asdu(ByteSpan asdu) {
       const std::uint8_t qoi = reader.read_u8();
       if (!reader.ok() || ioa != 0) {
         ICSFUZZ_COV_BLOCK();
-        return {};
+        return;
       }
       if ((cot & 0x3F) != kCotActivation) {
         ICSFUZZ_COV_BLOCK();
-        response.write_bytes(
-            Bytes{type_id, 1, kCotUnknownCot, 0,
-                  static_cast<std::uint8_t>(ca & 0xFF),
-                  static_cast<std::uint8_t>(ca >> 8), 0, 0, 0, qoi});
-        return build_i(response.bytes());
+        response.write_u8s(type_id, 1, kCotUnknownCot, 0, ca & 0xFF, ca >> 8,
+                           0, 0, 0, qoi);
+        build_i(response.span());
+        return;
       }
       if (qoi == 20) {
         ICSFUZZ_COV_BLOCK();  // global interrogation: report a point
-        response.write_bytes(
-            Bytes{kMSpNa1, 1, 20, 0, static_cast<std::uint8_t>(ca & 0xFF),
-                  static_cast<std::uint8_t>(ca >> 8), 0x01, 0x00, 0x00, 0x01});
+        response.write_u8s(kMSpNa1, 1, 20, 0, ca & 0xFF, ca >> 8, 0x01, 0x00,
+                           0x00, 0x01);
       } else if (qoi >= 21 && qoi <= 28) {
         ICSFUZZ_COV_BLOCK();  // station group 1-8 interrogation
-        response.write_bytes(
-            Bytes{kMSpNa1, 1, qoi, 0, static_cast<std::uint8_t>(ca & 0xFF),
-                  static_cast<std::uint8_t>(ca >> 8), 0x02, 0x00, 0x00, 0x00});
+        response.write_u8s(kMSpNa1, 1, qoi, 0, ca & 0xFF, ca >> 8, 0x02, 0x00,
+                           0x00, 0x00);
       } else if (qoi >= 29 && qoi <= 36) {
         ICSFUZZ_COV_BLOCK();  // measurand group interrogation: scaled reply
-        response.write_bytes(
-            Bytes{kMMeNb1, 1, qoi, 0, static_cast<std::uint8_t>(ca & 0xFF),
-                  static_cast<std::uint8_t>(ca >> 8), 0x10, 0x00, 0x00, 0x34,
-                  0x12, 0x00});
+        response.write_u8s(kMMeNb1, 1, qoi, 0, ca & 0xFF, ca >> 8, 0x10, 0x00,
+                           0x00, 0x34, 0x12, 0x00);
       } else {
         ICSFUZZ_COV_BLOCK();  // undefined qualifier
-        return {};
+        return;
       }
-      response.write_bytes(Bytes{type_id, 1, kCotActivationCon, 0,
-                                 static_cast<std::uint8_t>(ca & 0xFF),
-                                 static_cast<std::uint8_t>(ca >> 8), 0, 0, 0,
-                                 qoi});
-      return build_i(response.bytes());
+      response.write_u8s(type_id, 1, kCotActivationCon, 0, ca & 0xFF, ca >> 8,
+                         0, 0, 0, qoi);
+      build_i(response.span());
+      return;
     }
     case kCScNa1: {
       ICSFUZZ_COV_BLOCK();  // single command
@@ -256,11 +261,11 @@ Bytes Iec104Server::handle_asdu(ByteSpan asdu) {
       const std::uint8_t sco = reader.read_u8();
       if (!reader.ok()) {
         ICSFUZZ_COV_BLOCK();
-        return {};
+        return;
       }
       if (ioa < 0x1000 || ioa > 0x1010) {
         ICSFUZZ_COV_BLOCK();  // unknown object address
-        return {};
+        return;
       }
       const bool select = (sco & 0x80) != 0;
       if (select) {
@@ -271,7 +276,7 @@ Bytes Iec104Server::handle_asdu(ByteSpan asdu) {
         if (selected_ioa_ != ioa) {
           ICSFUZZ_COV_BLOCK();  // execute targets a different object: abort
           selected_ = false;
-          return {};
+          return;
         }
         ICSFUZZ_COV_BLOCK();  // execute after select: deepest command path
         selected_ = false;
@@ -292,46 +297,46 @@ Bytes Iec104Server::handle_asdu(ByteSpan asdu) {
             break;
           default:
             ICSFUZZ_COV_BLOCK();  // reserved qualifier: refuse execution
-            return {};
+            return;
         }
       } else {
         ICSFUZZ_COV_BLOCK();  // execute without select
-        return {};
+        return;
       }
-      response.write_bytes(Bytes{
-          kCScNa1, 1, kCotActivationCon, 0, static_cast<std::uint8_t>(ca & 0xFF),
-          static_cast<std::uint8_t>(ca >> 8),
-          static_cast<std::uint8_t>(ioa & 0xFF),
-          static_cast<std::uint8_t>((ioa >> 8) & 0xFF),
-          static_cast<std::uint8_t>((ioa >> 16) & 0xFF), sco});
-      return build_i(response.bytes());
+      response.write_u8s(kCScNa1, 1, kCotActivationCon, 0, ca & 0xFF, ca >> 8,
+                         ioa & 0xFF, (ioa >> 8) & 0xFF, (ioa >> 16) & 0xFF,
+                         sco);
+      build_i(response.span());
+      return;
     }
     case kCCsNa1: {
       ICSFUZZ_COV_BLOCK();  // clock synchronisation
       const std::uint32_t ioa =
           static_cast<std::uint32_t>(reader.read_uint(3, Endian::Little));
-      Bytes time = reader.read_bytes(7);
+      const std::size_t time_pos = reader.position();
+      reader.skip(7);
       if (!reader.ok() || ioa != 0) {
         ICSFUZZ_COV_BLOCK();
-        return {};
+        return;
       }
+      const ByteSpan time = asdu.subspan(time_pos, 7);
       // Validate CP56Time2a: minutes < 60, hours < 24.
       if ((time[2] & 0x3F) >= 60 || (time[3] & 0x1F) >= 24) {
         ICSFUZZ_COV_BLOCK();  // invalid timestamp
-        return {};
+        return;
       }
       ICSFUZZ_COV_BLOCK();
-      response.write_bytes(Bytes{kCCsNa1, 1, kCotActivationCon, 0,
-                                 static_cast<std::uint8_t>(ca & 0xFF),
-                                 static_cast<std::uint8_t>(ca >> 8), 0, 0, 0});
+      response.write_u8s(kCCsNa1, 1, kCotActivationCon, 0, ca & 0xFF, ca >> 8,
+                         0, 0, 0);
       response.write_bytes(time);
-      return build_i(response.bytes());
+      build_i(response.span());
+      return;
     }
     case kCSeNb1: {
       ICSFUZZ_COV_BLOCK();  // set-point command, scaled value
       if (ca == 0xFFFF) {
         ICSFUZZ_COV_BLOCK();  // setpoints must not be broadcast
-        return {};
+        return;
       }
       const std::uint32_t ioa =
           static_cast<std::uint32_t>(reader.read_uint(3, Endian::Little));
@@ -339,16 +344,16 @@ Bytes Iec104Server::handle_asdu(ByteSpan asdu) {
       const std::uint8_t qos = reader.read_u8();
       if (!reader.ok()) {
         ICSFUZZ_COV_BLOCK();
-        return {};
+        return;
       }
       if (ioa < 0x1900 || ioa > 0x1903) {
         ICSFUZZ_COV_BLOCK();  // unknown setpoint register
-        return {};
+        return;
       }
       const std::uint8_t ql = qos & 0x7F;
       if (ql > 3) {
         ICSFUZZ_COV_BLOCK();  // undefined qualifier-of-set-point
-        return {};
+        return;
       }
       if ((qos & 0x80) != 0) {
         ICSFUZZ_COV_BLOCK();  // select phase
@@ -365,54 +370,46 @@ Bytes Iec104Server::handle_asdu(ByteSpan asdu) {
         }
       } else {
         ICSFUZZ_COV_BLOCK();  // execute without select
-        return {};
+        return;
       }
-      response.write_bytes(Bytes{
-          kCSeNb1, 1, kCotActivationCon, 0,
-          static_cast<std::uint8_t>(ca & 0xFF),
-          static_cast<std::uint8_t>(ca >> 8),
-          static_cast<std::uint8_t>(ioa & 0xFF),
-          static_cast<std::uint8_t>((ioa >> 8) & 0xFF),
-          static_cast<std::uint8_t>((ioa >> 16) & 0xFF),
-          static_cast<std::uint8_t>(value & 0xFF),
-          static_cast<std::uint8_t>(value >> 8), qos});
-      return build_i(response.bytes());
+      response.write_u8s(kCSeNb1, 1, kCotActivationCon, 0, ca & 0xFF, ca >> 8,
+                         ioa & 0xFF, (ioa >> 8) & 0xFF, (ioa >> 16) & 0xFF,
+                         value & 0xFF, value >> 8, qos);
+      build_i(response.span());
+      return;
     }
     case kCDcNa1: {
       ICSFUZZ_COV_BLOCK();  // double command (breaker-style control)
       if (ca == 0xFFFF) {
         ICSFUZZ_COV_BLOCK();  // controls must not be broadcast
-        return {};
+        return;
       }
       const std::uint32_t ioa =
           static_cast<std::uint32_t>(reader.read_uint(3, Endian::Little));
       const std::uint8_t dco = reader.read_u8();
       if (!reader.ok()) {
         ICSFUZZ_COV_BLOCK();
-        return {};
+        return;
       }
       const std::uint8_t dcs = dco & 0x03;
       if (dcs == 0 || dcs == 3) {
         ICSFUZZ_COV_BLOCK();  // DCS "not permitted" values
-        return {};
+        return;
       }
       if (ioa < 0x1800 || ioa > 0x1804) {
         ICSFUZZ_COV_BLOCK();  // unknown double point
-        return {};
+        return;
       }
       if (dcs == 2 && (dco & 0x80) == 0) {
         ICSFUZZ_COV_BLOCK();  // direct CLOSE requires select first: refuse
-        return {};
+        return;
       }
       ICSFUZZ_COV_BLOCK();  // accepted double command
-      response.write_bytes(Bytes{
-          kCDcNa1, 1, kCotActivationCon, 0,
-          static_cast<std::uint8_t>(ca & 0xFF),
-          static_cast<std::uint8_t>(ca >> 8),
-          static_cast<std::uint8_t>(ioa & 0xFF),
-          static_cast<std::uint8_t>((ioa >> 8) & 0xFF),
-          static_cast<std::uint8_t>((ioa >> 16) & 0xFF), dco});
-      return build_i(response.bytes());
+      response.write_u8s(kCDcNa1, 1, kCotActivationCon, 0, ca & 0xFF, ca >> 8,
+                         ioa & 0xFF, (ioa >> 8) & 0xFF, (ioa >> 16) & 0xFF,
+                         dco);
+      build_i(response.span());
+      return;
     }
     case kCCiNa1: {
       ICSFUZZ_COV_BLOCK();  // counter interrogation
@@ -421,17 +418,17 @@ Bytes Iec104Server::handle_asdu(ByteSpan asdu) {
       const std::uint8_t qcc = reader.read_u8();
       if (!reader.ok() || ioa != 0) {
         ICSFUZZ_COV_BLOCK();
-        return {};
+        return;
       }
       const std::uint8_t rqt = qcc & 0x3F;  // request qualifier
       const std::uint8_t frz = qcc >> 6;    // freeze/reset qualifier
       if (rqt == 0 || rqt > 5) {
         ICSFUZZ_COV_BLOCK();  // undefined counter group
-        return {};
+        return;
       }
       if (frz == 3 && rqt != 5) {
         ICSFUZZ_COV_BLOCK();  // reset only defined for the general request
-        return {};
+        return;
       }
       switch (frz) {
         case 0:
@@ -448,36 +445,30 @@ Bytes Iec104Server::handle_asdu(ByteSpan asdu) {
           break;
       }
       ICSFUZZ_COV_BLOCK();
-      response.write_bytes(Bytes{kCCiNa1, 1, kCotActivationCon, 0,
-                                 static_cast<std::uint8_t>(ca & 0xFF),
-                                 static_cast<std::uint8_t>(ca >> 8), 0, 0, 0,
-                                 qcc});
-      return build_i(response.bytes());
+      response.write_u8s(kCCiNa1, 1, kCotActivationCon, 0, ca & 0xFF, ca >> 8,
+                         0, 0, 0, qcc);
+      build_i(response.span());
+      return;
     }
     case kCRdNa1: {
       ICSFUZZ_COV_BLOCK();  // read command
       if (ca == 0xFFFF) {
         ICSFUZZ_COV_BLOCK();  // reads must not be broadcast
-        return {};
+        return;
       }
       const std::uint32_t ioa =
           static_cast<std::uint32_t>(reader.read_uint(3, Endian::Little));
       if (!reader.ok() || !reader.at_end()) {
         ICSFUZZ_COV_BLOCK();
-        return {};
+        return;
       }
       if (ioa >= 0x0100 && ioa <= 0x0107) {
         ICSFUZZ_COV_BLOCK();  // single-point bank
         if ((ioa & 1) != 0) {
           ICSFUZZ_COV_BLOCK();  // odd points latch inverted state
         }
-        response.write_bytes(Bytes{
-            kMSpNa1, 1, 5 /* COT: requested */, 0,
-            static_cast<std::uint8_t>(ca & 0xFF),
-            static_cast<std::uint8_t>(ca >> 8),
-            static_cast<std::uint8_t>(ioa & 0xFF),
-            static_cast<std::uint8_t>((ioa >> 8) & 0xFF), 0,
-            static_cast<std::uint8_t>(ioa & 1)});
+        response.write_u8s(kMSpNa1, 1, 5 /* COT: requested */, 0, ca & 0xFF,
+                           ca >> 8, ioa & 0xFF, (ioa >> 8) & 0xFF, 0, ioa & 1);
       } else if (ioa >= 0x0200 && ioa <= 0x0207) {
         ICSFUZZ_COV_BLOCK();  // measurand bank
         switch (ioa & 3) {
@@ -494,29 +485,26 @@ Bytes Iec104Server::handle_asdu(ByteSpan asdu) {
             ICSFUZZ_COV_BLOCK();  // frequency channel scaling
             break;
         }
-        response.write_bytes(Bytes{
-            kMMeNb1, 1, 5, 0, static_cast<std::uint8_t>(ca & 0xFF),
-            static_cast<std::uint8_t>(ca >> 8),
-            static_cast<std::uint8_t>(ioa & 0xFF),
-            static_cast<std::uint8_t>((ioa >> 8) & 0xFF), 0, 0x34, 0x12,
-            0x00});
+        response.write_u8s(kMMeNb1, 1, 5, 0, ca & 0xFF, ca >> 8, ioa & 0xFF,
+                           (ioa >> 8) & 0xFF, 0, 0x34, 0x12, 0x00);
       } else {
         ICSFUZZ_COV_BLOCK();  // unknown object
-        return {};
+        return;
       }
-      return build_i(response.bytes());
+      build_i(response.span());
+      return;
     }
     case kMSpNa1:
     case kMMeNb1: {
       ICSFUZZ_COV_BLOCK();  // monitor-direction type sent to a slave
-      response.write_bytes(Bytes{type_id, 1, kCotUnknownType, 0,
-                                 static_cast<std::uint8_t>(ca & 0xFF),
-                                 static_cast<std::uint8_t>(ca >> 8), 0, 0, 0});
-      return build_i(response.bytes());
+      response.write_u8s(type_id, 1, kCotUnknownType, 0, ca & 0xFF, ca >> 8,
+                         0, 0, 0);
+      build_i(response.span());
+      return;
     }
     default:
       ICSFUZZ_COV_BLOCK();  // unknown type identification
-      return {};
+      return;
   }
 }
 

@@ -27,6 +27,11 @@ class Iec104Server final : public ProtocolTarget {
   /// and returns the concatenated responses.
   Bytes process(ByteSpan packet) override;
 
+  /// Allocation-free hot path: responses assemble in member scratch
+  /// writers whose capacity converges, then copy into the caller's reused
+  /// buffer. Byte-identical to process().
+  void process_into(ByteSpan packet, Bytes& response) override;
+
   static constexpr std::size_t kMaxFramesPerStream = 8;
 
   // -- Introspection for tests. --
@@ -34,14 +39,16 @@ class Iec104Server final : public ProtocolTarget {
   [[nodiscard]] std::uint16_t recv_seq() const { return recv_seq_; }
 
  private:
-  Bytes process_frame(ByteSpan frame);
-  Bytes handle_u_frame(std::uint8_t control);
-  Bytes handle_s_frame(ByteSpan control);
-  Bytes handle_i_frame(ByteSpan control, ByteSpan asdu);
-  Bytes handle_asdu(ByteSpan asdu);
+  // Handlers append outbound APCI frames into response_writer_; handle_asdu
+  // stages the response ASDU in asdu_writer_ before build_i frames it.
+  void process_frame(ByteSpan frame);
+  void handle_u_frame(std::uint8_t control);
+  void handle_s_frame(ByteSpan control);
+  void handle_i_frame(ByteSpan control, ByteSpan asdu);
+  void handle_asdu(ByteSpan asdu);
 
-  Bytes build_u(std::uint8_t control) const;
-  Bytes build_i(ByteSpan asdu);
+  void build_u(std::uint8_t control);
+  void build_i(ByteSpan asdu);
 
   bool started_ = false;
   std::uint16_t send_seq_ = 0;
@@ -49,6 +56,10 @@ class Iec104Server final : public ProtocolTarget {
   bool selected_ = false;          // select-before-operate latch (C_SC_NA_1)
   std::uint32_t selected_ioa_ = 0; // object the select armed
   bool setpoint_selected_ = false; // select latch for C_SE_NB_1
+
+  // Reused scratch (see process_into).
+  ByteWriter response_writer_;  ///< concatenated outbound APCI frames
+  ByteWriter asdu_writer_;      ///< response ASDU of one I frame
 };
 
 }  // namespace icsfuzz::proto

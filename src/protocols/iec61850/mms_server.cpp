@@ -172,6 +172,12 @@ void write_visible_string(ByteWriter& writer, std::string_view text) {
   writer.write_string(text);
 }
 
+/// A string view over raw BER bytes (no copy — the view aliases the packet).
+std::string_view as_view(ByteSpan span) {
+  return std::string_view(reinterpret_cast<const char*>(span.data()),
+                          span.size());
+}
+
 // ----- Object reference resolution -------------------------------------
 
 struct ResolvedAttribute {
@@ -337,10 +343,16 @@ void MmsServer::reset() {
 }
 
 Bytes MmsServer::process(ByteSpan packet) {
+  Bytes response;
+  process_into(packet, response);
+  return response;
+}
+
+void MmsServer::process_into(ByteSpan packet, Bytes& response) {
   ICSFUZZ_COV_BLOCK();
   // Stream framing: each TPKT envelope declares its own total length in
   // octets 2-3.
-  Bytes responses;
+  response_writer_.clear();
   std::size_t offset = 0;
   for (std::size_t frames = 0; frames < kMaxFramesPerStream; ++frames) {
     if (packet.size() - offset < 4) break;
@@ -348,14 +360,14 @@ Bytes MmsServer::process(ByteSpan packet) {
         (packet[offset + 2] << 8) | packet[offset + 3]);
     if (frame_size < 4 || packet.size() - offset < frame_size) break;
     ICSFUZZ_COV_BLOCK();
-    Bytes response = process_frame(packet.subspan(offset, frame_size));
-    append(responses, response);
+    process_frame(packet.subspan(offset, frame_size));
     offset += frame_size;
   }
-  return responses;
+  const ByteSpan out = response_writer_.span();
+  response.assign(out.begin(), out.end());
 }
 
-Bytes MmsServer::process_frame(ByteSpan packet) {
+void MmsServer::process_frame(ByteSpan packet) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(packet);
   const std::uint8_t version = reader.read_u8();
@@ -363,51 +375,55 @@ Bytes MmsServer::process_frame(ByteSpan packet) {
   const std::uint16_t length = reader.read_u16(Endian::Big);
   if (!reader.ok() || version != 0x03 || reserved != 0x00) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   if (length != packet.size()) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   ICSFUZZ_COV_BLOCK();
-  return handle_pdu(packet.subspan(4));
+  handle_pdu(packet.subspan(4));
 }
 
-Bytes MmsServer::handle_pdu(ByteSpan pdu) {
+void MmsServer::handle_pdu(ByteSpan pdu) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(pdu);
   auto tlv = read_tlv(reader, pdu);
   if (!tlv || !reader.at_end()) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   switch (tlv->tag) {
     case kInitiateRequest:
       ICSFUZZ_COV_BLOCK();
-      return handle_initiate(tlv->value);
+      handle_initiate(tlv->value);
+      return;
     case kConcludeRequest:
       ICSFUZZ_COV_BLOCK();
-      if (!associated_) return {};
+      if (!associated_) return;
       associated_ = false;
-      return Bytes{kConcludeResponse, 0x00};
+      response_writer_.write_u8s(kConcludeResponse, 0x00);
+      return;
     case kConfirmedRequest:
       ICSFUZZ_COV_BLOCK();
       if (!associated_) {
         ICSFUZZ_COV_BLOCK();
-        return {};
+        return;
       }
-      return handle_confirmed(tlv->value);
+      handle_confirmed(tlv->value);
+      return;
     case kInformationReport:
       ICSFUZZ_COV_BLOCK();
-      if (!associated_) return {};
-      return handle_information_report(tlv->value);
+      if (!associated_) return;
+      handle_information_report(tlv->value);
+      return;
     default:
       ICSFUZZ_COV_BLOCK();
-      return {};
+      return;
   }
 }
 
-Bytes MmsServer::handle_initiate(ByteSpan body) {
+void MmsServer::handle_initiate(ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   // initiate-Request: max PDU size (0x80 len2..4), proposed version
   // (0x81 len1), parameter CBB (0x82 len<=2), services supported
@@ -420,103 +436,108 @@ Bytes MmsServer::handle_initiate(ByteSpan body) {
     auto tlv = read_tlv(reader, body);
     if (!tlv) {
       ICSFUZZ_COV_BLOCK();
-      return {};
+      return;
     }
     switch (tlv->tag) {
       case 0x80:
         ICSFUZZ_COV_BLOCK();
-        if (tlv->value.empty() || tlv->value.size() > 4) return {};
+        if (tlv->value.empty() || tlv->value.size() > 4) return;
         pdu_size = static_cast<std::uint32_t>(
             decode_uint(tlv->value, Endian::Big));
         break;
       case 0x81:
         ICSFUZZ_COV_BLOCK();
-        if (tlv->value.size() != 1) return {};
+        if (tlv->value.size() != 1) return;
         version = tlv->value[0];
         break;
       case 0x82:
         ICSFUZZ_COV_BLOCK();
-        if (tlv->value.size() > 2) return {};
+        if (tlv->value.size() > 2) return;
         break;
       case 0x83:
         ICSFUZZ_COV_BLOCK();
-        if (tlv->value.size() > 11) return {};
+        if (tlv->value.size() > 11) return;
         saw_services = true;
         break;
       default:
         ICSFUZZ_COV_BLOCK();
-        return {};
+        return;
     }
   }
   if (pdu_size < 1024 || pdu_size > 65000) {
     ICSFUZZ_COV_BLOCK();
-    return {};  // unacceptable PDU size
+    return;  // unacceptable PDU size
   }
   if (version != 1) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   if (!saw_services) {
     ICSFUZZ_COV_BLOCK();
-    return {};  // services-supported bitmap is mandatory
+    return;  // services-supported bitmap is mandatory
   }
   ICSFUZZ_COV_BLOCK();  // association accepted
   associated_ = true;
   negotiated_pdu_size_ = pdu_size < 32000 ? pdu_size : 32000;
-  ByteWriter payload;
-  payload.write_u8(0x80);
-  payload.write_u8(4);
-  payload.write_u32(negotiated_pdu_size_, Endian::Big);
-  payload.write_u8(0x81);
-  payload.write_u8(1);
-  payload.write_u8(1);
-  ByteWriter out;
-  write_tlv(out, kInitiateResponse, payload.bytes());
-  return out.take();
+  payload_writer_.clear();
+  payload_writer_.write_u8(0x80);
+  payload_writer_.write_u8(4);
+  payload_writer_.write_u32(negotiated_pdu_size_, Endian::Big);
+  payload_writer_.write_u8(0x81);
+  payload_writer_.write_u8(1);
+  payload_writer_.write_u8(1);
+  write_tlv(response_writer_, kInitiateResponse, payload_writer_.span());
 }
 
-Bytes MmsServer::handle_confirmed(ByteSpan body) {
+void MmsServer::handle_confirmed(ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(body);
   auto invoke = read_tlv(reader, body);
   if (!invoke || invoke->tag != 0x02 || invoke->value.empty() ||
       invoke->value.size() > 4) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   const std::uint32_t invoke_id =
       static_cast<std::uint32_t>(decode_uint(invoke->value, Endian::Big));
   auto service = read_tlv(reader, body);
   if (!service || !reader.at_end()) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   switch (service->tag) {
     case kSvcStatus:
       ICSFUZZ_COV_BLOCK();
-      return service_status(invoke_id);
+      service_status(invoke_id);
+      return;
     case kSvcGetNameList:
       ICSFUZZ_COV_BLOCK();
-      return service_name_list(invoke_id, service->value);
+      service_name_list(invoke_id, service->value);
+      return;
     case kSvcIdentify:
       ICSFUZZ_COV_BLOCK();
-      return service_identify(invoke_id);
+      service_identify(invoke_id);
+      return;
     case kSvcRead:
       ICSFUZZ_COV_BLOCK();
-      return service_read(invoke_id, service->value);
+      service_read(invoke_id, service->value);
+      return;
     case kSvcWrite:
       ICSFUZZ_COV_BLOCK();
-      return service_write(invoke_id, service->value);
+      service_write(invoke_id, service->value);
+      return;
     case kSvcGetVarAttributes:
       ICSFUZZ_COV_BLOCK();
-      return service_access_attributes(invoke_id, service->value);
+      service_access_attributes(invoke_id, service->value);
+      return;
     default:
       ICSFUZZ_COV_BLOCK();
-      return service_error(invoke_id, 0x01, 0x05);  // service unsupported
+      service_error(invoke_id, 0x01, 0x05);  // service unsupported
+      return;
   }
 }
 
-Bytes MmsServer::service_name_list(std::uint32_t invoke_id, ByteSpan body) {
+void MmsServer::service_name_list(std::uint32_t invoke_id, ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   // GetNameList: object class (0x80 len1: 0=LD list, 9=vmd scope / LN list
   // within a domain), optional domain name (0x81), optional continue-after
@@ -525,30 +546,34 @@ Bytes MmsServer::service_name_list(std::uint32_t invoke_id, ByteSpan body) {
   auto klass_tlv = read_tlv(reader, body);
   if (!klass_tlv || klass_tlv->tag != 0x80 || klass_tlv->value.size() != 1) {
     ICSFUZZ_COV_BLOCK();
-    return service_error(invoke_id, 0x07, 0x01);
+    service_error(invoke_id, 0x07, 0x01);
+    return;
   }
   const std::uint8_t klass = klass_tlv->value[0];
-  std::string domain;
-  std::string continue_after;
+  std::string_view domain;
+  std::string_view continue_after;
   while (!reader.at_end()) {
     auto tlv = read_tlv(reader, body);
     if (!tlv) {
       ICSFUZZ_COV_BLOCK();
-      return service_error(invoke_id, 0x07, 0x01);
+      service_error(invoke_id, 0x07, 0x01);
+      return;
     }
     if (tlv->tag == 0x81) {
       ICSFUZZ_COV_BLOCK();
-      domain = to_string(tlv->value);
+      domain = as_view(tlv->value);
     } else if (tlv->tag == 0x82) {
       ICSFUZZ_COV_BLOCK();
-      continue_after = to_string(tlv->value);
+      continue_after = as_view(tlv->value);
     } else {
       ICSFUZZ_COV_BLOCK();
-      return service_error(invoke_id, 0x07, 0x01);
+      service_error(invoke_id, 0x07, 0x01);
+      return;
     }
   }
 
-  ByteWriter names;
+  items_writer_.clear();
+  ByteWriter& names = items_writer_;
   bool more_follows = false;
   if (klass == 9 && domain.empty()) {
     ICSFUZZ_COV_BLOCK();  // list of logical devices
@@ -566,7 +591,8 @@ Bytes MmsServer::service_name_list(std::uint32_t invoke_id, ByteSpan body) {
     const LogicalDevice* device = find_device(domain);
     if (device == nullptr) {
       ICSFUZZ_COV_BLOCK();
-      return service_error(invoke_id, 0x07, 0x02);  // domain unknown
+      service_error(invoke_id, 0x07, 0x02);  // domain unknown
+      return;
     }
     bool emitting = continue_after.empty();
     std::size_t emitted = 0;
@@ -574,9 +600,14 @@ Bytes MmsServer::service_name_list(std::uint32_t invoke_id, ByteSpan body) {
       const LogicalNode& node = *(device->nodes + n);
       for (std::size_t o = 0; o < node.object_count; ++o) {
         ICSFUZZ_COV_BLOCK();
-        std::string entry(node.name);
-        entry += "$";
-        entry += std::string(node.objects[o].name);
+        // "LN$DO" entries are bounded by the static model (<= 12 chars),
+        // so a stack buffer replaces the old std::string concatenation.
+        std::array<char, 32> entry_buf{};
+        std::size_t entry_len = 0;
+        for (char c : node.name) entry_buf[entry_len++] = c;
+        entry_buf[entry_len++] = '$';
+        for (char c : node.objects[o].name) entry_buf[entry_len++] = c;
+        const std::string_view entry(entry_buf.data(), entry_len);
         if (!emitting) {
           emitting = entry == continue_after;
           continue;
@@ -592,36 +623,39 @@ Bytes MmsServer::service_name_list(std::uint32_t invoke_id, ByteSpan body) {
     }
   } else {
     ICSFUZZ_COV_BLOCK();
-    return service_error(invoke_id, 0x07, 0x03);  // class unsupported
+    service_error(invoke_id, 0x07, 0x03);  // class unsupported
+    return;
   }
 
-  ByteWriter payload;
-  write_tlv(payload, 0xA0, names.bytes());
-  payload.write_u8(0x81);
-  payload.write_u8(1);
-  payload.write_u8(more_follows ? 0xFF : 0x00);
-  return confirmed_response(invoke_id, kSvcGetNameList, payload.bytes());
+  payload_writer_.clear();
+  write_tlv(payload_writer_, 0xA0, names.span());
+  payload_writer_.write_u8(0x81);
+  payload_writer_.write_u8(1);
+  payload_writer_.write_u8(more_follows ? 0xFF : 0x00);
+  confirmed_response(invoke_id, kSvcGetNameList, payload_writer_.span());
 }
 
-Bytes MmsServer::service_read(std::uint32_t invoke_id, ByteSpan body) {
+void MmsServer::service_read(std::uint32_t invoke_id, ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   // Read: one or more object references (0x1A visible strings), each
   // resolved against the IED directory.
   ByteReader reader(body);
-  ByteWriter results;
+  items_writer_.clear();
+  ByteWriter& results = items_writer_;
   std::size_t item_count = 0;
   while (!reader.at_end()) {
     auto item = read_tlv(reader, body);
     if (!item || item->tag != 0x1A) {
       ICSFUZZ_COV_BLOCK();
-      return service_error(invoke_id, 0x07, 0x01);
+      service_error(invoke_id, 0x07, 0x01);
+      return;
     }
     if (++item_count > 8) {
       ICSFUZZ_COV_BLOCK();
-      return service_error(invoke_id, 0x07, 0x04);  // too many items
+      service_error(invoke_id, 0x07, 0x04);  // too many items
+      return;
     }
-    const std::string ref = to_string(item->value);
-    auto resolved = resolve_reference(ref);
+    auto resolved = resolve_reference(as_view(item->value));
     if (!resolved) {
       ICSFUZZ_COV_BLOCK();  // per-item failure: access-error component
       results.write_u8(0x80);
@@ -635,14 +669,15 @@ Bytes MmsServer::service_read(std::uint32_t invoke_id, ByteSpan body) {
   }
   if (item_count == 0) {
     ICSFUZZ_COV_BLOCK();
-    return service_error(invoke_id, 0x07, 0x01);
+    service_error(invoke_id, 0x07, 0x01);
+    return;
   }
-  ByteWriter payload;
-  write_tlv(payload, 0xA1, results.bytes());
-  return confirmed_response(invoke_id, kSvcRead, payload.bytes());
+  payload_writer_.clear();
+  write_tlv(payload_writer_, 0xA1, results.span());
+  confirmed_response(invoke_id, kSvcRead, payload_writer_.span());
 }
 
-Bytes MmsServer::service_write(std::uint32_t invoke_id, ByteSpan body) {
+void MmsServer::service_write(std::uint32_t invoke_id, ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   // Write: object reference (0x1A), then a typed value TLV.
   ByteReader reader(body);
@@ -650,99 +685,108 @@ Bytes MmsServer::service_write(std::uint32_t invoke_id, ByteSpan body) {
   auto value = read_tlv(reader, body);
   if (!item || item->tag != 0x1A || !value || !reader.at_end()) {
     ICSFUZZ_COV_BLOCK();
-    return service_error(invoke_id, 0x07, 0x01);
+    service_error(invoke_id, 0x07, 0x01);
+    return;
   }
-  const std::string ref = to_string(item->value);
-  auto resolved = resolve_reference(ref);
+  auto resolved = resolve_reference(as_view(item->value));
   if (!resolved) {
     ICSFUZZ_COV_BLOCK();
-    return service_error(invoke_id, 0x0A, 0x02);  // object non-existent
+    service_error(invoke_id, 0x0A, 0x02);  // object non-existent
+    return;
   }
   if (!resolved->attribute->writable) {
     ICSFUZZ_COV_BLOCK();
-    return service_error(invoke_id, 0x0A, 0x03);  // access denied
+    service_error(invoke_id, 0x0A, 0x03);  // access denied
+    return;
   }
   // Type check: the written TLV must match the attribute's MMS type.
   if (value->tag != resolved->attribute->mms_type) {
     ICSFUZZ_COV_BLOCK();
-    return service_error(invoke_id, 0x0A, 0x07);  // type inconsistent
+    service_error(invoke_id, 0x0A, 0x07);  // type inconsistent
+    return;
   }
   switch (value->tag) {
     case 0x83:
       ICSFUZZ_COV_BLOCK();
       if (value->value.size() != 1) {
-        return service_error(invoke_id, 0x0A, 0x07);
+        service_error(invoke_id, 0x0A, 0x07);
+        return;
       }
       break;
     case 0x85:
     case 0x86:
       ICSFUZZ_COV_BLOCK();
       if (value->value.empty() || value->value.size() > 4) {
-        return service_error(invoke_id, 0x0A, 0x07);
+        service_error(invoke_id, 0x0A, 0x07);
+        return;
       }
       break;
     case 0x8A:
       ICSFUZZ_COV_BLOCK();
       if (value->value.size() > 64) {
-        return service_error(invoke_id, 0x0A, 0x07);
+        service_error(invoke_id, 0x0A, 0x07);
+        return;
       }
       break;
     default:
       ICSFUZZ_COV_BLOCK();
-      return service_error(invoke_id, 0x0A, 0x07);
+      service_error(invoke_id, 0x0A, 0x07);
+      return;
   }
   ICSFUZZ_COV_BLOCK();  // write accepted (static model: value not stored)
   ++writes_accepted_;
-  ByteWriter payload;
-  payload.write_u8(0x80);
-  payload.write_u8(0);
-  return confirmed_response(invoke_id, kSvcWrite, payload.bytes());
+  payload_writer_.clear();
+  payload_writer_.write_u8(0x80);
+  payload_writer_.write_u8(0);
+  confirmed_response(invoke_id, kSvcWrite, payload_writer_.span());
 }
 
-Bytes MmsServer::service_access_attributes(std::uint32_t invoke_id,
-                                           ByteSpan body) {
+void MmsServer::service_access_attributes(std::uint32_t invoke_id,
+                                          ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(body);
   auto item = read_tlv(reader, body);
   if (!item || item->tag != 0x1A || !reader.at_end()) {
     ICSFUZZ_COV_BLOCK();
-    return service_error(invoke_id, 0x07, 0x01);
+    service_error(invoke_id, 0x07, 0x01);
+    return;
   }
-  auto resolved = resolve_reference(to_string(item->value));
+  auto resolved = resolve_reference(as_view(item->value));
   if (!resolved) {
     ICSFUZZ_COV_BLOCK();
-    return service_error(invoke_id, 0x0A, 0x02);
+    service_error(invoke_id, 0x0A, 0x02);
+    return;
   }
   ICSFUZZ_COV_BLOCK();
-  ByteWriter payload;
-  payload.write_u8(0x80);
-  payload.write_u8(1);
-  payload.write_u8(resolved->attribute->writable ? 0x01 : 0x00);
-  payload.write_u8(0x81);
-  payload.write_u8(1);
-  payload.write_u8(resolved->attribute->mms_type);
-  return confirmed_response(invoke_id, kSvcGetVarAttributes, payload.bytes());
+  payload_writer_.clear();
+  payload_writer_.write_u8(0x80);
+  payload_writer_.write_u8(1);
+  payload_writer_.write_u8(resolved->attribute->writable ? 0x01 : 0x00);
+  payload_writer_.write_u8(0x81);
+  payload_writer_.write_u8(1);
+  payload_writer_.write_u8(resolved->attribute->mms_type);
+  confirmed_response(invoke_id, kSvcGetVarAttributes, payload_writer_.span());
 }
 
-Bytes MmsServer::service_identify(std::uint32_t invoke_id) const {
+void MmsServer::service_identify(std::uint32_t invoke_id) {
   ICSFUZZ_COV_BLOCK();
-  ByteWriter payload;
-  write_visible_string(payload, "icsfuzz");
-  write_visible_string(payload, "MMS-IED");
-  write_visible_string(payload, "1.0");
-  return confirmed_response(invoke_id, 0xA2, payload.bytes());
+  payload_writer_.clear();
+  write_visible_string(payload_writer_, "icsfuzz");
+  write_visible_string(payload_writer_, "MMS-IED");
+  write_visible_string(payload_writer_, "1.0");
+  confirmed_response(invoke_id, 0xA2, payload_writer_.span());
 }
 
-Bytes MmsServer::service_status(std::uint32_t invoke_id) const {
+void MmsServer::service_status(std::uint32_t invoke_id) {
   ICSFUZZ_COV_BLOCK();
-  ByteWriter payload;
-  payload.write_u8(0x80);
-  payload.write_u8(1);
-  payload.write_u8(0x01);  // vmd logical status: operational
-  return confirmed_response(invoke_id, kSvcStatus, payload.bytes());
+  payload_writer_.clear();
+  payload_writer_.write_u8(0x80);
+  payload_writer_.write_u8(1);
+  payload_writer_.write_u8(0x01);  // vmd logical status: operational
+  confirmed_response(invoke_id, kSvcStatus, payload_writer_.span());
 }
 
-Bytes MmsServer::handle_information_report(ByteSpan body) {
+void MmsServer::handle_information_report(ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   // InformationReport: RptID string (0x1A), inclusion bitstring (0x84),
   // then one value TLV per set bit. Parsed and counted, no response.
@@ -752,7 +796,7 @@ Bytes MmsServer::handle_information_report(ByteSpan body) {
   if (!rpt_id || rpt_id->tag != 0x1A || !inclusion || inclusion->tag != 0x84 ||
       inclusion->value.empty()) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   std::size_t expected = 0;
   for (std::size_t i = 1; i < inclusion->value.size(); ++i) {
@@ -766,44 +810,39 @@ Bytes MmsServer::handle_information_report(ByteSpan body) {
     auto value = read_tlv(reader, body);
     if (!value) {
       ICSFUZZ_COV_BLOCK();
-      return {};
+      return;
     }
     ++seen;
   }
   if (seen != expected || !reader.at_end()) {
     ICSFUZZ_COV_BLOCK();
-    return {};  // inclusion bitmap disagrees with value count
+    return;  // inclusion bitmap disagrees with value count
   }
   ICSFUZZ_COV_BLOCK();
   ++reports_seen_;
-  return {};
 }
 
-Bytes MmsServer::confirmed_response(std::uint32_t invoke_id,
-                                    std::uint8_t service_tag,
-                                    ByteSpan payload) const {
-  ByteWriter inner;
-  inner.write_u8(0x02);
-  inner.write_u8(4);
-  inner.write_u32(invoke_id, Endian::Big);
-  write_tlv(inner, service_tag, payload);
-  ByteWriter out;
-  write_tlv(out, kConfirmedResponse, inner.bytes());
-  return out.take();
+void MmsServer::confirmed_response(std::uint32_t invoke_id,
+                                   std::uint8_t service_tag,
+                                   ByteSpan payload) {
+  inner_writer_.clear();
+  inner_writer_.write_u8(0x02);
+  inner_writer_.write_u8(4);
+  inner_writer_.write_u32(invoke_id, Endian::Big);
+  write_tlv(inner_writer_, service_tag, payload);
+  write_tlv(response_writer_, kConfirmedResponse, inner_writer_.span());
 }
 
-Bytes MmsServer::service_error(std::uint32_t invoke_id, std::uint8_t klass,
-                               std::uint8_t code) const {
-  ByteWriter inner;
-  inner.write_u8(0x02);
-  inner.write_u8(4);
-  inner.write_u32(invoke_id, Endian::Big);
-  inner.write_u8(0x80 | (klass & 0x0F));
-  inner.write_u8(1);
-  inner.write_u8(code);
-  ByteWriter out;
-  write_tlv(out, kConfirmedError, inner.bytes());
-  return out.take();
+void MmsServer::service_error(std::uint32_t invoke_id, std::uint8_t klass,
+                              std::uint8_t code) {
+  inner_writer_.clear();
+  inner_writer_.write_u8(0x02);
+  inner_writer_.write_u8(4);
+  inner_writer_.write_u32(invoke_id, Endian::Big);
+  inner_writer_.write_u8(0x80 | (klass & 0x0F));
+  inner_writer_.write_u8(1);
+  inner_writer_.write_u8(code);
+  write_tlv(response_writer_, kConfirmedError, inner_writer_.span());
 }
 
 }  // namespace icsfuzz::proto

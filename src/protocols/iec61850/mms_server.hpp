@@ -35,6 +35,11 @@ class MmsServer final : public ProtocolTarget {
   /// and returns the concatenated responses.
   Bytes process(ByteSpan packet) override;
 
+  /// Allocation-free hot path: BER payloads assemble in one member scratch
+  /// writer per nesting level, then copy into the caller's reused buffer.
+  /// Byte-identical to process().
+  void process_into(ByteSpan packet, Bytes& response) override;
+
   static constexpr std::size_t kMaxFramesPerStream = 8;
 
   // -- Introspection for tests. --
@@ -45,28 +50,36 @@ class MmsServer final : public ProtocolTarget {
   }
 
  private:
-  Bytes process_frame(ByteSpan frame);
-  Bytes handle_pdu(ByteSpan pdu);
-  Bytes handle_initiate(ByteSpan body);
-  Bytes handle_confirmed(ByteSpan body);
-  Bytes service_name_list(std::uint32_t invoke_id, ByteSpan body);
-  Bytes service_read(std::uint32_t invoke_id, ByteSpan body);
-  Bytes service_write(std::uint32_t invoke_id, ByteSpan body);
-  Bytes service_access_attributes(std::uint32_t invoke_id, ByteSpan body);
-  Bytes service_identify(std::uint32_t invoke_id) const;
-  Bytes service_status(std::uint32_t invoke_id) const;
-  Bytes handle_information_report(ByteSpan body);
+  // Handlers append outbound PDUs into response_writer_; the three scratch
+  // writers stage one BER nesting level each (see process_into).
+  void process_frame(ByteSpan frame);
+  void handle_pdu(ByteSpan pdu);
+  void handle_initiate(ByteSpan body);
+  void handle_confirmed(ByteSpan body);
+  void service_name_list(std::uint32_t invoke_id, ByteSpan body);
+  void service_read(std::uint32_t invoke_id, ByteSpan body);
+  void service_write(std::uint32_t invoke_id, ByteSpan body);
+  void service_access_attributes(std::uint32_t invoke_id, ByteSpan body);
+  void service_identify(std::uint32_t invoke_id);
+  void service_status(std::uint32_t invoke_id);
+  void handle_information_report(ByteSpan body);
 
-  Bytes confirmed_response(std::uint32_t invoke_id, std::uint8_t service_tag,
-                           ByteSpan payload) const;
-  Bytes service_error(std::uint32_t invoke_id, std::uint8_t klass,
-                      std::uint8_t code) const;
+  void confirmed_response(std::uint32_t invoke_id, std::uint8_t service_tag,
+                          ByteSpan payload);
+  void service_error(std::uint32_t invoke_id, std::uint8_t klass,
+                     std::uint8_t code);
 
   bool associated_ = false;
   std::uint32_t negotiated_pdu_size_ = 0;
   std::uint32_t reads_served_ = 0;
   std::uint32_t writes_accepted_ = 0;
   std::uint32_t reports_seen_ = 0;
+
+  // Reused scratch (see process_into).
+  ByteWriter response_writer_;  ///< concatenated outbound TPKT payloads
+  ByteWriter inner_writer_;     ///< invoke id + service TLV of one response
+  ByteWriter payload_writer_;   ///< service-level payload
+  ByteWriter items_writer_;     ///< innermost list (names / read results)
 };
 
 }  // namespace icsfuzz::proto

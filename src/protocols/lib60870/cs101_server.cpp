@@ -54,38 +54,44 @@ std::uint8_t Cs101Server::asdu_get_cot(ByteSpan asdu) const {
 }
 
 Bytes Cs101Server::process(ByteSpan packet) {
+  Bytes response;
+  process_into(packet, response);
+  return response;
+}
+
+void Cs101Server::process_into(ByteSpan packet, Bytes& response) {
   ICSFUZZ_COV_BLOCK();
   // TCP stream framing: each APCI frame occupies 2 + length bytes.
-  Bytes responses;
+  response_writer_.clear();
   std::size_t offset = 0;
   for (std::size_t frames = 0; frames < kMaxFramesPerStream; ++frames) {
     if (packet.size() - offset < 2) break;
     const std::size_t frame_size = 2 + packet[offset + 1];
     if (packet.size() - offset < frame_size) break;
     ICSFUZZ_COV_BLOCK();
-    Bytes response = process_frame(packet.subspan(offset, frame_size));
-    append(responses, response);
+    process_frame(packet.subspan(offset, frame_size));
     if (san::FaultSink::tripped()) break;  // the server process just died
     offset += frame_size;
   }
-  return responses;
+  const ByteSpan out = response_writer_.span();
+  response.assign(out.begin(), out.end());
 }
 
-Bytes Cs101Server::process_frame(ByteSpan packet) {
+void Cs101Server::process_frame(ByteSpan packet) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(packet);
   const std::uint8_t start = reader.read_u8();
   const std::uint8_t length = reader.read_u8();
   if (!reader.ok() || start != kStartByte) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   if (length < 4 || reader.remaining() != length) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
-  const Bytes control = reader.read_bytes(4);
-  const Bytes asdu = reader.read_rest();
+  const ByteSpan control = packet.subspan(2, 4);
+  const ByteSpan asdu = packet.subspan(6);
 
   if ((control[0] & 0x03) == 0x03) {
     ICSFUZZ_COV_BLOCK();  // U frame
@@ -93,82 +99,91 @@ Bytes Cs101Server::process_frame(ByteSpan packet) {
       case kStartDtAct:
         ICSFUZZ_COV_BLOCK();
         started_ = true;
-        return Bytes{kStartByte, 4, kStartDtCon, 0, 0, 0};
+        response_writer_.write_u8s(kStartByte, 4, kStartDtCon, 0, 0, 0);
+        return;
       case kTestFrAct:
         ICSFUZZ_COV_BLOCK();
-        return Bytes{kStartByte, 4, kTestFrCon, 0, 0, 0};
+        response_writer_.write_u8s(kStartByte, 4, kTestFrCon, 0, 0, 0);
+        return;
       default:
         ICSFUZZ_COV_BLOCK();
-        return {};
+        return;
     }
   }
   if ((control[0] & 0x03) == 0x01) {
     ICSFUZZ_COV_BLOCK();  // S frame — sequence ack only
-    return {};
+    return;
   }
   ICSFUZZ_COV_BLOCK();  // I frame
   if (!started_) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   recv_seq_ = static_cast<std::uint16_t>((recv_seq_ + 1) & 0x7FFF);
-  return handle_asdu(asdu);
+  handle_asdu(asdu);
 }
 
-Bytes Cs101Server::handle_asdu(ByteSpan asdu) {
+void Cs101Server::handle_asdu(ByteSpan asdu) {
   ICSFUZZ_COV_BLOCK();
   // Type id and VSQ are checked for presence (lib60870 does verify these
   // two while constructing the ASDU object)...
   if (asdu.size() < 2) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   const std::uint8_t type_id = asdu[0];
   const std::uint8_t vsq = asdu[1];
   // ...but the COT accessor is the paper's unchecked one: an ASDU holding
   // exactly two bytes dies here, as in Listing 2's gdb session.
   const std::uint8_t cot = asdu_get_cot(asdu);
-  if (san::FaultSink::tripped()) return {};  // process died here
+  if (san::FaultSink::tripped()) return;  // process died here
 
   if (asdu.size() < 6) {
     ICSFUZZ_COV_BLOCK();
-    return {};  // header incomplete (originator / common address missing)
+    return;  // header incomplete (originator / common address missing)
   }
   const std::uint16_t ca =
       static_cast<std::uint16_t>(asdu[4] | (asdu[5] << 8));
   if (ca != kCommonAddress && ca != 0xFFFF) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   const ByteSpan objects = asdu.subspan(6);
 
   switch (type_id) {
     case kCIcNa1:
       ICSFUZZ_COV_BLOCK();
-      return handle_interrogation(objects, cot, ca);
+      handle_interrogation(objects, cot, ca);
+      return;
     case kCRdNa1:
       ICSFUZZ_COV_BLOCK();
-      return handle_read_command(objects, ca);
+      handle_read_command(objects, ca);
+      return;
     case kCScNa1:
       ICSFUZZ_COV_BLOCK();
-      return handle_single_command(objects, false, ca);
+      handle_single_command(objects, false, ca);
+      return;
     case kCScTa1:
       ICSFUZZ_COV_BLOCK();
-      return handle_single_command(objects, true, ca);
+      handle_single_command(objects, true, ca);
+      return;
     case kMMeNb1:
       ICSFUZZ_COV_BLOCK();
-      return handle_sequence_measurands(objects, vsq, ca);
+      handle_sequence_measurands(objects, vsq, ca);
+      return;
     case kMSpNa1:
       ICSFUZZ_COV_BLOCK();  // monitor-direction type: negative confirm
-      return confirm(type_id, 45, ca, {});
+      confirm(type_id, 45, ca, {});
+      return;
     default:
       ICSFUZZ_COV_BLOCK();
-      return confirm(type_id, 44, ca, {});  // unknown type id
+      confirm(type_id, 44, ca, {});  // unknown type id
+      return;
   }
 }
 
-Bytes Cs101Server::handle_interrogation(ByteSpan objects, std::uint8_t cot,
-                                        std::uint16_t ca) {
+void Cs101Server::handle_interrogation(ByteSpan objects, std::uint8_t cot,
+                                       std::uint16_t ca) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(objects);
   const std::uint32_t ioa =
@@ -176,48 +191,57 @@ Bytes Cs101Server::handle_interrogation(ByteSpan objects, std::uint8_t cot,
   const std::uint8_t qoi = reader.read_u8();
   if (!reader.ok() || !reader.at_end()) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   if (ioa != 0) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
+  payload_writer_.clear();
   if (cot != kCotActivation) {
     ICSFUZZ_COV_BLOCK();
-    return confirm(kCIcNa1, 45, ca, Bytes{0, 0, 0, qoi});
+    payload_writer_.write_u8s(0, 0, 0, qoi);
+    confirm(kCIcNa1, 45, ca, payload_writer_.span());
+    return;
   }
   if (qoi == 20) {
     ICSFUZZ_COV_BLOCK();  // global interrogation: full scan
     ++commands_executed_;
-    return confirm(kMSpNa1, kCotInterrogated, ca,
-                   Bytes{0x01, 0x00, 0x00, 0x01});
+    payload_writer_.write_u8s(0x01, 0x00, 0x00, 0x01);
+    confirm(kMSpNa1, kCotInterrogated, ca, payload_writer_.span());
+    return;
   }
   if (qoi >= 21 && qoi <= 28) {
     ICSFUZZ_COV_BLOCK();  // station group scan
     ++commands_executed_;
-    return confirm(kMSpNa1, qoi, ca, Bytes{0x02, 0x00, 0x00, 0x00});
+    payload_writer_.write_u8s(0x02, 0x00, 0x00, 0x00);
+    confirm(kMSpNa1, qoi, ca, payload_writer_.span());
+    return;
   }
   if (qoi >= 29 && qoi <= 36) {
     ICSFUZZ_COV_BLOCK();  // measurand group scan
     ++commands_executed_;
-    return confirm(kMMeNb1, qoi, ca, Bytes{0x10, 0x00, 0x00, 0x34, 0x12, 0x00});
+    payload_writer_.write_u8s(0x10, 0x00, 0x00, 0x34, 0x12, 0x00);
+    confirm(kMMeNb1, qoi, ca, payload_writer_.span());
+    return;
   }
   ICSFUZZ_COV_BLOCK();  // undefined qualifier of interrogation
-  return confirm(kCIcNa1, 10, ca, Bytes{0, 0, 0, qoi});
+  payload_writer_.write_u8s(0, 0, 0, qoi);
+  confirm(kCIcNa1, 10, ca, payload_writer_.span());
 }
 
-Bytes Cs101Server::handle_read_command(ByteSpan objects, std::uint16_t ca) {
+void Cs101Server::handle_read_command(ByteSpan objects, std::uint16_t ca) {
   ICSFUZZ_COV_BLOCK();
   if (ca == 0xFFFF) {
     ICSFUZZ_COV_BLOCK();  // reads must not be broadcast
-    return {};
+    return;
   }
   ByteReader reader(objects);
   const std::uint32_t ioa =
       static_cast<std::uint32_t>(reader.read_uint(3, Endian::Little));
   if (!reader.ok() || !reader.at_end()) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   if (ioa >= 0x0100 && ioa <= 0x0107) {
     ICSFUZZ_COV_BLOCK();  // single-point bank
@@ -225,10 +249,10 @@ Bytes Cs101Server::handle_read_command(ByteSpan objects, std::uint16_t ca) {
       ICSFUZZ_COV_BLOCK();  // odd points report inverted state
     }
     ++commands_executed_;
-    return confirm(kMSpNa1, 5, ca,
-                   Bytes{static_cast<std::uint8_t>(ioa & 0xFF),
-                         static_cast<std::uint8_t>((ioa >> 8) & 0xFF), 0,
-                         static_cast<std::uint8_t>(ioa & 1)});
+    payload_writer_.clear();
+    payload_writer_.write_u8s(ioa & 0xFF, (ioa >> 8) & 0xFF, 0, ioa & 1);
+    confirm(kMSpNa1, 5, ca, payload_writer_.span());
+    return;
   }
   if (ioa >= 0x0200 && ioa <= 0x0207) {
     ICSFUZZ_COV_BLOCK();  // measurand bank, per-channel scaling
@@ -239,29 +263,29 @@ Bytes Cs101Server::handle_read_command(ByteSpan objects, std::uint16_t ca) {
       default: ICSFUZZ_COV_BLOCK(); break; // frequency channel
     }
     ++commands_executed_;
-    return confirm(kMMeNb1, 5, ca,
-                   Bytes{static_cast<std::uint8_t>(ioa & 0xFF),
-                         static_cast<std::uint8_t>((ioa >> 8) & 0xFF), 0,
-                         0x34, 0x12, 0x00});
+    payload_writer_.clear();
+    payload_writer_.write_u8s(ioa & 0xFF, (ioa >> 8) & 0xFF, 0, 0x34, 0x12,
+                              0x00);
+    confirm(kMMeNb1, 5, ca, payload_writer_.span());
+    return;
   }
   ICSFUZZ_COV_BLOCK();  // unknown object address
-  return {};
 }
 
-Bytes Cs101Server::handle_single_command(ByteSpan objects, bool time_tagged,
-                                         std::uint16_t ca) {
+void Cs101Server::handle_single_command(ByteSpan objects, bool time_tagged,
+                                        std::uint16_t ca) {
   ICSFUZZ_COV_BLOCK();
   // lib60870-style parse: IOA + SCO are present-checked...
   if (objects.size() < 4) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   const std::uint32_t ioa = static_cast<std::uint32_t>(
       objects[0] | (objects[1] << 8) | (objects[2] << 16));
   const std::uint8_t sco = objects[3];
   if (ioa < 0x2000 || ioa > 0x2008) {
     ICSFUZZ_COV_BLOCK();  // unknown control point
-    return {};
+    return;
   }
   if (time_tagged) {
     ICSFUZZ_COV_BLOCK();
@@ -272,11 +296,11 @@ Bytes Cs101Server::handle_single_command(ByteSpan objects, bool time_tagged,
     std::uint8_t acc = 0;
     for (std::size_t i = 4; i < 11; ++i) {
       acc = static_cast<std::uint8_t>(acc ^ view.at(i));
-      if (san::FaultSink::tripped()) return {};  // process died here
+      if (san::FaultSink::tripped()) return;  // process died here
     }
     if ((view.at(6) & 0x3F) >= 60) {  // minutes field sanity
       ICSFUZZ_COV_BLOCK();
-      return {};
+      return;
     }
   }
   const bool select = (sco & 0x80) != 0;
@@ -288,7 +312,7 @@ Bytes Cs101Server::handle_single_command(ByteSpan objects, bool time_tagged,
     if (selected_ioa_ != ioa) {
       ICSFUZZ_COV_BLOCK();  // execute on a different object: abort select
       selected_ = false;
-      return {};
+      return;
     }
     ICSFUZZ_COV_BLOCK();  // execute after matching select
     selected_ = false;
@@ -300,28 +324,29 @@ Bytes Cs101Server::handle_single_command(ByteSpan objects, bool time_tagged,
       case 3: ICSFUZZ_COV_BLOCK(); break;  // persistent output
       default:
         ICSFUZZ_COV_BLOCK();  // reserved qualifier: refuse
-        return {};
+        return;
     }
   } else {
     ICSFUZZ_COV_BLOCK();  // execute without select: refused
-    return {};
+    return;
   }
   ICSFUZZ_COV_BLOCK();  // command accepted
   ++commands_executed_;
-  Bytes payload{objects[0], objects[1], objects[2], sco};
-  return confirm(time_tagged ? kCScTa1 : kCScNa1, kCotActivationCon, ca,
-                 payload);
+  payload_writer_.clear();
+  payload_writer_.write_u8s(objects[0], objects[1], objects[2], sco);
+  confirm(time_tagged ? kCScTa1 : kCScNa1, kCotActivationCon, ca,
+          payload_writer_.span());
 }
 
-Bytes Cs101Server::handle_sequence_measurands(ByteSpan objects,
-                                              std::uint8_t vsq,
-                                              std::uint16_t ca) {
+void Cs101Server::handle_sequence_measurands(ByteSpan objects,
+                                             std::uint8_t vsq,
+                                             std::uint16_t ca) {
   ICSFUZZ_COV_BLOCK();
   const bool sequence = (vsq & 0x80) != 0;
   const std::uint8_t count = vsq & 0x7F;
   if (count == 0) {
     ICSFUZZ_COV_BLOCK();
-    return {};
+    return;
   }
   std::int32_t sum = 0;
   if (sequence) {
@@ -337,7 +362,7 @@ Bytes Cs101Server::handle_sequence_measurands(ByteSpan objects,
       const std::int16_t value = static_cast<std::int16_t>(
           view.at(base) | (view.at(base + 1) << 8));
       const std::uint8_t qds = view.at(base + 2);
-      if (san::FaultSink::tripped()) return {};  // process died here
+      if (san::FaultSink::tripped()) return;  // process died here
       if ((qds & 0x80) == 0) sum += value;  // skip invalid-flagged points
     }
   } else {
@@ -350,37 +375,37 @@ Bytes Cs101Server::handle_sequence_measurands(ByteSpan objects,
       const std::uint8_t qds = reader.read_u8();
       if (!reader.ok()) {
         ICSFUZZ_COV_BLOCK();
-        return {};  // truncated object list — correctly rejected here
+        return;  // truncated object list — correctly rejected here
       }
       if ((qds & 0x80) == 0) sum += static_cast<std::int16_t>(raw);
     }
   }
   ICSFUZZ_COV_BLOCK();
   const std::uint16_t folded = static_cast<std::uint16_t>(sum & 0xFFFF);
-  return confirm(kMMeNb1, kCotActivationCon, ca,
-                 Bytes{0, 0, 0, static_cast<std::uint8_t>(folded & 0xFF),
-                       static_cast<std::uint8_t>(folded >> 8), 0});
+  payload_writer_.clear();
+  payload_writer_.write_u8s(0, 0, 0, folded & 0xFF, folded >> 8, 0);
+  confirm(kMMeNb1, kCotActivationCon, ca, payload_writer_.span());
 }
 
-Bytes Cs101Server::confirm(std::uint8_t type_id, std::uint8_t cot,
-                           std::uint16_t ca, ByteSpan payload) {
+void Cs101Server::confirm(std::uint8_t type_id, std::uint8_t cot,
+                          std::uint16_t ca, ByteSpan payload) {
   ICSFUZZ_COV_BLOCK();
-  ByteWriter asdu;
-  asdu.write_u8(type_id);
-  asdu.write_u8(1);
-  asdu.write_u8(cot);
-  asdu.write_u8(0);
-  asdu.write_u16(ca, Endian::Little);
-  asdu.write_bytes(payload);
+  asdu_writer_.clear();
+  asdu_writer_.write_u8(type_id);
+  asdu_writer_.write_u8(1);
+  asdu_writer_.write_u8(cot);
+  asdu_writer_.write_u8(0);
+  asdu_writer_.write_u16(ca, Endian::Little);
+  asdu_writer_.write_bytes(payload);
 
-  ByteWriter frame;
-  frame.write_u8(kStartByte);
-  frame.write_u8(static_cast<std::uint8_t>(4 + asdu.size()));
-  frame.write_u16(static_cast<std::uint16_t>(send_seq_ << 1), Endian::Little);
-  frame.write_u16(static_cast<std::uint16_t>(recv_seq_ << 1), Endian::Little);
-  frame.write_bytes(asdu.bytes());
+  response_writer_.write_u8(kStartByte);
+  response_writer_.write_u8(static_cast<std::uint8_t>(4 + asdu_writer_.size()));
+  response_writer_.write_u16(static_cast<std::uint16_t>(send_seq_ << 1),
+                             Endian::Little);
+  response_writer_.write_u16(static_cast<std::uint16_t>(recv_seq_ << 1),
+                             Endian::Little);
+  response_writer_.write_bytes(asdu_writer_.span());
   send_seq_ = static_cast<std::uint16_t>((send_seq_ + 1) & 0x7FFF);
-  return frame.take();
 }
 
 }  // namespace icsfuzz::proto

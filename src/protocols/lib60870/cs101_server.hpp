@@ -34,6 +34,11 @@ class Cs101Server final : public ProtocolTarget {
   /// and returns the concatenated responses.
   Bytes process(ByteSpan packet) override;
 
+  /// Allocation-free hot path: responses assemble in member scratch
+  /// writers whose capacity converges, then copy into the caller's reused
+  /// buffer. Byte-identical to process().
+  void process_into(ByteSpan packet, Bytes& response) override;
+
   static constexpr std::size_t kMaxFramesPerStream = 8;
 
   // -- Introspection for tests. --
@@ -42,21 +47,23 @@ class Cs101Server final : public ProtocolTarget {
   }
 
  private:
-  Bytes process_frame(ByteSpan frame);
+  // Handlers stage the information-object payload in payload_writer_ and
+  // hand it to confirm(), which frames into response_writer_.
+  void process_frame(ByteSpan frame);
 
   /// The paper's CS101_ASDU_getCOT: unchecked access to asdu[2].
   std::uint8_t asdu_get_cot(ByteSpan asdu) const;
 
-  Bytes handle_asdu(ByteSpan asdu);
-  Bytes handle_interrogation(ByteSpan objects, std::uint8_t cot,
+  void handle_asdu(ByteSpan asdu);
+  void handle_interrogation(ByteSpan objects, std::uint8_t cot,
+                            std::uint16_t ca);
+  void handle_read_command(ByteSpan objects, std::uint16_t ca);
+  void handle_single_command(ByteSpan objects, bool time_tagged,
                              std::uint16_t ca);
-  Bytes handle_read_command(ByteSpan objects, std::uint16_t ca);
-  Bytes handle_single_command(ByteSpan objects, bool time_tagged,
-                              std::uint16_t ca);
-  Bytes handle_sequence_measurands(ByteSpan objects, std::uint8_t vsq,
-                                   std::uint16_t ca);
-  Bytes confirm(std::uint8_t type_id, std::uint8_t cot, std::uint16_t ca,
-                ByteSpan payload);
+  void handle_sequence_measurands(ByteSpan objects, std::uint8_t vsq,
+                                  std::uint16_t ca);
+  void confirm(std::uint8_t type_id, std::uint8_t cot, std::uint16_t ca,
+               ByteSpan payload);
 
   bool started_ = false;
   std::uint16_t recv_seq_ = 0;
@@ -64,6 +71,11 @@ class Cs101Server final : public ProtocolTarget {
   std::uint32_t commands_executed_ = 0;
   bool selected_ = false;           // select-before-operate latch
   std::uint32_t selected_ioa_ = 0;  // object the select armed
+
+  // Reused scratch (see process_into).
+  ByteWriter response_writer_;  ///< concatenated outbound APCI frames
+  ByteWriter asdu_writer_;      ///< response ASDU of one confirm
+  ByteWriter payload_writer_;   ///< information objects of one confirm
 };
 
 }  // namespace icsfuzz::proto

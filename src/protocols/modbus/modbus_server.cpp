@@ -48,10 +48,16 @@ void ModbusServer::reset() {
 }
 
 Bytes ModbusServer::process(ByteSpan packet) {
+  Bytes response;
+  process_into(packet, response);
+  return response;
+}
+
+void ModbusServer::process_into(ByteSpan packet, Bytes& response) {
   ICSFUZZ_COV_BLOCK();
   // TCP stream framing: each MBAP frame occupies 6 + length bytes; a
   // partial trailing frame means "wait for more data" and ends the drain.
-  Bytes responses;
+  response_writer_.clear();
   std::size_t offset = 0;
   for (std::size_t frames = 0; frames < kMaxFramesPerStream; ++frames) {
     if (packet.size() - offset < 7) break;  // no complete header left
@@ -60,15 +66,15 @@ Bytes ModbusServer::process(ByteSpan packet) {
     const std::size_t frame_size = 6 + static_cast<std::size_t>(declared);
     if (declared < 1 || packet.size() - offset < frame_size) break;
     ICSFUZZ_COV_BLOCK();
-    Bytes response = process_frame(packet.subspan(offset, frame_size));
-    append(responses, response);
+    process_frame(packet.subspan(offset, frame_size));
     if (san::FaultSink::tripped()) break;  // the server process just died
     offset += frame_size;
   }
-  return responses;
+  const Bytes& out = response_writer_.bytes();
+  response.assign(out.begin(), out.end());
 }
 
-Bytes ModbusServer::process_frame(ByteSpan packet) {
+void ModbusServer::process_frame(ByteSpan packet) {
   ICSFUZZ_COV_BLOCK();
   // --- MBAP header ------------------------------------------------------
   ByteReader reader(packet);
@@ -78,108 +84,108 @@ Bytes ModbusServer::process_frame(ByteSpan packet) {
   const std::uint8_t unit = reader.read_u8();
   if (!reader.ok()) {
     ICSFUZZ_COV_BLOCK();
-    return {};  // runt frame
+    return;  // runt frame
   }
   if (protocol != 0) {
     ICSFUZZ_COV_BLOCK();
-    return {};  // not Modbus
+    return;  // not Modbus
   }
   if (length < 2 || length > 254) {
     ICSFUZZ_COV_BLOCK();
-    return {};  // MBAP length out of spec
+    return;  // MBAP length out of spec
   }
   if (reader.remaining() + 1 != length) {
     ICSFUZZ_COV_BLOCK();
-    return {};  // declared length disagrees with frame
+    return;  // declared length disagrees with frame
   }
   if (unit != kUnitId && unit != 0x00 && unit != 0xFF) {
     ICSFUZZ_COV_BLOCK();
-    return {};  // not addressed to us
+    return;  // not addressed to us
   }
   ICSFUZZ_COV_BLOCK();
-  return handle_pdu(ByteSpan(packet.data() + 7, packet.size() - 7), transaction,
-                    unit);
+  handle_pdu(ByteSpan(packet.data() + 7, packet.size() - 7), transaction,
+             unit);
 }
 
-Bytes ModbusServer::handle_pdu(ByteSpan pdu, std::uint16_t transaction,
-                               std::uint8_t unit) {
+void ModbusServer::handle_pdu(ByteSpan pdu, std::uint16_t transaction,
+                              std::uint8_t unit) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(pdu);
   const std::uint8_t function = reader.read_u8();
-  if (!reader.ok()) return {};
+  if (!reader.ok()) return;
   const ByteSpan body = pdu.subspan(1);
 
-  Bytes pdu_response;
+  pdu_writer_.clear();
   switch (function) {
     case kReadCoils:
       ICSFUZZ_COV_BLOCK();
-      pdu_response = read_bits(body, false);
+      read_bits(body, false);
       break;
     case kReadDiscreteInputs:
       ICSFUZZ_COV_BLOCK();
-      pdu_response = read_bits(body, true);
+      read_bits(body, true);
       break;
     case kReadHoldingRegisters:
       ICSFUZZ_COV_BLOCK();
-      pdu_response = read_registers(body, false);
+      read_registers(body, false);
       break;
     case kReadInputRegisters:
       ICSFUZZ_COV_BLOCK();
-      pdu_response = read_registers(body, true);
+      read_registers(body, true);
       break;
     case kWriteSingleCoil:
       ICSFUZZ_COV_BLOCK();
-      pdu_response = write_single_coil(body);
+      write_single_coil(body);
       break;
     case kWriteSingleRegister:
       ICSFUZZ_COV_BLOCK();
-      pdu_response = write_single_register(body);
+      write_single_register(body);
       break;
     case kWriteMultipleCoils:
       ICSFUZZ_COV_BLOCK();
-      pdu_response = write_multiple_coils(body);
+      write_multiple_coils(body);
       break;
     case kWriteMultipleRegisters:
       ICSFUZZ_COV_BLOCK();
-      pdu_response = write_multiple_registers(body);
+      write_multiple_registers(body);
       break;
     case kMaskWriteRegister:
       ICSFUZZ_COV_BLOCK();
-      pdu_response = mask_write_register(body);
+      mask_write_register(body);
       break;
     case kReadWriteMultiple:
       ICSFUZZ_COV_BLOCK();
-      pdu_response = read_write_multiple(body);
+      read_write_multiple(body);
       break;
     case kEncapsulatedInterface:
       ICSFUZZ_COV_BLOCK();
-      pdu_response = read_device_identification(body);
+      read_device_identification(body);
       break;
     default:
       ICSFUZZ_COV_BLOCK();
-      pdu_response = exception_response(function, kIllegalFunction);
+      exception_response(function, kIllegalFunction);
       break;
   }
-  if (pdu_response.empty()) return {};
+  if (pdu_writer_.size() == 0) return;
 
   // --- Response MBAP ----------------------------------------------------
-  ByteWriter writer;
-  writer.write_u16(transaction, Endian::Big);
-  writer.write_u16(0, Endian::Big);
-  writer.write_u16(static_cast<std::uint16_t>(pdu_response.size() + 1),
-                   Endian::Big);
-  writer.write_u8(unit);
-  writer.write_bytes(pdu_response);
-  return writer.take();
+  response_writer_.write_u16(transaction, Endian::Big);
+  response_writer_.write_u16(0, Endian::Big);
+  response_writer_.write_u16(static_cast<std::uint16_t>(pdu_writer_.size() + 1),
+                             Endian::Big);
+  response_writer_.write_u8(unit);
+  response_writer_.write_bytes(pdu_writer_.span());
 }
 
-Bytes ModbusServer::exception_response(std::uint8_t function,
-                                       std::uint8_t code) {
+void ModbusServer::exception_response(std::uint8_t function,
+                                      std::uint8_t code) {
   ICSFUZZ_COV_BLOCK();
-  return Bytes{static_cast<std::uint8_t>(function | 0x80), code};
+  pdu_writer_.clear();
+  pdu_writer_.write_u8(static_cast<std::uint8_t>(function | 0x80));
+  pdu_writer_.write_u8(code);
 }
 
-Bytes ModbusServer::read_bits(ByteSpan body, bool discrete) {
+void ModbusServer::read_bits(ByteSpan body, bool discrete) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(body);
   const std::uint16_t address = reader.read_u16(Endian::Big);
@@ -187,35 +193,36 @@ Bytes ModbusServer::read_bits(ByteSpan body, bool discrete) {
   const std::uint8_t function = discrete ? kReadDiscreteInputs : kReadCoils;
   if (!reader.ok() || !reader.at_end()) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(function, kIllegalDataValue);
+    exception_response(function, kIllegalDataValue);
+    return;
   }
   if (quantity == 0 || quantity > 2000) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(function, kIllegalDataValue);
+    exception_response(function, kIllegalDataValue);
+    return;
   }
   if (address >= kNumCoils || address + quantity > kNumCoils) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(function, kIllegalDataAddress);
+    exception_response(function, kIllegalDataAddress);
+    return;
   }
   ICSFUZZ_COV_BLOCK();  // valid read path
   const auto& bank = discrete ? discrete_ : coils_;
-  ByteWriter writer;
-  writer.write_u8(function);
-  writer.write_u8(static_cast<std::uint8_t>((quantity + 7) / 8));
+  pdu_writer_.write_u8(function);
+  pdu_writer_.write_u8(static_cast<std::uint8_t>((quantity + 7) / 8));
   std::uint8_t packed = 0;
   for (std::uint16_t i = 0; i < quantity; ++i) {
     ICSFUZZ_COV_BLOCK();  // loop body — hit-count buckets grade quantity
     if (bank[address + i]) packed |= static_cast<std::uint8_t>(1U << (i % 8));
     if (i % 8 == 7) {
-      writer.write_u8(packed);
+      pdu_writer_.write_u8(packed);
       packed = 0;
     }
   }
-  if (quantity % 8 != 0) writer.write_u8(packed);
-  return writer.take();
+  if (quantity % 8 != 0) pdu_writer_.write_u8(packed);
 }
 
-Bytes ModbusServer::read_registers(ByteSpan body, bool input_bank) {
+void ModbusServer::read_registers(ByteSpan body, bool input_bank) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(body);
   const std::uint16_t address = reader.read_u16(Endian::Big);
@@ -224,66 +231,70 @@ Bytes ModbusServer::read_registers(ByteSpan body, bool input_bank) {
       input_bank ? kReadInputRegisters : kReadHoldingRegisters;
   if (!reader.ok() || !reader.at_end()) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(function, kIllegalDataValue);
+    exception_response(function, kIllegalDataValue);
+    return;
   }
   if (quantity == 0 || quantity > 125) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(function, kIllegalDataValue);
+    exception_response(function, kIllegalDataValue);
+    return;
   }
   if (address >= kNumRegisters || address + quantity > kNumRegisters) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(function, kIllegalDataAddress);
+    exception_response(function, kIllegalDataAddress);
+    return;
   }
   ICSFUZZ_COV_BLOCK();  // valid read path
   const auto& bank = input_bank ? input_ : holding_;
-  ByteWriter writer;
-  writer.write_u8(function);
-  writer.write_u8(static_cast<std::uint8_t>(quantity * 2));
+  pdu_writer_.write_u8(function);
+  pdu_writer_.write_u8(static_cast<std::uint8_t>(quantity * 2));
   for (std::uint16_t i = 0; i < quantity; ++i) {
     ICSFUZZ_COV_BLOCK();
-    writer.write_u16(bank[address + i], Endian::Big);
+    pdu_writer_.write_u16(bank[address + i], Endian::Big);
   }
-  return writer.take();
 }
 
-Bytes ModbusServer::write_single_coil(ByteSpan body) {
+void ModbusServer::write_single_coil(ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(body);
   const std::uint16_t address = reader.read_u16(Endian::Big);
   const std::uint16_t value = reader.read_u16(Endian::Big);
   if (!reader.ok() || !reader.at_end()) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kWriteSingleCoil, kIllegalDataValue);
+    exception_response(kWriteSingleCoil, kIllegalDataValue);
+    return;
   }
   if (value != 0x0000 && value != 0xFF00) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kWriteSingleCoil, kIllegalDataValue);
+    exception_response(kWriteSingleCoil, kIllegalDataValue);
+    return;
   }
   if (address >= kNumCoils) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kWriteSingleCoil, kIllegalDataAddress);
+    exception_response(kWriteSingleCoil, kIllegalDataAddress);
+    return;
   }
   ICSFUZZ_COV_BLOCK();  // valid write path
   coils_[address] = value == 0xFF00;
-  ByteWriter writer;
-  writer.write_u8(kWriteSingleCoil);
-  writer.write_u16(address, Endian::Big);
-  writer.write_u16(value, Endian::Big);
-  return writer.take();
+  pdu_writer_.write_u8(kWriteSingleCoil);
+  pdu_writer_.write_u16(address, Endian::Big);
+  pdu_writer_.write_u16(value, Endian::Big);
 }
 
-Bytes ModbusServer::write_single_register(ByteSpan body) {
+void ModbusServer::write_single_register(ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(body);
   const std::uint16_t address = reader.read_u16(Endian::Big);
   const std::uint16_t value = reader.read_u16(Endian::Big);
   if (!reader.ok() || !reader.at_end()) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kWriteSingleRegister, kIllegalDataValue);
+    exception_response(kWriteSingleRegister, kIllegalDataValue);
+    return;
   }
   if (address >= kNumRegisters) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kWriteSingleRegister, kIllegalDataAddress);
+    exception_response(kWriteSingleRegister, kIllegalDataAddress);
+    return;
   }
   ICSFUZZ_COV_BLOCK();  // valid write path
   holding_[address] = value;
@@ -291,14 +302,12 @@ Bytes ModbusServer::write_single_register(ByteSpan body) {
     ICSFUZZ_COV_BLOCK();  // alarm-range write, extra bookkeeping path
     ++diagnostic_counter_;
   }
-  ByteWriter writer;
-  writer.write_u8(kWriteSingleRegister);
-  writer.write_u16(address, Endian::Big);
-  writer.write_u16(value, Endian::Big);
-  return writer.take();
+  pdu_writer_.write_u8(kWriteSingleRegister);
+  pdu_writer_.write_u16(address, Endian::Big);
+  pdu_writer_.write_u16(value, Endian::Big);
 }
 
-Bytes ModbusServer::write_multiple_coils(ByteSpan body) {
+void ModbusServer::write_multiple_coils(ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(body);
   const std::uint16_t address = reader.read_u16(Endian::Big);
@@ -306,32 +315,33 @@ Bytes ModbusServer::write_multiple_coils(ByteSpan body) {
   const std::uint8_t byte_count = reader.read_u8();
   if (!reader.ok()) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kWriteMultipleCoils, kIllegalDataValue);
+    exception_response(kWriteMultipleCoils, kIllegalDataValue);
+    return;
   }
   if (quantity == 0 || quantity > 0x07B0 ||
       byte_count != (quantity + 7) / 8 || reader.remaining() != byte_count) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kWriteMultipleCoils, kIllegalDataValue);
+    exception_response(kWriteMultipleCoils, kIllegalDataValue);
+    return;
   }
   if (address >= kNumCoils || address + quantity > kNumCoils) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kWriteMultipleCoils, kIllegalDataAddress);
+    exception_response(kWriteMultipleCoils, kIllegalDataAddress);
+    return;
   }
   ICSFUZZ_COV_BLOCK();  // valid write path
-  const Bytes payload = reader.read_rest();
+  const ByteSpan payload = reader.rest_span();
   for (std::uint16_t i = 0; i < quantity; ++i) {
     ICSFUZZ_COV_BLOCK();
     const std::uint8_t byte = payload[i / 8];
     coils_[address + i] = (byte >> (i % 8)) & 1U;
   }
-  ByteWriter writer;
-  writer.write_u8(kWriteMultipleCoils);
-  writer.write_u16(address, Endian::Big);
-  writer.write_u16(quantity, Endian::Big);
-  return writer.take();
+  pdu_writer_.write_u8(kWriteMultipleCoils);
+  pdu_writer_.write_u16(address, Endian::Big);
+  pdu_writer_.write_u16(quantity, Endian::Big);
 }
 
-Bytes ModbusServer::write_multiple_registers(ByteSpan body) {
+void ModbusServer::write_multiple_registers(ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(body);
   const std::uint16_t address = reader.read_u16(Endian::Big);
@@ -339,30 +349,31 @@ Bytes ModbusServer::write_multiple_registers(ByteSpan body) {
   const std::uint8_t byte_count = reader.read_u8();
   if (!reader.ok()) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kWriteMultipleRegisters, kIllegalDataValue);
+    exception_response(kWriteMultipleRegisters, kIllegalDataValue);
+    return;
   }
   if (quantity == 0 || quantity > 123 || byte_count != quantity * 2 ||
       reader.remaining() != byte_count) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kWriteMultipleRegisters, kIllegalDataValue);
+    exception_response(kWriteMultipleRegisters, kIllegalDataValue);
+    return;
   }
   if (address >= kNumRegisters || address + quantity > kNumRegisters) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kWriteMultipleRegisters, kIllegalDataAddress);
+    exception_response(kWriteMultipleRegisters, kIllegalDataAddress);
+    return;
   }
   ICSFUZZ_COV_BLOCK();  // valid write path
   for (std::uint16_t i = 0; i < quantity; ++i) {
     ICSFUZZ_COV_BLOCK();
     holding_[address + i] = reader.read_u16(Endian::Big);
   }
-  ByteWriter writer;
-  writer.write_u8(kWriteMultipleRegisters);
-  writer.write_u16(address, Endian::Big);
-  writer.write_u16(quantity, Endian::Big);
-  return writer.take();
+  pdu_writer_.write_u8(kWriteMultipleRegisters);
+  pdu_writer_.write_u16(address, Endian::Big);
+  pdu_writer_.write_u16(quantity, Endian::Big);
 }
 
-Bytes ModbusServer::mask_write_register(ByteSpan body) {
+void ModbusServer::mask_write_register(ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(body);
   const std::uint16_t address = reader.read_u16(Endian::Big);
@@ -370,24 +381,24 @@ Bytes ModbusServer::mask_write_register(ByteSpan body) {
   const std::uint16_t or_mask = reader.read_u16(Endian::Big);
   if (!reader.ok() || !reader.at_end()) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kMaskWriteRegister, kIllegalDataValue);
+    exception_response(kMaskWriteRegister, kIllegalDataValue);
+    return;
   }
   if (address >= kNumRegisters) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kMaskWriteRegister, kIllegalDataAddress);
+    exception_response(kMaskWriteRegister, kIllegalDataAddress);
+    return;
   }
   ICSFUZZ_COV_BLOCK();  // valid mask-write path
   holding_[address] = static_cast<std::uint16_t>(
       (holding_[address] & and_mask) | (or_mask & ~and_mask));
-  ByteWriter writer;
-  writer.write_u8(kMaskWriteRegister);
-  writer.write_u16(address, Endian::Big);
-  writer.write_u16(and_mask, Endian::Big);
-  writer.write_u16(or_mask, Endian::Big);
-  return writer.take();
+  pdu_writer_.write_u8(kMaskWriteRegister);
+  pdu_writer_.write_u16(address, Endian::Big);
+  pdu_writer_.write_u16(and_mask, Endian::Big);
+  pdu_writer_.write_u16(or_mask, Endian::Big);
 }
 
-Bytes ModbusServer::read_write_multiple(ByteSpan body) {
+void ModbusServer::read_write_multiple(ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(body);
   const std::uint16_t read_address = reader.read_u16(Endian::Big);
@@ -397,11 +408,13 @@ Bytes ModbusServer::read_write_multiple(ByteSpan body) {
   const std::uint8_t byte_count = reader.read_u8();
   if (!reader.ok()) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kReadWriteMultiple, kIllegalDataValue);
+    exception_response(kReadWriteMultiple, kIllegalDataValue);
+    return;
   }
   if (read_quantity == 0 || read_quantity > 125) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kReadWriteMultiple, kIllegalDataValue);
+    exception_response(kReadWriteMultiple, kIllegalDataValue);
+    return;
   }
   // BUG(modbus-rwmulti-uaf): the spec requires write_quantity >= 1, but this
   // check — like the libmodbus bug the paper's campaign surfaced — only
@@ -409,17 +422,20 @@ Bytes ModbusServer::read_write_multiple(ByteSpan body) {
   if (write_quantity > 121 || byte_count != write_quantity * 2 ||
       reader.remaining() != byte_count) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kReadWriteMultiple, kIllegalDataValue);
+    exception_response(kReadWriteMultiple, kIllegalDataValue);
+    return;
   }
   if (read_address >= kNumRegisters ||
       read_address + read_quantity > kNumRegisters) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kReadWriteMultiple, kIllegalDataAddress);
+    exception_response(kReadWriteMultiple, kIllegalDataAddress);
+    return;
   }
   if (write_quantity > 0 && (write_address >= kNumRegisters ||
                              write_address + write_quantity > kNumRegisters)) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kReadWriteMultiple, kIllegalDataAddress);
+    exception_response(kReadWriteMultiple, kIllegalDataAddress);
+    return;
   }
 
   ICSFUZZ_COV_BLOCK();  // validated 0x17 path
@@ -446,13 +462,13 @@ Bytes ModbusServer::read_write_multiple(ByteSpan body) {
     const std::uint16_t value = holding_[read_address + i];
     scratch.write(2 + i * 2, static_cast<std::uint8_t>(value >> 8));
     scratch.write(2 + i * 2 + 1, static_cast<std::uint8_t>(value & 0xFF));
-    if (san::FaultSink::tripped()) return {};  // process died here
+    if (san::FaultSink::tripped()) return;  // process died here
   }
-  if (san::FaultSink::tripped()) return {};
-  return scratch.storage();
+  if (san::FaultSink::tripped()) return;
+  pdu_writer_.write_bytes(ByteSpan(scratch.storage()));
 }
 
-Bytes ModbusServer::read_device_identification(ByteSpan body) {
+void ModbusServer::read_device_identification(ByteSpan body) {
   ICSFUZZ_COV_BLOCK();
   ByteReader reader(body);
   const std::uint8_t mei_type = reader.read_u8();
@@ -460,22 +476,24 @@ Bytes ModbusServer::read_device_identification(ByteSpan body) {
   const std::uint8_t object_id = reader.read_u8();
   if (!reader.ok() || !reader.at_end()) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kEncapsulatedInterface, kIllegalDataValue);
+    exception_response(kEncapsulatedInterface, kIllegalDataValue);
+    return;
   }
   if (mei_type != 0x0E) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kEncapsulatedInterface, kIllegalFunction);
+    exception_response(kEncapsulatedInterface, kIllegalFunction);
+    return;
   }
   if (read_dev_id == 0 || read_dev_id > 0x04) {
     ICSFUZZ_COV_BLOCK();
-    return exception_response(kEncapsulatedInterface, kIllegalDataValue);
+    exception_response(kEncapsulatedInterface, kIllegalDataValue);
+    return;
   }
 
-  ByteWriter writer;
-  writer.write_u8(kEncapsulatedInterface);
-  writer.write_u8(0x0E);
-  writer.write_u8(read_dev_id);
-  writer.write_u8(0x01);  // conformity level: basic
+  pdu_writer_.write_u8(kEncapsulatedInterface);
+  pdu_writer_.write_u8(0x0E);
+  pdu_writer_.write_u8(read_dev_id);
+  pdu_writer_.write_u8(0x01);  // conformity level: basic
 
   if (read_dev_id == 0x04) {
     ICSFUZZ_COV_BLOCK();  // individual object access
@@ -489,32 +507,37 @@ Bytes ModbusServer::read_device_identification(ByteSpan body) {
                            "device-id object table");
     // The index probe itself is the unchecked access.
     (void)table.at(object_id);
-    if (san::FaultSink::tripped()) return {};  // process died here
-    if (object_id >= kDeviceIdObjectCount) return {};
+    if (san::FaultSink::tripped()) {
+      pdu_writer_.clear();  // process died here: drop the partial PDU
+      return;
+    }
+    if (object_id >= kDeviceIdObjectCount) {
+      pdu_writer_.clear();
+      return;
+    }
     const char* text = kDeviceIdObjects[object_id];
-    writer.write_u8(0x00);  // more follows: no
-    writer.write_u8(object_id);
-    writer.write_u8(1);  // number of objects
-    writer.write_u8(object_id);
+    pdu_writer_.write_u8(0x00);  // more follows: no
+    pdu_writer_.write_u8(object_id);
+    pdu_writer_.write_u8(1);  // number of objects
+    pdu_writer_.write_u8(object_id);
     const std::string_view view(text);
-    writer.write_u8(static_cast<std::uint8_t>(view.size()));
-    writer.write_string(view);
-    return writer.take();
+    pdu_writer_.write_u8(static_cast<std::uint8_t>(view.size()));
+    pdu_writer_.write_string(view);
+    return;
   }
 
   ICSFUZZ_COV_BLOCK();  // stream access (basic/regular/extended)
   const std::size_t first = object_id < kDeviceIdObjectCount ? object_id : 0;
-  writer.write_u8(0x00);
-  writer.write_u8(0x00);
-  writer.write_u8(static_cast<std::uint8_t>(kDeviceIdObjectCount - first));
+  pdu_writer_.write_u8(0x00);
+  pdu_writer_.write_u8(0x00);
+  pdu_writer_.write_u8(static_cast<std::uint8_t>(kDeviceIdObjectCount - first));
   for (std::size_t i = first; i < kDeviceIdObjectCount; ++i) {
     ICSFUZZ_COV_BLOCK();
     const std::string_view view(kDeviceIdObjects[i]);
-    writer.write_u8(static_cast<std::uint8_t>(i));
-    writer.write_u8(static_cast<std::uint8_t>(view.size()));
-    writer.write_string(view);
+    pdu_writer_.write_u8(static_cast<std::uint8_t>(i));
+    pdu_writer_.write_u8(static_cast<std::uint8_t>(view.size()));
+    pdu_writer_.write_string(view);
   }
-  return writer.take();
 }
 
 }  // namespace icsfuzz::proto

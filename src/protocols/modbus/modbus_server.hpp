@@ -37,6 +37,11 @@ class ModbusServer final : public ProtocolTarget {
   /// and returns the concatenated responses.
   Bytes process(ByteSpan packet) override;
 
+  /// Allocation-free hot path: responses assemble in member scratch
+  /// writers whose capacity converges, then copy into the caller's reused
+  /// buffer. Byte-identical to process().
+  void process_into(ByteSpan packet, Bytes& response) override;
+
   static constexpr std::size_t kMaxFramesPerStream = 8;
 
   // -- Introspection for tests. --
@@ -50,26 +55,32 @@ class ModbusServer final : public ProtocolTarget {
   }
 
  private:
-  Bytes process_frame(ByteSpan frame);
-  Bytes handle_pdu(ByteSpan pdu, std::uint16_t transaction, std::uint8_t unit);
+  // Handlers append into pdu_writer_; an empty PDU afterwards means "drop
+  // the frame" (handlers clear the writer to abandon partial output).
+  void process_frame(ByteSpan frame);
+  void handle_pdu(ByteSpan pdu, std::uint16_t transaction, std::uint8_t unit);
 
-  Bytes read_bits(ByteSpan body, bool discrete);
-  Bytes read_registers(ByteSpan body, bool input_bank);
-  Bytes write_single_coil(ByteSpan body);
-  Bytes write_single_register(ByteSpan body);
-  Bytes write_multiple_coils(ByteSpan body);
-  Bytes write_multiple_registers(ByteSpan body);
-  Bytes mask_write_register(ByteSpan body);
-  Bytes read_write_multiple(ByteSpan body);  // 0x17 — UAF site lives here
-  Bytes read_device_identification(ByteSpan body);  // 0x2B — SEGV site
+  void read_bits(ByteSpan body, bool discrete);
+  void read_registers(ByteSpan body, bool input_bank);
+  void write_single_coil(ByteSpan body);
+  void write_single_register(ByteSpan body);
+  void write_multiple_coils(ByteSpan body);
+  void write_multiple_registers(ByteSpan body);
+  void mask_write_register(ByteSpan body);
+  void read_write_multiple(ByteSpan body);  // 0x17 — UAF site lives here
+  void read_device_identification(ByteSpan body);  // 0x2B — SEGV site
 
-  static Bytes exception_response(std::uint8_t function, std::uint8_t code);
+  void exception_response(std::uint8_t function, std::uint8_t code);
 
   std::array<bool, kNumCoils> coils_{};
   std::array<bool, kNumCoils> discrete_{};
   std::array<std::uint16_t, kNumRegisters> holding_{};
   std::array<std::uint16_t, kNumRegisters> input_{};
   std::uint32_t diagnostic_counter_ = 0;
+
+  // Reused response scratch (see process_into).
+  ByteWriter response_writer_;
+  ByteWriter pdu_writer_;
 };
 
 }  // namespace icsfuzz::proto

@@ -5,10 +5,10 @@
 namespace icsfuzz::san {
 namespace {
 
-std::string describe_oob(const std::string& label, std::size_t index,
+std::string describe_oob(std::string_view label, std::size_t index,
                          std::size_t size) {
-  return label + ": index " + std::to_string(index) + " out of bounds (size " +
-         std::to_string(size) + ")";
+  return std::string(label) + ": index " + std::to_string(index) +
+         " out of bounds (size " + std::to_string(size) + ")";
 }
 
 }  // namespace
@@ -28,13 +28,13 @@ std::uint16_t GuardedSpan::load_u16be(std::size_t index) const {
 }
 
 GuardedAlloc::GuardedAlloc(std::size_t size, std::uint32_t site,
-                           std::string label)
-    : storage_(size, 0), site_(site), label_(std::move(label)) {}
+                           std::string_view label)
+    : storage_(size, 0), site_(site), label_(label) {}
 
 bool GuardedAlloc::fault_if_freed(const char* op) const {
   if (!freed_) return false;
   FaultSink::raise(FaultKind::HeapUseAfterFree, site_,
-                   label_ + ": " + op + " after free");
+                   std::string(label_) + ": " + op + " after free");
   return true;
 }
 

@@ -12,7 +12,7 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "sanitizer/fault.hpp"
@@ -25,8 +25,11 @@ namespace icsfuzz::san {
 /// *unchecked* accesses of buggy code: `at()` past the end raises Segv.
 class GuardedSpan {
  public:
-  GuardedSpan(ByteSpan data, std::uint32_t site, std::string label)
-      : data_(data), site_(site), label_(std::move(label)) {}
+  // The label must outlive the guard (call sites pass string literals);
+  // keeping a view instead of a std::string keeps guard construction off
+  // the heap — asdu_get_cot builds one per ASDU on the hot path.
+  GuardedSpan(ByteSpan data, std::uint32_t site, std::string_view label)
+      : data_(data), site_(site), label_(label) {}
 
   /// Unchecked-style element access; OOB raises Segv and returns 0.
   std::uint8_t at(std::size_t index) const;
@@ -40,13 +43,13 @@ class GuardedSpan {
  private:
   ByteSpan data_;
   std::uint32_t site_;
-  std::string label_;
+  std::string_view label_;
 };
 
 /// Tracked heap allocation with ASan-like poisoning semantics.
 class GuardedAlloc {
  public:
-  GuardedAlloc(std::size_t size, std::uint32_t site, std::string label);
+  GuardedAlloc(std::size_t size, std::uint32_t site, std::string_view label);
 
   /// Read; OOB raises Segv, freed raises HeapUseAfterFree. Returns 0 on fault.
   std::uint8_t read(std::size_t index) const;
@@ -72,7 +75,7 @@ class GuardedAlloc {
 
   Bytes storage_;
   std::uint32_t site_;
-  std::string label_;
+  std::string_view label_;
   bool freed_ = false;
 };
 

@@ -19,6 +19,8 @@ std::string_view to_string(Counter counter) {
     case Counter::kOopRetries: return "oop_retries";
     case Counter::kOopHangs: return "oop_hangs";
     case Counter::kOopServerLost: return "oop_server_lost";
+    case Counter::kOopServerExits: return "oop_server_exits";
+    case Counter::kOopChildRecycles: return "oop_child_recycles";
     case Counter::kCount: break;
   }
   return "?";
@@ -41,6 +43,7 @@ std::string_view to_string(Histogram histogram) {
     case Histogram::kExecLatencyNs: return "exec_latency_ns";
     case Histogram::kPacketBytes: return "packet_bytes";
     case Histogram::kTraceDirtyWords: return "trace_dirty_words";
+    case Histogram::kOopIterationsPerChild: return "oop_iterations_per_child";
     case Histogram::kCount: break;
   }
   return "?";

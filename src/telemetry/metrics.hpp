@@ -44,6 +44,8 @@ enum class Counter : std::uint8_t {
   kOopRetries,          ///< packets re-run across a respawn
   kOopHangs,            ///< wall-clock deadline kills (SIGKILLed child)
   kOopServerLost,       ///< executions lost even after the respawn retry
+  kOopServerExits,      ///< orderly fork-server exits absorbed by respawn
+  kOopChildRecycles,    ///< persistent children recycled (budget/crash/hang)
   kCount,
 };
 inline constexpr std::size_t kCounterCount =
@@ -66,6 +68,8 @@ enum class Histogram : std::uint8_t {
   kExecLatencyNs = 0,  ///< sampled wall time of one execution
   kPacketBytes,        ///< generated packet size
   kTraceDirtyWords,    ///< dirty coverage words per execution
+  kOopIterationsPerChild,  ///< executions a persistent child served before
+                           ///< recycling (observed at each recycle)
   kCount,
 };
 inline constexpr std::size_t kHistogramCount =

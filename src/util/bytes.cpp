@@ -85,6 +85,13 @@ Bytes ByteReader::read_rest() {
   return out;
 }
 
+ByteSpan ByteReader::rest_span() {
+  if (!ok_) return {};
+  const ByteSpan rest = data_.subspan(pos_);
+  pos_ = data_.size();
+  return rest;
+}
+
 std::uint8_t ByteReader::peek_u8(std::size_t offset) {
   if (!ok_ || pos_ + offset >= data_.size()) {
     ok_ = false;
@@ -105,8 +112,19 @@ void ByteWriter::write_u8(std::uint8_t value) { out_.push_back(value); }
 
 void ByteWriter::write_uint(std::uint64_t value, std::size_t width,
                             Endian endian) {
-  Bytes encoded = encode_uint(value, width, endian);
-  append(out_, encoded);
+  // Bytes go straight into the output vector (no encode_uint temporary):
+  // the server hot paths rely on the writer staying allocation-free once
+  // its capacity has converged.
+  if (width == 0 || width > 8) return;
+  if (endian == Endian::Big) {
+    for (std::size_t i = width; i > 0; --i) {
+      out_.push_back(static_cast<std::uint8_t>(value >> (8 * (i - 1))));
+    }
+  } else {
+    for (std::size_t i = 0; i < width; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+  }
 }
 
 void ByteWriter::write_u16(std::uint16_t value, Endian endian) {
@@ -126,9 +144,11 @@ void ByteWriter::write_string(std::string_view text) {
 bool ByteWriter::patch_uint(std::size_t offset, std::uint64_t value,
                             std::size_t width, Endian endian) {
   if (width == 0 || width > 8 || offset + width > out_.size()) return false;
-  Bytes encoded = encode_uint(value, width, endian);
-  std::copy(encoded.begin(), encoded.end(),
-            out_.begin() + static_cast<std::ptrdiff_t>(offset));
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::size_t shift =
+        8 * (endian == Endian::Big ? width - 1 - i : i);
+    out_[offset + i] = static_cast<std::uint8_t>(value >> shift);
+  }
   return true;
 }
 

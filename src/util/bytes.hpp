@@ -71,6 +71,10 @@ class ByteReader {
   /// Returns all remaining bytes (possibly empty) and advances to the end.
   Bytes read_rest();
 
+  /// Non-allocating read_rest: a view of the remaining bytes, advancing to
+  /// the end. The span aliases the reader's underlying buffer.
+  ByteSpan rest_span();
+
   /// Peeks one byte at `offset` from the cursor without advancing.
   /// Clears ok() if out of range.
   std::uint8_t peek_u8(std::size_t offset = 0);
@@ -96,13 +100,31 @@ class ByteWriter {
   void write_bytes(ByteSpan data);
   void write_string(std::string_view text);
 
+  /// Appends each argument as one byte (truncated to 8 bits) — the
+  /// allocation-free replacement for write_bytes(Bytes{...}) literals.
+  template <typename... Ts>
+  void write_u8s(Ts... values) {
+    (write_u8(static_cast<std::uint8_t>(values)), ...);
+  }
+
   /// Overwrites `width` bytes starting at `offset` (must already exist).
   /// Returns false when the patch range is out of bounds.
   bool patch_uint(std::size_t offset, std::uint64_t value, std::size_t width,
                   Endian endian);
 
+  /// Drops the contents but keeps the capacity — the reuse primitive of
+  /// the allocation-free server hot paths.
+  void clear() { out_.clear(); }
+
+  /// Shrinks back to `size` bytes (no-op when already smaller) — lets a
+  /// builder abandon a partially-written tail without reallocating.
+  void truncate(std::size_t size) {
+    if (size < out_.size()) out_.resize(size);
+  }
+
   [[nodiscard]] std::size_t size() const { return out_.size(); }
   [[nodiscard]] const Bytes& bytes() const { return out_; }
+  [[nodiscard]] ByteSpan span() const { return ByteSpan(out_); }
   Bytes take() { return std::move(out_); }
 
  private:

@@ -11,9 +11,14 @@
 //   * CoverageMap::adopt_external vs in-process tracing of identical
 //     patterns (trace bytes, dirty list, fused summary, accumulation),
 //   * single executions of every project's server: trace hash, edge
-//     count, events, faults, response bytes, accumulated map, path set,
+//     count, events, faults, response bytes, accumulated map, path set —
+//     for BOTH out-of-process backends (fork-per-exec and persistent),
+//   * persistent-mode hygiene: no state bleed between iterations of one
+//     child (same packet at iteration 1 vs K-1 of the budget), recycle
+//     accounting, pipelined batch == sequential execution,
 //   * fixed-seed campaign trajectories (Fuzzer with and without
-//     auto-distill, ParallelCampaign at W=2) in-process vs out-of-process.
+//     auto-distill, ParallelCampaign at W=2) bit-identical across all
+//     three ExecBackend kinds.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -55,6 +60,23 @@ std::vector<std::string> shim_cmd(const std::string& project) {
 /// fault into a bit-identity comparison (the fault-injection suite covers
 /// the deadline machinery explicitly).
 constexpr int kGenerousTimeoutMs = 30000;
+
+/// ExecutorConfig for `project` under the given out-of-process backend
+/// kind. `budget` == 0 keeps the config default (persistent only).
+fuzz::ExecutorConfig oop_executor_config(const std::string& project,
+                                         fuzz::BackendKind kind,
+                                         std::uint32_t budget = 0) {
+  fuzz::ExecutorConfig config;
+  config.backend.kind = kind;
+  config.backend.target_cmd = shim_cmd(project);
+  config.backend.exec_timeout_ms = kGenerousTimeoutMs;
+  if (budget != 0) config.backend.persistent_budget = budget;
+  return config;
+}
+
+/// The two out-of-process backend kinds every differential test covers.
+const fuzz::BackendKind kOopKinds[] = {fuzz::BackendKind::kForkPerExec,
+                                       fuzz::BackendKind::kPersistent};
 
 // -- ShmSegment. ----------------------------------------------------------
 
@@ -249,47 +271,53 @@ void expect_fault_lists_equal(const std::vector<san::FaultReport>& a,
 }
 
 TEST(OopDifferential, EveryProjectMatchesInProcessExecution) {
-  for (const std::string& project : pits::all_project_names()) {
-    SCOPED_TRACE("project " + project);
-    const auto factory = proto::target_factory(project);
-    ASSERT_TRUE(factory);
-    const std::unique_ptr<ProtocolTarget> inproc_target = factory();
-    const std::unique_ptr<ProtocolTarget> placeholder = factory();
+  for (const fuzz::BackendKind kind : kOopKinds) {
+    for (const std::string& project : pits::all_project_names()) {
+      SCOPED_TRACE("project " + project + " backend " +
+                   std::string(fuzz::to_string(kind)));
+      const auto factory = proto::target_factory(project);
+      ASSERT_TRUE(factory);
+      const std::unique_ptr<ProtocolTarget> inproc_target = factory();
+      const std::unique_ptr<ProtocolTarget> placeholder = factory();
 
-    fuzz::Executor inproc;
-    fuzz::ExecutorConfig oop_config;
-    oop_config.target_cmd = shim_cmd(project);
-    oop_config.oop_exec_timeout_ms = kGenerousTimeoutMs;
-    fuzz::Executor oop(oop_config);
+      fuzz::Executor inproc;
+      fuzz::Executor oop(oop_executor_config(project, kind));
 
-    std::size_t crashes = 0;
-    for (const Bytes& packet : packet_batch(project)) {
-      const fuzz::ExecResult a = inproc.run(*inproc_target, packet);
-      const fuzz::ExecResult b = oop.run(*placeholder, packet);
-      ASSERT_EQ(a.trace_hash, b.trace_hash);
-      ASSERT_EQ(a.trace_edges, b.trace_edges);
-      ASSERT_EQ(a.new_coverage, b.new_coverage);
-      ASSERT_EQ(a.new_path, b.new_path);
-      ASSERT_EQ(a.events, b.events);
-      ASSERT_EQ(a.response, b.response);
-      ASSERT_FALSE(b.response_truncated)
-          << "protocol responses must fit the aux block";
-      expect_fault_lists_equal(a.faults, b.faults);
-      crashes += a.crashed();
+      std::size_t crashes = 0;
+      for (const Bytes& packet : packet_batch(project)) {
+        const fuzz::ExecResult a = inproc.run(*inproc_target, packet);
+        const fuzz::ExecResult b = oop.run(*placeholder, packet);
+        ASSERT_EQ(a.trace_hash, b.trace_hash);
+        ASSERT_EQ(a.trace_edges, b.trace_edges);
+        ASSERT_EQ(a.new_coverage, b.new_coverage);
+        ASSERT_EQ(a.new_path, b.new_path);
+        ASSERT_EQ(a.events, b.events);
+        ASSERT_EQ(a.response, b.response);
+        ASSERT_FALSE(b.response_truncated)
+            << "protocol responses must fit the aux block";
+        expect_fault_lists_equal(a.faults, b.faults);
+        crashes += a.crashed();
+      }
+      ASSERT_NE(oop.oop_backend(), nullptr);
+      EXPECT_EQ(oop.oop_backend()->server_restarts(), 0u);
+      if (kind == fuzz::BackendKind::kPersistent) {
+        // The shim in the build advertises the capability; the config
+        // requested it — persistent execution must actually be in effect,
+        // not a silent degrade.
+        EXPECT_TRUE(oop.oop_backend()->persistent_active());
+      }
+
+      // Campaign-lifetime aggregates: identical accumulated map + path set.
+      EXPECT_EQ(inproc.edge_count(), oop.edge_count());
+      EXPECT_EQ(inproc.path_count(), oop.path_count());
+      EXPECT_EQ(inproc.coverage().snapshot_accumulated(),
+                oop.coverage().snapshot_accumulated());
+      std::vector<std::uint64_t> inproc_paths = inproc.paths().snapshot();
+      std::vector<std::uint64_t> oop_paths = oop.paths().snapshot();
+      std::sort(inproc_paths.begin(), inproc_paths.end());
+      std::sort(oop_paths.begin(), oop_paths.end());
+      EXPECT_EQ(inproc_paths, oop_paths);
     }
-    ASSERT_NE(oop.oop_backend(), nullptr);
-    EXPECT_EQ(oop.oop_backend()->server_restarts(), 0u);
-
-    // Campaign-lifetime aggregates: identical accumulated map + path set.
-    EXPECT_EQ(inproc.edge_count(), oop.edge_count());
-    EXPECT_EQ(inproc.path_count(), oop.path_count());
-    EXPECT_EQ(inproc.coverage().snapshot_accumulated(),
-              oop.coverage().snapshot_accumulated());
-    std::vector<std::uint64_t> inproc_paths = inproc.paths().snapshot();
-    std::vector<std::uint64_t> oop_paths = oop.paths().snapshot();
-    std::sort(inproc_paths.begin(), inproc_paths.end());
-    std::sort(oop_paths.begin(), oop_paths.end());
-    EXPECT_EQ(inproc_paths, oop_paths);
   }
 }
 
@@ -304,10 +332,9 @@ TEST(OopDifferential, DenseReferenceModeAlsoMatches) {
   fuzz::ExecutorConfig dense_config;
   dense_config.dense_reference = true;
   fuzz::Executor inproc(dense_config);
-  fuzz::ExecutorConfig oop_config;
+  fuzz::ExecutorConfig oop_config =
+      oop_executor_config(project, fuzz::BackendKind::kForkPerExec);
   oop_config.dense_reference = true;
-  oop_config.target_cmd = shim_cmd(project);
-  oop_config.oop_exec_timeout_ms = kGenerousTimeoutMs;
   fuzz::Executor oop(oop_config);
 
   for (const Bytes& packet : packet_batch(project)) {
@@ -319,6 +346,134 @@ TEST(OopDifferential, DenseReferenceModeAlsoMatches) {
   }
   EXPECT_EQ(inproc.coverage().snapshot_accumulated(),
             oop.coverage().snapshot_accumulated());
+}
+
+// -- Persistent-mode hygiene. ---------------------------------------------
+
+/// Raw backend config for `project` with a persistent budget.
+oop::OopExecutorConfig raw_oop_config(const std::string& project,
+                                      std::uint32_t budget) {
+  oop::OopExecutorConfig config;
+  config.target_cmd = shim_cmd(project);
+  config.exec_timeout_ms = kGenerousTimeoutMs;
+  config.persistent_budget = budget;
+  return config;
+}
+
+void expect_outcomes_identical(const oop::OutOfProcessExecutor::Outcome& a,
+                               const oop::OutOfProcessExecutor::Outcome& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.aux.events, b.aux.events);
+  EXPECT_EQ(a.aux.response, b.aux.response);
+  EXPECT_EQ(a.aux.response_truncated, b.aux.response_truncated);
+  EXPECT_EQ(a.aux.faults_truncated, b.aux.faults_truncated);
+  expect_fault_lists_equal(a.aux.faults, b.aux.faults);
+}
+
+TEST(OopPersistent, NoStateBleedAcrossChildIterations) {
+  // The state-bleed gate of the persistent redesign: the same input at
+  // iteration 1 and at iteration K-1 of one child's budget must produce
+  // identical coverage and observables — anything a previous iteration
+  // leaked (dirty map words, stale aux bytes, mutated target state) would
+  // break the equality.
+  constexpr std::uint32_t kBudget = 6;
+  const std::string project = "libmodbus";
+  oop::OutOfProcessExecutor exec(raw_oop_config(project, kBudget));
+  const std::vector<Bytes> packets = packet_batch(project);
+  const Bytes probe = packets.front();
+
+  // Iteration 1 of a fresh child.
+  const oop::OutOfProcessExecutor::Outcome first = exec.run(probe);
+  ASSERT_EQ(first.status, oop::ExecStatus::kOk);
+  ASSERT_TRUE(first.persistent);
+  ASSERT_EQ(first.iteration, 1u);
+  ASSERT_NE(exec.map_words(), nullptr);
+  std::vector<std::uint64_t> first_map(exec.map_words(),
+                                       exec.map_words() + cov::kMapWords);
+
+  // Dirty the child through iterations 2..K-2 with differing packets.
+  for (std::uint32_t i = 2; i <= kBudget - 2; ++i) {
+    const auto& filler = exec.run(packets[i % packets.size()]);
+    ASSERT_EQ(filler.status, oop::ExecStatus::kOk);
+    ASSERT_EQ(filler.iteration, i);
+    ASSERT_FALSE(filler.child_recycled);
+  }
+
+  // The probe again at iteration K-1 of the SAME child.
+  const oop::OutOfProcessExecutor::Outcome again = exec.run(probe);
+  ASSERT_EQ(again.iteration, kBudget - 1);
+  ASSERT_FALSE(again.child_recycled);
+  expect_outcomes_identical(first, again);
+  EXPECT_EQ(0, std::memcmp(first_map.data(), exec.map_words(), cov::kMapSize));
+
+  // Iteration K exhausts the budget and recycles the child.
+  const auto& last = exec.run(probe);
+  EXPECT_EQ(last.iteration, kBudget);
+  EXPECT_TRUE(last.child_recycled);
+  EXPECT_EQ(exec.child_recycles(), 1u);
+  EXPECT_EQ(exec.server_restarts(), 0u);
+}
+
+TEST(OopPersistent, RecycleAccountingAndIterationCycling) {
+  constexpr std::uint32_t kBudget = 4;
+  oop::OutOfProcessExecutor exec(raw_oop_config("libmodbus", kBudget));
+  const std::vector<Bytes> packets = packet_batch("libmodbus");
+  for (int i = 0; i < 10; ++i) {
+    const auto& outcome = exec.run(packets[i % packets.size()]);
+    ASSERT_EQ(outcome.status, oop::ExecStatus::kOk) << "exec " << i;
+    ASSERT_TRUE(outcome.persistent) << "exec " << i;
+    EXPECT_EQ(outcome.iteration, static_cast<std::uint32_t>(i % kBudget) + 1)
+        << "exec " << i;
+    EXPECT_EQ(outcome.child_recycled, (i + 1) % kBudget == 0) << "exec " << i;
+  }
+  EXPECT_EQ(exec.child_recycles(), 2u);  // after executions 4 and 8
+  EXPECT_EQ(exec.server_restarts(), 0u);
+  EXPECT_EQ(exec.orderly_server_exits(), 0u);
+}
+
+TEST(OopPersistent, BatchMatchesSequentialExecution) {
+  // The pipelined batch path must be an optimization only: same per-packet
+  // results, same campaign aggregates as one run() per packet. The small
+  // budget forces child recycles mid-batch.
+  const std::string project = "libmodbus";
+  const std::unique_ptr<ProtocolTarget> placeholder =
+      proto::target_factory(project)();
+  const std::vector<Bytes> packets = packet_batch(project);
+
+  fuzz::Executor seq(
+      oop_executor_config(project, fuzz::BackendKind::kPersistent, 5));
+  std::vector<fuzz::ExecResult> sequential;
+  for (const Bytes& packet : packets) {
+    sequential.push_back(seq.run(*placeholder, packet));
+  }
+
+  fuzz::Executor batch(
+      oop_executor_config(project, fuzz::BackendKind::kPersistent, 5));
+  std::size_t delivered = 0;
+  batch.run_batch(
+      *placeholder, packets,
+      [&](std::size_t index, const fuzz::ExecResult& result) {
+        ASSERT_EQ(index, delivered);
+        const fuzz::ExecResult& expect = sequential[index];
+        ASSERT_EQ(result.trace_hash, expect.trace_hash) << "packet " << index;
+        ASSERT_EQ(result.trace_edges, expect.trace_edges) << "packet " << index;
+        ASSERT_EQ(result.new_coverage, expect.new_coverage)
+            << "packet " << index;
+        ASSERT_EQ(result.new_path, expect.new_path) << "packet " << index;
+        ASSERT_EQ(result.events, expect.events) << "packet " << index;
+        ASSERT_EQ(result.response, expect.response) << "packet " << index;
+        expect_fault_lists_equal(result.faults, expect.faults);
+        ++delivered;
+      });
+  EXPECT_EQ(delivered, packets.size());
+  EXPECT_EQ(batch.executions(), seq.executions());
+  EXPECT_EQ(batch.edge_count(), seq.edge_count());
+  EXPECT_EQ(batch.path_count(), seq.path_count());
+  EXPECT_EQ(batch.coverage().snapshot_accumulated(),
+            seq.coverage().snapshot_accumulated());
+  ASSERT_NE(batch.oop_backend(), nullptr);
+  EXPECT_EQ(batch.oop_backend()->server_restarts(), 0u);
+  EXPECT_GT(batch.oop_backend()->child_recycles(), 0u);
 }
 
 // -- Fixed-seed campaign trajectories. ------------------------------------
@@ -336,7 +491,8 @@ struct Trajectory {
   bool operator==(const Trajectory&) const = default;
 };
 
-Trajectory run_fuzzer_campaign(bool out_of_process, std::uint64_t iterations,
+Trajectory run_fuzzer_campaign(fuzz::BackendKind kind,
+                               std::uint64_t iterations,
                                std::uint64_t distill_interval = 0) {
   const std::string project = "libmodbus";
   const std::unique_ptr<ProtocolTarget> target =
@@ -346,9 +502,8 @@ Trajectory run_fuzzer_campaign(bool out_of_process, std::uint64_t iterations,
   config.strategy = fuzz::Strategy::PeachStar;
   config.rng_seed = 42;
   config.distill_interval = distill_interval;
-  if (out_of_process) {
-    config.executor.target_cmd = shim_cmd(project);
-    config.executor.oop_exec_timeout_ms = kGenerousTimeoutMs;
+  if (kind != fuzz::BackendKind::kInProcess) {
+    config.executor = oop_executor_config(project, kind);
   }
   fuzz::Fuzzer fuzzer(*target, models, config);
   Trajectory trajectory;
@@ -368,27 +523,43 @@ Trajectory run_fuzzer_campaign(bool out_of_process, std::uint64_t iterations,
   return trajectory;
 }
 
-TEST(OopTrajectory, FuzzerCampaignIdenticalToInProcess) {
-  const Trajectory oop = run_fuzzer_campaign(true, 1500);
-  const Trajectory inproc = run_fuzzer_campaign(false, 1500);
-  EXPECT_EQ(oop, inproc);
-  EXPECT_FALSE(oop.path_series.empty());
-  EXPECT_GT(oop.path_series.back(), 0u);
+TEST(OopTrajectory, FuzzerCampaignIdenticalAcrossAllBackends) {
+  // The fixed-seed trajectory matrix of the ExecBackend seam: in-process,
+  // fork-per-exec and persistent campaigns must be bit-identical — same
+  // fingerprint over every execution's observables, same checkpoint
+  // series, same terminal corpus/crash tallies.
+  const Trajectory inproc =
+      run_fuzzer_campaign(fuzz::BackendKind::kInProcess, 1500);
+  const Trajectory forked =
+      run_fuzzer_campaign(fuzz::BackendKind::kForkPerExec, 1500);
+  const Trajectory persistent =
+      run_fuzzer_campaign(fuzz::BackendKind::kPersistent, 1500);
+  EXPECT_EQ(forked, inproc);
+  EXPECT_EQ(persistent, inproc);
+  EXPECT_FALSE(inproc.path_series.empty());
+  EXPECT_GT(inproc.path_series.back(), 0u);
 }
 
 TEST(OopTrajectory, AutoDistillCampaignIdenticalToInProcess) {
   // distill replays route through private executors with the same
-  // ExecutorConfig, so an OOP campaign distills over the fork server too.
-  const Trajectory oop =
-      run_fuzzer_campaign(true, 900, /*distill_interval=*/300);
+  // ExecutorConfig, so an OOP campaign distills over the fork server too —
+  // in persistent mode over persistent children.
   const Trajectory inproc =
-      run_fuzzer_campaign(false, 900, /*distill_interval=*/300);
-  EXPECT_EQ(oop, inproc);
+      run_fuzzer_campaign(fuzz::BackendKind::kInProcess, 900,
+                          /*distill_interval=*/300);
+  const Trajectory forked =
+      run_fuzzer_campaign(fuzz::BackendKind::kForkPerExec, 900,
+                          /*distill_interval=*/300);
+  const Trajectory persistent =
+      run_fuzzer_campaign(fuzz::BackendKind::kPersistent, 900,
+                          /*distill_interval=*/300);
+  EXPECT_EQ(forked, inproc);
+  EXPECT_EQ(persistent, inproc);
 }
 
-TEST(OopTrajectory, ParallelCampaignW2IdenticalToInProcess) {
+TEST(OopTrajectory, ParallelCampaignW2IdenticalAcrossAllBackends) {
   const model::DataModelSet models = pits::pit_for_project("libmodbus");
-  auto run_parallel = [&](bool out_of_process) {
+  auto run_parallel = [&](fuzz::BackendKind kind) {
     par::ParallelCampaignConfig config;
     config.workers = 2;
     config.iterations_per_worker = 400;
@@ -397,33 +568,39 @@ TEST(OopTrajectory, ParallelCampaignW2IdenticalToInProcess) {
     // points is nondeterministic; see test_coverage_sparse.cpp).
     config.sync_interval = 0;
     config.fuzzer.strategy = fuzz::Strategy::PeachStar;
-    if (out_of_process) {
+    if (kind != fuzz::BackendKind::kInProcess) {
       // One fork server per worker: each worker's Executor spawns its own
       // backend with a private shm segment.
-      config.fuzzer.executor.target_cmd = shim_cmd("libmodbus");
-      config.fuzzer.executor.oop_exec_timeout_ms = kGenerousTimeoutMs;
+      config.fuzzer.executor = oop_executor_config("libmodbus", kind);
     }
     par::ParallelCampaign campaign(proto::target_factory("libmodbus"),
                                    models, config);
     return campaign.run();
   };
-  const par::ParallelCampaignResult oop = run_parallel(true);
-  const par::ParallelCampaignResult inproc = run_parallel(false);
-
-  ASSERT_EQ(oop.workers.size(), inproc.workers.size());
-  for (std::size_t w = 0; w < oop.workers.size(); ++w) {
-    EXPECT_EQ(oop.workers[w].paths, inproc.workers[w].paths) << "worker " << w;
-    EXPECT_EQ(oop.workers[w].edges, inproc.workers[w].edges) << "worker " << w;
-    EXPECT_EQ(oop.workers[w].unique_crashes, inproc.workers[w].unique_crashes)
-        << "worker " << w;
-    EXPECT_EQ(oop.workers[w].retained_seeds, inproc.workers[w].retained_seeds)
-        << "worker " << w;
-    EXPECT_EQ(oop.workers[w].corpus_size, inproc.workers[w].corpus_size)
-        << "worker " << w;
+  const par::ParallelCampaignResult inproc =
+      run_parallel(fuzz::BackendKind::kInProcess);
+  for (const fuzz::BackendKind kind : kOopKinds) {
+    SCOPED_TRACE(std::string("backend ") + std::string(fuzz::to_string(kind)));
+    const par::ParallelCampaignResult oop = run_parallel(kind);
+    ASSERT_EQ(oop.workers.size(), inproc.workers.size());
+    for (std::size_t w = 0; w < oop.workers.size(); ++w) {
+      EXPECT_EQ(oop.workers[w].paths, inproc.workers[w].paths)
+          << "worker " << w;
+      EXPECT_EQ(oop.workers[w].edges, inproc.workers[w].edges)
+          << "worker " << w;
+      EXPECT_EQ(oop.workers[w].unique_crashes,
+                inproc.workers[w].unique_crashes)
+          << "worker " << w;
+      EXPECT_EQ(oop.workers[w].retained_seeds,
+                inproc.workers[w].retained_seeds)
+          << "worker " << w;
+      EXPECT_EQ(oop.workers[w].corpus_size, inproc.workers[w].corpus_size)
+          << "worker " << w;
+    }
+    EXPECT_EQ(oop.global_paths, inproc.global_paths);
+    EXPECT_EQ(oop.global_edges, inproc.global_edges);
+    EXPECT_EQ(oop.total_executions, inproc.total_executions);
   }
-  EXPECT_EQ(oop.global_paths, inproc.global_paths);
-  EXPECT_EQ(oop.global_edges, inproc.global_edges);
-  EXPECT_EQ(oop.total_executions, inproc.total_executions);
 }
 
 }  // namespace

@@ -3,9 +3,11 @@
 // The shim binary honours ICSFUZZ_SHIM_* environment knobs that inject
 // deterministic failures (exec_oop/shim_runner.hpp): a child SIGKILLed
 // mid-execution, a target that never handshakes, a child hanging into the
-// wall-clock deadline, and the fork-server process itself dying. This
-// suite drives each of them — plus an shm unlink race and a missing
-// binary — and asserts the executor reports the right status while the
+// wall-clock deadline, the fork-server process itself dying, an orderly
+// server retirement, and a legacy v1 shim. This suite drives each of them
+// — plus an shm unlink race and a missing binary — across BOTH
+// out-of-process backends (fork-per-exec and persistent) where the fault
+// applies, and asserts the executor reports the right status while the
 // campaign keeps running (a dying target must never take the fuzzer with
 // it).
 #include <gtest/gtest.h>
@@ -23,6 +25,7 @@
 #include "pits/pits.hpp"
 #include "protocols/target_registry.hpp"
 #include "sanitizer/fault.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace icsfuzz {
 namespace {
@@ -30,6 +33,20 @@ namespace {
 std::vector<std::string> shim_cmd(const std::string& project = "libmodbus") {
   return {ICSFUZZ_SHIM_PATH, "--project", project};
 }
+
+/// ExecutorConfig for the shim under the given out-of-process backend.
+fuzz::ExecutorConfig oop_config(
+    fuzz::BackendKind kind = fuzz::BackendKind::kForkPerExec) {
+  fuzz::ExecutorConfig config;
+  config.backend.kind = kind;
+  config.backend.target_cmd = shim_cmd();
+  return config;
+}
+
+/// Both out-of-process backend kinds (the faults below must be survivable
+/// whichever transport serves the execution).
+const fuzz::BackendKind kOopKinds[] = {fuzz::BackendKind::kForkPerExec,
+                                       fuzz::BackendKind::kPersistent};
 
 /// Scoped environment knob: set for the executor spawned inside the test,
 /// guaranteed cleared on exit so suites stay independent.
@@ -55,40 +72,47 @@ const Bytes kPacket = {0x00, 0x01, 0x00, 0x00, 0x00, 0x06,
                        0x01, 0x03, 0x00, 0x00, 0x00, 0x0A};
 
 TEST(ForkServerFaults, ChildKilledMidExecutionReportsCrashAndRecovers) {
-  ScopedEnv knob("ICSFUZZ_SHIM_KILL_CHILD_AT", "3");
-  const std::unique_ptr<ProtocolTarget> placeholder =
-      proto::target_factory("libmodbus")();
-  const std::unique_ptr<ProtocolTarget> reference_target =
-      proto::target_factory("libmodbus")();
+  for (const fuzz::BackendKind kind : kOopKinds) {
+    SCOPED_TRACE(std::string("backend ") + std::string(fuzz::to_string(kind)));
+    ScopedEnv knob("ICSFUZZ_SHIM_KILL_CHILD_AT", "3");
+    const std::unique_ptr<ProtocolTarget> placeholder =
+        proto::target_factory("libmodbus")();
+    const std::unique_ptr<ProtocolTarget> reference_target =
+        proto::target_factory("libmodbus")();
 
-  fuzz::ExecutorConfig config;
-  config.target_cmd = shim_cmd();
-  fuzz::Executor executor(config);
-  fuzz::Executor reference;
+    fuzz::Executor executor(oop_config(kind));
+    fuzz::Executor reference;
 
-  for (int i = 1; i <= 5; ++i) {
-    const fuzz::ExecResult result = executor.run(*placeholder, kPacket);
-    const fuzz::ExecResult expected =
-        reference.run(*reference_target, kPacket);
-    if (i == 3) {
-      // The SIGKILLed child is a crash, attributed to the synthetic
-      // child-terminated site, with whatever partial trace it left.
-      EXPECT_TRUE(result.crashed()) << "execution " << i;
-      EXPECT_TRUE(
-          has_fault_site(result, san::site_id("oop-child-terminated")))
-          << "execution " << i;
-    } else {
-      // Every surrounding execution is bit-identical to in-process: the
-      // fork server survives its children.
-      EXPECT_FALSE(result.crashed()) << "execution " << i;
-      EXPECT_EQ(result.trace_hash, expected.trace_hash) << "execution " << i;
-      EXPECT_EQ(result.events, expected.events) << "execution " << i;
-      EXPECT_EQ(result.response, expected.response) << "execution " << i;
+    for (int i = 1; i <= 5; ++i) {
+      const fuzz::ExecResult result = executor.run(*placeholder, kPacket);
+      const fuzz::ExecResult expected =
+          reference.run(*reference_target, kPacket);
+      if (i == 3) {
+        // The SIGKILLed child is a crash, attributed to the synthetic
+        // child-terminated site, with whatever partial trace it left.
+        EXPECT_TRUE(result.crashed()) << "execution " << i;
+        EXPECT_TRUE(
+            has_fault_site(result, san::site_id("oop-child-terminated")))
+            << "execution " << i;
+      } else {
+        // Every surrounding execution is bit-identical to in-process: the
+        // fork server survives its children.
+        EXPECT_FALSE(result.crashed()) << "execution " << i;
+        EXPECT_EQ(result.trace_hash, expected.trace_hash)
+            << "execution " << i;
+        EXPECT_EQ(result.events, expected.events) << "execution " << i;
+        EXPECT_EQ(result.response, expected.response) << "execution " << i;
+      }
+    }
+    ASSERT_NE(executor.oop_backend(), nullptr);
+    EXPECT_EQ(executor.oop_backend()->server_restarts(), 0u)
+        << "a child death must not force a server respawn";
+    if (kind == fuzz::BackendKind::kPersistent) {
+      // The crashed persistent child was recycled; a fresh one served the
+      // following executions.
+      EXPECT_GE(executor.oop_backend()->child_recycles(), 1u);
     }
   }
-  ASSERT_NE(executor.oop_backend(), nullptr);
-  EXPECT_EQ(executor.oop_backend()->server_restarts(), 0u)
-      << "a child death must not force a server respawn";
 }
 
 TEST(ForkServerFaults, TargetThatNeverHandshakesReportsServerLost) {
@@ -96,9 +120,7 @@ TEST(ForkServerFaults, TargetThatNeverHandshakesReportsServerLost) {
   const std::unique_ptr<ProtocolTarget> placeholder =
       proto::target_factory("libmodbus")();
 
-  fuzz::ExecutorConfig config;
-  config.target_cmd = shim_cmd();
-  fuzz::Executor executor(config);
+  fuzz::Executor executor(oop_config());
 
   // Every run fails fast (the shim exits instead of handshaking — no
   // timeout wait), reports the server-lost site, and leaves the executor
@@ -120,7 +142,8 @@ TEST(ForkServerFaults, MissingBinaryReportsServerLost) {
   const std::unique_ptr<ProtocolTarget> placeholder =
       proto::target_factory("libmodbus")();
   fuzz::ExecutorConfig config;
-  config.target_cmd = {"/nonexistent/icsfuzz-shim-target"};
+  config.backend.kind = fuzz::BackendKind::kForkPerExec;
+  config.backend.target_cmd = {"/nonexistent/icsfuzz-shim-target"};
   fuzz::Executor executor(config);
 
   const fuzz::ExecResult result = executor.run(*placeholder, kPacket);
@@ -133,65 +156,70 @@ TEST(ForkServerFaults, MissingBinaryReportsServerLost) {
 }
 
 TEST(ForkServerFaults, HangHitsTheDeadlineAndTheServerSurvives) {
-  ScopedEnv knob("ICSFUZZ_SHIM_HANG_AT", "2");
-  const std::unique_ptr<ProtocolTarget> placeholder =
-      proto::target_factory("libmodbus")();
-  const std::unique_ptr<ProtocolTarget> reference_target =
-      proto::target_factory("libmodbus")();
+  for (const fuzz::BackendKind kind : kOopKinds) {
+    SCOPED_TRACE(std::string("backend ") + std::string(fuzz::to_string(kind)));
+    ScopedEnv knob("ICSFUZZ_SHIM_HANG_AT", "2");
+    const std::unique_ptr<ProtocolTarget> placeholder =
+        proto::target_factory("libmodbus")();
+    const std::unique_ptr<ProtocolTarget> reference_target =
+        proto::target_factory("libmodbus")();
 
-  fuzz::ExecutorConfig config;
-  config.target_cmd = shim_cmd();
-  config.oop_exec_timeout_ms = 200;
-  fuzz::Executor executor(config);
-  fuzz::Executor reference;
+    fuzz::ExecutorConfig config = oop_config(kind);
+    config.backend.exec_timeout_ms = 200;
+    fuzz::Executor executor(config);
+    fuzz::Executor reference;
 
-  const auto start = std::chrono::steady_clock::now();
-  for (int i = 1; i <= 4; ++i) {
-    const fuzz::ExecResult result = executor.run(*placeholder, kPacket);
-    const fuzz::ExecResult expected =
-        reference.run(*reference_target, kPacket);
-    if (i == 2) {
-      ASSERT_TRUE(result.crashed()) << "execution " << i;
-      EXPECT_EQ(result.faults[0].kind, san::FaultKind::Hang)
-          << "execution " << i;
-      EXPECT_TRUE(has_fault_site(result, san::site_id("oop-exec-deadline")))
-          << "execution " << i;
-    } else {
-      // The hung child was SIGKILLed at the deadline; the server keeps
-      // serving bit-identical executions.
-      EXPECT_FALSE(result.crashed()) << "execution " << i;
-      EXPECT_EQ(result.trace_hash, expected.trace_hash) << "execution " << i;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 1; i <= 4; ++i) {
+      const fuzz::ExecResult result = executor.run(*placeholder, kPacket);
+      const fuzz::ExecResult expected =
+          reference.run(*reference_target, kPacket);
+      if (i == 2) {
+        ASSERT_TRUE(result.crashed()) << "execution " << i;
+        EXPECT_EQ(result.faults[0].kind, san::FaultKind::Hang)
+            << "execution " << i;
+        EXPECT_TRUE(has_fault_site(result, san::site_id("oop-exec-deadline")))
+            << "execution " << i;
+      } else {
+        // The hung child was SIGKILLed at the deadline; the server keeps
+        // serving bit-identical executions.
+        EXPECT_FALSE(result.crashed()) << "execution " << i;
+        EXPECT_EQ(result.trace_hash, expected.trace_hash)
+            << "execution " << i;
+      }
     }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+        std::chrono::steady_clock::now() - start);
+    EXPECT_LT(elapsed.count(), 30) << "the deadline must reap hangs promptly";
+    ASSERT_NE(executor.oop_backend(), nullptr);
+    EXPECT_EQ(executor.oop_backend()->server_restarts(), 0u);
   }
-  const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
-      std::chrono::steady_clock::now() - start);
-  EXPECT_LT(elapsed.count(), 30) << "the deadline must reap hangs promptly";
-  ASSERT_NE(executor.oop_backend(), nullptr);
-  EXPECT_EQ(executor.oop_backend()->server_restarts(), 0u);
 }
 
 TEST(ForkServerFaults, DisabledDeadlineStillExecutesNormally) {
-  // oop_exec_timeout_ms <= 0 disables the wall-clock deadline end to end
-  // (shim timer disarmed, client waits indefinitely); healthy executions
-  // must flow exactly as with a deadline.
-  const std::unique_ptr<ProtocolTarget> placeholder =
-      proto::target_factory("libmodbus")();
-  const std::unique_ptr<ProtocolTarget> reference_target =
-      proto::target_factory("libmodbus")();
+  // backend.exec_timeout_ms <= 0 disables the wall-clock deadline end to
+  // end (shim timer disarmed, client waits indefinitely); healthy
+  // executions must flow exactly as with a deadline.
+  for (const fuzz::BackendKind kind : kOopKinds) {
+    SCOPED_TRACE(std::string("backend ") + std::string(fuzz::to_string(kind)));
+    const std::unique_ptr<ProtocolTarget> placeholder =
+        proto::target_factory("libmodbus")();
+    const std::unique_ptr<ProtocolTarget> reference_target =
+        proto::target_factory("libmodbus")();
 
-  fuzz::ExecutorConfig config;
-  config.target_cmd = shim_cmd();
-  config.oop_exec_timeout_ms = 0;
-  fuzz::Executor executor(config);
-  fuzz::Executor reference;
+    fuzz::ExecutorConfig config = oop_config(kind);
+    config.backend.exec_timeout_ms = 0;
+    fuzz::Executor executor(config);
+    fuzz::Executor reference;
 
-  for (int i = 0; i < 3; ++i) {
-    const fuzz::ExecResult result = executor.run(*placeholder, kPacket);
-    const fuzz::ExecResult expected =
-        reference.run(*reference_target, kPacket);
-    EXPECT_FALSE(result.crashed()) << "execution " << i;
-    EXPECT_EQ(result.trace_hash, expected.trace_hash) << "execution " << i;
-    EXPECT_EQ(result.response, expected.response) << "execution " << i;
+    for (int i = 0; i < 3; ++i) {
+      const fuzz::ExecResult result = executor.run(*placeholder, kPacket);
+      const fuzz::ExecResult expected =
+          reference.run(*reference_target, kPacket);
+      EXPECT_FALSE(result.crashed()) << "execution " << i;
+      EXPECT_EQ(result.trace_hash, expected.trace_hash) << "execution " << i;
+      EXPECT_EQ(result.response, expected.response) << "execution " << i;
+    }
   }
 }
 
@@ -201,9 +229,7 @@ TEST(ForkServerFaults, ShmUnlinkRaceDoesNotDisturbALiveServer) {
   const std::unique_ptr<ProtocolTarget> reference_target =
       proto::target_factory("libmodbus")();
 
-  fuzz::ExecutorConfig config;
-  config.target_cmd = shim_cmd();
-  fuzz::Executor executor(config);
+  fuzz::Executor executor(oop_config());
   fuzz::Executor reference;
 
   const fuzz::ExecResult first = executor.run(*placeholder, kPacket);
@@ -236,18 +262,88 @@ TEST(ForkServerFaults, ServerCrashTriggersRespawnAndTheRunRetries) {
   // so the caller sees an unbroken stream of clean results. The respawned
   // server re-reads the knob, so it dies again at ITS 3rd execution: 5
   // packets = 2 respawns, every result clean.
-  ScopedEnv knob("ICSFUZZ_SHIM_SERVER_EXIT_AT", "3");
+  for (const fuzz::BackendKind kind : kOopKinds) {
+    SCOPED_TRACE(std::string("backend ") + std::string(fuzz::to_string(kind)));
+    ScopedEnv knob("ICSFUZZ_SHIM_SERVER_EXIT_AT", "3");
+    const std::unique_ptr<ProtocolTarget> placeholder =
+        proto::target_factory("libmodbus")();
+    const std::unique_ptr<ProtocolTarget> reference_target =
+        proto::target_factory("libmodbus")();
+
+    fuzz::Executor executor(oop_config(kind));
+    fuzz::Executor reference;
+
+    for (int i = 1; i <= 5; ++i) {
+      const fuzz::ExecResult result = executor.run(*placeholder, kPacket);
+      const fuzz::ExecResult expected =
+          reference.run(*reference_target, kPacket);
+      EXPECT_FALSE(result.crashed()) << "execution " << i;
+      EXPECT_EQ(result.trace_hash, expected.trace_hash) << "execution " << i;
+      EXPECT_EQ(result.events, expected.events) << "execution " << i;
+      EXPECT_EQ(result.response, expected.response) << "execution " << i;
+    }
+    ASSERT_NE(executor.oop_backend(), nullptr);
+    EXPECT_EQ(executor.oop_backend()->server_restarts(), 2u);
+    // A nonzero-exit server is a LOST server, never an orderly one.
+    EXPECT_EQ(executor.oop_backend()->orderly_server_exits(), 0u);
+  }
+}
+
+TEST(ForkServerFaults, OrderlyServerRetirementIsNotALostServer) {
+  // The shim retires (exit 0) after every 3 served executions. The client
+  // must classify the EOF + clean exit as kServerExited: respawn and retry
+  // exactly as for a crash, but book it under oop_server_exits — the
+  // oop_server_lost counter stays at zero (it used to overcount this).
+  for (const fuzz::BackendKind kind : kOopKinds) {
+    SCOPED_TRACE(std::string("backend ") + std::string(fuzz::to_string(kind)));
+    ScopedEnv knob("ICSFUZZ_SHIM_SERVER_RETIRE_AFTER", "3");
+    const std::unique_ptr<ProtocolTarget> placeholder =
+        proto::target_factory("libmodbus")();
+    const std::unique_ptr<ProtocolTarget> reference_target =
+        proto::target_factory("libmodbus")();
+
+    telem::Telemetry hub;
+    fuzz::ExecutorConfig config = oop_config(kind);
+    config.telemetry = telem::Sink(&hub, 0);
+    fuzz::Executor executor(config);
+    fuzz::Executor reference;
+
+    // 8 packets across servers that retire every 3: two retirements hit
+    // mid-stream, every result still clean and bit-identical.
+    for (int i = 1; i <= 8; ++i) {
+      const fuzz::ExecResult result = executor.run(*placeholder, kPacket);
+      const fuzz::ExecResult expected =
+          reference.run(*reference_target, kPacket);
+      EXPECT_FALSE(result.crashed()) << "execution " << i;
+      EXPECT_EQ(result.trace_hash, expected.trace_hash) << "execution " << i;
+      EXPECT_EQ(result.response, expected.response) << "execution " << i;
+    }
+    ASSERT_NE(executor.oop_backend(), nullptr);
+    EXPECT_EQ(executor.oop_backend()->orderly_server_exits(), 2u);
+    EXPECT_EQ(executor.oop_backend()->server_restarts(), 2u);
+
+    const telem::Snapshot snap = hub.snapshot();
+    EXPECT_EQ(snap.counter(telem::Counter::kOopServerLost), 0u)
+        << "orderly retirement must not count as a lost server";
+    EXPECT_EQ(snap.counter(telem::Counter::kOopServerExits), 2u);
+    EXPECT_EQ(snap.counter(telem::Counter::kOopRestarts), 2u);
+  }
+}
+
+TEST(ForkServerFaults, LegacyV1ShimDegradesPersistentToForkPerExec) {
+  // Handshake version negotiation: a persistent-mode fuzzer against an old
+  // (v1) shim — which advertises no capability word at all — must degrade
+  // gracefully to fork-per-exec, with results still bit-identical.
+  ScopedEnv knob("ICSFUZZ_SHIM_LEGACY_V1", "1");
   const std::unique_ptr<ProtocolTarget> placeholder =
       proto::target_factory("libmodbus")();
   const std::unique_ptr<ProtocolTarget> reference_target =
       proto::target_factory("libmodbus")();
 
-  fuzz::ExecutorConfig config;
-  config.target_cmd = shim_cmd();
-  fuzz::Executor executor(config);
+  fuzz::Executor executor(oop_config(fuzz::BackendKind::kPersistent));
   fuzz::Executor reference;
 
-  for (int i = 1; i <= 5; ++i) {
+  for (int i = 0; i < 4; ++i) {
     const fuzz::ExecResult result = executor.run(*placeholder, kPacket);
     const fuzz::ExecResult expected =
         reference.run(*reference_target, kPacket);
@@ -256,35 +352,44 @@ TEST(ForkServerFaults, ServerCrashTriggersRespawnAndTheRunRetries) {
     EXPECT_EQ(result.events, expected.events) << "execution " << i;
     EXPECT_EQ(result.response, expected.response) << "execution " << i;
   }
-  ASSERT_NE(executor.oop_backend(), nullptr);
-  EXPECT_EQ(executor.oop_backend()->server_restarts(), 2u);
+  const oop::OutOfProcessExecutor* backend = executor.oop_backend();
+  ASSERT_NE(backend, nullptr);
+  EXPECT_EQ(backend->server().protocol_version(), 1);
+  EXPECT_TRUE(backend->persistent_requested());
+  EXPECT_FALSE(backend->persistent_active())
+      << "a v1 server cannot serve persistent executions";
+  EXPECT_EQ(backend->child_recycles(), 0u);
+  EXPECT_EQ(backend->server_restarts(), 0u);
 }
 
 TEST(ForkServerFaults, CampaignKeepsRunningThroughChildDeaths) {
   // A whole fuzzing campaign over a target whose children die
   // periodically: the fork server absorbs every death, the crash db
   // records the synthetic site, and coverage still accumulates.
-  ScopedEnv knob("ICSFUZZ_SHIM_KILL_CHILD_AT", "7");
-  const std::unique_ptr<ProtocolTarget> placeholder =
-      proto::target_factory("libmodbus")();
-  const model::DataModelSet models = pits::pit_for_project("libmodbus");
+  for (const fuzz::BackendKind kind : kOopKinds) {
+    SCOPED_TRACE(std::string("backend ") + std::string(fuzz::to_string(kind)));
+    ScopedEnv knob("ICSFUZZ_SHIM_KILL_CHILD_AT", "7");
+    const std::unique_ptr<ProtocolTarget> placeholder =
+        proto::target_factory("libmodbus")();
+    const model::DataModelSet models = pits::pit_for_project("libmodbus");
 
-  fuzz::FuzzerConfig config;
-  config.strategy = fuzz::Strategy::PeachStar;
-  config.rng_seed = 7;
-  config.executor.target_cmd = shim_cmd();
-  fuzz::Fuzzer fuzzer(*placeholder, models, config);
-  fuzzer.run(60);
+    fuzz::FuzzerConfig config;
+    config.strategy = fuzz::Strategy::PeachStar;
+    config.rng_seed = 7;
+    config.executor = oop_config(kind);
+    fuzz::Fuzzer fuzzer(*placeholder, models, config);
+    fuzzer.run(60);
 
-  EXPECT_EQ(fuzzer.executor().executions(), 60u);
-  EXPECT_GT(fuzzer.path_count(), 1u);
-  EXPECT_GT(fuzzer.executor().edge_count(), 0u);
-  // The killed child surfaced in the crash accounting.
-  bool saw_child_death = false;
-  for (const fuzz::CrashRecord* record : fuzzer.crashes().records()) {
-    saw_child_death |= record->site == san::site_id("oop-child-terminated");
+    EXPECT_EQ(fuzzer.executor().executions(), 60u);
+    EXPECT_GT(fuzzer.path_count(), 1u);
+    EXPECT_GT(fuzzer.executor().edge_count(), 0u);
+    // The killed child surfaced in the crash accounting.
+    bool saw_child_death = false;
+    for (const fuzz::CrashRecord* record : fuzzer.crashes().records()) {
+      saw_child_death |= record->site == san::site_id("oop-child-terminated");
+    }
+    EXPECT_TRUE(saw_child_death);
   }
-  EXPECT_TRUE(saw_child_death);
 }
 
 }  // namespace

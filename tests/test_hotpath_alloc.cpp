@@ -15,7 +15,15 @@
 #include "fuzzer/dedup.hpp"
 #include "fuzzer/executor.hpp"
 #include "mutation/mutator.hpp"
+#include "protocols/dnp3/dnp3_server.hpp"
+#include "protocols/iccp/iccp_server.hpp"
+#include "protocols/iec104/iec104_server.hpp"
+#include "protocols/iec61850/mms_server.hpp"
+#include "protocols/lib60870/cs101_server.hpp"
+#include "protocols/modbus/modbus_server.hpp"
 #include "protocols/protocol_target.hpp"
+#include "sanitizer/fault.hpp"
+#include "util/checksum.hpp"
 #include "util/rng.hpp"
 
 namespace icsfuzz::fuzz {
@@ -113,6 +121,227 @@ TEST(ZeroAllocation, ValueReturningMutateStillMatchesIntoVariant) {
     mutators.mutate_bytes_into(seed, into, rng_into);
     ASSERT_EQ(by_value, into) << "iteration " << i;
   }
+}
+
+// ------------------------------------------------------------------------
+// Per-server steady-state allocation audits.
+//
+// Each real protocol stack is driven with a benign session mix through
+// process_into, the way the executor drives it: reset, arm the fault sink,
+// parse into a reused response buffer. After a warm-up phase in which the
+// member scratch writers converge, steady-state processing must not touch
+// the heap. The mixes deliberately avoid the injected vulnerability sites
+// (the Modbus 0x17/0x2B handlers and the ICCP Write service stage their
+// data in GuardedAllocs, which allocate by design).
+
+/// One pass over the mix; returns false if any packet faulted or came back
+/// without a response.
+bool run_mix(ProtocolTarget& server, const std::vector<Bytes>& mix,
+             Bytes& response, std::vector<san::FaultReport>& faults) {
+  bool clean = true;
+  for (const Bytes& packet : mix) {
+    server.reset();
+    san::FaultSink::arm();
+    server.process_into(ByteSpan(packet.data(), packet.size()), response);
+    san::FaultSink::disarm_into(faults);
+    clean = clean && faults.empty() && !response.empty();
+  }
+  return clean;
+}
+
+void expect_steady_state_alloc_free(ProtocolTarget& server,
+                                    const std::vector<Bytes>& mix) {
+  Bytes response;
+  std::vector<san::FaultReport> faults;
+  for (int round = 0; round < 64; ++round) {
+    ASSERT_TRUE(run_mix(server, mix, response, faults))
+        << server.name() << ": warm-up round " << round << " not clean";
+  }
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  bool clean = true;
+  for (int round = 0; round < 256; ++round) {
+    clean = run_mix(server, mix, response, faults) && clean;
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_TRUE(clean) << server.name() << ": measured rounds not clean";
+  EXPECT_EQ(after - before, 0u)
+      << server.name() << ": steady-state process_into must not allocate";
+}
+
+// -- Benign session builders (these allocate freely: packets are built
+//    once, before the measured loop). -----------------------------------
+
+Bytes cat(std::initializer_list<Bytes> parts) {
+  Bytes out;
+  for (const Bytes& part : parts) append(out, part);
+  return out;
+}
+
+Bytes mbap_frame(Bytes pdu) {
+  ByteWriter writer;
+  writer.write_u16(0x0001, Endian::Big);  // transaction
+  writer.write_u16(0x0000, Endian::Big);  // protocol
+  writer.write_u16(static_cast<std::uint16_t>(pdu.size() + 1), Endian::Big);
+  writer.write_u8(proto::ModbusServer::kUnitId);
+  writer.write_bytes(pdu);
+  return writer.take();
+}
+
+Bytes dnp3_link_frame(Bytes user_data) {
+  ByteWriter writer;
+  writer.write_u8(0x05);
+  writer.write_u8(0x64);
+  writer.write_u8(static_cast<std::uint8_t>(5 + user_data.size()));
+  writer.write_u8(0xC4);  // PRM=1, unconfirmed user data
+  writer.write_u16(proto::Dnp3Server::kLocalAddress, Endian::Little);
+  writer.write_u16(0x0001, Endian::Little);  // master address
+  writer.write_u16(crc16_dnp3(ByteSpan(writer.bytes().data(), 8)),
+                   Endian::Little);
+  std::size_t offset = 0;
+  while (offset < user_data.size()) {
+    const std::size_t block =
+        user_data.size() - offset < 16 ? user_data.size() - offset : 16;
+    const ByteSpan slice(user_data.data() + offset, block);
+    writer.write_bytes(slice);
+    writer.write_u16(crc16_dnp3(slice), Endian::Little);
+    offset += block;
+  }
+  return writer.take();
+}
+
+Bytes tpkt(Bytes pdu) {
+  ByteWriter writer;
+  writer.write_u8(0x03);
+  writer.write_u8(0x00);
+  writer.write_u16(static_cast<std::uint16_t>(4 + pdu.size()), Endian::Big);
+  writer.write_bytes(pdu);
+  return writer.take();
+}
+
+Bytes tlv(std::uint8_t tag, Bytes value) {
+  Bytes out{tag, static_cast<std::uint8_t>(value.size())};
+  append(out, value);
+  return out;
+}
+
+/// Confirmed-request PDU (tag 0xA0): 4-byte invoke id + one service TLV.
+/// The MMS and ICCP stacks share this envelope.
+Bytes confirmed(std::uint8_t service_tag, Bytes body) {
+  Bytes inner = tlv(0x02, {0x00, 0x00, 0x00, 0x01});
+  append(inner, tlv(service_tag, std::move(body)));
+  return tlv(0xA0, inner);
+}
+
+Bytes visible_string(const std::string& text) {
+  return tlv(0x1A, Bytes(text.begin(), text.end()));
+}
+
+/// APCI I-frame with explicit send sequence (IEC 104 enforces N(S)).
+Bytes apci_i_frame(Bytes asdu, std::uint16_t send_seq = 0) {
+  ByteWriter writer;
+  writer.write_u8(0x68);
+  writer.write_u8(static_cast<std::uint8_t>(4 + asdu.size()));
+  writer.write_u16(static_cast<std::uint16_t>(send_seq << 1), Endian::Little);
+  writer.write_u16(0, Endian::Little);
+  writer.write_bytes(asdu);
+  return writer.take();
+}
+
+const Bytes kStartDtAct{0x68, 0x04, 0x07, 0x00, 0x00, 0x00};
+const Bytes kTestFrAct{0x68, 0x04, 0x43, 0x00, 0x00, 0x00};
+
+TEST(ZeroAllocation, ModbusSteadyStateIsAllocationFree) {
+  proto::ModbusServer server;
+  expect_steady_state_alloc_free(
+      server, {
+                  mbap_frame({0x01, 0x00, 0x00, 0x00, 0x10}),  // read coils
+                  mbap_frame({0x03, 0x00, 0x02, 0x00, 0x03}),  // read holding
+                  mbap_frame({0x04, 0x00, 0x00, 0x00, 0x08}),  // read input
+                  mbap_frame({0x06, 0x00, 0x01, 0x12, 0x34}),  // write single
+                  mbap_frame({0x03, 0x00, 0x7F, 0x00, 0x10}),  // exception
+              });
+}
+
+TEST(ZeroAllocation, Dnp3SteadyStateIsAllocationFree) {
+  proto::Dnp3Server server;
+  // Transport octet (FIR|FIN seq 0) + app header + class-0 read object.
+  expect_steady_state_alloc_free(
+      server, {
+                  dnp3_link_frame({0xC0, 0xC0, 0x01, 0x01, 0x01, 0x06}),
+                  dnp3_link_frame({0xC0, 0xC0, 0x01, 0x1E, 0x01, 0x01, 0x00,
+                                   0x00, 0x03, 0x00}),
+              });
+}
+
+TEST(ZeroAllocation, Iec104SteadyStateIsAllocationFree) {
+  proto::Iec104Server server;
+  const Bytes interro{100, 1, 6, 0, 1, 0, 0, 0, 0, 20};
+  const Bytes select{45, 1, 6, 0, 1, 0, 0x00, 0x10, 0x00, 0x81};
+  const Bytes execute{45, 1, 6, 0, 1, 0, 0x00, 0x10, 0x00, 0x01};
+  expect_steady_state_alloc_free(
+      server, {
+                  cat({kStartDtAct, apci_i_frame(interro)}),
+                  cat({kStartDtAct, kTestFrAct, apci_i_frame(interro)}),
+                  cat({kStartDtAct, apci_i_frame(select, 0),
+                       apci_i_frame(execute, 1)}),
+              });
+}
+
+TEST(ZeroAllocation, MmsSteadyStateIsAllocationFree) {
+  proto::MmsServer server;
+  Bytes initiate_params;
+  append(initiate_params, tlv(0x80, {0x00, 0x00, 0x7D, 0x00}));
+  append(initiate_params, tlv(0x81, {0x01}));
+  append(initiate_params, tlv(0x82, {0xF1, 0x00}));
+  append(initiate_params, tlv(0x83, Bytes(8, 0xEE)));
+  const Bytes initiate = tlv(0xA8, initiate_params);
+  expect_steady_state_alloc_free(
+      server,
+      {
+          cat({tpkt(initiate), tpkt(confirmed(0x82, {0x00}))}),  // identify
+          // Domain name list paginates through the LN$DO scratch buffer;
+          // the read resolves a >15-char reference (SSO would not save it).
+          cat({tpkt(initiate), tpkt(confirmed(0xA1, tlv(0x80, {0x09})))}),
+          cat({tpkt(initiate),
+               tpkt(confirmed(
+                   0xA4,
+                   visible_string("simpleIOGenericIO/MMXU1$MX$TotW$mag")))}),
+      });
+}
+
+TEST(ZeroAllocation, Cs101SteadyStateIsAllocationFree) {
+  proto::Cs101Server server;
+  const Bytes interro = apci_i_frame({100, 1, 6, 0, 3, 0, 0, 0, 0, 20});
+  const Bytes select = apci_i_frame({45, 1, 6, 0, 3, 0, 0x00, 0x20, 0x00, 0x81});
+  const Bytes execute = apci_i_frame({45, 1, 6, 0, 3, 0, 0x00, 0x20, 0x00, 0x01});
+  // Well-formed SQ=0 measurand report: two objects of IOA(3)+value(2)+QDS(1).
+  const Bytes measurands = apci_i_frame({11, 2, 6, 0, 3, 0,  //
+                                         0, 0, 0, 0x11, 0x22, 0x00,
+                                         1, 0, 0, 0x33, 0x44, 0x00});
+  expect_steady_state_alloc_free(
+      server, {
+                  cat({kStartDtAct, interro}),
+                  cat({kStartDtAct, select, execute}),
+                  cat({kStartDtAct, measurands, interro}),
+              });
+}
+
+TEST(ZeroAllocation, IccpSteadyStateIsAllocationFree) {
+  proto::IccpServer server;
+  Bytes initiate_params;
+  append(initiate_params, tlv(0x80, {0x00, 0x00, 0x1F, 0x40}));
+  append(initiate_params, tlv(0x81, {0x05}));
+  append(initiate_params, tlv(0x82, {0x01}));
+  const Bytes initiate = tlv(0xA8, initiate_params);
+  expect_steady_state_alloc_free(
+      server,
+      {
+          // Read + name list; the Write service is excluded (GuardedAlloc
+          // staging buffer allocates by design).
+          cat({tpkt(initiate), tpkt(confirmed(0xA4, tlv(0x80, {0x03})))}),
+          cat({tpkt(initiate), tpkt(confirmed(0xA1, tlv(0x80, {0x00})))}),
+      });
 }
 
 TEST(GenerationalDedup, DedupSurvivesTheRotationThreshold) {

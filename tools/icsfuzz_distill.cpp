@@ -46,7 +46,10 @@ int usage(const char* argv0) {
       "                      target (e.g. 'icsfuzz-shim-target --project\n"
       "                      libmodbus'; split on spaces). Coverage comes\n"
       "                      from the shm map and is bit-identical to the\n"
-      "                      in-process replay of the same stacks.\n",
+      "                      in-process replay of the same stacks.\n"
+      "    --persistent [K]  with --target-cmd: persistent-mode execution\n"
+      "                      (K executions per child; default 1024). An old\n"
+      "                      v1 target degrades to fork-per-exec.\n",
       argv0);
   return 2;
 }
@@ -105,9 +108,19 @@ int main(int argc, char** argv) {
         // flag arguments), dropping empty tokens from repeated spaces.
         for (std::string& token : split(v, ' ')) {
           if (!token.empty()) {
-            executor_config.target_cmd.push_back(std::move(token));
+            executor_config.backend.target_cmd.push_back(std::move(token));
           }
         }
+        if (executor_config.backend.kind == fuzz::BackendKind::kInProcess) {
+          executor_config.backend.kind = fuzz::BackendKind::kForkPerExec;
+        }
+      }
+    } else if (arg == "--persistent") {
+      executor_config.backend.kind = fuzz::BackendKind::kPersistent;
+      // Optional budget operand (a bare "--persistent" keeps the default).
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        executor_config.backend.persistent_budget = static_cast<std::uint32_t>(
+            std::strtoul(argv[++i], nullptr, 10));
       }
     } else {
       return usage(argv[0]);
