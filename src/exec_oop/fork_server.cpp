@@ -229,6 +229,7 @@ ForkServer::RunOutcome::Kind ForkServer::classify_server_gone() {
                           : RunOutcome::Kind::kServerLost;
       return last_failure_;
     }
+    if (reaped < 0 && errno == EINTR) continue;  // supervisor signal; re-poll
     if (reaped != 0) break;  // ECHILD or error: treat as lost
     ::usleep(1000);
   }

@@ -1,15 +1,48 @@
 #include "exec_oop/oop_executor.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstring>
 
 namespace icsfuzz::oop {
+namespace {
+
+/// splitmix64 finalizer — the deterministic jitter hash (no RNG stream).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Backoff delay before the `consecutive`-th consecutive respawn
+/// (1-based): initial * 2^(consecutive-1), capped, plus jitter.
+std::uint32_t backoff_delay_ms(const RetryPolicy& policy,
+                               std::uint32_t consecutive,
+                               std::uint64_t jitter_key) {
+  if (policy.backoff_initial_ms == 0 || consecutive == 0) return 0;
+  std::uint64_t delay = policy.backoff_initial_ms;
+  for (std::uint32_t i = 1; i < consecutive && delay < policy.backoff_max_ms;
+       ++i) {
+    delay *= 2;
+  }
+  delay = std::min<std::uint64_t>(delay, policy.backoff_max_ms);
+  if (policy.jitter_pct != 0) {
+    const std::uint64_t span = delay * policy.jitter_pct / 100;
+    if (span != 0) delay += mix64(jitter_key) % (span + 1);
+  }
+  return static_cast<std::uint32_t>(delay);
+}
+
+}  // namespace
 
 std::string to_string(ExecStatus status) {
   switch (status) {
     case ExecStatus::kOk: return "ok";
     case ExecStatus::kCrash: return "crash";
     case ExecStatus::kHang: return "hang";
+    case ExecStatus::kOom: return "oom";
     case ExecStatus::kServerLost: return "server-lost";
   }
   return "?";
@@ -47,10 +80,11 @@ bool OutOfProcessExecutor::spawn() {
   std::memset(segment_.data(), 0, segment_.size());
   map_offset_ = 0;
 
-  const std::vector<std::string> extra_env = {
+  std::vector<std::string> extra_env = {
       std::string(kShmNameEnv) + "=" + segment_.name(),
       std::string(kShmSizeEnv) + "=" + std::to_string(segment_.size()),
   };
+  supervise::append_jail_env(config_.jail, extra_env);
   if (!server_.start(config_.target_cmd, extra_env,
                      config_.handshake_timeout_ms)) {
     error_ = server_.error();
@@ -61,6 +95,23 @@ bool OutOfProcessExecutor::spawn() {
 
 bool OutOfProcessExecutor::ensure_started() {
   if (server_.running()) return true;
+  const RetryPolicy& policy = config_.retry;
+  if (ever_started_) {
+    // Crash-loop breaker: a server that keeps dying stops being respawned
+    // once the lifetime budget is spent — campaigns then report
+    // kServerLost per packet instead of forking a doomed target forever.
+    if (policy.max_respawns >= 0 &&
+        restarts_ >= static_cast<std::uint64_t>(policy.max_respawns)) {
+      error_ = "crash-loop budget exhausted (" +
+               std::to_string(policy.max_respawns) + " respawns)";
+      return false;
+    }
+    // Exponential backoff (with deterministic jitter) before consecutive
+    // respawns, so a crash-looping target does not busy-spin fork+exec.
+    const std::uint32_t delay = backoff_delay_ms(
+        policy, consecutive_respawns_ + 1, restarts_ + 1);
+    if (delay != 0) ::usleep(delay * 1000u);
+  }
   if (!spawn()) return false;
   // Count only successful respawns of a server that had previously come
   // up: a target that can never start keeps the counter at zero (that is
@@ -68,6 +119,7 @@ bool OutOfProcessExecutor::ensure_started() {
   // the fault-injection suite and the bench gate read).
   if (ever_started_) {
     ++restarts_;
+    ++consecutive_respawns_;
   } else {
     ever_started_ = true;
   }
@@ -94,6 +146,9 @@ void OutOfProcessExecutor::classify(const ForkServer::RunOutcome& raw,
   out.child_recycled = raw.recycled != RecycleReason::kNone;
   if (out.child_recycled) ++child_recycles_;
   map_offset_ = map_offset;
+  // Any classified outcome means the server answered — the crash loop (if
+  // there was one) is over.
+  consecutive_respawns_ = 0;
 
   const bool aux_complete =
       aux_load(segment_.data() + aux_offset, kAuxBytes, out.aux);
@@ -109,6 +164,12 @@ void OutOfProcessExecutor::classify(const ForkServer::RunOutcome& raw,
     case ForkServer::RunOutcome::Kind::kExited:
       if (raw.exit_code == 0 && aux_complete) {
         out.status = ExecStatus::kOk;
+      } else if (raw.exit_code == supervise::kOomExitCode) {
+        // The resource jail's new_handler fired: allocation failure under
+        // RLIMIT_AS, not a memory-safety crash.
+        out.status = ExecStatus::kOom;
+        out.exit_code = raw.exit_code;
+        ++oom_kills_;
       } else {
         // A nonzero exit — or a clean exit that never finished the aux
         // block — is an abnormal termination mid-execution.
@@ -145,9 +206,9 @@ void OutOfProcessExecutor::fail_outcome(Outcome& out) {
 const OutOfProcessExecutor::Outcome& OutOfProcessExecutor::run(
     ByteSpan packet) {
   Outcome& outcome = outcome_;
-  for (int attempt = 0; attempt < 2; ++attempt) {
+  for (int attempt = 0; attempt <= config_.retry.max_retries; ++attempt) {
     if (attempt == 1) ++retries_;
-    if (!ensure_started()) continue;  // second attempt retries the spawn
+    if (!ensure_started()) continue;  // next attempt retries the spawn
 
     ForkServer::RunOutcome raw;
     std::size_t map_offset = 0;

@@ -39,6 +39,7 @@
 #include "exec_oop/exec_protocol.hpp"
 #include "exec_oop/fork_server.hpp"
 #include "exec_oop/shm_segment.hpp"
+#include "supervise/resource_jail.hpp"
 #include "util/bytes.hpp"
 
 namespace icsfuzz::oop {
@@ -48,10 +49,33 @@ enum class ExecStatus : std::uint8_t {
   kOk,          ///< child ran to completion (aux block valid)
   kCrash,       ///< child died on a signal / abnormal exit mid-execution
   kHang,        ///< wall-clock deadline expired; child was SIGKILLed
+  kOom,         ///< resource jail fired: allocation failure under RLIMIT_AS
   kServerLost,  ///< fork server unreachable even after a respawn
 };
 
 std::string to_string(ExecStatus status);
+
+/// Respawn/retry policy for a lost fork server. The defaults reproduce the
+/// historical hard-coded behavior exactly: one retry per packet, unlimited
+/// respawns, no backoff — so existing campaigns and the differential
+/// oracles are bit-identical unless a supervisor opts in.
+struct RetryPolicy {
+  /// Extra attempts per packet after the first one loses the server.
+  int max_retries = 1;
+  /// Lifetime respawn budget — the crash-loop breaker. Once a server that
+  /// had come up has been respawned this many times, further losses fail
+  /// fast as kServerLost instead of forking a doomed target forever.
+  /// Negative = unlimited.
+  int max_respawns = -1;
+  /// Backoff before the Nth consecutive respawn (doubling, capped at
+  /// backoff_max_ms). 0 disables sleeping entirely.
+  std::uint32_t backoff_initial_ms = 0;
+  std::uint32_t backoff_max_ms = 2000;
+  /// Deterministic jitter: up to this percentage is added on top of the
+  /// backoff delay, derived by hashing the respawn count (no RNG stream —
+  /// the fuzzing trajectory never depends on it).
+  std::uint32_t jitter_pct = 0;
+};
 
 struct OopExecutorConfig {
   /// argv of the fork-server target; argv[0] resolved through PATH.
@@ -65,6 +89,12 @@ struct OopExecutorConfig {
   /// keeps fork-per-exec; larger values request persistent mode, which
   /// engages when the server also advertises the capability.
   std::uint32_t persistent_budget = 0;
+  /// Lost-server respawn/retry policy (defaults preserve the historical
+  /// respawn-once behavior).
+  RetryPolicy retry;
+  /// Resource jail applied inside every forked execution child (exported
+  /// to the shim via environment). Disabled by default.
+  supervise::ResourceJail jail;
 };
 
 class OutOfProcessExecutor {
@@ -163,6 +193,9 @@ class OutOfProcessExecutor {
     return child_recycles_;
   }
 
+  /// Executions the resource jail terminated (classified kOom).
+  [[nodiscard]] std::uint64_t oom_kills() const { return oom_kills_; }
+
   [[nodiscard]] bool server_running() const { return server_.running(); }
   [[nodiscard]] const std::string& last_error() const { return error_; }
   [[nodiscard]] const ShmSegment& segment() const { return segment_; }
@@ -196,6 +229,10 @@ class OutOfProcessExecutor {
   std::uint64_t retries_ = 0;
   std::uint64_t orderly_exits_ = 0;
   std::uint64_t child_recycles_ = 0;
+  std::uint64_t oom_kills_ = 0;
+  /// Respawns since the last successful reply — drives the exponential
+  /// backoff and the crash-loop verdict; reset by any classified outcome.
+  std::uint32_t consecutive_respawns_ = 0;
   /// A spawn has succeeded at least once (gates restart counting).
   bool ever_started_ = false;
 };

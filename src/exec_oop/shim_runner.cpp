@@ -13,6 +13,7 @@
 #include "exec_oop/exec_protocol.hpp"
 #include "exec_oop/shm_segment.hpp"
 #include "sanitizer/fault.hpp"
+#include "supervise/resource_jail.hpp"
 
 namespace icsfuzz::oop {
 
@@ -94,6 +95,20 @@ int await_child(pid_t child, std::uint32_t timeout_ms, bool wait_stops,
   return wstatus;
 }
 
+/// Fault-plan OOM hook: allocates address space until the resource jail's
+/// new_handler fires (_exit through supervise::kOomExitCode). Chunks are
+/// never touched, so an unjailed run consumes address space only, and
+/// after a bounded number of allocations the child leaves through the
+/// marker code anyway — the hook exists to drive the jail's kOom
+/// classification path, not to actually exhaust the host.
+[[noreturn]] void exhaust_memory() {
+  constexpr std::size_t kChunkBytes = 64u << 20;  // 64 MiB per allocation
+  for (int i = 0; i < (1 << 14); ++i) {           // <= 1 TiB of VA
+    (void)new std::uint8_t[kChunkBytes];
+  }
+  ::_exit(supervise::kOomExitCode);
+}
+
 /// One fork-per-exec execution, inside the forked child: trace into the
 /// v1 region of the shm segment, run the target, publish the aux block,
 /// _exit. Never returns.
@@ -165,6 +180,9 @@ int await_child(pid_t child, std::uint32_t timeout_ms, bool wait_stops,
     if (plan.hang_at != 0 && ctl.exec_index == plan.hang_at) {
       for (;;) ::pause();
     }
+    if (plan.oom_at != 0 && ctl.exec_index == plan.oom_at) {
+      exhaust_memory();
+    }
 
     // Pristine slot state: full memset on this child's first use of the
     // slot, sparse-clear of the previous iteration's dirty words after
@@ -232,6 +250,7 @@ ShimFaultPlan shim_fault_plan_from_env() {
   plan.legacy_v1 = env_u64("ICSFUZZ_SHIM_LEGACY_V1") != 0;
   plan.kill_child_at = env_u64("ICSFUZZ_SHIM_KILL_CHILD_AT");
   plan.hang_at = env_u64("ICSFUZZ_SHIM_HANG_AT");
+  plan.oom_at = env_u64("ICSFUZZ_SHIM_OOM_AT");
   plan.server_exit_at = env_u64("ICSFUZZ_SHIM_SERVER_EXIT_AT");
   plan.server_retire_after = env_u64("ICSFUZZ_SHIM_SERVER_RETIRE_AFTER");
   return plan;
@@ -262,6 +281,11 @@ int run_shim_server(ProtocolTarget& target, const ShimFaultPlan& plan) {
     const std::uint32_t hello = kHelloMagic;
     if (!write_full(kStFd, &hello, sizeof(hello))) return 4;
   }
+
+  // The jail travels from the fuzzing parent as environment variables and
+  // is applied inside every forked execution child — never in this server
+  // process, which must stay alive across jail-killed children.
+  const supervise::ResourceJail jail = supervise::jail_from_env();
 
   Bytes packet;
   PersistentChild persistent;
@@ -305,6 +329,7 @@ int run_shim_server(ProtocolTarget& target, const ShimFaultPlan& plan) {
         const pid_t child = ::fork();
         if (child < 0) return 5;
         if (child == 0) {
+          supervise::apply_in_child(jail);
           run_persistent_child(target, segment.data(), plan);
         }
         persistent = PersistentChild{child, 1, budget};
@@ -349,11 +374,15 @@ int run_shim_server(ProtocolTarget& target, const ShimFaultPlan& plan) {
       const pid_t child = ::fork();
       if (child < 0) return 5;
       if (child == 0) {
+        supervise::apply_in_child(jail);
         if (plan.kill_child_at != 0 && exec_index == plan.kill_child_at) {
           ::raise(SIGKILL);
         }
         if (plan.hang_at != 0 && exec_index == plan.hang_at) {
           for (;;) ::pause();
+        }
+        if (plan.oom_at != 0 && exec_index == plan.oom_at) {
+          exhaust_memory();
         }
         run_child(target, segment.data(), packet);
       }

@@ -37,6 +37,11 @@ struct ShimFaultPlan {
   /// On execution #N the child hangs forever (the executor's wall-clock
   /// deadline must reap it).
   std::uint64_t hang_at = 0;
+  /// On execution #N the child allocates until the resource jail's
+  /// new_handler fires — the kOom classification path (pair with an
+  /// ICSFUZZ_JAIL_AS_MB cap; an unjailed child exits through the marker
+  /// code after a bounded number of untouched allocations).
+  std::uint64_t oom_at = 0;
   /// Before serving execution #N the server process itself exits (code 9)
   /// — a crashed fork server the executor must respawn.
   std::uint64_t server_exit_at = 0;

@@ -1,5 +1,6 @@
 #include "exec_oop/shm_segment.hpp"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <unistd.h>
@@ -7,12 +8,29 @@
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <random>
+#include <unordered_set>
+#include <vector>
 
 namespace icsfuzz::oop {
 
 namespace {
+
+/// Live created-and-not-yet-unlinked segment names, process-wide. The
+/// normal lifecycle (destructor / unlink_name) keeps this empty at exit;
+/// unlink_all_registered() drains whatever a signal-driven shutdown left.
+struct NameRegistry {
+  std::mutex mutex;
+  std::unordered_set<std::string> names;
+
+  static NameRegistry& instance() {
+    static NameRegistry registry;
+    return registry;
+  }
+};
 
 /// Monotonic per-process counter so concurrent workers of one campaign
 /// never collide on a name; the pid disambiguates across live processes
@@ -40,9 +58,24 @@ std::string errno_string(const char* what) {
 
 }  // namespace
 
+void ShmSegment::register_name() {
+  NameRegistry& registry = NameRegistry::instance();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.names.insert(name_);
+}
+
+void ShmSegment::forget_name() {
+  NameRegistry& registry = NameRegistry::instance();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.names.erase(name_);
+}
+
 ShmSegment::~ShmSegment() {
   if (data_ != nullptr) ::munmap(data_, size_);
-  if (owns_name_ && !name_.empty()) ::shm_unlink(name_.c_str());
+  if (owns_name_ && !name_.empty()) {
+    ::shm_unlink(name_.c_str());
+    forget_name();
+  }
 }
 
 ShmSegment::ShmSegment(ShmSegment&& other) noexcept
@@ -60,7 +93,10 @@ ShmSegment::ShmSegment(ShmSegment&& other) noexcept
 ShmSegment& ShmSegment::operator=(ShmSegment&& other) noexcept {
   if (this == &other) return *this;
   if (data_ != nullptr) ::munmap(data_, size_);
-  if (owns_name_ && !name_.empty()) ::shm_unlink(name_.c_str());
+  if (owns_name_ && !name_.empty()) {
+    ::shm_unlink(name_.c_str());
+    forget_name();
+  }
   data_ = other.data_;
   size_ = other.size_;
   name_ = std::move(other.name_);
@@ -98,6 +134,7 @@ ShmSegment ShmSegment::create(std::size_t size, bool force_anonymous) {
           segment.data_ = static_cast<std::uint8_t*>(mapped);
           segment.name_ = name;
           segment.owns_name_ = true;
+          segment.register_name();
           return segment;
         }
         segment.error_ = errno_string("mmap(shm)");
@@ -148,8 +185,47 @@ ShmSegment ShmSegment::attach(const std::string& name, std::size_t size) {
 void ShmSegment::unlink_name() {
   if (owns_name_ && !name_.empty()) {
     ::shm_unlink(name_.c_str());
+    forget_name();
     owns_name_ = false;
   }
+}
+
+std::size_t unlink_all_registered() {
+  NameRegistry& registry = NameRegistry::instance();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::size_t unlinked = 0;
+  for (const std::string& name : registry.names) {
+    if (::shm_unlink(name.c_str()) == 0) ++unlinked;
+  }
+  registry.names.clear();
+  return unlinked;
+}
+
+std::size_t sweep_orphans() {
+  // The generated names are "/icsfuzz-<pid>-<tag>-<counter>"; /dev/shm
+  // lists them without the leading slash. A dead creator pid marks the
+  // segment as residue of a killed campaign.
+  DIR* dir = ::opendir("/dev/shm");
+  if (dir == nullptr) return 0;
+  std::vector<std::string> orphans;
+  constexpr const char* kPrefix = "icsfuzz-";
+  while (const struct dirent* entry = ::readdir(dir)) {
+    const char* name = entry->d_name;
+    if (std::strncmp(name, kPrefix, std::strlen(kPrefix)) != 0) continue;
+    char* end = nullptr;
+    const long pid = std::strtol(name + std::strlen(kPrefix), &end, 10);
+    if (pid <= 0 || end == nullptr || *end != '-') continue;
+    char proc_path[64];
+    std::snprintf(proc_path, sizeof(proc_path), "/proc/%ld", pid);
+    if (::access(proc_path, F_OK) == 0) continue;  // creator still alive
+    orphans.push_back("/" + std::string(name));
+  }
+  ::closedir(dir);
+  std::size_t unlinked = 0;
+  for (const std::string& orphan : orphans) {
+    if (::shm_unlink(orphan.c_str()) == 0) ++unlinked;
+  }
+  return unlinked;
 }
 
 }  // namespace icsfuzz::oop

@@ -63,6 +63,9 @@ class ShmSegment {
   void unlink_name();
 
  private:
+  void register_name();
+  void forget_name();
+
   std::uint8_t* data_ = nullptr;
   std::size_t size_ = 0;
   std::string name_;
@@ -71,5 +74,20 @@ class ShmSegment {
   bool owns_name_ = false;
   std::string error_;
 };
+
+/// Unlinks every named segment this process created and has not yet
+/// unlinked (the live-name registry create() maintains). The emergency
+/// half of shm hygiene: a supervisor's signal-driven shutdown calls this
+/// so an interrupted campaign leaves no /dev/shm residue even when
+/// executor destructors never run. Mappings in use stay valid (POSIX
+/// unlink-vs-mapping semantics). Returns the number of names unlinked.
+std::size_t unlink_all_registered();
+
+/// Sweeps /dev/shm for leaked icsfuzz segments whose creator is dead: the
+/// generated names embed the creating pid, so any "icsfuzz-<pid>-..."
+/// entry whose /proc/<pid> no longer exists is residue of a SIGKILLed
+/// campaign and is unlinked. Safe to run concurrently with live campaigns
+/// (their creator pids are alive). Returns the number of names unlinked.
+std::size_t sweep_orphans();
 
 }  // namespace icsfuzz::oop

@@ -1,5 +1,7 @@
 #include "fuzzer/corpus.hpp"
 
+#include <algorithm>
+
 namespace icsfuzz::fuzz {
 namespace {
 
@@ -70,6 +72,50 @@ void PuzzleCorpus::clear() {
   exact_.clear();
   shape_.clear();
   ++revision_;
+}
+
+namespace {
+
+// Templated so the helpers never name the private PuzzleCorpus::Bucket type.
+template <typename Tier>
+std::vector<CorpusSnapshot::BucketImage> image_tier(const Tier& tier) {
+  std::vector<CorpusSnapshot::BucketImage> images;
+  images.reserve(tier.size());
+  for (const auto& [key, bucket] : tier) {
+    images.push_back({key, bucket.entries});
+  }
+  std::sort(images.begin(), images.end(),
+            [](const auto& a, const auto& b) { return a.key < b.key; });
+  return images;
+}
+
+template <typename Tier>
+void restore_tier(Tier& tier,
+                  const std::vector<CorpusSnapshot::BucketImage>& images) {
+  tier.clear();
+  for (const CorpusSnapshot::BucketImage& image : images) {
+    auto& bucket = tier[image.key];
+    bucket.entries = image.entries;
+    for (const Bytes& entry : bucket.entries) {
+      bucket.hashes.insert(bytes_hash(entry));
+    }
+  }
+}
+
+}  // namespace
+
+CorpusSnapshot PuzzleCorpus::snapshot() const {
+  CorpusSnapshot image;
+  image.exact = image_tier(exact_);
+  image.shape = image_tier(shape_);
+  image.revision = revision_;
+  return image;
+}
+
+void PuzzleCorpus::restore(const CorpusSnapshot& image) {
+  restore_tier(exact_, image.exact);
+  restore_tier(shape_, image.shape);
+  revision_ = image.revision;
 }
 
 }  // namespace icsfuzz::fuzz

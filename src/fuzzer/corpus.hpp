@@ -21,6 +21,21 @@
 
 namespace icsfuzz::fuzz {
 
+/// Checkpoint image of a PuzzleCorpus. Per-bucket entry ORDER is part of
+/// the fuzzing trajectory (full-bucket replacement picks victims by
+/// rng.index over the entries vector), so entries are captured verbatim in
+/// order; the dedup hash sets are recomputed on restore. Keys are sorted so
+/// the serialized form of a given corpus is stable.
+struct CorpusSnapshot {
+  struct BucketImage {
+    std::uint64_t key = 0;
+    std::vector<Bytes> entries;
+  };
+  std::vector<BucketImage> exact;
+  std::vector<BucketImage> shape;
+  std::uint64_t revision = 0;
+};
+
 struct CorpusConfig {
   /// Maximum stored puzzles per rule key (and per shape key).
   std::size_t per_rule_cap = 32;
@@ -64,6 +79,13 @@ class PuzzleCorpus {
   [[nodiscard]] std::uint64_t revision() const { return revision_; }
 
   void clear();
+
+  /// Captures both tiers for checkpointing (entry order preserved).
+  [[nodiscard]] CorpusSnapshot snapshot() const;
+
+  /// Replaces the corpus contents with `image` (bucket hash sets are
+  /// recomputed from the entries; revision_ is restored verbatim).
+  void restore(const CorpusSnapshot& image);
 
  private:
   struct Bucket {

@@ -5,7 +5,7 @@
 namespace icsfuzz::fuzz {
 
 bool CrashDb::record(const san::FaultReport& fault, ByteSpan packet,
-                     std::uint64_t execution_index) {
+                     std::uint64_t execution_index, std::uint64_t trace_hash) {
   const auto key = std::make_pair(static_cast<std::uint8_t>(fault.kind),
                                   fault.site);
   auto [it, inserted] = records_.try_emplace(key);
@@ -17,8 +17,15 @@ bool CrashDb::record(const san::FaultReport& fault, ByteSpan packet,
     record.detail = fault.detail;
     record.reproducer.assign(packet.begin(), packet.end());
     record.first_execution = execution_index;
+    record.trace_hash = trace_hash;
   }
   return inserted;
+}
+
+void CrashDb::restore(const CrashRecord& record) {
+  const auto key = std::make_pair(static_cast<std::uint8_t>(record.kind),
+                                  record.site);
+  records_[key] = record;
 }
 
 std::size_t CrashDb::unique_memory_faults() const {

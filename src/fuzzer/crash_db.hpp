@@ -21,15 +21,20 @@ struct CrashRecord {
   Bytes reproducer;          // first packet that triggered it
   std::uint64_t hits = 0;    // total triggering executions
   std::uint64_t first_execution = 0;  // execution index of discovery
+  /// Coverage fingerprint (trace hash) of the first triggering execution;
+  /// 0 when the recorder had none. Together with (kind, site) this is the
+  /// triage-store bucket identity.
+  std::uint64_t trace_hash = 0;
 };
 
 class CrashDb {
  public:
   /// Records a fault raised by `packet` at execution `execution_index`.
   /// Returns true when this (kind, site) pair is new — a previously
-  /// unknown vulnerability in the paper's terms.
+  /// unknown vulnerability in the paper's terms. `trace_hash` is the
+  /// execution's coverage fingerprint (kept from the first sighting only).
   bool record(const san::FaultReport& fault, ByteSpan packet,
-              std::uint64_t execution_index);
+              std::uint64_t execution_index, std::uint64_t trace_hash = 0);
 
   [[nodiscard]] std::size_t unique_count() const { return records_.size(); }
 
@@ -43,6 +48,13 @@ class CrashDb {
   [[nodiscard]] std::map<san::FaultKind, std::size_t> by_kind() const;
 
   void clear() { records_.clear(); }
+
+  /// Checkpoint/resume and persistence-load path: reinstates a record
+  /// verbatim — hits, first_execution, and trace_hash are preserved, NOT
+  /// re-counted the way record() would (the parallel campaign's pooled
+  /// re-record resets hits; restore must not). An existing (kind, site)
+  /// entry is overwritten.
+  void restore(const CrashRecord& record);
 
  private:
   // Keyed by (kind, site); std::map keeps report ordering stable.

@@ -50,6 +50,23 @@ class GenerationalDedup {
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
+  /// Checkpoint access: the two generations, separately. Which set is
+  /// `current_` matters — rotation fires off current_'s size — so resume
+  /// must restore them as distinct sets, not a merged union.
+  [[nodiscard]] const std::unordered_set<std::uint64_t>& current_generation()
+      const {
+    return current_;
+  }
+  [[nodiscard]] const std::unordered_set<std::uint64_t>& previous_generation()
+      const {
+    return previous_;
+  }
+  void restore_generations(std::unordered_set<std::uint64_t> current,
+                           std::unordered_set<std::uint64_t> previous) {
+    current_ = std::move(current);
+    previous_ = std::move(previous);
+  }
+
  private:
   std::size_t capacity_;
   std::unordered_set<std::uint64_t> current_;

@@ -95,6 +95,8 @@ class OopBackend final : public ExecBackend {
     oop_config.persistent_budget = config.kind == BackendKind::kPersistent
                                        ? config.persistent_budget
                                        : 0;
+    oop_config.retry = config.retry;
+    oop_config.jail = config.jail;
     exec_ = std::make_unique<oop::OutOfProcessExecutor>(std::move(oop_config));
   }
 
@@ -179,6 +181,13 @@ class OopBackend final : public ExecBackend {
       std::snprintf(detail, sizeof detail, "reason=hang deadline_ms=%d",
                     exec_timeout_ms_);
       telemetry_.event(telem::EventType::kHang, packet_hash, detail);
+    } else if (outcome.status == oop::ExecStatus::kOom) {
+      telemetry_.add(telem::Counter::kOopOomKills);
+      char detail[48];
+      std::snprintf(detail, sizeof detail, "reason=oom jail_as_mb=%llu",
+                    static_cast<unsigned long long>(
+                        exec_->config().jail.address_space_mb));
+      telemetry_.event(telem::EventType::kOomKill, packet_hash, detail);
     } else if (outcome.status == oop::ExecStatus::kServerLost) {
       telemetry_.add(telem::Counter::kOopServerLost);
       telemetry_.event(telem::EventType::kServerLost, packet_hash,
@@ -233,6 +242,14 @@ class OopBackend final : public ExecBackend {
             san::FaultKind::Hang, san::site_id("oop-exec-deadline"),
             "execution exceeded the " + std::to_string(exec_timeout_ms_) +
                 " ms fork-server deadline"});
+        break;
+      case oop::ExecStatus::kOom:
+        // The jail's distinct exit code keeps allocation-failure deaths
+        // out of the memory-safety crash buckets.
+        result.faults.push_back(san::FaultReport{
+            san::FaultKind::Segv, san::site_id("oop-child-oom"),
+            "resource jail killed the child (allocation failure under "
+            "RLIMIT_AS)"});
         break;
       case oop::ExecStatus::kServerLost:
         result.faults.push_back(san::FaultReport{

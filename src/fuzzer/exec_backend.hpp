@@ -32,13 +32,11 @@
 #include <vector>
 
 #include "coverage/coverage_map.hpp"
+#include "exec_oop/oop_executor.hpp"
 #include "protocols/protocol_target.hpp"
 #include "sanitizer/fault.hpp"
+#include "supervise/resource_jail.hpp"
 #include "telemetry/telemetry.hpp"
-
-namespace icsfuzz::oop {
-class OutOfProcessExecutor;
-}  // namespace icsfuzz::oop
 
 namespace icsfuzz::fuzz {
 
@@ -91,6 +89,12 @@ struct ExecBackendConfig {
   /// kPersistent: executions per persistent child before it retires and
   /// the next request pays a fresh fork (the ICSFUZZ_LOOP budget K).
   std::uint32_t persistent_budget = 1024;
+  /// Lost-server respawn/retry policy (out-of-process kinds only; the
+  /// defaults reproduce the historical respawn-once behavior).
+  oop::RetryPolicy retry;
+  /// Resource jail applied inside every forked execution child
+  /// (out-of-process kinds only; disabled by default).
+  supervise::ResourceJail jail;
 };
 
 class ExecBackend {

@@ -64,4 +64,13 @@ void Executor::reset_campaign() {
   executions_ = 0;
 }
 
+void Executor::restore_campaign(std::uint64_t executions,
+                                const std::uint8_t* accumulated,
+                                const std::vector<std::uint64_t>& path_hashes) {
+  reset_campaign();
+  executions_ = executions;
+  if (accumulated != nullptr) map_.merge_accumulated(accumulated);
+  for (const std::uint64_t hash : path_hashes) paths_.record(hash);
+}
+
 }  // namespace icsfuzz::fuzz

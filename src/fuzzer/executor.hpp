@@ -99,6 +99,16 @@ class Executor {
   /// Forgets all campaign-lifetime state (fresh run).
   void reset_campaign();
 
+  /// Checkpoint/resume: reinstates campaign-lifetime state captured from
+  /// another executor — the execution count, the accumulated coverage map
+  /// (kMapSize bytes from CoverageMap::snapshot_accumulated) and the path
+  /// set. The restored executor continues the campaign exactly where the
+  /// captured one stopped: novelty decisions (new_coverage / new_path)
+  /// depend only on this state.
+  void restore_campaign(std::uint64_t executions,
+                        const std::uint8_t* accumulated,
+                        const std::vector<std::uint64_t>& path_hashes);
+
   /// True when this executor runs packets out of process.
   [[nodiscard]] bool out_of_process() const {
     return config_.backend.kind != BackendKind::kInProcess;

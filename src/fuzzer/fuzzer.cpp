@@ -175,7 +175,8 @@ const ExecResult& Fuzzer::step_fast() {
   }
 
   for (const san::FaultReport& fault : result.faults) {
-    const bool fresh = crash_db_.record(fault, packet, executor_.executions());
+    const bool fresh = crash_db_.record(fault, packet, executor_.executions(),
+                                        result.trace_hash);
     if (telemetry.enabled()) {
       const bool hang = fault.kind == san::FaultKind::Hang;
       telemetry.add(hang ? telem::Counter::kHangFaults
@@ -313,6 +314,59 @@ void Fuzzer::finish() {
 void Fuzzer::import_external_seed(Bytes packet) {
   config_.telemetry.add(telem::Counter::kImportedSeeds);
   imported_.push_back(std::move(packet));
+}
+
+FuzzerCheckpoint Fuzzer::capture_checkpoint() const {
+  FuzzerCheckpoint cp;
+  cp.rng = rng_.state();
+  cp.dedup_current.assign(executed_.current_generation().begin(),
+                          executed_.current_generation().end());
+  cp.dedup_previous.assign(executed_.previous_generation().begin(),
+                           executed_.previous_generation().end());
+  std::sort(cp.dedup_current.begin(), cp.dedup_current.end());
+  std::sort(cp.dedup_previous.begin(), cp.dedup_previous.end());
+  cp.corpus = corpus_.snapshot();
+  for (const CrashRecord* record : crash_db_.records()) {
+    cp.crashes.push_back(*record);
+  }
+  cp.stats_points = stats_.checkpoints();
+  cp.retained = retained_;
+  cp.pending_batch.assign(pending_batch_.begin(), pending_batch_.end());
+  cp.mutation_pool = mutation_pool_;
+  cp.imported.assign(imported_.begin(), imported_.end());
+  cp.total_retained = total_retained_;
+  cp.exported_retained = exported_retained_;
+  cp.distill_passes = distill_passes_;
+  cp.distill_dropped = distill_dropped_;
+  cp.executions = executor_.executions();
+  cp.coverage = executor_.coverage().snapshot_accumulated();
+  cp.path_hashes = executor_.paths().snapshot();
+  std::sort(cp.path_hashes.begin(), cp.path_hashes.end());
+  return cp;
+}
+
+void Fuzzer::restore_checkpoint(const FuzzerCheckpoint& cp) {
+  rng_.set_state(cp.rng);
+  executed_.restore_generations(
+      std::unordered_set<std::uint64_t>(cp.dedup_current.begin(),
+                                        cp.dedup_current.end()),
+      std::unordered_set<std::uint64_t>(cp.dedup_previous.begin(),
+                                        cp.dedup_previous.end()));
+  corpus_.restore(cp.corpus);
+  crash_db_.clear();
+  for (const CrashRecord& record : cp.crashes) crash_db_.restore(record);
+  stats_.restore(cp.stats_points);
+  retained_ = cp.retained;
+  pending_batch_.assign(cp.pending_batch.begin(), cp.pending_batch.end());
+  mutation_pool_ = cp.mutation_pool;
+  imported_.assign(cp.imported.begin(), cp.imported.end());
+  total_retained_ = cp.total_retained;
+  exported_retained_ = cp.exported_retained;
+  distill_passes_ = cp.distill_passes;
+  distill_dropped_ = cp.distill_dropped;
+  executor_.restore_campaign(
+      cp.executions, cp.coverage.empty() ? nullptr : cp.coverage.data(),
+      cp.path_hashes);
 }
 
 std::vector<RetainedSeed> Fuzzer::drain_new_retained() {

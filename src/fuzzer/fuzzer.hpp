@@ -85,6 +85,36 @@ struct RetainedSeed {
   std::uint64_t execution = 0;
 };
 
+/// Complete mid-campaign state of a Fuzzer — everything its trajectory
+/// depends on. A fresh Fuzzer constructed with the same target/models/
+/// config and restored from this image continues the campaign bit-for-bit
+/// as if it had never stopped (gated by tests/test_checkpoint_resume.cpp).
+/// Captured only between step_fast() calls (scratch buffers hold no
+/// trajectory state at iteration boundaries).
+struct FuzzerCheckpoint {
+  Rng::State rng{};
+  /// Both dedup generations, separately — which set is current decides
+  /// when the next rotation fires. Sorted for a stable serialized form.
+  std::vector<std::uint64_t> dedup_current;
+  std::vector<std::uint64_t> dedup_previous;
+  CorpusSnapshot corpus;
+  std::vector<CrashRecord> crashes;  // full records, hits preserved
+  std::vector<Checkpoint> stats_points;
+  std::vector<RetainedSeed> retained;
+  std::vector<Bytes> pending_batch;
+  std::vector<Bytes> mutation_pool;
+  std::vector<Bytes> imported;
+  std::uint64_t total_retained = 0;
+  std::uint64_t exported_retained = 0;
+  std::uint64_t distill_passes = 0;
+  std::uint64_t distill_dropped = 0;
+  /// Executor campaign state: execution count, accumulated coverage map
+  /// (cov::kMapSize bytes) and the path set (sorted).
+  std::uint64_t executions = 0;
+  std::vector<std::uint8_t> coverage;
+  std::vector<std::uint64_t> path_hashes;
+};
+
 class Fuzzer {
  public:
   /// `target` and `models` must outlive the fuzzer.
@@ -155,6 +185,18 @@ class Fuzzer {
   /// Mutable corpus access for in-place merges from the seed exchange
   /// (pair with an import-side RNG, never the generation stream).
   [[nodiscard]] PuzzleCorpus& mutable_corpus() { return corpus_; }
+
+  // -- Crash-safe checkpoint/resume (src/supervise/). --
+
+  /// Captures the complete trajectory-relevant state. Call only between
+  /// iterations (never from inside an on_exec observer).
+  [[nodiscard]] FuzzerCheckpoint capture_checkpoint() const;
+
+  /// Reinstates state captured by capture_checkpoint() on a fuzzer built
+  /// with the same target, models and config. Subsequent iterations
+  /// reproduce the captured campaign's uninterrupted trajectory
+  /// bit-for-bit.
+  void restore_checkpoint(const FuzzerCheckpoint& checkpoint);
 
  private:
   /// CHOOSE(SM): uniformly random model selection.

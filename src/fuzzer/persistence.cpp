@@ -1,10 +1,13 @@
 #include "fuzzer/persistence.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
 #include "util/hexdump.hpp"
+#include "util/json.hpp"
 
 namespace icsfuzz::fuzz {
 namespace {
@@ -31,16 +34,6 @@ std::optional<Bytes> read_file(const fs::path& path) {
   Bytes data((std::istreambuf_iterator<char>(in)),
              std::istreambuf_iterator<char>());
   return data;
-}
-
-std::string kind_slug(san::FaultKind kind) {
-  switch (kind) {
-    case san::FaultKind::Segv: return "segv";
-    case san::FaultKind::HeapBufferOverflow: return "heap-overflow";
-    case san::FaultKind::HeapUseAfterFree: return "heap-uaf";
-    case san::FaultKind::Hang: return "hang";
-  }
-  return "unknown";
 }
 
 std::string site_hex(std::uint32_t site) {
@@ -80,7 +73,8 @@ std::optional<std::string> save_session(const Fuzzer& fuzzer,
   if (error) return "cannot create session directory: " + error.message();
 
   for (const CrashRecord* crash : fuzzer.crashes().records()) {
-    const std::string stem = kind_slug(crash->kind) + "-" + site_hex(crash->site);
+    const std::string stem =
+        san::to_slug(crash->kind) + "-" + site_hex(crash->site);
     if (!write_file(root / "crashes" / (stem + ".bin"), crash->reproducer)) {
       return "cannot write crash reproducer " + stem;
     }
@@ -104,6 +98,11 @@ std::optional<std::string> save_session(const Fuzzer& fuzzer,
     if (!write_file(root / "seeds" / name, seed.bytes)) {
       return std::string("cannot write ") + name;
     }
+  }
+
+  if (!write_text(root / "crashes.jsonl",
+                  crash_db_to_jsonl(fuzzer.crashes()))) {
+    return "cannot write crashes.jsonl";
   }
 
   if (!write_text(root / "stats.csv", fuzzer.stats().to_csv())) {
@@ -250,6 +249,89 @@ std::vector<LoadedCrash> load_crashes(const std::string& directory) {
               return a.file_stem < b.file_stem;
             });
   return out;
+}
+
+std::string crash_db_to_jsonl(const CrashDb& db) {
+  std::string out;
+  for (const CrashRecord* record : db.records()) {
+    char head[128];
+    std::snprintf(head, sizeof head,
+                  "{\"kind\":\"%s\",\"site\":\"%08x\","
+                  "\"trace_hash\":\"%016llx\",\"hits\":%llu,"
+                  "\"first_execution\":%llu,",
+                  san::to_slug(record->kind).c_str(), record->site,
+                  static_cast<unsigned long long>(record->trace_hash),
+                  static_cast<unsigned long long>(record->hits),
+                  static_cast<unsigned long long>(record->first_execution));
+    out += head;
+    out += "\"detail\":\"" + json_escape(record->detail) +
+           "\",\"reproducer\":\"" + to_hex(record->reproducer) + "\"}\n";
+  }
+  return out;
+}
+
+std::size_t crash_db_from_jsonl(std::string_view text, CrashDb& db) {
+  std::size_t restored = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    const std::optional<JsonValue> doc = json_parse(line);
+    if (!doc || !doc->is_object()) continue;
+    const JsonValue* kind = doc->find("kind");
+    const JsonValue* site = doc->find("site");
+    const JsonValue* trace = doc->find("trace_hash");
+    const JsonValue* hits = doc->find("hits");
+    const JsonValue* first = doc->find("first_execution");
+    const JsonValue* detail = doc->find("detail");
+    const JsonValue* reproducer = doc->find("reproducer");
+    if (kind == nullptr || !kind->is_string() || site == nullptr ||
+        !site->is_string() || hits == nullptr || !hits->is_u64 ||
+        first == nullptr || !first->is_u64) {
+      continue;
+    }
+    const std::optional<san::FaultKind> parsed_kind =
+        san::kind_from_slug(kind->string);
+    if (!parsed_kind) continue;
+    CrashRecord record;
+    record.kind = *parsed_kind;
+    record.site = static_cast<std::uint32_t>(
+        std::strtoul(site->string.c_str(), nullptr, 16));
+    if (trace != nullptr && trace->is_string()) {
+      record.trace_hash = std::strtoull(trace->string.c_str(), nullptr, 16);
+    }
+    record.hits = hits->u64;
+    record.first_execution = first->u64;
+    if (detail != nullptr && detail->is_string()) {
+      record.detail = detail->string;
+    }
+    if (reproducer != nullptr && reproducer->is_string()) {
+      record.reproducer = from_hex(reproducer->string);
+    }
+    db.restore(record);
+    ++restored;
+  }
+  return restored;
+}
+
+std::optional<std::string> save_crash_db(const CrashDb& db,
+                                         const std::string& path) {
+  if (!write_text(path, crash_db_to_jsonl(db))) {
+    return "cannot write " + path;
+  }
+  return std::nullopt;
+}
+
+std::size_t load_crash_db(const std::string& path, CrashDb& db) {
+  const auto data = read_file(path);
+  if (!data) return 0;
+  return crash_db_from_jsonl(
+      std::string_view(reinterpret_cast<const char*>(data->data()),
+                       data->size()),
+      db);
 }
 
 std::vector<Bytes> load_seeds(const std::string& directory) {

@@ -21,6 +21,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "distill/replay.hpp"
@@ -42,6 +43,26 @@ struct LoadedCrash {
 
 /// Loads every crash reproducer saved under `directory`.
 std::vector<LoadedCrash> load_crashes(const std::string& directory);
+
+/// Serializes a crash db as JSONL, one record per line in discovery order:
+///   {"kind":"segv","site":"0012abcd","trace_hash":"0123456789abcdef",
+///    "hits":3,"first_execution":42,"detail":"...","reproducer":"<hex>"}
+/// The full record round-trips — unlike the crashes/<stem>.bin artefacts,
+/// hits / first_execution / trace_hash survive.
+std::string crash_db_to_jsonl(const CrashDb& db);
+
+/// Parses a crash-db JSONL document into `db` with CrashDb::restore
+/// semantics: hits, first_execution and trace_hash are reinstated verbatim
+/// (so dedup continues across a resume instead of double-counting), and
+/// discovery order is preserved. Blank and malformed lines are skipped.
+/// Returns the number of records restored.
+std::size_t crash_db_from_jsonl(std::string_view text, CrashDb& db);
+
+/// File round-trip of the JSONL form. save_session writes the same
+/// document as crashes.jsonl under the session root.
+std::optional<std::string> save_crash_db(const CrashDb& db,
+                                         const std::string& path);
+std::size_t load_crash_db(const std::string& path, CrashDb& db);
 
 /// Loads every retained seed saved under `directory`.
 std::vector<Bytes> load_seeds(const std::string& directory);

@@ -58,6 +58,11 @@ class StatsSeries {
   /// columns are stable).
   [[nodiscard]] std::string to_csv() const;
 
+  /// Checkpoint/resume: replaces the recorded series wholesale (interval
+  /// stays as configured — it is part of FuzzerConfig, not of the series
+  /// state).
+  void restore(std::vector<Checkpoint> points) { points_ = std::move(points); }
+
  private:
   std::uint64_t interval_;
   std::vector<Checkpoint> points_;

@@ -17,12 +17,15 @@ ParallelCampaign::ParallelCampaign(fuzz::TargetFactory make_target,
   if (config_.workers == 0) config_.workers = 1;
 }
 
-ParallelCampaignResult ParallelCampaign::run() {
+SeedExchangeConfig ParallelCampaign::exchange_config() const {
   SeedExchangeConfig exchange_config;
   exchange_config.shards = config_.exchange_shards;
   exchange_config.rng_seed = config_.base_seed ^ 0xC0FFEEULL;
-  SeedExchange exchange(exchange_config);
+  return exchange_config;
+}
 
+std::vector<std::unique_ptr<Worker>> ParallelCampaign::build_workers(
+    SeedExchange& exchange) const {
   const telem::Sink campaign_sink = config_.fuzzer.telemetry;
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(config_.workers);
@@ -43,6 +46,83 @@ ParallelCampaignResult ParallelCampaign::run() {
     workers.push_back(std::make_unique<Worker>(worker_config, make_target_(),
                                                models_, exchange));
   }
+  return workers;
+}
+
+ParallelCampaignResult ParallelCampaign::aggregate(
+    const std::vector<std::unique_ptr<Worker>>& workers,
+    SeedExchange& exchange, double wall_seconds) const {
+  ParallelCampaignResult result;
+  result.wall_seconds = wall_seconds;
+  std::vector<std::vector<fuzz::Checkpoint>> all_series;
+  for (const std::unique_ptr<Worker>& worker : workers) {
+    const fuzz::Fuzzer& fuzzer = worker->fuzzer();
+    WorkerReport report;
+    report.id = worker->id();
+    report.executions = fuzzer.executor().executions();
+    report.paths = fuzzer.path_count();
+    report.edges = fuzzer.executor().edge_count();
+    report.unique_crashes = fuzzer.crashes().unique_count();
+    report.corpus_size = fuzzer.corpus().size();
+    report.retained_seeds = fuzzer.retained_seeds().size();
+    report.seeds_published = worker->seeds_published();
+    report.seeds_imported = worker->seeds_imported();
+    report.puzzles_imported = worker->puzzles_imported();
+    report.series = fuzzer.stats().checkpoints();
+    all_series.push_back(report.series);
+
+    result.total_executions += report.executions;
+    for (const fuzz::CrashRecord* record : fuzzer.crashes().records()) {
+      result.pooled_crashes.record(
+          san::FaultReport{record->kind, record->site, record->detail},
+          record->reproducer, record->first_execution, record->trace_hash);
+    }
+    result.workers.push_back(std::move(report));
+  }
+  result.throughput_series = fuzz::sum_series(all_series);
+
+  if (config_.sync_interval == 0) {
+    // Workers never visited the exchange; fold their final maps here so the
+    // global numbers are meaningful in the no-sync configuration too.
+    for (const std::unique_ptr<Worker>& worker : workers) {
+      exchange.merge_coverage(worker->fuzzer().executor().coverage(),
+                              worker->fuzzer().executor().paths());
+    }
+  }
+  result.global_paths = exchange.global_paths();
+  result.global_edges = exchange.global_edges();
+  result.seeds_published = exchange.published_count();
+
+  if (config_.distill_final) {
+    // Pool every worker's retained seeds (content-deduplicated, worker
+    // order — deterministic because workers are visited in id order) and
+    // keep the coverage-preserving minimum. Replays shard across the same
+    // worker count the campaign ran with.
+    std::vector<Bytes> pooled;
+    std::unordered_set<std::uint64_t> seen;
+    for (const std::unique_ptr<Worker>& worker : workers) {
+      for (const fuzz::RetainedSeed& seed :
+           worker->fuzzer().retained_seeds()) {
+        if (seen.insert(content_hash(seed.bytes)).second) {
+          pooled.push_back(seed.bytes);
+        }
+      }
+    }
+    distill::CminConfig distill_config;
+    distill_config.workers = config_.workers;
+    distill_config.executor = config_.fuzzer.executor;
+    distill::CminResult distilled =
+        distill::cmin(make_target_, pooled, distill_config);
+    result.distilled_corpus = std::move(distilled.seeds);
+    result.distill_stats = distilled.stats;
+  }
+  return result;
+}
+
+ParallelCampaignResult ParallelCampaign::run() {
+  SeedExchange exchange(exchange_config());
+  std::vector<std::unique_ptr<Worker>> workers = build_workers(exchange);
+  const telem::Sink campaign_sink = config_.fuzzer.telemetry;
 
   if (campaign_sink.enabled()) {
     char detail[48];
@@ -100,72 +180,8 @@ ParallelCampaignResult ParallelCampaign::run() {
     exporter.join();
   }
 
-  ParallelCampaignResult result;
-  result.wall_seconds =
-      std::chrono::duration<double>(stop - start).count();
-  std::vector<std::vector<fuzz::Checkpoint>> all_series;
-  for (const std::unique_ptr<Worker>& worker : workers) {
-    const fuzz::Fuzzer& fuzzer = worker->fuzzer();
-    WorkerReport report;
-    report.id = worker->id();
-    report.executions = fuzzer.executor().executions();
-    report.paths = fuzzer.path_count();
-    report.edges = fuzzer.executor().edge_count();
-    report.unique_crashes = fuzzer.crashes().unique_count();
-    report.corpus_size = fuzzer.corpus().size();
-    report.retained_seeds = fuzzer.retained_seeds().size();
-    report.seeds_published = worker->seeds_published();
-    report.seeds_imported = worker->seeds_imported();
-    report.puzzles_imported = worker->puzzles_imported();
-    report.series = fuzzer.stats().checkpoints();
-    all_series.push_back(report.series);
-
-    result.total_executions += report.executions;
-    for (const fuzz::CrashRecord* record : fuzzer.crashes().records()) {
-      result.pooled_crashes.record(
-          san::FaultReport{record->kind, record->site, record->detail},
-          record->reproducer, record->first_execution);
-    }
-    result.workers.push_back(std::move(report));
-  }
-  result.throughput_series = fuzz::sum_series(all_series);
-
-  if (config_.sync_interval == 0) {
-    // Workers never visited the exchange; fold their final maps here so the
-    // global numbers are meaningful in the no-sync configuration too.
-    for (const std::unique_ptr<Worker>& worker : workers) {
-      exchange.merge_coverage(worker->fuzzer().executor().coverage(),
-                              worker->fuzzer().executor().paths());
-    }
-  }
-  result.global_paths = exchange.global_paths();
-  result.global_edges = exchange.global_edges();
-  result.seeds_published = exchange.published_count();
-
-  if (config_.distill_final) {
-    // Pool every worker's retained seeds (content-deduplicated, worker
-    // order — deterministic because workers are visited in id order) and
-    // keep the coverage-preserving minimum. Replays shard across the same
-    // worker count the campaign ran with.
-    std::vector<Bytes> pooled;
-    std::unordered_set<std::uint64_t> seen;
-    for (const std::unique_ptr<Worker>& worker : workers) {
-      for (const fuzz::RetainedSeed& seed :
-           worker->fuzzer().retained_seeds()) {
-        if (seen.insert(content_hash(seed.bytes)).second) {
-          pooled.push_back(seed.bytes);
-        }
-      }
-    }
-    distill::CminConfig distill_config;
-    distill_config.workers = config_.workers;
-    distill_config.executor = config_.fuzzer.executor;
-    distill::CminResult distilled =
-        distill::cmin(make_target_, pooled, distill_config);
-    result.distilled_corpus = std::move(distilled.seeds);
-    result.distill_stats = distilled.stats;
-  }
-  return result;
+  return aggregate(workers, exchange,
+                   std::chrono::duration<double>(stop - start).count());
 }
 
 }  // namespace icsfuzz::par

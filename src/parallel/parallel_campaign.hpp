@@ -110,6 +110,28 @@ class ParallelCampaign {
   /// spawns workers-1 threads (worker 0 runs on the calling thread).
   ParallelCampaignResult run();
 
+  // -- Composable pieces (what run() is made of). The CampaignSupervisor
+  // reuses them to drive the same workers in checkpointable chunks.
+
+  /// The exchange configuration this campaign derives from its own
+  /// (shard count, exchange RNG seed).
+  [[nodiscard]] SeedExchangeConfig exchange_config() const;
+
+  /// Constructs the W workers against `exchange`: one private target
+  /// instance each, the deterministic per-worker RNG seed, and the
+  /// telemetry sink rebound to worker w's registry shard.
+  [[nodiscard]] std::vector<std::unique_ptr<Worker>> build_workers(
+      SeedExchange& exchange) const;
+
+  /// Aggregates finished workers into the campaign result: per-worker
+  /// reports, pooled crash db, summed throughput series, global coverage
+  /// from the exchange, and (when configured) the final distillation.
+  /// Workers must be quiescent; for the stats/distill tallies to be final
+  /// they must have completed their full iteration budget.
+  [[nodiscard]] ParallelCampaignResult aggregate(
+      const std::vector<std::unique_ptr<Worker>>& workers,
+      SeedExchange& exchange, double wall_seconds) const;
+
   [[nodiscard]] const ParallelCampaignConfig& config() const {
     return config_;
   }

@@ -1,6 +1,11 @@
 #include "parallel/worker.hpp"
 
+#include <signal.h>
+
 #include <cstdio>
+
+#include "exec_oop/fork_server.hpp"
+#include "exec_oop/oop_executor.hpp"
 
 namespace icsfuzz::par {
 
@@ -13,27 +18,40 @@ Worker::Worker(WorkerConfig config, std::unique_ptr<ProtocolTarget> target,
       sync_rng_(config.fuzzer.rng_seed ^ 0x5EEDE8C4A06EULL) {}
 
 void Worker::run(std::uint64_t iterations) {
+  run_range(0, iterations, iterations);
+}
+
+void Worker::run_range(std::uint64_t begin, std::uint64_t end,
+                       std::uint64_t total) {
   const telem::Sink& telemetry = config_.fuzzer.telemetry;
   if (telemetry.enabled()) {
     // Each worker owns its registry shard, so the per-shard 0/1 flag sums
     // to a live campaign-wide workers_running gauge on snapshot.
     telemetry.set(telem::Gauge::kWorkersRunning, 1);
-    char detail[48];
-    std::snprintf(detail, sizeof detail, "iterations=%llu",
-                  static_cast<unsigned long long>(iterations));
-    telemetry.event(telem::EventType::kWorkerStart, 0, detail);
+    if (begin == 0) {
+      char detail[48];
+      std::snprintf(detail, sizeof detail, "iterations=%llu",
+                    static_cast<unsigned long long>(total));
+      telemetry.event(telem::EventType::kWorkerStart, 0, detail);
+    }
   }
   const std::uint64_t interval = config_.sync_interval;
-  for (std::uint64_t i = 0; i < iterations; ++i) {
+  // The sync schedule keys on the ABSOLUTE iteration index `i`, so a
+  // campaign split into chunks visits the exchange at exactly the same
+  // points as one uninterrupted run — the bit-for-bit resume oracle
+  // depends on it.
+  for (std::uint64_t i = begin; i < end; ++i) {
     fuzzer_.step_fast();
+    progress_.fetch_add(1, std::memory_order_relaxed);
     if (interval != 0 && (i + 1) % interval == 0) {
       // The sync closing the final iteration is publish-only too: anything
       // imported here could never execute.
-      sync(/*import_phase=*/i + 1 < iterations);
+      sync(/*import_phase=*/i + 1 < total);
     }
   }
+  if (end < total) return;  // mid-campaign chunk: stay quiescent
   // Final publish-only sync, unless the last loop iteration just did it.
-  if (interval != 0 && iterations % interval != 0) {
+  if (interval != 0 && total % interval != 0) {
     sync(/*import_phase=*/false);
   }
   fuzzer_.finish();
@@ -45,6 +63,52 @@ void Worker::run(std::uint64_t iterations) {
                       fuzzer_.executor().executions()),
                   fuzzer_.path_count());
     telemetry.event(telem::EventType::kWorkerStop, 0, detail);
+  }
+}
+
+WorkerState Worker::capture_state() const {
+  WorkerState state;
+  state.fuzzer = fuzzer_.capture_checkpoint();
+  state.cursor_next = cursor_.next;
+  state.sync_rng = sync_rng_.state();
+  state.published = published_;
+  state.imported = imported_;
+  state.puzzles_imported = puzzles_imported_;
+  state.syncs = syncs_;
+  state.published_corpus_revision = published_corpus_revision_;
+  state.imported_global_revision = imported_global_revision_;
+  return state;
+}
+
+void Worker::restore_state(const WorkerState& state) {
+  fuzzer_.restore_checkpoint(state.fuzzer);
+  cursor_.next = state.cursor_next;
+  sync_rng_.set_state(state.sync_rng);
+  published_ = state.published;
+  imported_ = state.imported;
+  puzzles_imported_ = state.puzzles_imported;
+  syncs_ = state.syncs;
+  published_corpus_revision_ = state.published_corpus_revision;
+  imported_global_revision_ = state.imported_global_revision;
+  // The heartbeat resumes from the checkpointed position: the watchdog
+  // only ever diffs progress, and a resumed worker's absolute count then
+  // matches what an uninterrupted one would show.
+  progress_.store(state.fuzzer.executions, std::memory_order_relaxed);
+}
+
+void Worker::kill_target_server() const {
+  const oop::OutOfProcessExecutor* oop = fuzzer_.executor().oop_backend();
+  if (oop == nullptr) return;
+  const pid_t pid = oop->server().server_pid();
+  // Group kill first: the server leads its own process group, so a wedged
+  // in-flight exec child dies with it instead of pausing forever as an
+  // orphan; the direct kill covers a server that died before setpgid took
+  // effect. ESRCH (the server died on its own in the meantime) is harmless;
+  // the executor reaps and respawns through its normal server-lost path
+  // either way. Never reap here — the pid belongs to the executor.
+  if (pid > 0) {
+    ::kill(-pid, SIGKILL);
+    ::kill(pid, SIGKILL);
   }
 }
 

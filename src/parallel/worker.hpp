@@ -15,6 +15,7 @@
 // randomness.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -47,6 +48,22 @@ struct WorkerConfig {
   fuzz::FuzzerConfig fuzzer;
 };
 
+/// Everything a worker needs to continue a campaign after a process
+/// restart: the fuzzer checkpoint plus the exchange cursor, the import-side
+/// RNG and the sync bookkeeping. Captured between iterations only (see
+/// Fuzzer::capture_checkpoint).
+struct WorkerState {
+  fuzz::FuzzerCheckpoint fuzzer;
+  std::vector<std::size_t> cursor_next;
+  Rng::State sync_rng{};
+  std::uint64_t published = 0;
+  std::uint64_t imported = 0;
+  std::uint64_t puzzles_imported = 0;
+  std::uint64_t syncs = 0;
+  std::uint64_t published_corpus_revision = 0;
+  std::uint64_t imported_global_revision = 0;
+};
+
 class Worker {
  public:
   /// `models` and `exchange` must outlive the worker; the target is owned.
@@ -56,6 +73,32 @@ class Worker {
   /// Runs `iterations` executions with periodic sync, then a final sync.
   /// Call on the worker's own thread (coverage tracing is thread-local).
   void run(std::uint64_t iterations);
+
+  /// Runs iterations [begin, end) of a `total`-iteration campaign, with
+  /// the sync schedule keyed on the absolute iteration index — executing a
+  /// campaign in consecutive chunks is bit-identical to one run(total)
+  /// call. The finishing chunk (end == total) performs the final
+  /// publish-only sync and the fuzzer's finish() pass; earlier chunks
+  /// leave the worker quiescent between iterations, which is exactly when
+  /// capture_state() is legal.
+  void run_range(std::uint64_t begin, std::uint64_t end, std::uint64_t total);
+
+  /// Checkpoint/resume (between run_range chunks only).
+  [[nodiscard]] WorkerState capture_state() const;
+  void restore_state(const WorkerState& state);
+
+  /// Iterations completed across all run/run_range calls — the watchdog's
+  /// heartbeat. Readable from any thread while the worker runs.
+  [[nodiscard]] std::uint64_t progress() const {
+    return progress_.load(std::memory_order_relaxed);
+  }
+
+  /// Watchdog remediation: SIGKILLs the worker's fork server (if any), so
+  /// a worker wedged inside a blocking transport read unblocks through the
+  /// normal server-lost respawn path. Callable from another thread; no-op
+  /// for in-process backends or when no server is up (a raced pid that
+  /// just exited is harmless — the executor owns reaping).
+  void kill_target_server() const;
 
   [[nodiscard]] const fuzz::Fuzzer& fuzzer() const { return fuzzer_; }
   [[nodiscard]] std::size_t id() const { return config_.id; }
@@ -89,6 +132,9 @@ class Worker {
   /// let a sync skip the O(corpus) re-merges entirely.
   std::uint64_t published_corpus_revision_ = 0;
   std::uint64_t imported_global_revision_ = 0;
+  /// Lifetime iteration heartbeat (relaxed; written by the worker thread,
+  /// read by the watchdog).
+  std::atomic<std::uint64_t> progress_{0};
 };
 
 }  // namespace icsfuzz::par

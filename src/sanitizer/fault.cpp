@@ -24,6 +24,24 @@ std::string to_string(FaultKind kind) {
   return "Unknown";
 }
 
+std::string to_slug(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Segv: return "segv";
+    case FaultKind::HeapBufferOverflow: return "heap-overflow";
+    case FaultKind::HeapUseAfterFree: return "heap-uaf";
+    case FaultKind::Hang: return "hang";
+  }
+  return "unknown";
+}
+
+std::optional<FaultKind> kind_from_slug(std::string_view slug) {
+  if (slug == "segv") return FaultKind::Segv;
+  if (slug == "heap-overflow") return FaultKind::HeapBufferOverflow;
+  if (slug == "heap-uaf") return FaultKind::HeapUseAfterFree;
+  if (slug == "hang") return FaultKind::Hang;
+  return std::nullopt;
+}
+
 void FaultSink::arm() {
   tls_sink.armed = true;
   tls_sink.faults.clear();

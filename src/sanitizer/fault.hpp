@@ -12,7 +12,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace icsfuzz::san {
@@ -28,6 +30,13 @@ enum class FaultKind : std::uint8_t {
 /// Human-readable name ("SEGV", "Heap Buffer Overflow", ...), matching the
 /// paper's Table I wording.
 std::string to_string(FaultKind kind);
+
+/// Stable filesystem/JSON slug ("segv", "heap-overflow", "heap-uaf",
+/// "hang") — the identifier persisted artefacts key on.
+std::string to_slug(FaultKind kind);
+
+/// Inverse of to_slug (nullopt for an unknown slug).
+std::optional<FaultKind> kind_from_slug(std::string_view slug);
 
 /// One detected violation. `site` identifies the program point (the
 /// "crash site" used for dedup); `detail` is the diagnostic message.

@@ -1,0 +1,74 @@
+#include "supervise/resource_jail.hpp"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <new>
+
+namespace icsfuzz::supervise {
+namespace {
+
+[[noreturn]] void oom_exit_handler() {
+  // Allocation failed under RLIMIT_AS: leave through the marker exit code
+  // instead of an uncatchable bad_alloc -> std::terminate -> SIGABRT, so
+  // the parent distinguishes the jail firing from a genuine crash.
+  ::_exit(kOomExitCode);
+}
+
+void set_limit(int resource, rlim_t value) {
+  struct rlimit limit;
+  limit.rlim_cur = value;
+  limit.rlim_max = value;
+  // Failure is non-fatal by design: a jail the kernel refuses (e.g. a cap
+  // above the hard limit in a container) degrades to the unjailed
+  // behavior rather than killing the campaign.
+  (void)::setrlimit(resource, &limit);
+}
+
+std::uint64_t env_value(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::strtoull(value, nullptr, 10) : 0;
+}
+
+}  // namespace
+
+void append_jail_env(const ResourceJail& jail,
+                     std::vector<std::string>& env) {
+  if (!jail.enabled()) return;
+  if (jail.address_space_mb != 0) {
+    env.push_back(std::string(kJailAsEnv) + "=" +
+                  std::to_string(jail.address_space_mb));
+  }
+  if (jail.cpu_seconds != 0) {
+    env.push_back(std::string(kJailCpuEnv) + "=" +
+                  std::to_string(jail.cpu_seconds));
+  }
+  env.push_back(std::string(kJailCoreEnv) + "=" +
+                (jail.allow_core_dumps ? "1" : "0"));
+}
+
+ResourceJail jail_from_env() {
+  ResourceJail jail;
+  jail.address_space_mb = env_value(kJailAsEnv);
+  jail.cpu_seconds = static_cast<std::uint32_t>(env_value(kJailCpuEnv));
+  jail.allow_core_dumps = env_value(kJailCoreEnv) != 0;
+  return jail;
+}
+
+void apply_in_child(const ResourceJail& jail) {
+  if (!jail.enabled()) return;
+  if (jail.address_space_mb != 0) {
+    set_limit(RLIMIT_AS,
+              static_cast<rlim_t>(jail.address_space_mb) * 1024 * 1024);
+  }
+  if (jail.cpu_seconds != 0) {
+    set_limit(RLIMIT_CPU, jail.cpu_seconds);
+  }
+  if (!jail.allow_core_dumps) {
+    set_limit(RLIMIT_CORE, 0);
+  }
+  std::set_new_handler(oom_exit_handler);
+}
+
+}  // namespace icsfuzz::supervise

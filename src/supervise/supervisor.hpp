@@ -1,0 +1,101 @@
+// CampaignSupervisor — fault-tolerant driver for a parallel campaign.
+//
+// ParallelCampaign::run() executes the whole iteration budget in one
+// blocking call; the supervisor executes the *same* campaign as a sequence
+// of lockstep chunks with a control loop wrapped around the workers:
+//
+//     ┌───────────────────────── supervisor thread ─────────────────────┐
+//     │  resume? ── load_checkpoint ── restore workers                  │
+//     │  repeat until budget done or signalled:                         │
+//     │    spawn worker threads      run_range(chunk)                   │
+//     │    watchdog poll ── progress() heartbeats ── kill wedged server │
+//     │    join ── save_checkpoint (atomic tmp+rename)                  │
+//     │  final: aggregate + telemetry flush                             │
+//     └─────────────────────────────────────────────────────────────────┘
+//
+// Because Worker::run_range() keys the sync schedule on absolute iteration
+// indices, chunked execution is bit-identical to one uninterrupted run —
+// which is what makes the checkpoint/resume trajectory reproducible after
+// a kill -9 (gated by tests/test_checkpoint_resume.cpp).
+//
+// The watchdog reads each worker's relaxed progress counter; a worker that
+// makes no progress for `wedge_timeout_ms` gets its fork server SIGKILLed
+// (the worker unblocks through the normal server-lost respawn path). In-
+// process backends cannot be unwedged this way; after `max_watchdog_kicks`
+// the supervisor stops intervening and simply waits.
+//
+// SIGINT/SIGTERM (when install_signal_handlers) request a graceful stop:
+// the current chunk completes, a final checkpoint and telemetry export are
+// flushed, registered shm segments are unlinked, and run() returns with
+// interrupted=true — rerunning with resume=true continues the campaign.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "parallel/parallel_campaign.hpp"
+
+namespace icsfuzz::supervise {
+
+struct SupervisorConfig {
+  /// The campaign to supervise (worker count, budget, fuzzer config...).
+  par::ParallelCampaignConfig campaign;
+  /// Checkpoint image path; empty disables checkpoint/resume entirely.
+  std::string checkpoint_path;
+  /// Iterations per lockstep chunk — a checkpoint lands after every chunk.
+  /// 0 means one chunk covering the whole budget (final checkpoint only).
+  std::uint64_t checkpoint_interval = 4096;
+  /// Restore checkpoint_path when it holds a matching campaign image.
+  bool resume = true;
+  /// Worker heartbeat: no progress for this long marks a worker wedged.
+  int wedge_timeout_ms = 30000;
+  /// Watchdog poll period.
+  int watchdog_poll_ms = 200;
+  /// Remediation budget per worker per chunk; beyond it the supervisor
+  /// stops kicking and waits (a kick cycle that does not unwedge the
+  /// worker will not be improved by more kicks).
+  int max_watchdog_kicks = 4;
+  /// Install SIGINT/SIGTERM handlers for the duration of run(). Off by
+  /// default so embedding tests control shutdown via request_stop().
+  bool install_signal_handlers = false;
+};
+
+struct SupervisorResult {
+  /// Aggregated campaign result — fully populated only when the budget
+  /// completed (interrupted == false); a stopped run reports the partial
+  /// per-worker tallies without the final distillation.
+  par::ParallelCampaignResult campaign;
+  bool interrupted = false;
+  bool resumed = false;
+  std::uint64_t completed_iterations = 0;
+  std::uint64_t checkpoints_saved = 0;
+  std::uint64_t watchdog_kicks = 0;
+  /// Non-fatal problems (unreadable checkpoint, failed save...).
+  std::string notes;
+};
+
+class CampaignSupervisor {
+ public:
+  /// `models` must outlive the supervisor; `make_target` is invoked once
+  /// per worker.
+  CampaignSupervisor(fuzz::TargetFactory make_target,
+                     const model::DataModelSet& models,
+                     SupervisorConfig config);
+
+  /// Drives the campaign to completion (or until stopped). Blocking.
+  SupervisorResult run();
+
+  /// Requests a graceful stop of every running supervisor in the process —
+  /// what the signal handlers call; async-signal-safe.
+  static void request_stop();
+  /// Clears a pending stop request (call before run() when reusing the
+  /// process after a stop).
+  static void clear_stop();
+
+ private:
+  fuzz::TargetFactory make_target_;
+  const model::DataModelSet& models_;
+  SupervisorConfig config_;
+};
+
+}  // namespace icsfuzz::supervise

@@ -20,6 +20,9 @@ std::string_view to_string(EventType type) {
     case EventType::kServerLost: return "server-lost";
     case EventType::kSeedImport: return "seed-import";
     case EventType::kDistill: return "distill";
+    case EventType::kCheckpoint: return "checkpoint";
+    case EventType::kOomKill: return "oom-kill";
+    case EventType::kWatchdogKick: return "watchdog-kick";
     case EventType::kCount: break;
   }
   return "?";
@@ -151,6 +154,17 @@ std::optional<Event> EventJournal::parse_line(std::string_view line) {
 }
 
 std::vector<Event> EventJournal::from_jsonl(std::string_view text) {
+  // A journal being appended by a live campaign can be read torn: the
+  // final line may be a partial record that would either fail to parse or
+  // — worse — parse as a truncated-but-valid prefix. Complete journals
+  // always end with a newline, so an unterminated trailing line is
+  // dropped; a follower (icsfuzz-stats --follow) re-reads it whole on the
+  // next pass.
+  if (!text.empty() && text.back() != '\n') {
+    const std::size_t last = text.rfind('\n');
+    text = last == std::string_view::npos ? std::string_view()
+                                          : text.substr(0, last + 1);
+  }
   std::vector<Event> out;
   std::size_t start = 0;
   while (start <= text.size()) {

@@ -32,6 +32,9 @@ enum class EventType : std::uint8_t {
   kServerLost,       ///< execution lost even after the respawn retry
   kSeedImport,       ///< peer seeds pulled from the exchange (per sync)
   kDistill,          ///< distillation pass (auto or final)
+  kCheckpoint,       ///< supervisor checkpoint written (crash-safe resume)
+  kOomKill,          ///< resource jail killed a child (allocation failure)
+  kWatchdogKick,     ///< watchdog remediated a wedged worker
   kCount,
 };
 

@@ -21,6 +21,9 @@ std::string_view to_string(Counter counter) {
     case Counter::kOopServerLost: return "oop_server_lost";
     case Counter::kOopServerExits: return "oop_server_exits";
     case Counter::kOopChildRecycles: return "oop_child_recycles";
+    case Counter::kOopOomKills: return "oop_oom_kills";
+    case Counter::kCheckpointsSaved: return "checkpoints_saved";
+    case Counter::kWatchdogKicks: return "watchdog_kicks";
     case Counter::kCount: break;
   }
   return "?";

@@ -46,6 +46,9 @@ enum class Counter : std::uint8_t {
   kOopServerLost,       ///< executions lost even after the respawn retry
   kOopServerExits,      ///< orderly fork-server exits absorbed by respawn
   kOopChildRecycles,    ///< persistent children recycled (budget/crash/hang)
+  kOopOomKills,         ///< resource-jail allocation-failure kills
+  kCheckpointsSaved,    ///< supervisor checkpoints written to disk
+  kWatchdogKicks,       ///< wedged workers remediated by the watchdog
   kCount,
 };
 inline constexpr std::size_t kCounterCount =

@@ -55,6 +55,19 @@ class Rng {
   /// Random byte string of exactly `length` bytes.
   std::vector<std::uint8_t> bytes(std::size_t length);
 
+  /// The full xoshiro256** state, for checkpoint/resume. Restoring the
+  /// four words with set_state() continues the stream exactly where the
+  /// captured instance left off.
+  struct State {
+    std::uint64_t words[4];
+  };
+  [[nodiscard]] State state() const {
+    return State{{state_[0], state_[1], state_[2], state_[3]}};
+  }
+  void set_state(const State& state) {
+    for (int i = 0; i < 4; ++i) state_[i] = state.words[i];
+  }
+
  private:
   std::uint64_t state_[4];
 };

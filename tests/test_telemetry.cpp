@@ -267,6 +267,26 @@ TEST(TelemetryJournal, MalformedLinesAreSkipped) {
   EXPECT_EQ(events[1].worker, 1u);
 }
 
+TEST(TelemetryJournal, TornTrailingLineIsDroppedWhole) {
+  // A live exporter overwritten mid-write (or a killed writer) leaves an
+  // unterminated tail; `icsfuzz-stats --follow` must never half-parse it.
+  EventJournal journal;
+  journal.append(EventType::kCampaignStart, 1, 0, 0, "workers=1");
+  journal.append(EventType::kCrash, 2, 0, 0xBEEF, "SEGV");
+  const std::string jsonl = journal.to_jsonl();
+
+  // Cut inside the final record, at every byte offset of its last line.
+  const std::size_t last_line = jsonl.rfind('\n', jsonl.size() - 2) + 1;
+  for (std::size_t cut = last_line + 1; cut < jsonl.size(); ++cut) {
+    const std::vector<Event> events =
+        EventJournal::from_jsonl(jsonl.substr(0, cut));
+    ASSERT_EQ(events.size(), 1u) << "cut at byte " << cut;
+    EXPECT_EQ(events[0].type, EventType::kCampaignStart);
+  }
+  // The intact document still yields both.
+  EXPECT_EQ(EventJournal::from_jsonl(jsonl).size(), 2u);
+}
+
 TEST(TelemetryExport, SnapshotJsonRoundTripIsExact) {
   Telemetry hub;
   hub.clock().set_manual(987654321);

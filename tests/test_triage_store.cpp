@@ -1,0 +1,318 @@
+// Crash persistence + triage-store coverage: the CrashDb JSONL round-trip
+// (fuzzer/persistence.hpp), save_session's crashes.jsonl artefact, and the
+// on-disk TriageStore (supervise/triage_store.hpp) — bucketing, reproducer
+// re-verification, tmin minimization on ingest, journal-replay reopen,
+// re-ingest accumulation, and torn-journal tolerance.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "distill/replay.hpp"
+#include "fuzzer/crash_db.hpp"
+#include "fuzzer/fuzzer.hpp"
+#include "fuzzer/persistence.hpp"
+#include "pits/pits.hpp"
+#include "protocols/lib60870/cs101_server.hpp"
+#include "supervise/triage_store.hpp"
+
+namespace icsfuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& stem) {
+    path_ = fs::temp_directory_path() /
+            (stem + "-" + std::to_string(::getpid()));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+/// One real crashing campaign, shared across the suite (the lib60870 CS101
+/// target reliably yields its Table-I SEGVs at this seed/budget — the same
+/// recipe test_distill's replay oracle uses).
+struct CrashCampaign {
+  model::DataModelSet models = pits::cs101_pit();
+  proto::Cs101Server server;
+  fuzz::Fuzzer fuzzer;
+
+  CrashCampaign() : fuzzer(server, models, config()) { fuzzer.run(25000); }
+
+  static fuzz::FuzzerConfig config() {
+    fuzz::FuzzerConfig config;
+    config.strategy = fuzz::Strategy::PeachStar;
+    config.rng_seed = 5;
+    return config;
+  }
+};
+
+CrashCampaign& campaign() {
+  static CrashCampaign instance;
+  return instance;
+}
+
+void expect_same_record(const fuzz::CrashRecord& actual,
+                        const fuzz::CrashRecord& expected) {
+  EXPECT_EQ(actual.kind, expected.kind);
+  EXPECT_EQ(actual.site, expected.site);
+  EXPECT_EQ(actual.detail, expected.detail);
+  EXPECT_EQ(actual.reproducer, expected.reproducer);
+  EXPECT_EQ(actual.hits, expected.hits);
+  EXPECT_EQ(actual.first_execution, expected.first_execution);
+  EXPECT_EQ(actual.trace_hash, expected.trace_hash);
+}
+
+// ------------------------------------------------------- CrashDb JSONL form
+
+fuzz::CrashDb synthetic_db() {
+  fuzz::CrashDb db;
+  fuzz::CrashRecord segv;
+  segv.kind = san::FaultKind::Segv;
+  segv.site = 0x0012abcd;
+  segv.detail = "read of freed chunk\nwith a \"quoted\" tail \\ and tab\t";
+  segv.reproducer = Bytes{0x00, 0xff, 0x7f, 0x00, 0x41};
+  segv.hits = 3;
+  segv.first_execution = 42;
+  segv.trace_hash = 0x0123456789abcdefULL;
+  db.restore(segv);
+
+  fuzz::CrashRecord hang;
+  hang.kind = san::FaultKind::Hang;
+  hang.site = 0xffffffff;
+  hang.detail = "";            // empty detail round-trips
+  hang.reproducer = Bytes{};   // empty reproducer round-trips
+  hang.hits = 1;
+  hang.first_execution = 7;
+  hang.trace_hash = 0;
+  db.restore(hang);
+  return db;
+}
+
+TEST(CrashDbJsonl, RoundTripPreservesEveryField) {
+  const fuzz::CrashDb db = synthetic_db();
+  const std::string text = fuzz::crash_db_to_jsonl(db);
+
+  fuzz::CrashDb loaded;
+  EXPECT_EQ(fuzz::crash_db_from_jsonl(text, loaded), 2u);
+  const std::vector<const fuzz::CrashRecord*> expected = db.records();
+  const std::vector<const fuzz::CrashRecord*> actual = loaded.records();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    expect_same_record(*actual[i], *expected[i]);
+  }
+  // restore() semantics: hits were reinstated, not re-counted from 1.
+  EXPECT_EQ(actual[1]->hits, 3u);  // records() orders by first_execution
+}
+
+TEST(CrashDbJsonl, SkipsMalformedAndTornLines) {
+  const std::string text = fuzz::crash_db_to_jsonl(synthetic_db());
+  const std::string dirty = "this is not json\n" + text +
+                            "{\"kind\":\"segv\",\"site\":\"00000001\"";
+  // One garbage line and one torn (field-incomplete, unterminated)
+  // trailing record around two good ones.
+  fuzz::CrashDb loaded;
+  EXPECT_EQ(fuzz::crash_db_from_jsonl(dirty, loaded), 2u);
+}
+
+TEST(CrashDbJsonl, FileRoundTrip) {
+  const ScopedTempDir dir("icsfuzz-crashdb");
+  const std::string path = (dir.path() / "crashes.jsonl").string();
+  const fuzz::CrashDb db = synthetic_db();
+
+  ASSERT_FALSE(fuzz::save_crash_db(db, path).has_value());
+  fuzz::CrashDb loaded;
+  EXPECT_EQ(fuzz::load_crash_db(path, loaded), 2u);
+  EXPECT_EQ(fuzz::crash_db_to_jsonl(loaded), fuzz::crash_db_to_jsonl(db));
+  // Missing file: zero records, db untouched.
+  fuzz::CrashDb empty;
+  EXPECT_EQ(fuzz::load_crash_db((dir.path() / "absent").string(), empty), 0u);
+  EXPECT_EQ(empty.unique_count(), 0u);
+}
+
+TEST(CrashDbJsonl, SaveSessionWritesReloadableCrashesJsonl) {
+  const ScopedTempDir dir("icsfuzz-session");
+  ASSERT_FALSE(fuzz::save_session(campaign().fuzzer, dir.str()).has_value());
+
+  const std::string path = (dir.path() / "crashes.jsonl").string();
+  ASSERT_TRUE(fs::exists(path));
+  fuzz::CrashDb loaded;
+  EXPECT_EQ(fuzz::load_crash_db(path, loaded),
+            campaign().fuzzer.crashes().unique_count());
+  EXPECT_EQ(fuzz::crash_db_to_jsonl(loaded),
+            fuzz::crash_db_to_jsonl(campaign().fuzzer.crashes()));
+}
+
+// --------------------------------------------------------------- TriageStore
+
+TEST(TriageStore, BucketIdEncodesKindSiteAndTrace) {
+  EXPECT_EQ(supervise::triage_bucket_id(san::FaultKind::Segv, 0x12, 0xab),
+            "segv-00000012-00000000000000ab");
+  EXPECT_EQ(supervise::triage_bucket_id(san::FaultKind::HeapUseAfterFree,
+                                        0xdeadbeef, 0),
+            "heap-uaf-deadbeef-0000000000000000");
+}
+
+TEST(TriageStore, IngestVerifiesMinimizesAndPersistsRealCrashes) {
+  const std::vector<const fuzz::CrashRecord*> crashes =
+      campaign().fuzzer.crashes().records();
+  ASSERT_GT(crashes.size(), 0u) << "the seeded campaign must crash";
+
+  const ScopedTempDir dir("icsfuzz-triage");
+  supervise::TriageStore store(dir.str());
+  ASSERT_TRUE(store.open());
+  EXPECT_TRUE(store.records().empty());
+
+  for (const fuzz::CrashRecord* crash : crashes) {
+    proto::Cs101Server replay_target;
+    const supervise::TriageStore::IngestOutcome outcome =
+        store.ingest(*crash, &replay_target, /*minimize=*/true);
+    EXPECT_TRUE(outcome.is_new);
+    EXPECT_TRUE(outcome.reproduced)
+        << "bucket " << outcome.bucket << ": reproducer must replay";
+    EXPECT_FALSE(outcome.verify_failed);
+
+    const supervise::TriageRecord* record = store.find(outcome.bucket);
+    ASSERT_NE(record, nullptr);
+    EXPECT_TRUE(record->verified);
+    EXPECT_EQ(record->ingests, 1u);
+    EXPECT_EQ(record->hits, crash->hits);
+    EXPECT_EQ(record->first_execution, crash->first_execution);
+    EXPECT_EQ(record->original_bytes, crash->reproducer.size());
+    EXPECT_LE(record->reproducer_bytes, record->original_bytes);
+
+    // The persisted (possibly tmin-shrunk) reproducer still raises the
+    // bucket's own fault.
+    const std::optional<Bytes> reproducer =
+        store.load_reproducer(outcome.bucket);
+    ASSERT_TRUE(reproducer.has_value());
+    EXPECT_EQ(reproducer->size(), record->reproducer_bytes);
+    proto::Cs101Server verify_target;
+    const distill::CrashReplay replay =
+        distill::replay_crash(verify_target, *reproducer);
+    EXPECT_TRUE(replay.reproduced);
+    bool same_fault = false;
+    for (const san::FaultReport& fault : replay.faults) {
+      same_fault |= fault.kind == record->kind && fault.site == record->site;
+    }
+    EXPECT_TRUE(same_fault) << "bucket " << outcome.bucket;
+  }
+  EXPECT_EQ(store.records().size(), crashes.size());
+
+  // Reopen from disk: the journal replays into the identical index.
+  supervise::TriageStore reopened(dir.str());
+  ASSERT_TRUE(reopened.open());
+  ASSERT_EQ(reopened.records().size(), store.records().size());
+  for (std::size_t i = 0; i < store.records().size(); ++i) {
+    const supervise::TriageRecord& a = reopened.records()[i];
+    const supervise::TriageRecord& b = store.records()[i];
+    EXPECT_EQ(a.bucket, b.bucket);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.site, b.site);
+    EXPECT_EQ(a.trace_hash, b.trace_hash);
+    EXPECT_EQ(a.detail, b.detail);
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.first_execution, b.first_execution);
+    EXPECT_EQ(a.ingests, b.ingests);
+    EXPECT_EQ(a.verified, b.verified);
+    EXPECT_EQ(a.minimized, b.minimized);
+    EXPECT_EQ(a.reproducer_bytes, b.reproducer_bytes);
+    EXPECT_EQ(a.original_bytes, b.original_bytes);
+  }
+
+  // Re-ingest of the same campaign: hits accumulate, no new buckets, and a
+  // minimized reproducer is never replaced by the bigger duplicate.
+  for (const fuzz::CrashRecord* crash : crashes) {
+    const supervise::TriageRecord before =
+        *reopened.find(supervise::triage_bucket_id(crash->kind, crash->site,
+                                                   crash->trace_hash));
+    const supervise::TriageStore::IngestOutcome outcome =
+        reopened.ingest(*crash, nullptr);
+    EXPECT_FALSE(outcome.is_new);
+    const supervise::TriageRecord* after = reopened.find(outcome.bucket);
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(after->ingests, 2u);
+    EXPECT_EQ(after->hits, 2 * crash->hits);
+    EXPECT_EQ(after->first_execution, before.first_execution);
+    EXPECT_EQ(after->reproducer_bytes, before.reproducer_bytes);
+    EXPECT_EQ(after->minimized, before.minimized);
+  }
+  EXPECT_EQ(reopened.records().size(), crashes.size());
+
+  // reverify against a fresh target confirms the stored reproducers again.
+  for (const supervise::TriageRecord& record : reopened.records()) {
+    proto::Cs101Server reverify_target;
+    const std::optional<supervise::TriageStore::IngestOutcome> outcome =
+        reopened.reverify(record.bucket, reverify_target);
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_TRUE(outcome->reproduced);
+  }
+}
+
+TEST(TriageStore, TornTrailingJournalLineIsDropped) {
+  const ScopedTempDir dir("icsfuzz-triage-torn");
+  supervise::TriageStore store(dir.str());
+  ASSERT_TRUE(store.open());
+
+  fuzz::CrashRecord crash;
+  crash.kind = san::FaultKind::Segv;
+  crash.site = 0x1234;
+  crash.detail = "synthetic";
+  crash.reproducer = Bytes{1, 2, 3};
+  crash.hits = 1;
+  crash.first_execution = 10;
+  crash.trace_hash = 0x55;
+  store.ingest(crash, nullptr);
+
+  // A killed writer leaves an unterminated fragment at the tail.
+  {
+    std::ofstream journal(dir.path() / "index.jsonl",
+                          std::ios::binary | std::ios::app);
+    journal << "{\"bucket\":\"segv-00005678";
+  }
+  supervise::TriageStore reopened(dir.str());
+  ASSERT_TRUE(reopened.open());
+  ASSERT_EQ(reopened.records().size(), 1u);
+  EXPECT_EQ(reopened.records()[0].bucket,
+            supervise::triage_bucket_id(crash.kind, crash.site,
+                                        crash.trace_hash));
+
+  // The next append lands on its own line: a fresh ingest after the torn
+  // write is not corrupted by the fragment.
+  fuzz::CrashRecord other = crash;
+  other.site = 0x9999;
+  reopened.ingest(other, nullptr);
+  supervise::TriageStore third(dir.str());
+  ASSERT_TRUE(third.open());
+  EXPECT_EQ(third.records().size(), 2u);
+}
+
+TEST(TriageStore, MissingStoreIsEmptyAndReverifyOfUnknownBucketIsNullopt) {
+  const ScopedTempDir dir("icsfuzz-triage-empty");
+  supervise::TriageStore store((dir.path() / "nonexistent").string());
+  EXPECT_TRUE(store.open());
+  EXPECT_TRUE(store.records().empty());
+  EXPECT_EQ(store.find("segv-00000000-0000000000000000"), nullptr);
+  proto::Cs101Server target;
+  EXPECT_FALSE(store.reverify("no-such-bucket", target).has_value());
+  EXPECT_FALSE(store.load_reproducer("no-such-bucket").has_value());
+}
+
+}  // namespace
+}  // namespace icsfuzz
