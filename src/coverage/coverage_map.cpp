@@ -100,6 +100,17 @@ void CoverageMap::adopt_external(const std::uint64_t* words) {
   if (words != nullptr) ops_->adopt_full(trace_.get(), words, dirty_.get());
 }
 
+void CoverageMap::bump_trace_cell(std::uint32_t cell) {
+  cell &= kMapSize - 1;
+  const std::uint16_t word = static_cast<std::uint16_t>(cell >> 3);
+  if (trace_[word] == 0) dirty_->indices[dirty_->count++] = word;
+  std::uint8_t* bytes = trace_bytes();
+  // Saturating (unlike the wrapping instrumentation counter): a cell stuck
+  // at 255 still classifies into the top bucket, and saturation keeps the
+  // "nonzero word implies listed" invariant unconditional.
+  if (bytes[cell] != 0xFF) ++bytes[cell];
+}
+
 bool CoverageMap::has_new_bits() const {
   for (std::uint32_t i = 0; i < dirty_->count; ++i) {
     const std::size_t w = dirty_->indices[i];

@@ -80,6 +80,15 @@ class CoverageMap {
   /// `words == nullptr` adopts the empty trace (clear only, no sweep).
   void adopt_external(const std::uint64_t* words);
 
+  /// Saturating increment of one raw trace cell, maintaining the dirty-word
+  /// invariant (the word is appended on its 0 -> nonzero transition). The
+  /// session layer injects its hashed session-state cells through this —
+  /// directly into the cell, so neither tls_prev_location nor the
+  /// instrumentation event count is perturbed. Safe between begin_execution
+  /// (or adopt_external) and finalize_execution on the owning thread,
+  /// including while thread-local tracing is armed into this map.
+  void bump_trace_cell(std::uint32_t cell);
+
   /// True when the classified trace contains a bucketed edge never seen in
   /// the accumulated map. Does NOT update the accumulated map.
   [[nodiscard]] bool has_new_bits() const;

@@ -93,6 +93,15 @@ inline constexpr std::uint32_t kHelloMagicV2 = 0x49435332;
 /// Capability bits in the v2 hello.
 inline constexpr std::uint32_t kCapPersistent = 1u << 0;
 
+/// TCP session-server hello magic ("ICST"), written by a shim started in
+/// `--tcp` mode (session/tcp_server.hpp) instead of the fork-server hellos
+/// above, followed by [u32 port]: the loopback port the session server
+/// accepts connections on. The segment then carries one extra sync block
+/// after the v1 region (session/session_wire.hpp documents the geometry);
+/// executions travel over the socket, not the control pipe — the pipe's
+/// only remaining job is EOF-triggered shutdown.
+inline constexpr std::uint32_t kTcpHelloMagic = 0x49435354;
+
 /// Aux-block completion magic ("OOP!"), stored last by the child.
 inline constexpr std::uint32_t kAuxCompleteMagic = 0x4F4F5021;
 

@@ -5,6 +5,8 @@
 
 #include "coverage/instrument.hpp"
 #include "exec_oop/oop_executor.hpp"
+#include "session/session_backend.hpp"
+#include "session/tcp_backend.hpp"
 #include "util/bytes.hpp"
 
 namespace icsfuzz::fuzz {
@@ -14,6 +16,7 @@ std::string_view to_string(BackendKind kind) {
     case BackendKind::kInProcess: return "in-process";
     case BackendKind::kForkPerExec: return "fork-per-exec";
     case BackendKind::kPersistent: return "persistent";
+    case BackendKind::kTcp: return "tcp";
   }
   return "?";
 }
@@ -60,6 +63,8 @@ class InProcessBackend final : public ExecBackend {
 
     target.process_into(packet, result.response);
     result.response_truncated = false;  // reused-result hygiene
+    result.session_states.clear();      // plain exchanges have no session
+    result.session_messages = 0;
 
     // The fused sparse pass (or its dense reference twin) replaces the old
     // end_execution -> trace_hash -> trace_edge_count -> accumulate
@@ -216,6 +221,8 @@ class OopBackend final : public ExecBackend {
     result.response.assign(outcome.aux.response.begin(),
                            outcome.aux.response.end());
     result.response_truncated = outcome.aux.response_truncated;
+    result.session_states.clear();  // fork-server exchanges are sessionless
+    result.session_messages = 0;
     if (outcome.aux.faults_truncated) {
       // The child's fault stream overflowed the aux block: the list above
       // is incomplete, which crash accounting must see rather than
@@ -272,7 +279,14 @@ class OopBackend final : public ExecBackend {
 std::unique_ptr<ExecBackend> make_exec_backend(const ExecBackendConfig& config,
                                                bool dense_reference,
                                                telem::Sink telemetry) {
+  if (config.kind == BackendKind::kTcp) {
+    return session::make_tcp_session_backend(config, dense_reference,
+                                             telemetry);
+  }
   if (config.kind == BackendKind::kInProcess) {
+    if (config.session.framing != session::Framing::kNone) {
+      return session::make_in_process_session_backend(config, dense_reference);
+    }
     return std::make_unique<InProcessBackend>(dense_reference);
   }
   return std::make_unique<OopBackend>(config, dense_reference, telemetry);

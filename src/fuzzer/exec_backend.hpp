@@ -35,6 +35,7 @@
 #include "exec_oop/oop_executor.hpp"
 #include "protocols/protocol_target.hpp"
 #include "sanitizer/fault.hpp"
+#include "session/session_types.hpp"
 #include "supervise/resource_jail.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -60,6 +61,13 @@ struct ExecResult {
   /// — callers comparing the two modes must check it before trusting
   /// response equality).
   bool response_truncated = false;
+  /// Session backends only: the hashed session-state chain, one entry per
+  /// message (session/session_state.hpp). Empty for plain single-exchange
+  /// executions.
+  std::vector<std::uint32_t> session_states;
+  /// Messages the session stream decomposed into (0 = not a session
+  /// execution).
+  std::uint32_t session_messages = 0;
 
   [[nodiscard]] bool crashed() const { return !faults.empty(); }
 };
@@ -69,6 +77,11 @@ enum class BackendKind : std::uint8_t {
   kInProcess = 0,
   kForkPerExec,
   kPersistent,
+  /// Session transport over a real loopback socket: packets are session
+  /// streams driven message-by-message against an external
+  /// `icsfuzz-shim-target --tcp` server (session/tcp_backend.hpp).
+  /// Requires ExecBackendConfig::session.framing != kNone.
+  kTcp,
 };
 
 std::string_view to_string(BackendKind kind);
@@ -95,6 +108,12 @@ struct ExecBackendConfig {
   /// Resource jail applied inside every forked execution child
   /// (out-of-process kinds only; disabled by default).
   supervise::ResourceJail jail;
+  /// Session-layer options. framing != kNone turns kInProcess into the
+  /// in-process *session* backend (split the packet into framed messages,
+  /// execute them as one stateful session) and is mandatory for kTcp; the
+  /// two are each other's differential oracle — identical per-message byte
+  /// streams must yield identical coverage (tests/test_session.cpp).
+  session::SessionOptions session;
 };
 
 class ExecBackend {
@@ -127,6 +146,14 @@ class ExecBackend {
   /// in-process). Fault-injection tests and the OOP bench read restart /
   /// recycle counts and transport errors through this.
   [[nodiscard]] virtual const oop::OutOfProcessExecutor* oop() const {
+    return nullptr;
+  }
+
+  /// The previous execution's per-message byte traffic, when this is a
+  /// session backend running with SessionOptions::record_traffic (null
+  /// otherwise). The differential-oracle tests compare the two session
+  /// arms' traffic byte for byte through this.
+  [[nodiscard]] virtual const session::SessionTraffic* traffic() const {
     return nullptr;
   }
 };

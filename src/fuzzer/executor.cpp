@@ -1,5 +1,7 @@
 #include "fuzzer/executor.hpp"
 
+#include <algorithm>
+
 #include "exec_oop/oop_executor.hpp"
 
 namespace icsfuzz::fuzz {
@@ -56,21 +58,47 @@ void Executor::finish_result(const cov::TraceSummary& summary,
   result.trace_edges = summary.trace_edges;
   result.new_coverage = summary.new_coverage;
   result.new_path = paths_.record(summary.trace_hash);
+  if (result.session_messages != 0) {
+    std::uint64_t fresh = 0;
+    for (const std::uint32_t state : result.session_states) {
+      if (session_states_.insert(state).second) ++fresh;
+    }
+    if (config_.telemetry.enabled()) {
+      config_.telemetry.add(telem::Counter::kSessionsExecuted);
+      config_.telemetry.add(telem::Counter::kSessionMessages,
+                            result.session_messages);
+      if (fresh > 0) {
+        config_.telemetry.add(telem::Counter::kSessionNewStates, fresh);
+      }
+    }
+  }
+}
+
+std::vector<std::uint64_t> Executor::session_states_snapshot() const {
+  std::vector<std::uint64_t> out(session_states_.begin(),
+                                 session_states_.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 void Executor::reset_campaign() {
   map_.reset_accumulated();
   paths_.clear();
   executions_ = 0;
+  session_states_.clear();
 }
 
-void Executor::restore_campaign(std::uint64_t executions,
-                                const std::uint8_t* accumulated,
-                                const std::vector<std::uint64_t>& path_hashes) {
+void Executor::restore_campaign(
+    std::uint64_t executions, const std::uint8_t* accumulated,
+    const std::vector<std::uint64_t>& path_hashes,
+    const std::vector<std::uint64_t>& session_states) {
   reset_campaign();
   executions_ = executions;
   if (accumulated != nullptr) map_.merge_accumulated(accumulated);
   for (const std::uint64_t hash : path_hashes) paths_.record(hash);
+  for (const std::uint64_t state : session_states) {
+    session_states_.insert(static_cast<std::uint32_t>(state));
+  }
 }
 
 }  // namespace icsfuzz::fuzz

@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "coverage/coverage_map.hpp"
@@ -96,6 +97,19 @@ class Executor {
   [[nodiscard]] std::size_t edge_count() const { return map_.edges_covered(); }
   [[nodiscard]] std::uint64_t executions() const { return executions_; }
 
+  /// Distinct hashed session states reached this campaign (0 unless a
+  /// session backend is running — plain executions carry no states).
+  [[nodiscard]] std::size_t session_state_count() const {
+    return session_states_.size();
+  }
+  /// Sorted snapshot of the reached session-state set (stable across runs
+  /// with the same trajectory; feeds checkpoint capture).
+  [[nodiscard]] std::vector<std::uint64_t> session_states_snapshot() const;
+  /// True if the hashed session state `state` was reached this campaign.
+  [[nodiscard]] bool session_state_reached(std::uint32_t state) const {
+    return session_states_.contains(state);
+  }
+
   /// Forgets all campaign-lifetime state (fresh run).
   void reset_campaign();
 
@@ -107,7 +121,8 @@ class Executor {
   /// depend only on this state.
   void restore_campaign(std::uint64_t executions,
                         const std::uint8_t* accumulated,
-                        const std::vector<std::uint64_t>& path_hashes);
+                        const std::vector<std::uint64_t>& path_hashes,
+                        const std::vector<std::uint64_t>& session_states = {});
 
   /// True when this executor runs packets out of process.
   [[nodiscard]] bool out_of_process() const {
@@ -135,6 +150,9 @@ class Executor {
   cov::CoverageMap map_;
   cov::PathTracker paths_;
   std::uint64_t executions_ = 0;
+  /// Campaign-lifetime set of hashed session states (session backends
+  /// only; finish_result folds each execution's chain in).
+  std::unordered_set<std::uint32_t> session_states_;
   std::unique_ptr<ExecBackend> backend_;
   /// Scratch for the reference-returning run() (capacity reused).
   ExecResult scratch_;

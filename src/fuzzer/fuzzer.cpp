@@ -54,7 +54,12 @@ Fuzzer::Fuzzer(ProtocolTarget& target, const model::DataModelSet& models,
       instantiator_(config.mutators),
       semantic_(config.semantic, config.mutators),
       corpus_(config.corpus),
-      stats_(config.stats_interval) {}
+      stats_(config.stats_interval) {
+  if (config_.session.enabled && !models.empty()) {
+    sequencer_ = std::make_unique<session::SessionSequencer>(
+        config_.session, models_, instantiator_);
+  }
+}
 
 const model::DataModel& Fuzzer::choose_model() {
   return models_.models()[rng_.index(models_.size())];
@@ -84,6 +89,28 @@ void Fuzzer::next_packet_into(const model::DataModel*& used_model,
     out = std::move(imported_.front());
     imported_.pop_front();
     if (!seen_before(out)) return;
+  }
+  if (sequencer_ != nullptr) {
+    // Session mode replaces per-packet generation for every strategy: a
+    // "packet" is a whole session stream from the sequencer, or a mutation
+    // of a retained valuable session (the session-level analogue of the
+    // seed-reuse loop). Cracked-batch seeds still run first under
+    // PeachStar — they are session streams too, retained ones re-cracked.
+    while (config_.strategy == Strategy::PeachStar &&
+           !pending_batch_.empty()) {
+      out = std::move(pending_batch_.front());
+      pending_batch_.pop_front();
+      if (!seen_before(out)) return;
+    }
+    for (int attempt = 0;; ++attempt) {
+      if (!retained_.empty() && rng_.chance(30, 100)) {
+        const RetainedSeed& seed = rng_.pick(retained_);
+        sequencer_->mutate_stream_into(ByteSpan(seed.bytes), rng_, out);
+      } else {
+        sequencer_->generate_into(rng_, out);
+      }
+      if (attempt >= kDedupAttempts || !seen_before(out)) return;
+    }
   }
   if (config_.strategy == Strategy::PeachStar) {
     // Drain the combinatorial batch scheduled by the last crack first.
@@ -342,6 +369,7 @@ FuzzerCheckpoint Fuzzer::capture_checkpoint() const {
   cp.coverage = executor_.coverage().snapshot_accumulated();
   cp.path_hashes = executor_.paths().snapshot();
   std::sort(cp.path_hashes.begin(), cp.path_hashes.end());
+  cp.session_states = executor_.session_states_snapshot();
   return cp;
 }
 
@@ -366,7 +394,7 @@ void Fuzzer::restore_checkpoint(const FuzzerCheckpoint& cp) {
   distill_dropped_ = cp.distill_dropped;
   executor_.restore_campaign(
       cp.executions, cp.coverage.empty() ? nullptr : cp.coverage.data(),
-      cp.path_hashes);
+      cp.path_hashes, cp.session_states);
 }
 
 std::vector<RetainedSeed> Fuzzer::drain_new_retained() {

@@ -27,6 +27,7 @@
 #include "fuzzer/semantic_gen.hpp"
 #include "fuzzer/stats.hpp"
 #include "model/data_model.hpp"
+#include "session/sequencer.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace icsfuzz::fuzz {
@@ -68,6 +69,13 @@ struct FuzzerConfig {
   /// deduplicated; older generations are released. Campaigns shorter than
   /// dedup_capacity/2 unique packets behave as with unbounded dedup.
   std::size_t dedup_capacity = 1ULL << 21;
+  /// Session sequencing (src/session/): when enabled, generation produces
+  /// whole session *streams* from session templates instead of single
+  /// packets — pair it with ExecutorConfig::backend.session.framing (and
+  /// optionally BackendKind::kTcp) so execution splits the stream back
+  /// into the same framed message list. Disabled by default: the classic
+  /// single-exchange engines are untouched.
+  session::SequencerConfig session;
   /// Telemetry sink (src/telemetry/): counters, histograms and journal
   /// events for this fuzzer's hot loop, bound to the process-wide hub by
   /// default — bench_telemetry holds the cost under 2% of the hot path, so
@@ -113,6 +121,9 @@ struct FuzzerCheckpoint {
   std::uint64_t executions = 0;
   std::vector<std::uint8_t> coverage;
   std::vector<std::uint64_t> path_hashes;
+  /// Hashed session states reached (sorted; empty for sessionless
+  /// campaigns — the common case costs nothing).
+  std::vector<std::uint64_t> session_states;
 };
 
 class Fuzzer {
@@ -224,6 +235,8 @@ class Fuzzer {
 
   Executor executor_;
   ModelInstantiator instantiator_;
+  /// Session-stream generation (FuzzerConfig::session.enabled only).
+  std::unique_ptr<session::SessionSequencer> sequencer_;
   SemanticGenerator semantic_;
   FileCracker cracker_;
   PuzzleCorpus corpus_;

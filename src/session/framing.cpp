@@ -1,0 +1,85 @@
+#include "session/framing.hpp"
+
+#include <algorithm>
+
+namespace icsfuzz::session {
+
+std::string_view to_string(Framing framing) {
+  switch (framing) {
+    case Framing::kNone: return "none";
+    case Framing::kApci: return "apci";
+    case Framing::kMbap: return "mbap";
+    case Framing::kTpkt: return "tpkt";
+    case Framing::kDnp3Link: return "dnp3-link";
+  }
+  return "?";
+}
+
+Framing framing_for_project(std::string_view project) {
+  if (project == "IEC104" || project == "lib60870") return Framing::kApci;
+  if (project == "libmodbus") return Framing::kMbap;
+  if (project == "libiec61850" || project == "libiec_iccp_mod") {
+    return Framing::kTpkt;
+  }
+  if (project == "opendnp3") return Framing::kDnp3Link;
+  return Framing::kNone;
+}
+
+Peek peek_frame(Framing framing, const std::uint8_t* data, std::size_t size,
+                std::size_t& frame_size) {
+  switch (framing) {
+    case Framing::kNone:
+      if (size == 0) return Peek::kNeedMore;
+      frame_size = size;
+      return Peek::kFrame;
+    case Framing::kApci: {
+      if (size < 2) return Peek::kNeedMore;
+      frame_size = 2 + static_cast<std::size_t>(data[1]);
+      return size >= frame_size ? Peek::kFrame : Peek::kNeedMore;
+    }
+    case Framing::kMbap: {
+      if (size < 7) return Peek::kNeedMore;
+      const std::size_t declared =
+          (static_cast<std::size_t>(data[4]) << 8) | data[5];
+      if (declared < 1) return Peek::kMalformed;
+      frame_size = 6 + declared;
+      return size >= frame_size ? Peek::kFrame : Peek::kNeedMore;
+    }
+    case Framing::kTpkt: {
+      if (size < 4) return Peek::kNeedMore;
+      frame_size = (static_cast<std::size_t>(data[2]) << 8) | data[3];
+      if (frame_size < 4) return Peek::kMalformed;
+      return size >= frame_size ? Peek::kFrame : Peek::kNeedMore;
+    }
+    case Framing::kDnp3Link: {
+      if (size < 10) return Peek::kNeedMore;
+      const std::size_t declared = data[2];
+      if (declared < 5) return Peek::kMalformed;
+      const std::size_t user = declared - 5;
+      frame_size = 10 + user + 2 * ((user + 15) / 16);
+      return size >= frame_size ? Peek::kFrame : Peek::kNeedMore;
+    }
+  }
+  return Peek::kMalformed;
+}
+
+std::size_t split_stream(Framing framing, ByteSpan stream,
+                         std::vector<MessageRange>& out) {
+  out.clear();
+  const std::size_t limit = std::min(stream.size(), kMaxSessionStreamBytes);
+  std::size_t offset = 0;
+  while (offset < limit && out.size() < kMaxSessionMessages) {
+    std::size_t frame_size = 0;
+    const Peek peek =
+        peek_frame(framing, stream.data() + offset, limit - offset,
+                   frame_size);
+    if (peek != Peek::kFrame) break;  // incomplete or malformed: residue
+    out.push_back(MessageRange{offset, frame_size});
+    offset += frame_size;
+  }
+  const std::size_t residue_index = out.size();
+  if (offset < limit) out.push_back(MessageRange{offset, limit - offset});
+  return residue_index;
+}
+
+}  // namespace icsfuzz::session

@@ -1,0 +1,69 @@
+// Per-protocol message framing: the single source of truth for where one
+// session message ends and the next begins.
+//
+// Both ends of the session layer derive from these rules — the client-side
+// splitter (split_stream, used by the in-process session backend and the
+// sequencer) and the shim-side StreamReassembler (reassembler.hpp) — and
+// they mirror each target server's own process_into() drain loop exactly.
+// That three-way agreement is what the in-process vs over-TCP differential
+// oracle rests on: the same session byte stream must decompose into the
+// same message list everywhere.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "session/session_types.hpp"
+#include "util/bytes.hpp"
+
+namespace icsfuzz::session {
+
+/// Framing for a registry project name (target_registry.cpp); kNone for an
+/// unknown project.
+Framing framing_for_project(std::string_view project);
+
+/// What the header bytes at the front of a stream say.
+enum class Peek : std::uint8_t {
+  kNeedMore,   ///< not enough bytes yet to finish a frame
+  kFrame,      ///< a complete frame of `size` bytes is available
+  kMalformed,  ///< the header can never form a frame (the servers' drain
+               ///< loops stop the stream here)
+};
+
+/// Examines the front of `data` (length `size`) and reports whether a
+/// complete frame is available. On kFrame, `frame_size` is its byte length.
+/// The per-variant rules are byte-for-byte those of the servers' drain
+/// loops:
+///   kApci     — need 2;  frame = 2 + b[1]                (never malformed)
+///   kMbap     — need 7;  declared = BE16 b[4..5]; frame = 6 + declared;
+///               declared < 1 is malformed
+///   kTpkt     — need 4;  frame = BE16 b[2..3]; frame < 4 is malformed
+///   kDnp3Link — need 10; declared = b[2]; declared < 5 is malformed;
+///               user = declared - 5; frame = 10 + user + 2*ceil(user/16)
+///   kNone     — the whole stream is one frame once non-empty
+Peek peek_frame(Framing framing, const std::uint8_t* data, std::size_t size,
+                std::size_t& frame_size);
+
+/// One message's position inside a session stream.
+struct MessageRange {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+
+/// Total session-stream bytes either side will ever consider; bytes past
+/// this are deterministically ignored by split_stream and the reassembler
+/// alike (bounds adversarial streams without desynchronizing the arms).
+inline constexpr std::size_t kMaxSessionStreamBytes = std::size_t{1} << 20;
+
+/// Splits `stream` into its canonical message list: complete frames first
+/// (at most kMaxSessionMessages), then — when the remainder is non-empty —
+/// one residue message covering everything from the first incomplete or
+/// malformed header (or the message-cap point) to the end of the considered
+/// prefix. Returns the index of the residue entry in `out`, or
+/// `out.size()` when every message is a complete frame. `out` is cleared
+/// first.
+std::size_t split_stream(Framing framing, ByteSpan stream,
+                         std::vector<MessageRange>& out);
+
+}  // namespace icsfuzz::session

@@ -1,0 +1,50 @@
+#include "session/reassembler.hpp"
+
+#include <utility>
+
+namespace icsfuzz::session {
+
+StreamReassembler::StreamReassembler(Framing framing,
+                                     std::function<void(ByteSpan)> on_frame)
+    : framing_(framing), on_frame_(std::move(on_frame)) {}
+
+void StreamReassembler::reset() {
+  buffer_.clear();
+  stream_bytes_ = 0;
+  frames_ = 0;
+  raw_tail_ = false;
+}
+
+void StreamReassembler::feed(ByteSpan chunk) {
+  // Deterministic stream cap, mirrored by split_stream: bytes past the
+  // limit never existed as far as either side is concerned.
+  if (stream_bytes_ >= kMaxSessionStreamBytes) return;
+  const std::size_t take =
+      std::min(chunk.size(), kMaxSessionStreamBytes - stream_bytes_);
+  stream_bytes_ += take;
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.begin() + take);
+  if (raw_tail_) return;  // everything accumulates into the finish() tail
+
+  std::size_t consumed = 0;
+  while (frames_ < kMaxSessionMessages) {
+    std::size_t frame_size = 0;
+    const Peek peek = peek_frame(framing_, buffer_.data() + consumed,
+                                 buffer_.size() - consumed, frame_size);
+    if (peek == Peek::kMalformed) {
+      raw_tail_ = true;
+      break;
+    }
+    if (peek == Peek::kNeedMore) break;
+    on_frame_(ByteSpan(buffer_.data() + consumed, frame_size));
+    consumed += frame_size;
+    ++frames_;
+  }
+  if (frames_ >= kMaxSessionMessages) raw_tail_ = true;
+  // Compact the emitted prefix away so the buffered remainder stays at
+  // most one (in-progress or tail) message.
+  if (consumed != 0) buffer_.erase(buffer_.begin(), buffer_.begin() + consumed);
+}
+
+ByteSpan StreamReassembler::finish() const { return ByteSpan(buffer_); }
+
+}  // namespace icsfuzz::session

@@ -1,0 +1,63 @@
+// Receive-path stream reassembly: turns an arbitrarily segmented TCP byte
+// stream back into the canonical message list of framing.hpp.
+//
+// Invariant (gated by tests/test_reassembler.cpp's fragmentation oracle):
+// for ANY segmentation of a stream — byte-at-a-time writes, coalesced
+// frames, every split point — the emitted complete-frame sequence plus the
+// finish() residue equals split_stream() of the whole stream. Malformed or
+// oversized length fields never hang or pre-allocate: the reassembler
+// buffers only bytes actually received, collapses everything after a
+// malformed header (or the message cap) into one raw tail, and ignores
+// bytes past kMaxSessionStreamBytes outright.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "session/framing.hpp"
+#include "util/bytes.hpp"
+
+namespace icsfuzz::session {
+
+class StreamReassembler {
+ public:
+  /// `on_frame` receives each complete frame, in stream order, from inside
+  /// feed(); the span is valid only for the duration of the callback.
+  StreamReassembler(Framing framing,
+                    std::function<void(ByteSpan)> on_frame);
+
+  /// Consumes the next chunk of the stream, emitting every frame it
+  /// completes.
+  void feed(ByteSpan chunk);
+
+  /// End of stream: returns the residue (bytes after the last complete
+  /// frame — an incomplete tail, everything from a malformed header on, or
+  /// the post-cap raw tail), empty when the stream ended on a frame
+  /// boundary. The span is valid until the next feed()/reset().
+  [[nodiscard]] ByteSpan finish() const;
+
+  /// Complete frames emitted so far.
+  [[nodiscard]] std::size_t frames() const { return frames_; }
+
+  /// True once the stream degenerated to a raw tail (malformed header or
+  /// message cap) — no further frames will be emitted.
+  [[nodiscard]] bool raw_tail() const { return raw_tail_; }
+
+  /// Forgets all stream state (fresh session, same framing and sink).
+  void reset();
+
+ private:
+  Framing framing_;
+  std::function<void(ByteSpan)> on_frame_;
+  /// Unconsumed stream bytes (the buffered prefix of the next message).
+  /// Outside raw-tail mode this never exceeds one frame's worth — frames
+  /// are emitted and compacted away as soon as they complete.
+  Bytes buffer_;
+  /// Stream bytes accepted so far (consumed + buffered); feeds beyond
+  /// kMaxSessionStreamBytes are clipped against this.
+  std::size_t stream_bytes_ = 0;
+  std::size_t frames_ = 0;
+  bool raw_tail_ = false;
+};
+
+}  // namespace icsfuzz::session

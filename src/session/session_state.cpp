@@ -1,0 +1,63 @@
+#include "session/session_state.hpp"
+
+#include "coverage/instrument.hpp"
+#include "session/framing.hpp"
+
+namespace icsfuzz::session {
+
+namespace {
+
+/// Complete frames at the front of `response` (0, 1 or "2+"), stopping at
+/// the first malformed header. `clean` reports whether the whole response
+/// was consumed by complete frames.
+std::size_t count_frames(Framing framing, ByteSpan response, bool& clean) {
+  std::size_t offset = 0;
+  std::size_t frames = 0;
+  while (offset < response.size() && frames < 3) {
+    std::size_t frame_size = 0;
+    if (peek_frame(framing, response.data() + offset,
+                   response.size() - offset, frame_size) != Peek::kFrame) {
+      break;
+    }
+    offset += frame_size;
+    ++frames;
+  }
+  clean = offset == response.size();
+  return frames;
+}
+
+}  // namespace
+
+ResponseClass classify_response(Framing framing, ByteSpan response) {
+  if (response.empty()) return ResponseClass::kEmpty;
+  bool clean = false;
+  const std::size_t frames = count_frames(framing, response, clean);
+  if (frames == 0 || !clean) return ResponseClass::kMalformed;
+  if (framing == Framing::kApci) {
+    // APCI format discriminator: control octet 1 (byte 2 of the frame).
+    // LSB 0 = I-format, 01 = S-format, 11 = U-format.
+    const std::uint8_t control = response.size() > 2 ? response[2] : 0;
+    if ((control & 0x1) == 0) {
+      return frames > 1 ? ResponseClass::kApciIMulti : ResponseClass::kApciI;
+    }
+    return (control & 0x3) == 0x3 ? ResponseClass::kApciU
+                                  : ResponseClass::kApciS;
+  }
+  return frames > 1 ? ResponseClass::kMulti : ResponseClass::kSingle;
+}
+
+std::uint32_t next_session_state(std::uint32_t state, ResponseClass cls,
+                                 std::size_t position) {
+  const std::uint64_t pos = position < 31 ? position : 31;
+  const std::uint64_t token =
+      static_cast<std::uint64_t>(cls) | (pos << 8);
+  const std::uint64_t mixed = mix64((static_cast<std::uint64_t>(state) << 16) ^
+                                    token ^ 0x9E3779B97F4A7C15ULL);
+  return static_cast<std::uint32_t>(mixed ^ (mixed >> 32));
+}
+
+std::uint32_t session_state_cell(std::uint32_t state) {
+  return state & (cov::kMapSize - 1);
+}
+
+}  // namespace icsfuzz::session

@@ -1,0 +1,52 @@
+// Session-state coverage signal: a response-class × position state machine
+// whose hashed states are injected into the edge-coverage map as their own
+// cells (CoverageMap::bump_trace_cell), so every downstream consumer —
+// valuable-seed detection, the parallel seed exchange, distillation,
+// checkpoint/resume, telemetry — sees session-state novelty through the
+// exact machinery it already uses for edges.
+//
+// The chain is computed CLIENT-side from response bytes alone (both the
+// in-process and the TCP session backends see identical per-message
+// responses, so the chains — and the injected cells — are identical by
+// construction; the differential oracle asserts it).
+#pragma once
+
+#include <cstdint>
+
+#include "session/session_types.hpp"
+#include "util/bytes.hpp"
+
+namespace icsfuzz::session {
+
+/// Response classes. Protocol-aware where the response framing is cheap to
+/// read (APCI frame types — the IEC 104 handshake states the tentpole
+/// targets), shape-based otherwise.
+enum class ResponseClass : std::uint8_t {
+  kEmpty = 0,     ///< server said nothing (dropped / not started / error)
+  kSingle,        ///< exactly one complete frame
+  kMulti,         ///< several complete frames (e.g. interrogation bursts)
+  kMalformed,     ///< bytes that do not frame cleanly
+  kApciU,         ///< IEC 104 U-format (handshake confirmations)
+  kApciS,         ///< IEC 104 S-format (supervisory acks)
+  kApciI,         ///< IEC 104 I-format (data ASDUs — post-STARTDT only)
+  kApciIMulti,    ///< burst of I-frames (interrogation responses)
+};
+
+/// Classifies one message's response bytes under `framing`.
+ResponseClass classify_response(Framing framing, ByteSpan response);
+
+/// Rolling state chain: `state` after message i, the class observed at
+/// position i folded in. Position saturates at 31 so unbounded sessions
+/// cannot mint unbounded states.
+std::uint32_t next_session_state(std::uint32_t state, ResponseClass cls,
+                                 std::size_t position);
+
+/// The chain's seed state (before any message).
+inline constexpr std::uint32_t kInitialSessionState = 0x5E551011u;
+
+/// Map cell a session state bumps (its own cell namespace is not needed —
+/// states land in the shared 64 Ki map like any edge, and collisions are
+/// as harmless as edge collisions).
+std::uint32_t session_state_cell(std::uint32_t state);
+
+}  // namespace icsfuzz::session

@@ -1,0 +1,466 @@
+#include "session/tcp_backend.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "exec_oop/exec_protocol.hpp"
+#include "exec_oop/shm_segment.hpp"
+#include "session/framing.hpp"
+#include "session/session_state.hpp"
+#include "session/session_wire.hpp"
+
+extern char** environ;
+
+namespace icsfuzz::session {
+
+namespace {
+
+std::uint64_t monotonic_ms() {
+  struct timespec ts {};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000000;
+}
+
+bool send_full(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size != 0) {
+    const ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        struct pollfd pfd {fd, POLLOUT, 0};
+        ::poll(&pfd, 1, 100);
+        continue;
+      }
+      return false;
+    }
+    data += sent;
+    size -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+class TcpSessionBackend final : public fuzz::ExecBackend {
+ public:
+  TcpSessionBackend(const fuzz::ExecBackendConfig& config,
+                    bool dense_reference, telem::Sink telemetry)
+      : options_(config.session),
+        target_cmd_(config.target_cmd),
+        exec_timeout_ms_(config.exec_timeout_ms),
+        handshake_timeout_ms_(config.handshake_timeout_ms),
+        dense_(dense_reference),
+        telemetry_(telemetry) {
+    segment_ = oop::ShmSegment::create(kTcpSegmentBytes);
+  }
+
+  ~TcpSessionBackend() override { stop_server(/*orderly=*/true); }
+
+  [[nodiscard]] fuzz::BackendKind kind() const override {
+    return fuzz::BackendKind::kTcp;
+  }
+
+  [[nodiscard]] const SessionTraffic* traffic() const override {
+    return options_.record_traffic ? &traffic_ : nullptr;
+  }
+
+  cov::TraceSummary execute(ProtocolTarget& /*target*/, ByteSpan packet,
+                            cov::CoverageMap& map,
+                            fuzz::ExecResult& result) override {
+    const std::size_t residue_index =
+        split_stream(options_.framing, packet, ranges_);
+    responses_.resize(ranges_.size());
+    if (options_.record_traffic) traffic_.clear();
+
+    if (!ensure_server()) {
+      return fail(map, result, san::FaultKind::Segv, "tcp-server-lost",
+                  "tcp session server unreachable: " + last_error_);
+    }
+
+    // One wall-clock deadline spans the whole session (the out-of-process
+    // analogue treats a session as one execution, and so does the hang
+    // accounting here).
+    const std::uint64_t deadline =
+        exec_timeout_ms_ > 0
+            ? monotonic_ms() + static_cast<std::uint64_t>(exec_timeout_ms_)
+            : 0;
+    const std::uint64_t base_served = served_seen_;
+
+    const int conn = connect_deadline(deadline);
+    if (conn < 0) {
+      stop_server(/*orderly=*/false);
+      return fail(map, result, san::FaultKind::Segv, "tcp-server-lost",
+                  "tcp session connect failed: " + last_error_);
+    }
+
+    bool wrote_shutdown = false;
+    for (std::size_t i = 0; i < ranges_.size(); ++i) {
+      const std::uint8_t* data = packet.data() + ranges_[i].offset;
+      const std::size_t length = ranges_[i].length;
+      if (!send_full(conn, data, length)) {
+        close_abortive(conn);
+        stop_server(/*orderly=*/false);
+        return fail(map, result, san::FaultKind::Segv, "tcp-server-lost",
+                    "tcp session send failed");
+      }
+      if (i == residue_index) {
+        // The server can only complete the residue at EOF — half-close
+        // BEFORE waiting for its ack or the session deadlocks.
+        ::shutdown(conn, SHUT_WR);
+        wrote_shutdown = true;
+      }
+      if (!wait_counter(
+              [&] { return sync_load_served(segment_.data()); },
+              base_served + i + 1, deadline)) {
+        close_abortive(conn);
+        stop_server(/*orderly=*/false);
+        return fail(map, result, san::FaultKind::Hang, "tcp-session-deadline",
+                    "session exceeded the " +
+                        std::to_string(exec_timeout_ms_) +
+                        " ms tcp deadline");
+      }
+      const std::uint32_t len = sync_load_response_len(segment_.data());
+      Bytes& response = responses_[i];
+      response.resize(len);
+      if (len != 0 &&
+          oop::read_full_deadline(conn, response.data(), len,
+                                  remaining_ms(deadline)) !=
+              oop::ReadStatus::kOk) {
+        close_abortive(conn);
+        stop_server(/*orderly=*/false);
+        return fail(map, result, san::FaultKind::Hang, "tcp-session-deadline",
+                    "session response read missed the tcp deadline");
+      }
+    }
+    if (!wrote_shutdown) ::shutdown(conn, SHUT_WR);
+    if (!wait_counter(
+            [&] { return sync_load_sessions_done(segment_.data()); },
+            sessions_seen_ + 1, deadline)) {
+      close_abortive(conn);
+      stop_server(/*orderly=*/false);
+      return fail(map, result, san::FaultKind::Hang, "tcp-session-deadline",
+                  "session completion missed the tcp deadline");
+    }
+    ++sessions_seen_;
+    served_seen_ = base_served + ranges_.size();
+    close_abortive(conn);
+
+    oop::AuxResult aux;
+    if (!oop::aux_load(segment_.data() + oop::kAuxOffset, oop::kAuxBytes,
+                       aux)) {
+      stop_server(/*orderly=*/false);
+      return fail(map, result, san::FaultKind::Segv, "tcp-server-lost",
+                  "tcp session server published no aux block");
+    }
+
+    // Adopt the server's trace, inject the client-computed session-state
+    // cells, then run the exact in-process analysis.
+    map.adopt_external(reinterpret_cast<const std::uint64_t*>(
+        segment_.data()));
+    result.response.clear();
+    result.session_states.clear();
+    std::uint32_t state = kInitialSessionState;
+    for (std::size_t i = 0; i < responses_.size(); ++i) {
+      append(result.response, ByteSpan(responses_[i]));
+      state = next_session_state(
+          state, classify_response(options_.framing, ByteSpan(responses_[i])),
+          i);
+      result.session_states.push_back(state);
+    }
+    if (options_.state_coverage) {
+      for (const std::uint32_t s : result.session_states) {
+        map.bump_trace_cell(session_state_cell(s));
+      }
+    }
+    if (options_.record_traffic) {
+      for (std::size_t i = 0; i < ranges_.size(); ++i) {
+        const std::uint8_t* data = packet.data() + ranges_[i].offset;
+        traffic_.requests.emplace_back(data, data + ranges_[i].length);
+        traffic_.responses.push_back(responses_[i]);
+      }
+    }
+    result.session_messages = static_cast<std::uint32_t>(ranges_.size());
+
+    const cov::TraceSummary summary =
+        dense_ ? map.finalize_execution_dense() : map.finalize_execution();
+    result.events = aux.events;
+    result.faults.assign(aux.faults.begin(), aux.faults.end());
+    result.response_truncated = false;
+    if (aux.faults_truncated) {
+      result.faults.push_back(san::FaultReport{
+          san::FaultKind::Segv, san::site_id("oop-aux-faults-truncated"),
+          "fault reports overflowed the shared-memory aux block"});
+    }
+    return summary;
+  }
+
+  [[nodiscard]] std::uint64_t server_restarts() const { return restarts_; }
+
+ private:
+  /// Transport failure: the map still runs one (empty) trace cycle so the
+  /// campaign-lifetime analysis stays uniform, and the failure surfaces as
+  /// a synthetic fault exactly like the fork-server transport's.
+  cov::TraceSummary fail(cov::CoverageMap& map, fuzz::ExecResult& result,
+                         san::FaultKind kind, const char* site,
+                         std::string detail) {
+    if (telemetry_.enabled()) {
+      telemetry_.add(kind == san::FaultKind::Hang
+                         ? telem::Counter::kOopHangs
+                         : telem::Counter::kOopServerLost);
+    }
+    map.adopt_external(nullptr);
+    const cov::TraceSummary summary =
+        dense_ ? map.finalize_execution_dense() : map.finalize_execution();
+    result.events = 0;
+    result.faults.clear();
+    result.faults.push_back(
+        san::FaultReport{kind, san::site_id(site), std::move(detail)});
+    result.response.clear();
+    result.response_truncated = false;
+    result.session_states.clear();
+    result.session_messages = 0;
+    return summary;
+  }
+
+  [[nodiscard]] int remaining_ms(std::uint64_t deadline) const {
+    if (deadline == 0) return -1;
+    const std::uint64_t now = monotonic_ms();
+    return now >= deadline ? 0 : static_cast<int>(deadline - now);
+  }
+
+  /// Polls a shm counter up to the deadline: a short busy-spin for the
+  /// common sub-millisecond reply, then a sleeping loop.
+  template <typename Load>
+  bool wait_counter(Load load, std::uint64_t expected,
+                    std::uint64_t deadline) {
+    for (int spin = 0; spin < 4096; ++spin) {
+      if (load() >= expected) return true;
+    }
+    while (deadline == 0 || monotonic_ms() < deadline) {
+      if (load() >= expected) return true;
+      ::usleep(100);
+    }
+    return load() >= expected;
+  }
+
+  bool ensure_server() {
+    if (server_pid_ > 0) return true;
+    if (!segment_.valid()) {
+      last_error_ = "shm segment: " + segment_.error();
+      return false;
+    }
+    if (!segment_.named()) {
+      last_error_ =
+          "tcp session server needs a named shm segment (anonymous "
+          "fallback cannot cross exec)";
+      return false;
+    }
+    if (target_cmd_.empty()) {
+      last_error_ = "no target_cmd configured";
+      return false;
+    }
+    // Fresh server, fresh wire state: the sync counters restart at zero
+    // with the new process, so the client's expectations must too.
+    std::memset(segment_.data(), 0, kTcpSegmentBytes);
+    served_seen_ = 0;
+    sessions_seen_ = 0;
+
+    int ctl_pipe[2];
+    int st_pipe[2];
+    if (::pipe2(ctl_pipe, O_CLOEXEC) != 0) {
+      last_error_ = std::string("pipe2: ") + std::strerror(errno);
+      return false;
+    }
+    if (::pipe2(st_pipe, O_CLOEXEC) != 0) {
+      last_error_ = std::string("pipe2: ") + std::strerror(errno);
+      ::close(ctl_pipe[0]);
+      ::close(ctl_pipe[1]);
+      return false;
+    }
+
+    // Materialize argv/envp before fork (same discipline as the fork
+    // server: nothing between fork and exec may allocate).
+    std::vector<std::string> env_store;
+    for (char** env = environ; *env != nullptr; ++env) {
+      const std::string_view entry(*env);
+      if (entry.rfind("ICSFUZZ_OOP_SHM", 0) == 0) continue;
+      env_store.emplace_back(entry);
+    }
+    env_store.push_back(std::string(oop::kShmNameEnv) + "=" +
+                        segment_.name());
+    env_store.push_back(std::string(oop::kShmSizeEnv) + "=" +
+                        std::to_string(segment_.size()));
+    std::vector<char*> envp;
+    envp.reserve(env_store.size() + 1);
+    for (std::string& entry : env_store) envp.push_back(entry.data());
+    envp.push_back(nullptr);
+    std::vector<char*> argv;
+    argv.reserve(target_cmd_.size() + 1);
+    for (std::string& arg : target_cmd_) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      last_error_ = std::string("fork: ") + std::strerror(errno);
+      ::close(ctl_pipe[0]);
+      ::close(ctl_pipe[1]);
+      ::close(st_pipe[0]);
+      ::close(st_pipe[1]);
+      return false;
+    }
+    if (pid == 0) {
+      ::setpgid(0, 0);
+      // Move the child-side ends clear of the protocol fd range before
+      // landing them on kCtlFd/kStFd (an end could already occupy one).
+      int ctl = ctl_pipe[0];
+      int st = st_pipe[1];
+      if (ctl < oop::kStFd + 1) ctl = ::fcntl(ctl, F_DUPFD, oop::kStFd + 1);
+      if (st < oop::kStFd + 1) st = ::fcntl(st, F_DUPFD, oop::kStFd + 1);
+      if (ctl < 0 || st < 0 || ::dup2(ctl, oop::kCtlFd) < 0 ||
+          ::dup2(st, oop::kStFd) < 0) {
+        ::_exit(127);
+      }
+      ::execvpe(argv[0], argv.data(), envp.data());
+      ::_exit(127);
+    }
+
+    ::close(ctl_pipe[0]);
+    ::close(st_pipe[1]);
+    ctl_write_ = ctl_pipe[1];
+    st_read_ = st_pipe[0];
+    server_pid_ = pid;
+    ++restarts_;
+    if (telemetry_.enabled() && restarts_ > 1) {
+      telemetry_.add(telem::Counter::kOopRestarts);
+    }
+
+    std::uint32_t hello[2] = {0, 0};
+    if (oop::read_full_deadline(st_read_, hello, sizeof hello,
+                                handshake_timeout_ms_) !=
+            oop::ReadStatus::kOk ||
+        hello[0] != oop::kTcpHelloMagic || hello[1] == 0 ||
+        hello[1] > 0xFFFF) {
+      last_error_ = "tcp session hello failed";
+      stop_server(/*orderly=*/false);
+      return false;
+    }
+    port_ = static_cast<std::uint16_t>(hello[1]);
+    return true;
+  }
+
+  int connect_deadline(std::uint64_t deadline) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      last_error_ = std::string("socket: ") + std::strerror(errno);
+      return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port_);
+    const int flags = ::fcntl(fd, F_GETFL);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      if (errno != EINPROGRESS) {
+        last_error_ = std::string("connect: ") + std::strerror(errno);
+        ::close(fd);
+        return -1;
+      }
+      struct pollfd pfd {fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, remaining_ms(deadline)) <= 0) {
+        last_error_ = "connect deadline";
+        ::close(fd);
+        return -1;
+      }
+      int soerr = 0;
+      socklen_t len = sizeof soerr;
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+      if (soerr != 0) {
+        last_error_ = std::string("connect: ") + std::strerror(soerr);
+        ::close(fd);
+        return -1;
+      }
+    }
+    ::fcntl(fd, F_SETFL, flags);  // back to blocking for the send path
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof nodelay);
+    return fd;
+  }
+
+  /// RST close (SO_LINGER 0): one connection per session must not pile up
+  /// TIME_WAIT entries at campaign execution rates.
+  static void close_abortive(int fd) {
+    struct linger lg {1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+    ::close(fd);
+  }
+
+  void stop_server(bool orderly) {
+    if (ctl_write_ >= 0) {
+      ::close(ctl_write_);  // EOF: the server's accept loop exits 0
+      ctl_write_ = -1;
+    }
+    if (st_read_ >= 0) {
+      ::close(st_read_);
+      st_read_ = -1;
+    }
+    if (server_pid_ > 0) {
+      if (orderly) {
+        // Grace window for the EOF-triggered exit before the SIGKILL.
+        for (int i = 0; i < 50; ++i) {
+          if (::waitpid(server_pid_, nullptr, WNOHANG) == server_pid_) {
+            server_pid_ = -1;
+            return;
+          }
+          ::usleep(2000);
+        }
+      }
+      ::kill(server_pid_, SIGKILL);
+      while (::waitpid(server_pid_, nullptr, 0) < 0 && errno == EINTR) {
+      }
+      server_pid_ = -1;
+    }
+  }
+
+  SessionOptions options_;
+  std::vector<std::string> target_cmd_;
+  int exec_timeout_ms_;
+  int handshake_timeout_ms_;
+  bool dense_;
+  telem::Sink telemetry_;
+
+  oop::ShmSegment segment_;
+  pid_t server_pid_ = -1;
+  int ctl_write_ = -1;
+  int st_read_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t served_seen_ = 0;
+  std::uint64_t sessions_seen_ = 0;
+  std::uint64_t restarts_ = 0;
+  std::string last_error_;
+
+  std::vector<MessageRange> ranges_;
+  std::vector<Bytes> responses_;
+  SessionTraffic traffic_;
+};
+
+}  // namespace
+
+std::unique_ptr<fuzz::ExecBackend> make_tcp_session_backend(
+    const fuzz::ExecBackendConfig& config, bool dense_reference,
+    telem::Sink telemetry) {
+  return std::make_unique<TcpSessionBackend>(config, dense_reference,
+                                             telemetry);
+}
+
+}  // namespace icsfuzz::session

@@ -13,7 +13,8 @@ namespace icsfuzz::supervise {
 namespace {
 
 constexpr const char* kMagic = "icsfuzz-checkpoint";
-constexpr const char* kVersion = "v1";
+// v2: per-worker "sstates" list (reached session states) after "paths".
+constexpr const char* kVersion = "v2";
 
 // -- Writer helpers. -------------------------------------------------------
 
@@ -307,6 +308,7 @@ void put_worker(std::string& out, const par::WorkerState& state) {
   put_blob(out, ByteSpan(cp.coverage.data(), cp.coverage.size()));
   out += '\n';
   put_u64_list(out, "paths", cp.path_hashes);
+  put_u64_list(out, "sstates", cp.session_states);
   out += "endworker\n";
 }
 
@@ -400,6 +402,7 @@ bool read_worker(TokenReader& reader, par::WorkerState& state) {
   reader.expect("cov");
   cp.coverage = reader.blob();
   cp.path_hashes = reader.u64_list("paths");
+  cp.session_states = reader.u64_list("sstates");
   reader.expect("endworker");
   return !reader.failed;
 }

@@ -24,6 +24,9 @@ std::string_view to_string(Counter counter) {
     case Counter::kOopOomKills: return "oop_oom_kills";
     case Counter::kCheckpointsSaved: return "checkpoints_saved";
     case Counter::kWatchdogKicks: return "watchdog_kicks";
+    case Counter::kSessionsExecuted: return "sessions_executed";
+    case Counter::kSessionMessages: return "session_messages";
+    case Counter::kSessionNewStates: return "session_new_states";
     case Counter::kCount: break;
   }
   return "?";

@@ -49,6 +49,9 @@ enum class Counter : std::uint8_t {
   kOopOomKills,         ///< resource-jail allocation-failure kills
   kCheckpointsSaved,    ///< supervisor checkpoints written to disk
   kWatchdogKicks,       ///< wedged workers remediated by the watchdog
+  kSessionsExecuted,    ///< stateful session executions (session backends)
+  kSessionMessages,     ///< framed messages driven across all sessions
+  kSessionNewStates,    ///< first sightings of a hashed session state
   kCount,
 };
 inline constexpr std::size_t kCounterCount =

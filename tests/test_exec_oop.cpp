@@ -37,6 +37,7 @@
 #include "mutation/mutator.hpp"
 #include "parallel/parallel_campaign.hpp"
 #include "pits/pits.hpp"
+#include "protocols/modbus/modbus_server.hpp"
 #include "protocols/target_registry.hpp"
 #include "tests/test_support.hpp"
 #include "util/rng.hpp"
@@ -49,11 +50,7 @@ using test::dirty_list_defect;
 using test::emit_pattern;
 using test::runnable_kernels;
 
-/// argv for the fork-server shim serving `project` (CMake injects the
-/// built binary's path).
-std::vector<std::string> shim_cmd(const std::string& project) {
-  return {ICSFUZZ_SHIM_PATH, "--project", project};
-}
+using test::shim_cmd;
 
 /// Generous per-exec deadline for the differential/trajectory configs: a
 /// scheduler stall on a loaded CI runner must not inject a spurious Hang
@@ -474,6 +471,146 @@ TEST(OopPersistent, BatchMatchesSequentialExecution) {
   ASSERT_NE(batch.oop_backend(), nullptr);
   EXPECT_EQ(batch.oop_backend()->server_restarts(), 0u);
   EXPECT_GT(batch.oop_backend()->child_recycles(), 0u);
+}
+
+/// Hand-framed Modbus/TCP packet (MBAP header + unit id + PDU) for the
+/// slot-mapping tests: crash recipes and reads with distinct lengths.
+Bytes mbap_packet(std::initializer_list<std::uint8_t> pdu) {
+  Bytes out;
+  out.reserve(7 + pdu.size());
+  for (const std::uint8_t b : {std::uint8_t{0x00}, std::uint8_t{0x01},
+                               std::uint8_t{0x00}, std::uint8_t{0x00},
+                               std::uint8_t{0x00},
+                               static_cast<std::uint8_t>(pdu.size() + 1),
+                               proto::ModbusServer::kUnitId}) {
+    out.push_back(b);
+  }
+  for (const std::uint8_t b : pdu) out.push_back(b);
+  return out;
+}
+
+TEST(OopPersistent, BatchCrashAndBudgetGapsKeepSlotMappingExact) {
+  // The hard pipeline cases in one batch: a crash lands in slot k while
+  // slot k+1 is already in flight, and the child budget (2) exhausts
+  // repeatedly mid-batch, so results cross crash and recycle boundaries.
+  // Every slot's result must still be the one for ITS OWN packet — the
+  // reads carry distinct response lengths and the crashes distinct fault
+  // kinds, so any off-by-one delivery shows up immediately.
+  const std::string project = "libmodbus";
+  const auto factory = proto::target_factory(project);
+  const std::unique_ptr<ProtocolTarget> inproc_target = factory();
+  const std::unique_ptr<ProtocolTarget> placeholder = factory();
+
+  const Bytes uaf = mbap_packet(
+      {0x17, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00});
+  const Bytes segv = mbap_packet({0x2B, 0x0E, 0x04, 0x09});
+  std::vector<Bytes> packets;
+  std::vector<san::FaultKind> expected_kind;
+  for (std::uint8_t n = 1; n <= 5; ++n) {
+    packets.push_back(mbap_packet({0x03, 0x00, 0x00, 0x00, n}));
+    expected_kind.push_back(san::FaultKind::Hang);  // placeholder: clean
+    packets.push_back((n % 2 != 0) ? uaf : segv);
+    expected_kind.push_back((n % 2 != 0) ? san::FaultKind::HeapUseAfterFree
+                                         : san::FaultKind::Segv);
+  }
+  const auto is_crash_slot = [&](std::size_t i) { return i % 2 == 1; };
+
+  // Reference arm: the same packets, one in-process run() each.
+  fuzz::Executor inproc;
+  std::vector<fuzz::ExecResult> reference;
+  for (const Bytes& packet : packets) {
+    reference.push_back(inproc.run(*inproc_target, packet));
+  }
+  // Distinct-length sanity of the workload itself, so "response equality"
+  // below really pins the slot mapping.
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    if (is_crash_slot(i)) {
+      ASSERT_EQ(reference[i].faults.size(), 1u) << "slot " << i;
+      ASSERT_EQ(reference[i].faults[0].kind, expected_kind[i]) << "slot " << i;
+    } else {
+      ASSERT_TRUE(reference[i].faults.empty()) << "slot " << i;
+      ASSERT_FALSE(reference[i].response.empty()) << "slot " << i;
+      if (i >= 2) {
+        ASSERT_NE(reference[i].response.size(), reference[i - 2].response.size())
+            << "reads must differ in length for the mapping check";
+      }
+    }
+  }
+
+  fuzz::Executor batch(
+      oop_executor_config(project, fuzz::BackendKind::kPersistent, 2));
+  std::size_t delivered = 0;
+  batch.run_batch(*placeholder, packets,
+                  [&](std::size_t index, const fuzz::ExecResult& result) {
+                    ASSERT_EQ(index, delivered);
+                    const fuzz::ExecResult& expect = reference[index];
+                    ASSERT_EQ(result.trace_hash, expect.trace_hash)
+                        << "slot " << index;
+                    ASSERT_EQ(result.events, expect.events) << "slot " << index;
+                    ASSERT_EQ(result.response, expect.response)
+                        << "slot " << index;
+                    expect_fault_lists_equal(result.faults, expect.faults);
+                    ++delivered;
+                  });
+  EXPECT_EQ(delivered, packets.size());
+  EXPECT_EQ(batch.executions(), inproc.executions());
+  EXPECT_EQ(batch.edge_count(), inproc.edge_count());
+  EXPECT_EQ(batch.path_count(), inproc.path_count());
+  EXPECT_EQ(batch.coverage().snapshot_accumulated(),
+            inproc.coverage().snapshot_accumulated());
+  ASSERT_NE(batch.oop_backend(), nullptr);
+  EXPECT_EQ(batch.oop_backend()->server_restarts(), 0u);
+  // Budget 2 over 10 packets: the batch must have recycled children while
+  // requests were in flight.
+  EXPECT_GT(batch.oop_backend()->child_recycles(), 2u);
+}
+
+TEST(OopPersistent, BatchInvariantAcrossBudgetBoundaries) {
+  // The budget is a transport knob, never a semantic one: the same batch
+  // through budgets 1 (recycle every exec), 3 (exhausts mid-batch at an
+  // uneven boundary) and 64 (never exhausts) must land identical per-slot
+  // results and campaign aggregates.
+  const std::string project = "libmodbus";
+  const std::unique_ptr<ProtocolTarget> placeholder =
+      proto::target_factory(project)();
+  const std::vector<Bytes> packets = packet_batch(project);
+
+  struct BatchOutcome {
+    std::vector<std::uint64_t> trace_hashes;
+    std::vector<Bytes> responses;
+    std::vector<std::size_t> fault_counts;
+    std::vector<std::uint8_t> accumulated;
+    std::size_t paths = 0;
+  };
+  const auto run_with_budget = [&](std::uint32_t budget) {
+    fuzz::Executor executor(
+        oop_executor_config(project, fuzz::BackendKind::kPersistent, budget));
+    BatchOutcome outcome;
+    executor.run_batch(*placeholder, packets,
+                       [&](std::size_t index, const fuzz::ExecResult& result) {
+                         EXPECT_EQ(index, outcome.trace_hashes.size());
+                         outcome.trace_hashes.push_back(result.trace_hash);
+                         outcome.responses.push_back(result.response);
+                         outcome.fault_counts.push_back(result.faults.size());
+                       });
+    outcome.accumulated = executor.coverage().snapshot_accumulated();
+    outcome.paths = executor.path_count();
+    return outcome;
+  };
+
+  const BatchOutcome tight = run_with_budget(1);
+  const BatchOutcome uneven = run_with_budget(3);
+  const BatchOutcome roomy = run_with_budget(64);
+  EXPECT_EQ(tight.trace_hashes, uneven.trace_hashes);
+  EXPECT_EQ(tight.trace_hashes, roomy.trace_hashes);
+  EXPECT_EQ(tight.responses, uneven.responses);
+  EXPECT_EQ(tight.responses, roomy.responses);
+  EXPECT_EQ(tight.fault_counts, uneven.fault_counts);
+  EXPECT_EQ(tight.fault_counts, roomy.fault_counts);
+  EXPECT_EQ(tight.accumulated, uneven.accumulated);
+  EXPECT_EQ(tight.accumulated, roomy.accumulated);
+  EXPECT_EQ(tight.paths, uneven.paths);
+  EXPECT_EQ(tight.paths, roomy.paths);
 }
 
 // -- Fixed-seed campaign trajectories. ------------------------------------

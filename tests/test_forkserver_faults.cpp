@@ -26,13 +26,13 @@
 #include "protocols/target_registry.hpp"
 #include "sanitizer/fault.hpp"
 #include "telemetry/telemetry.hpp"
+#include "tests/test_support.hpp"
 
 namespace icsfuzz {
 namespace {
 
-std::vector<std::string> shim_cmd(const std::string& project = "libmodbus") {
-  return {ICSFUZZ_SHIM_PATH, "--project", project};
-}
+using test::ScopedEnv;
+using test::shim_cmd;
 
 /// ExecutorConfig for the shim under the given out-of-process backend.
 fuzz::ExecutorConfig oop_config(
@@ -47,19 +47,6 @@ fuzz::ExecutorConfig oop_config(
 /// whichever transport serves the execution).
 const fuzz::BackendKind kOopKinds[] = {fuzz::BackendKind::kForkPerExec,
                                        fuzz::BackendKind::kPersistent};
-
-/// Scoped environment knob: set for the executor spawned inside the test,
-/// guaranteed cleared on exit so suites stay independent.
-class ScopedEnv {
- public:
-  ScopedEnv(const char* name, const std::string& value) : name_(name) {
-    ::setenv(name, value.c_str(), 1);
-  }
-  ~ScopedEnv() { ::unsetenv(name_); }
-
- private:
-  const char* name_;
-};
 
 bool has_fault_site(const fuzz::ExecResult& result, std::uint32_t site) {
   for (const san::FaultReport& fault : result.faults) {

@@ -1,0 +1,372 @@
+// Property suite for the session framing layer (src/session/framing.hpp,
+// reassembler.hpp) — the segmentation oracle the TCP session transport
+// rests on:
+//
+//   * for ANY segmentation of a valid frame stream (every split point,
+//     byte-at-a-time writes, coalesced frames, random chunking) the
+//     reassembler emits the identical message sequence and residue as
+//     split_stream() of the whole stream,
+//   * malformed and oversized length fields are rejected into a raw tail
+//     without hangs or allocation blowups (buffered bytes never exceed
+//     bytes actually received, oversized streams clip deterministically
+//     at kMaxSessionStreamBytes),
+//   * the message cap collapses pathological many-tiny-frame streams into
+//     a raw tail on both sides identically.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "session/framing.hpp"
+#include "session/reassembler.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace icsfuzz {
+namespace {
+
+using session::Framing;
+using session::MessageRange;
+using session::Peek;
+using session::StreamReassembler;
+
+/// All framings with real header rules (kNone treats the stream as one
+/// message and has no interesting segmentation behaviour).
+const Framing kFramings[] = {Framing::kApci, Framing::kMbap, Framing::kTpkt,
+                             Framing::kDnp3Link};
+
+// -- Frame builders (valid frames per framing.hpp's header rules). --------
+
+Bytes apci_frame(std::uint8_t body_len, std::uint8_t fill) {
+  Bytes frame = {0x68, body_len};
+  frame.insert(frame.end(), body_len, fill);
+  return frame;
+}
+
+Bytes mbap_frame(std::uint16_t declared, std::uint8_t fill) {
+  // declared counts unit id + PDU; total frame = 6 + declared.
+  Bytes frame = {0x00, 0x01, 0x00, 0x00,
+                 static_cast<std::uint8_t>(declared >> 8),
+                 static_cast<std::uint8_t>(declared & 0xFF)};
+  frame.insert(frame.end(), declared, fill);
+  return frame;
+}
+
+Bytes tpkt_frame(std::uint16_t total, std::uint8_t fill) {
+  Bytes frame = {0x03, 0x00, static_cast<std::uint8_t>(total >> 8),
+                 static_cast<std::uint8_t>(total & 0xFF)};
+  frame.insert(frame.end(), total - 4, fill);
+  return frame;
+}
+
+Bytes dnp3_frame(std::uint8_t declared, std::uint8_t fill) {
+  // declared >= 5; user = declared - 5; frame = 10 + user + 2*ceil(user/16).
+  const std::size_t user = declared - 5;
+  const std::size_t total = 10 + user + 2 * ((user + 15) / 16);
+  Bytes frame = {0x05, 0x64, declared, 0xC4, 0x01, 0x00, 0x02, 0x00,
+                 0xAA, 0xBB};
+  frame.insert(frame.end(), total - 10, fill);
+  return frame;
+}
+
+/// A short valid multi-frame stream for each framing, plus an optional
+/// incomplete tail.
+Bytes sample_stream(Framing framing, bool with_tail) {
+  Bytes stream;
+  switch (framing) {
+    case Framing::kApci:
+      append(stream, ByteSpan(apci_frame(4, 0x11)));
+      append(stream, ByteSpan(apci_frame(0, 0x00)));
+      append(stream, ByteSpan(apci_frame(9, 0x22)));
+      if (with_tail) {
+        const Bytes tail = {0x68, 0x0A, 0x01};  // 9 more bytes never arrive
+        append(stream, ByteSpan(tail));
+      }
+      break;
+    case Framing::kMbap:
+      append(stream, ByteSpan(mbap_frame(3, 0x33)));
+      append(stream, ByteSpan(mbap_frame(1, 0x44)));
+      append(stream, ByteSpan(mbap_frame(7, 0x55)));
+      if (with_tail) {
+        const Bytes tail = {0x00, 0x02, 0x00};  // header cut mid-way
+        append(stream, ByteSpan(tail));
+      }
+      break;
+    case Framing::kTpkt:
+      append(stream, ByteSpan(tpkt_frame(7, 0x66)));
+      append(stream, ByteSpan(tpkt_frame(4, 0x00)));
+      append(stream, ByteSpan(tpkt_frame(12, 0x77)));
+      if (with_tail) {
+        const Bytes tail = {0x03, 0x00, 0x00, 0x20, 0x01};
+        append(stream, ByteSpan(tail));
+      }
+      break;
+    default:
+      append(stream, ByteSpan(dnp3_frame(5, 0x88)));
+      append(stream, ByteSpan(dnp3_frame(21, 0x99)));
+      append(stream, ByteSpan(dnp3_frame(6, 0xAA)));
+      if (with_tail) {
+        const Bytes tail = {0x05, 0x64, 0x10, 0xC4};
+        append(stream, ByteSpan(tail));
+      }
+      break;
+  }
+  return stream;
+}
+
+/// Expected decomposition of `stream`: complete-frame byte strings plus
+/// the residue bytes, straight from the canonical splitter.
+struct Canonical {
+  std::vector<Bytes> frames;
+  Bytes residue;
+};
+
+Canonical canonical_split(Framing framing, const Bytes& stream) {
+  std::vector<MessageRange> ranges;
+  const std::size_t residue_index =
+      session::split_stream(framing, ByteSpan(stream), ranges);
+  Canonical out;
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    const std::uint8_t* data = stream.data() + ranges[i].offset;
+    if (i == residue_index) {
+      out.residue.assign(data, data + ranges[i].length);
+    } else {
+      out.frames.emplace_back(data, data + ranges[i].length);
+    }
+  }
+  return out;
+}
+
+/// Feeds `stream` to a reassembler in the given chunk sizes and checks the
+/// emitted frames + residue equal the canonical split.
+void expect_matches_canonical(Framing framing, const Bytes& stream,
+                              const std::vector<std::size_t>& chunks,
+                              const std::string& label) {
+  const Canonical expected = canonical_split(framing, stream);
+  std::vector<Bytes> frames;
+  StreamReassembler reassembler(
+      framing, [&](ByteSpan frame) {
+        frames.emplace_back(frame.begin(), frame.end());
+      });
+  std::size_t offset = 0;
+  for (const std::size_t chunk : chunks) {
+    const std::size_t take = std::min(chunk, stream.size() - offset);
+    reassembler.feed(ByteSpan(stream.data() + offset, take));
+    offset += take;
+    if (offset == stream.size()) break;
+  }
+  ASSERT_EQ(offset, stream.size()) << label << ": chunks must cover stream";
+  const ByteSpan residue = reassembler.finish();
+  EXPECT_EQ(frames, expected.frames) << label;
+  EXPECT_EQ(Bytes(residue.begin(), residue.end()), expected.residue) << label;
+}
+
+// -- Segmentation properties. ---------------------------------------------
+
+TEST(Reassembler, EverySplitPointMatchesCanonicalSplit) {
+  for (const Framing framing : kFramings) {
+    for (const bool with_tail : {false, true}) {
+      const Bytes stream = sample_stream(framing, with_tail);
+      for (std::size_t split = 0; split <= stream.size(); ++split) {
+        expect_matches_canonical(
+            framing, stream, {split, stream.size() - split},
+            "framing=" + std::string(session::to_string(framing)) +
+                " tail=" + std::to_string(with_tail) +
+                " split=" + std::to_string(split));
+      }
+    }
+  }
+}
+
+TEST(Reassembler, ByteAtATimeEqualsCoalesced) {
+  for (const Framing framing : kFramings) {
+    for (const bool with_tail : {false, true}) {
+      const Bytes stream = sample_stream(framing, with_tail);
+      const std::vector<std::size_t> single_bytes(stream.size(), 1);
+      const std::string label =
+          "framing=" + std::string(session::to_string(framing));
+      expect_matches_canonical(framing, stream, single_bytes,
+                               label + " byte-at-a-time");
+      expect_matches_canonical(framing, stream, {stream.size()},
+                               label + " coalesced");
+    }
+  }
+}
+
+TEST(Reassembler, RandomChunkingFuzz) {
+  Rng rng(0xF4A6);
+  for (const Framing framing : kFramings) {
+    for (int round = 0; round < 64; ++round) {
+      // Random frame mix, then random segmentation of the concatenation.
+      Bytes stream;
+      const std::uint64_t frames = rng.between(1, 6);
+      for (std::uint64_t f = 0; f < frames; ++f) {
+        switch (framing) {
+          case Framing::kApci:
+            append(stream, ByteSpan(apci_frame(
+                               static_cast<std::uint8_t>(rng.below(32)),
+                               rng.byte())));
+            break;
+          case Framing::kMbap:
+            append(stream, ByteSpan(mbap_frame(
+                               static_cast<std::uint16_t>(rng.between(1, 40)),
+                               rng.byte())));
+            break;
+          case Framing::kTpkt:
+            append(stream, ByteSpan(tpkt_frame(
+                               static_cast<std::uint16_t>(rng.between(4, 48)),
+                               rng.byte())));
+            break;
+          default:
+            append(stream, ByteSpan(dnp3_frame(
+                               static_cast<std::uint8_t>(rng.between(5, 60)),
+                               rng.byte())));
+            break;
+        }
+      }
+      if (rng.chance(1, 2)) {  // chop the last frame into a tail
+        stream.resize(stream.size() - rng.between(1, 3));
+      }
+      std::vector<std::size_t> chunks;
+      std::size_t remaining = stream.size();
+      while (remaining > 0) {
+        const std::size_t take =
+            static_cast<std::size_t>(rng.between(1, remaining));
+        chunks.push_back(take);
+        remaining -= take;
+      }
+      expect_matches_canonical(
+          framing, stream, chunks,
+          "fuzz framing=" + std::string(session::to_string(framing)) +
+              " round=" + std::to_string(round));
+    }
+  }
+}
+
+// -- Malformed / oversized inputs. ----------------------------------------
+
+TEST(Reassembler, MalformedHeadersBecomeRawTailEverywhere) {
+  struct Case {
+    Framing framing;
+    Bytes bytes;
+  };
+  const Case cases[] = {
+      // MBAP declared length 0 — the server's drain loop breaks malformed.
+      {Framing::kMbap, {0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x01}},
+      // TPKT total length below the header size.
+      {Framing::kTpkt, {0x03, 0x00, 0x00, 0x03, 0xFF, 0xFF}},
+      // DNP3 declared length below the minimum of 5.
+      {Framing::kDnp3Link, {0x05, 0x64, 0x04, 0xC4, 0x01, 0x00, 0x02, 0x00,
+                            0xAA, 0xBB, 0x00, 0x00}},
+  };
+  for (const Case& c : cases) {
+    // Prefix with one valid frame: the frame must still be emitted, the
+    // malformed remainder collapses to the residue. Check at every split.
+    Bytes stream = sample_stream(c.framing, false);
+    append(stream, ByteSpan(c.bytes));
+    const Canonical expected = canonical_split(c.framing, stream);
+    ASSERT_EQ(expected.frames.size(), 3u);
+    ASSERT_EQ(expected.residue.size(), c.bytes.size());
+    for (std::size_t split = 0; split <= stream.size(); ++split) {
+      expect_matches_canonical(c.framing, stream,
+                               {split, stream.size() - split},
+                               "malformed split=" + std::to_string(split));
+    }
+    // Raw-tail mode latches: nothing after the malformed header re-frames.
+    StreamReassembler reassembler(c.framing, [](ByteSpan) {});
+    reassembler.feed(ByteSpan(stream));
+    EXPECT_TRUE(reassembler.raw_tail());
+    const Bytes more = sample_stream(c.framing, false);
+    reassembler.feed(ByteSpan(more));
+    EXPECT_EQ(reassembler.frames(), 3u);
+    EXPECT_EQ(reassembler.finish().size(), c.bytes.size() + more.size());
+  }
+}
+
+TEST(Reassembler, OversizedDeclaredLengthBuffersOnlyReceivedBytes) {
+  // MBAP header declaring the maximum body: a complete frame would need
+  // 6 + 65535 bytes. The reassembler must wait (kNeedMore), not allocate
+  // the declared size up front, and hand the partial bytes back as residue.
+  const Bytes header = {0x00, 0x01, 0x00, 0x00, 0xFF, 0xFF};
+  StreamReassembler reassembler(Framing::kMbap, [](ByteSpan) {
+    FAIL() << "incomplete oversized frame must not be emitted";
+  });
+  reassembler.feed(ByteSpan(header));
+  const Bytes chunk(1024, 0xAB);
+  for (int i = 0; i < 16; ++i) reassembler.feed(ByteSpan(chunk));
+  EXPECT_EQ(reassembler.frames(), 0u);
+  // Buffered exactly what was received — no declared-size preallocation.
+  EXPECT_EQ(reassembler.finish().size(), header.size() + 16 * chunk.size());
+}
+
+TEST(Reassembler, StreamCapClipsDeterministically) {
+  // Feed well past kMaxSessionStreamBytes of valid APCI frames; both the
+  // reassembler and split_stream must consider exactly the capped prefix.
+  const Bytes frame = apci_frame(253, 0x5A);  // 255 bytes per frame
+  Bytes stream;
+  const std::size_t repeats =
+      (session::kMaxSessionStreamBytes + (64 << 10)) / frame.size();
+  stream.reserve(repeats * frame.size());
+  for (std::size_t i = 0; i < repeats; ++i) append(stream, ByteSpan(frame));
+  ASSERT_GT(stream.size(), session::kMaxSessionStreamBytes);
+
+  std::size_t reassembled = 0;
+  StreamReassembler reassembler(Framing::kApci,
+                                [&](ByteSpan) { ++reassembled; });
+  // Feed in large chunks spanning the cap boundary.
+  std::size_t offset = 0;
+  while (offset < stream.size()) {
+    const std::size_t take = std::min<std::size_t>(48 * 1024 + 7,
+                                                   stream.size() - offset);
+    reassembler.feed(ByteSpan(stream.data() + offset, take));
+    offset += take;
+  }
+  const Canonical expected = canonical_split(Framing::kApci, stream);
+  EXPECT_EQ(reassembled, expected.frames.size());
+  EXPECT_EQ(Bytes(reassembler.finish().begin(), reassembler.finish().end()),
+            expected.residue);
+}
+
+TEST(Reassembler, MessageCapCollapsesTinyFrameFloods) {
+  // kMaxSessionMessages empty APCI frames, then more: everything past the
+  // cap is one raw tail on both sides.
+  const Bytes frame = apci_frame(0, 0);  // 2 bytes
+  Bytes stream;
+  for (std::size_t i = 0; i < session::kMaxSessionMessages + 10; ++i) {
+    append(stream, ByteSpan(frame));
+  }
+  std::size_t emitted = 0;
+  StreamReassembler reassembler(Framing::kApci, [&](ByteSpan) { ++emitted; });
+  for (std::size_t i = 0; i < stream.size(); i += 3) {
+    reassembler.feed(
+        ByteSpan(stream.data() + i, std::min<std::size_t>(3, stream.size() - i)));
+  }
+  EXPECT_EQ(emitted, session::kMaxSessionMessages);
+  EXPECT_TRUE(reassembler.raw_tail());
+  EXPECT_EQ(reassembler.finish().size(), 10 * frame.size());
+
+  std::vector<MessageRange> ranges;
+  const std::size_t residue_index =
+      session::split_stream(Framing::kApci, ByteSpan(stream), ranges);
+  ASSERT_EQ(ranges.size(), session::kMaxSessionMessages + 1);
+  EXPECT_EQ(residue_index, session::kMaxSessionMessages);
+  EXPECT_EQ(ranges.back().length, 10 * frame.size());
+}
+
+TEST(Reassembler, ResetRestoresFreshStream) {
+  const Bytes stream = sample_stream(Framing::kTpkt, true);
+  std::vector<Bytes> frames;
+  StreamReassembler reassembler(Framing::kTpkt, [&](ByteSpan frame) {
+    frames.emplace_back(frame.begin(), frame.end());
+  });
+  reassembler.feed(ByteSpan(stream));
+  const std::vector<Bytes> first = frames;
+  reassembler.reset();
+  frames.clear();
+  reassembler.feed(ByteSpan(stream));
+  EXPECT_EQ(frames, first);
+  EXPECT_EQ(reassembler.frames(), first.size());
+}
+
+}  // namespace
+}  // namespace icsfuzz

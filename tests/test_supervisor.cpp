@@ -27,28 +27,15 @@
 #include "sanitizer/fault.hpp"
 #include "supervise/supervisor.hpp"
 #include "telemetry/telemetry.hpp"
+#include "tests/test_support.hpp"
 
 namespace icsfuzz {
 namespace {
 
 namespace fs = std::filesystem;
 
-std::vector<std::string> shim_cmd(const std::string& project = "libmodbus") {
-  return {ICSFUZZ_SHIM_PATH, "--project", project};
-}
-
-/// Scoped environment knob: set for the executor spawned inside the test,
-/// guaranteed cleared on exit so suites stay independent.
-class ScopedEnv {
- public:
-  ScopedEnv(const char* name, const std::string& value) : name_(name) {
-    ::setenv(name, value.c_str(), 1);
-  }
-  ~ScopedEnv() { ::unsetenv(name_); }
-
- private:
-  const char* name_;
-};
+using test::ScopedEnv;
+using test::shim_cmd;
 
 class ScopedTempDir {
  public:

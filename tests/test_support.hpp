@@ -1,7 +1,16 @@
 // Shared helpers for the icsfuzz test suite.
 #pragma once
 
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <functional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -12,6 +21,109 @@
 #include "sanitizer/fault.hpp"
 
 namespace icsfuzz::test {
+
+// -- Process/environment helpers shared by the fork-server suites. --------
+
+#ifdef ICSFUZZ_SHIM_PATH
+/// argv for the fork-server shim serving `project` (CMake injects the
+/// built binary's path into shim-linked suites).
+inline std::vector<std::string> shim_cmd(
+    const std::string& project = "libmodbus") {
+  return {ICSFUZZ_SHIM_PATH, "--project", project};
+}
+
+/// argv for the loopback TCP *session* server over the same stacks.
+inline std::vector<std::string> shim_tcp_cmd(const std::string& project) {
+  return {ICSFUZZ_SHIM_PATH, "--project", project, "--tcp"};
+}
+#endif
+
+/// Scoped environment knob: set for the executor spawned inside the test,
+/// guaranteed cleared on exit so suites stay independent.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+};
+
+// -- Socket helpers shared by the session/TCP suites. ---------------------
+
+/// Binds + listens on an ephemeral 127.0.0.1 port. Returns the listening
+/// fd (or -1) and fills `port` with the kernel-assigned port number.
+inline int bind_ephemeral_loopback(std::uint16_t& port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  socklen_t len = sizeof addr;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 8) != 0 ||
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  port = ntohs(addr.sin_port);
+  return fd;
+}
+
+/// Deadline-guarded loopback connect: nonblocking connect + poll, then the
+/// socket is returned in blocking mode. -1 on refusal or deadline.
+inline int connect_loopback_deadline(std::uint16_t port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  const int flags = ::fcntl(fd, F_GETFL);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return -1;
+    }
+    struct pollfd pfd {fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) {
+      ::close(fd);
+      return -1;
+    }
+    int soerr = 0;
+    socklen_t errlen = sizeof soerr;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &errlen);
+    if (soerr != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return fd;
+}
+
+/// RAII server thread: runs `body` on a fresh thread, joins on scope exit
+/// (destruction blocks until the body returns — pair it with a shutdown
+/// signal the body observes, e.g. closing the socket it serves).
+class ServerThread {
+ public:
+  explicit ServerThread(std::function<void()> body)
+      : thread_(std::move(body)) {}
+  ~ServerThread() {
+    if (thread_.joinable()) thread_.join();
+  }
+  ServerThread(const ServerThread&) = delete;
+  ServerThread& operator=(const ServerThread&) = delete;
+
+ private:
+  std::thread thread_;
+};
 
 // -- Coverage-trace helpers shared by the sparse/SIMD/OOP suites. ---------
 
