@@ -1,0 +1,20 @@
+/* No-op SanitizerCoverage callbacks, shipped as a shared library the demo
+ * server lists as a DT_NEEDED dependency.
+ *
+ * Why a separate .so and not definitions inside the executable: the
+ * executable is FIRST in dynamic symbol lookup order, so callbacks defined
+ * there could never be interposed and the LD_PRELOAD runtime's bridge
+ * would never see a hit. A DT_NEEDED library sits BEHIND LD_PRELOAD in the
+ * lookup order — standalone runs resolve to these stubs (the binary works
+ * normally, coverage discarded), and runs under libicsfuzz-preload.so
+ * resolve to the real bridge. */
+#include <stdint.h>
+
+void __sanitizer_cov_trace_pc_guard_init(uint32_t* start, uint32_t* stop) {
+  (void)start;
+  (void)stop;
+}
+
+void __sanitizer_cov_trace_pc_guard(uint32_t* guard) { (void)guard; }
+
+void __sanitizer_cov_trace_pc(void) {}

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "inject/inject_protocol.hpp"
+
 namespace icsfuzz::oop {
 namespace {
 
@@ -85,6 +87,8 @@ bool OutOfProcessExecutor::spawn() {
       std::string(kShmSizeEnv) + "=" + std::to_string(segment_.size()),
   };
   supervise::append_jail_env(config_.jail, extra_env);
+  inject::append_preload_env(config_.preload, inject::kInjectModeFork,
+                             extra_env);
   if (!server_.start(config_.target_cmd, extra_env,
                      config_.handshake_timeout_ms)) {
     error_ = server_.error();

@@ -95,6 +95,12 @@ struct OopExecutorConfig {
   /// Resource jail applied inside every forked execution child (exported
   /// to the shim via environment). Disabled by default.
   supervise::ResourceJail jail;
+  /// Path to libicsfuzz-preload.so. Non-empty: the target is spawned under
+  /// the instrumentation-injection runtime (LD_PRELOAD + fork mode env), so
+  /// a stock binary that never linked icsfuzz serves the fork-server
+  /// protocol — src/inject/inject_protocol.hpp documents the contract.
+  /// Empty (default): the target must speak the protocol natively (shim).
+  std::string preload;
 };
 
 class OutOfProcessExecutor {

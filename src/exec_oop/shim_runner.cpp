@@ -177,6 +177,9 @@ int await_child(pid_t child, std::uint32_t timeout_ms, bool wait_stops,
     if (plan.kill_child_at != 0 && ctl.exec_index == plan.kill_child_at) {
       ::raise(SIGKILL);
     }
+    if (plan.segv_at != 0 && ctl.exec_index == plan.segv_at) {
+      ::raise(SIGSEGV);
+    }
     if (plan.hang_at != 0 && ctl.exec_index == plan.hang_at) {
       for (;;) ::pause();
     }
@@ -249,6 +252,7 @@ ShimFaultPlan shim_fault_plan_from_env() {
   plan.no_handshake = env_u64("ICSFUZZ_SHIM_NO_HANDSHAKE") != 0;
   plan.legacy_v1 = env_u64("ICSFUZZ_SHIM_LEGACY_V1") != 0;
   plan.kill_child_at = env_u64("ICSFUZZ_SHIM_KILL_CHILD_AT");
+  plan.segv_at = env_u64("ICSFUZZ_SHIM_SEGV_AT");
   plan.hang_at = env_u64("ICSFUZZ_SHIM_HANG_AT");
   plan.oom_at = env_u64("ICSFUZZ_SHIM_OOM_AT");
   plan.server_exit_at = env_u64("ICSFUZZ_SHIM_SERVER_EXIT_AT");
@@ -377,6 +381,9 @@ int run_shim_server(ProtocolTarget& target, const ShimFaultPlan& plan) {
         supervise::apply_in_child(jail);
         if (plan.kill_child_at != 0 && exec_index == plan.kill_child_at) {
           ::raise(SIGKILL);
+        }
+        if (plan.segv_at != 0 && exec_index == plan.segv_at) {
+          ::raise(SIGSEGV);
         }
         if (plan.hang_at != 0 && exec_index == plan.hang_at) {
           for (;;) ::pause();

@@ -34,6 +34,11 @@ struct ShimFaultPlan {
   /// On execution #N the (forked or persistent) child SIGKILLs itself
   /// mid-execution.
   std::uint64_t kill_child_at = 0;
+  /// On execution #N the child raises SIGSEGV — a genuine memory-fault
+  /// signal, so differential tests can compare the shim's crash
+  /// classification bit-for-bit against a real segfaulting binary
+  /// (kill_child_at's SIGKILL is indistinguishable from a deadline kill).
+  std::uint64_t segv_at = 0;
   /// On execution #N the child hangs forever (the executor's wall-clock
   /// deadline must reap it).
   std::uint64_t hang_at = 0;

@@ -102,6 +102,7 @@ class OopBackend final : public ExecBackend {
                                        : 0;
     oop_config.retry = config.retry;
     oop_config.jail = config.jail;
+    oop_config.preload = config.preload;
     exec_ = std::make_unique<oop::OutOfProcessExecutor>(std::move(oop_config));
   }
 

@@ -108,6 +108,13 @@ struct ExecBackendConfig {
   /// Resource jail applied inside every forked execution child
   /// (out-of-process kinds only; disabled by default).
   supervise::ResourceJail jail;
+  /// Path to libicsfuzz-preload.so (out-of-process kinds and kTcp).
+  /// Non-empty: the target is spawned under the instrumentation-injection
+  /// runtime, so a stock binary that never linked icsfuzz becomes the
+  /// fork-server (or TCP session) target — src/inject/inject_protocol.hpp
+  /// documents the contract. Empty (default): the target must speak the
+  /// protocol natively (the shim does).
+  std::string preload;
   /// Session-layer options. framing != kNone turns kInProcess into the
   /// in-process *session* backend (split the packet into framed messages,
   /// execute them as one stateful session) and is mandatory for kTcp; the

@@ -1,0 +1,50 @@
+// Fuzzer-side helpers of the injection layer (linked into libicsfuzz, NOT
+// into the preload shared object): assembling the spawn environment that
+// puts a target under the runtime, and reading back the info block the
+// runtime publishes.
+#include "inject/inject_protocol.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace icsfuzz::inject {
+
+InjectInfo read_inject_info(const std::uint8_t* segment,
+                            std::size_t segment_size) {
+  InjectInfo info;
+  if (segment == nullptr || segment_size < kInjectInfoOffset + 16) {
+    return info;
+  }
+  const std::uint8_t* block = segment + kInjectInfoOffset;
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, block, sizeof(magic));
+  if (magic != kInjectInfoMagic) return info;
+  std::atomic_thread_fence(std::memory_order_acquire);
+  info.present = true;
+  std::memcpy(&info.version, block + 4, sizeof(info.version));
+  std::memcpy(&info.guard_count, block + 8, sizeof(info.guard_count));
+  std::memcpy(&info.flags, block + 12, sizeof(info.flags));
+  return info;
+}
+
+void append_preload_env(const std::string& preload_path, const char* mode,
+                        std::vector<std::string>& env) {
+  if (preload_path.empty()) return;
+  // Prepend to any LD_PRELOAD this process already carries (an operator's
+  // own preload, a sanitizer runtime) — the fork server's env merge drops
+  // the inherited entry in favor of this one, so the inherited value must
+  // be folded in here to survive. First position keeps the runtime ahead
+  // of the target's DT_NEEDED sancov stubs in symbol lookup.
+  std::string entry = "LD_PRELOAD=" + preload_path;
+  if (const char* existing = std::getenv("LD_PRELOAD");
+      existing != nullptr && *existing != '\0') {
+    entry += ':';
+    entry += existing;
+  }
+  env.push_back(std::move(entry));
+  env.push_back(std::string(kInjectModeEnv) + "=" + mode);
+}
+
+}  // namespace icsfuzz::inject

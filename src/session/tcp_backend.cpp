@@ -16,6 +16,7 @@
 
 #include "exec_oop/exec_protocol.hpp"
 #include "exec_oop/shm_segment.hpp"
+#include "inject/inject_protocol.hpp"
 #include "session/framing.hpp"
 #include "session/session_state.hpp"
 #include "session/session_wire.hpp"
@@ -57,6 +58,7 @@ class TcpSessionBackend final : public fuzz::ExecBackend {
                     bool dense_reference, telem::Sink telemetry)
       : options_(config.session),
         target_cmd_(config.target_cmd),
+        preload_(config.preload),
         exec_timeout_ms_(config.exec_timeout_ms),
         handshake_timeout_ms_(config.handshake_timeout_ms),
         dense_(dense_reference),
@@ -294,12 +296,19 @@ class TcpSessionBackend final : public fuzz::ExecBackend {
     for (char** env = environ; *env != nullptr; ++env) {
       const std::string_view entry(*env);
       if (entry.rfind("ICSFUZZ_OOP_SHM", 0) == 0) continue;
+      // When spawning under the injection runtime, append_preload_env
+      // provides these two itself (folding the inherited LD_PRELOAD in).
+      if (!preload_.empty() && (entry.rfind("LD_PRELOAD=", 0) == 0 ||
+                                entry.rfind("ICSFUZZ_INJECT_MODE=", 0) == 0)) {
+        continue;
+      }
       env_store.emplace_back(entry);
     }
     env_store.push_back(std::string(oop::kShmNameEnv) + "=" +
                         segment_.name());
     env_store.push_back(std::string(oop::kShmSizeEnv) + "=" +
                         std::to_string(segment_.size()));
+    inject::append_preload_env(preload_, inject::kInjectModeTcp, env_store);
     std::vector<char*> envp;
     envp.reserve(env_store.size() + 1);
     for (std::string& entry : env_store) envp.push_back(entry.data());
@@ -434,6 +443,7 @@ class TcpSessionBackend final : public fuzz::ExecBackend {
 
   SessionOptions options_;
   std::vector<std::string> target_cmd_;
+  std::string preload_;
   int exec_timeout_ms_;
   int handshake_timeout_ms_;
   bool dense_;

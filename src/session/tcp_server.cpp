@@ -16,6 +16,7 @@
 #include "sanitizer/fault.hpp"
 #include "session/reassembler.hpp"
 #include "session/session_wire.hpp"
+#include "util/strings.hpp"
 
 namespace icsfuzz::session {
 
@@ -108,11 +109,21 @@ void serve_session(ProtocolTarget& target, Framing framing, int conn,
 int run_tcp_session_server(ProtocolTarget& target, Framing framing) {
   const char* shm_name = std::getenv(oop::kShmNameEnv);
   const char* shm_size_text = std::getenv(oop::kShmSizeEnv);
-  const std::uint64_t shm_size =
-      shm_size_text != nullptr ? std::strtoull(shm_size_text, nullptr, 10) : 0;
-  if (shm_name == nullptr || shm_size < kTcpSegmentBytes) return 3;
+  // The size comes from the environment — i.e. from whatever spawned us —
+  // so it gets the same distrust as network input: a checked parse (no
+  // strtoull garbage-as-0), a floor of the segment layout this server
+  // writes to, and a 1 GiB ceiling so a corrupt value cannot turn the mmap
+  // into an address-space grab.
+  constexpr std::uint64_t kMaxShmBytes = std::uint64_t{1} << 30;
+  const std::optional<std::uint64_t> shm_size =
+      shm_size_text != nullptr ? parse_u64(shm_size_text)
+                               : std::nullopt;
+  if (shm_name == nullptr || !shm_size || *shm_size < kTcpSegmentBytes ||
+      *shm_size > kMaxShmBytes) {
+    return 3;
+  }
   oop::ShmSegment segment =
-      oop::ShmSegment::attach(shm_name, static_cast<std::size_t>(shm_size));
+      oop::ShmSegment::attach(shm_name, static_cast<std::size_t>(*shm_size));
   if (!segment.valid()) return 3;
 
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);

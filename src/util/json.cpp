@@ -106,6 +106,21 @@ class Parser {
     }
   }
 
+  /// Four hex digits at pos_ → `code`; advances past them.
+  bool parse_hex4(unsigned& code) {
+    if (pos_ + 4 > text_.size()) return false;
+    code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else return false;
+    }
+    return true;
+  }
+
   bool parse_string(std::string& out) {
     if (!consume('"')) return false;
     out.clear();
@@ -128,25 +143,38 @@ class Parser {
         case 'r': out.push_back('\r'); break;
         case 't': out.push_back('\t'); break;
         case 'u': {
-          // \uXXXX: decode to UTF-8 (surrogate pairs unsupported — the
-          // repo's writers only emit \u00XX control escapes).
-          if (pos_ + 4 > text_.size()) return false;
+          // \uXXXX: decode to UTF-8. A high surrogate must be followed by
+          // \uXXXX with a low surrogate (the pair decodes to one
+          // supplementary-plane code point); a lone surrogate either way
+          // is a parse error, never emitted as raw surrogate-encoded
+          // bytes (invalid UTF-8 that downstream consumers would choke
+          // on).
           unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return false;
+          if (!parse_hex4(code)) return false;
+          if (code >= 0xDC00 && code <= 0xDFFF) return false;  // lone low
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return false;  // high surrogate with no \uXXXX after it
+            }
+            pos_ += 2;
+            unsigned low = 0;
+            if (!parse_hex4(low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) return false;
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
           }
           if (code < 0x80) {
             out.push_back(static_cast<char>(code));
           } else if (code < 0x800) {
             out.push_back(static_cast<char>(0xC0 | (code >> 6)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
+          } else if (code < 0x10000) {
             out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
           }

@@ -70,6 +70,75 @@ std::optional<std::uint64_t> parse_uint(std::string_view text) {
   return value;
 }
 
+namespace {
+
+void set_parse_error(std::string* error, std::string_view what,
+                     std::string_view text, std::string_view reason) {
+  if (error == nullptr) return;
+  error->assign(what);
+  *error += ": ";
+  *error += reason;
+  *error += " ('";
+  error->append(text);
+  *error += "')";
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> parse_u64(std::string_view text,
+                                       std::string_view what,
+                                       std::string* error) {
+  const std::string_view raw = text;
+  text = trim(text);
+  if (text.empty()) {
+    set_parse_error(error, what, raw, "expected a decimal integer, got");
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      set_parse_error(error, what, raw, "expected a decimal integer, got");
+      return std::nullopt;
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      set_parse_error(error, what, raw, "value does not fit in 64 bits");
+      return std::nullopt;
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view text,
+                                      std::string_view what,
+                                      std::string* error) {
+  const std::string_view raw = text;
+  text = trim(text);
+  bool negative = false;
+  if (!text.empty() && (text.front() == '-' || text.front() == '+')) {
+    negative = text.front() == '-';
+    text.remove_prefix(1);
+  }
+  const std::optional<std::uint64_t> magnitude = parse_u64(text, what, error);
+  if (!magnitude.has_value()) {
+    // parse_u64 reported against the stripped text; rewrite with the raw
+    // input so the message shows what the user actually typed.
+    set_parse_error(error, what, raw, "expected a decimal integer, got");
+    return std::nullopt;
+  }
+  const std::uint64_t limit =
+      negative ? (static_cast<std::uint64_t>(INT64_MAX) + 1)
+               : static_cast<std::uint64_t>(INT64_MAX);
+  if (*magnitude > limit) {
+    set_parse_error(error, what, raw, "value does not fit in 64 bits");
+    return std::nullopt;
+  }
+  if (!negative) return static_cast<std::int64_t>(*magnitude);
+  if (*magnitude == limit) return INT64_MIN;
+  return -static_cast<std::int64_t>(*magnitude);
+}
+
 std::optional<bool> parse_bool(std::string_view text) {
   const std::string lowered = to_lower(trim(text));
   if (lowered == "true" || lowered == "1") return true;

@@ -25,6 +25,21 @@ std::string to_lower(std::string_view text);
 /// Parses a decimal or 0x-prefixed hex unsigned integer.
 std::optional<std::uint64_t> parse_uint(std::string_view text);
 
+/// Strict checked parse of a decimal unsigned integer for CLI/env input:
+/// the whole (trimmed) string must be digits and the value must fit in 64
+/// bits — "12abc", "", "-3" and overflowing values are all rejected, unlike
+/// atoi/strtoull which silently return 0 or saturate. On failure `error`
+/// (when non-null) receives a human-readable reason mentioning `what`.
+std::optional<std::uint64_t> parse_u64(std::string_view text,
+                                       std::string_view what = "value",
+                                       std::string* error = nullptr);
+
+/// Strict checked parse of a decimal signed integer (optional leading '-'),
+/// same contract as parse_u64.
+std::optional<std::int64_t> parse_int(std::string_view text,
+                                      std::string_view what = "value",
+                                      std::string* error = nullptr);
+
 /// Parses a boolean: "true"/"false"/"1"/"0" (case-insensitive).
 std::optional<bool> parse_bool(std::string_view text);
 

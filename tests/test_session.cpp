@@ -22,12 +22,18 @@
 //     and a restored campaign continues bit-for-bit.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <optional>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "exec_oop/exec_protocol.hpp"
 
 #include "fuzzer/fuzzer.hpp"
 #include "fuzzer/instantiator.hpp"
@@ -569,6 +575,47 @@ TEST(SessionCheckpoint, SupervisorFormatRoundTripsSessionStates) {
   ASSERT_NE(tag, std::string::npos);
   downgraded.replace(tag, 2, "v1");
   EXPECT_FALSE(supervise::parse_checkpoint(downgraded).has_value());
+}
+
+// ------------------------------------------------- shm-size env validation
+
+/// Spawns `icsfuzz-shim-target --tcp` with the given shm env pair and
+/// returns its exit code (-1 on abnormal termination). The server must
+/// reject a bad size before it ever mmaps.
+int spawn_tcp_server_with_shm_env(const char* name, const char* size) {
+  const pid_t child = ::fork();
+  if (child == 0) {
+    ::setenv(oop::kShmNameEnv, name, 1);
+    ::setenv(oop::kShmSizeEnv, size, 1);
+    ::execl(ICSFUZZ_SHIM_PATH, ICSFUZZ_SHIM_PATH, "--project", "libmodbus",
+            "--tcp", static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  int wstatus = 0;
+  while (::waitpid(child, &wstatus, 0) < 0 && errno == EINTR) {
+  }
+  return WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
+}
+
+TEST(SessionTcpServer, RejectsMalformedShmSizeEnv) {
+  // Regression for the strtoull trust hole: a size like "131072stray"
+  // used to parse as 131072 and reach the mmap; garbage became 0. All of
+  // these must now exit through the no-usable-segment code (3) up front.
+  EXPECT_EQ(spawn_tcp_server_with_shm_env("/icsfuzz-test-none", "banana"), 3);
+  EXPECT_EQ(spawn_tcp_server_with_shm_env("/icsfuzz-test-none", ""), 3);
+  EXPECT_EQ(spawn_tcp_server_with_shm_env("/icsfuzz-test-none", "-131072"),
+            3);
+  EXPECT_EQ(spawn_tcp_server_with_shm_env("/icsfuzz-test-none", "131072stray"),
+            3);
+  // Zero and too-small-for-the-layout sizes.
+  EXPECT_EQ(spawn_tcp_server_with_shm_env("/icsfuzz-test-none", "0"), 3);
+  EXPECT_EQ(spawn_tcp_server_with_shm_env("/icsfuzz-test-none", "16"), 3);
+  // Absurd sizes past the 1 GiB ceiling must never reach the mmap.
+  EXPECT_EQ(spawn_tcp_server_with_shm_env("/icsfuzz-test-none",
+                                          "18446744073709551615"),
+            3);
+  EXPECT_EQ(
+      spawn_tcp_server_with_shm_env("/icsfuzz-test-none", "999999999999"), 3);
 }
 
 }  // namespace

@@ -1,0 +1,113 @@
+// CLI argument hygiene for the shipped tools.
+//
+// Regression suite for the atoi/strtoull bug class: numeric options used
+// to be parsed with C conversions that silently turn garbage into 0
+// ("--interval-ms banana" polled at a default rate instead of failing),
+// so every numeric flag across icsfuzz-stats / icsfuzz-distill /
+// icsfuzz-triage / icsfuzz-inject-check now goes through the checked
+// parse_u64/parse_int helpers and must reject non-numeric, overflowing,
+// and out-of-domain values with a diagnostic on stderr and a usage exit.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+/// Runs `cmd` through the shell with stdout discarded and stderr captured;
+/// returns the exit status and fills `err` with the stderr text.
+int run_tool(const std::string& cmd, std::string& err) {
+  const std::string err_path =
+      ::testing::TempDir() + "/tools_cli_stderr.txt";
+  const std::string full =
+      cmd + " >/dev/null 2>" + err_path;
+  const int status = std::system(full.c_str());
+  err.clear();
+  std::ifstream in(err_path);
+  std::string line;
+  while (std::getline(in, line)) {
+    err += line;
+    err += '\n';
+  }
+  std::remove(err_path.c_str());
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return -1;
+}
+
+struct RejectCase {
+  const char* label;
+  std::string cmd;
+};
+
+void expect_usage_rejection(const RejectCase& c) {
+  SCOPED_TRACE(c.label);
+  std::string err;
+  const int code = run_tool(c.cmd, err);
+  EXPECT_EQ(code, 2) << "bad numeric input must exit through usage";
+  EXPECT_FALSE(err.empty()) << "rejection must explain itself on stderr";
+}
+
+TEST(ToolsCli, StatsRejectsBadNumerics) {
+  const std::string tool = ICSFUZZ_TOOL_STATS;
+  const RejectCase cases[] = {
+      {"non-numeric interval", tool + " /tmp/nodir --interval-ms banana"},
+      {"negative interval", tool + " /tmp/nodir --interval-ms -5"},
+      {"trailing garbage", tool + " /tmp/nodir --interval-ms 12abc"},
+      {"missing operand", tool + " /tmp/nodir --interval-ms"},
+      {"non-numeric events", tool + " /tmp/nodir --events x"},
+      {"overflow events",
+       tool + " /tmp/nodir --events 99999999999999999999999"},
+  };
+  for (const RejectCase& c : cases) expect_usage_rejection(c);
+}
+
+TEST(ToolsCli, DistillRejectsBadNumerics) {
+  const std::string tool = ICSFUZZ_TOOL_DISTILL;
+  const RejectCase cases[] = {
+      {"non-numeric workers",
+       tool + " --project libmodbus --workers banana"},
+      {"negative workers", tool + " --project libmodbus --workers -2"},
+      {"overflow persistent budget",
+       tool + " --project libmodbus --persistent 99999999999 --session x"},
+      {"zero persistent budget",
+       tool + " --project libmodbus --persistent 0 --session x"},
+  };
+  for (const RejectCase& c : cases) expect_usage_rejection(c);
+}
+
+TEST(ToolsCli, TriageRejectsBadNumerics) {
+  const std::string tool = ICSFUZZ_TOOL_TRIAGE;
+  const std::string store = ::testing::TempDir() + "/tools_cli_store";
+  const RejectCase cases[] = {
+      {"non-numeric limit", tool + " list " + store + " --limit banana"},
+      {"zero limit", tool + " list " + store + " --limit 0"},
+      {"trailing garbage", tool + " list " + store + " --limit 3x"},
+  };
+  for (const RejectCase& c : cases) expect_usage_rejection(c);
+}
+
+TEST(ToolsCli, TriageHonorsValidLimit) {
+  const std::string tool = ICSFUZZ_TOOL_TRIAGE;
+  const std::string store = ::testing::TempDir() + "/tools_cli_store_ok";
+  std::string err;
+  const int code = run_tool(tool + " list " + store + " --limit 5", err);
+  EXPECT_EQ(code, 0) << err;
+}
+
+TEST(ToolsCli, InjectCheckRejectsBadNumerics) {
+  const std::string tool = ICSFUZZ_TOOL_INJECT_CHECK;
+  const RejectCase cases[] = {
+      {"non-numeric timeout",
+       tool + " --timeout-ms soon -- /bin/true"},
+      {"non-numeric persistent budget",
+       tool + " --persistent many -- /bin/true"},
+      {"missing target", tool + " --timeout-ms 1000"},
+  };
+  for (const RejectCase& c : cases) expect_usage_rejection(c);
+}
+
+}  // namespace

@@ -5,6 +5,7 @@
 #include "util/bytes.hpp"
 #include "util/checksum.hpp"
 #include "util/hexdump.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -313,6 +314,84 @@ TEST(Rng, UnitInHalfOpenInterval) {
     EXPECT_GE(u, 0.0);
     EXPECT_LT(u, 1.0);
   }
+}
+
+// ------------------------------------------------------- checked CLI parses
+
+TEST(Strings, ParseU64AcceptsStrictDecimal) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("42"), 42u);
+  EXPECT_EQ(parse_u64(" 7 "), 7u);  // trimmed like the rest of the family
+  EXPECT_EQ(parse_u64("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(Strings, ParseU64RejectsGarbageInsteadOfReturningZero) {
+  // The atoi/strtoull bug class this helper exists to kill: every one of
+  // these used to silently become 0 (or saturate) through C conversions.
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64("banana").has_value());
+  EXPECT_FALSE(parse_u64("12abc").has_value());
+  EXPECT_FALSE(parse_u64("-3").has_value());
+  EXPECT_FALSE(parse_u64("+3").has_value());
+  EXPECT_FALSE(parse_u64("0x10").has_value());
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());  // 2^64
+  EXPECT_FALSE(parse_u64("99999999999999999999999").has_value());
+}
+
+TEST(Strings, ParseU64ReportsWhatAndWhy) {
+  std::string error;
+  EXPECT_FALSE(parse_u64("banana", "--events", &error).has_value());
+  EXPECT_NE(error.find("--events"), std::string::npos);
+  EXPECT_NE(error.find("banana"), std::string::npos);
+}
+
+TEST(Strings, ParseIntSignedRange) {
+  EXPECT_EQ(parse_int("0"), 0);
+  EXPECT_EQ(parse_int("-1"), -1);
+  EXPECT_EQ(parse_int("+25"), 25);
+  EXPECT_EQ(parse_int("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(parse_int("-9223372036854775808"), INT64_MIN);
+  EXPECT_FALSE(parse_int("9223372036854775808").has_value());
+  EXPECT_FALSE(parse_int("-9223372036854775809").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("-").has_value());
+  EXPECT_FALSE(parse_int("1.5").has_value());
+}
+
+// ------------------------------------------------ JSON \uXXXX + surrogates
+
+TEST(Json, DecodesBasicPlaneEscapes) {
+  const auto parsed = json_parse("\"\\u0041\\u00e9\\u20ac\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->string, "A\xC3\xA9\xE2\x82\xAC");  // A é €
+}
+
+TEST(Json, DecodesSurrogatePairsToFourByteUtf8) {
+  // U+1F600 (😀) = \ud83d\ude00: the pair must decode to one code point,
+  // F0 9F 98 80 — not six bytes of raw surrogate-encoded UTF-8.
+  const auto parsed = json_parse("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->string, "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, RejectsLoneSurrogates) {
+  // A high surrogate with no low half, a bare low surrogate, and a high
+  // surrogate followed by a non-surrogate escape are all parse errors —
+  // the old decoder emitted them as invalid 3-byte UTF-8.
+  EXPECT_FALSE(json_parse("\"\\ud83d\"").has_value());
+  EXPECT_FALSE(json_parse("\"\\ude00\"").has_value());
+  EXPECT_FALSE(json_parse("\"\\ud83dx\"").has_value());
+  EXPECT_FALSE(json_parse("\"\\ud83d\\u0041\"").has_value());
+  EXPECT_FALSE(json_parse("\"\\ud83d\\ud83d\"").has_value());
+}
+
+TEST(Json, SurrogatePairSurvivesObjectRoundTrip) {
+  const auto parsed =
+      json_parse("{\"name\": \"\\ud83d\\ude00 ok\", \"n\": 3}");
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* name = parsed->find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->string, "\xF0\x9F\x98\x80 ok");
 }
 
 }  // namespace

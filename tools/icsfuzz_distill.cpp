@@ -93,7 +93,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--out") {
       if (const char* v = next()) out = v;
     } else if (arg == "--workers") {
-      if (const char* v = next()) workers = std::strtoull(v, nullptr, 10);
+      const char* v = next();
+      std::string error;
+      const auto parsed =
+          v ? parse_u64(v, "--workers", &error) : std::nullopt;
+      if (!parsed) {
+        std::fprintf(stderr, "%s\n",
+                     error.empty() ? "--workers: expected a count"
+                                   : error.c_str());
+        return usage(argv[0]);
+      }
+      workers = static_cast<std::size_t>(*parsed);
     } else if (arg == "--verify") {
       verify = true;
     } else if (arg == "--replay-crashes") {
@@ -119,8 +129,18 @@ int main(int argc, char** argv) {
       executor_config.backend.kind = fuzz::BackendKind::kPersistent;
       // Optional budget operand (a bare "--persistent" keeps the default).
       if (i + 1 < argc && argv[i + 1][0] != '-') {
-        executor_config.backend.persistent_budget = static_cast<std::uint32_t>(
-            std::strtoul(argv[++i], nullptr, 10));
+        std::string error;
+        const auto parsed =
+            parse_u64(argv[++i], "--persistent budget", &error);
+        if (!parsed || *parsed == 0 || *parsed > UINT32_MAX) {
+          std::fprintf(stderr, "%s\n",
+                       error.empty() ? "--persistent budget: expected a "
+                                       "positive 32-bit count"
+                                     : error.c_str());
+          return usage(argv[0]);
+        }
+        executor_config.backend.persistent_budget =
+            static_cast<std::uint32_t>(*parsed);
       }
     } else {
       return usage(argv[0]);

@@ -14,6 +14,7 @@
 // new-edges/sec and crash rates from successive snapshots via RateWindows,
 // so it works even against exporters that do not embed rates.
 #include <chrono>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +27,7 @@
 #include "fuzzer/persistence.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/windows.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
@@ -169,11 +171,30 @@ int main(int argc, char** argv) {
     if (arg == "--follow") {
       follow = true;
     } else if (arg == "--interval-ms") {
-      if (const char* v = next()) interval_ms = std::atoi(v);
-    } else if (arg == "--events") {
-      if (const char* v = next()) {
-        event_tail = std::strtoull(v, nullptr, 10);
+      const char* v = next();
+      std::string error;
+      const auto parsed =
+          v ? parse_int(v, "--interval-ms", &error) : std::nullopt;
+      if (!parsed || *parsed <= 0 || *parsed > INT_MAX) {
+        std::fprintf(stderr, "%s\n",
+                     error.empty() ? "--interval-ms: expected a positive "
+                                     "millisecond count"
+                                   : error.c_str());
+        return usage(argv[0]);
       }
+      interval_ms = static_cast<int>(*parsed);
+    } else if (arg == "--events") {
+      const char* v = next();
+      std::string error;
+      const auto parsed =
+          v ? parse_u64(v, "--events", &error) : std::nullopt;
+      if (!parsed) {
+        std::fprintf(stderr, "%s\n",
+                     error.empty() ? "--events: expected a count"
+                                   : error.c_str());
+        return usage(argv[0]);
+      }
+      event_tail = static_cast<std::size_t>(*parsed);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
     } else if (dir.empty()) {

@@ -23,6 +23,7 @@
 #include "protocols/target_registry.hpp"
 #include "supervise/triage_store.hpp"
 #include "util/json.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
@@ -40,6 +41,8 @@ int usage(const char* argv0) {
       "    show STORE BUCKET          one bucket's full record\n"
       "    repro STORE BUCKET --project P     replay the reproducer\n"
       "    minimize STORE BUCKET --project P  replay + tmin-shrink\n"
+      "  options:\n"
+      "    --limit N          list/ingest: stop after N buckets/records\n"
       "  projects: libmodbus IEC104 libiec61850 lib60870 libiec_iccp_mod"
       " opendnp3\n",
       argv0);
@@ -74,6 +77,7 @@ int main(int argc, char** argv) {
   std::string bucket;
   std::string crashes_path;
   std::string project;
+  std::size_t limit = SIZE_MAX;
   bool minimize = false;
   bool verify = true;
   for (int i = 3; i < argc; ++i) {
@@ -85,6 +89,18 @@ int main(int argc, char** argv) {
       if (const char* v = next()) crashes_path = v;
     } else if (arg == "--project") {
       if (const char* v = next()) project = v;
+    } else if (arg == "--limit") {
+      const char* v = next();
+      std::string error;
+      const auto parsed =
+          v ? parse_u64(v, "--limit", &error) : std::nullopt;
+      if (!parsed || *parsed == 0) {
+        std::fprintf(stderr, "%s\n",
+                     error.empty() ? "--limit: expected a positive count"
+                                   : error.c_str());
+        return usage(argv[0]);
+      }
+      limit = static_cast<std::size_t>(*parsed);
     } else if (arg == "--minimize") {
       minimize = true;
     } else if (arg == "--no-verify") {
@@ -107,10 +123,12 @@ int main(int argc, char** argv) {
                 "\"store\": \"%s\",\n  \"buckets\": [\n",
                 json_escape(store_dir).c_str());
     const std::vector<supervise::TriageRecord>& records = store.records();
-    for (std::size_t i = 0; i < records.size(); ++i) {
-      print_record(records[i], "    ", i + 1 < records.size() ? "," : "");
+    const std::size_t shown = records.size() < limit ? records.size() : limit;
+    for (std::size_t i = 0; i < shown; ++i) {
+      print_record(records[i], "    ", i + 1 < shown ? "," : "");
     }
-    std::printf("  ],\n  \"total\": %zu\n}\n", records.size());
+    std::printf("  ],\n  \"shown\": %zu, \"total\": %zu\n}\n", shown,
+                records.size());
     return 0;
   }
 
@@ -143,7 +161,8 @@ int main(int argc, char** argv) {
                 "\"store\": \"%s\",\n  \"ingested\": [\n",
                 json_escape(store_dir).c_str());
     const std::vector<const fuzz::CrashRecord*> records = db.records();
-    for (std::size_t i = 0; i < records.size(); ++i) {
+    const std::size_t taken = records.size() < limit ? records.size() : limit;
+    for (std::size_t i = 0; i < taken; ++i) {
       const auto target = factory ? factory() : nullptr;
       const supervise::TriageStore::IngestOutcome outcome =
           store.ingest(*records[i], target.get(), minimize);
@@ -154,7 +173,7 @@ int main(int argc, char** argv) {
                   outcome.bucket.c_str(), outcome.is_new ? "true" : "false",
                   outcome.reproduced ? "true" : "false",
                   outcome.minimized ? "true" : "false",
-                  i + 1 < records.size() ? "," : "");
+                  i + 1 < taken ? "," : "");
     }
     std::printf("  ],\n  \"loaded\": %zu, \"new_buckets\": %zu, "
                 "\"verify_failed\": %zu\n}\n",
